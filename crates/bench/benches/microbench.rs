@@ -1,0 +1,171 @@
+//! Criterion micro-benchmarks for the core data structures: CPU costs of
+//! the operations whose *I/O* costs the experiment binaries measure.
+//!
+//! Run with `cargo bench -p blsm-bench`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use blsm::{AppendOperator, BLsmConfig, BLsmTree};
+use blsm_bloom::BloomFilter;
+use blsm_memtable::{Memtable, Versioned};
+use blsm_sstable::{ReadMode, Sstable, SstableBuilder};
+use blsm_storage::{BufferPool, MemDevice, PageId, Region, SharedDevice};
+use blsm_ycsb::{format_key, make_value, ScrambledZipfian, KeyChooser};
+
+fn bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    let mut filter = BloomFilter::with_capacity(1_000_000);
+    for i in 0..1_000_000u64 {
+        filter.insert(&i.to_le_bytes());
+    }
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("insert", |b| {
+        let mut filter = BloomFilter::with_capacity(1_000_000);
+        let mut i = 0u64;
+        b.iter(|| {
+            filter.insert(&i.to_le_bytes());
+            i += 1;
+        });
+    });
+    g.bench_function("probe_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let hit = filter.contains(&(i % 1_000_000).to_le_bytes());
+            i += 1;
+            hit
+        });
+    });
+    g.bench_function("probe_miss", |b| {
+        let mut i = 1_000_000u64;
+        b.iter(|| {
+            let hit = filter.contains(&i.to_le_bytes());
+            i += 1;
+            hit
+        });
+    });
+    g.finish();
+}
+
+fn memtable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memtable");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("insert_1k_values", |b| {
+        b.iter_batched(
+            Memtable::new,
+            |mut m| {
+                for i in 0..100u64 {
+                    m.insert(format_key(i), Versioned::put(i, make_value(i, 1000)), &AppendOperator);
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    let mut m = Memtable::new();
+    for i in 0..100_000u64 {
+        m.insert(format_key(i), Versioned::put(i, make_value(i, 100)), &AppendOperator);
+    }
+    g.bench_function("get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let v = m.get(&format_key(i % 100_000));
+            i += 7919;
+            v.is_some()
+        });
+    });
+    g.finish();
+}
+
+fn build_table(n: u64) -> Arc<Sstable> {
+    let dev: SharedDevice = Arc::new(MemDevice::new());
+    let pool = Arc::new(BufferPool::new(dev, 65_536));
+    let region = Region { start: PageId(0), pages: 262_144 };
+    let mut b = SstableBuilder::new(pool, region, n);
+    for i in 0..n {
+        b.add(&format_key(i), &Versioned::put(i, make_value(i, 1000))).unwrap();
+    }
+    Arc::new(b.finish().unwrap())
+}
+
+fn sstable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sstable");
+    let table = build_table(100_000);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("point_lookup_cached", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let v = table.get(&format_key(i % 100_000)).unwrap();
+            i += 104_729;
+            v.is_some()
+        });
+    });
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("full_scan_100k", |b| {
+        b.iter(|| table.iter(ReadMode::Buffered(64)).count());
+    });
+    g.finish();
+}
+
+fn tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blsm_tree");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("load_10k_with_merges", |b| {
+        b.iter_batched(
+            || {
+                let data: SharedDevice = Arc::new(MemDevice::new());
+                let wal: SharedDevice = Arc::new(MemDevice::new());
+                BLsmTree::open(
+                    data,
+                    wal,
+                    4096,
+                    BLsmConfig { mem_budget: 1 << 20, ..Default::default() },
+                    Arc::new(AppendOperator),
+                )
+                .unwrap()
+            },
+            |mut tree| {
+                for i in 0..10_000u64 {
+                    tree.put(format_key(i * 2_654_435_761 % 50_000), make_value(i, 100))
+                        .unwrap();
+                }
+                tree
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    let data: SharedDevice = Arc::new(MemDevice::new());
+    let wal: SharedDevice = Arc::new(MemDevice::new());
+    let mut tree = BLsmTree::open(
+        data,
+        wal,
+        16_384,
+        BLsmConfig { mem_budget: 4 << 20, ..Default::default() },
+        Arc::new(AppendOperator),
+    )
+    .unwrap();
+    for i in 0..50_000u64 {
+        tree.put(format_key(i), make_value(i, 100)).unwrap();
+    }
+    tree.checkpoint().unwrap();
+    let mut zipf = ScrambledZipfian::new(50_000, 7);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("zipfian_get", |b| {
+        b.iter(|| tree.get(&format_key(zipf.next_id())).unwrap());
+    });
+    g.bench_function("scan_10", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let n = tree.scan(&format_key(i % 49_000), 10).unwrap().len();
+            i += 7919;
+            n
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bloom, memtable, sstable, tree);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Figure 2: read amplification (seeks and bandwidth) vs data size, for
+//! fractional cascading at R = 2..10 versus a three-level tree with Bloom
+//! filters.
+//!
+//! The curves are the paper's analytical model (`bench::models::Fig2Model`);
+//! the Bloom line is additionally *validated against the real engine* by
+//! loading a three-level bLSM tree and measuring seeks per uncached probe.
+
+use std::sync::Arc;
+
+use blsm_bench::models::Fig2Model;
+use blsm_bench::{fmt_f, print_table, setup::Scale};
+use blsm_storage::DiskModel;
+use blsm_ycsb::{format_key, make_value};
+
+fn main() {
+    let ratios = [2.0f64, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0];
+    let rs = [2u32, 3, 4, 5, 6, 7, 8, 9, 10];
+
+    let mut rows = Vec::new();
+    for &ratio in &ratios {
+        let mut row = vec![fmt_f(ratio), fmt_f(Fig2Model::bloom_seeks(ratio))];
+        for &r in &rs {
+            row.push(fmt_f(Fig2Model::cascade_seeks(f64::from(r), ratio)));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["data/RAM", "blooms(ours)"];
+    let r_labels: Vec<String> = rs.iter().map(|r| format!("R={r}")).collect();
+    headers.extend(r_labels.iter().map(String::as_str));
+    print_table("Figure 2 (left): read amplification in SEEKS", &headers, &rows);
+
+    let mut rows = Vec::new();
+    for &ratio in &ratios {
+        let mut row = vec![fmt_f(ratio), fmt_f(Fig2Model::bloom_bandwidth(ratio))];
+        for &r in &rs {
+            row.push(fmt_f(Fig2Model::cascade_bandwidth(f64::from(r), ratio)));
+        }
+        rows.push(row);
+    }
+    print_table("Figure 2 (right): read amplification in BANDWIDTH (pages)", &headers, &rows);
+
+    // Validate the Bloom line against the actual engine: build a tree with
+    // all three on-disk components populated and measure seeks per probe.
+    let scale = Scale::paper_scaled().with_records(20_000);
+    let mut engine = blsm_bench::setup::make_blsm(DiskModel::ram(), &scale);
+    for id in 0..scale.records {
+        engine
+            .tree
+            .put(format_key(id), make_value(id, scale.value_size))
+            .unwrap();
+    }
+    engine.tree.checkpoint().unwrap();
+    engine.tree.pool().drop_clean();
+    let data = Arc::clone(&engine.data);
+    let before = data.stats();
+    let probes = 2_000u64;
+    let mut rng = 12345u64;
+    for _ in 0..probes {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let id = (rng >> 33) % scale.records;
+        engine.tree.get(&format_key(id)).unwrap().expect("present");
+        engine.tree.pool().drop_clean(); // keep probes uncached
+    }
+    let d = data.stats().delta_since(&before);
+    let seeks_per_probe = d.seeks() as f64 / probes as f64;
+    println!(
+        "\nEngine validation: measured {} seeks/uncached-probe on a {}-component tree \
+         (paper model: <= 1.03)",
+        fmt_f(seeks_per_probe),
+        engine.tree.component_count(),
+    );
+    assert!(
+        seeks_per_probe < 1.25,
+        "bloom read amplification out of band: {seeks_per_probe}"
+    );
+}

@@ -1,0 +1,157 @@
+//! §5.2: raw insert performance and load semantics.
+//!
+//! The paper's findings, reproduced here:
+//!
+//! * **InnoDB** "provides the weakest fast insert primitive: we had to
+//!   pre-sort the data to get reasonable throughput" — compare its
+//!   random-order load against its pre-sorted bulk load.
+//! * **LevelDB** sustains random *blind* inserts but cannot afford
+//!   checked inserts (no Bloom filters → a multi-seek probe per insert).
+//! * **bLSM** "provided steady high-throughput inserts, and tested for
+//!   the pre-existence of each tuple as it was inserted" — its checked
+//!   load runs at nearly blind-write speed thanks to the Bloom filter on
+//!   the largest component (§3.1.2).
+
+use blsm_bench::setup::{make_blsm, make_btree, make_leveldb, Scale};
+use blsm_bench::{fmt_f, print_table};
+use blsm_storage::DiskModel;
+use blsm_ycsb::{format_key, make_value, KvEngine, LoadOrder, Runner};
+
+fn main() {
+    let scale = Scale::paper_scaled().with_records(20_000);
+    let runner = Runner::default();
+    let mut rows = Vec::new();
+
+    fn run(
+        rows: &mut Vec<Vec<String>>,
+        runner: &Runner,
+        scale: &Scale,
+        name: &str,
+        mut engine: Box<dyn KvEngine>,
+        order: LoadOrder,
+        checked: bool,
+    ) -> f64 {
+        let report = runner
+            .load(
+                engine.as_mut(),
+                scale.records,
+                scale.value_size,
+                checked,
+                order,
+            )
+            .unwrap();
+        rows.push(vec![
+            name.to_string(),
+            format!("{order:?}"),
+            if checked { "insert-if-not-exists" } else { "blind" }.to_string(),
+            fmt_f(report.ops_per_sec),
+            fmt_f(report.elapsed_sec),
+            fmt_f(report.latency.max() as f64 / 1e3),
+        ]);
+        report.ops_per_sec
+    }
+
+    // InnoDB-like: random vs pre-sorted (its required fast path).
+    let btree_random = run(
+        &mut rows,
+        &runner,
+        &scale,
+        "B-Tree",
+        Box::new(make_btree(DiskModel::hdd(), &scale)),
+        LoadOrder::Random,
+        false,
+    );
+    // Pre-sorted B-Tree load uses the dedicated bulk loader.
+    let presorted_ops = {
+        let e = make_btree(DiskModel::hdd(), &scale);
+        let pool = e.tree.pool().clone();
+        let dev = e.data.clone();
+        drop(e);
+        let t0 = dev.now_us();
+        let tree = blsm_btree::BTree::bulk_load(
+            pool,
+            (0..scale.records).map(|id| (format_key(id), make_value(id, scale.value_size))),
+        )
+        .unwrap();
+        let elapsed = (dev.now_us() - t0) as f64 / 1e6 + scale.records as f64 * 20.0 / 1e6;
+        assert_eq!(tree.entry_count(), scale.records);
+        let ops = scale.records as f64 / elapsed;
+        rows.push(vec![
+            "B-Tree".into(),
+            "Sorted".into(),
+            "bulk load".into(),
+            fmt_f(ops),
+            fmt_f(elapsed),
+            "-".into(),
+        ]);
+        ops
+    };
+
+    let ldb_blind = run(
+        &mut rows,
+        &runner,
+        &scale,
+        "LevelDB-like",
+        Box::new(make_leveldb(DiskModel::hdd(), &scale)),
+        LoadOrder::Random,
+        false,
+    );
+    let ldb_checked = run(
+        &mut rows,
+        &runner,
+        &scale,
+        "LevelDB-like",
+        Box::new(make_leveldb(DiskModel::hdd(), &scale)),
+        LoadOrder::Random,
+        true,
+    );
+
+    let blsm_blind = run(
+        &mut rows,
+        &runner,
+        &scale,
+        "bLSM",
+        Box::new(make_blsm(DiskModel::hdd(), &scale)),
+        LoadOrder::Random,
+        false,
+    );
+    let blsm_checked = run(
+        &mut rows,
+        &runner,
+        &scale,
+        "bLSM",
+        Box::new(make_blsm(DiskModel::hdd(), &scale)),
+        LoadOrder::Random,
+        true,
+    );
+
+    print_table(
+        "Sec 5.2: bulk load performance (HDD model)",
+        &["system", "order", "semantics", "ops/s", "time (s)", "max lat (ms)"],
+        &rows,
+    );
+
+    println!("\nShape checks vs the paper:");
+    println!(
+        "  B-Tree needs pre-sorting: sorted/bulk {}x faster than random ({} vs {} ops/s)",
+        fmt_f(presorted_ops / btree_random),
+        fmt_f(presorted_ops),
+        fmt_f(btree_random)
+    );
+    println!(
+        "  LevelDB checked insert collapses: {} -> {} ops/s ({}x slower)",
+        fmt_f(ldb_blind),
+        fmt_f(ldb_checked),
+        fmt_f(ldb_blind / ldb_checked.max(1.0))
+    );
+    println!(
+        "  bLSM checked insert stays fast: {} -> {} ops/s ({}% of blind speed)",
+        fmt_f(blsm_blind),
+        fmt_f(blsm_checked),
+        fmt_f(100.0 * blsm_checked / blsm_blind.max(1.0))
+    );
+    assert!(presorted_ops > btree_random * 3.0);
+    assert!(blsm_checked > ldb_checked * 2.0, "bLSM's zero-seek check must win");
+    assert!(blsm_checked > 0.5 * blsm_blind, "bloom check must be nearly free");
+    assert!(blsm_blind > btree_random * 3.0, "log-structured writes must beat B-Tree");
+}

@@ -1,0 +1,80 @@
+//! §5.6: scan performance, bLSM vs the B-Tree.
+//!
+//! The paper's procedure: run the scan test *last*, "after the trees were
+//! fragmented by the read-write tests". Results to reproduce in shape:
+//!
+//! * short scans (1–4 rows): the B-Tree wins — one page versus one seek
+//!   per bLSM component (paper: MySQL 608 scans/s vs bLSM 385);
+//! * long scans (1–100 rows): B-Tree fragmentation erases the advantage —
+//!   bLSM wins (paper: bLSM 165 vs InnoDB 86).
+
+use blsm_bench::setup::{make_blsm, make_btree, Scale};
+use blsm_bench::{fmt_f, print_table};
+use blsm_storage::DiskModel;
+use blsm_ycsb::{KvEngine, LoadOrder, OpMix, Runner, Workload};
+
+fn prepare(engine: &mut dyn KvEngine, scale: &Scale, runner: &Runner) {
+    runner
+        .load(engine, scale.records, scale.value_size, false, LoadOrder::Random)
+        .unwrap();
+    // Fragment with a uniform 50/50 read-write phase, as §5.6 prescribes
+    // ("we ran the scan experiment last, after the trees were fragmented
+    // by the read-write tests").
+    let mut wl = Workload::uniform(scale.records, OpMix::read_blind_write(0.5), 0x5ca);
+    wl.value_size = scale.value_size;
+    runner.run(engine, &mut wl, scale.records / 2).unwrap();
+}
+
+fn scan_rate(engine: &mut dyn KvEngine, scale: &Scale, runner: &Runner, max_len: usize) -> f64 {
+    let mut wl = Workload::uniform(
+        scale.records,
+        OpMix { scan: 1.0, ..Default::default() },
+        0x5cb,
+    );
+    wl.scan_max = max_len;
+    wl.value_size = scale.value_size;
+    let report = runner.run(engine, &mut wl, 2_000).unwrap();
+    report.ops_per_sec
+}
+
+fn main() {
+    let scale = Scale::paper_scaled().with_records(20_000);
+    let runner = Runner::default();
+
+    let mut blsm = make_blsm(DiskModel::hdd(), &scale);
+    prepare(&mut blsm, &scale, &runner);
+    let mut btree = make_btree(DiskModel::hdd(), &scale);
+    prepare(&mut btree, &scale, &runner);
+
+    let blsm_short = scan_rate(&mut blsm, &scale, &runner, 4);
+    let btree_short = scan_rate(&mut btree, &scale, &runner, 4);
+    let blsm_long = scan_rate(&mut blsm, &scale, &runner, 100);
+    let btree_long = scan_rate(&mut btree, &scale, &runner, 100);
+
+    print_table(
+        "Sec 5.6: scans per second on fragmented trees (HDD model)",
+        &["scan length", "B-Tree", "bLSM", "paper (InnoDB vs bLSM)"],
+        &[
+            vec![
+                "short (1-4 rows)".into(),
+                fmt_f(btree_short),
+                fmt_f(blsm_short),
+                "608 vs 385".into(),
+            ],
+            vec![
+                "long (1-100 rows)".into(),
+                fmt_f(btree_long),
+                fmt_f(blsm_long),
+                "86 vs 165".into(),
+            ],
+        ],
+    );
+    println!(
+        "\nShape: the B-Tree wins short scans by {:.2}x (paper: 1.58x); \
+         bLSM wins long scans by {:.2}x (paper: 1.92x).",
+        btree_short / blsm_short.max(1e-9),
+        blsm_long / btree_long.max(1e-9),
+    );
+    assert!(btree_short > blsm_short, "B-Tree must win short scans");
+    assert!(blsm_long > btree_long, "bLSM must win long scans on a fragmented tree");
+}

@@ -1,0 +1,183 @@
+//! Scaled experiment configuration and engine construction.
+
+use std::sync::Arc;
+
+use blsm::{BLsmConfig, BLsmTree, Durability, SchedulerKind};
+use blsm_btree::BTree;
+use blsm_leveldb_like::{LevelDbConfig, LevelDbLike};
+use blsm_memtable::AppendOperator;
+use blsm_storage::{BufferPool, DiskModel, SharedDevice, SimDevice};
+
+use crate::adapters::{BLsmEngine, BTreeEngine, LevelDbEngine};
+
+/// Which engine to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Our bLSM tree.
+    BLsm,
+    /// The update-in-place B+Tree (InnoDB stand-in).
+    BTree,
+    /// The LevelDB-style multi-level LSM.
+    LevelDb,
+}
+
+impl EngineKind {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::BLsm => "bLSM",
+            EngineKind::BTree => "InnoDB-like B-Tree",
+            EngineKind::LevelDb => "LevelDB-like",
+        }
+    }
+}
+
+/// Experiment scale. `paper_scaled()` is 1/1000 of §5.1: 50 GB of
+/// 1000-byte values → 50 MB; 10 GB of RAM → 10 MB (bLSM: 8 MB `C0` +
+/// 2 MB cache; baselines: 10 MB cache).
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Records in the loaded database.
+    pub records: u64,
+    /// Value size (the paper's 1000 bytes).
+    pub value_size: usize,
+    /// bLSM `C0` budget in bytes.
+    pub blsm_c0: usize,
+    /// bLSM buffer-cache pages.
+    pub blsm_cache_pages: usize,
+    /// Baseline buffer-cache pages (they get the whole RAM budget).
+    pub baseline_cache_pages: usize,
+    /// LevelDB-like tuning, scaled alongside.
+    pub leveldb: LevelDbConfig,
+}
+
+impl Scale {
+    /// 1/1000 of the paper's setup.
+    pub fn paper_scaled() -> Scale {
+        Scale {
+            records: 50_000,
+            value_size: 1000,
+            blsm_c0: 8 << 20,
+            blsm_cache_pages: (2 << 20) / 4096,
+            baseline_cache_pages: (10 << 20) / 4096,
+            leveldb: LevelDbConfig {
+                write_buffer: 512 << 10,
+                max_file_size: 256 << 10,
+                level_base: 2 << 20,
+                level_multiplier: 10,
+                l0_compact: 4,
+                l0_slowdown: 8,
+                l0_stop: 12,
+                work_per_write: 8 << 10,
+                max_levels: 7,
+            },
+        }
+    }
+
+    /// A smaller scale for quick iterations.
+    pub fn quick() -> Scale {
+        let mut s = Scale::paper_scaled();
+        s.records = 10_000;
+        s.blsm_c0 = 2 << 20;
+        s
+    }
+
+    /// Scale with a custom record count (other knobs kept proportional to
+    /// `paper_scaled`'s data:RAM ratio).
+    pub fn with_records(mut self, records: u64) -> Scale {
+        let ratio = records as f64 / 50_000.0;
+        self.records = records;
+        self.blsm_c0 = ((8 << 20) as f64 * ratio) as usize;
+        self.blsm_cache_pages = ((((2 << 20) as f64 * ratio) as usize) / 4096).max(64);
+        self.baseline_cache_pages = ((((10 << 20) as f64 * ratio) as usize) / 4096).max(64);
+        self.leveldb.write_buffer = (((512 << 10) as f64 * ratio) as usize).max(64 << 10);
+        self.leveldb.max_file_size = (((256 << 10) as f64 * ratio) as u64).max(64 << 10);
+        self.leveldb.level_base = (((2 << 20) as f64 * ratio) as u64).max(256 << 10);
+        self
+    }
+
+    /// Total user data bytes at this scale.
+    pub fn data_bytes(&self) -> u64 {
+        self.records * self.value_size as u64
+    }
+}
+
+/// Builds a bLSM engine on fresh simulated devices with the given model.
+pub fn make_blsm(model: DiskModel, scale: &Scale) -> BLsmEngine {
+    make_blsm_with(model, scale, SchedulerKind::SpringGear, true)
+}
+
+/// bLSM with explicit scheduler/snowshovel choices (for ablations).
+pub fn make_blsm_with(
+    model: DiskModel,
+    scale: &Scale,
+    scheduler: SchedulerKind,
+    snowshovel: bool,
+) -> BLsmEngine {
+    let data: SharedDevice = Arc::new(SimDevice::new(model.clone()));
+    let wal: SharedDevice = Arc::new(SimDevice::new(model));
+    let config = BLsmConfig {
+        mem_budget: scale.blsm_c0,
+        scheduler,
+        snowshovel,
+        durability: Durability::Buffered,
+        wal_capacity: (scale.blsm_c0 as u64 * 16).max(64 << 20),
+        ..Default::default()
+    };
+    let tree = BLsmTree::open(
+        data.clone(),
+        wal.clone(),
+        scale.blsm_cache_pages,
+        config,
+        Arc::new(AppendOperator),
+    )
+    .expect("open blsm");
+    BLsmEngine { tree, data, wal }
+}
+
+/// Builds a B-Tree engine on a fresh simulated device.
+pub fn make_btree(model: DiskModel, scale: &Scale) -> BTreeEngine {
+    let data: SharedDevice = Arc::new(SimDevice::new(model));
+    let pool = Arc::new(BufferPool::new(data.clone(), scale.baseline_cache_pages));
+    let tree = BTree::create(pool).expect("create btree");
+    BTreeEngine { tree, data }
+}
+
+/// Builds a LevelDB-like engine on a fresh simulated device.
+pub fn make_leveldb(model: DiskModel, scale: &Scale) -> LevelDbEngine {
+    let data: SharedDevice = Arc::new(SimDevice::new(model));
+    let pool = Arc::new(BufferPool::new(data.clone(), scale.baseline_cache_pages));
+    let inner = LevelDbLike::new(pool, scale.leveldb.clone(), Arc::new(AppendOperator));
+    LevelDbEngine { inner, data }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blsm_ycsb::{KvEngine, LoadOrder, OpMix, Runner, Workload};
+
+    #[test]
+    fn all_engines_survive_a_small_mixed_run() {
+        let scale = Scale::paper_scaled().with_records(2_000);
+        let runner = Runner::default();
+        let mut engines: Vec<Box<dyn KvEngine>> = vec![
+            Box::new(make_blsm(DiskModel::ssd(), &scale)),
+            Box::new(make_btree(DiskModel::ssd(), &scale)),
+            Box::new(make_leveldb(DiskModel::ssd(), &scale)),
+        ];
+        for engine in &mut engines {
+            runner
+                .load(engine.as_mut(), scale.records, 100, false, LoadOrder::Random)
+                .unwrap();
+            let mut wl = Workload::uniform(
+                scale.records,
+                OpMix { read: 0.5, update: 0.2, rmw: 0.1, insert: 0.1, scan: 0.05, delta: 0.05 },
+                7,
+            );
+            wl.value_size = 100;
+            let report = runner.run(engine.as_mut(), &mut wl, 2_000).unwrap();
+            assert_eq!(report.ops, 2_000);
+            assert!(report.ops_per_sec > 0.0);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! 64/128-bit non-cryptographic hashing for Bloom filter probes.
+//!
+//! The paper's filter is "based upon double hashing [17]" (Kirsch &
+//! Mitzenmacher): two independent base hashes generate all `k` probe
+//! positions. We derive both from one pass of a 128-bit
+//! multiply-xorshift construction (in the spirit of MurmurHash3's
+//! finalizer / splitmix64), which is plenty for filter indexing and keeps
+//! the crate dependency-free.
+
+/// Mixes a 64-bit value (splitmix64 finalizer).
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Hashes `data` with a seed.
+pub fn hash64_seeded(data: &[u8], seed: u64) -> u64 {
+    const M: u64 = 0xc6a4_a793_5bd1_e995; // MurmurHash2 multiplier
+    let mut h = seed ^ (data.len() as u64).wrapping_mul(M);
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let mut k = u64::from_le_bytes(chunk.try_into().unwrap());
+        k = k.wrapping_mul(M);
+        k ^= k >> 47;
+        k = k.wrapping_mul(M);
+        h ^= k;
+        h = h.wrapping_mul(M);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h ^= u64::from_le_bytes(tail);
+        h = h.wrapping_mul(M);
+    }
+    mix64(h)
+}
+
+/// Hashes `data` with the default seed.
+pub fn hash64(data: &[u8]) -> u64 {
+    hash64_seeded(data, 0x9e37_79b9_7f4a_7c15)
+}
+
+/// Produces the two independent base hashes used for double hashing.
+pub fn hash128(data: &[u8]) -> (u64, u64) {
+    let h1 = hash64_seeded(data, 0x9e37_79b9_7f4a_7c15);
+    // Derive the second hash by re-mixing rather than re-hashing: cheaper,
+    // and independence is sufficient for probe generation.
+    let h2 = mix64(h1 ^ 0x6a09_e667_f3bc_c909);
+    (h1, h2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash64(b"hello"), hash64(b"hello"));
+        assert_ne!(hash64(b"hello"), hash64(b"hellp"));
+    }
+
+    #[test]
+    fn length_extension_distinct() {
+        // Keys that are prefixes of each other must hash differently.
+        assert_ne!(hash64(b""), hash64(b"\0"));
+        assert_ne!(hash64(b"a"), hash64(b"a\0"));
+    }
+
+    #[test]
+    fn distribution_no_gross_collisions() {
+        let mut seen = HashSet::new();
+        for i in 0..100_000u32 {
+            seen.insert(hash64(format!("key-{i}").as_bytes()));
+        }
+        // Expected collisions among 1e5 64-bit hashes: ~0.
+        assert_eq!(seen.len(), 100_000);
+    }
+
+    #[test]
+    fn bit_balance() {
+        // Each output bit should be set roughly half the time.
+        let n = 10_000u32;
+        let mut counts = [0u32; 64];
+        for i in 0..n {
+            let h = hash64(&i.to_le_bytes());
+            for (b, c) in counts.iter_mut().enumerate() {
+                *c += ((h >> b) & 1) as u32;
+            }
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            let frac = f64::from(c) / f64::from(n);
+            assert!((0.45..0.55).contains(&frac), "bit {b} biased: {frac}");
+        }
+    }
+
+    #[test]
+    fn h1_h2_independent_enough() {
+        // h2 must not be a trivial function of h1 across inputs: check that
+        // the xor of the two differs across many keys.
+        let mut xors = HashSet::new();
+        for i in 0..1000u32 {
+            let (h1, h2) = hash128(&i.to_le_bytes());
+            xors.insert(h1 ^ h2);
+        }
+        assert_eq!(xors.len(), 1000);
+    }
+}

@@ -1,0 +1,370 @@
+//! Bloom filters for bLSM tree components.
+//!
+//! §3.1/§4.4.3 of the paper: each on-disk tree component (`C1`, `C1'`, `C2`)
+//! is protected by a Bloom filter so point lookups pay ~1 seek instead of
+//! one per component, and `insert-if-not-exists` pays ~0 seeks. The paper's
+//! choices, all implemented here:
+//!
+//! * **Double hashing** (Kirsch & Mitzenmacher, ref. \[17\]): `k` probe positions
+//!   are derived as `h1 + i·h2` from two base hashes, giving the accuracy
+//!   of `k` independent hashes at the cost of two.
+//! * **~10 bits per key for a <1% false-positive rate** (§3.1): filters are
+//!   sized from the number of keys and a target rate, defaulting to 1%
+//!   (the paper sizes "for a false positive rate below 1%", and Appendix A
+//!   budgets 1.25 bytes = 10 bits per key).
+//! * **Monotonic updates** (§4.4.3): "bits always change from zero to one,
+//!   and there is no need to atomically update more than one bit at a
+//!   time", so the concurrent variant ([`AtomicBloom`]) uses relaxed
+//!   fetch-or and readers need no insulation from concurrent writers.
+//! * **No deletions** — components are append-only, so neither variant
+//!   supports removal.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+mod hash;
+
+pub use hash::{hash128, hash64};
+
+/// Natural log of 2; `k = (bits/keys)·ln 2` minimizes the false positive
+/// rate for a given size.
+const LN2: f64 = std::f64::consts::LN_2;
+
+/// Sizing parameters shared by both filter variants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BloomParams {
+    /// Number of bits in the filter.
+    pub bits: u64,
+    /// Number of probes per key.
+    pub k: u32,
+}
+
+impl BloomParams {
+    /// Sizes a filter for `expected_keys` at `target_fp_rate` (e.g. `0.01`
+    /// for the paper's 1%).
+    pub fn for_fp_rate(expected_keys: u64, target_fp_rate: f64) -> BloomParams {
+        assert!(
+            target_fp_rate > 0.0 && target_fp_rate < 1.0,
+            "false positive rate must be in (0, 1)"
+        );
+        let n = expected_keys.max(1) as f64;
+        // bits = -n·ln(p) / (ln 2)^2
+        let bits = (-n * target_fp_rate.ln() / (LN2 * LN2)).ceil() as u64;
+        Self::for_bits(expected_keys, bits.max(64))
+    }
+
+    /// Sizes a filter with an explicit bit budget (e.g. 10 bits/key).
+    pub fn for_bits_per_key(expected_keys: u64, bits_per_key: u32) -> BloomParams {
+        Self::for_bits(expected_keys, expected_keys.max(1) * u64::from(bits_per_key))
+    }
+
+    fn for_bits(expected_keys: u64, bits: u64) -> BloomParams {
+        let bits = bits.max(64).next_multiple_of(64);
+        let k = ((bits as f64 / expected_keys.max(1) as f64) * LN2).round() as u32;
+        BloomParams { bits, k: k.clamp(1, 30) }
+    }
+
+    /// Predicted false positive rate after `inserted` keys:
+    /// `(1 - e^{-kn/m})^k`.
+    pub fn predicted_fp_rate(&self, inserted: u64) -> f64 {
+        let m = self.bits as f64;
+        let n = inserted as f64;
+        let k = f64::from(self.k);
+        (1.0 - (-k * n / m).exp()).powf(k)
+    }
+
+    /// Memory the filter occupies, in bytes.
+    pub fn bytes(&self) -> usize {
+        (self.bits / 8) as usize
+    }
+}
+
+/// Computes the `k` probe bit positions for a key via double hashing.
+#[inline]
+fn probes(key: &[u8], bits: u64, k: u32) -> impl Iterator<Item = u64> {
+    let (h1, h2) = hash128(key);
+    // Force h2 odd so it is coprime with power-of-two bit counts and the
+    // probe sequence never degenerates to a single position.
+    let h2 = h2 | 1;
+    (0..u64::from(k)).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % bits)
+}
+
+/// Single-writer Bloom filter.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    params: BloomParams,
+    words: Vec<u64>,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter with the given parameters.
+    pub fn new(params: BloomParams) -> BloomFilter {
+        BloomFilter {
+            params,
+            words: vec![0u64; (params.bits / 64) as usize],
+            inserted: 0,
+        }
+    }
+
+    /// Creates a filter sized for `expected_keys` at a <1% false positive
+    /// rate — the paper's default tradeoff.
+    pub fn with_capacity(expected_keys: u64) -> BloomFilter {
+        BloomFilter::new(BloomParams::for_fp_rate(expected_keys, 0.01))
+    }
+
+    /// Filter sizing parameters.
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// Number of keys inserted so far.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        for bit in probes(key, self.params.bits, self.params.k) {
+            self.words[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Membership test: false means *definitely absent* (no false
+    /// negatives, ever); true means *probably present*.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        probes(key, self.params.bits, self.params.k)
+            .all(|bit| self.words[(bit / 64) as usize] & (1 << (bit % 64)) != 0)
+    }
+
+    /// Fraction of bits set; a saturation diagnostic.
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u64 = self.words.iter().map(|w| u64::from(w.count_ones())).sum();
+        set as f64 / self.params.bits as f64
+    }
+
+    /// Serializes the filter: `bits(8) | k(4) | inserted(8) | words`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + self.words.len() * 8);
+        out.extend_from_slice(&self.params.bits.to_le_bytes());
+        out.extend_from_slice(&self.params.k.to_le_bytes());
+        out.extend_from_slice(&self.inserted.to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a filter produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Option<BloomFilter> {
+        if bytes.len() < 20 {
+            return None;
+        }
+        let bits = u64::from_le_bytes(bytes[0..8].try_into().ok()?);
+        let k = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+        let inserted = u64::from_le_bytes(bytes[12..20].try_into().ok()?);
+        let n_words = (bits / 64) as usize;
+        if bits % 64 != 0 || bytes.len() != 20 + n_words * 8 || k == 0 {
+            return None;
+        }
+        let words = bytes[20..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Some(BloomFilter {
+            params: BloomParams { bits, k },
+            words,
+            inserted,
+        })
+    }
+}
+
+/// Concurrent Bloom filter with lock-free monotonic updates, exactly as
+/// §4.4.3 describes ("there is no reason to attempt to insulate readers
+/// from concurrent updates").
+pub struct AtomicBloom {
+    params: BloomParams,
+    words: Vec<AtomicU64>,
+    inserted: AtomicU64,
+}
+
+impl AtomicBloom {
+    /// Creates an empty filter with the given parameters.
+    pub fn new(params: BloomParams) -> AtomicBloom {
+        let mut words = Vec::with_capacity((params.bits / 64) as usize);
+        words.resize_with((params.bits / 64) as usize, || AtomicU64::new(0));
+        AtomicBloom { params, words, inserted: AtomicU64::new(0) }
+    }
+
+    /// Creates a filter sized for `expected_keys` at <1% false positives.
+    pub fn with_capacity(expected_keys: u64) -> AtomicBloom {
+        AtomicBloom::new(BloomParams::for_fp_rate(expected_keys, 0.01))
+    }
+
+    /// Filter sizing parameters.
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// Number of keys inserted so far.
+    pub fn inserted(&self) -> u64 {
+        self.inserted.load(Ordering::Relaxed)
+    }
+
+    /// Inserts a key. Bits flip monotonically 0→1, so relaxed ordering is
+    /// sufficient; the engine issues its own barrier when moving data out
+    /// of `C0` (see the paper's footnote 2).
+    pub fn insert(&self, key: &[u8]) {
+        for bit in probes(key, self.params.bits, self.params.k) {
+            self.words[(bit / 64) as usize].fetch_or(1 << (bit % 64), Ordering::Relaxed);
+        }
+        self.inserted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Membership test; no false negatives for completed inserts.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        probes(key, self.params.bits, self.params.k)
+            .all(|bit| self.words[(bit / 64) as usize].load(Ordering::Relaxed) & (1 << (bit % 64)) != 0)
+    }
+
+    /// Snapshots into a plain [`BloomFilter`] (e.g. for serialization).
+    pub fn to_filter(&self) -> BloomFilter {
+        BloomFilter {
+            params: self.params,
+            words: self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect(),
+            inserted: self.inserted(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives_small() {
+        let mut f = BloomFilter::with_capacity(1000);
+        for i in 0..1000u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        for i in 0..1000u32 {
+            assert!(f.contains(&i.to_le_bytes()), "key {i} must be present");
+        }
+    }
+
+    #[test]
+    fn fp_rate_close_to_one_percent() {
+        let n = 50_000u32;
+        let mut f = BloomFilter::with_capacity(u64::from(n));
+        for i in 0..n {
+            f.insert(format!("user{i:08}").as_bytes());
+        }
+        let mut fp = 0u32;
+        let probes = 50_000u32;
+        for i in 0..probes {
+            if f.contains(format!("absent{i:08}").as_bytes()) {
+                fp += 1;
+            }
+        }
+        let rate = f64::from(fp) / f64::from(probes);
+        assert!(rate < 0.02, "measured fp rate {rate} should be ~1%");
+        // And the paper's sizing really is ~10 bits/key.
+        let bits_per_key = f.params().bits as f64 / f64::from(n);
+        assert!((9.0..11.0).contains(&bits_per_key), "{bits_per_key} bits/key");
+    }
+
+    #[test]
+    fn ten_bits_per_key_sizing() {
+        let p = BloomParams::for_bits_per_key(1_000_000, 10);
+        assert_eq!(p.bits, 10_000_000);
+        assert_eq!(p.k, 7); // 10·ln2 ≈ 6.93
+        let predicted = p.predicted_fp_rate(1_000_000);
+        assert!(predicted < 0.011, "10 bits/key predicts ~1%: {predicted}");
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::with_capacity(100);
+        for i in 0..1000u32 {
+            assert!(!f.contains(&i.to_le_bytes()));
+        }
+        assert_eq!(f.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut f = BloomFilter::with_capacity(500);
+        for i in 0..500u32 {
+            f.insert(&i.to_be_bytes());
+        }
+        let bytes = f.to_bytes();
+        let g = BloomFilter::from_bytes(&bytes).expect("valid encoding");
+        assert_eq!(g.params(), f.params());
+        assert_eq!(g.inserted(), 500);
+        for i in 0..500u32 {
+            assert!(g.contains(&i.to_be_bytes()));
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert!(BloomFilter::from_bytes(&[]).is_none());
+        assert!(BloomFilter::from_bytes(&[0u8; 19]).is_none());
+        let mut f = BloomFilter::with_capacity(10).to_bytes();
+        f.truncate(f.len() - 1);
+        assert!(BloomFilter::from_bytes(&f).is_none());
+    }
+
+    #[test]
+    fn atomic_matches_plain() {
+        let params = BloomParams::for_fp_rate(1000, 0.01);
+        let mut plain = BloomFilter::new(params);
+        let atomic = AtomicBloom::new(params);
+        for i in 0..1000u32 {
+            plain.insert(&i.to_le_bytes());
+            atomic.insert(&i.to_le_bytes());
+        }
+        for i in 0..4000u32 {
+            let key = i.to_le_bytes();
+            assert_eq!(plain.contains(&key), atomic.contains(&key), "key {i}");
+        }
+        let snap = atomic.to_filter();
+        assert_eq!(snap.to_bytes(), plain.to_bytes());
+    }
+
+    #[test]
+    fn atomic_concurrent_inserts_never_lose_keys() {
+        use std::sync::Arc;
+        let f = Arc::new(AtomicBloom::with_capacity(40_000));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let f = f.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u32 {
+                    f.insert(&(t * 10_000 + i).to_le_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..40_000u32 {
+            assert!(f.contains(&i.to_le_bytes()), "key {i} lost under concurrency");
+        }
+    }
+
+    #[test]
+    fn appendix_a_overhead_budget() {
+        // Appendix A: "Our Bloom filters consume 1.25 bytes per key".
+        let p = BloomParams::for_bits_per_key(1_000_000, 10);
+        assert_eq!(p.bytes(), 1_250_000);
+    }
+
+    #[test]
+    fn params_invalid_fp_rate_panics() {
+        let r = std::panic::catch_unwind(|| BloomParams::for_fp_rate(100, 0.0));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| BloomParams::for_fp_rate(100, 1.0));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! The paper's merge progress estimators (§4.1).
+//!
+//! ```text
+//! inprogress_i  = bytes read by merge_i / (|C'_{i-1}| + |C_i|)
+//! outprogress_i = (inprogress_i + floor(|C_i| / |RAM|_i)) / ceil(R)
+//! ```
+//!
+//! The crucial property is *smoothness*: "any merge activity increases it,
+//! and, within a single merge, the cost (in bytes transferred) of
+//! increasing inprogress by a fixed amount will never vary by more than a
+//! small constant factor." We therefore measure progress in input bytes
+//! *consumed*, never in keys emitted or output bytes written — runs of
+//! deletions or disjoint key ranges advance it just the same, which is
+//! exactly the "stuck estimator" failure §4.1 warns about.
+
+/// Progress of one running merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MergeProgress {
+    /// Input bytes consumed so far (both inputs combined).
+    pub bytes_read: u64,
+    /// Total input bytes at merge start: `|C'_{i-1}| + |C_i|`.
+    pub input_total: u64,
+}
+
+impl MergeProgress {
+    /// `inprogress` ∈ [0, 1]: fraction of the merge's input consumed.
+    pub fn inprogress(&self) -> f64 {
+        if self.input_total == 0 {
+            1.0
+        } else {
+            (self.bytes_read as f64 / self.input_total as f64).min(1.0)
+        }
+    }
+}
+
+/// `outprogress_i` — how close component `i` is to needing a merge with
+/// its downstream neighbour (§4.1). `ci_bytes` is the *current* size of
+/// `C_i`, `ram` the per-level RAM unit `|RAM|_i`, and `r_ceil` the
+/// ceiling of the size ratio `R`.
+///
+/// "The floor term is the computation one uses to determine what hour is
+/// being displayed by an analog clock": each completed upstream merge
+/// bumps `|C_i|` by about one RAM unit, and after `ceil(R)` such merges
+/// the component is full and `outprogress` reaches one.
+pub fn outprogress(inprogress: f64, ci_bytes: u64, ram: u64, r_ceil: u64) -> f64 {
+    let fills = (ci_bytes / ram.max(1)) as f64;
+    ((inprogress + fills) / r_ceil.max(1) as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inprogress_tracks_bytes() {
+        let mut p = MergeProgress { bytes_read: 0, input_total: 1000 };
+        assert_eq!(p.inprogress(), 0.0);
+        p.bytes_read = 250;
+        assert_eq!(p.inprogress(), 0.25);
+        p.bytes_read = 2000; // over-read clamps
+        assert_eq!(p.inprogress(), 1.0);
+    }
+
+    #[test]
+    fn empty_input_counts_as_done() {
+        let p = MergeProgress { bytes_read: 0, input_total: 0 };
+        assert_eq!(p.inprogress(), 1.0);
+    }
+
+    #[test]
+    fn inprogress_is_smooth_in_bytes() {
+        // Fixed increments of bytes_read produce fixed increments of
+        // inprogress — the smoothness property §4.1 demands.
+        let total = 10_000u64;
+        let mut last = 0.0;
+        for step in 1..=10 {
+            let p = MergeProgress { bytes_read: step * 1000, input_total: total };
+            let delta = p.inprogress() - last;
+            assert!((delta - 0.1).abs() < 1e-9);
+            last = p.inprogress();
+        }
+    }
+
+    #[test]
+    fn outprogress_clock_analogy() {
+        let ram = 100u64;
+        let r_ceil = 4u64;
+        // Fresh C1, merge half done: outprogress = 0.5/4.
+        assert!((outprogress(0.5, 0, ram, r_ceil) - 0.125).abs() < 1e-9);
+        // C1 holds 3 RAM units, merge half done: (0.5+3)/4.
+        assert!((outprogress(0.5, 300, ram, r_ceil) - 0.875).abs() < 1e-9);
+        // C1 holds R fills: pinned at 1 (a downstream merge is due).
+        assert_eq!(outprogress(0.9, 400, ram, r_ceil), 1.0);
+    }
+
+    #[test]
+    fn outprogress_reaches_one_exactly_before_trigger() {
+        // §4.1: "outprogress ranges from zero to one, and ... is set to one
+        // immediately before a new merge is triggered."
+        let ram = 100u64;
+        let r_ceil = 4u64;
+        let almost = outprogress(1.0, 300, ram, r_ceil);
+        assert_eq!(almost, 1.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Engine-level counters backing the paper's metrics (§2.1).
+
+/// Counters maintained by [`crate::BLsmTree`]. Device-level seek and byte
+/// counts live in `blsm_storage::DeviceStats`; these add the engine-side
+/// breakdown (bloom effectiveness, merge volume, stall behaviour).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Application point lookups.
+    pub gets: u64,
+    /// Application writes (put/delete/delta).
+    pub writes: u64,
+    /// Application scans.
+    pub scans: u64,
+    /// `insert_if_not_exists` calls.
+    pub check_inserts: u64,
+    /// On-disk component probes actually performed (post-bloom).
+    pub disk_probes: u64,
+    /// Component probes skipped because a Bloom filter said "absent".
+    pub bloom_skips: u64,
+    /// Reads that terminated at a base record before exhausting components.
+    pub early_terminations: u64,
+    /// Bytes of user data written by the application.
+    pub user_bytes_written: u64,
+    /// Input bytes consumed by merges (both levels).
+    pub merge_bytes_consumed: u64,
+    /// `C0:C1` merge passes completed.
+    pub merges01: u64,
+    /// `C1':C2` merges completed.
+    pub merges12: u64,
+    /// Writes that hit the hard `C0` cap and had to run forced merge work.
+    pub forced_stalls: u64,
+}
+
+impl TreeStats {
+    /// Mean disk probes per get — the measured read amplification
+    /// numerator (§2.1 measures it in seeks).
+    pub fn probes_per_get(&self) -> f64 {
+        if self.gets == 0 {
+            0.0
+        } else {
+            self.disk_probes as f64 / self.gets as f64
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Background merge-thread driver.
+//!
+//! The paper's implementation runs merges on dedicated threads (§4.4.1);
+//! our engine exposes merges as an incremental state machine so the
+//! simulated-device experiments stay deterministic. [`ThreadedBLsm`] puts
+//! the thread back for real deployments: a merge thread repeatedly asks
+//! the engine for maintenance work, backing off when there is none, while
+//! application threads share the tree through a mutex.
+//!
+//! §4.4.1 notes the concurrency pitfalls of merge threads ("it is
+//! prohibitively expensive to acquire a coarse-grained mutex for each
+//! merged tuple or page ... each merge thread must take action based upon
+//! stale statistics"). We keep the locking coarse but *short*: the merge
+//! thread acquires the lock once per bounded work quantum, so application
+//! operations interleave between quanta — the same backpressure shape as
+//! the cooperative driver, with bounded lock hold times instead of
+//! per-tuple locking.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use blsm_storage::Result;
+
+use crate::tree::BLsmTree;
+
+struct Shared {
+    tree: Mutex<BLsmTree>,
+    /// Signalled by writers when merge work may be pending.
+    work_cv: Condvar,
+    work_pending: Mutex<bool>,
+    shutdown: AtomicBool,
+}
+
+/// A [`BLsmTree`] with a background merge thread.
+pub struct ThreadedBLsm {
+    /// `Some` until `shutdown` hands the tree back.
+    shared: Option<Arc<Shared>>,
+    merge_thread: Option<std::thread::JoinHandle<()>>,
+    /// Merge input bytes processed per lock acquisition.
+    quantum: u64,
+}
+
+impl ThreadedBLsm {
+    /// Wraps a tree and starts the merge thread. `quantum` bounds merge
+    /// bytes processed per lock hold (and therefore the time any
+    /// application operation can wait behind the merge thread).
+    pub fn start(tree: BLsmTree, quantum: u64) -> ThreadedBLsm {
+        let shared = Arc::new(Shared {
+            tree: Mutex::new(tree),
+            work_cv: Condvar::new(),
+            work_pending: Mutex::new(true),
+            shutdown: AtomicBool::new(false),
+        });
+        let thread_shared = shared.clone();
+        let merge_thread = std::thread::Builder::new()
+            .name("blsm-merge".into())
+            .spawn(move || merge_loop(&thread_shared, quantum.max(64 << 10)))
+            .expect("spawn merge thread");
+        ThreadedBLsm { shared: Some(shared), merge_thread: Some(merge_thread), quantum }
+    }
+
+    fn shared(&self) -> &Arc<Shared> {
+        self.shared.as_ref().expect("tree not shut down")
+    }
+
+    /// Runs `f` with exclusive access to the tree, then nudges the merge
+    /// thread (writes may have created work).
+    pub fn with_tree<T>(&self, f: impl FnOnce(&mut BLsmTree) -> T) -> T {
+        let out = {
+            let mut tree = self.shared().tree.lock();
+            f(&mut tree)
+        };
+        self.kick();
+        out
+    }
+
+    /// Wakes the merge thread.
+    fn kick(&self) {
+        let shared = self.shared();
+        let mut pending = shared.work_pending.lock();
+        *pending = true;
+        shared.work_cv.notify_one();
+    }
+
+    /// Convenience: blind write.
+    pub fn put(&self, key: impl Into<bytes::Bytes>, value: impl Into<bytes::Bytes>) -> Result<()> {
+        let (key, value) = (key.into(), value.into());
+        self.with_tree(|t| t.put(key, value))
+    }
+
+    /// Convenience: point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<bytes::Bytes>> {
+        self.with_tree(|t| t.get(key))
+    }
+
+    /// Convenience: delete.
+    pub fn delete(&self, key: impl Into<bytes::Bytes>) -> Result<()> {
+        let key = key.into();
+        self.with_tree(|t| t.delete(key))
+    }
+
+    /// Bound on merge bytes per lock hold.
+    pub fn quantum(&self) -> u64 {
+        self.quantum
+    }
+
+    /// Stops the merge thread, completes all pending merges, and returns
+    /// the tree.
+    pub fn shutdown(mut self) -> Result<BLsmTree> {
+        self.stop_thread();
+        let shared = self.shared.take().expect("tree not shut down");
+        let shared = Arc::try_unwrap(shared)
+            .unwrap_or_else(|_| panic!("merge thread still holds the tree"));
+        let mut tree = shared.tree.into_inner();
+        tree.checkpoint()?;
+        Ok(tree)
+    }
+
+    fn stop_thread(&mut self) {
+        let Some(shared) = self.shared.as_ref() else { return };
+        shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let mut pending = shared.work_pending.lock();
+            *pending = true;
+            shared.work_cv.notify_one();
+        }
+        if let Some(h) = self.merge_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ThreadedBLsm {
+    fn drop(&mut self) {
+        if self.merge_thread.is_some() {
+            self.stop_thread();
+        }
+    }
+}
+
+fn merge_loop(shared: &Arc<Shared>, quantum: u64) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Bounded work under the lock.
+        let had_work = {
+            let mut tree = shared.tree.lock();
+            let active_before = tree.merges_active();
+            let _ = tree.maintenance(quantum);
+            let active_after = tree.merges_active();
+            active_before.0 || active_before.1 || active_after.0 || active_after.1
+        };
+        if had_work {
+            // Yield briefly so application threads can take the lock.
+            std::thread::yield_now();
+            continue;
+        }
+        // No work: sleep until a writer kicks us (or a timeout, so paced
+        // schedulers still make progress on idle trees).
+        let mut pending = shared.work_pending.lock();
+        if !*pending {
+            shared
+                .work_cv
+                .wait_for(&mut pending, Duration::from_millis(10));
+        }
+        *pending = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BLsmConfig;
+    use blsm_memtable::AppendOperator;
+    use blsm_storage::{MemDevice, SharedDevice};
+    use bytes::Bytes;
+
+    fn new_threaded() -> ThreadedBLsm {
+        let data: SharedDevice = Arc::new(MemDevice::new());
+        let wal: SharedDevice = Arc::new(MemDevice::new());
+        let tree = BLsmTree::open(
+            data,
+            wal,
+            1024,
+            BLsmConfig { mem_budget: 64 << 10, ..Default::default() },
+            Arc::new(AppendOperator),
+        )
+        .unwrap();
+        ThreadedBLsm::start(tree, 1 << 20)
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let db = Arc::new(new_threaded());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000u32 {
+                    let id = t * 10_000 + i;
+                    db.put(
+                        format!("user{id:08}").into_bytes(),
+                        Bytes::from(vec![t as u8; 64]),
+                    )
+                    .unwrap();
+                    if i % 64 == 0 {
+                        // Read-your-writes.
+                        let v = db.get(format!("user{id:08}").as_bytes()).unwrap();
+                        assert_eq!(v.unwrap(), Bytes::from(vec![t as u8; 64]));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // The background thread must have driven merges.
+        let stats = db.with_tree(|t| t.stats());
+        assert!(stats.merges01 > 0, "merge thread never merged");
+        for t in 0..4u32 {
+            for i in (0..2_000u32).step_by(191) {
+                let id = t * 10_000 + i;
+                let v = db.get(format!("user{id:08}").as_bytes()).unwrap();
+                assert_eq!(v.unwrap(), Bytes::from(vec![t as u8; 64]), "id {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn shutdown_returns_settled_tree() {
+        let db = new_threaded();
+        for i in 0..3_000u32 {
+            db.put(format!("k{i:06}").into_bytes(), Bytes::from_static(b"v")).unwrap();
+        }
+        let mut tree = db.shutdown().unwrap();
+        assert!(tree.c0_bytes() == 0, "shutdown must checkpoint");
+        assert_eq!(
+            tree.get(b"k002999").unwrap().unwrap(),
+            Bytes::from_static(b"v")
+        );
+    }
+
+    #[test]
+    fn idle_merge_progress_without_writes() {
+        let db = new_threaded();
+        for i in 0..3_000u32 {
+            db.put(format!("k{i:06}").into_bytes(), Bytes::from(vec![0u8; 64])).unwrap();
+        }
+        // Stop writing; the merge thread should drain pending merges on
+        // its own within its timeout loop.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let (m01, m12) = db.with_tree(|t| t.merges_active());
+            if !m01 && !m12 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background merges never finished"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}

@@ -1,0 +1,1479 @@
+//! The bLSM tree engine.
+//!
+//! Three levels (`C0` in RAM, `C1`/`C1'`/`C2` on disk, Figure 1), Bloom
+//! filters on every disk component, early-terminating reads, snowshoveling,
+//! incremental merges paced by a pluggable level scheduler, a logical log,
+//! and manifest-based crash recovery.
+//!
+//! Merges run *cooperatively*: each application write asks the scheduler
+//! for a [`WorkPlan`](crate::WorkPlan) and performs that much merge work
+//! inline before inserting. This makes pacing deterministic (essential for
+//! the simulated-device experiments) while remaining faithful to the
+//! paper's semantics — the scheduler decides exactly when merge I/O
+//! happens relative to application writes, which is all that matters for
+//! latency and throughput. `maintenance` exposes the same state machine
+//! for background/idle driving.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use blsm_memtable::{
+    merge_versions, Entry, MergeOperator, SnowshovelBuffer, Versioned,
+};
+use blsm_sstable::{EntryRef, EntryStream, MergeIter, ReadMode, Sstable, SstableBuilder};
+use blsm_storage::codec::{self, Reader};
+use blsm_storage::manifest::{ManifestStore, DEFAULT_SLOT_PAGES};
+use blsm_storage::page::PAGE_PAYLOAD_LEN;
+use blsm_storage::{
+    BufferPool, Lsn, Region, RegionAllocator, Result, SharedDevice, StorageError, Wal,
+    PAGE_SIZE,
+};
+
+use crate::config::{BLsmConfig, Durability};
+use crate::meta::{ComponentSlot, TreeMeta};
+use crate::progress::MergeProgress;
+use crate::sched::{make_scheduler, MergeScheduler, SchedInputs};
+use crate::stats::TreeStats;
+
+/// One row returned by a scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanItem {
+    /// The key.
+    pub key: Bytes,
+    /// The fully resolved value (deltas folded, tombstones elided).
+    pub value: Bytes,
+}
+
+/// Wraps an owned sstable iterator, counting consumed input bytes so the
+/// merge's `inprogress` estimator stays smooth (§4.1).
+struct CountingStream {
+    inner: blsm_sstable::SstIterator,
+    counter: Arc<AtomicU64>,
+}
+
+impl Iterator for CountingStream {
+    type Item = Result<EntryRef>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next();
+        if let Some(Ok(e)) = &item {
+            let cost = (e.key.len() + e.version.entry.payload_len()) as u64;
+            self.counter.fetch_add(cost, Ordering::Relaxed);
+        }
+        item
+    }
+}
+
+/// State of a running `C0:C1` merge.
+struct Merge01 {
+    builder: SstableBuilder,
+    /// Region as allocated (the unused tail is freed at completion).
+    full_region: Region,
+    /// Old `C1` input stream (None when there was no `C1`).
+    c1_stream: Option<std::iter::Peekable<CountingStream>>,
+    c1_consumed: Arc<AtomicU64>,
+    /// `|C0'| + |C1|` at pass start.
+    input_total: u64,
+    /// `|C0'|` at pass start (spring-and-gear rate denominator).
+    c0_input: u64,
+    /// Output becomes the largest component (affects tombstone handling).
+    bottom: bool,
+    /// Log position at pass start — the truncation point on completion.
+    pass_start_lsn: Lsn,
+    /// Stop draining `C0` once the output exceeds this many data bytes.
+    run_cap_bytes: u64,
+    /// Set when the run cap fired; `C0` entries stay for the next pass.
+    c0_capped: bool,
+}
+
+/// State of a running `C1':C2` merge.
+struct Merge12 {
+    builder: SstableBuilder,
+    full_region: Region,
+    iter: MergeIter<'static>,
+    consumed: Arc<AtomicU64>,
+    input_total: u64,
+}
+
+/// A general purpose log structured merge tree (the paper's system).
+pub struct BLsmTree {
+    config: BLsmConfig,
+    op: Arc<dyn MergeOperator>,
+    pool: Arc<BufferPool>,
+    allocator: RegionAllocator,
+    manifest: ManifestStore,
+    wal: Option<Wal>,
+    scheduler: Box<dyn MergeScheduler>,
+    c0: SnowshovelBuffer,
+    c1: Option<Arc<Sstable>>,
+    c1_prime: Option<Arc<Sstable>>,
+    c2: Option<Arc<Sstable>>,
+    merge01: Option<Merge01>,
+    merge12: Option<Merge12>,
+    next_seqno: u64,
+    /// Current level size ratio (recomputed after merges unless pinned).
+    r: f64,
+    stats: TreeStats,
+    /// True when the last completed pass left entries in `C0` (suppresses
+    /// log truncation for that pass).
+    last_pass_had_leftover: bool,
+}
+
+impl BLsmTree {
+    /// Opens (or creates) a tree on `data_dev`, with the logical log on
+    /// `wal_dev` — the paper expects logs on dedicated hardware (§5.1).
+    /// `pool_pages` is the buffer-cache budget in 4 KiB pages.
+    pub fn open(
+        data_dev: SharedDevice,
+        wal_dev: SharedDevice,
+        pool_pages: usize,
+        config: BLsmConfig,
+        op: Arc<dyn MergeOperator>,
+    ) -> Result<BLsmTree> {
+        let config = config.validated();
+        let pool = Arc::new(BufferPool::new(data_dev, pool_pages));
+        let (manifest, payload) = ManifestStore::open(pool.device().clone(), DEFAULT_SLOT_PAGES)?;
+
+        let mut c1 = None;
+        let mut c1_prime = None;
+        let mut c2 = None;
+        let (allocator, wal_head, mut next_seqno) = match payload {
+            Some(bytes) => {
+                let meta = TreeMeta::decode(&bytes)?;
+                for (slot, region) in &meta.components {
+                    let table = Arc::new(Sstable::open(pool.clone(), *region)?);
+                    match slot {
+                        ComponentSlot::C1 => c1 = Some(table),
+                        ComponentSlot::C1Prime => c1_prime = Some(table),
+                        ComponentSlot::C2 => c2 = Some(table),
+                    }
+                }
+                (meta.allocator, meta.wal_head, meta.next_seqno)
+            }
+            None => (RegionAllocator::new(manifest.first_free_page()), 0, 1),
+        };
+
+        let scheduler = make_scheduler(&config);
+        let mut tree = BLsmTree {
+            op,
+            pool,
+            allocator,
+            manifest,
+            wal: None,
+            scheduler,
+            c0: SnowshovelBuffer::new(),
+            c1,
+            c1_prime,
+            c2,
+            merge01: None,
+            merge12: None,
+            next_seqno,
+            r: config.r.unwrap_or(4.0),
+            stats: TreeStats::default(),
+            last_pass_had_leftover: false,
+            config,
+        };
+
+        // Replay the logical log into C0 (§4.4.2). Each record is checked
+        // against the recovered components: snowshoveling delays log
+        // truncation, so the live log window can contain records whose
+        // effects already reached C1 — those are skipped by sequence
+        // number, keeping replay exactly-once even for deltas.
+        if tree.config.durability != Durability::None {
+            let (records, tail) = blsm_storage::wal::replay(
+                &wal_dev,
+                tree.config.wal_capacity,
+                wal_head,
+            );
+            for rec in records {
+                let (key, v) = decode_wal_record(&rec.payload)?;
+                next_seqno = next_seqno.max(v.seqno + 1);
+                let durable = tree.disk_newest_seqno(&key)?;
+                if durable.is_some_and(|s| s >= v.seqno) {
+                    continue;
+                }
+                let op = tree.op.clone();
+                tree.c0.insert(key, v, op.as_ref());
+            }
+            tree.next_seqno = next_seqno;
+            tree.wal = Some(Wal::new(wal_dev, tree.config.wal_capacity, wal_head, tail));
+        }
+
+        // A crash mid-C1':C2 leaves C1' installed; restart its merge.
+        if tree.c1_prime.is_some() {
+            tree.start_merge12()?;
+        }
+        tree.recompute_r();
+        Ok(tree)
+    }
+
+    /// The tree's merge operator.
+    pub fn operator(&self) -> &Arc<dyn MergeOperator> {
+        &self.op
+    }
+
+    /// The buffer pool (device access, cache statistics).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> TreeStats {
+        self.stats
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> &BLsmConfig {
+        &self.config
+    }
+
+    /// Current level size ratio `R`.
+    pub fn current_r(&self) -> f64 {
+        self.r
+    }
+
+    /// Bytes buffered in `C0`.
+    pub fn c0_bytes(&self) -> usize {
+        self.c0.approx_bytes()
+    }
+
+    /// Data bytes in each on-disk component `(C1, C1', C2)`.
+    pub fn component_bytes(&self) -> (u64, u64, u64) {
+        (
+            self.c1.as_ref().map_or(0, |c| c.data_bytes()),
+            self.c1_prime.as_ref().map_or(0, |c| c.data_bytes()),
+            self.c2.as_ref().map_or(0, |c| c.data_bytes()),
+        )
+    }
+
+    /// Total user data bytes across all levels (approximate).
+    pub fn total_data_bytes(&self) -> u64 {
+        let (a, b, c) = self.component_bytes();
+        a + b + c + self.c0.approx_bytes() as u64
+    }
+
+    /// RAM consumed by in-memory indexes and Bloom filters — the read
+    /// fanout denominator (§2.1).
+    pub fn index_ram_bytes(&self) -> usize {
+        let mut total = 0;
+        for c in [&self.c1, &self.c1_prime, &self.c2].into_iter().flatten() {
+            total += c.index_ram_bytes() + c.bloom().params().bytes();
+        }
+        total
+    }
+
+    // -----------------------------------------------------------------
+    // Write path
+    // -----------------------------------------------------------------
+
+    /// Inserts or overwrites (a *blind write* — zero seeks, Table 1).
+    pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> Result<()> {
+        self.write_entry(key.into(), Entry::Put(value.into()))
+    }
+
+    /// Deletes a key (zero seeks; a tombstone is merged down).
+    pub fn delete(&mut self, key: impl Into<Bytes>) -> Result<()> {
+        self.write_entry(key.into(), Entry::Tombstone)
+    }
+
+    /// Applies a delta blindly — the paper's zero-seek "apply delta to
+    /// record" primitive (Table 1, §2.3).
+    pub fn apply_delta(&mut self, key: impl Into<Bytes>, delta: impl Into<Bytes>) -> Result<()> {
+        self.write_entry(key.into(), Entry::Delta(delta.into()))
+    }
+
+    /// Read-modify-write: one seek for the read, zero for the write
+    /// (Table 1 row 2; the B-Tree pays two).
+    pub fn read_modify_write(
+        &mut self,
+        key: impl Into<Bytes>,
+        f: impl FnOnce(Option<&[u8]>) -> Option<Vec<u8>>,
+    ) -> Result<()> {
+        let key = key.into();
+        let old = self.get(&key)?;
+        match f(old.as_deref()) {
+            Some(new) => self.put(key, new),
+            None => self.delete(key),
+        }
+    }
+
+    /// The paper's zero-seek `insert if not exists` (§3.1.2): the Bloom
+    /// filter on the largest component makes the existence check free for
+    /// absent keys. Returns true if the insert happened.
+    pub fn insert_if_not_exists(
+        &mut self,
+        key: impl Into<Bytes>,
+        value: impl Into<Bytes>,
+    ) -> Result<bool> {
+        let key = key.into();
+        self.stats.check_inserts += 1;
+        if self.exists(&key)? {
+            return Ok(false);
+        }
+        self.write_entry(key, Entry::Put(value.into()))?;
+        Ok(true)
+    }
+
+    /// Existence check with early termination and Bloom short-circuits.
+    pub fn exists(&mut self, key: &[u8]) -> Result<bool> {
+        if let Some(v) = self.c0.get(key) {
+            return Ok(!matches!(v.entry, Entry::Tombstone));
+        }
+        for probe in self.probe_plan(key) {
+            if let Some(v) = self.run_probe(probe, key)? {
+                return Ok(!matches!(v.entry, Entry::Tombstone));
+            }
+        }
+        Ok(false)
+    }
+
+    fn write_entry(&mut self, key: Bytes, entry: Entry) -> Result<()> {
+        let incoming = (key.len() + entry.payload_len() + blsm_memtable::Memtable::new().approx_bytes().max(64)) as u64;
+        self.pace(incoming)?;
+        let seqno = self.next_seqno;
+        self.next_seqno += 1;
+        let v = Versioned { seqno, entry };
+        self.log_write(&key, &v)?;
+        self.stats.writes += 1;
+        self.stats.user_bytes_written += (key.len() + v.entry.payload_len()) as u64;
+        let op = self.op.clone();
+        self.c0.insert(key, v, op.as_ref());
+        Ok(())
+    }
+
+    fn log_write(&mut self, key: &Bytes, v: &Versioned) -> Result<()> {
+        let Some(wal) = &mut self.wal else {
+            return Ok(()); // degraded durability mode (§4.4.2)
+        };
+        let payload = encode_wal_record(key, v);
+        match wal.append(&payload) {
+            Ok(_) => {}
+            Err(StorageError::OutOfSpace { .. }) => {
+                // Ring full: checkpoint by completing the in-flight pass
+                // (which truncates), then retry once.
+                self.checkpoint()?;
+                self.wal
+                    .as_mut()
+                    .expect("wal present")
+                    .append(&payload)?;
+            }
+            Err(e) => return Err(e),
+        }
+        let wal = self.wal.as_mut().expect("wal present");
+        match self.config.durability {
+            Durability::Buffered => wal.flush()?,
+            Durability::Sync => wal.sync()?,
+            Durability::None => unreachable!(),
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Read path
+    // -----------------------------------------------------------------
+
+    /// Point lookup. Walks components newest→oldest, consults a Bloom
+    /// filter before every disk probe, folds deltas, and stops at the
+    /// first base record (§3.1, §3.1.1).
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>> {
+        self.stats.gets += 1;
+        let mut deltas: Vec<Bytes> = Vec::new();
+
+        let resolve_base =
+            |op: &dyn MergeOperator, base: Option<&[u8]>, deltas: &[Bytes]| -> Option<Bytes> {
+                if deltas.is_empty() {
+                    return base.map(Bytes::copy_from_slice);
+                }
+                let refs: Vec<&[u8]> = deltas.iter().map(|d| d.as_ref()).collect();
+                Some(Bytes::from(op.fold(base, &refs)))
+            };
+
+        if let Some(v) = self.c0.get(key) {
+            match &v.entry {
+                Entry::Put(b) => {
+                    self.stats.early_terminations += 1;
+                    return Ok(resolve_base(self.op.as_ref(), Some(b), &deltas));
+                }
+                Entry::Tombstone => return Ok(None),
+                Entry::Delta(d) => deltas.push(d.clone()),
+            }
+        }
+
+        for probe in self.probe_plan(key) {
+            let Some(v) = self.run_probe(probe, key)? else {
+                continue;
+            };
+            match v.entry {
+                Entry::Put(b) => {
+                    self.stats.early_terminations += 1;
+                    return Ok(resolve_base(self.op.as_ref(), Some(&b), &deltas));
+                }
+                Entry::Tombstone => {
+                    return Ok(resolve_base(self.op.as_ref(), None, &deltas)
+                        .filter(|_| !deltas.is_empty()));
+                }
+                Entry::Delta(d) => deltas.push(d),
+            }
+        }
+        if deltas.is_empty() {
+            Ok(None)
+        } else {
+            // Orphan deltas: apply against an absent base.
+            Ok(resolve_base(self.op.as_ref(), None, &deltas))
+        }
+    }
+
+    /// Which disk structures to probe for `key`, newest first, honouring
+    /// the in-flight merge cursors (Figure 1's "in progress" routing).
+    fn probe_plan(&self, key: &[u8]) -> Vec<Probe> {
+        let mut plan = Vec::with_capacity(3);
+        // Level 1: the merge output covers keys <= its cursor; the old C1
+        // covers the rest.
+        match &self.merge01 {
+            Some(m) if m.builder.last_key().is_some_and(|c| key <= c.as_ref()) => {
+                plan.push(Probe::Builder01);
+            }
+            _ => {
+                if self.c1.is_some() {
+                    plan.push(Probe::C1);
+                }
+            }
+        }
+        // Level 2: during a C1':C2 merge, keys <= cursor live in the new
+        // C2 builder (which already folded C1' and C2); the rest must
+        // probe C1' then old C2.
+        match &self.merge12 {
+            Some(m) if m.builder.last_key().is_some_and(|c| key <= c.as_ref()) => {
+                plan.push(Probe::Builder12);
+            }
+            _ => {
+                if self.c1_prime.is_some() {
+                    plan.push(Probe::C1Prime);
+                }
+                if self.c2.is_some() {
+                    plan.push(Probe::C2);
+                }
+            }
+        }
+        plan
+    }
+
+    fn run_probe(&mut self, probe: Probe, key: &[u8]) -> Result<Option<Versioned>> {
+        match probe {
+            Probe::Builder01 => {
+                let m = self.merge01.as_ref().expect("merge01 active");
+                let view = m.builder.view();
+                if !view.may_contain(key) {
+                    self.stats.bloom_skips += 1;
+                    return Ok(None);
+                }
+                self.stats.disk_probes += 1;
+                view.get(key)
+            }
+            Probe::Builder12 => {
+                let m = self.merge12.as_ref().expect("merge12 active");
+                let view = m.builder.view();
+                if !view.may_contain(key) {
+                    self.stats.bloom_skips += 1;
+                    return Ok(None);
+                }
+                self.stats.disk_probes += 1;
+                view.get(key)
+            }
+            Probe::C1 | Probe::C1Prime | Probe::C2 => {
+                let table = match probe {
+                    Probe::C1 => self.c1.as_ref(),
+                    Probe::C1Prime => self.c1_prime.as_ref(),
+                    Probe::C2 => self.c2.as_ref(),
+                    _ => unreachable!(),
+                }
+                .expect("probe plan checked presence")
+                .clone();
+                if !table.may_contain(key) {
+                    self.stats.bloom_skips += 1;
+                    return Ok(None);
+                }
+                self.stats.disk_probes += 1;
+                table.get(key)
+            }
+        }
+    }
+
+    /// Newest on-disk sequence number for `key` (recovery's replay check).
+    fn disk_newest_seqno(&mut self, key: &[u8]) -> Result<Option<u64>> {
+        for probe in self.probe_plan(key) {
+            if let Some(v) = self.run_probe(probe, key)? {
+                return Ok(Some(v.seqno));
+            }
+        }
+        Ok(None)
+    }
+
+    // -----------------------------------------------------------------
+    // Scans
+    // -----------------------------------------------------------------
+
+    /// Ordered scan: up to `limit` live rows with key ≥ `from`.
+    /// Touches every component once (§3.3's two/three-seek scans).
+    pub fn scan(&mut self, from: &[u8], limit: usize) -> Result<Vec<ScanItem>> {
+        self.stats.scans += 1;
+        self.scan_inner(from, None, limit)
+    }
+
+    /// Ordered scan of `[from, to)`, up to `limit` rows.
+    pub fn scan_range(&mut self, from: &[u8], to: &[u8], limit: usize) -> Result<Vec<ScanItem>> {
+        self.stats.scans += 1;
+        self.scan_inner(from, Some(to), limit)
+    }
+
+    fn scan_inner(
+        &mut self,
+        from: &[u8],
+        to: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<ScanItem>> {
+        let mut streams: Vec<EntryStream<'_>> = Vec::with_capacity(6);
+        // C0 (freshest).
+        streams.push(Box::new(self.c0.range_from(from).map(|(k, v)| {
+            Ok(EntryRef { key: k.clone(), version: v.clone() })
+        })));
+        // Level 1.
+        if let Some(m) = &self.merge01 {
+            let cursor = m.builder.last_key().cloned();
+            if let Some(cursor) = cursor {
+                let c = cursor.clone();
+                streams.push(Box::new(
+                    m.builder
+                        .view()
+                        .iter_from(from)
+                        .take_while(move |r| r.as_ref().map_or(true, |e| e.key <= c)),
+                ));
+                if let Some(c1) = &self.c1 {
+                    let c = cursor;
+                    streams.push(Box::new(
+                        c1.iter_from(from, ReadMode::Pooled)
+                            .filter(move |r| r.as_ref().map_or(true, |e| e.key > c)),
+                    ));
+                }
+            } else if let Some(c1) = &self.c1 {
+                streams.push(Box::new(c1.iter_from(from, ReadMode::Pooled)));
+            }
+        } else if let Some(c1) = &self.c1 {
+            streams.push(Box::new(c1.iter_from(from, ReadMode::Pooled)));
+        }
+        // Level 2.
+        if let Some(m) = &self.merge12 {
+            let cursor = m.builder.last_key().cloned();
+            if let Some(cursor) = cursor {
+                let c = cursor.clone();
+                streams.push(Box::new(
+                    m.builder
+                        .view()
+                        .iter_from(from)
+                        .take_while(move |r| r.as_ref().map_or(true, |e| e.key <= c)),
+                ));
+                let c_a = cursor.clone();
+                if let Some(c1p) = &self.c1_prime {
+                    streams.push(Box::new(
+                        c1p.iter_from(from, ReadMode::Pooled)
+                            .filter(move |r| r.as_ref().map_or(true, |e| e.key > c_a)),
+                    ));
+                }
+                let c_b = cursor;
+                if let Some(c2) = &self.c2 {
+                    streams.push(Box::new(
+                        c2.iter_from(from, ReadMode::Pooled)
+                            .filter(move |r| r.as_ref().map_or(true, |e| e.key > c_b)),
+                    ));
+                }
+            } else {
+                if let Some(c1p) = &self.c1_prime {
+                    streams.push(Box::new(c1p.iter_from(from, ReadMode::Pooled)));
+                }
+                if let Some(c2) = &self.c2 {
+                    streams.push(Box::new(c2.iter_from(from, ReadMode::Pooled)));
+                }
+            }
+        } else {
+            if let Some(c1p) = &self.c1_prime {
+                streams.push(Box::new(c1p.iter_from(from, ReadMode::Pooled)));
+            }
+            if let Some(c2) = &self.c2 {
+                streams.push(Box::new(c2.iter_from(from, ReadMode::Pooled)));
+            }
+        }
+
+        let merged = MergeIter::new(streams, self.op.clone(), true);
+        let mut out = Vec::with_capacity(limit);
+        for item in merged {
+            let e = item?;
+            if let Some(to) = to {
+                if e.key.as_ref() >= to {
+                    break;
+                }
+            }
+            if let Entry::Put(value) = e.version.entry {
+                out.push(ScanItem { key: e.key, value });
+                if out.len() >= limit {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // -----------------------------------------------------------------
+    // Merge machinery
+    // -----------------------------------------------------------------
+
+    fn sched_inputs(&self, incoming: u64) -> SchedInputs {
+        let filling = if matches!(
+            self.c0.pass(),
+            blsm_memtable::PassKind::Frozen | blsm_memtable::PassKind::Snowshovel { .. }
+        ) {
+            self.c0.behind_bytes() as u64
+        } else {
+            self.c0.approx_bytes() as u64
+        };
+        SchedInputs {
+            c0_bytes: if self.config.snowshovel {
+                self.c0.approx_bytes() as u64
+            } else {
+                filling
+            },
+            c0_fill: self.config.c0_fill_bytes() as u64,
+            c0_cap: self.config.mem_budget as u64,
+            incoming,
+            m01: self.merge01.as_ref().map(|m| MergeProgress {
+                bytes_read: self.c0.drained_bytes() as u64
+                    + m.c1_consumed.load(Ordering::Relaxed),
+                input_total: m.input_total,
+            }),
+            m01_c0_input: self.merge01.as_ref().map_or(1, |m| m.c0_input.max(1)),
+            m12: self.merge12.as_ref().map(|m| MergeProgress {
+                bytes_read: m.consumed.load(Ordering::Relaxed),
+                input_total: m.input_total,
+            }),
+            c1_bytes: self.c1.as_ref().map_or(0, |c| c.data_bytes()),
+            r_ceil: self.r.ceil() as u64,
+        }
+    }
+
+    /// Pre-write pacing: start merges, run planned work, enforce the hard
+    /// cap. This is where the paper's write-latency bound comes from.
+    fn pace(&mut self, incoming: u64) -> Result<()> {
+        if !self.config.external_pacing {
+            if self.merge01.is_none()
+                && !self.c0.is_empty()
+                && self
+                    .scheduler
+                    .should_start_merge01(&self.sched_inputs(incoming))
+            {
+                self.start_merge01()?;
+            }
+
+            let plan = self.scheduler.plan(&self.sched_inputs(incoming));
+            if plan.merge01_bytes > 0 {
+                self.run_merge01(plan.merge01_bytes.min(self.config.work_quantum))?;
+            }
+            if plan.merge12_bytes > 0 {
+                self.run_merge12(plan.merge12_bytes.min(self.config.work_quantum))?;
+            }
+        }
+
+        // Hard cap: C0 must never exceed the memory budget. A paced
+        // scheduler rarely lands here; the naive scheduler lives here.
+        let mut stalled = false;
+        while self.c0.approx_bytes() as u64 + incoming > self.config.mem_budget as u64 {
+            if !stalled {
+                self.stats.forced_stalls += 1;
+                stalled = true;
+            }
+            if self.merge01.is_none() {
+                if self.c0.is_empty() {
+                    break;
+                }
+                self.start_merge01()?;
+            }
+            self.run_merge01(self.config.work_quantum.max(1 << 20))?;
+        }
+        Ok(())
+    }
+
+    /// Estimates a generous region for a merge output. Leaf packing can
+    /// waste up to half a page when entries are large (a leaf seals when
+    /// the next entry does not fit), so data pages are budgeted at a 50%
+    /// worst-case fill; the unused tail is freed after the merge.
+    fn merge_region_pages(est_bytes: u64, est_entries: u64, factor: f64) -> u64 {
+        let payload = PAGE_PAYLOAD_LEN as u64;
+        let encoded = est_bytes + est_entries * 24;
+        let data_pages = (encoded as f64 * factor * 2.0 / payload as f64).ceil() as u64 + 8;
+        let index_pages = ((est_entries as f64 * factor) as u64) / 32 + 4;
+        let bloom_pages = ((est_entries as f64 * factor) as u64 * 2) / payload + 4;
+        data_pages + index_pages + bloom_pages + 16
+    }
+
+    fn start_merge01(&mut self) -> Result<()> {
+        assert!(self.merge01.is_none());
+        self.c0.begin_pass(self.config.snowshovel);
+        let c0_input = self.c0.pass_start_bytes() as u64;
+        let c1_data = self.c1.as_ref().map_or(0, |c| c.data_bytes());
+        let c1_entries = self.c1.as_ref().map_or(0, |c| c.entry_count());
+        let est_bytes = c0_input + c1_data;
+        let est_entries = self.c0.len() as u64 + c1_entries + 16;
+        let factor = self.config.run_length_cap.max(1.0) + 0.5;
+        let pages = Self::merge_region_pages(est_bytes, est_entries, factor);
+        let region = self.allocator.alloc(pages);
+        let builder = SstableBuilder::new(
+            self.pool.clone(),
+            region,
+            (est_entries as f64 * factor) as u64 + 16,
+        );
+        let c1_consumed = Arc::new(AtomicU64::new(0));
+        let c1_stream = self.c1.as_ref().map(|c| {
+            CountingStream {
+                inner: c.iter(ReadMode::Buffered(64)),
+                counter: c1_consumed.clone(),
+            }
+            .peekable()
+        });
+        let bottom = self.c2.is_none() && self.c1_prime.is_none();
+        let pass_start_lsn = self.wal.as_ref().map_or(0, |w| w.tail_lsn());
+        self.merge01 = Some(Merge01 {
+            builder,
+            full_region: region,
+            c1_stream,
+            c1_consumed,
+            input_total: est_bytes.max(1),
+            c0_input: c0_input.max(1),
+            bottom,
+            pass_start_lsn,
+            run_cap_bytes: ((est_bytes as f64) * self.config.run_length_cap) as u64 + 4096,
+            c0_capped: false,
+        });
+        Ok(())
+    }
+
+    /// Consumes up to `budget` input bytes of `C0:C1` merge work.
+    fn run_merge01(&mut self, budget: u64) -> Result<()> {
+        if self.merge01.is_none() {
+            return Ok(());
+        }
+        let start_consumed = self.merge01_consumed();
+        loop {
+            if self.merge01_consumed() - start_consumed >= budget {
+                return Ok(());
+            }
+            let m = self.merge01.as_mut().expect("checked above");
+            // Run-length cap (§4.2: sorted input would otherwise extend the
+            // pass forever).
+            if !m.c0_capped && m.builder.data_bytes() >= m.run_cap_bytes {
+                m.c0_capped = true;
+            }
+            let c0_key = if m.c0_capped {
+                None
+            } else {
+                self.c0.peek_drain().cloned()
+            };
+            let c1_key = match m.c1_stream.as_mut().and_then(|s| s.peek()) {
+                Some(Ok(e)) => Some(e.key.clone()),
+                Some(Err(_)) => {
+                    let err = m
+                        .c1_stream
+                        .as_mut()
+                        .expect("stream present")
+                        .next()
+                        .expect("peeked")
+                        .unwrap_err();
+                    return Err(err);
+                }
+                None => None,
+            };
+            match (c0_key, c1_key) {
+                (None, None) => {
+                    self.finish_merge01()?;
+                    return Ok(());
+                }
+                (Some(k0), Some(k1)) if k0 == k1 => {
+                    let (_, v0) = self.c0.drain_next().expect("peeked");
+                    let e1 = m
+                        .c1_stream
+                        .as_mut()
+                        .expect("stream present")
+                        .next()
+                        .expect("peeked")?;
+                    if let Some(v) = merge_versions(self.op.as_ref(), &[v0, e1.version], m.bottom)
+                    {
+                        self.stats.merge_bytes_consumed +=
+                            (k0.len() + v.entry.payload_len()) as u64;
+                        m.builder.add(&k0, &v)?;
+                    }
+                }
+                (Some(k0), c1k) if c1k.as_ref().is_none_or(|k1| k0 < *k1) => {
+                    let (k, v0) = self.c0.drain_next().expect("peeked");
+                    if let Some(v) = merge_versions(self.op.as_ref(), &[v0], m.bottom) {
+                        self.stats.merge_bytes_consumed +=
+                            (k.len() + v.entry.payload_len()) as u64;
+                        m.builder.add(&k, &v)?;
+                    }
+                }
+                (_, Some(_)) => {
+                    let e1 = m
+                        .c1_stream
+                        .as_mut()
+                        .expect("stream present")
+                        .next()
+                        .expect("peeked")?;
+                    // The merge output cursor moved past e1.key: inserts at
+                    // or below it must defer to the next pass (§4.2).
+                    self.c0.advance_cursor(&e1.key);
+                    if let Some(v) =
+                        merge_versions(self.op.as_ref(), &[e1.version], m.bottom)
+                    {
+                        self.stats.merge_bytes_consumed +=
+                            (e1.key.len() + v.entry.payload_len()) as u64;
+                        m.builder.add(&e1.key, &v)?;
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn merge01_consumed(&self) -> u64 {
+        match &self.merge01 {
+            Some(m) => self.c0.drained_bytes() as u64 + m.c1_consumed.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    fn finish_merge01(&mut self) -> Result<()> {
+        let m = self.merge01.take().expect("merge01 active");
+        let had_leftover = !self.c0.pass_exhausted();
+        if had_leftover {
+            let op = self.op.clone();
+            self.c0.end_pass_with_remainder(op.as_ref());
+        } else {
+            self.c0.end_pass();
+        }
+        self.last_pass_had_leftover = had_leftover;
+
+        let new_c1 = Arc::new(m.builder.finish()?);
+        // Free the unused tail of the over-allocated region.
+        let used = new_c1.region().pages;
+        if used < m.full_region.pages {
+            self.allocator.free(Region {
+                start: blsm_storage::PageId(m.full_region.start.0 + used),
+                pages: m.full_region.pages - used,
+            });
+        }
+        // Retire the old C1.
+        if let Some(old) = self.c1.take() {
+            old.evict_from_pool();
+            self.allocator.free(old.region());
+        }
+        self.c1 = if new_c1.entry_count() > 0 { Some(new_c1) } else { None };
+        self.stats.merges01 += 1;
+
+        // Log truncation: everything the pass consumed is durable. With a
+        // leftover (capped pass) pre-pass records may still be live, so
+        // truncation waits for the next clean pass (§4.4.2:
+        // "snowshoveling delays log truncation").
+        if !had_leftover {
+            if let Some(wal) = &mut self.wal {
+                wal.truncate(m.pass_start_lsn);
+            }
+        }
+
+        self.recompute_r();
+        // Trigger the downstream merge when C1 reaches R fills (§2.3.1).
+        let c1_target = (self.r * self.config.mem_budget as f64) as u64;
+        if self.merge12.is_none()
+            && self.c1_prime.is_none()
+            && self.c1.as_ref().is_some_and(|c| c.data_bytes() >= c1_target)
+        {
+            self.c1_prime = self.c1.take();
+            self.save_manifest()?;
+            self.start_merge12()?;
+            if self.scheduler.blocking_merge12() {
+                // The naive scheduler's unbounded pause (§3.2).
+                self.run_merge12(u64::MAX)?;
+            }
+        } else {
+            self.save_manifest()?;
+        }
+        Ok(())
+    }
+
+    fn start_merge12(&mut self) -> Result<()> {
+        assert!(self.merge12.is_none());
+        let c1p = self.c1_prime.clone().expect("C1' present");
+        let c2 = self.c2.clone();
+        let input_total = c1p.data_bytes() + c2.as_ref().map_or(0, |c| c.data_bytes());
+        let est_entries = c1p.entry_count() + c2.as_ref().map_or(0, |c| c.entry_count()) + 16;
+        let pages = Self::merge_region_pages(input_total, est_entries, 1.2);
+        let region = self.allocator.alloc(pages);
+        let builder = SstableBuilder::new(self.pool.clone(), region, est_entries);
+        let consumed = Arc::new(AtomicU64::new(0));
+        let mut streams: Vec<EntryStream<'static>> = Vec::with_capacity(2);
+        streams.push(Box::new(CountingStream {
+            inner: c1p.iter(ReadMode::Buffered(64)),
+            counter: consumed.clone(),
+        }));
+        if let Some(c2) = &c2 {
+            streams.push(Box::new(CountingStream {
+                inner: c2.iter(ReadMode::Buffered(64)),
+                counter: consumed.clone(),
+            }));
+        }
+        let iter = MergeIter::new(streams, self.op.clone(), true);
+        self.merge12 = Some(Merge12 {
+            builder,
+            full_region: region,
+            iter,
+            consumed,
+            input_total: input_total.max(1),
+        });
+        Ok(())
+    }
+
+    /// Consumes up to `budget` input bytes of `C1':C2` merge work.
+    fn run_merge12(&mut self, budget: u64) -> Result<()> {
+        let Some(m) = self.merge12.as_mut() else {
+            return Ok(());
+        };
+        let start = m.consumed.load(Ordering::Relaxed);
+        loop {
+            if m.consumed.load(Ordering::Relaxed) - start >= budget {
+                return Ok(());
+            }
+            match m.iter.next() {
+                Some(e) => {
+                    let e = e?;
+                    self.stats.merge_bytes_consumed +=
+                        (e.key.len() + e.version.entry.payload_len()) as u64;
+                    m.builder.add(&e.key, &e.version)?;
+                }
+                None => {
+                    self.finish_merge12()?;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn finish_merge12(&mut self) -> Result<()> {
+        let m = self.merge12.take().expect("merge12 active");
+        let new_c2 = Arc::new(m.builder.finish()?);
+        let used = new_c2.region().pages;
+        if used < m.full_region.pages {
+            self.allocator.free(Region {
+                start: blsm_storage::PageId(m.full_region.start.0 + used),
+                pages: m.full_region.pages - used,
+            });
+        }
+        if let Some(old) = self.c1_prime.take() {
+            old.evict_from_pool();
+            self.allocator.free(old.region());
+        }
+        if let Some(old) = self.c2.take() {
+            old.evict_from_pool();
+            self.allocator.free(old.region());
+        }
+        self.c2 = if new_c2.entry_count() > 0 { Some(new_c2) } else { None };
+        self.stats.merges12 += 1;
+        self.recompute_r();
+        self.save_manifest()
+    }
+
+    fn recompute_r(&mut self) {
+        if let Some(r) = self.config.r {
+            self.r = r;
+            return;
+        }
+        // R = sqrt(|data| / |C0|), the three-level optimum (§2.3.1).
+        let data = self.total_data_bytes().max(1) as f64;
+        let c0 = self.config.mem_budget as f64;
+        self.r = (data / c0).sqrt().max(2.0);
+    }
+
+    fn save_manifest(&mut self) -> Result<()> {
+        let mut components = Vec::new();
+        if let Some(c) = &self.c1 {
+            components.push((ComponentSlot::C1, c.region()));
+        }
+        if let Some(c) = &self.c1_prime {
+            components.push((ComponentSlot::C1Prime, c.region()));
+        }
+        if let Some(c) = &self.c2 {
+            components.push((ComponentSlot::C2, c.region()));
+        }
+        let meta = TreeMeta {
+            components,
+            allocator: self.allocator.clone(),
+            wal_head: self.wal.as_ref().map_or(0, |w| w.head_lsn()),
+            next_seqno: self.next_seqno,
+        };
+        self.manifest.save(&meta.encode())
+    }
+
+    // -----------------------------------------------------------------
+    // Maintenance
+    // -----------------------------------------------------------------
+
+    /// Runs up to `budget` input bytes of pending merge work on each
+    /// level. Lets callers drive merges during idle periods (§3.2's
+    /// "merges can be run during off-peak periods").
+    pub fn maintenance(&mut self, budget: u64) -> Result<()> {
+        if self.merge01.is_none()
+            && !self.c0.is_empty()
+            && self.scheduler.should_start_merge01(&self.sched_inputs(0))
+        {
+            self.start_merge01()?;
+        }
+        self.run_merge01(budget)?;
+        self.run_merge12(budget)?;
+        Ok(())
+    }
+
+    /// Drains `C0` and completes every pending merge, then truncates the
+    /// log. Used before read-only measurement phases and at clean
+    /// shutdown.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        loop {
+            if self.merge01.is_some() {
+                self.run_merge01(u64::MAX)?;
+            }
+            if self.merge12.is_some() {
+                self.run_merge12(u64::MAX)?;
+            }
+            if self.merge01.is_some() || self.merge12.is_some() {
+                continue;
+            }
+            if !self.c0.is_empty() {
+                self.start_merge01()?;
+                continue;
+            }
+            break;
+        }
+        if let Some(wal) = &mut self.wal {
+            wal.flush()?;
+            let tail = wal.tail_lsn();
+            wal.truncate(tail);
+        }
+        self.save_manifest()?;
+        self.pool.flush()
+    }
+
+    /// Number of live on-disk components (for tests and experiments).
+    pub fn component_count(&self) -> usize {
+        [&self.c1, &self.c1_prime, &self.c2]
+            .into_iter()
+            .flatten()
+            .count()
+    }
+
+    /// Whether a `C0:C1` (resp. `C1':C2`) merge is currently in flight.
+    pub fn merges_active(&self) -> (bool, bool) {
+        (self.merge01.is_some(), self.merge12.is_some())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Probe {
+    Builder01,
+    C1,
+    Builder12,
+    C1Prime,
+    C2,
+}
+
+/// WAL record: `kind(1) | varint seqno | varint keylen | key | value`.
+fn encode_wal_record(key: &Bytes, v: &Versioned) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + key.len() + v.entry.payload_len());
+    let kind = match &v.entry {
+        Entry::Put(_) => 0u8,
+        Entry::Delta(_) => 1,
+        Entry::Tombstone => 2,
+    };
+    codec::put_u8(&mut out, kind);
+    codec::put_varint(&mut out, v.seqno);
+    codec::put_bytes(&mut out, key);
+    match &v.entry {
+        Entry::Put(val) | Entry::Delta(val) => out.extend_from_slice(val),
+        Entry::Tombstone => {}
+    }
+    out
+}
+
+fn decode_wal_record(payload: &[u8]) -> Result<(Bytes, Versioned)> {
+    let mut r = Reader::new(payload);
+    let kind = r.u8()?;
+    let seqno = r.varint()?;
+    let key = Bytes::copy_from_slice(r.bytes()?);
+    let rest = &payload[r.position()..];
+    let entry = match kind {
+        0 => Entry::Put(Bytes::copy_from_slice(rest)),
+        1 => Entry::Delta(Bytes::copy_from_slice(rest)),
+        2 => Entry::Tombstone,
+        other => {
+            return Err(StorageError::InvalidFormat(format!(
+                "bad wal record kind {other}"
+            )))
+        }
+    };
+    Ok((key, Versioned { seqno, entry }))
+}
+
+// Keep PAGE_SIZE import alive for region math readability.
+const _: usize = PAGE_SIZE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerKind;
+    use blsm_memtable::AppendOperator;
+    use blsm_storage::MemDevice;
+
+    fn new_tree(config: BLsmConfig) -> BLsmTree {
+        let data: SharedDevice = Arc::new(MemDevice::new());
+        let wal: SharedDevice = Arc::new(MemDevice::new());
+        BLsmTree::open(data, wal, 4096, config, Arc::new(AppendOperator)).unwrap()
+    }
+
+    fn small_config() -> BLsmConfig {
+        BLsmConfig {
+            mem_budget: 64 << 10,
+            wal_capacity: 4 << 20,
+            ..Default::default()
+        }
+    }
+
+    fn key(i: u32) -> Bytes {
+        Bytes::from(format!("user{i:08}"))
+    }
+
+    #[test]
+    fn put_get_roundtrip_through_merges() {
+        let mut t = new_tree(small_config());
+        let n = 4000u32;
+        for i in 0..n {
+            t.put(key(i), Bytes::from(vec![i as u8; 100])).unwrap();
+        }
+        // Data far exceeds the 64 KiB budget: merges must have run.
+        assert!(t.stats().merges01 > 0);
+        for i in (0..n).step_by(97) {
+            let v = t.get(&key(i)).unwrap().expect("present");
+            assert_eq!(v.as_ref(), &vec![i as u8; 100][..], "key {i}");
+        }
+        assert!(t.get(b"user99999999").unwrap().is_none());
+    }
+
+    #[test]
+    fn overwrites_return_newest() {
+        let mut t = new_tree(small_config());
+        for round in 0..5u8 {
+            for i in 0..500u32 {
+                t.put(key(i), Bytes::from(vec![round; 50])).unwrap();
+            }
+        }
+        for i in (0..500u32).step_by(41) {
+            let v = t.get(&key(i)).unwrap().expect("present");
+            assert_eq!(v.as_ref(), &[4u8; 50][..]);
+        }
+    }
+
+    #[test]
+    fn delete_hides_key_everywhere() {
+        let mut t = new_tree(small_config());
+        for i in 0..2000u32 {
+            t.put(key(i), Bytes::from_static(b"v")).unwrap();
+        }
+        t.checkpoint().unwrap(); // push everything to disk
+        t.delete(key(100)).unwrap();
+        assert!(t.get(&key(100)).unwrap().is_none());
+        t.checkpoint().unwrap(); // tombstone merged to the bottom
+        assert!(t.get(&key(100)).unwrap().is_none());
+        assert!(t.get(&key(101)).unwrap().is_some());
+    }
+
+    #[test]
+    fn deltas_fold_across_levels() {
+        let mut t = new_tree(small_config());
+        t.put(key(1), Bytes::from_static(b"base")).unwrap();
+        t.checkpoint().unwrap();
+        t.apply_delta(key(1), Bytes::from_static(b"+d1")).unwrap();
+        t.checkpoint().unwrap();
+        t.apply_delta(key(1), Bytes::from_static(b"+d2")).unwrap();
+        let v = t.get(&key(1)).unwrap().unwrap();
+        assert_eq!(v.as_ref(), b"base+d1+d2");
+    }
+
+    #[test]
+    fn orphan_delta_materializes() {
+        let mut t = new_tree(small_config());
+        t.apply_delta(key(7), Bytes::from_static(b"solo")).unwrap();
+        assert_eq!(t.get(&key(7)).unwrap().unwrap().as_ref(), b"solo");
+        t.checkpoint().unwrap();
+        assert_eq!(t.get(&key(7)).unwrap().unwrap().as_ref(), b"solo");
+    }
+
+    #[test]
+    fn insert_if_not_exists_semantics() {
+        let mut t = new_tree(small_config());
+        assert!(t.insert_if_not_exists(key(1), Bytes::from_static(b"a")).unwrap());
+        assert!(!t.insert_if_not_exists(key(1), Bytes::from_static(b"b")).unwrap());
+        assert_eq!(t.get(&key(1)).unwrap().unwrap().as_ref(), b"a");
+        t.checkpoint().unwrap();
+        assert!(!t.insert_if_not_exists(key(1), Bytes::from_static(b"c")).unwrap());
+        t.delete(key(1)).unwrap();
+        assert!(t.insert_if_not_exists(key(1), Bytes::from_static(b"d")).unwrap());
+        assert_eq!(t.get(&key(1)).unwrap().unwrap().as_ref(), b"d");
+    }
+
+    #[test]
+    fn scans_are_ordered_and_complete() {
+        let mut t = new_tree(small_config());
+        for i in 0..3000u32 {
+            t.put(key(i), Bytes::from(format!("v{i}"))).unwrap();
+        }
+        // Mid-merge scan (merges are likely in flight right now).
+        let items = t.scan(&key(500), 100).unwrap();
+        assert_eq!(items.len(), 100);
+        assert_eq!(items[0].key, key(500));
+        assert!(items.windows(2).all(|w| w[0].key < w[1].key));
+        for (j, item) in items.iter().enumerate() {
+            assert_eq!(item.key, key(500 + j as u32));
+            assert_eq!(item.value, Bytes::from(format!("v{}", 500 + j as u32)));
+        }
+        // Range scan excludes the upper bound.
+        let items = t.scan_range(&key(10), &key(13), 100).unwrap();
+        assert_eq!(items.len(), 3);
+    }
+
+    #[test]
+    fn scan_skips_deleted_rows() {
+        let mut t = new_tree(small_config());
+        for i in 0..100u32 {
+            t.put(key(i), Bytes::from_static(b"v")).unwrap();
+        }
+        t.delete(key(5)).unwrap();
+        let items = t.scan(&key(4), 3).unwrap();
+        let keys: Vec<_> = items.iter().map(|i| i.key.clone()).collect();
+        assert_eq!(keys, vec![key(4), key(6), key(7)]);
+    }
+
+    #[test]
+    fn read_modify_write() {
+        let mut t = new_tree(small_config());
+        t.put(key(1), Bytes::from_static(b"1")).unwrap();
+        t.read_modify_write(key(1), |old| {
+            let mut v = old.unwrap().to_vec();
+            v.push(b'2');
+            Some(v)
+        })
+        .unwrap();
+        assert_eq!(t.get(&key(1)).unwrap().unwrap().as_ref(), b"12");
+        // RMW returning None deletes.
+        t.read_modify_write(key(1), |_| None).unwrap();
+        assert!(t.get(&key(1)).unwrap().is_none());
+    }
+
+    #[test]
+    fn recovery_restores_acknowledged_writes() {
+        let data: SharedDevice = Arc::new(MemDevice::new());
+        let wal: SharedDevice = Arc::new(MemDevice::new());
+        {
+            let mut t = BLsmTree::open(
+                data.clone(),
+                wal.clone(),
+                4096,
+                small_config(),
+                Arc::new(AppendOperator),
+            )
+            .unwrap();
+            for i in 0..3000u32 {
+                t.put(key(i), Bytes::from(format!("val{i}"))).unwrap();
+            }
+            // No checkpoint, no clean shutdown: crash.
+        }
+        let mut t = BLsmTree::open(data, wal, 4096, small_config(), Arc::new(AppendOperator))
+            .unwrap();
+        for i in (0..3000u32).step_by(53) {
+            let v = t.get(&key(i)).unwrap().unwrap_or_else(|| panic!("key {i} lost"));
+            assert_eq!(v.as_ref(), format!("val{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn recovery_replay_is_exactly_once_for_deltas() {
+        let data: SharedDevice = Arc::new(MemDevice::new());
+        let wal: SharedDevice = Arc::new(MemDevice::new());
+        {
+            let mut t = BLsmTree::open(
+                data.clone(),
+                wal.clone(),
+                4096,
+                small_config(),
+                Arc::new(AppendOperator),
+            )
+            .unwrap();
+            t.put(key(1), Bytes::from_static(b"base")).unwrap();
+            t.apply_delta(key(1), Bytes::from_static(b"+d")).unwrap();
+            // Push the delta into C1 but leave the log un-truncated by
+            // writing more (the pass consumed the delta; newer writes keep
+            // the window open).
+            t.checkpoint().unwrap();
+            for i in 10..500u32 {
+                t.put(key(i), Bytes::from_static(b"x")).unwrap();
+            }
+        }
+        let mut t = BLsmTree::open(data, wal, 4096, small_config(), Arc::new(AppendOperator))
+            .unwrap();
+        // A double-applied delta would read "base+d+d".
+        assert_eq!(t.get(&key(1)).unwrap().unwrap().as_ref(), b"base+d");
+    }
+
+    #[test]
+    fn degraded_durability_loses_c0_only() {
+        let data: SharedDevice = Arc::new(MemDevice::new());
+        let wal: SharedDevice = Arc::new(MemDevice::new());
+        let config = BLsmConfig { durability: Durability::None, ..small_config() };
+        {
+            let mut t = BLsmTree::open(
+                data.clone(),
+                wal.clone(),
+                4096,
+                config.clone(),
+                Arc::new(AppendOperator),
+            )
+            .unwrap();
+            t.put(key(1), Bytes::from_static(b"old")).unwrap();
+            t.checkpoint().unwrap(); // durable point
+            t.put(key(2), Bytes::from_static(b"new")).unwrap(); // lost
+        }
+        let mut t =
+            BLsmTree::open(data, wal, 4096, config, Arc::new(AppendOperator)).unwrap();
+        assert_eq!(t.get(&key(1)).unwrap().unwrap().as_ref(), b"old");
+        assert!(t.get(&key(2)).unwrap().is_none(), "unlogged write must be lost");
+    }
+
+    #[test]
+    fn bloom_filters_skip_absent_probes() {
+        let mut t = new_tree(small_config());
+        for i in 0..2000u32 {
+            t.put(key(i), Bytes::from(vec![0u8; 100])).unwrap();
+        }
+        t.checkpoint().unwrap();
+        let before = t.stats();
+        for i in 0..1000u32 {
+            assert!(t.get(format!("user{i:08}x").as_bytes()).unwrap().is_none());
+        }
+        let d = t.stats();
+        let probes = d.disk_probes - before.disk_probes;
+        assert!(probes < 60, "absent lookups probed disk {probes} times");
+        assert!(d.bloom_skips > before.bloom_skips);
+    }
+
+    #[test]
+    fn three_components_max() {
+        // §3.3: bLSM bounds the tree at three on-disk components.
+        let mut t = new_tree(small_config());
+        for i in 0..30_000u32 {
+            t.put(key(i % 7000), Bytes::from(vec![0u8; 64])).unwrap();
+            assert!(t.component_count() <= 3, "component count exploded");
+        }
+    }
+
+    #[test]
+    fn checkpoint_then_reads_need_no_wal() {
+        let data: SharedDevice = Arc::new(MemDevice::new());
+        let wal: SharedDevice = Arc::new(MemDevice::new());
+        {
+            let mut t = BLsmTree::open(
+                data.clone(),
+                wal.clone(),
+                4096,
+                small_config(),
+                Arc::new(AppendOperator),
+            )
+            .unwrap();
+            for i in 0..1000u32 {
+                t.put(key(i), Bytes::from_static(b"v")).unwrap();
+            }
+            t.checkpoint().unwrap();
+        }
+        // Wipe the WAL: a checkpointed tree must not need it.
+        let fresh_wal: SharedDevice = Arc::new(MemDevice::new());
+        let mut t = BLsmTree::open(data, fresh_wal, 4096, small_config(), Arc::new(AppendOperator))
+            .unwrap();
+        assert_eq!(t.get(&key(999)).unwrap().unwrap().as_ref(), b"v");
+    }
+
+    #[test]
+    fn naive_scheduler_correctness() {
+        let config = BLsmConfig { scheduler: SchedulerKind::Naive, ..small_config() };
+        let mut t = new_tree(config);
+        for i in 0..5000u32 {
+            t.put(key(i), Bytes::from(vec![1u8; 80])).unwrap();
+        }
+        for i in (0..5000u32).step_by(211) {
+            assert!(t.get(&key(i)).unwrap().is_some(), "key {i}");
+        }
+        assert!(t.stats().forced_stalls > 0, "naive must stall");
+    }
+
+    #[test]
+    fn gear_scheduler_correctness() {
+        let config = BLsmConfig { scheduler: SchedulerKind::Gear, ..small_config() };
+        let mut t = new_tree(config);
+        assert!(!t.config().snowshovel, "gear partitions C0/C0'");
+        for i in 0..5000u32 {
+            t.put(key(i % 1500), Bytes::from(vec![2u8; 80])).unwrap();
+        }
+        for i in (0..1500u32).step_by(97) {
+            assert_eq!(t.get(&key(i)).unwrap().unwrap().as_ref(), &[2u8; 80][..]);
+        }
+    }
+
+    #[test]
+    fn sorted_inserts_stream_through() {
+        // §4.2: sorted input should flow to disk in long runs; C0 stays
+        // bounded and write amplification stays low.
+        let mut t = new_tree(small_config());
+        for i in 0..20_000u32 {
+            t.put(key(i), Bytes::from(vec![3u8; 64])).unwrap();
+        }
+        assert!(t.c0_bytes() <= t.config().mem_budget);
+        for i in (0..20_000u32).step_by(997) {
+            assert!(t.get(&key(i)).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn reverse_sorted_inserts_still_correct() {
+        let mut t = new_tree(small_config());
+        for i in (0..8000u32).rev() {
+            t.put(key(i), Bytes::from(vec![4u8; 64])).unwrap();
+        }
+        for i in (0..8000u32).step_by(503) {
+            assert!(t.get(&key(i)).unwrap().is_some(), "key {i}");
+        }
+    }
+
+    #[test]
+    fn wal_record_roundtrip() {
+        for v in [
+            Versioned::put(9, Bytes::from_static(b"value")),
+            Versioned::delta(10, Bytes::from_static(b"+1")),
+            Versioned::tombstone(11),
+        ] {
+            let enc = encode_wal_record(&Bytes::from_static(b"k"), &v);
+            let (k, d) = decode_wal_record(&enc).unwrap();
+            assert_eq!(k.as_ref(), b"k");
+            assert_eq!(d, v);
+        }
+    }
+}

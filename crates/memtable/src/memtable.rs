@@ -1,0 +1,266 @@
+//! Ordered in-memory map with byte accounting.
+//!
+//! The memtable keeps exactly one [`Versioned`] entry per key by folding
+//! incoming writes into the resident entry (a delta over a base record
+//! produces a new base record; two deltas combine via the
+//! [`MergeOperator`]). This mirrors the paper's observation that updates to
+//! the same tuple must be "placed in tree levels consistent with their
+//! ordering" (§3.1.1) — within `C0` the fold preserves that ordering while
+//! keeping memory proportional to the live key set.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use bytes::Bytes;
+
+use crate::types::{Entry, MergeOperator, Versioned};
+
+/// Fixed per-entry overhead charged to the byte budget (map node, key and
+/// value headers). The exact figure only needs to be stable, not precise.
+pub const ENTRY_OVERHEAD: usize = 64;
+
+/// An ordered in-memory component.
+#[derive(Debug, Default, Clone)]
+pub struct Memtable {
+    map: BTreeMap<Bytes, Versioned>,
+    bytes: usize,
+}
+
+impl Memtable {
+    /// Creates an empty memtable.
+    pub fn new() -> Memtable {
+        Memtable::default()
+    }
+
+    /// Number of distinct keys resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate bytes consumed, including per-entry overhead. This is
+    /// the quantity the spring-and-gear scheduler watermarks (§4.3).
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn entry_cost(key: &Bytes, v: &Versioned) -> usize {
+        ENTRY_OVERHEAD + key.len() + v.entry.payload_len()
+    }
+
+    /// Inserts a write, folding it into any resident entry for the key.
+    ///
+    /// Folding rules (new write vs resident entry):
+    /// * `Put`/`Tombstone` replace whatever is resident.
+    /// * `Delta` over resident `Put(v)` → `Put(apply(v, delta))`.
+    /// * `Delta` over resident `Tombstone` → `Put(apply(None, delta))`.
+    /// * `Delta` over resident `Delta(d)` → `Delta(merge_deltas(d, delta))`.
+    /// * `Delta` with nothing resident stays a `Delta` — the base record
+    ///   may live in a larger component.
+    pub fn insert(&mut self, key: Bytes, write: Versioned, op: &dyn MergeOperator) {
+        let folded = match (self.map.get(&key), &write.entry) {
+            (Some(resident), Entry::Delta(d)) => {
+                debug_assert!(
+                    write.seqno >= resident.seqno,
+                    "writes must arrive in seqno order per key"
+                );
+                match &resident.entry {
+                    Entry::Put(v) => Versioned::put(write.seqno, op.apply(Some(v), d)),
+                    Entry::Tombstone => Versioned::put(write.seqno, op.apply(None, d)),
+                    Entry::Delta(older) => {
+                        Versioned::delta(write.seqno, op.merge_deltas(older, d))
+                    }
+                }
+            }
+            _ => write,
+        };
+        let cost = Self::entry_cost(&key, &folded);
+        if let Some(old) = self.map.insert(key.clone(), folded) {
+            self.bytes -= Self::entry_cost(&key, &old);
+        }
+        self.bytes += cost;
+    }
+
+    /// Looks up the resident entry for `key`.
+    pub fn get(&self, key: &[u8]) -> Option<&Versioned> {
+        self.map.get(key)
+    }
+
+    /// Smallest resident key.
+    pub fn first_key(&self) -> Option<&Bytes> {
+        self.map.keys().next()
+    }
+
+    /// Largest resident key.
+    pub fn last_key(&self) -> Option<&Bytes> {
+        self.map.keys().next_back()
+    }
+
+    /// Removes and returns the smallest entry — the snowshovel drain step.
+    pub fn pop_first(&mut self) -> Option<(Bytes, Versioned)> {
+        let (key, v) = self.map.pop_first()?;
+        self.bytes -= Self::entry_cost(&key, &v);
+        Some((key, v))
+    }
+
+    /// Iterates all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Bytes, &Versioned)> {
+        self.map.iter()
+    }
+
+    /// Iterates entries with key ≥ `from` in key order.
+    pub fn range_from<'a>(
+        &'a self,
+        from: &[u8],
+    ) -> impl Iterator<Item = (&'a Bytes, &'a Versioned)> {
+        self.map
+            .range::<[u8], _>((Bound::Included(from), Bound::Unbounded))
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.bytes = 0;
+    }
+
+    /// Takes the whole table, leaving this one empty. Used to freeze `C0`
+    /// into `C0'` in non-snowshovel mode.
+    pub fn take(&mut self) -> Memtable {
+        std::mem::take(self)
+    }
+
+    /// Inserts an entry known to be *older* than anything resident for the
+    /// key: the resident entry wins, with deltas resolved through
+    /// [`merge_versions`](crate::merge_versions). Used when a capped merge
+    /// pass returns undrained entries to the buffer.
+    pub fn insert_older(&mut self, key: Bytes, older: Versioned, op: &dyn MergeOperator) {
+        let folded = match self.map.get(&key) {
+            None => Some(older),
+            Some(resident) => {
+                debug_assert!(resident.seqno >= older.seqno);
+                crate::types::merge_versions(
+                    op,
+                    &[resident.clone(), older],
+                    false,
+                )
+            }
+        };
+        let Some(folded) = folded else { return };
+        let cost = Self::entry_cost(&key, &folded);
+        if let Some(old) = self.map.insert(key.clone(), folded) {
+            self.bytes -= Self::entry_cost(&key, &old);
+        }
+        self.bytes += cost;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{AddOperator, AppendOperator};
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut m = Memtable::new();
+        m.insert(b("k1"), Versioned::put(1, b("v1")), &AppendOperator);
+        m.insert(b("k2"), Versioned::put(2, b("v2")), &AppendOperator);
+        assert_eq!(m.get(b"k1").unwrap().entry, Entry::Put(b("v1")));
+        assert_eq!(m.get(b"k2").unwrap().seqno, 2);
+        assert!(m.get(b"k3").is_none());
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn put_overwrites_and_accounting_stays_consistent() {
+        let mut m = Memtable::new();
+        m.insert(b("k"), Versioned::put(1, b("short")), &AppendOperator);
+        let after_first = m.approx_bytes();
+        m.insert(b("k"), Versioned::put(2, b("a much longer value")), &AppendOperator);
+        assert!(m.approx_bytes() > after_first);
+        m.insert(b("k"), Versioned::put(3, b("s")), &AppendOperator);
+        assert_eq!(m.approx_bytes(), ENTRY_OVERHEAD + 1 + 1);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn delta_folds_into_base() {
+        let mut m = Memtable::new();
+        m.insert(b("k"), Versioned::put(1, b("base")), &AppendOperator);
+        m.insert(b("k"), Versioned::delta(2, b("+d1")), &AppendOperator);
+        let v = m.get(b"k").unwrap();
+        assert_eq!(v.entry, Entry::Put(b("base+d1")));
+        assert_eq!(v.seqno, 2);
+    }
+
+    #[test]
+    fn delta_chain_combines() {
+        let mut m = Memtable::new();
+        m.insert(b("k"), Versioned::delta(1, b("a")), &AppendOperator);
+        m.insert(b("k"), Versioned::delta(2, b("b")), &AppendOperator);
+        // Stays a delta: the base may be on disk.
+        assert_eq!(m.get(b"k").unwrap().entry, Entry::Delta(b("ab")));
+    }
+
+    #[test]
+    fn delta_over_tombstone_becomes_base() {
+        let mut m = Memtable::new();
+        m.insert(b("k"), Versioned::tombstone(1), &AddOperator);
+        m.insert(b("k"), Versioned::delta(2, Bytes::copy_from_slice(&7i64.to_le_bytes())), &AddOperator);
+        match &m.get(b"k").unwrap().entry {
+            Entry::Put(v) => assert_eq!(i64::from_le_bytes(v[..8].try_into().unwrap()), 7),
+            other => panic!("expected Put, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tombstone_replaces_value() {
+        let mut m = Memtable::new();
+        m.insert(b("k"), Versioned::put(1, b("v")), &AppendOperator);
+        m.insert(b("k"), Versioned::tombstone(2), &AppendOperator);
+        assert_eq!(m.get(b"k").unwrap().entry, Entry::Tombstone);
+    }
+
+    #[test]
+    fn pop_first_drains_in_key_order() {
+        let mut m = Memtable::new();
+        for k in ["c", "a", "b"] {
+            m.insert(b(k), Versioned::put(1, b("v")), &AppendOperator);
+        }
+        let mut keys = Vec::new();
+        while let Some((k, _)) = m.pop_first() {
+            keys.push(k);
+        }
+        assert_eq!(keys, vec![b("a"), b("b"), b("c")]);
+        assert_eq!(m.approx_bytes(), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn range_from_is_inclusive() {
+        let mut m = Memtable::new();
+        for k in ["a", "b", "c", "d"] {
+            m.insert(b(k), Versioned::put(1, b("v")), &AppendOperator);
+        }
+        let keys: Vec<_> = m.range_from(b"b").map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b("b"), b("c"), b("d")]);
+    }
+
+    #[test]
+    fn take_freezes() {
+        let mut m = Memtable::new();
+        m.insert(b("k"), Versioned::put(1, b("v")), &AppendOperator);
+        let frozen = m.take();
+        assert!(m.is_empty());
+        assert_eq!(m.approx_bytes(), 0);
+        assert_eq!(frozen.len(), 1);
+        assert!(frozen.approx_bytes() > 0);
+    }
+}

@@ -1,0 +1,471 @@
+//! Snowshoveling (replacement-selection) support for `C0`.
+//!
+//! §4.2: "Snowshoveling fills RAM, writes back the lowest valued item, and
+//! then reads a value from the input. It proceeds by writing out the lowest
+//! key that comes after the last value written." For random input this
+//! doubles the effective run length; combined with eliminating the
+//! `C0`/`C0'` partition it gives the paper's "factor of four" claim.
+//!
+//! [`SnowshovelBuffer`] models `C0` in all three regimes:
+//!
+//! * **Idle** — no merge running; inserts land in the current table.
+//! * **Snowshovel pass** — the `C0:C1` merge drains the current table in
+//!   key order. Inserts *after* the drain cursor join the current pass
+//!   (they will be consumed this sweep); inserts at or *behind* the cursor
+//!   are deferred to a `behind` table for the next pass.
+//! * **Frozen pass** — the classic non-snowshovel mode: the current table
+//!   is sealed as `C0'` and every insert goes to the next table. This is
+//!   the configuration the paper's ×4 claim is measured against.
+
+use bytes::Bytes;
+
+use crate::memtable::Memtable;
+use crate::types::{MergeOperator, Versioned};
+
+/// How the active merge pass consumes `C0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PassKind {
+    /// No pass active.
+    Idle,
+    /// Replacement-selection: inserts ahead of the cursor join the pass.
+    Snowshovel {
+        /// Last key handed to the merge; inserts ≤ this key are deferred.
+        last_drained: Option<Bytes>,
+    },
+    /// `C0` frozen as `C0'`; all inserts deferred to the next table.
+    Frozen,
+}
+
+/// The `C0` buffer: one or two memtables plus a drain cursor.
+#[derive(Debug)]
+pub struct SnowshovelBuffer {
+    /// Entries the active pass will consume (all entries when idle).
+    current: Memtable,
+    /// Entries deferred to the next pass.
+    behind: Memtable,
+    pass: PassKind,
+    /// Bytes in `current` when the pass began (the `|C0'|` of the
+    /// inprogress estimator).
+    pass_start_bytes: usize,
+    /// Bytes drained so far in this pass.
+    drained_bytes: usize,
+}
+
+impl Default for SnowshovelBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SnowshovelBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> SnowshovelBuffer {
+        SnowshovelBuffer {
+            current: Memtable::new(),
+            behind: Memtable::new(),
+            pass: PassKind::Idle,
+            pass_start_bytes: 0,
+            drained_bytes: 0,
+        }
+    }
+
+    /// Total bytes across both tables — the quantity the spring-and-gear
+    /// scheduler watermarks.
+    pub fn approx_bytes(&self) -> usize {
+        self.current.approx_bytes() + self.behind.approx_bytes()
+    }
+
+    /// Total distinct keys resident (keys may appear in both tables during
+    /// a frozen pass; they are counted twice, matching memory use).
+    pub fn len(&self) -> usize {
+        self.current.len() + self.behind.len()
+    }
+
+    /// True when both tables are empty.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty() && self.behind.is_empty()
+    }
+
+    /// The active pass state.
+    pub fn pass(&self) -> &PassKind {
+        &self.pass
+    }
+
+    /// Inserts a write, routing by the pass state.
+    pub fn insert(&mut self, key: Bytes, write: Versioned, op: &dyn MergeOperator) {
+        match &self.pass {
+            PassKind::Idle => self.current.insert(key, write, op),
+            PassKind::Frozen => self.behind.insert(key, write, op),
+            PassKind::Snowshovel { last_drained } => {
+                let ahead = match last_drained {
+                    None => true, // nothing drained yet: everything is ahead
+                    Some(cursor) => key.as_ref() > cursor.as_ref(),
+                };
+                if ahead {
+                    self.current.insert(key, write, op);
+                } else {
+                    self.behind.insert(key, write, op);
+                }
+            }
+        }
+    }
+
+    /// Looks up `key`. During a pass the `behind` table is never older than
+    /// `current` for the same key, so it is consulted first.
+    pub fn get(&self, key: &[u8]) -> Option<&Versioned> {
+        self.behind.get(key).or_else(|| self.current.get(key))
+    }
+
+    /// Begins a merge pass. `snowshovel=true` starts a replacement-selection
+    /// sweep; `false` freezes the current table as `C0'`.
+    ///
+    /// Panics if a pass is already active.
+    pub fn begin_pass(&mut self, snowshovel: bool) {
+        assert_eq!(self.pass, PassKind::Idle, "pass already active");
+        assert!(
+            self.behind.is_empty(),
+            "behind table must be empty between passes"
+        );
+        self.pass = if snowshovel {
+            PassKind::Snowshovel { last_drained: None }
+        } else {
+            PassKind::Frozen
+        };
+        self.pass_start_bytes = self.current.approx_bytes();
+        self.drained_bytes = 0;
+    }
+
+    /// The smallest key the pass would drain next, if any.
+    pub fn peek_drain(&self) -> Option<&Bytes> {
+        match self.pass {
+            PassKind::Idle => None,
+            _ => self.current.first_key(),
+        }
+    }
+
+    /// Removes and returns the smallest remaining entry of the pass,
+    /// advancing the cursor.
+    ///
+    /// Panics if no pass is active.
+    pub fn drain_next(&mut self) -> Option<(Bytes, Versioned)> {
+        assert_ne!(self.pass, PassKind::Idle, "no pass active");
+        let (key, v) = self.current.pop_first()?;
+        self.drained_bytes += crate::memtable::ENTRY_OVERHEAD + key.len() + v.entry.payload_len();
+        if let PassKind::Snowshovel { last_drained } = &mut self.pass {
+            *last_drained = Some(key.clone());
+        }
+        Some((key, v))
+    }
+
+    /// Advances the drain cursor to at least `key` without draining.
+    ///
+    /// §4.2: snowshoveling "proceeds by writing out the lowest key that
+    /// comes after the last value written" — the last value *written to
+    /// the merge output*, which may have come from `C1` rather than `C0`.
+    /// The merge calls this when it emits a `C1`-side key, so that an
+    /// insert landing between the last `C0` drain and the merge output
+    /// cursor is correctly deferred to the next pass.
+    pub fn advance_cursor(&mut self, key: &Bytes) {
+        if let PassKind::Snowshovel { last_drained } = &mut self.pass {
+            if last_drained.as_ref().is_none_or(|c| key > c) {
+                *last_drained = Some(key.clone());
+            }
+        }
+    }
+
+    /// True when the active pass has consumed every entry.
+    pub fn pass_exhausted(&self) -> bool {
+        !matches!(self.pass, PassKind::Idle) && self.current.is_empty()
+    }
+
+    /// Ends the pass: the deferred table becomes current.
+    ///
+    /// Panics if entries remain undrained or no pass is active.
+    pub fn end_pass(&mut self) {
+        assert_ne!(self.pass, PassKind::Idle, "no pass active");
+        assert!(
+            self.current.is_empty(),
+            "pass ended with {} entries undrained",
+            self.current.len()
+        );
+        self.current = self.behind.take();
+        self.pass = PassKind::Idle;
+        self.pass_start_bytes = 0;
+        self.drained_bytes = 0;
+    }
+
+    /// Ends the pass even though entries remain undrained (a run-length
+    /// cap stopped the merge early, §4.2 discussion of adversarial
+    /// inputs). Undrained entries are folded back into the next table —
+    /// they are *older* than any same-key entry deferred during the pass.
+    pub fn end_pass_with_remainder(&mut self, op: &dyn MergeOperator) {
+        assert_ne!(self.pass, PassKind::Idle, "no pass active");
+        let leftover = self.current.take();
+        for (key, v) in leftover.iter() {
+            self.behind.insert_older(key.clone(), v.clone(), op);
+        }
+        self.current = self.behind.take();
+        self.pass = PassKind::Idle;
+        self.pass_start_bytes = 0;
+        self.drained_bytes = 0;
+    }
+
+    /// Bytes in the `current` (pass input) table.
+    pub fn current_bytes(&self) -> usize {
+        self.current.approx_bytes()
+    }
+
+    /// Bytes in the `behind` (deferred) table — what accumulates toward the
+    /// next pass while one is active.
+    pub fn behind_bytes(&self) -> usize {
+        self.behind.approx_bytes()
+    }
+
+    /// Bytes in the pass's input when it began.
+    pub fn pass_start_bytes(&self) -> usize {
+        self.pass_start_bytes
+    }
+
+    /// Bytes drained so far in this pass.
+    pub fn drained_bytes(&self) -> usize {
+        self.drained_bytes
+    }
+
+    /// Iterates every resident entry in key order, preferring `behind`
+    /// (fresher) when a key is present in both tables.
+    pub fn iter(&self) -> impl Iterator<Item = (&Bytes, &Versioned)> {
+        DualIter {
+            a: self.behind.iter().peekable(),
+            b: self.current.iter().peekable(),
+        }
+    }
+
+    /// Iterates entries with key ≥ `from`.
+    pub fn range_from<'a>(
+        &'a self,
+        from: &[u8],
+    ) -> impl Iterator<Item = (&'a Bytes, &'a Versioned)> {
+        DualIter {
+            a: self.behind.range_from(from).peekable(),
+            b: self.current.range_from(from).peekable(),
+        }
+    }
+}
+
+/// Merge of two key-ordered iterators where stream `a` wins ties.
+struct DualIter<'a, A, B>
+where
+    A: Iterator<Item = (&'a Bytes, &'a Versioned)>,
+    B: Iterator<Item = (&'a Bytes, &'a Versioned)>,
+{
+    a: std::iter::Peekable<A>,
+    b: std::iter::Peekable<B>,
+}
+
+impl<'a, A, B> Iterator for DualIter<'a, A, B>
+where
+    A: Iterator<Item = (&'a Bytes, &'a Versioned)>,
+    B: Iterator<Item = (&'a Bytes, &'a Versioned)>,
+{
+    type Item = (&'a Bytes, &'a Versioned);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match (self.a.peek(), self.b.peek()) {
+            (Some((ka, _)), Some((kb, _))) => {
+                if ka < kb {
+                    self.a.next()
+                } else if kb < ka {
+                    self.b.next()
+                } else {
+                    // Same key: a (behind, fresher) wins; drop b's copy.
+                    self.b.next();
+                    self.a.next()
+                }
+            }
+            (Some(_), None) => self.a.next(),
+            (None, _) => self.b.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::AppendOperator;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn put(buf: &mut SnowshovelBuffer, key: &str, seq: u64) {
+        buf.insert(b(key), Versioned::put(seq, b("v")), &AppendOperator);
+    }
+
+    #[test]
+    fn idle_inserts_and_reads() {
+        let mut buf = SnowshovelBuffer::new();
+        put(&mut buf, "k", 1);
+        assert_eq!(buf.get(b"k").unwrap().seqno, 1);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn snowshovel_insert_ahead_joins_pass() {
+        let mut buf = SnowshovelBuffer::new();
+        for k in ["b", "d", "f"] {
+            put(&mut buf, k, 1);
+        }
+        buf.begin_pass(true);
+        let (k, _) = buf.drain_next().unwrap();
+        assert_eq!(k, b("b"));
+        // "c" is ahead of the cursor ("b"): joins this pass.
+        put(&mut buf, "c", 2);
+        // "a" is behind: deferred.
+        put(&mut buf, "a", 3);
+        let mut drained = vec![];
+        while let Some((k, _)) = buf.drain_next() {
+            drained.push(k);
+        }
+        assert_eq!(drained, vec![b("c"), b("d"), b("f")]);
+        buf.end_pass();
+        // The deferred entry is now current.
+        assert_eq!(buf.get(b"a").unwrap().seqno, 3);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn snowshovel_insert_equal_to_cursor_is_deferred() {
+        let mut buf = SnowshovelBuffer::new();
+        put(&mut buf, "m", 1);
+        buf.begin_pass(true);
+        buf.drain_next().unwrap(); // drains "m"
+        put(&mut buf, "m", 2); // re-insert the drained key: must defer
+        assert!(buf.pass_exhausted());
+        buf.end_pass();
+        assert_eq!(buf.get(b"m").unwrap().seqno, 2);
+    }
+
+    #[test]
+    fn sorted_input_streams_through_one_pass() {
+        // §4.2: "if the input is already sorted ... snowshoveling produces a
+        // run containing the entire input."
+        let mut buf = SnowshovelBuffer::new();
+        for i in 0..10 {
+            put(&mut buf, &format!("k{i:02}"), i);
+        }
+        buf.begin_pass(true);
+        let mut drained = 0;
+        for i in 10..100u64 {
+            // Keep inserting sorted keys while draining: every insert is
+            // ahead of the cursor, so the pass never ends.
+            while buf.peek_drain().map(|k| k < &b(&format!("k{i:02}"))).unwrap_or(false) {
+                buf.drain_next().unwrap();
+                drained += 1;
+            }
+            put(&mut buf, &format!("k{i:02}"), i);
+        }
+        while buf.drain_next().is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, 100, "entire sorted input fits one run");
+        buf.end_pass();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn reverse_input_defers_everything() {
+        // §4.2: "in the worst case, updates are in reverse sorted order,
+        // and the run is the size of RAM."
+        let mut buf = SnowshovelBuffer::new();
+        for i in (50..60).rev() {
+            put(&mut buf, &format!("k{i}"), 1);
+        }
+        buf.begin_pass(true);
+        buf.drain_next().unwrap(); // cursor at "k50"
+        for i in (40..50).rev() {
+            put(&mut buf, &format!("k{i}"), 2); // all behind the cursor
+        }
+        let mut n = 1;
+        while buf.drain_next().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10, "only the original RAM-full is in the run");
+        buf.end_pass();
+        assert_eq!(buf.len(), 10, "reverse inserts all deferred");
+    }
+
+    #[test]
+    fn frozen_pass_partitions_c0() {
+        let mut buf = SnowshovelBuffer::new();
+        put(&mut buf, "a", 1);
+        put(&mut buf, "z", 1);
+        buf.begin_pass(false);
+        // Inserting "z" again while frozen goes to the next table even
+        // though it is ahead of any cursor.
+        put(&mut buf, "z", 2);
+        // Read sees the fresher copy.
+        assert_eq!(buf.get(b"z").unwrap().seqno, 2);
+        let mut drained = vec![];
+        while let Some((k, v)) = buf.drain_next() {
+            drained.push((k, v.seqno));
+        }
+        assert_eq!(drained, vec![(b("a"), 1), (b("z"), 1)]);
+        buf.end_pass();
+        assert_eq!(buf.get(b"z").unwrap().seqno, 2);
+    }
+
+    #[test]
+    fn iter_prefers_fresher_copy() {
+        let mut buf = SnowshovelBuffer::new();
+        put(&mut buf, "a", 1);
+        put(&mut buf, "b", 1);
+        buf.begin_pass(false);
+        put(&mut buf, "b", 2);
+        put(&mut buf, "c", 2);
+        let items: Vec<_> = buf.iter().map(|(k, v)| (k.clone(), v.seqno)).collect();
+        assert_eq!(items, vec![(b("a"), 1), (b("b"), 2), (b("c"), 2)]);
+    }
+
+    #[test]
+    fn range_from_spans_both_tables() {
+        let mut buf = SnowshovelBuffer::new();
+        put(&mut buf, "a", 1);
+        put(&mut buf, "c", 1);
+        buf.begin_pass(false);
+        put(&mut buf, "b", 2);
+        let keys: Vec<_> = buf.range_from(b"b").map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b("b"), b("c")]);
+    }
+
+    #[test]
+    fn drain_progress_accounting() {
+        let mut buf = SnowshovelBuffer::new();
+        put(&mut buf, "a", 1);
+        put(&mut buf, "b", 1);
+        let total = buf.approx_bytes();
+        buf.begin_pass(true);
+        assert_eq!(buf.pass_start_bytes(), total);
+        buf.drain_next().unwrap();
+        assert!(buf.drained_bytes() > 0 && buf.drained_bytes() < total);
+        buf.drain_next().unwrap();
+        assert_eq!(buf.drained_bytes(), total);
+        buf.end_pass();
+    }
+
+    #[test]
+    #[should_panic(expected = "pass already active")]
+    fn double_begin_pass_panics() {
+        let mut buf = SnowshovelBuffer::new();
+        buf.begin_pass(true);
+        buf.begin_pass(true);
+    }
+
+    #[test]
+    #[should_panic(expected = "undrained")]
+    fn end_pass_with_remaining_panics() {
+        let mut buf = SnowshovelBuffer::new();
+        put(&mut buf, "a", 1);
+        buf.begin_pass(true);
+        buf.end_pass();
+    }
+}

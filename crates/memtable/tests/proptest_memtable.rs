@@ -1,0 +1,208 @@
+//! Property-based tests for `C0`: folding semantics and snowshoveling
+//! invariants under arbitrary interleavings.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use blsm_memtable::{
+    merge_versions, AddOperator, AppendOperator, Entry, Memtable,
+    SnowshovelBuffer, Versioned,
+};
+
+fn key(k: u8) -> Bytes {
+    Bytes::from(format!("k{k:03}"))
+}
+
+#[derive(Debug, Clone)]
+enum Write {
+    Put(u8, u8),
+    Delta(u8, u8),
+    Tombstone(u8),
+}
+
+fn write_strategy() -> impl Strategy<Value = Write> {
+    prop_oneof![
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Write::Put(k % 32, v)),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Write::Delta(k % 32, v)),
+        1 => any::<u8>().prop_map(|k| Write::Tombstone(k % 32)),
+    ]
+}
+
+/// Model of what a key should resolve to given its full write history.
+fn model_resolve(history: &[Write]) -> Option<Vec<u8>> {
+    let mut state: Option<Vec<u8>> = None;
+    let mut exists = false;
+    for w in history {
+        match w {
+            Write::Put(_, v) => {
+                state = Some(vec![*v]);
+                exists = true;
+            }
+            Write::Delta(_, d) => {
+                let mut s = state.take().unwrap_or_default();
+                s.push(*d);
+                state = Some(s);
+                exists = true;
+            }
+            Write::Tombstone(_) => {
+                state = None;
+                exists = false;
+            }
+        }
+    }
+    if exists {
+        Some(state.unwrap_or_default())
+    } else {
+        None
+    }
+}
+
+proptest! {
+    /// Folding writes into the memtable one at a time gives the same
+    /// resolution as applying the whole history at once.
+    #[test]
+    fn memtable_folding_matches_history(ops in proptest::collection::vec(write_strategy(), 1..120)) {
+        let op = AppendOperator;
+        let mut m = Memtable::new();
+        for (seq, w) in ops.iter().enumerate() {
+            let (k, v) = match w {
+                Write::Put(k, v) => (*k, Versioned::put(seq as u64, Bytes::from(vec![*v]))),
+                Write::Delta(k, v) => (*k, Versioned::delta(seq as u64, Bytes::from(vec![*v]))),
+                Write::Tombstone(k) => (*k, Versioned::tombstone(seq as u64)),
+            };
+            m.insert(key(k), v, &op);
+        }
+        for k in 0..32u8 {
+            let history: Vec<Write> = ops
+                .iter()
+                .filter(|w| matches!(w, Write::Put(kk, _) | Write::Delta(kk, _) | Write::Tombstone(kk) if *kk == k))
+                .cloned()
+                .collect();
+            if history.is_empty() {
+                prop_assert!(m.get(&key(k)).is_none());
+                continue;
+            }
+            let want = model_resolve(&history);
+            // The memtable entry, resolved at the bottom (no disk below).
+            let resolved = m
+                .get(&key(k))
+                .and_then(|v| merge_versions(&op, std::slice::from_ref(v), true));
+            let got = resolved.map(|v| match v.entry {
+                Entry::Put(b) => b.to_vec(),
+                other => panic!("bottom resolution must be a base record, got {other:?}"),
+            });
+            prop_assert_eq!(got, want, "key {}", k);
+        }
+    }
+
+    /// Byte accounting never goes negative and reaches exactly zero when
+    /// the table is drained.
+    #[test]
+    fn byte_accounting_is_exact(ops in proptest::collection::vec(write_strategy(), 1..100)) {
+        let op = AppendOperator;
+        let mut m = Memtable::new();
+        for (seq, w) in ops.iter().enumerate() {
+            let (k, v) = match w {
+                Write::Put(k, v) => (*k, Versioned::put(seq as u64, Bytes::from(vec![*v; 5]))),
+                Write::Delta(k, v) => (*k, Versioned::delta(seq as u64, Bytes::from(vec![*v]))),
+                Write::Tombstone(k) => (*k, Versioned::tombstone(seq as u64)),
+            };
+            m.insert(key(k), v, &op);
+        }
+        prop_assert!(m.approx_bytes() > 0);
+        while m.pop_first().is_some() {}
+        prop_assert_eq!(m.approx_bytes(), 0);
+        prop_assert_eq!(m.len(), 0);
+    }
+
+    /// Snowshovel invariant: across any interleaving of drains and
+    /// inserts, (a) drained keys are strictly increasing within a pass,
+    /// (b) no write is ever lost — every key ends up either drained or
+    /// still resident, with the resident version at least as new.
+    #[test]
+    fn snowshovel_never_loses_or_reorders(
+        preload in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..40),
+        interleave in proptest::collection::vec((any::<bool>(), any::<u8>(), any::<u8>()), 0..80),
+    ) {
+        let op = AppendOperator;
+        let mut buf = SnowshovelBuffer::new();
+        let mut seq = 0u64;
+        let mut latest_seq = std::collections::HashMap::new();
+        for (k, v) in &preload {
+            buf.insert(key(k % 32), Versioned::put(seq, Bytes::from(vec![*v])), &op);
+            latest_seq.insert(k % 32, seq);
+            seq += 1;
+        }
+        buf.begin_pass(true);
+        let mut drained: Vec<(Bytes, u64)> = Vec::new();
+        let mut last_drained_key: Option<Bytes> = None;
+        for (do_drain, k, v) in &interleave {
+            if *do_drain {
+                if let Some((dk, dv)) = buf.drain_next() {
+                    if let Some(last) = &last_drained_key {
+                        prop_assert!(dk > last, "drain went backwards");
+                    }
+                    last_drained_key = Some(dk.clone());
+                    drained.push((dk, dv.seqno));
+                }
+            } else {
+                buf.insert(key(k % 32), Versioned::put(seq, Bytes::from(vec![*v])), &op);
+                latest_seq.insert(k % 32, seq);
+                seq += 1;
+            }
+        }
+        while let Some((dk, dv)) = buf.drain_next() {
+            if let Some(last) = &last_drained_key {
+                prop_assert!(dk > last, "final drain went backwards");
+            }
+            last_drained_key = Some(dk.clone());
+            drained.push((dk, dv.seqno));
+        }
+        buf.end_pass();
+        // Every key with a write must be resident (the pass output is
+        // modelled as merged away; residual keys must carry their newest
+        // seqno unless that version was drained).
+        for (k, want_seq) in &latest_seq {
+            let resident = buf.get(&key(*k)).map(|v| v.seqno);
+            let drained_newest = drained
+                .iter()
+                .filter(|(dk, _)| dk == &key(*k))
+                .map(|(_, s)| *s)
+                .max();
+            let newest = resident.into_iter().chain(drained_newest).max();
+            prop_assert_eq!(newest, Some(*want_seq), "key {} lost its newest write", k);
+        }
+    }
+
+    /// merge_versions agrees with sequential application for the counter
+    /// operator, in any mix of puts/deltas/tombstones.
+    #[test]
+    fn merge_versions_matches_sequential_counter(ops in proptest::collection::vec(write_strategy(), 1..12)) {
+        let op = AddOperator;
+        // Build newest-first version stack for a single key.
+        let versions: Vec<Versioned> = ops
+            .iter()
+            .enumerate()
+            .rev()
+            .map(|(seq, w)| match w {
+                Write::Put(_, v) => Versioned::put(seq as u64, Bytes::copy_from_slice(&(*v as i64).to_le_bytes())),
+                Write::Delta(_, v) => Versioned::delta(seq as u64, Bytes::copy_from_slice(&(*v as i64).to_le_bytes())),
+                Write::Tombstone(_) => Versioned::tombstone(seq as u64),
+            })
+            .collect();
+        // Sequential model.
+        let mut state: Option<i64> = None;
+        for w in &ops {
+            match w {
+                Write::Put(_, v) => state = Some(*v as i64),
+                Write::Delta(_, v) => state = Some(state.unwrap_or(0) + *v as i64),
+                Write::Tombstone(_) => state = None,
+            }
+        }
+        let got = merge_versions(&op, &versions, true).map(|v| match v.entry {
+            Entry::Put(b) => i64::from_le_bytes(b[..8].try_into().unwrap()),
+            other => panic!("bottom must yield base records, got {other:?}"),
+        });
+        prop_assert_eq!(got, state);
+    }
+}

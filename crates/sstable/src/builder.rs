@@ -1,0 +1,580 @@
+//! Incremental sstable construction with a readable view.
+//!
+//! Merges write their output through this builder. Two properties matter
+//! for fidelity to the paper:
+//!
+//! 1. **Sequential writes.** Completed pages accumulate in a write buffer
+//!    that is flushed to the device in multi-page chunks, so the cost of
+//!    interleaving merge reads and writes on one spindle is one seek per
+//!    chunk, not per page — this is what makes LSM write amplification a
+//!    *bandwidth* figure (§2.1).
+//! 2. **Readable while under construction.** Snowshoveling removes entries
+//!    from `C0` as the merge consumes them (§4.2), so lookups and scans
+//!    must be able to find those entries in the partially-built output
+//!    component. [`SstableBuilder::view`] exposes point lookups and ordered
+//!    iteration over everything added so far, backed by the incremental
+//!    index, the incremental Bloom filter, the flushed pages, and the
+//!    in-memory tail.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use blsm_bloom::{BloomFilter, BloomParams};
+use blsm_memtable::{Entry, Versioned};
+use blsm_storage::page::{Page, PageType, PAGE_PAYLOAD_LEN};
+use blsm_storage::{BufferPool, Region, Result, StorageError, PAGE_SIZE};
+
+use crate::format::{
+    self, encode_entry, encoded_len, parse_data_page, write_data_page_header, EntryRef,
+    DATA_PAGE_HEADER,
+};
+use crate::table::{Sstable, SstableMeta};
+
+/// Entry bytes that fit in one leaf page.
+pub const LEAF_CAPACITY: usize = PAGE_PAYLOAD_LEN - DATA_PAGE_HEADER;
+
+/// Default write-buffer size in pages (256 KiB): the chunk granularity at
+/// which merge output reaches the device.
+pub const DEFAULT_FLUSH_PAGES: usize = 64;
+
+/// Streaming builder for one on-disk component.
+pub struct SstableBuilder {
+    pool: Arc<BufferPool>,
+    region: Region,
+    /// Open leaf: encoded entries waiting to fill a page.
+    leaf: Vec<u8>,
+    leaf_count: u16,
+    leaf_first_key: Option<Bytes>,
+    /// Decoded copies of the open leaf's entries, for the readable view.
+    leaf_entries: Vec<EntryRef>,
+    /// Sealed page images not yet flushed to the device.
+    chunk: Vec<u8>,
+    /// Region-relative index of the first page in `chunk`.
+    chunk_start: u64,
+    /// Next region-relative page index to assign.
+    next_page: u64,
+    flush_pages: usize,
+    index: Vec<(Bytes, u32)>,
+    bloom: BloomFilter,
+    entry_count: u64,
+    data_bytes: u64,
+    tombstones: u64,
+    min_seqno: u64,
+    max_seqno: u64,
+    min_key: Option<Bytes>,
+    last_key: Option<Bytes>,
+}
+
+impl SstableBuilder {
+    /// Starts building into `region` (which must be generously sized; the
+    /// unused tail can be freed after [`finish`](Self::finish)).
+    /// `expected_keys` sizes the Bloom filter for the paper's <1% false
+    /// positive rate.
+    pub fn new(pool: Arc<BufferPool>, region: Region, expected_keys: u64) -> SstableBuilder {
+        SstableBuilder {
+            pool,
+            region,
+            leaf: Vec::with_capacity(LEAF_CAPACITY),
+            leaf_count: 0,
+            leaf_first_key: None,
+            leaf_entries: Vec::new(),
+            chunk: Vec::new(),
+            chunk_start: 0,
+            next_page: 0,
+            flush_pages: DEFAULT_FLUSH_PAGES,
+            index: Vec::new(),
+            bloom: BloomFilter::new(BloomParams::for_fp_rate(expected_keys, 0.01)),
+            entry_count: 0,
+            data_bytes: 0,
+            tombstones: 0,
+            min_seqno: u64::MAX,
+            max_seqno: 0,
+            min_key: None,
+            last_key: None,
+        }
+    }
+
+    /// Overrides the write-buffer chunk size (in pages).
+    pub fn with_flush_pages(mut self, pages: usize) -> SstableBuilder {
+        self.flush_pages = pages.max(1);
+        self
+    }
+
+    /// Number of entries added so far.
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// User bytes (keys + payloads) added so far.
+    pub fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    /// Pages assigned so far (flushed or pending).
+    pub fn pages_written(&self) -> u64 {
+        self.next_page
+    }
+
+    /// The largest key added so far — the merge's output cursor.
+    pub fn last_key(&self) -> Option<&Bytes> {
+        self.last_key.as_ref()
+    }
+
+    /// Adds the next entry. Keys must arrive in strictly increasing order
+    /// (a component holds one version per key).
+    pub fn add(&mut self, key: &Bytes, v: &Versioned) -> Result<()> {
+        if let Some(last) = &self.last_key {
+            assert!(
+                key > last,
+                "sstable entries must be added in strictly increasing key order"
+            );
+        }
+        let len = encoded_len(key, v);
+        if self.leaf.len() + len > LEAF_CAPACITY {
+            self.seal_leaf()?;
+        }
+        if len > LEAF_CAPACITY {
+            self.add_spanning(key, v)?;
+        } else {
+            if self.leaf_first_key.is_none() {
+                self.leaf_first_key = Some(key.clone());
+            }
+            encode_entry(&mut self.leaf, key, v);
+            self.leaf_count += 1;
+            self.leaf_entries.push(EntryRef { key: key.clone(), version: v.clone() });
+        }
+        self.bloom.insert(key);
+        self.entry_count += 1;
+        self.data_bytes += (key.len() + v.entry.payload_len()) as u64;
+        if matches!(v.entry, Entry::Tombstone) {
+            self.tombstones += 1;
+        }
+        self.min_seqno = self.min_seqno.min(v.seqno);
+        self.max_seqno = self.max_seqno.max(v.seqno);
+        if self.min_key.is_none() {
+            self.min_key = Some(key.clone());
+        }
+        self.last_key = Some(key.clone());
+        Ok(())
+    }
+
+    /// Seals the open leaf into a data page.
+    fn seal_leaf(&mut self) -> Result<()> {
+        if self.leaf_count == 0 {
+            return Ok(());
+        }
+        let first_key = self.leaf_first_key.take().expect("leaf has entries");
+        let mut page = Page::new(PageType::Data);
+        write_data_page_header(page.payload_mut(), self.leaf_count, 0);
+        page.payload_mut()[DATA_PAGE_HEADER..DATA_PAGE_HEADER + self.leaf.len()]
+            .copy_from_slice(&self.leaf);
+        let idx = self.emit_page(page)?;
+        self.index.push((first_key, idx as u32));
+        self.leaf.clear();
+        self.leaf_count = 0;
+        self.leaf_entries.clear();
+        Ok(())
+    }
+
+    /// Emits a record too large for one page: a data page holding the entry
+    /// header plus a value prefix filling the page exactly, followed by raw
+    /// overflow pages.
+    fn add_spanning(&mut self, key: &Bytes, v: &Versioned) -> Result<()> {
+        debug_assert!(self.leaf_count == 0, "leaf sealed before spanning record");
+        let val = match &v.entry {
+            Entry::Put(val) | Entry::Delta(val) => val.clone(),
+            Entry::Tombstone => unreachable!("tombstones never exceed a page"),
+        };
+        let mut head = Vec::new();
+        encode_entry(&mut head, key, v);
+        let header_len = head.len() - val.len();
+        let in_page = LEAF_CAPACITY - header_len;
+        let overflow_bytes = val.len() - in_page;
+        let n_overflow = overflow_bytes.div_ceil(PAGE_PAYLOAD_LEN);
+        assert!(n_overflow <= u16::MAX as usize, "record too large");
+
+        let mut page = Page::new(PageType::Data);
+        write_data_page_header(page.payload_mut(), 1, n_overflow as u16);
+        page.payload_mut()[DATA_PAGE_HEADER..].copy_from_slice(&head[..LEAF_CAPACITY]);
+        let idx = self.emit_page(page)?;
+        self.index.push((key.clone(), idx as u32));
+
+        let mut rest = &head[LEAF_CAPACITY..];
+        for _ in 0..n_overflow {
+            let mut page = Page::new(PageType::Overflow);
+            let n = rest.len().min(PAGE_PAYLOAD_LEN);
+            page.payload_mut()[..n].copy_from_slice(&rest[..n]);
+            rest = &rest[n..];
+            self.emit_page(page)?;
+        }
+        debug_assert!(rest.is_empty());
+        Ok(())
+    }
+
+    /// Appends a sealed page to the write buffer, flushing when full.
+    /// Returns the page's region-relative index.
+    fn emit_page(&mut self, page: Page) -> Result<u64> {
+        let idx = self.next_page;
+        if idx >= self.region.pages {
+            return Err(StorageError::OutOfSpace { requested_pages: 1 });
+        }
+        self.chunk.extend_from_slice(&page.to_bytes());
+        self.next_page += 1;
+        if self.chunk.len() >= self.flush_pages * PAGE_SIZE {
+            self.flush_chunk()?;
+        }
+        Ok(idx)
+    }
+
+    /// Writes the buffered chunk to the device in one call — one seek,
+    /// arbitrarily many pages of transfer.
+    fn flush_chunk(&mut self) -> Result<()> {
+        if self.chunk.is_empty() {
+            return Ok(());
+        }
+        let offset = self.region.page(self.chunk_start).offset();
+        self.pool.device().write_at(offset, &self.chunk)?;
+        self.chunk_start = self.next_page;
+        self.chunk.clear();
+        Ok(())
+    }
+
+    /// Reads a region-relative page, preferring the in-memory write buffer.
+    fn read_page(&self, idx: u64) -> Result<Page> {
+        if idx >= self.chunk_start {
+            let off = ((idx - self.chunk_start) as usize) * PAGE_SIZE;
+            let bytes = &self.chunk[off..off + PAGE_SIZE];
+            Page::from_bytes(bytes, self.region.page(idx))
+        } else {
+            let page = self.pool.read(self.region.page(idx))?;
+            Ok((*page).clone())
+        }
+    }
+
+    /// Parses the data page at `idx` (including overflow reassembly).
+    fn read_leaf(&self, idx: u64) -> Result<Vec<EntryRef>> {
+        let page = self.read_page(idx)?;
+        let (_, n_overflow) = format::read_data_page_header(page.payload());
+        let mut overflow = Vec::new();
+        for i in 0..u64::from(n_overflow) {
+            let opage = self.read_page(idx + 1 + i)?;
+            overflow.extend_from_slice(opage.payload());
+        }
+        parse_data_page(page.payload(), &overflow)
+    }
+
+    /// A readable view of everything added so far.
+    pub fn view(&self) -> BuilderView<'_> {
+        BuilderView { builder: self }
+    }
+
+    /// Completes the component: seals the open leaf, writes index, Bloom
+    /// filter and footer pages, and returns the finished table. The
+    /// returned table's region is trimmed to the pages actually used; the
+    /// caller should free the tail `[used, region.pages)` back to its
+    /// allocator.
+    pub fn finish(mut self) -> Result<Sstable> {
+        self.seal_leaf()?;
+        let n_data_pages = self.next_page;
+
+        // Index pages.
+        let index_start = self.next_page;
+        let mut payload_buf: Vec<u8> = Vec::new();
+        let mut count: u16 = 0;
+        let mut serialized: Vec<(u16, Vec<u8>)> = Vec::new();
+        for (key, page_idx) in &self.index {
+            let mut entry = Vec::with_capacity(key.len() + 8);
+            blsm_storage::codec::put_bytes(&mut entry, key);
+            blsm_storage::codec::put_u32(&mut entry, *page_idx);
+            if payload_buf.len() + entry.len() > PAGE_PAYLOAD_LEN - 2 {
+                serialized.push((count, std::mem::take(&mut payload_buf)));
+                count = 0;
+            }
+            payload_buf.extend_from_slice(&entry);
+            count += 1;
+        }
+        if count > 0 || serialized.is_empty() {
+            serialized.push((count, payload_buf));
+        }
+        for (count, body) in serialized {
+            let mut page = Page::new(PageType::Index);
+            page.payload_mut()[..2].copy_from_slice(&count.to_le_bytes());
+            page.payload_mut()[2..2 + body.len()].copy_from_slice(&body);
+            self.emit_page(page)?;
+        }
+        let n_index_pages = self.next_page - index_start;
+
+        // Bloom pages.
+        let bloom_start = self.next_page;
+        let bloom_bytes = self.bloom.to_bytes();
+        for chunk in bloom_bytes.chunks(PAGE_PAYLOAD_LEN) {
+            let mut page = Page::new(PageType::Bloom);
+            page.payload_mut()[..chunk.len()].copy_from_slice(chunk);
+            self.emit_page(page)?;
+        }
+
+        let meta = SstableMeta {
+            n_data_pages,
+            index_start,
+            n_index_pages,
+            bloom_start,
+            bloom_len: bloom_bytes.len() as u64,
+            entry_count: self.entry_count,
+            data_bytes: self.data_bytes,
+            tombstones: self.tombstones,
+            min_seqno: if self.entry_count == 0 { 0 } else { self.min_seqno },
+            max_seqno: self.max_seqno,
+            min_key: self.min_key.clone().unwrap_or_default(),
+            max_key: self.last_key.clone().unwrap_or_default(),
+        };
+
+        // Footer.
+        let mut page = Page::new(PageType::Footer);
+        let body = meta.encode();
+        page.payload_mut()[..body.len()].copy_from_slice(&body);
+        self.emit_page(page)?;
+        self.flush_chunk()?;
+
+        let used = Region { start: self.region.start, pages: self.next_page };
+        Ok(Sstable::assemble(
+            self.pool.clone(),
+            used,
+            meta,
+            self.index,
+            Arc::new(self.bloom),
+        ))
+    }
+}
+
+/// Read access to a partially built component.
+pub struct BuilderView<'a> {
+    builder: &'a SstableBuilder,
+}
+
+impl<'a> BuilderView<'a> {
+    /// Bloom filter probe over everything added so far.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.builder.bloom.contains(key)
+    }
+
+    /// Point lookup over everything added so far.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Versioned>> {
+        // The open (unsealed) leaf first: it holds the newest keys.
+        if let Some(e) = self
+            .builder
+            .leaf_entries
+            .iter()
+            .find(|e| e.key.as_ref() == key)
+        {
+            return Ok(Some(e.version.clone()));
+        }
+        let idx = &self.builder.index;
+        // Last leaf whose first key is <= key.
+        let pos = idx.partition_point(|(k, _)| k.as_ref() <= key);
+        if pos == 0 {
+            return Ok(None);
+        }
+        let page_idx = u64::from(idx[pos - 1].1);
+        let entries = self.builder.read_leaf(page_idx)?;
+        Ok(entries
+            .into_iter()
+            .find(|e| e.key.as_ref() == key)
+            .map(|e| e.version))
+    }
+
+    /// Ordered iteration over everything added so far, starting at the
+    /// first key ≥ `from`. Consumes pages through the builder (buffered
+    /// tail included).
+    pub fn iter_from(&self, from: &[u8]) -> BuilderIter<'a> {
+        let idx = &self.builder.index;
+        let pos = idx.partition_point(|(k, _)| k.as_ref() <= from);
+        let leaf_pos = pos.saturating_sub(1);
+        BuilderIter {
+            builder: self.builder,
+            next_leaf: leaf_pos,
+            pending: std::collections::VecDeque::new(),
+            from: from.to_vec(),
+            emitted_open_leaf: false,
+        }
+    }
+}
+
+/// Ordered iterator over a partially built component.
+pub struct BuilderIter<'a> {
+    builder: &'a SstableBuilder,
+    /// Next position in the builder's leaf index to load.
+    next_leaf: usize,
+    pending: std::collections::VecDeque<EntryRef>,
+    from: Vec<u8>,
+    emitted_open_leaf: bool,
+}
+
+impl Iterator for BuilderIter<'_> {
+    type Item = Result<EntryRef>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(e) = self.pending.pop_front() {
+                if e.key.as_ref() < self.from.as_slice() {
+                    continue;
+                }
+                return Some(Ok(e));
+            }
+            if self.next_leaf < self.builder.index.len() {
+                let page_idx = u64::from(self.builder.index[self.next_leaf].1);
+                self.next_leaf += 1;
+                match self.builder.read_leaf(page_idx) {
+                    Ok(entries) => self.pending.extend(entries),
+                    Err(e) => return Some(Err(e)),
+                }
+                continue;
+            }
+            if !self.emitted_open_leaf {
+                self.emitted_open_leaf = true;
+                self.pending
+                    .extend(self.builder.leaf_entries.iter().cloned());
+                continue;
+            }
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blsm_storage::device::Device;
+    use blsm_storage::{DiskModel, MemDevice, SimDevice};
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Arc::new(MemDevice::new()), 1024))
+    }
+
+    fn key(i: u32) -> Bytes {
+        Bytes::from(format!("key{i:08}"))
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let pool = pool();
+        let region = Region { start: blsm_storage::PageId(0), pages: 512 };
+        let mut b = SstableBuilder::new(pool.clone(), region, 1000);
+        for i in 0..1000u32 {
+            b.add(&key(i), &Versioned::put(u64::from(i), Bytes::from(vec![i as u8; 100])))
+                .unwrap();
+        }
+        let table = b.finish().unwrap();
+        assert_eq!(table.meta().entry_count, 1000);
+        for i in (0..1000u32).step_by(37) {
+            let v = table.get(&key(i)).unwrap().expect("present");
+            assert_eq!(v.entry, Entry::Put(Bytes::from(vec![i as u8; 100])));
+        }
+        assert!(table.get(b"nope").unwrap().is_none());
+    }
+
+    #[test]
+    fn view_reads_flushed_and_buffered_entries() {
+        let pool = pool();
+        let region = Region { start: blsm_storage::PageId(0), pages: 512 };
+        // Small flush chunk so some pages are on device, some buffered.
+        let mut b = SstableBuilder::new(pool, region, 500).with_flush_pages(2);
+        for i in 0..500u32 {
+            b.add(&key(i), &Versioned::put(u64::from(i), Bytes::from(vec![0u8; 50])))
+                .unwrap();
+        }
+        let view = b.view();
+        for i in (0..500u32).step_by(13) {
+            assert!(view.may_contain(&key(i)));
+            let v = view.get(&key(i)).unwrap().expect("present in view");
+            assert_eq!(v.seqno, u64::from(i));
+        }
+        assert!(view.get(&key(9999)).unwrap().is_none());
+    }
+
+    #[test]
+    fn view_iter_is_ordered_and_complete() {
+        let pool = pool();
+        let region = Region { start: blsm_storage::PageId(0), pages: 512 };
+        let mut b = SstableBuilder::new(pool, region, 300).with_flush_pages(2);
+        for i in 0..300u32 {
+            b.add(&key(i), &Versioned::put(1, Bytes::from_static(b"v"))).unwrap();
+        }
+        let got: Vec<_> = b
+            .view()
+            .iter_from(&key(100))
+            .map(|r| r.unwrap().key)
+            .collect();
+        assert_eq!(got.len(), 200);
+        assert_eq!(got[0], key(100));
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn spanning_records_roundtrip() {
+        let pool = pool();
+        let region = Region { start: blsm_storage::PageId(0), pages: 512 };
+        let mut b = SstableBuilder::new(pool, region, 10);
+        let big = Bytes::from(vec![7u8; 20_000]);
+        b.add(&key(0), &Versioned::put(1, Bytes::from_static(b"small"))).unwrap();
+        b.add(&key(1), &Versioned::put(2, big.clone())).unwrap();
+        b.add(&key(2), &Versioned::put(3, Bytes::from_static(b"after"))).unwrap();
+        let table = b.finish().unwrap();
+        assert_eq!(
+            table.get(&key(1)).unwrap().unwrap().entry,
+            Entry::Put(big)
+        );
+        assert_eq!(
+            table.get(&key(2)).unwrap().unwrap().entry,
+            Entry::Put(Bytes::from_static(b"after"))
+        );
+    }
+
+    #[test]
+    fn out_of_order_add_panics() {
+        let pool = pool();
+        let region = Region { start: blsm_storage::PageId(0), pages: 64 };
+        let mut b = SstableBuilder::new(pool, region, 10);
+        b.add(&key(5), &Versioned::put(1, Bytes::new())).unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.add(&key(4), &Versioned::put(2, Bytes::new()))
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn region_overflow_is_an_error() {
+        let pool = pool();
+        let region = Region { start: blsm_storage::PageId(0), pages: 2 };
+        let mut b = SstableBuilder::new(pool, region, 10);
+        let val = Bytes::from(vec![0u8; 3000]);
+        let mut hit_error = false;
+        for i in 0..10u32 {
+            if let Err(StorageError::OutOfSpace { .. }) =
+                b.add(&key(i), &Versioned::put(1, val.clone()))
+            {
+                hit_error = true;
+                break;
+            }
+        }
+        assert!(hit_error);
+    }
+
+    #[test]
+    fn chunked_writes_are_sequential_on_device() {
+        let dev = Arc::new(SimDevice::new(DiskModel::hdd()));
+        let pool = Arc::new(BufferPool::new(dev.clone(), 1024));
+        let region = Region { start: blsm_storage::PageId(0), pages: 2048 };
+        let mut b = SstableBuilder::new(pool, region, 2000);
+        for i in 0..2000u32 {
+            b.add(&key(i), &Versioned::put(1, Bytes::from(vec![0u8; 900]))).unwrap();
+        }
+        let table = b.finish().unwrap();
+        let stats = dev.stats();
+        // ~2000 entries * ~912B = ~450 pages; at 64-page chunks that is a
+        // handful of device writes, all but the first sequential.
+        assert!(stats.random_writes <= 2, "random writes: {}", stats.random_writes);
+        assert!(stats.sequential_writes >= 5);
+        assert!(table.meta().n_data_pages >= 400);
+    }
+}

@@ -1,0 +1,225 @@
+//! On-disk encoding of entries, data pages, index pages and footers.
+//!
+//! All multi-byte integers are little-endian; variable-length quantities
+//! use LEB128 (see `blsm_storage::codec`).
+//!
+//! Entry encoding:
+//! `varint key_len | key | kind(1) | varint seqno | [varint val_len | val]`
+//! where `kind` is 0=Put, 1=Delta, 2=Tombstone (value present for 0 and 1).
+//!
+//! Data page payload:
+//! `count(2) | overflow_pages(2) | entries...`
+//! When the *last* entry's value does not fit, its remaining bytes continue
+//! in `overflow_pages` raw overflow pages immediately following the leaf.
+
+use bytes::Bytes;
+
+use blsm_storage::codec::{self, Reader};
+use blsm_storage::{Result, StorageError};
+use blsm_memtable::{Entry, Versioned};
+
+/// Borrowed view of a decoded entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryRef {
+    /// The key.
+    pub key: Bytes,
+    /// The versioned record.
+    pub version: Versioned,
+}
+
+/// Encodes one entry.
+pub fn encode_entry(out: &mut Vec<u8>, key: &[u8], v: &Versioned) {
+    codec::put_bytes(out, key);
+    match &v.entry {
+        Entry::Put(val) => {
+            codec::put_u8(out, 0);
+            codec::put_varint(out, v.seqno);
+            codec::put_bytes(out, val);
+        }
+        Entry::Delta(val) => {
+            codec::put_u8(out, 1);
+            codec::put_varint(out, v.seqno);
+            codec::put_bytes(out, val);
+        }
+        Entry::Tombstone => {
+            codec::put_u8(out, 2);
+            codec::put_varint(out, v.seqno);
+        }
+    }
+}
+
+/// Size in bytes [`encode_entry`] would produce.
+pub fn encoded_len(key: &[u8], v: &Versioned) -> usize {
+    let mut n = varint_len(key.len() as u64) + key.len() + 1 + varint_len(v.seqno);
+    match &v.entry {
+        Entry::Put(val) | Entry::Delta(val) => {
+            n += varint_len(val.len() as u64) + val.len();
+        }
+        Entry::Tombstone => {}
+    }
+    n
+}
+
+fn varint_len(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).max(1).div_ceil(7)
+}
+
+/// Decodes one entry.
+pub fn decode_entry(r: &mut Reader<'_>) -> Result<EntryRef> {
+    let key = Bytes::copy_from_slice(r.bytes()?);
+    let kind = r.u8()?;
+    let seqno = r.varint()?;
+    let entry = match kind {
+        0 => Entry::Put(Bytes::copy_from_slice(r.bytes()?)),
+        1 => Entry::Delta(Bytes::copy_from_slice(r.bytes()?)),
+        2 => Entry::Tombstone,
+        other => {
+            return Err(StorageError::InvalidFormat(format!("bad entry kind {other}")))
+        }
+    };
+    Ok(EntryRef { key, version: Versioned { seqno, entry } })
+}
+
+/// Header bytes at the start of every data page payload.
+pub const DATA_PAGE_HEADER: usize = 4;
+
+/// Writes a data page payload header.
+pub fn write_data_page_header(payload: &mut [u8], count: u16, overflow_pages: u16) {
+    payload[0..2].copy_from_slice(&count.to_le_bytes());
+    payload[2..4].copy_from_slice(&overflow_pages.to_le_bytes());
+}
+
+/// Reads `(count, overflow_pages)` from a data page payload.
+pub fn read_data_page_header(payload: &[u8]) -> (u16, u16) {
+    let count = u16::from_le_bytes(payload[0..2].try_into().unwrap());
+    let overflow = u16::from_le_bytes(payload[2..4].try_into().unwrap());
+    (count, overflow)
+}
+
+/// Parses the entries of a data page. `overflow` supplies the concatenated
+/// payloads of the page's overflow pages (empty when the header says there
+/// are none); the final entry's value continues there.
+pub fn parse_data_page(payload: &[u8], overflow: &[u8]) -> Result<Vec<EntryRef>> {
+    let (count, n_overflow) = read_data_page_header(payload);
+    let mut entries = Vec::with_capacity(count as usize);
+    if n_overflow == 0 {
+        let mut r = Reader::new(&payload[DATA_PAGE_HEADER..]);
+        for _ in 0..count {
+            entries.push(decode_entry(&mut r)?);
+        }
+        return Ok(entries);
+    }
+    // Spanning record: the page holds exactly one entry whose value is
+    // split between this page and the overflow pages.
+    if count != 1 {
+        return Err(StorageError::InvalidFormat(format!(
+            "overflow data page must hold exactly 1 entry, found {count}"
+        )));
+    }
+    let mut r = Reader::new(&payload[DATA_PAGE_HEADER..]);
+    let key = Bytes::copy_from_slice(r.bytes()?);
+    let kind = r.u8()?;
+    let seqno = r.varint()?;
+    if kind == 2 {
+        return Err(StorageError::InvalidFormat(
+            "tombstone cannot span pages".into(),
+        ));
+    }
+    let val_len = r.varint()? as usize;
+    let in_page = r.remaining();
+    let from_page = &payload[payload.len() - in_page..];
+    let needed_from_overflow = val_len.saturating_sub(in_page.min(val_len));
+    if overflow.len() < needed_from_overflow {
+        return Err(StorageError::InvalidFormat(format!(
+            "spanning record needs {needed_from_overflow} overflow bytes, have {}",
+            overflow.len()
+        )));
+    }
+    let mut val = Vec::with_capacity(val_len);
+    val.extend_from_slice(&from_page[..in_page.min(val_len)]);
+    val.extend_from_slice(&overflow[..val_len - val.len()]);
+    let entry = if kind == 0 {
+        Entry::Put(Bytes::from(val))
+    } else {
+        Entry::Delta(Bytes::from(val))
+    };
+    entries.push(EntryRef { key, version: Versioned { seqno, entry } });
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v_put(seq: u64, val: &[u8]) -> Versioned {
+        Versioned::put(seq, Bytes::copy_from_slice(val))
+    }
+
+    #[test]
+    fn entry_roundtrip_all_kinds() {
+        let cases = [
+            ("k1", Versioned::put(7, Bytes::from_static(b"value"))),
+            ("k2", Versioned::delta(8, Bytes::from_static(b"+1"))),
+            ("k3", Versioned::tombstone(9)),
+            ("", Versioned::put(0, Bytes::from_static(b""))),
+        ];
+        let mut buf = Vec::new();
+        for (k, v) in &cases {
+            let before = buf.len();
+            encode_entry(&mut buf, k.as_bytes(), v);
+            assert_eq!(buf.len() - before, encoded_len(k.as_bytes(), v));
+        }
+        let mut r = Reader::new(&buf);
+        for (k, v) in &cases {
+            let e = decode_entry(&mut r).unwrap();
+            assert_eq!(e.key.as_ref(), k.as_bytes());
+            assert_eq!(&e.version, v);
+        }
+    }
+
+    #[test]
+    fn data_page_roundtrip() {
+        let mut payload = vec![0u8; 4096];
+        let mut body = Vec::new();
+        encode_entry(&mut body, b"alpha", &v_put(1, b"one"));
+        encode_entry(&mut body, b"beta", &v_put(2, b"two"));
+        payload[DATA_PAGE_HEADER..DATA_PAGE_HEADER + body.len()].copy_from_slice(&body);
+        write_data_page_header(&mut payload, 2, 0);
+        // Non-overflow parse must tolerate trailing zero padding... it reads
+        // exactly `count` entries, so padding is ignored.
+        let entries = parse_data_page(&payload, &[]).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].key.as_ref(), b"alpha");
+        assert_eq!(entries[1].key.as_ref(), b"beta");
+    }
+
+    #[test]
+    fn spanning_record_reassembles() {
+        let big_val = vec![0xabu8; 10_000];
+        let mut full = Vec::new();
+        encode_entry(&mut full, b"bigkey", &v_put(5, &big_val));
+        // Split: page payload holds the header + first chunk; rest overflows.
+        let page_cap = 4000usize;
+        let mut payload = vec![0u8; page_cap];
+        payload[DATA_PAGE_HEADER..].copy_from_slice(&full[..page_cap - DATA_PAGE_HEADER]);
+        write_data_page_header(&mut payload, 1, 2);
+        let overflow = &full[page_cap - DATA_PAGE_HEADER..];
+        let entries = parse_data_page(&payload, overflow).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].key.as_ref(), b"bigkey");
+        match &entries[0].version.entry {
+            Entry::Put(v) => assert_eq!(v.as_ref(), &big_val[..]),
+            other => panic!("expected Put, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_kind_is_rejected() {
+        let mut buf = Vec::new();
+        codec::put_bytes(&mut buf, b"k");
+        codec::put_u8(&mut buf, 9);
+        codec::put_varint(&mut buf, 1);
+        let mut r = Reader::new(&buf);
+        assert!(decode_entry(&mut r).is_err());
+    }
+}

@@ -1,0 +1,416 @@
+//! Ordered iteration over components and k-way merging.
+//!
+//! Two read modes mirror the two consumers in the paper:
+//!
+//! * [`ReadMode::Pooled`] — application scans: each leaf is fetched through
+//!   the buffer pool (a cold scan costs one seek per component and then
+//!   sequential reads, §3.3).
+//! * [`ReadMode::Buffered`] — merge inputs: leaves are prefetched directly
+//!   from the device in large chunks, amortizing the seek between the
+//!   merge's read and write streams (the paper's merges are pure
+//!   sequential-bandwidth costs, §2.1/§2.3.1).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use blsm_memtable::{merge_versions, MergeOperator};
+use blsm_storage::page::{Page, PAGE_SIZE};
+use blsm_storage::Result;
+
+use crate::format::{self, parse_data_page, EntryRef};
+use crate::table::Sstable;
+
+/// How an iterator fetches pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Through the buffer pool, one page at a time (application reads).
+    Pooled,
+    /// Direct device reads with the given readahead in pages (merges).
+    Buffered(usize),
+}
+
+/// Ordered iterator over one component. Owns a shared handle to the
+/// table, so merge jobs can hold it across engine calls.
+pub struct SstIterator {
+    table: Arc<Sstable>,
+    /// Position in the leaf index of the next leaf to load.
+    next_leaf_pos: usize,
+    pending: VecDeque<EntryRef>,
+    skip_below: Option<Vec<u8>>,
+    mode: ReadMode,
+    /// Prefetch buffer: raw page images starting at `buf_start`.
+    buf: Vec<u8>,
+    buf_start: u64,
+}
+
+impl SstIterator {
+    pub(crate) fn new(
+        table: Arc<Sstable>,
+        start_leaf_pos: usize,
+        skip_below: Option<Vec<u8>>,
+        mode: ReadMode,
+    ) -> SstIterator {
+        SstIterator {
+            table,
+            next_leaf_pos: start_leaf_pos,
+            pending: VecDeque::new(),
+            skip_below,
+            mode,
+            buf: Vec::new(),
+            buf_start: 0,
+        }
+    }
+
+    /// Reads the page at region-relative `idx`, honouring the read mode.
+    fn fetch_page(&mut self, idx: u64) -> Result<Page> {
+        match self.mode {
+            ReadMode::Pooled => {
+                let page = self.table.pool().read(self.table.region().page(idx))?;
+                Ok((*page).clone())
+            }
+            ReadMode::Buffered(readahead) => {
+                let have = self.buf.len() as u64 / PAGE_SIZE as u64;
+                if idx < self.buf_start || idx >= self.buf_start + have {
+                    // Prefetch a chunk, clamped to the data area.
+                    let n_data = self.table.meta().n_data_pages;
+                    let n = (readahead as u64).max(1).min(n_data.saturating_sub(idx)).max(1);
+                    self.buf.resize((n as usize) * PAGE_SIZE, 0);
+                    let off = self.table.region().page(idx).offset();
+                    self.table.pool().device().read_at(off, &mut self.buf)?;
+                    self.buf_start = idx;
+                }
+                let off = ((idx - self.buf_start) as usize) * PAGE_SIZE;
+                Page::from_bytes(
+                    &self.buf[off..off + PAGE_SIZE],
+                    self.table.region().page(idx),
+                )
+            }
+        }
+    }
+
+    /// Loads and parses the next leaf into `pending`. Returns false at EOF.
+    fn load_next_leaf(&mut self) -> Result<bool> {
+        let index = self.table.leaf_index();
+        if self.next_leaf_pos >= index.len() {
+            return Ok(false);
+        }
+        let leaf_idx = u64::from(index[self.next_leaf_pos].1);
+        self.next_leaf_pos += 1;
+        let page = self.fetch_page(leaf_idx)?;
+        let (_, n_overflow) = format::read_data_page_header(page.payload());
+        let mut overflow = Vec::new();
+        for i in 0..u64::from(n_overflow) {
+            let opage = self.fetch_page(leaf_idx + 1 + i)?;
+            overflow.extend_from_slice(opage.payload());
+        }
+        self.pending.extend(parse_data_page(page.payload(), &overflow)?);
+        Ok(true)
+    }
+}
+
+impl Iterator for SstIterator {
+    type Item = Result<EntryRef>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(e) = self.pending.pop_front() {
+                if let Some(from) = &self.skip_below {
+                    if e.key.as_ref() < from.as_slice() {
+                        continue;
+                    }
+                }
+                return Some(Ok(e));
+            }
+            match self.load_next_leaf() {
+                Ok(true) => continue,
+                Ok(false) => return None,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// A boxed key-ordered entry stream. `Send` so merge state (and thus the
+/// whole tree) can move across threads for the background merge driver.
+pub type EntryStream<'a> = Box<dyn Iterator<Item = Result<EntryRef>> + Send + 'a>;
+
+/// K-way merge over key-ordered entry streams.
+///
+/// Streams must be supplied **newest first**; when several streams hold the
+/// same key, their versions are resolved with [`merge_versions`].
+pub struct MergeIter<'a> {
+    streams: Vec<std::iter::Peekable<EntryStream<'a>>>,
+    op: Arc<dyn MergeOperator>,
+    bottom: bool,
+    errored: bool,
+}
+
+impl<'a> MergeIter<'a> {
+    /// Creates a merge over `streams` (newest first).
+    pub fn new(
+        streams: Vec<EntryStream<'a>>,
+        op: Arc<dyn MergeOperator>,
+        bottom: bool,
+    ) -> MergeIter<'a> {
+        MergeIter {
+            streams: streams.into_iter().map(Iterator::peekable).collect(),
+            op,
+            bottom,
+            errored: false,
+        }
+    }
+}
+
+impl Iterator for MergeIter<'_> {
+    type Item = Result<EntryRef>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.errored {
+            return None;
+        }
+        loop {
+            // Find the smallest key across stream heads.
+            let mut min_key: Option<Bytes> = None;
+            for s in &mut self.streams {
+                match s.peek() {
+                    Some(Ok(e)) if min_key.as_ref().is_none_or(|m| e.key < *m) => {
+                        min_key = Some(e.key.clone());
+                    }
+                    Some(Ok(_)) => {}
+                    Some(Err(_)) => {
+                        self.errored = true;
+                        // Surface the error by consuming it.
+                        let err = s.next().expect("peeked").unwrap_err();
+                        return Some(Err(err));
+                    }
+                    None => {}
+                }
+            }
+            let key = min_key?;
+            // Collect all versions of that key, newest stream first.
+            let mut versions = Vec::new();
+            for s in &mut self.streams {
+                if let Some(Ok(e)) = s.peek() {
+                    if e.key == key {
+                        let e = s.next().expect("peeked").expect("ok");
+                        versions.push(e.version);
+                    }
+                }
+            }
+            match merge_versions(self.op.as_ref(), &versions, self.bottom) {
+                Some(version) => return Some(Ok(EntryRef { key, version })),
+                None => continue, // dropped (bottom-level tombstone)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SstableBuilder;
+    use blsm_memtable::{merge_versions, AddOperator, AppendOperator, Entry, Versioned};
+    use blsm_storage::{BufferPool, MemDevice, PageId, Region};
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Arc::new(MemDevice::new()), 4096))
+    }
+
+    fn build_table(
+        pool: &Arc<BufferPool>,
+        start_page: u64,
+        entries: &[(&str, Versioned)],
+    ) -> Arc<Sstable> {
+        let region = Region { start: PageId(start_page), pages: 1024 };
+        let mut b = SstableBuilder::new(pool.clone(), region, entries.len() as u64);
+        for (k, v) in entries {
+            b.add(&Bytes::copy_from_slice(k.as_bytes()), v).unwrap();
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    fn put(seq: u64, val: &str) -> Versioned {
+        Versioned::put(seq, Bytes::copy_from_slice(val.as_bytes()))
+    }
+
+    #[test]
+    fn full_scan_in_order() {
+        let pool = pool();
+        let entries: Vec<(String, Versioned)> = (0..3000u32)
+            .map(|i| (format!("k{i:06}"), put(1, "v")))
+            .collect();
+        let refs: Vec<(&str, Versioned)> =
+            entries.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let t = build_table(&pool, 0, &refs);
+        for mode in [ReadMode::Pooled, ReadMode::Buffered(16)] {
+            let keys: Vec<_> = t.iter(mode).map(|r| r.unwrap().key).collect();
+            assert_eq!(keys.len(), 3000, "{mode:?}");
+            assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn iter_from_starts_at_bound() {
+        let pool = pool();
+        let entries: Vec<(String, Versioned)> =
+            (0..100u32).map(|i| (format!("k{i:03}"), put(1, "v"))).collect();
+        let refs: Vec<(&str, Versioned)> =
+            entries.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let t = build_table(&pool, 0, &refs);
+        let keys: Vec<_> = t
+            .iter_from(b"k050", ReadMode::Pooled)
+            .map(|r| r.unwrap().key)
+            .collect();
+        assert_eq!(keys.len(), 50);
+        assert_eq!(keys[0].as_ref(), b"k050");
+        // A bound between keys starts at the next key.
+        let keys: Vec<_> = t
+            .iter_from(b"k0505", ReadMode::Pooled)
+            .map(|r| r.unwrap().key)
+            .collect();
+        assert_eq!(keys[0].as_ref(), b"k051");
+    }
+
+    #[test]
+    fn buffered_scan_uses_few_device_reads() {
+        use blsm_storage::device::Device;
+        let dev = Arc::new(MemDevice::new());
+        let pool = Arc::new(BufferPool::new(dev.clone(), 4096));
+        let entries: Vec<(String, Versioned)> = (0..5000u32)
+            .map(|i| (format!("k{i:06}"), put(1, &"x".repeat(100))))
+            .collect();
+        let refs: Vec<(&str, Versioned)> =
+            entries.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let t = build_table(&pool, 0, &refs);
+        pool.drop_clean();
+        let before = dev.stats();
+        let n = t.iter(ReadMode::Buffered(64)).count();
+        assert_eq!(n, 5000);
+        let d = dev.stats().delta_since(&before);
+        let reads = d.random_reads + d.sequential_reads;
+        assert!(reads < 10, "buffered scan did {reads} device reads");
+    }
+
+    #[test]
+    fn merge_versions_newest_base_wins() {
+        let op = AppendOperator;
+        let v = merge_versions(
+            &op,
+            &[put(5, "new"), put(3, "old")],
+            false,
+        )
+        .unwrap();
+        assert_eq!(v.entry, Entry::Put(Bytes::from_static(b"new")));
+        assert_eq!(v.seqno, 5);
+    }
+
+    #[test]
+    fn merge_versions_folds_deltas_onto_base() {
+        let op = AppendOperator;
+        let v = merge_versions(
+            &op,
+            &[
+                Versioned::delta(5, Bytes::from_static(b"c")),
+                Versioned::delta(4, Bytes::from_static(b"b")),
+                put(3, "a"),
+            ],
+            false,
+        )
+        .unwrap();
+        assert_eq!(v.entry, Entry::Put(Bytes::from_static(b"abc")));
+    }
+
+    #[test]
+    fn merge_versions_tombstone_handling() {
+        let op = AppendOperator;
+        // Tombstone at non-bottom level is preserved.
+        let v = merge_versions(&op, &[Versioned::tombstone(5), put(3, "x")], false).unwrap();
+        assert_eq!(v.entry, Entry::Tombstone);
+        // At the bottom it is dropped.
+        assert!(merge_versions(&op, &[Versioned::tombstone(5), put(3, "x")], true).is_none());
+        // Deltas newer than a tombstone rebuild from nothing.
+        let v = merge_versions(
+            &op,
+            &[Versioned::delta(6, Bytes::from_static(b"d")), Versioned::tombstone(5)],
+            false,
+        )
+        .unwrap();
+        assert_eq!(v.entry, Entry::Put(Bytes::from_static(b"d")));
+    }
+
+    #[test]
+    fn merge_versions_orphan_deltas() {
+        let op = AddOperator;
+        let d = |seq, n: i64| Versioned::delta(seq, Bytes::copy_from_slice(&n.to_le_bytes()));
+        // Non-bottom: stays a (combined) delta.
+        let v = merge_versions(&op, &[d(5, 3), d(4, 4)], false).unwrap();
+        match &v.entry {
+            Entry::Delta(b) => assert_eq!(i64::from_le_bytes(b[..8].try_into().unwrap()), 7),
+            other => panic!("expected delta, got {other:?}"),
+        }
+        // Bottom: materialized as a base record.
+        let v = merge_versions(&op, &[d(5, 3), d(4, 4)], true).unwrap();
+        match &v.entry {
+            Entry::Put(b) => assert_eq!(i64::from_le_bytes(b[..8].try_into().unwrap()), 7),
+            other => panic!("expected put, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_iter_two_tables() {
+        let pool = pool();
+        let old = build_table(
+            &pool,
+            0,
+            &[("a", put(1, "a-old")), ("b", put(2, "b-old")), ("d", put(3, "d-old"))],
+        );
+        let new = build_table(
+            &pool,
+            2000,
+            &[("b", put(10, "b-new")), ("c", put(11, "c-new"))],
+        );
+        let streams: Vec<EntryStream<'static>> = vec![
+            Box::new(new.iter(ReadMode::Pooled)),
+            Box::new(old.iter(ReadMode::Pooled)),
+        ];
+        let merged: Vec<_> = MergeIter::new(streams, Arc::new(AppendOperator), true)
+            .map(|r| r.unwrap())
+            .collect();
+        let got: Vec<(String, String)> = merged
+            .iter()
+            .map(|e| {
+                let val = match &e.version.entry {
+                    Entry::Put(v) => String::from_utf8_lossy(v).to_string(),
+                    other => panic!("{other:?}"),
+                };
+                (String::from_utf8_lossy(&e.key).to_string(), val)
+            })
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("a".into(), "a-old".into()),
+                ("b".into(), "b-new".into()),
+                ("c".into(), "c-new".into()),
+                ("d".into(), "d-old".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_iter_drops_bottom_tombstones() {
+        let pool = pool();
+        let old = build_table(&pool, 0, &[("a", put(1, "v")), ("b", put(1, "v"))]);
+        let new = build_table(&pool, 2000, &[("a", Versioned::tombstone(9))]);
+        let streams: Vec<EntryStream<'static>> = vec![
+            Box::new(new.iter(ReadMode::Pooled)),
+            Box::new(old.iter(ReadMode::Pooled)),
+        ];
+        let keys: Vec<_> = MergeIter::new(streams, Arc::new(AppendOperator), true)
+            .map(|r| r.unwrap().key)
+            .collect();
+        assert_eq!(keys, vec![Bytes::from_static(b"b")]);
+    }
+}

@@ -1,0 +1,438 @@
+//! Finished, immutable on-disk components.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use blsm_bloom::BloomFilter;
+use blsm_memtable::Versioned;
+use blsm_storage::codec::{self, Reader};
+use blsm_storage::page::PageType;
+use blsm_storage::{BufferPool, Region, Result, StorageError};
+
+use crate::format::{self, parse_data_page, EntryRef};
+use crate::iter::{ReadMode, SstIterator};
+
+/// Component metadata persisted in the footer page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SstableMeta {
+    /// Number of data + overflow pages (region-relative pages `0..n`).
+    pub n_data_pages: u64,
+    /// Region-relative page where the serialized index begins.
+    pub index_start: u64,
+    /// Number of index pages.
+    pub n_index_pages: u64,
+    /// Region-relative page where the Bloom filter image begins.
+    pub bloom_start: u64,
+    /// Byte length of the Bloom filter image.
+    pub bloom_len: u64,
+    /// Entries stored (one per key).
+    pub entry_count: u64,
+    /// User bytes (keys + payloads).
+    pub data_bytes: u64,
+    /// Tombstones among the entries.
+    pub tombstones: u64,
+    /// Smallest sequence number stored.
+    pub min_seqno: u64,
+    /// Largest sequence number stored.
+    pub max_seqno: u64,
+    /// Smallest key stored.
+    pub min_key: Bytes,
+    /// Largest key stored.
+    pub max_key: Bytes,
+}
+
+const FOOTER_MAGIC: u32 = 0x5353_4C42; // "BLSS"
+
+impl SstableMeta {
+    /// Serializes the footer body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(96 + self.min_key.len() + self.max_key.len());
+        codec::put_u32(&mut out, FOOTER_MAGIC);
+        codec::put_u64(&mut out, self.n_data_pages);
+        codec::put_u64(&mut out, self.index_start);
+        codec::put_u64(&mut out, self.n_index_pages);
+        codec::put_u64(&mut out, self.bloom_start);
+        codec::put_u64(&mut out, self.bloom_len);
+        codec::put_u64(&mut out, self.entry_count);
+        codec::put_u64(&mut out, self.data_bytes);
+        codec::put_u64(&mut out, self.tombstones);
+        codec::put_u64(&mut out, self.min_seqno);
+        codec::put_u64(&mut out, self.max_seqno);
+        codec::put_bytes(&mut out, &self.min_key);
+        codec::put_bytes(&mut out, &self.max_key);
+        out
+    }
+
+    /// Deserializes a footer body.
+    pub fn decode(bytes: &[u8]) -> Result<SstableMeta> {
+        let mut r = Reader::new(bytes);
+        let magic = r.u32()?;
+        if magic != FOOTER_MAGIC {
+            return Err(StorageError::InvalidFormat(format!(
+                "bad sstable footer magic {magic:#x}"
+            )));
+        }
+        Ok(SstableMeta {
+            n_data_pages: r.u64()?,
+            index_start: r.u64()?,
+            n_index_pages: r.u64()?,
+            bloom_start: r.u64()?,
+            bloom_len: r.u64()?,
+            entry_count: r.u64()?,
+            data_bytes: r.u64()?,
+            tombstones: r.u64()?,
+            min_seqno: r.u64()?,
+            max_seqno: r.u64()?,
+            min_key: Bytes::copy_from_slice(r.bytes()?),
+            max_key: Bytes::copy_from_slice(r.bytes()?),
+        })
+    }
+}
+
+/// An immutable on-disk tree component.
+///
+/// The leaf index and Bloom filter live in RAM (§2.2, §3.1), so an uncached
+/// point lookup costs exactly one leaf-page read — read amplification 1.
+pub struct Sstable {
+    pool: Arc<BufferPool>,
+    region: Region,
+    meta: SstableMeta,
+    /// `(first_key, region-relative page)` per leaf, in key order.
+    index: Vec<(Bytes, u32)>,
+    bloom: Arc<BloomFilter>,
+}
+
+impl Sstable {
+    pub(crate) fn assemble(
+        pool: Arc<BufferPool>,
+        region: Region,
+        meta: SstableMeta,
+        index: Vec<(Bytes, u32)>,
+        bloom: Arc<BloomFilter>,
+    ) -> Sstable {
+        Sstable { pool, region, meta, index, bloom }
+    }
+
+    /// Opens a component from a region whose last page is its footer —
+    /// the recovery path. Reads footer, index and Bloom image (the paper
+    /// does not persist filters and rebuilds at recovery, §4.4.3; we
+    /// persist them with the component, a simplification documented in
+    /// DESIGN.md, so recovery is a few page reads).
+    pub fn open(pool: Arc<BufferPool>, region: Region) -> Result<Sstable> {
+        assert!(region.pages >= 1, "region too small for a footer");
+        let footer = pool.read(region.page(region.pages - 1))?;
+        if footer.page_type()? != PageType::Footer {
+            return Err(StorageError::InvalidFormat(
+                "last region page is not a footer".into(),
+            ));
+        }
+        let meta = SstableMeta::decode(footer.payload())?;
+
+        // Index pages.
+        let mut index = Vec::with_capacity(meta.entry_count as usize / 3);
+        for i in 0..meta.n_index_pages {
+            let page = pool.read(region.page(meta.index_start + i))?;
+            if page.page_type()? != PageType::Index {
+                return Err(StorageError::InvalidFormat("expected index page".into()));
+            }
+            let payload = page.payload();
+            let count = u16::from_le_bytes(payload[..2].try_into().unwrap());
+            let mut r = Reader::new(&payload[2..]);
+            for _ in 0..count {
+                let key = Bytes::copy_from_slice(r.bytes()?);
+                let page_idx = r.u32()?;
+                index.push((key, page_idx));
+            }
+        }
+
+        // Bloom pages.
+        let mut bloom_bytes = Vec::with_capacity(meta.bloom_len as usize);
+        let mut remaining = meta.bloom_len as usize;
+        let mut i = 0;
+        while remaining > 0 {
+            let page = pool.read(region.page(meta.bloom_start + i))?;
+            if page.page_type()? != PageType::Bloom {
+                return Err(StorageError::InvalidFormat("expected bloom page".into()));
+            }
+            let n = remaining.min(page.payload().len());
+            bloom_bytes.extend_from_slice(&page.payload()[..n]);
+            remaining -= n;
+            i += 1;
+        }
+        let bloom = BloomFilter::from_bytes(&bloom_bytes).ok_or_else(|| {
+            StorageError::InvalidFormat("corrupt bloom filter image".into())
+        })?;
+
+        Ok(Sstable {
+            pool,
+            region,
+            meta,
+            index,
+            bloom: Arc::new(bloom),
+        })
+    }
+
+    /// Component metadata.
+    pub fn meta(&self) -> &SstableMeta {
+        &self.meta
+    }
+
+    /// The (exact-sized) region this component occupies.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Shared handle to the component's Bloom filter.
+    pub fn bloom(&self) -> &Arc<BloomFilter> {
+        &self.bloom
+    }
+
+    /// The buffer pool this component reads through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// User bytes stored (keys + payloads).
+    pub fn data_bytes(&self) -> u64 {
+        self.meta.data_bytes
+    }
+
+    /// Entries stored.
+    pub fn entry_count(&self) -> u64 {
+        self.meta.entry_count
+    }
+
+    /// Total device bytes occupied.
+    pub fn disk_bytes(&self) -> u64 {
+        self.region.len_bytes()
+    }
+
+    /// RAM consumed by the in-memory leaf index — the denominator of the
+    /// paper's *read fanout* metric (§2.1).
+    pub fn index_ram_bytes(&self) -> usize {
+        self.index
+            .iter()
+            .map(|(k, _)| k.len() + std::mem::size_of::<(Bytes, u32)>())
+            .sum()
+    }
+
+    /// Bloom filter probe. False ⇒ key definitely absent (0 seeks spent).
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.bloom.contains(key)
+    }
+
+    /// Leaf-index position for `key`: the leaf that could contain it.
+    fn leaf_for(&self, key: &[u8]) -> Option<u64> {
+        let pos = self.index.partition_point(|(k, _)| k.as_ref() <= key);
+        if pos == 0 {
+            None
+        } else {
+            Some(u64::from(self.index[pos - 1].1))
+        }
+    }
+
+    /// Reads and parses the leaf (data) page at region-relative `idx`,
+    /// reassembling any overflow pages.
+    pub(crate) fn read_leaf(&self, idx: u64) -> Result<Vec<EntryRef>> {
+        let page = self.pool.read(self.region.page(idx))?;
+        let (_, n_overflow) = format::read_data_page_header(page.payload());
+        let mut overflow = Vec::new();
+        for i in 0..u64::from(n_overflow) {
+            let opage = self.pool.read(self.region.page(idx + 1 + i))?;
+            overflow.extend_from_slice(opage.payload());
+        }
+        parse_data_page(page.payload(), &overflow)
+    }
+
+    /// Point lookup without consulting the Bloom filter (at most one leaf
+    /// read — plus overflow pages for huge records).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Versioned>> {
+        let Some(leaf) = self.leaf_for(key) else {
+            return Ok(None);
+        };
+        let entries = self.read_leaf(leaf)?;
+        Ok(entries
+            .into_iter()
+            .find(|e| e.key.as_ref() == key)
+            .map(|e| e.version))
+    }
+
+    /// Point lookup that consults the Bloom filter first: the paper's read
+    /// path (§3.1). Returns `(value, probed_disk)`.
+    pub fn get_filtered(&self, key: &[u8]) -> Result<(Option<Versioned>, bool)> {
+        if !self.may_contain(key) {
+            return Ok((None, false));
+        }
+        Ok((self.get(key)?, true))
+    }
+
+    /// Full-table iterator.
+    pub fn iter(self: &Arc<Self>, mode: ReadMode) -> SstIterator {
+        SstIterator::new(self.clone(), 0, None, mode)
+    }
+
+    /// Iterator from the first key ≥ `from`.
+    pub fn iter_from(self: &Arc<Self>, from: &[u8], mode: ReadMode) -> SstIterator {
+        let start_leaf_pos = {
+            let pos = self.index.partition_point(|(k, _)| k.as_ref() <= from);
+            pos.saturating_sub(1)
+        };
+        SstIterator::new(self.clone(), start_leaf_pos, Some(from.to_vec()), mode)
+    }
+
+    /// The leaf index (first key + region-relative page per leaf).
+    pub(crate) fn leaf_index(&self) -> &[(Bytes, u32)] {
+        &self.index
+    }
+
+    /// Drops this component's pages from the buffer pool cache (used after
+    /// a merge retires the component and its region is freed).
+    pub fn evict_from_pool(&self) {
+        for pid in self.region.iter_pages() {
+            self.pool.discard(pid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SstableBuilder;
+    use blsm_storage::{MemDevice, PageId};
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Arc::new(MemDevice::new()), 2048))
+    }
+
+    fn build(pool: &Arc<BufferPool>, n: u32, start_page: u64) -> Sstable {
+        let region = Region { start: PageId(start_page), pages: 1024 };
+        let mut b = SstableBuilder::new(pool.clone(), region, u64::from(n));
+        for i in 0..n {
+            b.add(
+                &Bytes::from(format!("key{i:08}")),
+                &Versioned::put(u64::from(i) + 1, Bytes::from(vec![i as u8; 64])),
+            )
+            .unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let m = SstableMeta {
+            n_data_pages: 10,
+            index_start: 10,
+            n_index_pages: 1,
+            bloom_start: 11,
+            bloom_len: 123,
+            entry_count: 42,
+            data_bytes: 9000,
+            tombstones: 3,
+            min_seqno: 5,
+            max_seqno: 99,
+            min_key: Bytes::from_static(b"aaa"),
+            max_key: Bytes::from_static(b"zzz"),
+        };
+        let enc = m.encode();
+        assert_eq!(SstableMeta::decode(&enc).unwrap(), m);
+        assert!(SstableMeta::decode(&enc[..10]).is_err());
+    }
+
+    #[test]
+    fn open_recovers_everything() {
+        let pool = pool();
+        let t = build(&pool, 2000, 0);
+        let region = t.region();
+        let meta = t.meta().clone();
+        drop(t);
+        pool.drop_clean();
+        let t2 = Sstable::open(pool, region).unwrap();
+        assert_eq!(t2.meta(), &meta);
+        for i in (0..2000u32).step_by(113) {
+            let key = format!("key{i:08}");
+            assert!(t2.may_contain(key.as_bytes()));
+            let v = t2.get(key.as_bytes()).unwrap().expect("present");
+            assert_eq!(v.seqno, u64::from(i) + 1);
+        }
+        assert!(t2.get(b"absent").unwrap().is_none());
+    }
+
+    #[test]
+    fn point_lookup_is_one_leaf_read() {
+        use blsm_storage::device::Device;
+        let dev = Arc::new(MemDevice::new());
+        let pool = Arc::new(BufferPool::new(dev.clone(), 2048));
+        let t = build(&pool, 2000, 0);
+        pool.drop_clean(); // cold cache
+        let before = dev.stats();
+        let v = t.get(b"key00001000").unwrap();
+        assert!(v.is_some());
+        let d = dev.stats().delta_since(&before);
+        assert_eq!(d.random_reads + d.sequential_reads, 1, "exactly one page read");
+    }
+
+    #[test]
+    fn bloom_avoids_io_for_absent_keys() {
+        use blsm_storage::device::Device;
+        let dev = Arc::new(MemDevice::new());
+        let pool = Arc::new(BufferPool::new(dev.clone(), 2048));
+        let t = build(&pool, 2000, 0);
+        pool.drop_clean();
+        let before = dev.stats();
+        let mut probed = 0u32;
+        for i in 0..1000u32 {
+            // In-range absent keys, so a Bloom false positive really costs
+            // a leaf read.
+            let (v, hit_disk) = t.get_filtered(format!("key{i:08}x").as_bytes()).unwrap();
+            assert!(v.is_none());
+            if hit_disk {
+                probed += 1;
+            }
+        }
+        let d = dev.stats().delta_since(&before);
+        // ~1% false positive rate ⇒ ~10 probes out of 1000.
+        assert!(probed <= 40, "bloom let {probed} of 1000 absent probes through");
+        // Each false positive costs at most one leaf read (repeat probes of
+        // the same leaf hit the pool cache).
+        assert!(d.bytes_read <= u64::from(probed) * 4096);
+        assert!(d.bytes_read > 0);
+    }
+
+    #[test]
+    fn get_min_max_key_boundaries() {
+        let pool = pool();
+        let t = build(&pool, 100, 0);
+        assert_eq!(t.meta().min_key, Bytes::from(format!("key{:08}", 0)));
+        assert_eq!(t.meta().max_key, Bytes::from(format!("key{:08}", 99)));
+        // A key below min: no leaf could hold it, zero reads.
+        assert!(t.get(b"a").unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_table_roundtrip() {
+        let pool = pool();
+        let region = Region { start: PageId(0), pages: 16 };
+        let b = SstableBuilder::new(pool.clone(), region, 1);
+        let t = b.finish().unwrap();
+        assert_eq!(t.entry_count(), 0);
+        assert!(t.get(b"x").unwrap().is_none());
+        let region = t.region();
+        drop(t);
+        pool.drop_clean();
+        let t2 = Sstable::open(pool, region).unwrap();
+        assert_eq!(t2.entry_count(), 0);
+    }
+
+    #[test]
+    fn index_ram_matches_read_fanout_model() {
+        // Appendix A: read fanout ≈ page_size / key_size. With 11-byte keys
+        // + 24 bytes of pointer overhead and ~50 entries per 4K page, the
+        // index should be a small fraction of the data size.
+        let pool = pool();
+        let t = build(&pool, 5000, 0);
+        let index_ram = t.index_ram_bytes();
+        let data = t.data_bytes() as usize;
+        assert!(index_ram * 10 < data, "index {index_ram}B vs data {data}B");
+    }
+}

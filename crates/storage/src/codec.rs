@@ -1,0 +1,239 @@
+//! Minimal binary codec used by every on-disk structure in this workspace.
+//!
+//! The formats are deliberately explicit (no serde) so the byte layout of
+//! pages, WAL records and manifests is fully specified by this crate. All
+//! integers are little-endian; variable-length integers use LEB128.
+
+use crate::error::{Result, StorageError};
+
+/// Appends a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a little-endian `u16`.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_varint(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+/// Cursor for decoding buffers produced with the `put_*` helpers.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current offset into the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to decode.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StorageError::InvalidFormat(format!(
+                "decode overrun: need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Decodes a `u8`.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Decodes a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Decodes a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Decodes a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Decodes a LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 {
+                return Err(StorageError::InvalidFormat("varint too long".into()));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Decodes a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.varint()? as usize;
+        self.take(len)
+    }
+}
+
+/// CRC-32C (Castagnoli), computed with a 256-entry table. Used to checksum
+/// pages, WAL records and manifest slots.
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_update(!0, data) ^ !0
+}
+
+fn crc32c_update(mut crc: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    crc
+}
+
+const fn make_table() -> [u32; 256] {
+    // Castagnoli polynomial, reflected.
+    const POLY: u32 = 0x82f6_3b78;
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_fixed_width() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 0xab);
+        put_u16(&mut out, 0xbeef);
+        put_u32(&mut out, 0xdead_beef);
+        put_u64(&mut out, 0x0123_4567_89ab_cdef);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0xbeef);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrip_varint_boundaries() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut out = Vec::new();
+        for &v in &cases {
+            put_varint(&mut out, v);
+        }
+        let mut r = Reader::new(&out);
+        for &v in &cases {
+            assert_eq!(r.varint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let mut out = Vec::new();
+        put_bytes(&mut out, b"");
+        put_bytes(&mut out, b"hello");
+        put_bytes(&mut out, &[0u8; 300]);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.bytes().unwrap(), b"");
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.bytes().unwrap(), &[0u8; 300][..]);
+    }
+
+    #[test]
+    fn decode_overrun_is_error() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn truncated_varint_is_error() {
+        let mut r = Reader::new(&[0x80, 0x80]);
+        assert!(r.varint().is_err());
+    }
+
+    #[test]
+    fn crc32c_known_vectors() {
+        // Standard test vector: "123456789" -> 0xE3069283 for CRC-32C.
+        assert_eq!(crc32c(b"123456789"), 0xe306_9283);
+        assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn crc32c_detects_bit_flips() {
+        let mut data = b"the quick brown fox".to_vec();
+        let c0 = crc32c(&data);
+        data[3] ^= 1;
+        assert_ne!(crc32c(&data), c0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type shared by the whole storage stack.
+
+use std::fmt;
+
+/// Errors surfaced by devices, the buffer pool, the WAL and the manifest.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O error from a file-backed device.
+    Io(std::io::Error),
+    /// A page or log record failed its checksum.
+    Corruption(String),
+    /// A read or write touched space past the end of an allocation.
+    OutOfBounds { offset: u64, len: usize, device_len: u64 },
+    /// The region allocator could not satisfy an allocation.
+    OutOfSpace { requested_pages: u64 },
+    /// The manifest (or another structure) contains an invalid encoding.
+    InvalidFormat(String),
+    /// The buffer pool has no evictable frame (everything is pinned).
+    PoolExhausted,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Corruption(msg) => write!(f, "corruption detected: {msg}"),
+            StorageError::OutOfBounds { offset, len, device_len } => write!(
+                f,
+                "access out of bounds: offset={offset} len={len} device_len={device_len}"
+            ),
+            StorageError::OutOfSpace { requested_pages } => {
+                write!(f, "region allocator out of space: requested {requested_pages} pages")
+            }
+            StorageError::InvalidFormat(msg) => write!(f, "invalid format: {msg}"),
+            StorageError::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience alias used across the storage stack.
+pub type Result<T> = std::result::Result<T, StorageError>;

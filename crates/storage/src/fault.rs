@@ -1,0 +1,172 @@
+//! Fault-injecting device wrapper for failure testing.
+//!
+//! Wraps any [`Device`] and injects failures on a deterministic schedule:
+//! hard I/O errors after a budget of operations, and *torn writes* (only a
+//! prefix of the final write reaches the medium — the failure mode that
+//! motivates the double-slot manifest and CRC-framed WAL). Tests use this
+//! to prove that every error path surfaces as an `Err` rather than a
+//! panic, and that recovery tolerates a torn final write.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::device::{Device, DeviceStats, SharedDevice};
+use crate::error::{Result, StorageError};
+
+/// What happens when the fault budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Every subsequent write fails with an I/O error.
+    FailWrites,
+    /// Every subsequent read fails with an I/O error.
+    FailReads,
+    /// The triggering write is torn: only the first half of its bytes
+    /// reach the medium, and all later writes are silently dropped
+    /// (simulating power loss mid-write).
+    TornWriteThenDead,
+}
+
+/// A device that starts failing after `budget` operations of the faulted
+/// kind.
+pub struct FaultyDevice {
+    inner: SharedDevice,
+    mode: FaultMode,
+    remaining: AtomicU64,
+    tripped: std::sync::atomic::AtomicBool,
+}
+
+impl FaultyDevice {
+    /// Wraps `inner`; the first `budget` operations of the faulted kind
+    /// succeed, after which the configured failure mode engages.
+    pub fn new(inner: SharedDevice, mode: FaultMode, budget: u64) -> FaultyDevice {
+        FaultyDevice {
+            inner,
+            mode,
+            remaining: AtomicU64::new(budget),
+            tripped: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// True once the fault has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    fn io_error(&self, what: &str) -> StorageError {
+        StorageError::Io(std::io::Error::other(format!("injected fault: {what}")))
+    }
+
+    /// Consumes one unit of budget; returns true when the fault fires.
+    fn spend(&self) -> bool {
+        if self.tripped() {
+            return true;
+        }
+        let prev = self
+            .remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .ok();
+        if prev.is_none() {
+            self.tripped.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+}
+
+impl Device for FaultyDevice {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        if self.mode == FaultMode::FailReads && self.spend() {
+            return Err(self.io_error("read"));
+        }
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> Result<()> {
+        match self.mode {
+            FaultMode::FailWrites => {
+                if self.spend() {
+                    return Err(self.io_error("write"));
+                }
+                self.inner.write_at(offset, buf)
+            }
+            FaultMode::TornWriteThenDead => {
+                if self.tripped() {
+                    // Dead device: writes vanish but the caller is not told
+                    // (power already failed; nobody is listening anyway).
+                    return Err(self.io_error("write after power loss"));
+                }
+                if self.spend() {
+                    // Tear this write: half the bytes land.
+                    let half = buf.len() / 2;
+                    if half > 0 {
+                        self.inner.write_at(offset, &buf[..half])?;
+                    }
+                    return Err(self.io_error("torn write"));
+                }
+                self.inner.write_at(offset, buf)
+            }
+            FaultMode::FailReads => self.inner.write_at(offset, buf),
+        }
+    }
+
+    fn sync(&self) -> Result<()> {
+        if self.tripped() && self.mode != FaultMode::FailReads {
+            return Err(self.io_error("sync"));
+        }
+        self.inner.sync()
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemDevice;
+    use std::sync::Arc;
+
+    #[test]
+    fn fails_writes_after_budget() {
+        let dev = FaultyDevice::new(Arc::new(MemDevice::new()), FaultMode::FailWrites, 3);
+        for i in 0..3u64 {
+            dev.write_at(i * 8, &[1u8; 8]).unwrap();
+        }
+        assert!(!dev.tripped());
+        assert!(dev.write_at(100, &[1u8; 8]).is_err());
+        assert!(dev.tripped());
+        // Reads still work.
+        let mut buf = [0u8; 8];
+        dev.read_at(0, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn fails_reads_after_budget() {
+        let dev = FaultyDevice::new(Arc::new(MemDevice::new()), FaultMode::FailReads, 1);
+        dev.write_at(0, &[7u8; 16]).unwrap();
+        let mut buf = [0u8; 8];
+        dev.read_at(0, &mut buf).unwrap();
+        assert!(dev.read_at(0, &mut buf).is_err());
+    }
+
+    #[test]
+    fn torn_write_leaves_prefix() {
+        let inner = Arc::new(MemDevice::new());
+        let dev = FaultyDevice::new(inner.clone(), FaultMode::TornWriteThenDead, 1);
+        dev.write_at(0, &[0xAA; 16]).unwrap();
+        let err = dev.write_at(16, &[0xBB; 16]).unwrap_err();
+        assert!(format!("{err}").contains("torn"));
+        // First half of the torn write landed; second half did not.
+        assert_eq!(inner.len(), 24);
+        let mut buf = [0u8; 8];
+        inner.read_at(16, &mut buf).unwrap();
+        assert_eq!(buf, [0xBB; 8]);
+        // The device is dead afterwards.
+        assert!(dev.write_at(32, &[1u8; 4]).is_err());
+        assert!(dev.sync().is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! Storage substrate for the bLSM reproduction.
+//!
+//! The bLSM paper (Sears & Ramakrishnan, SIGMOD 2012, §4.4.2) builds its tree
+//! on top of Stasis, a general-purpose transactional storage system that
+//! supplies a region allocator, a buffer manager with a CLOCK eviction policy,
+//! and write-ahead logging. This crate is our stand-in for that substrate:
+//!
+//! * [`device`] — byte-addressed storage devices: in-memory, file-backed, and
+//!   *simulated* devices that charge seek/transfer costs against a virtual
+//!   clock so the paper's HDD/SSD experiments can be reproduced
+//!   deterministically on any machine.
+//! * [`page`] — fixed 4 KiB pages with checksums (the paper argues for 4 KiB
+//!   data pages in Appendix A).
+//! * [`buffer`] — a buffer pool with CLOCK eviction (Stasis switched from LRU
+//!   to CLOCK because LRU was a concurrency bottleneck; §4.4.2).
+//! * [`region`] — a region (extent) allocator guaranteeing contiguous chunks
+//!   of the device, eliminating filesystem fragmentation (§4.4.2).
+//! * [`wal`] — the *logical* write-ahead log that gives individual writes
+//!   durability, including the degraded-durability mode of §4.4.2.
+//! * [`manifest`] — an atomically-swapped metadata root. Stasis used a
+//!   physical WAL to keep a physically-consistent tree available at crash;
+//!   because our tree components are append-only, a shadow-paging manifest
+//!   provides the same guarantee with less machinery (see DESIGN.md §3).
+//! * [`codec`] — the small binary codec used by every on-disk structure.
+
+pub mod buffer;
+pub mod codec;
+pub mod device;
+pub mod error;
+pub mod fault;
+pub mod manifest;
+pub mod page;
+pub mod region;
+pub mod wal;
+
+pub use buffer::{BufferPool, PoolStats};
+pub use device::{
+    DeviceStats, DiskModel, FileDevice, MemDevice, SharedDevice, SimDevice,
+};
+pub use fault::{FaultMode, FaultyDevice};
+pub use error::{Result, StorageError};
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use region::{Region, RegionAllocator};
+pub use wal::{Lsn, Wal, WalRecord};

@@ -1,0 +1,262 @@
+//! Request distributions: uniform and YCSB's scrambled Zipfian.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of record ids in `[0, n)`.
+pub trait KeyChooser: Send {
+    /// Draws the next record id.
+    fn next_id(&mut self) -> u64;
+    /// Grows the id space (after inserts).
+    fn set_item_count(&mut self, n: u64);
+}
+
+/// Uniformly random record ids.
+pub struct Uniform {
+    rng: StdRng,
+    n: u64,
+}
+
+impl Uniform {
+    /// Creates a uniform chooser over `[0, n)`.
+    pub fn new(n: u64, seed: u64) -> Uniform {
+        assert!(n > 0);
+        Uniform { rng: StdRng::seed_from_u64(seed), n }
+    }
+}
+
+impl KeyChooser for Uniform {
+    fn next_id(&mut self) -> u64 {
+        self.rng.random_range(0..self.n)
+    }
+
+    fn set_item_count(&mut self, n: u64) {
+        self.n = n.max(1);
+    }
+}
+
+/// Zipfian ranks via Gray et al.'s rejection-free algorithm — the exact
+/// construction YCSB uses, with YCSB's default θ = 0.99.
+pub struct Zipfian {
+    rng: StdRng,
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    zeta2: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// YCSB's default skew.
+    pub const DEFAULT_THETA: f64 = 0.99;
+
+    /// Creates a Zipfian chooser over `[0, n)`.
+    pub fn new(n: u64, theta: f64, seed: u64) -> Zipfian {
+        assert!(n > 0 && theta > 0.0 && theta < 1.0);
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { rng: StdRng::seed_from_u64(seed), n, theta, alpha, zetan, zeta2, eta }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    fn recompute(&mut self) {
+        self.zetan = Self::zeta(self.n, self.theta);
+        self.eta = (1.0 - (2.0 / self.n as f64).powf(1.0 - self.theta))
+            / (1.0 - self.zeta2 / self.zetan);
+    }
+}
+
+impl KeyChooser for Zipfian {
+    /// Rank 0 is the most popular item.
+    fn next_id(&mut self) -> u64 {
+        let u: f64 = self.rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let id = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        id.min(self.n - 1)
+    }
+
+    fn set_item_count(&mut self, n: u64) {
+        if n != self.n && n > 0 {
+            self.n = n;
+            self.recompute();
+        }
+    }
+}
+
+/// YCSB's scrambled Zipfian: Zipfian ranks hashed over the id space, so
+/// the popular items are spread across the keyspace instead of clustered
+/// at its start.
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+    n: u64,
+}
+
+impl ScrambledZipfian {
+    /// Creates a scrambled-Zipfian chooser over `[0, n)` with YCSB's
+    /// default θ.
+    pub fn new(n: u64, seed: u64) -> ScrambledZipfian {
+        ScrambledZipfian { inner: Zipfian::new(n, Zipfian::DEFAULT_THETA, seed), n }
+    }
+
+    fn fnv64(mut x: u64) -> u64 {
+        // FNV-1a over the 8 bytes, as YCSB does.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for _ in 0..8 {
+            h ^= x & 0xff;
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+            x >>= 8;
+        }
+        h
+    }
+}
+
+impl KeyChooser for ScrambledZipfian {
+    fn next_id(&mut self) -> u64 {
+        let rank = self.inner.next_id();
+        Self::fnv64(rank) % self.n
+    }
+
+    fn set_item_count(&mut self, n: u64) {
+        self.n = n.max(1);
+        // YCSB keeps the underlying zipfian's zeta for the original n as an
+        // approximation; we do the same (cheap, and the skew barely moves).
+    }
+}
+
+/// YCSB's "latest" distribution: Zipfian skew toward the most recently
+/// inserted records (used by workload D — "read latest").
+pub struct Latest {
+    inner: Zipfian,
+    n: u64,
+}
+
+impl Latest {
+    /// Creates a latest-skewed chooser over `[0, n)`.
+    pub fn new(n: u64, seed: u64) -> Latest {
+        Latest { inner: Zipfian::new(n, Zipfian::DEFAULT_THETA, seed), n }
+    }
+}
+
+impl KeyChooser for Latest {
+    fn next_id(&mut self) -> u64 {
+        let rank = self.inner.next_id();
+        // Rank 0 = newest record.
+        self.n - 1 - rank.min(self.n - 1)
+    }
+
+    fn set_item_count(&mut self, n: u64) {
+        if n > 0 {
+            self.n = n;
+            self.inner.set_item_count(n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn uniform_covers_space_evenly() {
+        let mut u = Uniform::new(100, 7);
+        let mut counts = [0u32; 100];
+        for _ in 0..100_000 {
+            counts[u.next_id() as usize] += 1;
+        }
+        let (min, max) = counts.iter().fold((u32::MAX, 0), |(a, b), &c| (a.min(c), b.max(c)));
+        assert!(min > 700 && max < 1300, "min={min} max={max}");
+    }
+
+    #[test]
+    fn zipfian_is_skewed_with_rank_order() {
+        let mut z = Zipfian::new(10_000, 0.99, 42);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let draws = 200_000;
+        for _ in 0..draws {
+            *counts.entry(z.next_id()).or_default() += 1;
+        }
+        let c0 = counts.get(&0).copied().unwrap_or(0) as f64 / draws as f64;
+        let c1 = counts.get(&1).copied().unwrap_or(0) as f64 / draws as f64;
+        // For θ=0.99, item 0 draws ~1/zeta(n) of requests; with n=10⁴,
+        // zeta ≈ 10.75, so ~9%.
+        assert!(c0 > 0.05 && c0 < 0.15, "p(0) = {c0}");
+        assert!(c1 < c0, "rank 1 must be less popular than rank 0");
+        // Hot set concentration: top-10 ranks take a large share.
+        let top10: u64 = (0..10).map(|i| counts.get(&i).copied().unwrap_or(0)).sum();
+        assert!(top10 as f64 / draws as f64 > 0.2);
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hot_keys() {
+        let mut z = ScrambledZipfian::new(10_000, 42);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(z.next_id()).or_default() += 1;
+        }
+        // The two hottest ids should not be adjacent (they are hashed).
+        let mut by_count: Vec<(u64, u64)> = counts.into_iter().collect();
+        by_count.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        let hot0 = by_count[0].0;
+        let hot1 = by_count[1].0;
+        assert!(hot0.abs_diff(hot1) > 1, "hot keys clustered: {hot0}, {hot1}");
+        // Still skewed: hottest id well above uniform share.
+        assert!(by_count[0].1 > 100_000 / 10_000 * 20);
+    }
+
+    #[test]
+    fn ids_stay_in_range_after_growth() {
+        let mut z = ScrambledZipfian::new(100, 1);
+        z.set_item_count(200);
+        for _ in 0..10_000 {
+            assert!(z.next_id() < 200);
+        }
+        let mut u = Uniform::new(100, 1);
+        u.set_item_count(50);
+        for _ in 0..1_000 {
+            assert!(u.next_id() < 50);
+        }
+    }
+
+    #[test]
+    fn latest_prefers_new_records() {
+        let mut l = Latest::new(10_000, 3);
+        let mut newest_half = 0u32;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if l.next_id() >= 5_000 {
+                newest_half += 1;
+            }
+        }
+        assert!(
+            f64::from(newest_half) / f64::from(draws) > 0.9,
+            "latest distribution not skewed to new records: {newest_half}/{draws}"
+        );
+        // Growth shifts the hot spot.
+        l.set_item_count(20_000);
+        for _ in 0..100 {
+            assert!(l.next_id() < 20_000);
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = Zipfian::new(1000, 0.99, 5);
+        let mut b = Zipfian::new(1000, 0.99, 5);
+        for _ in 0..100 {
+            assert_eq!(a.next_id(), b.next_id());
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Log-bucketed latency histogram (microseconds).
+//!
+//! Buckets are logarithmic with 16 sub-buckets per power of two, giving
+//! ≤ ~6% relative error on percentile queries — plenty for the paper's
+//! latency plots.
+
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+const BUCKETS: usize = 64 * SUB;
+
+/// Latency histogram over `u64` microsecond samples.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn bucket(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros();
+        let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        ((msb - SUB_BITS + 1) as usize) * SUB + sub
+    }
+
+    fn bucket_low(idx: usize) -> u64 {
+        if idx < SUB {
+            return idx as u64;
+        }
+        let exp = (idx / SUB) as u32 + SUB_BITS - 1;
+        let sub = (idx % SUB) as u64;
+        (1u64 << exp) | (sub << (exp - SUB_BITS))
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.total += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean sample value.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Exact maximum sample.
+    pub fn max(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum sample.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Approximate percentile (`q` in `[0, 1]`).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0)) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_low(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.sum = 0;
+        self.max = 0;
+        self.min = u64::MAX;
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Histogram(n={}, mean={:.1}us, p50={}us, p99={}us, max={}us)",
+            self.total,
+            self.mean(),
+            self.percentile(0.5),
+            self.percentile(0.99),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.percentile(1.0), 15);
+    }
+
+    #[test]
+    fn percentiles_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5) as f64;
+        assert!((p50 - 5000.0).abs() / 5000.0 < 0.07, "p50={p50}");
+        let p99 = h.percentile(0.99) as f64;
+        assert!((p99 - 9900.0).abs() / 9900.0 < 0.07, "p99={p99}");
+        assert!((h.mean() - 5000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.percentile(0.5) > u64::MAX / 4);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..100 {
+            a.record(v);
+            b.record(v + 1000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert!(a.percentile(0.9) >= 1000);
+        assert_eq!(a.min(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn bucket_monotonicity() {
+        let mut last = 0;
+        for v in [0u64, 1, 15, 16, 17, 100, 1000, 65_535, 1 << 30, 1 << 50] {
+            let b = Histogram::bucket(v);
+            assert!(b >= last, "bucket not monotone at {v}");
+            last = b;
+            assert!(Histogram::bucket_low(b) <= v);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! YCSB-style workload generation and measurement.
+//!
+//! §5.1: "We use YCSB, the Yahoo! Cloud Serving Benchmark tool, to
+//! generate load. YCSB generates synthetic workloads with varying degrees
+//! of concurrency and statistical distributions." This crate is our Rust
+//! stand-in: the standard key format (`user` + zero-padded id), the
+//! uniform and (scrambled) Zipfian request distributions with YCSB's
+//! default θ = 0.99, configurable operation mixes (read / blind update /
+//! read-modify-write / insert / scan / delta), log-bucketed latency
+//! histograms, and a closed-loop runner that drives any [`KvEngine`]
+//! against the *virtual clock* of the simulated devices, producing the
+//! timeseries the paper's Figures 7 and 9 plot.
+
+mod generator;
+mod histogram;
+mod runner;
+
+pub use generator::{KeyChooser, Latest, ScrambledZipfian, Uniform, Zipfian};
+pub use histogram::Histogram;
+pub use runner::{KvEngine, LoadOrder, OpKind, OpMix, RunReport, Runner, TimePoint, Workload};
+
+/// Formats a YCSB-style key: `user` + zero-padded decimal id.
+pub fn format_key(id: u64) -> bytes::Bytes {
+    bytes::Bytes::from(format!("user{id:012}"))
+}
+
+/// Deterministic value bytes for record `id` of the given size.
+pub fn make_value(id: u64, size: usize) -> bytes::Bytes {
+    let mut v = Vec::with_capacity(size);
+    let seed = id.wrapping_mul(0x9e37_79b9_7f4a_7c15).to_le_bytes();
+    while v.len() < size {
+        v.extend_from_slice(&seed);
+    }
+    v.truncate(size);
+    bytes::Bytes::from(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_format_matches_ycsb() {
+        assert_eq!(format_key(42).as_ref(), b"user000000000042");
+        assert_eq!(format_key(0).len(), 16);
+    }
+
+    #[test]
+    fn values_are_deterministic_and_sized() {
+        assert_eq!(make_value(7, 1000).len(), 1000);
+        assert_eq!(make_value(7, 1000), make_value(7, 1000));
+        assert_ne!(make_value(7, 1000), make_value(8, 1000));
+    }
+}

@@ -1,0 +1,586 @@
+//! Closed-loop workload runner over a virtual clock.
+//!
+//! §5.1 runs 128 unthrottled YCSB threads against each store. With
+//! simulated devices, throughput is device-limited, so a single logical
+//! client driving the engine in a closed loop over the devices' *virtual*
+//! time preserves relative throughput and — crucially — the pause
+//! structure: a merge stall shows up as one op with an enormous latency
+//! and a hole in the timeseries, exactly like Figure 7/9. (Substitution
+//! documented in DESIGN.md §3.)
+
+use bytes::Bytes;
+
+use blsm_storage::Result;
+
+use crate::generator::KeyChooser;
+use crate::histogram::Histogram;
+use crate::{format_key, make_value};
+
+/// Engine-agnostic key-value interface the runner drives.
+pub trait KvEngine {
+    /// Point lookup.
+    fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>>;
+    /// Blind write.
+    fn put(&mut self, key: Bytes, value: Bytes) -> Result<()>;
+    /// Delete.
+    fn delete(&mut self, key: Bytes) -> Result<()>;
+    /// Read-modify-write: read the value, append `suffix`, write back.
+    fn read_modify_write(&mut self, key: Bytes, suffix: Bytes) -> Result<()>;
+    /// Checked insert; false if the key existed.
+    fn insert_if_not_exists(&mut self, key: Bytes, value: Bytes) -> Result<bool>;
+    /// Blind delta application; engines without delta support fall back
+    /// to read-modify-write.
+    fn apply_delta(&mut self, key: Bytes, delta: Bytes) -> Result<()> {
+        self.read_modify_write(key, delta)
+    }
+    /// Ordered scan; returns the number of rows read.
+    fn scan(&mut self, from: &[u8], limit: usize) -> Result<usize>;
+    /// Virtual microseconds of device busy time so far (all devices the
+    /// engine touches).
+    fn now_us(&self) -> u64;
+    /// Background work hook (engines that want idle merge driving).
+    fn maintenance(&mut self) -> Result<()> {
+        Ok(())
+    }
+    /// Pushes all buffered state down (merges/compactions to completion,
+    /// caches flushed). Used between benchmark phases.
+    fn settle(&mut self) -> Result<()> {
+        Ok(())
+    }
+    /// Writes back dirty cached pages only (the update-in-place engine's
+    /// deferred second seek); a no-op for log-structured engines.
+    fn flush_cache(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Operation types the mix can draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Point lookup of an existing record.
+    Read,
+    /// Blind overwrite of an existing record.
+    Update,
+    /// Read-modify-write of an existing record.
+    Rmw,
+    /// Insert of a brand new record (checked).
+    Insert,
+    /// Short ordered scan.
+    Scan,
+    /// Blind delta to an existing record.
+    Delta,
+}
+
+/// Operation mix weights (need not sum to 1; they are normalized).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpMix {
+    /// Point reads.
+    pub read: f64,
+    /// Blind updates.
+    pub update: f64,
+    /// Read-modify-writes.
+    pub rmw: f64,
+    /// Checked inserts of new records.
+    pub insert: f64,
+    /// Short scans.
+    pub scan: f64,
+    /// Blind deltas.
+    pub delta: f64,
+}
+
+impl OpMix {
+    /// 100% blind updates.
+    pub fn updates_only() -> OpMix {
+        OpMix { update: 1.0, ..Default::default() }
+    }
+
+    /// 100% reads.
+    pub fn reads_only() -> OpMix {
+        OpMix { read: 1.0, ..Default::default() }
+    }
+
+    /// `write_frac` blind updates, rest reads (Figure 8's blind-write
+    /// sweep).
+    pub fn read_blind_write(write_frac: f64) -> OpMix {
+        OpMix { read: 1.0 - write_frac, update: write_frac, ..Default::default() }
+    }
+
+    /// `write_frac` read-modify-writes, rest reads (Figure 8's RMW sweep).
+    pub fn read_rmw(write_frac: f64) -> OpMix {
+        OpMix { read: 1.0 - write_frac, rmw: write_frac, ..Default::default() }
+    }
+
+    fn pick(&self, u: f64) -> OpKind {
+        let total = self.read + self.update + self.rmw + self.insert + self.scan + self.delta;
+        let mut x = u * total;
+        for (w, k) in [
+            (self.read, OpKind::Read),
+            (self.update, OpKind::Update),
+            (self.rmw, OpKind::Rmw),
+            (self.insert, OpKind::Insert),
+            (self.scan, OpKind::Scan),
+            (self.delta, OpKind::Delta),
+        ] {
+            if x < w {
+                return k;
+            }
+            x -= w;
+        }
+        OpKind::Read
+    }
+}
+
+/// A workload description.
+pub struct Workload {
+    /// Records assumed present when the run starts.
+    pub record_count: u64,
+    /// Value size in bytes (the paper uses 1000, §5.1).
+    pub value_size: usize,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Request distribution over existing records.
+    pub chooser: Box<dyn KeyChooser>,
+    /// Max scan length; YCSB draws uniformly from `1..=scan_max`.
+    pub scan_max: usize,
+    /// RNG seed for op picking and scan lengths.
+    pub seed: u64,
+    /// Fixed CPU cost charged per operation, in virtual microseconds.
+    /// Bounds throughput when everything is cached (the paper's systems
+    /// top out well below pure-RAM speeds due to CPU and lock overhead).
+    pub cpu_us_per_op: f64,
+}
+
+impl Workload {
+    /// A uniform workload over `records` records with the given mix.
+    pub fn uniform(records: u64, mix: OpMix, seed: u64) -> Workload {
+        Workload {
+            record_count: records,
+            value_size: 1000,
+            mix,
+            chooser: Box::new(crate::Uniform::new(records, seed ^ 0xabcd)),
+            scan_max: 4,
+            seed,
+            cpu_us_per_op: 20.0,
+        }
+    }
+
+    /// A scrambled-Zipfian workload (YCSB default θ).
+    pub fn zipfian(records: u64, mix: OpMix, seed: u64) -> Workload {
+        Workload {
+            chooser: Box::new(crate::ScrambledZipfian::new(records, seed ^ 0xabcd)),
+            ..Workload::uniform(records, mix, seed)
+        }
+    }
+
+    /// The six standard YCSB core workloads:
+    /// A (50/50 read/update, zipfian), B (95/5 read/update, zipfian),
+    /// C (read-only, zipfian), D (95/5 read/insert, latest),
+    /// E (95/5 scan/insert, zipfian, scans 1–100),
+    /// F (50/50 read/read-modify-write, zipfian).
+    pub fn ycsb(letter: char, records: u64, seed: u64) -> Workload {
+        match letter.to_ascii_uppercase() {
+            'A' => Workload::zipfian(records, OpMix { read: 0.5, update: 0.5, ..Default::default() }, seed),
+            'B' => Workload::zipfian(records, OpMix { read: 0.95, update: 0.05, ..Default::default() }, seed),
+            'C' => Workload::zipfian(records, OpMix::reads_only(), seed),
+            'D' => Workload {
+                chooser: Box::new(crate::Latest::new(records, seed ^ 0xabcd)),
+                ..Workload::uniform(
+                    records,
+                    OpMix { read: 0.95, insert: 0.05, ..Default::default() },
+                    seed,
+                )
+            },
+            'E' => {
+                let mut w = Workload::zipfian(
+                    records,
+                    OpMix { scan: 0.95, insert: 0.05, ..Default::default() },
+                    seed,
+                );
+                w.scan_max = 100;
+                w
+            }
+            'F' => Workload::zipfian(records, OpMix { read: 0.5, rmw: 0.5, ..Default::default() }, seed),
+            other => panic!("unknown YCSB workload {other:?} (expected A-F)"),
+        }
+    }
+}
+
+/// One timeseries bucket.
+#[derive(Debug, Clone, Copy)]
+pub struct TimePoint {
+    /// Bucket start, seconds of virtual time since the run began.
+    pub t_sec: f64,
+    /// Operations completed in the bucket divided by its width.
+    pub ops_per_sec: f64,
+    /// Mean latency in the bucket, milliseconds.
+    pub mean_ms: f64,
+    /// Max latency in the bucket, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Results of a run.
+pub struct RunReport {
+    /// Operations completed.
+    pub ops: u64,
+    /// Virtual seconds elapsed.
+    pub elapsed_sec: f64,
+    /// Overall throughput, ops per virtual second.
+    pub ops_per_sec: f64,
+    /// Latency histogram across all ops (µs).
+    pub latency: Histogram,
+    /// Per-kind latency histograms (µs).
+    pub by_kind: Vec<(OpKind, Histogram)>,
+    /// Throughput/latency timeseries.
+    pub timeseries: Vec<TimePoint>,
+}
+
+impl RunReport {
+    /// Latency histogram for one op kind, if any were run.
+    pub fn kind(&self, k: OpKind) -> Option<&Histogram> {
+        self.by_kind.iter().find(|(kk, _)| *kk == k).map(|(_, h)| h)
+    }
+}
+
+/// Closed-loop runner.
+pub struct Runner {
+    /// Timeseries bucket width in virtual seconds.
+    pub bucket_sec: f64,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner { bucket_sec: 1.0 }
+    }
+}
+
+impl Runner {
+    /// Runs `ops` operations of `workload` against `engine`.
+    pub fn run(
+        &self,
+        engine: &mut dyn KvEngine,
+        workload: &mut Workload,
+        ops: u64,
+    ) -> Result<RunReport> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(workload.seed);
+        let mut latency = Histogram::new();
+        let mut by_kind: Vec<(OpKind, Histogram)> = Vec::new();
+        let mut timeseries = Vec::new();
+        let mut bucket_ops = 0u64;
+        let mut bucket_lat_sum = 0f64;
+        let mut bucket_lat_max = 0u64;
+        let mut bucket_start = 0f64;
+        let mut cpu_us = 0f64;
+        let mut next_insert_id = workload.record_count;
+
+        let t0 = engine.now_us();
+        let now = |engine: &dyn KvEngine, cpu: f64| (engine.now_us() - t0) as f64 + cpu;
+
+        for _ in 0..ops {
+            let kind = workload.mix.pick(rng.random());
+            let before = now(engine, cpu_us);
+            match kind {
+                OpKind::Read => {
+                    let key = format_key(workload.chooser.next_id());
+                    engine.get(&key)?;
+                }
+                OpKind::Update => {
+                    let id = workload.chooser.next_id();
+                    engine.put(format_key(id), make_value(id ^ 1, workload.value_size))?;
+                }
+                OpKind::Rmw => {
+                    let id = workload.chooser.next_id();
+                    engine.read_modify_write(format_key(id), Bytes::from_static(b"!"))?;
+                }
+                OpKind::Insert => {
+                    let id = next_insert_id;
+                    next_insert_id += 1;
+                    engine.insert_if_not_exists(
+                        format_key(id),
+                        make_value(id, workload.value_size),
+                    )?;
+                    workload.chooser.set_item_count(next_insert_id);
+                }
+                OpKind::Scan => {
+                    let key = format_key(workload.chooser.next_id());
+                    let len = rng.random_range(1..=workload.scan_max.max(1));
+                    engine.scan(&key, len)?;
+                }
+                OpKind::Delta => {
+                    let key = format_key(workload.chooser.next_id());
+                    engine.apply_delta(key, Bytes::from_static(b"+"))?;
+                }
+            }
+            cpu_us += workload.cpu_us_per_op;
+            let after = now(engine, cpu_us);
+            let lat = (after - before).max(0.0) as u64;
+            latency.record(lat);
+            match by_kind.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, h)) => h.record(lat),
+                None => {
+                    let mut h = Histogram::new();
+                    h.record(lat);
+                    by_kind.push((kind, h));
+                }
+            }
+            bucket_ops += 1;
+            bucket_lat_sum += lat as f64;
+            bucket_lat_max = bucket_lat_max.max(lat);
+            // Emit (possibly several) timeseries buckets.
+            while after >= bucket_start + self.bucket_sec * 1e6 {
+                timeseries.push(TimePoint {
+                    t_sec: bucket_start / 1e6,
+                    ops_per_sec: bucket_ops as f64 / self.bucket_sec,
+                    mean_ms: if bucket_ops > 0 {
+                        bucket_lat_sum / bucket_ops as f64 / 1e3
+                    } else {
+                        0.0
+                    },
+                    max_ms: bucket_lat_max as f64 / 1e3,
+                });
+                bucket_start += self.bucket_sec * 1e6;
+                bucket_ops = 0;
+                bucket_lat_sum = 0.0;
+                bucket_lat_max = 0;
+            }
+        }
+        let elapsed_us = now(engine, cpu_us);
+        if bucket_ops > 0 {
+            timeseries.push(TimePoint {
+                t_sec: bucket_start / 1e6,
+                ops_per_sec: bucket_ops as f64 / self.bucket_sec,
+                mean_ms: bucket_lat_sum / bucket_ops as f64 / 1e3,
+                max_ms: bucket_lat_max as f64 / 1e3,
+            });
+        }
+        Ok(RunReport {
+            ops,
+            elapsed_sec: elapsed_us / 1e6,
+            ops_per_sec: ops as f64 / (elapsed_us / 1e6).max(1e-9),
+            latency,
+            by_kind,
+            timeseries,
+        })
+    }
+
+    /// Loads `records` fresh records via checked inserts (the §5.2 load
+    /// semantics for bLSM) or blind puts.
+    pub fn load(
+        &self,
+        engine: &mut dyn KvEngine,
+        records: u64,
+        value_size: usize,
+        checked: bool,
+        order: LoadOrder,
+    ) -> Result<RunReport> {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut ids: Vec<u64> = (0..records).collect();
+        match order {
+            LoadOrder::Sorted => {}
+            LoadOrder::Random => {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0x10ad);
+                ids.shuffle(&mut rng);
+            }
+            LoadOrder::Reverse => ids.reverse(),
+        }
+        let mut latency = Histogram::new();
+        let mut timeseries = Vec::new();
+        let mut bucket_ops = 0u64;
+        let mut bucket_lat_sum = 0f64;
+        let mut bucket_lat_max = 0u64;
+        let mut bucket_start = 0f64;
+        let mut cpu_us = 0f64;
+        let t0 = engine.now_us();
+        let cpu_per_op = 20.0;
+        for id in ids {
+            let before = (engine.now_us() - t0) as f64 + cpu_us;
+            let key = format_key(id);
+            let value = make_value(id, value_size);
+            if checked {
+                engine.insert_if_not_exists(key, value)?;
+            } else {
+                engine.put(key, value)?;
+            }
+            cpu_us += cpu_per_op;
+            let after = (engine.now_us() - t0) as f64 + cpu_us;
+            let lat = (after - before).max(0.0) as u64;
+            latency.record(lat);
+            bucket_ops += 1;
+            bucket_lat_sum += lat as f64;
+            bucket_lat_max = bucket_lat_max.max(lat);
+            while after >= bucket_start + self.bucket_sec * 1e6 {
+                timeseries.push(TimePoint {
+                    t_sec: bucket_start / 1e6,
+                    ops_per_sec: bucket_ops as f64 / self.bucket_sec,
+                    mean_ms: if bucket_ops > 0 {
+                        bucket_lat_sum / bucket_ops as f64 / 1e3
+                    } else {
+                        0.0
+                    },
+                    max_ms: bucket_lat_max as f64 / 1e3,
+                });
+                bucket_start += self.bucket_sec * 1e6;
+                bucket_ops = 0;
+                bucket_lat_sum = 0.0;
+                bucket_lat_max = 0;
+            }
+        }
+        let elapsed_us = (engine.now_us() - t0) as f64 + cpu_us;
+        Ok(RunReport {
+            ops: records,
+            elapsed_sec: elapsed_us / 1e6,
+            ops_per_sec: records as f64 / (elapsed_us / 1e6).max(1e-9),
+            latency,
+            by_kind: Vec::new(),
+            timeseries,
+        })
+    }
+}
+
+/// Key order for bulk loads (§5.2 compares them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadOrder {
+    /// Pre-sorted (InnoDB's required fast path).
+    Sorted,
+    /// Uniform random order (the paper's main load).
+    Random,
+    /// Reverse order (the snowshoveling worst case, §4.2).
+    Reverse,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// A trivial in-memory engine with a fake clock for runner tests.
+    struct MemEngine {
+        map: BTreeMap<Bytes, Bytes>,
+        fake_us: u64,
+        per_op_us: u64,
+    }
+
+    impl MemEngine {
+        fn new(per_op_us: u64) -> MemEngine {
+            MemEngine { map: BTreeMap::new(), fake_us: 0, per_op_us }
+        }
+    }
+
+    impl KvEngine for MemEngine {
+        fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>> {
+            self.fake_us += self.per_op_us;
+            Ok(self.map.get(key).cloned())
+        }
+        fn put(&mut self, key: Bytes, value: Bytes) -> Result<()> {
+            self.fake_us += self.per_op_us;
+            self.map.insert(key, value);
+            Ok(())
+        }
+        fn delete(&mut self, key: Bytes) -> Result<()> {
+            self.map.remove(&key);
+            Ok(())
+        }
+        fn read_modify_write(&mut self, key: Bytes, suffix: Bytes) -> Result<()> {
+            self.fake_us += 2 * self.per_op_us;
+            let mut v = self.map.get(&key).cloned().unwrap_or_default().to_vec();
+            v.extend_from_slice(&suffix);
+            self.map.insert(key, Bytes::from(v));
+            Ok(())
+        }
+        fn insert_if_not_exists(&mut self, key: Bytes, value: Bytes) -> Result<bool> {
+            self.fake_us += self.per_op_us;
+            if self.map.contains_key(&key) {
+                return Ok(false);
+            }
+            self.map.insert(key, value);
+            Ok(true)
+        }
+        fn scan(&mut self, from: &[u8], limit: usize) -> Result<usize> {
+            self.fake_us += self.per_op_us;
+            Ok(self
+                .map
+                .range(Bytes::copy_from_slice(from)..)
+                .take(limit)
+                .count())
+        }
+        fn now_us(&self) -> u64 {
+            self.fake_us
+        }
+    }
+
+    #[test]
+    fn runner_measures_throughput_from_virtual_time() {
+        let mut engine = MemEngine::new(80); // +20us CPU => 100us/op
+        let mut wl = Workload::uniform(1000, OpMix::updates_only(), 1);
+        wl.cpu_us_per_op = 20.0;
+        let report = Runner::default().run(&mut engine, &mut wl, 5000).unwrap();
+        assert_eq!(report.ops, 5000);
+        assert!((report.ops_per_sec - 10_000.0).abs() < 500.0, "{}", report.ops_per_sec);
+        assert!((report.latency.mean() - 100.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn mixed_workload_runs_all_kinds() {
+        let mut engine = MemEngine::new(10);
+        // Preload so reads/updates hit existing keys.
+        for id in 0..100 {
+            engine.map.insert(format_key(id), make_value(id, 10));
+        }
+        let mix = OpMix {
+            read: 0.3,
+            update: 0.2,
+            rmw: 0.2,
+            insert: 0.1,
+            scan: 0.1,
+            delta: 0.1,
+        };
+        let mut wl = Workload::zipfian(100, mix, 3);
+        wl.value_size = 10;
+        let report = Runner::default().run(&mut engine, &mut wl, 2000).unwrap();
+        assert_eq!(report.by_kind.len(), 6, "all op kinds exercised");
+        // Inserts grew the keyspace.
+        assert!(engine.map.len() > 100);
+    }
+
+    #[test]
+    fn timeseries_buckets_cover_run() {
+        let mut engine = MemEngine::new(100_000); // 0.1s per op
+        let mut wl = Workload::uniform(10, OpMix::updates_only(), 1);
+        let report = Runner { bucket_sec: 0.5 }.run(&mut engine, &mut wl, 20).unwrap();
+        // 20 ops * 0.1s = 2s => ~4 buckets of 0.5s.
+        assert!(report.timeseries.len() >= 4, "{}", report.timeseries.len());
+        let total: f64 = report
+            .timeseries
+            .iter()
+            .map(|p| p.ops_per_sec * 0.5)
+            .sum();
+        assert!((total - 20.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn load_orders() {
+        for order in [LoadOrder::Sorted, LoadOrder::Random, LoadOrder::Reverse] {
+            let mut engine = MemEngine::new(5);
+            let report = Runner::default()
+                .load(&mut engine, 500, 64, true, order)
+                .unwrap();
+            assert_eq!(report.ops, 500);
+            assert_eq!(engine.map.len(), 500, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn op_mix_pick_respects_weights() {
+        let mix = OpMix::read_blind_write(0.25);
+        let mut writes = 0;
+        let n = 10_000;
+        for i in 0..n {
+            let u = i as f64 / n as f64;
+            if mix.pick(u) == OpKind::Update {
+                writes += 1;
+            }
+        }
+        assert!((writes as f64 / n as f64 - 0.25).abs() < 0.01);
+    }
+}

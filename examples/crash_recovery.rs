@@ -1,0 +1,89 @@
+//! Crash recovery walkthrough (§4.4.2).
+//!
+//! Shows the three durability modes and what each guarantees after a
+//! simulated crash:
+//!
+//! * `Sync` — every acknowledged write survives;
+//! * `Buffered` — writes survive process crashes (the log reached the
+//!   device) but the final unsynced tail could be lost to power failure;
+//! * `None` — the paper's degraded durability: only data up to the last
+//!   completed merge survives, "useful for high-throughput replication".
+//!
+//! Run with: `cargo run --release --example crash_recovery`
+
+use std::sync::Arc;
+
+use blsm_repro::blsm::{AppendOperator, BLsmConfig, BLsmTree, Durability};
+use blsm_repro::blsm_storage::{MemDevice, SharedDevice};
+
+fn open(
+    data: &SharedDevice,
+    wal: &SharedDevice,
+    durability: Durability,
+) -> Result<BLsmTree, Box<dyn std::error::Error>> {
+    let config = BLsmConfig {
+        mem_budget: 256 << 10,
+        durability,
+        wal_capacity: 16 << 20,
+        ..Default::default()
+    };
+    Ok(BLsmTree::open(
+        data.clone(),
+        wal.clone(),
+        512,
+        config,
+        Arc::new(AppendOperator),
+    )?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for durability in [Durability::Sync, Durability::Buffered, Durability::None] {
+        let data: SharedDevice = Arc::new(MemDevice::new());
+        let wal: SharedDevice = Arc::new(MemDevice::new());
+
+        // Phase 1: write 2000 records, checkpoint (merge to disk), then
+        // write 500 more that only live in C0 + the log.
+        {
+            let mut tree = open(&data, &wal, durability)?;
+            for i in 0..2000u32 {
+                tree.put(format!("key{i:06}").into_bytes(), format!("v{i}").into_bytes())?;
+            }
+            tree.checkpoint()?;
+            for i in 2000..2500u32 {
+                tree.put(format!("key{i:06}").into_bytes(), format!("v{i}").into_bytes())?;
+            }
+            // Crash: drop without checkpoint or clean shutdown.
+        }
+
+        // Phase 2: recover and inventory what survived.
+        let mut tree = open(&data, &wal, durability)?;
+        let merged_survivors = (0..2000u32)
+            .filter(|i| {
+                tree.get(format!("key{i:06}").as_bytes()).unwrap().is_some()
+            })
+            .count();
+        let tail_survivors = (2000..2500u32)
+            .filter(|i| {
+                tree.get(format!("key{i:06}").as_bytes()).unwrap().is_some()
+            })
+            .count();
+        println!(
+            "{durability:?}: {merged_survivors}/2000 checkpointed records, \
+             {tail_survivors}/500 post-checkpoint records recovered"
+        );
+        assert_eq!(merged_survivors, 2000, "merged data must always survive");
+        match durability {
+            Durability::Sync | Durability::Buffered => {
+                assert_eq!(tail_survivors, 500, "logged writes must replay")
+            }
+            Durability::None => {
+                assert_eq!(
+                    tail_survivors, 0,
+                    "degraded mode loses everything after the last merge"
+                )
+            }
+        }
+    }
+    println!("\nAll three durability modes behave exactly as §4.4.2 describes.");
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Interactive user store — the paper's serving workload, with strict
+//! latency expectations.
+//!
+//! Models the PNUTS-style usage bLSM was built for (§1): a user-profile
+//! store handling a read-heavy Zipfian mix of point reads,
+//! read-modify-writes and checked inserts, while tracking per-operation
+//! latency the way an SLA dashboard would. Demonstrates that even under a
+//! concurrent write stream, the spring-and-gear scheduler keeps worst-case
+//! write latency bounded.
+//!
+//! Run with: `cargo run --release --example user_store`
+
+use std::sync::Arc;
+
+use blsm_repro::blsm::{AppendOperator, BLsmConfig, BLsmTree, SchedulerKind};
+use blsm_repro::blsm_storage::{DiskModel, SharedDevice, SimDevice};
+use blsm_repro::blsm_ycsb::{format_key, make_value, Histogram, KeyChooser, ScrambledZipfian};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data: SharedDevice = Arc::new(SimDevice::new(DiskModel::ssd()));
+    let wal: SharedDevice = Arc::new(SimDevice::new(DiskModel::ssd()));
+    let config = BLsmConfig {
+        mem_budget: 8 << 20,
+        scheduler: SchedulerKind::SpringGear,
+        ..Default::default()
+    };
+    let mut tree =
+        BLsmTree::open(data.clone(), wal.clone(), 512, config, Arc::new(AppendOperator))?;
+
+    // Seed 50k user profiles.
+    let users = 50_000u64;
+    println!("seeding {users} profiles...");
+    for id in 0..users {
+        tree.put(format_key(id), make_value(id, 1000))?;
+    }
+
+    // Serve a Zipfian 70/20/10 read / RMW / checked-insert mix.
+    let mut chooser = ScrambledZipfian::new(users, 0x7357);
+    let mut read_lat = Histogram::new();
+    let mut write_lat = Histogram::new();
+    let mut next_user = users;
+    let mut rng = 0xabcdeu64;
+    let ops = 100_000u64;
+    let clock = || data.now_us() + wal.now_us();
+    println!("serving {ops} Zipfian operations (70% read / 20% RMW / 10% insert)...");
+    for _ in 0..ops {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let dice = (rng >> 33) % 100;
+        let t0 = clock();
+        if dice < 70 {
+            let id = chooser.next_id();
+            tree.get(&format_key(id))?;
+            read_lat.record(clock() - t0);
+        } else if dice < 90 {
+            let id = chooser.next_id();
+            tree.read_modify_write(format_key(id), |old| {
+                let mut v = old.map(|o| o.to_vec()).unwrap_or_default();
+                v.truncate(996);
+                v.extend_from_slice(b"sess");
+                Some(v)
+            })?;
+            write_lat.record(clock() - t0);
+        } else {
+            let id = next_user;
+            next_user += 1;
+            let fresh = tree.insert_if_not_exists(format_key(id), make_value(id, 1000))?;
+            assert!(fresh, "new user ids must not collide");
+            chooser.set_item_count(next_user);
+            write_lat.record(clock() - t0);
+        }
+    }
+
+    println!("\nSLA dashboard (virtual microseconds):");
+    for (name, h) in [("reads", &read_lat), ("writes", &write_lat)] {
+        println!(
+            "  {name:<7} n={:<7} mean={:>7.0}us p50={:>6}us p99={:>7}us p99.9={:>8}us max={:>8}us",
+            h.count(),
+            h.mean(),
+            h.percentile(0.5),
+            h.percentile(0.99),
+            h.percentile(0.999),
+            h.max()
+        );
+    }
+    let stats = tree.stats();
+    println!(
+        "\nbloom effectiveness: {} disk probes for {} gets ({:.2} probes/get), {} probes skipped",
+        stats.disk_probes,
+        stats.gets,
+        stats.probes_per_get(),
+        stats.bloom_skips
+    );
+    println!(
+        "merge activity: {} C0:C1 passes, {} C1':C2 merges, {} forced stalls",
+        stats.merges01, stats.merges12, stats.forced_stalls
+    );
+    assert_eq!(stats.forced_stalls, 0, "spring-and-gear must avoid hard stalls");
+    Ok(())
+}

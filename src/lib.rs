@@ -1,0 +1,15 @@
+//! Umbrella crate for the bLSM reproduction workspace.
+//!
+//! Re-exports every crate in the workspace so the examples under
+//! `examples/` and the integration tests under `tests/` can exercise the
+//! full stack through one dependency. Library users should depend on the
+//! individual crates (most importantly [`blsm`]) directly.
+
+pub use blsm;
+pub use blsm_bloom;
+pub use blsm_btree;
+pub use blsm_leveldb_like;
+pub use blsm_memtable;
+pub use blsm_sstable;
+pub use blsm_storage;
+pub use blsm_ycsb;

@@ -1,0 +1,166 @@
+//! Cross-engine equivalence: the same operation sequence applied to bLSM,
+//! the B-Tree baseline, the LevelDB-like baseline and an in-memory model
+//! must produce identical read results — including mid-merge, mid-compaction
+//! and after recovery.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use blsm_repro::blsm::{AppendOperator, BLsmConfig, BLsmTree};
+use blsm_repro::blsm_btree::BTree;
+use blsm_repro::blsm_leveldb_like::{LevelDbConfig, LevelDbLike};
+use blsm_repro::blsm_storage::{BufferPool, MemDevice, SharedDevice};
+
+fn key(i: u64) -> Bytes {
+    Bytes::from(format!("user{i:08}"))
+}
+
+fn value(i: u64, round: u64) -> Bytes {
+    Bytes::from(format!("value-{i}-{round}-{}", "x".repeat((i % 64) as usize)))
+}
+
+struct Harness {
+    model: BTreeMap<Bytes, Bytes>,
+    blsm: BLsmTree,
+    btree: BTree,
+    ldb: LevelDbLike,
+}
+
+impl Harness {
+    fn new() -> Harness {
+        let data: SharedDevice = Arc::new(MemDevice::new());
+        let wal: SharedDevice = Arc::new(MemDevice::new());
+        let blsm = BLsmTree::open(
+            data,
+            wal,
+            1024,
+            BLsmConfig { mem_budget: 128 << 10, ..Default::default() },
+            Arc::new(AppendOperator),
+        )
+        .unwrap();
+        let btree =
+            BTree::create(Arc::new(BufferPool::new(Arc::new(MemDevice::new()), 1024))).unwrap();
+        let ldb = LevelDbLike::new(
+            Arc::new(BufferPool::new(Arc::new(MemDevice::new()), 1024)),
+            LevelDbConfig {
+                write_buffer: 32 << 10,
+                max_file_size: 32 << 10,
+                level_base: 128 << 10,
+                work_per_write: 4 << 10,
+                ..Default::default()
+            },
+            Arc::new(AppendOperator),
+        );
+        Harness { model: BTreeMap::new(), blsm, btree, ldb }
+    }
+
+    fn put(&mut self, k: Bytes, v: Bytes) {
+        self.model.insert(k.clone(), v.clone());
+        self.blsm.put(k.clone(), v.clone()).unwrap();
+        self.btree.insert(k.clone(), v.clone()).unwrap();
+        self.ldb.put(k, v).unwrap();
+    }
+
+    fn delete(&mut self, k: Bytes) {
+        self.model.remove(&k);
+        self.blsm.delete(k.clone()).unwrap();
+        self.btree.delete(&k).unwrap();
+        self.ldb.delete(k).unwrap();
+    }
+
+    fn check_get(&mut self, k: &Bytes) {
+        let want = self.model.get(k).cloned();
+        assert_eq!(self.blsm.get(k).unwrap(), want, "blsm mismatch at {k:?}");
+        assert_eq!(self.btree.get(k).unwrap(), want, "btree mismatch at {k:?}");
+        assert_eq!(self.ldb.get(k).unwrap(), want, "leveldb mismatch at {k:?}");
+    }
+
+    fn check_scan(&mut self, from: &Bytes, limit: usize) {
+        let want: Vec<(Bytes, Bytes)> = self
+            .model
+            .range(from.clone()..)
+            .take(limit)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let got: Vec<(Bytes, Bytes)> = self
+            .blsm
+            .scan(from, limit)
+            .unwrap()
+            .into_iter()
+            .map(|r| (r.key, r.value))
+            .collect();
+        assert_eq!(got, want, "blsm scan mismatch from {from:?}");
+        let got = self.btree.scan(from, limit).unwrap();
+        assert_eq!(got, want, "btree scan mismatch from {from:?}");
+        let got = self.ldb.scan(from, limit).unwrap();
+        assert_eq!(got, want, "leveldb scan mismatch from {from:?}");
+    }
+}
+
+#[test]
+fn random_workload_equivalence() {
+    let mut h = Harness::new();
+    let mut rng = 0xdecafu64;
+    let mut next = || {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng >> 33
+    };
+    for round in 0..8_000u64 {
+        let r = next();
+        let id = next() % 3_000;
+        match r % 10 {
+            0..=5 => h.put(key(id), value(id, round)),
+            6 => h.delete(key(id)),
+            7 => h.check_get(&key(id)),
+            8 => h.check_scan(&key(id), (next() % 8 + 1) as usize),
+            _ => {
+                // Checked insert must agree with the model.
+                let expect = !h.model.contains_key(&key(id));
+                let v = value(id, round);
+                assert_eq!(h.blsm.insert_if_not_exists(key(id), v.clone()).unwrap(), expect);
+                assert_eq!(h.btree.insert_if_not_exists(key(id), v.clone()).unwrap(), expect);
+                assert_eq!(h.ldb.insert_if_not_exists(key(id), v.clone()).unwrap(), expect);
+                if expect {
+                    h.model.insert(key(id), v);
+                }
+            }
+        }
+    }
+    // Full sweep at the end.
+    for id in (0..3_000).step_by(17) {
+        h.check_get(&key(id));
+    }
+    h.check_scan(&key(0), 200);
+}
+
+#[test]
+fn sequential_then_reverse_overwrites() {
+    let mut h = Harness::new();
+    for id in 0..2_000u64 {
+        h.put(key(id), value(id, 1));
+    }
+    for id in (0..2_000u64).rev() {
+        h.put(key(id), value(id, 2));
+    }
+    for id in (0..2_000).step_by(31) {
+        h.check_get(&key(id));
+    }
+    h.check_scan(&key(500), 64);
+}
+
+#[test]
+fn delete_heavy_workload() {
+    let mut h = Harness::new();
+    for id in 0..1_500u64 {
+        h.put(key(id), value(id, 0));
+    }
+    for id in (0..1_500u64).filter(|i| i % 3 != 0) {
+        h.delete(key(id));
+    }
+    for id in (0..1_500).step_by(7) {
+        h.check_get(&key(id));
+    }
+    h.check_scan(&key(0), 500);
+}

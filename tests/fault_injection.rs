@@ -1,0 +1,199 @@
+//! Failure-injection tests: the engine must surface device failures as
+//! errors (never panic or corrupt), and recover from power loss that
+//! tears the final write.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use blsm_repro::blsm::{AppendOperator, BLsmConfig, BLsmTree};
+use blsm_repro::blsm_storage::{FaultMode, FaultyDevice, MemDevice, SharedDevice};
+
+fn key(i: u64) -> Bytes {
+    Bytes::from(format!("user{i:08}"))
+}
+
+fn config() -> BLsmConfig {
+    BLsmConfig {
+        mem_budget: 128 << 10,
+        wal_capacity: 32 << 20,
+        ..Default::default()
+    }
+}
+
+/// Writes until the data device dies mid-run; the engine must return an
+/// error (not panic), and the pre-fault state must be recoverable from
+/// the underlying medium.
+#[test]
+fn data_device_death_is_an_error_not_a_panic() {
+    let medium: SharedDevice = Arc::new(MemDevice::new());
+    let wal_medium: SharedDevice = Arc::new(MemDevice::new());
+    // Enough budget to survive the initial manifest + some merges.
+    let data: SharedDevice = Arc::new(FaultyDevice::new(
+        medium.clone(),
+        FaultMode::FailWrites,
+        400,
+    ));
+    let mut tree = BLsmTree::open(
+        data,
+        wal_medium.clone(),
+        512,
+        config(),
+        Arc::new(AppendOperator),
+    )
+    .unwrap();
+    let mut failed_at = None;
+    for i in 0..50_000u64 {
+        let id = (i * 7919) % 20_000;
+        match tree.put(key(id), Bytes::from(vec![0u8; 500])) {
+            Ok(()) => {}
+            Err(e) => {
+                assert!(format!("{e}").contains("injected fault"), "unexpected error {e}");
+                failed_at = Some(i);
+                break;
+            }
+        }
+    }
+    let failed_at = failed_at.expect("the fault must eventually fire");
+    assert!(failed_at > 0, "some writes must succeed before the fault");
+    // The medium (what survived) plus the WAL must reopen into a
+    // consistent tree: recovery only trusts the last *completed* manifest.
+    drop(tree);
+    let mut recovered = BLsmTree::open(
+        medium,
+        wal_medium,
+        512,
+        config(),
+        Arc::new(AppendOperator),
+    )
+    .expect("recovery after device death");
+    // Spot-check that recovered reads behave (values are whatever the
+    // durable prefix says; they must parse, not panic).
+    for i in (0..20_000u64).step_by(997) {
+        let _ = recovered.get(&key(i)).unwrap();
+    }
+}
+
+/// Power loss that tears the final data-device write: the shadow-paged
+/// manifest must fall back to the previous root, and the WAL must replay
+/// every acknowledged write.
+#[test]
+fn torn_final_write_recovers_every_acknowledged_write() {
+    let medium: SharedDevice = Arc::new(MemDevice::new());
+    let wal_medium: SharedDevice = Arc::new(MemDevice::new());
+    let data: SharedDevice = Arc::new(FaultyDevice::new(
+        medium.clone(),
+        FaultMode::TornWriteThenDead,
+        300,
+    ));
+    let mut acknowledged = Vec::new();
+    {
+        let mut tree = BLsmTree::open(
+            data,
+            wal_medium.clone(),
+            512,
+            config(),
+            Arc::new(AppendOperator),
+        )
+        .unwrap();
+        for i in 0..50_000u64 {
+            let id = (i * 7919) % 20_000;
+            let v = Bytes::from(format!("v{i}"));
+            match tree.put(key(id), v.clone()) {
+                Ok(()) => acknowledged.push((key(id), v)),
+                Err(_) => break, // power loss
+            }
+        }
+        assert!(!acknowledged.is_empty());
+    }
+    // Recover from the torn medium.
+    let mut tree = BLsmTree::open(
+        medium,
+        wal_medium,
+        512,
+        config(),
+        Arc::new(AppendOperator),
+    )
+    .expect("recovery after torn write");
+    // Last writer wins per key.
+    let mut latest = std::collections::HashMap::new();
+    for (k, v) in &acknowledged {
+        latest.insert(k.clone(), v.clone());
+    }
+    for (k, v) in &latest {
+        let got = tree.get(k).unwrap();
+        assert_eq!(got.as_ref(), Some(v), "acknowledged write lost for {k:?}");
+    }
+}
+
+/// A dying *log* device: with buffered durability the put that cannot be
+/// logged must fail, and the tree must remain usable for reads.
+#[test]
+fn wal_device_death_fails_writes_cleanly() {
+    let data: SharedDevice = Arc::new(MemDevice::new());
+    let wal: SharedDevice = Arc::new(FaultyDevice::new(
+        Arc::new(MemDevice::new()),
+        FaultMode::FailWrites,
+        200,
+    ));
+    let mut tree = BLsmTree::open(data, wal, 512, config(), Arc::new(AppendOperator)).unwrap();
+    let mut wrote = 0u64;
+    let mut first_err = None;
+    for i in 0..10_000u64 {
+        match tree.put(key(i), Bytes::from_static(b"v")) {
+            Ok(()) => wrote += 1,
+            Err(e) => {
+                first_err = Some(format!("{e}"));
+                break;
+            }
+        }
+    }
+    assert!(first_err.unwrap_or_default().contains("injected fault"));
+    assert!(wrote > 0);
+    // Reads of previously written keys still work.
+    assert_eq!(
+        tree.get(&key(0)).unwrap().unwrap(),
+        Bytes::from_static(b"v")
+    );
+}
+
+/// Read faults surface as errors and do not poison the tree: once the
+/// "flaky" period passes (budget-based injection only fails a prefix
+/// here), operation resumes.
+#[test]
+fn read_faults_are_propagated() {
+    let medium: SharedDevice = Arc::new(MemDevice::new());
+    let wal: SharedDevice = Arc::new(MemDevice::new());
+    // Build a tree on the raw medium first.
+    {
+        let mut tree =
+            BLsmTree::open(medium.clone(), wal.clone(), 512, config(), Arc::new(AppendOperator))
+                .unwrap();
+        for i in 0..5_000u64 {
+            let id = (i * 7919) % 5_000;
+            tree.put(key(id), Bytes::from(vec![1u8; 500])).unwrap();
+        }
+        tree.checkpoint().unwrap();
+    }
+    // Reopen behind a read-fault wrapper with a small budget: open itself
+    // reads (manifest/footers), so give it room, then trip during gets.
+    let flaky: SharedDevice = Arc::new(FaultyDevice::new(
+        medium,
+        FaultMode::FailReads,
+        5_000,
+    ));
+    let mut tree =
+        BLsmTree::open(flaky, wal, 64, config(), Arc::new(AppendOperator)).unwrap();
+    let mut errors = 0;
+    let mut oks = 0;
+    for i in 0..20_000u64 {
+        tree.pool().drop_clean();
+        match tree.get(&key(i % 5_000)) {
+            Ok(Some(_)) => oks += 1,
+            Ok(None) => {}
+            Err(_) => errors += 1,
+        }
+    }
+    assert!(oks > 0, "reads before the fault must succeed");
+    assert!(errors > 0, "the injected read fault must surface as Err");
+}

@@ -1,0 +1,183 @@
+//! Quantitative invariants from the paper, asserted against the engine on
+//! simulated devices (DESIGN.md §8). These are the properties that make
+//! bLSM "a general purpose log structured merge tree" rather than just a
+//! correct key-value store.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use blsm_repro::blsm::{AppendOperator, BLsmConfig, BLsmTree, SchedulerKind};
+use blsm_repro::blsm_storage::{DiskModel, SharedDevice, SimDevice};
+use blsm_repro::blsm_ycsb::{format_key, make_value};
+
+fn sim_tree(config: BLsmConfig) -> (BLsmTree, SharedDevice, SharedDevice) {
+    let data: SharedDevice = Arc::new(SimDevice::new(DiskModel::hdd()));
+    let wal: SharedDevice = Arc::new(SimDevice::new(DiskModel::hdd()));
+    let tree = BLsmTree::open(
+        data.clone(),
+        wal.clone(),
+        512,
+        config,
+        Arc::new(AppendOperator),
+    )
+    .unwrap();
+    (tree, data, wal)
+}
+
+fn config(mem: usize) -> BLsmConfig {
+    BLsmConfig { mem_budget: mem, wal_capacity: 256 << 20, ..Default::default() }
+}
+
+/// §2.3.1: three-level write amplification is O(sqrt(|data|/|C0|)). With
+/// data ≈ 36×C0, R ≈ 6, each byte moves through at most C0→C1→C2 with ~R
+/// copies per level: total device writes per user byte must stay well
+/// under 2(R+1), and nowhere near the B-Tree's ~1000.
+#[test]
+fn write_amplification_is_sqrt_bounded() {
+    let mem = 512 << 10;
+    let (mut tree, data, _wal) = sim_tree(config(mem));
+    let records = 18_000u64; // ~18 MB = 36 x C0
+    let mut rng = 77u64;
+    for _ in 0..records {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let id = (rng >> 33) % records;
+        tree.put(format_key(id), make_value(id, 1000)).unwrap();
+    }
+    let user = tree.stats().user_bytes_written as f64;
+    let device = data.stats().bytes_written as f64;
+    let wamp = device / user;
+    let r = tree.current_r();
+    let bound = 2.0 * (r + 1.0) + 2.0;
+    assert!(
+        wamp < bound,
+        "write amplification {wamp:.2} exceeds O(R) bound {bound:.2} (R={r:.2})"
+    );
+    assert!(wamp > 1.0, "write amplification below 1 is impossible: {wamp}");
+}
+
+/// §3.1/Figure 2: uncached point lookups cost ~1 seek — the Bloom bound of
+/// 1 + N/100 with N ≤ 3 components.
+#[test]
+fn read_amplification_is_one_seek() {
+    let (mut tree, data, _wal) = sim_tree(config(512 << 10));
+    let records = 8_000u64;
+    for i in 0..records {
+        let id = (i * 7919) % records;
+        tree.put(format_key(id), make_value(id, 1000)).unwrap();
+    }
+    // Leave the tree in its natural state (possibly mid-merge), but probe
+    // keys cold.
+    let mut rng = 5u64;
+    let probes = 500u64;
+    tree.pool().drop_clean();
+    let before = data.stats();
+    for _ in 0..probes {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let id = (rng >> 33) % records;
+        tree.get(&format_key(id)).unwrap().expect("present");
+        tree.pool().drop_clean();
+    }
+    let seeks = data.stats().delta_since(&before).random_reads as f64 / probes as f64;
+    assert!(
+        seeks <= 1.25,
+        "uncached lookups averaged {seeks:.2} seeks (paper bound ~1.03)"
+    );
+}
+
+/// Appendix A: read fanout. The RAM the tree needs for one-seek reads
+/// (leaf indexes + Bloom filters) must be a small fraction of the data:
+/// roughly keys/page + 1.25 B/key ≈ 3-6% for 1000-byte values and short
+/// keys.
+#[test]
+fn read_fanout_matches_appendix_a() {
+    let (mut tree, _data, _wal) = sim_tree(config(256 << 10));
+    let records = 10_000u64;
+    for i in 0..records {
+        let id = (i * 7919) % records;
+        tree.put(format_key(id), make_value(id, 1000)).unwrap();
+    }
+    tree.checkpoint().unwrap();
+    let index_ram = tree.index_ram_bytes() as f64;
+    let data_bytes = tree.total_data_bytes() as f64;
+    let fanout = data_bytes / index_ram;
+    // 16-byte keys + bloom ≈ (16+24)/1016 per entry of index + 1.25/1016
+    // of bloom → fanout in the tens.
+    assert!(
+        (8.0..200.0).contains(&fanout),
+        "read fanout {fanout:.1} outside plausible band (index {index_ram} B, data {data_bytes} B)"
+    );
+}
+
+/// The headline scheduler claim: under identical sustained load, the
+/// worst single-write device time under spring-and-gear is an order of
+/// magnitude below naive merge-when-full.
+#[test]
+fn spring_gear_bounds_worst_case_write_latency() {
+    let run = |kind: SchedulerKind| -> u64 {
+        let (mut tree, data, wal) = sim_tree(BLsmConfig {
+            scheduler: kind,
+            ..config(256 << 10)
+        });
+        let mut worst = 0u64;
+        let mut rng = 3u64;
+        for _ in 0..12_000u64 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let id = (rng >> 33) % 12_000;
+            let t0 = data.now_us() + wal.now_us();
+            tree.put(format_key(id), make_value(id, 1000)).unwrap();
+            worst = worst.max(data.now_us() + wal.now_us() - t0);
+        }
+        worst
+    };
+    let naive_worst = run(SchedulerKind::Naive);
+    let spring_worst = run(SchedulerKind::SpringGear);
+    assert!(
+        spring_worst * 5 < naive_worst,
+        "spring {spring_worst}us vs naive {naive_worst}us: pacing failed to bound stalls"
+    );
+}
+
+/// Zero-seek blind writes (Table 1): a window of puts and deltas performs
+/// no data-device reads at all once merging is quiesced.
+#[test]
+fn blind_writes_never_read_the_data_device() {
+    let (mut tree, data, _wal) = sim_tree(config(4 << 20)); // roomy C0: no merges
+    for i in 0..500u64 {
+        tree.put(format_key(i), make_value(i, 500)).unwrap();
+    }
+    let before = data.stats();
+    for i in 0..500u64 {
+        tree.put(format_key(i), make_value(i ^ 9, 500)).unwrap();
+        tree.apply_delta(format_key(i), Bytes::from_static(b"+d")).unwrap();
+        tree.delete(format_key(i + 10_000)).unwrap();
+    }
+    let d = data.stats().delta_since(&before);
+    assert_eq!(d.bytes_read, 0, "blind writes must not read the data device");
+}
+
+/// Zero-seek insert-if-not-exists (§3.1.2): checked inserts of absent
+/// keys probe the device only on Bloom false positives (~1%).
+#[test]
+fn checked_inserts_of_absent_keys_are_nearly_free() {
+    let (mut tree, data, _wal) = sim_tree(config(512 << 10));
+    let records = 6_000u64;
+    for i in 0..records {
+        let id = (i * 7919) % records;
+        tree.put(format_key(id), make_value(id, 1000)).unwrap();
+    }
+    tree.checkpoint().unwrap();
+    let before = data.stats();
+    let n = 2_000u64;
+    for i in 0..n {
+        let fresh = tree
+            .insert_if_not_exists(format_key(records + i), make_value(i, 8))
+            .unwrap();
+        assert!(fresh);
+    }
+    let reads = data.stats().delta_since(&before).random_reads;
+    assert!(
+        (reads as f64) < n as f64 * 0.05,
+        "{reads} reads for {n} checked inserts of absent keys (expect ~1% bloom FPs)"
+    );
+}

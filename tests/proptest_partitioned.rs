@@ -1,0 +1,114 @@
+//! Property-based tests for the partitioning extension: arbitrary
+//! partition boundaries and operation sequences must behave exactly like
+//! a single map — routing, boundary keys, cross-partition scans and the
+//! coordinated merge scheduler included.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use blsm_repro::blsm::{AppendOperator, BLsmConfig, PartitionedBLsm};
+use blsm_repro::blsm_storage::{MemDevice, SharedDevice};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u8),
+    Delete(u16),
+    Delta(u16, u8),
+    Get(u16),
+    Scan(u16, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 600, v)),
+        1 => any::<u16>().prop_map(|k| Op::Delete(k % 600)),
+        2 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Delta(k % 600, v)),
+        2 => any::<u16>().prop_map(|k| Op::Get(k % 600)),
+        2 => (any::<u16>(), any::<u8>()).prop_map(|(k, n)| Op::Scan(k % 600, n % 24 + 1)),
+    ]
+}
+
+fn key(k: u16) -> Bytes {
+    Bytes::from(format!("k{k:05}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn partitioned_store_is_a_single_map(
+        raw_bounds in proptest::collection::btree_set(any::<u16>().prop_map(|b| b % 600), 0..6),
+        coordinated in any::<bool>(),
+        ops in proptest::collection::vec(op_strategy(), 1..250),
+    ) {
+        let bounds: Vec<Bytes> = raw_bounds.iter().map(|&b| key(b)).collect();
+        let n_parts = bounds.len() + 1;
+        let devices: Vec<(SharedDevice, SharedDevice)> = (0..n_parts)
+            .map(|_| {
+                (
+                    Arc::new(MemDevice::new()) as SharedDevice,
+                    Arc::new(MemDevice::new()) as SharedDevice,
+                )
+            })
+            .collect();
+        let mut store = PartitionedBLsm::create_with_mode(
+            bounds,
+            |i| devices[i].clone(),
+            128,
+            BLsmConfig { mem_budget: 64 << 10, wal_capacity: 8 << 20, ..Default::default() },
+            Arc::new(AppendOperator),
+            coordinated,
+        )
+        .unwrap();
+        let mut model: BTreeMap<Bytes, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    let val = vec![*v; 24];
+                    store.put(key(*k), Bytes::from(val.clone())).unwrap();
+                    model.insert(key(*k), val);
+                }
+                Op::Delete(k) => {
+                    store.delete(key(*k)).unwrap();
+                    model.remove(&key(*k));
+                }
+                Op::Delta(k, v) => {
+                    store.apply_delta(key(*k), Bytes::from(vec![*v; 2])).unwrap();
+                    model.entry(key(*k)).or_default().extend_from_slice(&[*v; 2]);
+                }
+                Op::Get(k) => {
+                    let got = store.get(&key(*k)).unwrap();
+                    prop_assert_eq!(
+                        got.as_deref(),
+                        model.get(&key(*k)).map(Vec::as_slice),
+                        "get {}", k
+                    );
+                }
+                Op::Scan(k, n) => {
+                    let got = store.scan(&key(*k), *n as usize).unwrap();
+                    let want: Vec<(Bytes, Vec<u8>)> = model
+                        .range(key(*k)..)
+                        .take(*n as usize)
+                        .map(|(a, b)| (a.clone(), b.clone()))
+                        .collect();
+                    prop_assert_eq!(got.len(), want.len(), "scan {}x{}", k, n);
+                    for (g, w) in got.iter().zip(&want) {
+                        prop_assert_eq!(&g.key, &w.0);
+                        prop_assert_eq!(g.value.as_ref(), w.1.as_slice());
+                    }
+                }
+            }
+        }
+        // Checkpoint every partition and verify the whole keyspace.
+        store.checkpoint().unwrap();
+        for (k, v) in &model {
+            let got = store.get(k).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
+        }
+        let rows = store.scan(b"", 4096).unwrap();
+        prop_assert_eq!(rows.len(), model.len());
+    }
+}

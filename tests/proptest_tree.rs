@@ -1,0 +1,143 @@
+//! Property-based tests: arbitrary operation sequences against a model,
+//! with randomized crash points, all three schedulers, and delta folding.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use blsm_repro::blsm::{
+    AppendOperator, BLsmConfig, BLsmTree, SchedulerKind,
+};
+use blsm_repro::blsm_storage::{MemDevice, SharedDevice};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u8),
+    Delete(u16),
+    Delta(u16, u8),
+    Get(u16),
+    Scan(u16, u8),
+    CheckInsert(u16, u8),
+    Reopen,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 512, v)),
+        1 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
+        2 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Delta(k % 512, v)),
+        3 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        1 => (any::<u16>(), any::<u8>()).prop_map(|(k, n)| Op::Scan(k % 512, n % 16 + 1)),
+        1 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::CheckInsert(k % 512, v)),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+fn key(k: u16) -> Bytes {
+    Bytes::from(format!("k{k:05}"))
+}
+
+fn value(v: u8) -> Bytes {
+    Bytes::from(vec![v; 16 + (v as usize % 48)])
+}
+
+fn run_sequence(scheduler: SchedulerKind, snowshovel: bool, ops: &[Op]) {
+    let data: SharedDevice = Arc::new(MemDevice::new());
+    let wal: SharedDevice = Arc::new(MemDevice::new());
+    let config = BLsmConfig {
+        // Tiny budget so merges trigger constantly under proptest sizes.
+        mem_budget: 64 << 10,
+        scheduler,
+        snowshovel,
+        wal_capacity: 8 << 20,
+        ..Default::default()
+    };
+    let open = || {
+        BLsmTree::open(
+            data.clone(),
+            wal.clone(),
+            256,
+            config.clone(),
+            Arc::new(AppendOperator),
+        )
+        .expect("open")
+    };
+    let mut tree = open();
+    let mut model: BTreeMap<Bytes, Vec<u8>> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                tree.put(key(*k), value(*v)).unwrap();
+                model.insert(key(*k), value(*v).to_vec());
+            }
+            Op::Delete(k) => {
+                tree.delete(key(*k)).unwrap();
+                model.remove(&key(*k));
+            }
+            Op::Delta(k, v) => {
+                let delta = vec![*v; 3];
+                tree.apply_delta(key(*k), Bytes::from(delta.clone())).unwrap();
+                model.entry(key(*k)).or_default().extend_from_slice(&delta);
+            }
+            Op::Get(k) => {
+                let got = tree.get(&key(*k)).unwrap();
+                let want = model.get(&key(*k));
+                assert_eq!(got.as_deref(), want.map(Vec::as_slice), "get {k}");
+            }
+            Op::Scan(k, n) => {
+                let got = tree.scan(&key(*k), *n as usize).unwrap();
+                let want: Vec<(Bytes, Vec<u8>)> = model
+                    .range(key(*k)..)
+                    .take(*n as usize)
+                    .map(|(a, b)| (a.clone(), b.clone()))
+                    .collect();
+                assert_eq!(got.len(), want.len(), "scan {k}x{n} length");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.key, w.0);
+                    assert_eq!(g.value.as_ref(), w.1.as_slice());
+                }
+            }
+            Op::CheckInsert(k, v) => {
+                let expect = !model.contains_key(&key(*k));
+                let got = tree.insert_if_not_exists(key(*k), value(*v)).unwrap();
+                assert_eq!(got, expect, "check-insert {k}");
+                if expect {
+                    model.insert(key(*k), value(*v).to_vec());
+                }
+            }
+            Op::Reopen => {
+                drop(tree);
+                tree = open();
+            }
+        }
+    }
+    // Final verification sweep.
+    for (k, v) in &model {
+        assert_eq!(tree.get(k).unwrap().as_deref(), Some(v.as_slice()));
+    }
+    let rows = tree.scan(b"", 4096).unwrap();
+    assert_eq!(rows.len(), model.len(), "final scan cardinality");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn spring_gear_linearizable(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        run_sequence(SchedulerKind::SpringGear, true, &ops);
+    }
+
+    #[test]
+    fn gear_linearizable(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        run_sequence(SchedulerKind::Gear, false, &ops);
+    }
+
+    #[test]
+    fn naive_linearizable(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        run_sequence(SchedulerKind::Naive, true, &ops);
+    }
+}
