@@ -3,6 +3,12 @@
 //!
 //! Run with `cargo bench -p blsm-bench`.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    missing_debug_implementations
+)]
+
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
@@ -12,7 +18,7 @@ use blsm_bloom::BloomFilter;
 use blsm_memtable::{Memtable, Versioned};
 use blsm_sstable::{ReadMode, Sstable, SstableBuilder};
 use blsm_storage::{BufferPool, MemDevice, PageId, Region, SharedDevice};
-use blsm_ycsb::{format_key, make_value, ScrambledZipfian, KeyChooser};
+use blsm_ycsb::{format_key, make_value, KeyChooser, ScrambledZipfian};
 
 fn bloom(c: &mut Criterion) {
     let mut g = c.benchmark_group("bloom");
@@ -56,7 +62,11 @@ fn memtable(c: &mut Criterion) {
             Memtable::new,
             |mut m| {
                 for i in 0..100u64 {
-                    m.insert(format_key(i), Versioned::put(i, make_value(i, 1000)), &AppendOperator);
+                    m.insert(
+                        format_key(i),
+                        Versioned::put(i, make_value(i, 1000)),
+                        &AppendOperator,
+                    );
                 }
                 m
             },
@@ -65,7 +75,11 @@ fn memtable(c: &mut Criterion) {
     });
     let mut m = Memtable::new();
     for i in 0..100_000u64 {
-        m.insert(format_key(i), Versioned::put(i, make_value(i, 100)), &AppendOperator);
+        m.insert(
+            format_key(i),
+            Versioned::put(i, make_value(i, 100)),
+            &AppendOperator,
+        );
     }
     g.bench_function("get", |b| {
         let mut i = 0u64;
@@ -81,10 +95,14 @@ fn memtable(c: &mut Criterion) {
 fn build_table(n: u64) -> Arc<Sstable> {
     let dev: SharedDevice = Arc::new(MemDevice::new());
     let pool = Arc::new(BufferPool::new(dev, 65_536));
-    let region = Region { start: PageId(0), pages: 262_144 };
+    let region = Region {
+        start: PageId(0),
+        pages: 262_144,
+    };
     let mut b = SstableBuilder::new(pool, region, n);
     for i in 0..n {
-        b.add(&format_key(i), &Versioned::put(i, make_value(i, 1000))).unwrap();
+        b.add(&format_key(i), &Versioned::put(i, make_value(i, 1000)))
+            .unwrap();
     }
     Arc::new(b.finish().unwrap())
 }
@@ -121,7 +139,10 @@ fn tree(c: &mut Criterion) {
                     data,
                     wal,
                     4096,
-                    BLsmConfig { mem_budget: 1 << 20, ..Default::default() },
+                    BLsmConfig {
+                        mem_budget: 1 << 20,
+                        ..Default::default()
+                    },
                     Arc::new(AppendOperator),
                 )
                 .unwrap()
@@ -143,7 +164,10 @@ fn tree(c: &mut Criterion) {
         data,
         wal,
         16_384,
-        BLsmConfig { mem_budget: 4 << 20, ..Default::default() },
+        BLsmConfig {
+            mem_budget: 4 << 20,
+            ..Default::default()
+        },
         Arc::new(AppendOperator),
     )
     .unwrap();

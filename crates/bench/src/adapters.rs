@@ -19,6 +19,14 @@ pub struct BLsmEngine {
     pub wal: SharedDevice,
 }
 
+impl std::fmt::Debug for BLsmEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BLsmEngine")
+            .field("tree", &self.tree)
+            .finish_non_exhaustive()
+    }
+}
+
 impl KvEngine for BLsmEngine {
     fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>> {
         self.tree.get(key)
@@ -34,7 +42,7 @@ impl KvEngine for BLsmEngine {
 
     fn read_modify_write(&mut self, key: Bytes, suffix: Bytes) -> Result<()> {
         self.tree.read_modify_write(key, move |old| {
-            let mut v = old.map(|o| o.to_vec()).unwrap_or_default();
+            let mut v = old.map(<[u8]>::to_vec).unwrap_or_default();
             v.extend_from_slice(&suffix);
             Some(v)
         })
@@ -73,6 +81,14 @@ pub struct BTreeEngine {
     pub data: SharedDevice,
 }
 
+impl std::fmt::Debug for BTreeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BTreeEngine")
+            .field("tree", &self.tree)
+            .finish_non_exhaustive()
+    }
+}
+
 impl KvEngine for BTreeEngine {
     fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>> {
         self.tree.get(key)
@@ -89,7 +105,7 @@ impl KvEngine for BTreeEngine {
 
     fn read_modify_write(&mut self, key: Bytes, suffix: Bytes) -> Result<()> {
         self.tree.read_modify_write(key, move |old| {
-            let mut v = old.map(|o| o.to_vec()).unwrap_or_default();
+            let mut v = old.map(<[u8]>::to_vec).unwrap_or_default();
             v.extend_from_slice(&suffix);
             Some(v)
         })
@@ -124,6 +140,14 @@ pub struct LevelDbEngine {
     pub data: SharedDevice,
 }
 
+impl std::fmt::Debug for LevelDbEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LevelDbEngine")
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
+    }
+}
+
 impl KvEngine for LevelDbEngine {
     fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>> {
         self.inner.get(key)
@@ -139,7 +163,7 @@ impl KvEngine for LevelDbEngine {
 
     fn read_modify_write(&mut self, key: Bytes, suffix: Bytes) -> Result<()> {
         self.inner.read_modify_write(key, move |old| {
-            let mut v = old.map(|o| o.to_vec()).unwrap_or_default();
+            let mut v = old.map(<[u8]>::to_vec).unwrap_or_default();
             v.extend_from_slice(&suffix);
             Some(v)
         })

@@ -10,6 +10,8 @@
 //! schedulers to keep the maximum stall within a small multiple of the
 //! mean while matching (or beating) naive throughput.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use blsm::SchedulerKind;
 use blsm_bench::setup::{make_blsm_with, Scale};
 use blsm_bench::{fmt_f, print_table};
@@ -29,7 +31,13 @@ fn main() {
     ] {
         let mut engine = make_blsm_with(DiskModel::hdd(), &scale, kind, snowshovel);
         let report = runner
-            .load(&mut engine, scale.records, scale.value_size, false, LoadOrder::Random)
+            .load(
+                &mut engine,
+                scale.records,
+                scale.value_size,
+                false,
+                LoadOrder::Random,
+            )
             .unwrap();
         let name = match kind {
             SchedulerKind::Naive => "naive (merge when full)",
@@ -51,7 +59,14 @@ fn main() {
 
     print_table(
         "Scheduler ablation: 50k uniform random inserts (HDD model)",
-        &["scheduler", "ops/s", "mean lat (ms)", "p99.9 (ms)", "max lat (ms)", "hard stalls"],
+        &[
+            "scheduler",
+            "ops/s",
+            "mean lat (ms)",
+            "p99.9 (ms)",
+            "max lat (ms)",
+            "hard stalls",
+        ],
         &rows,
     );
 

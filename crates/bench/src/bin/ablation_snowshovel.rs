@@ -12,6 +12,8 @@
 //! * reverse-sorted input: "the run is the size of RAM" (no gain, ×2
 //!   from the unpartitioned pool only).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use blsm::SchedulerKind;
 use blsm_bench::setup::{make_blsm_with, Scale};
 use blsm_bench::{fmt_f, print_table};
@@ -26,7 +28,11 @@ fn main() {
     for order in [LoadOrder::Random, LoadOrder::Sorted, LoadOrder::Reverse] {
         for snowshovel in [true, false] {
             // Snowshovel off uses the gear scheduler's partitioned C0.
-            let kind = if snowshovel { SchedulerKind::SpringGear } else { SchedulerKind::Gear };
+            let kind = if snowshovel {
+                SchedulerKind::SpringGear
+            } else {
+                SchedulerKind::Gear
+            };
             let mut engine = make_blsm_with(DiskModel::hdd(), &scale, kind, snowshovel);
             let report = runner
                 .load(&mut engine, scale.records, scale.value_size, false, order)

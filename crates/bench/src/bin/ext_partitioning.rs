@@ -12,6 +12,8 @@
 //! 2. §2.3.2: skewed writes should confine merge activity (and its write
 //!    amplification) to the hot partitions.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -101,11 +103,15 @@ fn main() {
     );
 
     // --- Skew: merge activity stays on the hot partition ---------------
-    let before: Vec<u64> = (0..PARTITIONS).map(|p| parted.partition(p).stats().merges01).collect();
+    let before: Vec<u64> = (0..PARTITIONS)
+        .map(|p| parted.partition(p).stats().merges01)
+        .collect();
     let hot_lo = records / PARTITIONS as u64; // partition 1's range
     for round in 0..60_000u64 {
         let id = hot_lo + (round % (records / PARTITIONS as u64 / 2));
-        parted.put(format_key(id), make_value(id, scale.value_size)).unwrap();
+        parted
+            .put(format_key(id), make_value(id, scale.value_size))
+            .unwrap();
     }
     let mut rows = Vec::new();
     let mut cold_merges = 0u64;
@@ -114,8 +120,10 @@ fn main() {
         if p != 1 {
             cold_merges += merges;
         }
-        rows.push(vec![format!("partition {p}{}", if p == 1 { " (hot)" } else { "" }),
-                       merges.to_string()]);
+        rows.push(vec![
+            format!("partition {p}{}", if p == 1 { " (hot)" } else { "" }),
+            merges.to_string(),
+        ]);
     }
     print_table(
         "Partitioning extension: merges per partition after a hot-range write burst",

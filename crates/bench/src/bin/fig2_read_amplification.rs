@@ -6,6 +6,8 @@
 //! the Bloom line is additionally *validated against the real engine* by
 //! loading a three-level bLSM tree and measuring seeks per uncached probe.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 
 use blsm_bench::models::Fig2Model;
@@ -28,7 +30,11 @@ fn main() {
     let mut headers = vec!["data/RAM", "blooms(ours)"];
     let r_labels: Vec<String> = rs.iter().map(|r| format!("R={r}")).collect();
     headers.extend(r_labels.iter().map(String::as_str));
-    print_table("Figure 2 (left): read amplification in SEEKS", &headers, &rows);
+    print_table(
+        "Figure 2 (left): read amplification in SEEKS",
+        &headers,
+        &rows,
+    );
 
     let mut rows = Vec::new();
     for &ratio in &ratios {
@@ -38,7 +44,11 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table("Figure 2 (right): read amplification in BANDWIDTH (pages)", &headers, &rows);
+    print_table(
+        "Figure 2 (right): read amplification in BANDWIDTH (pages)",
+        &headers,
+        &rows,
+    );
 
     // Validate the Bloom line against the actual engine: build a tree with
     // all three on-disk components populated and measure seeks per probe.
@@ -57,7 +67,9 @@ fn main() {
     let probes = 2_000u64;
     let mut rng = 12345u64;
     for _ in 0..probes {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let id = (rng >> 33) % scale.records;
         engine.tree.get(&format_key(id)).unwrap().expect("present");
         engine.tree.pool().drop_clean(); // keep probes uncached

@@ -8,6 +8,8 @@
 //! uniform inserts, `L0` fills, and writes block for whole compactions —
 //! the multi-second latency spikes of the right-hand plot.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use blsm_bench::setup::{make_blsm, make_leveldb, Scale};
 use blsm_bench::{fmt_f, print_table};
 use blsm_storage::DiskModel;
@@ -17,17 +19,31 @@ fn main() {
     let scale = Scale::paper_scaled(); // 50k records of 1000 B = "50 GB"/1000
     let runner = Runner { bucket_sec: 1.0 };
 
-    println!("Loading {} records of {} B in random order (blind writes), HDD model.",
-        scale.records, scale.value_size);
+    println!(
+        "Loading {} records of {} B in random order (blind writes), HDD model.",
+        scale.records, scale.value_size
+    );
 
     let mut blsm = make_blsm(DiskModel::hdd(), &scale);
     let blsm_report = runner
-        .load(&mut blsm, scale.records, scale.value_size, false, LoadOrder::Random)
+        .load(
+            &mut blsm,
+            scale.records,
+            scale.value_size,
+            false,
+            LoadOrder::Random,
+        )
         .unwrap();
 
     let mut ldb = make_leveldb(DiskModel::hdd(), &scale);
     let ldb_report = runner
-        .load(&mut ldb, scale.records, scale.value_size, false, LoadOrder::Random)
+        .load(
+            &mut ldb,
+            scale.records,
+            scale.value_size,
+            false,
+            LoadOrder::Random,
+        )
         .unwrap();
 
     for (name, report) in [("bLSM", &blsm_report), ("LevelDB-like", &ldb_report)] {
@@ -62,8 +78,18 @@ fn main() {
     };
     print_table(
         "Figure 7 summary",
-        &["system", "load time (s)", "ops/s", "p99 lat (ms)", "max lat (ms)", "throughput cv"],
-        &[summary("bLSM", &blsm_report), summary("LevelDB-like", &ldb_report)],
+        &[
+            "system",
+            "load time (s)",
+            "ops/s",
+            "p99 lat (ms)",
+            "max lat (ms)",
+            "throughput cv",
+        ],
+        &[
+            summary("bLSM", &blsm_report),
+            summary("LevelDB-like", &ldb_report),
+        ],
     );
     println!(
         "\nPaper shape: bLSM finishes earlier with steady throughput; LevelDB shows \

@@ -13,6 +13,8 @@
 //! * on SSD the B-Tree collapses to ~20% of its read throughput at 100%
 //!   writes (random-write penalty) while bLSM keeps a large fraction.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use blsm_bench::setup::{make_blsm, make_btree, make_leveldb, Scale};
 use blsm_bench::{fmt_f, print_table};
 use blsm_storage::DiskModel;
@@ -26,7 +28,13 @@ fn measure(model: DiskModel, scale: &Scale, mix: OpMix, which: &str, ops: u64) -
         _ => Box::new(make_leveldb(model, scale)),
     };
     runner
-        .load(engine.as_mut(), scale.records, scale.value_size, false, LoadOrder::Random)
+        .load(
+            engine.as_mut(),
+            scale.records,
+            scale.value_size,
+            false,
+            LoadOrder::Random,
+        )
         .unwrap();
     engine.settle().unwrap();
     let mut wl = Workload::uniform(scale.records, mix, 0x5eed);
@@ -44,9 +52,27 @@ fn main() {
         let mut rows = Vec::new();
         for &f in &fracs {
             let mut row = vec![format!("{:.0}%", f * 100.0)];
-            row.push(fmt_f(measure(model.clone(), &scale, OpMix::read_rmw(f), "btree", ops)));
-            row.push(fmt_f(measure(model.clone(), &scale, OpMix::read_rmw(f), "leveldb", ops)));
-            row.push(fmt_f(measure(model.clone(), &scale, OpMix::read_rmw(f), "blsm", ops)));
+            row.push(fmt_f(measure(
+                model.clone(),
+                &scale,
+                OpMix::read_rmw(f),
+                "btree",
+                ops,
+            )));
+            row.push(fmt_f(measure(
+                model.clone(),
+                &scale,
+                OpMix::read_rmw(f),
+                "leveldb",
+                ops,
+            )));
+            row.push(fmt_f(measure(
+                model.clone(),
+                &scale,
+                OpMix::read_rmw(f),
+                "blsm",
+                ops,
+            )));
             row.push(fmt_f(measure(
                 model.clone(),
                 &scale,

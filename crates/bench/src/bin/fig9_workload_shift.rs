@@ -7,6 +7,8 @@
 //! with stable low latencies — the behaviour that makes bLSM deployable
 //! for serving workloads right after a bulk-ingest phase.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use blsm_bench::setup::{make_blsm, Scale};
 use blsm_bench::{fmt_f, print_table};
 use blsm_storage::DiskModel;
@@ -24,7 +26,11 @@ fn main() {
     runner.run(&mut engine, &mut load, scale.records).unwrap();
 
     // Phase 2 (t = 0): switch to 80/20 Zipfian read/blind-write.
-    let mix = OpMix { read: 0.8, update: 0.2, ..Default::default() };
+    let mix = OpMix {
+        read: 0.8,
+        update: 0.2,
+        ..Default::default()
+    };
     let mut serve = Workload::zipfian(scale.records, mix, 0x92);
     serve.value_size = scale.value_size;
     let report = runner.run(&mut engine, &mut serve, 120_000).unwrap();
@@ -53,8 +59,11 @@ fn main() {
     let ts = &report.timeseries;
     if ts.len() >= 6 {
         let first = ts[0].ops_per_sec;
-        let late: f64 =
-            ts[ts.len() - 3..].iter().map(|p| p.ops_per_sec).sum::<f64>() / 3.0;
+        let late: f64 = ts[ts.len() - 3..]
+            .iter()
+            .map(|p| p.ops_per_sec)
+            .sum::<f64>()
+            / 3.0;
         println!(
             "\nramp: first-bucket {} ops/s -> late {} ops/s ({}x); overall mean latency {} ms, p99 {} ms",
             fmt_f(first),

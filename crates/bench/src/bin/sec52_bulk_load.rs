@@ -12,6 +12,8 @@
 //!   load runs at nearly blind-write speed thanks to the Bloom filter on
 //!   the largest component (§3.1.2).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use blsm_bench::setup::{make_blsm, make_btree, make_leveldb, Scale};
 use blsm_bench::{fmt_f, print_table};
 use blsm_storage::DiskModel;
@@ -43,7 +45,12 @@ fn main() {
         rows.push(vec![
             name.to_string(),
             format!("{order:?}"),
-            if checked { "insert-if-not-exists" } else { "blind" }.to_string(),
+            if checked {
+                "insert-if-not-exists"
+            } else {
+                "blind"
+            }
+            .to_string(),
             fmt_f(report.ops_per_sec),
             fmt_f(report.elapsed_sec),
             fmt_f(report.latency.max() as f64 / 1e3),
@@ -127,7 +134,14 @@ fn main() {
 
     print_table(
         "Sec 5.2: bulk load performance (HDD model)",
-        &["system", "order", "semantics", "ops/s", "time (s)", "max lat (ms)"],
+        &[
+            "system",
+            "order",
+            "semantics",
+            "ops/s",
+            "time (s)",
+            "max lat (ms)",
+        ],
         &rows,
     );
 
@@ -151,7 +165,16 @@ fn main() {
         fmt_f(100.0 * blsm_checked / blsm_blind.max(1.0))
     );
     assert!(presorted_ops > btree_random * 3.0);
-    assert!(blsm_checked > ldb_checked * 2.0, "bLSM's zero-seek check must win");
-    assert!(blsm_checked > 0.5 * blsm_blind, "bloom check must be nearly free");
-    assert!(blsm_blind > btree_random * 3.0, "log-structured writes must beat B-Tree");
+    assert!(
+        blsm_checked > ldb_checked * 2.0,
+        "bLSM's zero-seek check must win"
+    );
+    assert!(
+        blsm_checked > 0.5 * blsm_blind,
+        "bloom check must be nearly free"
+    );
+    assert!(
+        blsm_blind > btree_random * 3.0,
+        "log-structured writes must beat B-Tree"
+    );
 }

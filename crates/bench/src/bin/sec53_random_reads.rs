@@ -6,6 +6,8 @@
 //! uncached read; LevelDB performs several. We measure throughput at 100%
 //! reads and the underlying seeks/read on both device models.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use blsm_bench::setup::{make_blsm, make_btree, make_leveldb, Scale};
 use blsm_bench::{fmt_f, print_table};
 use blsm_storage::{DiskModel, SharedDevice};
@@ -33,7 +35,13 @@ fn main() {
         };
         for (name, mut engine, device) in engines {
             runner
-                .load(engine.as_mut(), scale.records, scale.value_size, false, LoadOrder::Random)
+                .load(
+                    engine.as_mut(),
+                    scale.records,
+                    scale.value_size,
+                    false,
+                    LoadOrder::Random,
+                )
                 .unwrap();
             // Leave the trees in their natural post-load state (the paper
             // measures after its load, not after a manual major

@@ -8,6 +8,8 @@
 //! * long scans (1–100 rows): B-Tree fragmentation erases the advantage —
 //!   bLSM wins (paper: bLSM 165 vs InnoDB 86).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use blsm_bench::setup::{make_blsm, make_btree, Scale};
 use blsm_bench::{fmt_f, print_table};
 use blsm_storage::DiskModel;
@@ -15,7 +17,13 @@ use blsm_ycsb::{KvEngine, LoadOrder, OpMix, Runner, Workload};
 
 fn prepare(engine: &mut dyn KvEngine, scale: &Scale, runner: &Runner) {
     runner
-        .load(engine, scale.records, scale.value_size, false, LoadOrder::Random)
+        .load(
+            engine,
+            scale.records,
+            scale.value_size,
+            false,
+            LoadOrder::Random,
+        )
         .unwrap();
     // Fragment with a uniform 50/50 read-write phase, as §5.6 prescribes
     // ("we ran the scan experiment last, after the trees were fragmented
@@ -28,7 +36,10 @@ fn prepare(engine: &mut dyn KvEngine, scale: &Scale, runner: &Runner) {
 fn scan_rate(engine: &mut dyn KvEngine, scale: &Scale, runner: &Runner, max_len: usize) -> f64 {
     let mut wl = Workload::uniform(
         scale.records,
-        OpMix { scan: 1.0, ..Default::default() },
+        OpMix {
+            scan: 1.0,
+            ..Default::default()
+        },
         0x5cb,
     );
     wl.scan_max = max_len;
@@ -76,5 +87,8 @@ fn main() {
         blsm_long / btree_long.max(1e-9),
     );
     assert!(btree_short > blsm_short, "B-Tree must win short scans");
-    assert!(blsm_long > btree_long, "bLSM must win long scans on a fragmented tree");
+    assert!(
+        blsm_long > btree_long,
+        "bLSM must win long scans on a fragmented tree"
+    );
 }

@@ -16,6 +16,8 @@
 //! unpartitioned tree we build (like the paper's implementation) pays one
 //! seek per live component.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use blsm_bench::setup::{make_blsm, make_btree, make_leveldb, Scale};
 use blsm_bench::{fmt_f, print_table};
 use blsm_storage::{DiskModel, SharedDevice};
@@ -52,11 +54,15 @@ fn main() {
         let mut rng = 0x5eedu64;
         let mut ids: Vec<u64> = (0..records).collect();
         for i in (1..ids.len()).rev() {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ids.swap(i, (rng >> 33) as usize % (i + 1));
         }
         for &id in &ids {
-            engine.put(format_key(id), make_value(id, value_size)).unwrap();
+            engine
+                .put(format_key(id), make_value(id, value_size))
+                .unwrap();
         }
         engine.settle().unwrap();
 
@@ -82,7 +88,8 @@ fn main() {
             },
             Probe {
                 run: Box::new(|e, id| {
-                    e.apply_delta(format_key(id), bytes::Bytes::from_static(b"+")).unwrap();
+                    e.apply_delta(format_key(id), bytes::Bytes::from_static(b"+"))
+                        .unwrap();
                 }),
             },
             Probe {

@@ -3,9 +3,10 @@
 //! frequencies. Assumes 100-byte keys, 1000-byte values, 4096-byte pages,
 //! exactly as the paper's appendix.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use blsm_bench::models::{
-    bloom_overhead_fraction, table2_cache_gb, table2_devices, table2_full_disk_gb,
-    table2_periods,
+    bloom_overhead_fraction, table2_cache_gb, table2_devices, table2_full_disk_gb, table2_periods,
 };
 use blsm_bench::print_table;
 

@@ -8,6 +8,8 @@
 //! workload E (§5.6's caveat), and should beat LevelDB everywhere except
 //! possibly pure scans.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use blsm_bench::setup::{make_blsm, make_btree, make_leveldb, Scale};
 use blsm_bench::{fmt_f, print_table};
 use blsm_storage::DiskModel;
@@ -41,7 +43,13 @@ fn main() {
                 _ => Box::new(make_leveldb(DiskModel::ssd(), &scale)),
             };
             runner
-                .load(engine.as_mut(), scale.records, scale.value_size, false, LoadOrder::Random)
+                .load(
+                    engine.as_mut(),
+                    scale.records,
+                    scale.value_size,
+                    false,
+                    LoadOrder::Random,
+                )
                 .unwrap();
             engine.settle().unwrap();
             let mut wl = Workload::ycsb(letter, scale.records, 0x5eed_u64 ^ letter as u64);

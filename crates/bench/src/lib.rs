@@ -48,7 +48,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
         println!("{}", s.trim_end());
     };
-    line(headers.iter().map(|h| h.to_string()).collect());
+    line(headers.iter().map(ToString::to_string).collect());
     line(widths.iter().map(|w| "-".repeat(*w)).collect());
     for row in rows {
         line(row.clone());

@@ -11,6 +11,7 @@
 /// transfer per step. The Bloom approach probes each of at most two
 /// extra components with a 1% false-positive filter, so its seek
 /// amplification is `1 + N/100 ≤ 1.03` (§3.1) and it transfers one page.
+#[derive(Debug)]
 pub struct Fig2Model;
 
 impl Fig2Model {
@@ -57,7 +58,9 @@ impl Fig2Model {
 
     /// Bandwidth amplification of the Bloom approach (one page).
     pub fn bloom_bandwidth(data_ratio: f64) -> f64 {
-        Self::bloom_seeks(data_ratio).min(1.03).max(if data_ratio <= 1.0 { 0.0 } else { 1.0 })
+        Self::bloom_seeks(data_ratio)
+            .min(1.03)
+            .max(if data_ratio <= 1.0 { 0.0 } else { 1.0 })
     }
 }
 
@@ -75,10 +78,26 @@ pub struct Table2Device {
 /// The paper's four devices (Table 2).
 pub fn table2_devices() -> [Table2Device; 4] {
     [
-        Table2Device { name: "SSD SATA", capacity_gb: 512.0, reads_per_sec: 50_000.0 },
-        Table2Device { name: "SSD PCI-E", capacity_gb: 5_000.0, reads_per_sec: 1_000_000.0 },
-        Table2Device { name: "HDD Server", capacity_gb: 300.0, reads_per_sec: 500.0 },
-        Table2Device { name: "HDD Media", capacity_gb: 2_000.0, reads_per_sec: 250.0 },
+        Table2Device {
+            name: "SSD SATA",
+            capacity_gb: 512.0,
+            reads_per_sec: 50_000.0,
+        },
+        Table2Device {
+            name: "SSD PCI-E",
+            capacity_gb: 5_000.0,
+            reads_per_sec: 1_000_000.0,
+        },
+        Table2Device {
+            name: "HDD Server",
+            capacity_gb: 300.0,
+            reads_per_sec: 500.0,
+        },
+        Table2Device {
+            name: "HDD Media",
+            capacity_gb: 2_000.0,
+            reads_per_sec: 250.0,
+        },
     ]
 }
 
@@ -121,6 +140,7 @@ pub fn bloom_overhead_fraction() -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

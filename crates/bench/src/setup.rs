@@ -131,7 +131,7 @@ pub fn make_blsm_with(
         config,
         Arc::new(AppendOperator),
     )
-    .expect("open blsm");
+    .unwrap_or_else(|e| panic!("open blsm: {e}"));
     BLsmEngine { tree, data, wal }
 }
 
@@ -139,7 +139,7 @@ pub fn make_blsm_with(
 pub fn make_btree(model: DiskModel, scale: &Scale) -> BTreeEngine {
     let data: SharedDevice = Arc::new(SimDevice::new(model));
     let pool = Arc::new(BufferPool::new(data.clone(), scale.baseline_cache_pages));
-    let tree = BTree::create(pool).expect("create btree");
+    let tree = BTree::create(pool).unwrap_or_else(|e| panic!("create btree: {e}"));
     BTreeEngine { tree, data }
 }
 
@@ -153,6 +153,7 @@ pub fn make_leveldb(model: DiskModel, scale: &Scale) -> LevelDbEngine {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use blsm_ycsb::{KvEngine, LoadOrder, OpMix, Runner, Workload};
 
@@ -167,11 +168,24 @@ mod tests {
         ];
         for engine in &mut engines {
             runner
-                .load(engine.as_mut(), scale.records, 100, false, LoadOrder::Random)
+                .load(
+                    engine.as_mut(),
+                    scale.records,
+                    100,
+                    false,
+                    LoadOrder::Random,
+                )
                 .unwrap();
             let mut wl = Workload::uniform(
                 scale.records,
-                OpMix { read: 0.5, update: 0.2, rmw: 0.1, insert: 0.1, scan: 0.05, delta: 0.05 },
+                OpMix {
+                    read: 0.5,
+                    update: 0.2,
+                    rmw: 0.1,
+                    insert: 0.1,
+                    scan: 0.05,
+                    delta: 0.05,
+                },
                 7,
             );
             wl.value_size = 100;

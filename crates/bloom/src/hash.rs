@@ -24,7 +24,9 @@ pub fn hash64_seeded(data: &[u8], seed: u64) -> u64 {
     let mut h = seed ^ (data.len() as u64).wrapping_mul(M);
     let mut chunks = data.chunks_exact(8);
     for chunk in &mut chunks {
-        let mut k = u64::from_le_bytes(chunk.try_into().unwrap());
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(chunk);
+        let mut k = u64::from_le_bytes(buf);
         k = k.wrapping_mul(M);
         k ^= k >> 47;
         k = k.wrapping_mul(M);
@@ -57,6 +59,7 @@ pub fn hash128(data: &[u8]) -> (u64, u64) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use std::collections::HashSet;
 

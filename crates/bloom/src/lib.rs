@@ -54,13 +54,19 @@ impl BloomParams {
 
     /// Sizes a filter with an explicit bit budget (e.g. 10 bits/key).
     pub fn for_bits_per_key(expected_keys: u64, bits_per_key: u32) -> BloomParams {
-        Self::for_bits(expected_keys, expected_keys.max(1) * u64::from(bits_per_key))
+        Self::for_bits(
+            expected_keys,
+            expected_keys.max(1) * u64::from(bits_per_key),
+        )
     }
 
     fn for_bits(expected_keys: u64, bits: u64) -> BloomParams {
         let bits = bits.max(64).next_multiple_of(64);
         let k = ((bits as f64 / expected_keys.max(1) as f64) * LN2).round() as u32;
-        BloomParams { bits, k: k.clamp(1, 30) }
+        BloomParams {
+            bits,
+            k: k.clamp(1, 30),
+        }
     }
 
     /// Predicted false positive rate after `inserted` keys:
@@ -169,7 +175,11 @@ impl BloomFilter {
         }
         let words = bytes[20..]
             .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| {
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(c);
+                u64::from_le_bytes(buf)
+            })
             .collect();
         Some(BloomFilter {
             params: BloomParams { bits, k },
@@ -188,12 +198,28 @@ pub struct AtomicBloom {
     inserted: AtomicU64,
 }
 
+impl std::fmt::Debug for AtomicBloom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicBloom")
+            .field("params", &self.params)
+            .field(
+                "inserted",
+                &self.inserted.load(std::sync::atomic::Ordering::Acquire),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
 impl AtomicBloom {
     /// Creates an empty filter with the given parameters.
     pub fn new(params: BloomParams) -> AtomicBloom {
         let mut words = Vec::with_capacity((params.bits / 64) as usize);
         words.resize_with((params.bits / 64) as usize, || AtomicU64::new(0));
-        AtomicBloom { params, words, inserted: AtomicU64::new(0) }
+        AtomicBloom {
+            params,
+            words,
+            inserted: AtomicU64::new(0),
+        }
     }
 
     /// Creates a filter sized for `expected_keys` at <1% false positives.
@@ -223,15 +249,20 @@ impl AtomicBloom {
 
     /// Membership test; no false negatives for completed inserts.
     pub fn contains(&self, key: &[u8]) -> bool {
-        probes(key, self.params.bits, self.params.k)
-            .all(|bit| self.words[(bit / 64) as usize].load(Ordering::Relaxed) & (1 << (bit % 64)) != 0)
+        probes(key, self.params.bits, self.params.k).all(|bit| {
+            self.words[(bit / 64) as usize].load(Ordering::Relaxed) & (1 << (bit % 64)) != 0
+        })
     }
 
     /// Snapshots into a plain [`BloomFilter`] (e.g. for serialization).
     pub fn to_filter(&self) -> BloomFilter {
         BloomFilter {
             params: self.params,
-            words: self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect(),
+            words: self
+                .words
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
             inserted: self.inserted(),
         }
     }
@@ -239,6 +270,7 @@ impl AtomicBloom {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]
@@ -270,7 +302,10 @@ mod tests {
         assert!(rate < 0.02, "measured fp rate {rate} should be ~1%");
         // And the paper's sizing really is ~10 bits/key.
         let bits_per_key = f.params().bits as f64 / f64::from(n);
-        assert!((9.0..11.0).contains(&bits_per_key), "{bits_per_key} bits/key");
+        assert!(
+            (9.0..11.0).contains(&bits_per_key),
+            "{bits_per_key} bits/key"
+        );
     }
 
     #[test]
@@ -349,7 +384,10 @@ mod tests {
             h.join().unwrap();
         }
         for i in 0..40_000u32 {
-            assert!(f.contains(&i.to_le_bytes()), "key {i} lost under concurrency");
+            assert!(
+                f.contains(&i.to_le_bytes()),
+                "key {i} lost under concurrency"
+            );
         }
     }
 

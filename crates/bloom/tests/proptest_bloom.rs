@@ -1,6 +1,12 @@
 //! Property-based tests for the Bloom filter: the no-false-negative
 //! guarantee under arbitrary inputs, serialization fidelity, and sizing.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    missing_debug_implementations
+)]
+
 use proptest::prelude::*;
 
 use blsm_bloom::{AtomicBloom, BloomFilter, BloomParams};

@@ -65,6 +65,22 @@ pub struct BTree {
     entry_count: u64,
 }
 
+/// Surfaces a violated internal invariant as a recoverable error instead
+/// of a panic.
+fn invariant_err(what: &str) -> StorageError {
+    StorageError::Corruption(format!("internal invariant violated: {what}"))
+}
+
+impl std::fmt::Debug for BTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BTree")
+            .field("root", &self.root)
+            .field("height", &self.height)
+            .field("entry_count", &self.entry_count)
+            .finish_non_exhaustive()
+    }
+}
+
 impl BTree {
     /// Creates an empty tree. Page 0 of the device is reserved for the
     /// caller (e.g. a meta page); the tree allocates from page 1 upward.
@@ -76,7 +92,13 @@ impl BTree {
             height: 1,
             entry_count: 0,
         };
-        tree.write_leaf(PageId(1), &Leaf { entries: Vec::new(), next: None })?;
+        tree.write_leaf(
+            PageId(1),
+            &Leaf {
+                entries: Vec::new(),
+                next: None,
+            },
+        )?;
         Ok(tree)
     }
 
@@ -116,11 +138,13 @@ impl BTree {
     fn read_leaf(&self, pid: PageId) -> Result<Leaf> {
         let page = self.pool.read(pid)?;
         if page.page_type()? != PageType::BTreeLeaf {
-            return Err(StorageError::InvalidFormat(format!("page {pid} is not a leaf")));
+            return Err(StorageError::InvalidFormat(format!(
+                "page {pid} is not a leaf"
+            )));
         }
         let payload = page.payload();
-        let count = u16::from_le_bytes(payload[..2].try_into().unwrap());
-        let next = u64::from_le_bytes(payload[2..10].try_into().unwrap());
+        let count = codec::le_u16(&payload[..2]);
+        let next = codec::le_u64(&payload[2..10]);
         let mut r = Reader::new(&payload[LEAF_HEADER..]);
         let mut entries = Vec::with_capacity(count as usize);
         for _ in 0..count {
@@ -128,7 +152,10 @@ impl BTree {
             let v = Bytes::copy_from_slice(r.bytes()?);
             entries.push((k, v));
         }
-        Ok(Leaf { entries, next: if next == 0 { None } else { Some(PageId(next)) } })
+        Ok(Leaf {
+            entries,
+            next: if next == 0 { None } else { Some(PageId(next)) },
+        })
     }
 
     fn write_leaf(&self, pid: PageId, leaf: &Leaf) -> Result<()> {
@@ -141,7 +168,10 @@ impl BTree {
             codec::put_bytes(&mut body, k);
             codec::put_bytes(&mut body, v);
         }
-        assert!(body.len() <= PAGE_PAYLOAD_LEN - LEAF_HEADER, "leaf overflow");
+        assert!(
+            body.len() <= PAGE_PAYLOAD_LEN - LEAF_HEADER,
+            "leaf overflow"
+        );
         payload[LEAF_HEADER..LEAF_HEADER + body.len()].copy_from_slice(&body);
         self.pool.write(pid, page)
     }
@@ -154,8 +184,8 @@ impl BTree {
             )));
         }
         let payload = page.payload();
-        let count = u16::from_le_bytes(payload[..2].try_into().unwrap());
-        let child0 = u64::from_le_bytes(payload[2..10].try_into().unwrap());
+        let count = codec::le_u16(&payload[..2]);
+        let child0 = codec::le_u64(&payload[2..10]);
         let mut r = Reader::new(&payload[INTERNAL_HEADER..]);
         let mut keys = Vec::with_capacity(count as usize);
         let mut children = Vec::with_capacity(count as usize + 1);
@@ -177,16 +207,16 @@ impl BTree {
             codec::put_bytes(&mut body, k);
             codec::put_u64(&mut body, child.0);
         }
-        assert!(body.len() <= PAGE_PAYLOAD_LEN - INTERNAL_HEADER, "internal overflow");
+        assert!(
+            body.len() <= PAGE_PAYLOAD_LEN - INTERNAL_HEADER,
+            "internal overflow"
+        );
         payload[INTERNAL_HEADER..INTERNAL_HEADER + body.len()].copy_from_slice(&body);
         self.pool.write(pid, page)
     }
 
     fn leaf_bytes(entries: &[(Bytes, Bytes)]) -> usize {
-        entries
-            .iter()
-            .map(|(k, v)| k.len() + v.len() + 6)
-            .sum()
+        entries.iter().map(|(k, v)| k.len() + v.len() + 6).sum()
     }
 
     fn internal_bytes(node: &Internal) -> usize {
@@ -232,7 +262,10 @@ impl BTree {
         );
         let (pid, path) = self.descend_to_leaf(&key)?;
         let mut leaf = self.read_leaf(pid)?;
-        match leaf.entries.binary_search_by(|(k, _)| k.as_ref().cmp(key.as_ref())) {
+        match leaf
+            .entries
+            .binary_search_by(|(k, _)| k.as_ref().cmp(key.as_ref()))
+        {
             Ok(i) => leaf.entries[i] = (key, value),
             Err(i) => {
                 leaf.entries.insert(i, (key, value));
@@ -248,7 +281,10 @@ impl BTree {
         let right_entries = leaf.entries.split_off(mid);
         let sep = right_entries[0].0.clone();
         let right_pid = self.alloc();
-        let right = Leaf { entries: right_entries, next: leaf.next };
+        let right = Leaf {
+            entries: right_entries,
+            next: leaf.next,
+        };
         leaf.next = Some(right_pid);
         self.write_leaf(right_pid, &right)?;
         self.write_leaf(pid, &leaf)?;
@@ -266,7 +302,10 @@ impl BTree {
                 // Split reached the root: grow the tree.
                 let old_root = self.root;
                 let new_root = self.alloc();
-                let node = Internal { keys: vec![sep], children: vec![old_root, new_child] };
+                let node = Internal {
+                    keys: vec![sep],
+                    children: vec![old_root, new_child],
+                };
                 self.write_internal(new_root, &node)?;
                 self.root = new_root;
                 self.height += 1;
@@ -284,7 +323,13 @@ impl BTree {
             node.keys.pop(); // `up_key` moves up, not right
             let right_children = node.children.split_off(mid + 1);
             let right_pid = self.alloc();
-            self.write_internal(right_pid, &Internal { keys: right_keys, children: right_children })?;
+            self.write_internal(
+                right_pid,
+                &Internal {
+                    keys: right_keys,
+                    children: right_children,
+                },
+            )?;
             self.write_internal(pid, &node)?;
             sep = up_key;
             new_child = right_pid;
@@ -415,14 +460,21 @@ impl BTree {
         }
         // Final leaves.
         let pid = tree.alloc();
-        let leaf = Leaf { entries: current, next: None };
+        let leaf = Leaf {
+            entries: current,
+            next: None,
+        };
         if let Some((prev_pid, mut prev)) = pending.take() {
             prev.next = Some(pid);
             tree.write_leaf(prev_pid, &prev)?;
             leaves.push((prev.entries[0].0.clone(), prev_pid));
         }
         tree.write_leaf(pid, &leaf)?;
-        let first = leaf.entries.first().map(|(k, _)| k.clone()).unwrap_or_default();
+        let first = leaf
+            .entries
+            .first()
+            .map(|(k, _)| k.clone())
+            .unwrap_or_default();
         leaves.push((first, pid));
 
         // Build internal levels bottom-up.
@@ -430,7 +482,10 @@ impl BTree {
         let mut level = leaves;
         while level.len() > 1 {
             let mut next_level: Vec<(Bytes, PageId)> = Vec::new();
-            let mut node = Internal { keys: Vec::new(), children: Vec::new() };
+            let mut node = Internal {
+                keys: Vec::new(),
+                children: Vec::new(),
+            };
             let mut node_bytes = 0usize;
             let mut node_first: Option<Bytes> = None;
             for (first_key, child) in level {
@@ -443,8 +498,14 @@ impl BTree {
                 if node_bytes + cell > internal_cap {
                     let pid = tree.alloc();
                     tree.write_internal(pid, &node)?;
-                    next_level.push((node_first.take().expect("node has children"), pid));
-                    node = Internal { keys: Vec::new(), children: vec![child] };
+                    let first = node_first
+                        .take()
+                        .ok_or_else(|| invariant_err("internal node built without children"))?;
+                    next_level.push((first, pid));
+                    node = Internal {
+                        keys: Vec::new(),
+                        children: vec![child],
+                    };
                     node_first = Some(first_key);
                     node_bytes = 0;
                     continue;
@@ -455,7 +516,9 @@ impl BTree {
             }
             let pid = tree.alloc();
             tree.write_internal(pid, &node)?;
-            next_level.push((node_first.expect("node has children"), pid));
+            let first =
+                node_first.ok_or_else(|| invariant_err("internal node built without children"))?;
+            next_level.push((first, pid));
             tree.height += 1;
             level = next_level;
         }
@@ -471,6 +534,7 @@ impl BTree {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use blsm_storage::device::Device;
     use blsm_storage::MemDevice;
@@ -490,7 +554,10 @@ mod tests {
             t.insert(key(i), Bytes::from(format!("v{i}"))).unwrap();
         }
         for i in [1u32, 3, 5, 7, 9] {
-            assert_eq!(t.get(&key(i)).unwrap().unwrap(), Bytes::from(format!("v{i}")));
+            assert_eq!(
+                t.get(&key(i)).unwrap().unwrap(),
+                Bytes::from(format!("v{i}"))
+            );
         }
         assert!(t.get(&key(2)).unwrap().is_none());
         assert_eq!(t.entry_count(), 5);
@@ -506,7 +573,9 @@ mod tests {
         // Deterministic shuffle.
         let mut state = 12345u64;
         for i in (1..order.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             order.swap(i, j);
         }
@@ -516,7 +585,10 @@ mod tests {
         assert!(t.height() >= 3, "height {}", t.height());
         assert_eq!(t.entry_count(), u64::from(n));
         for i in (0..n).step_by(371) {
-            assert_eq!(t.get(&key(i)).unwrap().unwrap(), Bytes::from(vec![i as u8; 100]));
+            assert_eq!(
+                t.get(&key(i)).unwrap().unwrap(),
+                Bytes::from(vec![i as u8; 100])
+            );
         }
     }
 
@@ -568,7 +640,10 @@ mod tests {
         assert_eq!(t.entry_count(), 10_000);
         assert!(t.height() >= 2);
         for i in (0..10_000u32).step_by(487) {
-            assert_eq!(t.get(&key(i)).unwrap().unwrap(), Bytes::from(vec![i as u8; 80]));
+            assert_eq!(
+                t.get(&key(i)).unwrap().unwrap(),
+                Bytes::from(vec![i as u8; 80])
+            );
         }
         let rows = t.scan(&key(42), 50).unwrap();
         assert_eq!(rows.len(), 50);
@@ -653,14 +728,19 @@ mod tests {
     #[should_panic(expected = "exceeds page capacity")]
     fn oversized_cell_rejected() {
         let mut t = BTree::create(pool(64)).unwrap();
-        t.insert(Bytes::from_static(b"k"), Bytes::from(vec![0u8; 4000])).unwrap();
+        t.insert(Bytes::from_static(b"k"), Bytes::from(vec![0u8; 4000]))
+            .unwrap();
     }
 
     #[test]
     fn rmw_and_insert_if_not_exists() {
         let mut t = BTree::create(pool(256)).unwrap();
-        assert!(t.insert_if_not_exists(key(1), Bytes::from_static(b"a")).unwrap());
-        assert!(!t.insert_if_not_exists(key(1), Bytes::from_static(b"b")).unwrap());
+        assert!(t
+            .insert_if_not_exists(key(1), Bytes::from_static(b"a"))
+            .unwrap());
+        assert!(!t
+            .insert_if_not_exists(key(1), Bytes::from_static(b"b"))
+            .unwrap());
         t.read_modify_write(key(1), |old| {
             let mut v = old.unwrap().to_vec();
             v.push(b'!');

@@ -97,7 +97,10 @@ impl Default for BLsmConfig {
 impl BLsmConfig {
     /// Validates and normalizes the configuration.
     pub fn validated(mut self) -> BLsmConfig {
-        assert!(self.mem_budget >= 64 << 10, "mem_budget must be at least 64 KiB");
+        assert!(
+            self.mem_budget >= 64 << 10,
+            "mem_budget must be at least 64 KiB"
+        );
         assert!(
             0.0 < self.low_water && self.low_water < self.high_water && self.high_water <= 1.0,
             "watermarks must satisfy 0 < low < high <= 1"
@@ -127,6 +130,7 @@ impl BLsmConfig {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]
@@ -157,6 +161,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "watermarks")]
     fn bad_watermarks_rejected() {
-        BLsmConfig { low_water: 0.9, high_water: 0.5, ..Default::default() }.validated();
+        BLsmConfig {
+            low_water: 0.9,
+            high_water: 0.5,
+            ..Default::default()
+        }
+        .validated();
     }
 }

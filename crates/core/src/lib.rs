@@ -42,9 +42,11 @@ mod threaded;
 mod tree;
 
 pub use config::{BLsmConfig, Durability, SchedulerKind};
-pub use progress::{outprogress, MergeProgress};
-pub use sched::{GearScheduler, MergeScheduler, NaiveScheduler, SchedInputs, SpringGearScheduler, WorkPlan};
 pub use partitioned::PartitionedBLsm;
+pub use progress::{outprogress, MergeProgress};
+pub use sched::{
+    GearScheduler, MergeScheduler, NaiveScheduler, SchedInputs, SpringGearScheduler, WorkPlan,
+};
 pub use stats::TreeStats;
 pub use threaded::ThreadedBLsm;
 pub use tree::{BLsmTree, ScanItem};

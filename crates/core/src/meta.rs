@@ -89,15 +89,27 @@ impl TreeMeta {
             let slot = ComponentSlot::from_u8(r.u8()?)?;
             let start = r.u64()?;
             let pages = r.u64()?;
-            components.push((slot, Region { start: PageId(start), pages }));
+            components.push((
+                slot,
+                Region {
+                    start: PageId(start),
+                    pages,
+                },
+            ));
         }
         let allocator = RegionAllocator::decode(&mut r)?;
-        Ok(TreeMeta { components, allocator, wal_head, next_seqno })
+        Ok(TreeMeta {
+            components,
+            allocator,
+            wal_head,
+            next_seqno,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]
@@ -110,7 +122,13 @@ mod tests {
         let meta = TreeMeta {
             components: vec![
                 (ComponentSlot::C1, r2),
-                (ComponentSlot::C2, Region { start: PageId(700), pages: 42 }),
+                (
+                    ComponentSlot::C2,
+                    Region {
+                        start: PageId(700),
+                        pages: 42,
+                    },
+                ),
             ],
             allocator,
             wal_head: 123_456,

@@ -51,6 +51,15 @@ pub struct PartitionedBLsm {
     coordinated: bool,
 }
 
+impl std::fmt::Debug for PartitionedBLsm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionedBLsm")
+            .field("partitions", &self.bounds.len().saturating_add(1))
+            .field("coordinated", &self.coordinated)
+            .finish_non_exhaustive()
+    }
+}
+
 impl PartitionedBLsm {
     /// Creates `bounds.len() + 1` partitions. `devices(i)` supplies the
     /// (data, log) device pair for partition `i`; each partition gets
@@ -76,14 +85,28 @@ impl PartitionedBLsm {
         op: Arc<dyn MergeOperator>,
         coordinated: bool,
     ) -> Result<PartitionedBLsm> {
-        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be sorted");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be sorted"
+        );
         config.external_pacing = coordinated;
         let mut partitions = Vec::with_capacity(bounds.len() + 1);
         for i in 0..=bounds.len() {
             let (data, wal) = devices(i);
-            partitions.push(BLsmTree::open(data, wal, pool_pages, config.clone(), op.clone())?);
+            partitions.push(BLsmTree::open(
+                data,
+                wal,
+                pool_pages,
+                config.clone(),
+                op.clone(),
+            )?);
         }
-        Ok(PartitionedBLsm { bounds, partitions, focus: 0, coordinated })
+        Ok(PartitionedBLsm {
+            bounds,
+            partitions,
+            focus: 0,
+            coordinated,
+        })
     }
 
     /// The partition scheduler: grant merge work to the focused partition,
@@ -244,6 +267,7 @@ impl PartitionedBLsm {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use blsm_memtable::AppendOperator;
     use blsm_storage::MemDevice;
@@ -265,7 +289,10 @@ mod tests {
             bounds,
             mem_devices,
             256,
-            BLsmConfig { mem_budget: 64 << 10, ..Default::default() },
+            BLsmConfig {
+                mem_budget: 64 << 10,
+                ..Default::default()
+            },
             Arc::new(AppendOperator),
         )
         .unwrap()
@@ -314,7 +341,9 @@ mod tests {
             store.put(key(i), Bytes::from(vec![0u8; 64])).unwrap();
         }
         store.checkpoint().unwrap();
-        let before: Vec<u64> = (0..8).map(|p| store.partition(p).stats().merges01).collect();
+        let before: Vec<u64> = (0..8)
+            .map(|p| store.partition(p).stats().merges01)
+            .collect();
         // All subsequent writes land in partition 2's range.
         for round in 0..30_000u32 {
             let i = 2_000 + (round % 1_000);
@@ -359,12 +388,20 @@ mod tests {
     fn deltas_and_checked_inserts_route_correctly() {
         let mut store = new_store(3, 3_000);
         store.put(key(10), Bytes::from_static(b"a")).unwrap();
-        store.apply_delta(key(10), Bytes::from_static(b"b")).unwrap();
-        store.apply_delta(key(2_500), Bytes::from_static(b"solo")).unwrap();
+        store
+            .apply_delta(key(10), Bytes::from_static(b"b"))
+            .unwrap();
+        store
+            .apply_delta(key(2_500), Bytes::from_static(b"solo"))
+            .unwrap();
         assert_eq!(store.get(&key(10)).unwrap().unwrap().as_ref(), b"ab");
         assert_eq!(store.get(&key(2_500)).unwrap().unwrap().as_ref(), b"solo");
-        assert!(!store.insert_if_not_exists(key(10), Bytes::from_static(b"x")).unwrap());
-        assert!(store.insert_if_not_exists(key(11), Bytes::from_static(b"y")).unwrap());
+        assert!(!store
+            .insert_if_not_exists(key(10), Bytes::from_static(b"x"))
+            .unwrap());
+        assert!(store
+            .insert_if_not_exists(key(11), Bytes::from_static(b"y"))
+            .unwrap());
         store.delete(key(10)).unwrap();
         assert!(store.get(&key(10)).unwrap().is_none());
     }

@@ -49,11 +49,15 @@ pub fn outprogress(inprogress: f64, ci_bytes: u64, ram: u64, r_ceil: u64) -> f64
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]
     fn inprogress_tracks_bytes() {
-        let mut p = MergeProgress { bytes_read: 0, input_total: 1000 };
+        let mut p = MergeProgress {
+            bytes_read: 0,
+            input_total: 1000,
+        };
         assert_eq!(p.inprogress(), 0.0);
         p.bytes_read = 250;
         assert_eq!(p.inprogress(), 0.25);
@@ -63,7 +67,10 @@ mod tests {
 
     #[test]
     fn empty_input_counts_as_done() {
-        let p = MergeProgress { bytes_read: 0, input_total: 0 };
+        let p = MergeProgress {
+            bytes_read: 0,
+            input_total: 0,
+        };
         assert_eq!(p.inprogress(), 1.0);
     }
 
@@ -74,7 +81,10 @@ mod tests {
         let total = 10_000u64;
         let mut last = 0.0;
         for step in 1..=10 {
-            let p = MergeProgress { bytes_read: step * 1000, input_total: total };
+            let p = MergeProgress {
+                bytes_read: step * 1000,
+                input_total: total,
+            };
             let delta = p.inprogress() - last;
             assert!((delta - 0.1).abs() < 1e-9);
             last = p.inprogress();

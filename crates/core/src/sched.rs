@@ -196,12 +196,17 @@ impl MergeScheduler for SpringGearScheduler {
             // steady-state rate × 2, pulling occupancy back down.
             let throttle = ((occ - self.low) / (self.high - self.low)).max(0.0);
             let throttle = throttle * throttle.clamp(1.0, 2.0); // super-linear above high
-            // Steady state: per byte written, the merge must consume
-            // input_total / c0_input bytes (it eats C0 plus the whole of C1
-            // over one pass).
+                                                                // Steady state: per byte written, the merge must consume
+                                                                // input_total / c0_input bytes (it eats C0 plus the whole of C1
+                                                                // over one pass).
             let rate = m01.input_total as f64 / s.m01_c0_input.max(1) as f64;
             plan.merge01_bytes = (s.incoming as f64 * rate * throttle).ceil() as u64;
-            out1 = Some(outprogress(m01.inprogress(), s.c1_bytes, s.c0_cap, s.r_ceil));
+            out1 = Some(outprogress(
+                m01.inprogress(),
+                s.c1_bytes,
+                s.c0_cap,
+                s.r_ceil,
+            ));
         }
         if let Some(m12) = &s.m12 {
             // Downstream keeps the gear rule, as §4.3 prescribes ("the
@@ -237,14 +242,16 @@ pub fn make_scheduler(config: &crate::BLsmConfig) -> Box<dyn MergeScheduler> {
     match config.scheduler {
         crate::SchedulerKind::Naive => Box::new(NaiveScheduler),
         crate::SchedulerKind::Gear => Box::new(GearScheduler),
-        crate::SchedulerKind::SpringGear => {
-            Box::new(SpringGearScheduler::new(config.low_water, config.high_water))
-        }
+        crate::SchedulerKind::SpringGear => Box::new(SpringGearScheduler::new(
+            config.low_water,
+            config.high_water,
+        )),
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn inputs() -> SchedInputs {
@@ -265,7 +272,10 @@ mod tests {
     fn naive_never_plans_inline_work() {
         let mut s = NaiveScheduler;
         let mut inp = inputs();
-        inp.m01 = Some(MergeProgress { bytes_read: 0, input_total: 5000 });
+        inp.m01 = Some(MergeProgress {
+            bytes_read: 0,
+            input_total: 5000,
+        });
         inp.c0_bytes = 990;
         assert_eq!(s.plan(&inp), WorkPlan::default());
         assert!(s.blocking_merge12());
@@ -287,12 +297,18 @@ mod tests {
         let mut inp = inputs();
         inp.c0_fill = 1000;
         inp.c0_bytes = 490;
-        inp.m01 = Some(MergeProgress { bytes_read: 1000, input_total: 10_000 }); // 10% done
-        // Fill is 50%, merge at 10%: deficit 40% of 10k = 4000 bytes.
+        inp.m01 = Some(MergeProgress {
+            bytes_read: 1000,
+            input_total: 10_000,
+        }); // 10% done
+            // Fill is 50%, merge at 10%: deficit 40% of 10k = 4000 bytes.
         let plan = s.plan(&inp);
         assert_eq!(plan.merge01_bytes, 4000);
         // Once caught up, no further work is demanded.
-        inp.m01 = Some(MergeProgress { bytes_read: 5_000, input_total: 10_000 });
+        inp.m01 = Some(MergeProgress {
+            bytes_read: 5_000,
+            input_total: 10_000,
+        });
         let plan = s.plan(&inp);
         assert_eq!(plan.merge01_bytes, 0);
     }
@@ -304,8 +320,14 @@ mod tests {
         inp.c0_bytes = 500;
         inp.r_ceil = 4;
         inp.c1_bytes = 2000; // 2 fills of 1000
-        inp.m01 = Some(MergeProgress { bytes_read: 5_100, input_total: 10_000 });
-        inp.m12 = Some(MergeProgress { bytes_read: 0, input_total: 40_000 });
+        inp.m01 = Some(MergeProgress {
+            bytes_read: 5_100,
+            input_total: 10_000,
+        });
+        inp.m12 = Some(MergeProgress {
+            bytes_read: 0,
+            input_total: 40_000,
+        });
         let plan = s.plan(&inp);
         // outprogress1 ≈ (0.51 + 2)/4 ≈ 0.6275 → merge12 owes ~25,100 bytes.
         assert!(plan.merge12_bytes > 24_000 && plan.merge12_bytes < 26_000);
@@ -316,7 +338,10 @@ mod tests {
         // The pacing property: per 1-byte write the plan is O(rate), not
         // O(component size). Simulate a steady loop and check the max plan.
         let mut s = GearScheduler;
-        let mut m01 = MergeProgress { bytes_read: 0, input_total: 10_000 };
+        let mut m01 = MergeProgress {
+            bytes_read: 0,
+            input_total: 10_000,
+        };
         let mut max_plan = 0u64;
         for i in 0..1000u64 {
             let inp = SchedInputs {
@@ -335,7 +360,11 @@ mod tests {
             max_plan = max_plan.max(plan.merge01_bytes);
         }
         assert!(max_plan <= 30, "per-write work spiked to {max_plan} bytes");
-        assert!(m01.inprogress() > 0.99, "merge kept pace: {}", m01.inprogress());
+        assert!(
+            m01.inprogress() > 0.99,
+            "merge kept pace: {}",
+            m01.inprogress()
+        );
     }
 
     #[test]
@@ -343,7 +372,10 @@ mod tests {
         let mut s = SpringGearScheduler::new(0.5, 0.9);
         let mut inp = inputs();
         inp.c0_bytes = 300; // 30% occupancy < low
-        inp.m01 = Some(MergeProgress { bytes_read: 0, input_total: 10_000 });
+        inp.m01 = Some(MergeProgress {
+            bytes_read: 0,
+            input_total: 10_000,
+        });
         let plan = s.plan(&inp);
         assert_eq!(plan.merge01_bytes, 0, "merge idles below the low mark");
     }
@@ -352,7 +384,10 @@ mod tests {
     fn spring_backpressure_scales_with_occupancy() {
         let mut s = SpringGearScheduler::new(0.5, 0.9);
         let mut inp = inputs();
-        inp.m01 = Some(MergeProgress { bytes_read: 0, input_total: 5_000 });
+        inp.m01 = Some(MergeProgress {
+            bytes_read: 0,
+            input_total: 5_000,
+        });
         inp.m01_c0_input = 1000;
         inp.c0_bytes = 600;
         let at60 = s.plan(&inp).merge01_bytes;

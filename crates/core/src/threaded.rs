@@ -43,6 +43,15 @@ pub struct ThreadedBLsm {
     quantum: u64,
 }
 
+impl std::fmt::Debug for ThreadedBLsm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedBLsm")
+            .field("quantum", &self.quantum)
+            .field("running", &self.shared.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl ThreadedBLsm {
     /// Wraps a tree and starts the merge thread. `quantum` bounds merge
     /// bytes processed per lock hold (and therefore the time any
@@ -58,12 +67,21 @@ impl ThreadedBLsm {
         let merge_thread = std::thread::Builder::new()
             .name("blsm-merge".into())
             .spawn(move || merge_loop(&thread_shared, quantum.max(64 << 10)))
-            .expect("spawn merge thread");
-        ThreadedBLsm { shared: Some(shared), merge_thread: Some(merge_thread), quantum }
+            .unwrap_or_else(|e| panic!("failed to spawn merge thread: {e}"));
+        ThreadedBLsm {
+            shared: Some(shared),
+            merge_thread: Some(merge_thread),
+            quantum,
+        }
     }
 
     fn shared(&self) -> &Arc<Shared> {
-        self.shared.as_ref().expect("tree not shut down")
+        match &self.shared {
+            Some(s) => s,
+            // Unreachable: `shutdown` consumes `self`, so no method can run
+            // on a shut-down handle.
+            None => panic!("tree used after shutdown"),
+        }
     }
 
     /// Runs `f` with exclusive access to the tree, then nudges the merge
@@ -111,16 +129,23 @@ impl ThreadedBLsm {
     /// the tree.
     pub fn shutdown(mut self) -> Result<BLsmTree> {
         self.stop_thread();
-        let shared = self.shared.take().expect("tree not shut down");
-        let shared = Arc::try_unwrap(shared)
-            .unwrap_or_else(|_| panic!("merge thread still holds the tree"));
+        let Some(shared) = self.shared.take() else {
+            // Unreachable: `shutdown` takes `self` by value.
+            return Err(blsm_storage::StorageError::Corruption(
+                "shutdown on an already shut-down tree".into(),
+            ));
+        };
+        let shared =
+            Arc::try_unwrap(shared).unwrap_or_else(|_| panic!("merge thread still holds the tree"));
         let mut tree = shared.tree.into_inner();
         tree.checkpoint()?;
         Ok(tree)
     }
 
     fn stop_thread(&mut self) {
-        let Some(shared) = self.shared.as_ref() else { return };
+        let Some(shared) = self.shared.as_ref() else {
+            return;
+        };
         shared.shutdown.store(true, Ordering::SeqCst);
         {
             let mut pending = shared.work_pending.lock();
@@ -151,6 +176,13 @@ fn merge_loop(shared: &Arc<Shared>, quantum: u64) {
             let mut tree = shared.tree.lock();
             let active_before = tree.merges_active();
             let _ = tree.maintenance(quantum);
+            // Every background quantum is an invariant boundary; a
+            // violation here means the merge thread corrupted the tree,
+            // which no caller can recover from.
+            #[cfg(feature = "strict-invariants")]
+            if let Err(e) = tree.check_invariants() {
+                panic!("merge-thread quantum violated a tree invariant: {e}");
+            }
             let active_after = tree.merges_active();
             active_before.0 || active_before.1 || active_after.0 || active_after.1
         };
@@ -160,12 +192,20 @@ fn merge_loop(shared: &Arc<Shared>, quantum: u64) {
             continue;
         }
         // No work: sleep until a writer kicks us (or a timeout, so paced
-        // schedulers still make progress on idle trees).
+        // schedulers still make progress on idle trees). The predicate is
+        // re-checked in a loop: a bare `if` would let a kick that lands
+        // between a spurious/timeout wakeup and the `*pending = false`
+        // store below be silently consumed, stalling that writer's work
+        // until the next timeout (the classic lost-wakeup shape).
         let mut pending = shared.work_pending.lock();
-        if !*pending {
-            shared
+        while !*pending && !shared.shutdown.load(Ordering::SeqCst) {
+            let timed_out = shared
                 .work_cv
-                .wait_for(&mut pending, Duration::from_millis(10));
+                .wait_for(&mut pending, Duration::from_millis(10))
+                .timed_out();
+            if timed_out {
+                break;
+            }
         }
         *pending = false;
     }
@@ -173,6 +213,7 @@ fn merge_loop(shared: &Arc<Shared>, quantum: u64) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::config::BLsmConfig;
     use blsm_memtable::AppendOperator;
@@ -186,7 +227,10 @@ mod tests {
             data,
             wal,
             1024,
-            BLsmConfig { mem_budget: 64 << 10, ..Default::default() },
+            BLsmConfig {
+                mem_budget: 64 << 10,
+                ..Default::default()
+            },
             Arc::new(AppendOperator),
         )
         .unwrap();
@@ -234,7 +278,8 @@ mod tests {
     fn shutdown_returns_settled_tree() {
         let db = new_threaded();
         for i in 0..3_000u32 {
-            db.put(format!("k{i:06}").into_bytes(), Bytes::from_static(b"v")).unwrap();
+            db.put(format!("k{i:06}").into_bytes(), Bytes::from_static(b"v"))
+                .unwrap();
         }
         let mut tree = db.shutdown().unwrap();
         assert!(tree.c0_bytes() == 0, "shutdown must checkpoint");
@@ -245,10 +290,71 @@ mod tests {
     }
 
     #[test]
+    fn kick_hammer_against_shutdown() {
+        // Regression test for the lost-wakeup handshake: hammer `kick()`
+        // (via `put`) from several threads with a tiny quantum, then tear
+        // the merge thread down mid-stream, many times over. A swallowed
+        // kick or a missed shutdown notification shows up here as a hang
+        // (test timeout) or lost data.
+        for round in 0..20u32 {
+            let data: SharedDevice = Arc::new(MemDevice::new());
+            let wal: SharedDevice = Arc::new(MemDevice::new());
+            let tree = BLsmTree::open(
+                data,
+                wal,
+                1024,
+                BLsmConfig {
+                    mem_budget: 64 << 10,
+                    ..Default::default()
+                },
+                Arc::new(AppendOperator),
+            )
+            .unwrap();
+            // Quantum below the floor: exercises the floor clamp too.
+            let db = Arc::new(ThreadedBLsm::start(tree, 1));
+            let stop = Arc::new(AtomicBool::new(false));
+            let mut handles = Vec::new();
+            for t in 0..3u32 {
+                let db = db.clone();
+                let stop = stop.clone();
+                handles.push(std::thread::spawn(move || {
+                    let mut i = 0u32;
+                    while !stop.load(Ordering::SeqCst) || i < 50 {
+                        let id = t * 1_000_000 + i;
+                        db.put(format!("k{id:08}").into_bytes(), Bytes::from_static(b"v"))
+                            .unwrap();
+                        i += 1;
+                        if i >= 10_000 {
+                            break;
+                        }
+                    }
+                    i
+                }));
+            }
+            // Let the writers race the merge thread briefly, then stop.
+            std::thread::sleep(Duration::from_millis(2));
+            stop.store(true, Ordering::SeqCst);
+            let counts: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let db = Arc::try_unwrap(db)
+                .unwrap_or_else(|_| panic!("writer threads exited; sole owner expected"));
+            let mut tree = db.shutdown().unwrap();
+            // Every acknowledged write must be readable after shutdown.
+            for (t, n) in counts.iter().enumerate() {
+                for i in (0..*n).step_by(17) {
+                    let id = t as u32 * 1_000_000 + i;
+                    let v = tree.get(format!("k{id:08}").as_bytes()).unwrap();
+                    assert!(v.is_some(), "round {round}: lost k{id:08}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn idle_merge_progress_without_writes() {
         let db = new_threaded();
         for i in 0..3_000u32 {
-            db.put(format!("k{i:06}").into_bytes(), Bytes::from(vec![0u8; 64])).unwrap();
+            db.put(format!("k{i:06}").into_bytes(), Bytes::from(vec![0u8; 64]))
+                .unwrap();
         }
         // Stop writing; the merge thread should drain pending merges on
         // its own within its timeout loop.

@@ -19,16 +19,13 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
-use blsm_memtable::{
-    merge_versions, Entry, MergeOperator, SnowshovelBuffer, Versioned,
-};
+use blsm_memtable::{merge_versions, Entry, MergeOperator, SnowshovelBuffer, Versioned};
 use blsm_sstable::{EntryRef, EntryStream, MergeIter, ReadMode, Sstable, SstableBuilder};
 use blsm_storage::codec::{self, Reader};
 use blsm_storage::manifest::{ManifestStore, DEFAULT_SLOT_PAGES};
 use blsm_storage::page::PAGE_PAYLOAD_LEN;
 use blsm_storage::{
-    BufferPool, Lsn, Region, RegionAllocator, Result, SharedDevice, StorageError, Wal,
-    PAGE_SIZE,
+    BufferPool, Lsn, Region, RegionAllocator, Result, SharedDevice, StorageError, Wal, PAGE_SIZE,
 };
 
 use crate::config::{BLsmConfig, Durability};
@@ -119,6 +116,34 @@ pub struct BLsmTree {
     /// True when the last completed pass left entries in `C0` (suppresses
     /// log truncation for that pass).
     last_pass_had_leftover: bool,
+    #[cfg(feature = "strict-invariants")]
+    strict: StrictState,
+}
+
+/// Cross-quantum bookkeeping for [`BLsmTree::check_invariants`].
+#[cfg(feature = "strict-invariants")]
+#[derive(Debug, Default)]
+struct StrictState {
+    /// Snowshovel cursor observed at the previous quantum boundary; the
+    /// cursor must never move backwards within a pass (§4.2).
+    last_cursor: Option<Bytes>,
+    /// `stats.merges01` at the previous check — a change means the pass
+    /// ended and the cursor legitimately reset.
+    last_merges01: u64,
+    /// Rotates which leaves the sampled component checks read, so repeated
+    /// quanta cover different parts of each component.
+    rotation: usize,
+}
+
+impl std::fmt::Debug for BLsmTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BLsmTree")
+            .field("c0_bytes", &self.c0.approx_bytes())
+            .field("merge01_active", &self.merge01.is_some())
+            .field("merge12_active", &self.merge12.is_some())
+            .field("r", &self.r)
+            .finish_non_exhaustive()
+    }
 }
 
 impl BLsmTree {
@@ -173,6 +198,8 @@ impl BLsmTree {
             r: config.r.unwrap_or(4.0),
             stats: TreeStats::default(),
             last_pass_had_leftover: false,
+            #[cfg(feature = "strict-invariants")]
+            strict: StrictState::default(),
             config,
         };
 
@@ -182,11 +209,8 @@ impl BLsmTree {
         // effects already reached C1 — those are skipped by sequence
         // number, keeping replay exactly-once even for deltas.
         if tree.config.durability != Durability::None {
-            let (records, tail) = blsm_storage::wal::replay(
-                &wal_dev,
-                tree.config.wal_capacity,
-                wal_head,
-            );
+            let (records, tail) =
+                blsm_storage::wal::replay(&wal_dev, tree.config.wal_capacity, wal_head);
             for rec in records {
                 let (key, v) = decode_wal_record(&rec.payload)?;
                 next_seqno = next_seqno.max(v.seqno + 1);
@@ -330,7 +354,9 @@ impl BLsmTree {
     }
 
     fn write_entry(&mut self, key: Bytes, entry: Entry) -> Result<()> {
-        let incoming = (key.len() + entry.payload_len() + blsm_memtable::Memtable::new().approx_bytes().max(64)) as u64;
+        let incoming = (key.len()
+            + entry.payload_len()
+            + blsm_memtable::Memtable::new().approx_bytes().max(64)) as u64;
         self.pace(incoming)?;
         let seqno = self.next_seqno;
         self.next_seqno += 1;
@@ -356,12 +382,15 @@ impl BLsmTree {
                 self.checkpoint()?;
                 self.wal
                     .as_mut()
-                    .expect("wal present")
+                    .ok_or_else(|| invariant_err("wal vanished during checkpoint"))?
                     .append(&payload)?;
             }
             Err(e) => return Err(e),
         }
-        let wal = self.wal.as_mut().expect("wal present");
+        let wal = self
+            .wal
+            .as_mut()
+            .ok_or_else(|| invariant_err("wal vanished after append"))?;
         match self.config.durability {
             Durability::Buffered => wal.flush()?,
             Durability::Sync => wal.sync()?,
@@ -386,7 +415,7 @@ impl BLsmTree {
                 if deltas.is_empty() {
                     return base.map(Bytes::copy_from_slice);
                 }
-                let refs: Vec<&[u8]> = deltas.iter().map(|d| d.as_ref()).collect();
+                let refs: Vec<&[u8]> = deltas.iter().map(Bytes::as_ref).collect();
                 Some(Bytes::from(op.fold(base, &refs)))
             };
 
@@ -463,7 +492,10 @@ impl BLsmTree {
     fn run_probe(&mut self, probe: Probe, key: &[u8]) -> Result<Option<Versioned>> {
         match probe {
             Probe::Builder01 => {
-                let m = self.merge01.as_ref().expect("merge01 active");
+                let m = self
+                    .merge01
+                    .as_ref()
+                    .ok_or_else(|| invariant_err("Builder01 probe without active merge01"))?;
                 let view = m.builder.view();
                 if !view.may_contain(key) {
                     self.stats.bloom_skips += 1;
@@ -473,7 +505,10 @@ impl BLsmTree {
                 view.get(key)
             }
             Probe::Builder12 => {
-                let m = self.merge12.as_ref().expect("merge12 active");
+                let m = self
+                    .merge12
+                    .as_ref()
+                    .ok_or_else(|| invariant_err("Builder12 probe without active merge12"))?;
                 let view = m.builder.view();
                 if !view.may_contain(key) {
                     self.stats.bloom_skips += 1;
@@ -489,7 +524,7 @@ impl BLsmTree {
                     Probe::C2 => self.c2.as_ref(),
                     _ => unreachable!(),
                 }
-                .expect("probe plan checked presence")
+                .ok_or_else(|| invariant_err("probe plan referenced an absent component"))?
                 .clone();
                 if !table.may_contain(key) {
                     self.stats.bloom_skips += 1;
@@ -537,7 +572,10 @@ impl BLsmTree {
         let mut streams: Vec<EntryStream<'_>> = Vec::with_capacity(6);
         // C0 (freshest).
         streams.push(Box::new(self.c0.range_from(from).map(|(k, v)| {
-            Ok(EntryRef { key: k.clone(), version: v.clone() })
+            Ok(EntryRef {
+                key: k.clone(),
+                version: v.clone(),
+            })
         })));
         // Level 1.
         if let Some(m) = &self.merge01 {
@@ -647,8 +685,7 @@ impl BLsmTree {
             c0_cap: self.config.mem_budget as u64,
             incoming,
             m01: self.merge01.as_ref().map(|m| MergeProgress {
-                bytes_read: self.c0.drained_bytes() as u64
-                    + m.c1_consumed.load(Ordering::Relaxed),
+                bytes_read: self.c0.drained_bytes() as u64 + m.c1_consumed.load(Ordering::Relaxed),
                 input_total: m.input_total,
             }),
             m01_c0_input: self.merge01.as_ref().map_or(1, |m| m.c0_input.max(1)),
@@ -664,6 +701,7 @@ impl BLsmTree {
     /// Pre-write pacing: start merges, run planned work, enforce the hard
     /// cap. This is where the paper's write-latency bound comes from.
     fn pace(&mut self, incoming: u64) -> Result<()> {
+        let mut ran_quantum = false;
         if !self.config.external_pacing {
             if self.merge01.is_none()
                 && !self.c0.is_empty()
@@ -677,9 +715,11 @@ impl BLsmTree {
             let plan = self.scheduler.plan(&self.sched_inputs(incoming));
             if plan.merge01_bytes > 0 {
                 self.run_merge01(plan.merge01_bytes.min(self.config.work_quantum))?;
+                ran_quantum = true;
             }
             if plan.merge12_bytes > 0 {
                 self.run_merge12(plan.merge12_bytes.min(self.config.work_quantum))?;
+                ran_quantum = true;
             }
         }
 
@@ -698,8 +738,9 @@ impl BLsmTree {
                 self.start_merge01()?;
             }
             self.run_merge01(self.config.work_quantum.max(1 << 20))?;
+            ran_quantum = true;
         }
-        Ok(())
+        self.quantum_boundary_check(ran_quantum)
     }
 
     /// Estimates a generous region for a merge output. Leaf packing can
@@ -740,7 +781,7 @@ impl BLsmTree {
             .peekable()
         });
         let bottom = self.c2.is_none() && self.c1_prime.is_none();
-        let pass_start_lsn = self.wal.as_ref().map_or(0, |w| w.tail_lsn());
+        let pass_start_lsn = self.wal.as_ref().map_or(0, Wal::tail_lsn);
         self.merge01 = Some(Merge01 {
             builder,
             full_region: region,
@@ -766,7 +807,9 @@ impl BLsmTree {
             if self.merge01_consumed() - start_consumed >= budget {
                 return Ok(());
             }
-            let m = self.merge01.as_mut().expect("checked above");
+            let Some(m) = self.merge01.as_mut() else {
+                return Ok(()); // unreachable: presence checked on entry
+            };
             // Run-length cap (§4.2: sorted input would otherwise extend the
             // pass forever).
             if !m.c0_capped && m.builder.data_bytes() >= m.run_cap_bytes {
@@ -780,13 +823,11 @@ impl BLsmTree {
             let c1_key = match m.c1_stream.as_mut().and_then(|s| s.peek()) {
                 Some(Ok(e)) => Some(e.key.clone()),
                 Some(Err(_)) => {
-                    let err = m
-                        .c1_stream
-                        .as_mut()
-                        .expect("stream present")
-                        .next()
-                        .expect("peeked")
-                        .unwrap_err();
+                    // peek() just returned Err; next() must yield it.
+                    let err = match m.c1_stream.as_mut().and_then(Iterator::next) {
+                        Some(Err(err)) => err,
+                        _ => invariant_err("C1 stream error vanished between peek and next"),
+                    };
                     return Err(err);
                 }
                 None => None,
@@ -797,25 +838,28 @@ impl BLsmTree {
                     return Ok(());
                 }
                 (Some(k0), Some(k1)) if k0 == k1 => {
-                    let (_, v0) = self.c0.drain_next().expect("peeked");
+                    let (_, v0) = self
+                        .c0
+                        .drain_next()
+                        .ok_or_else(|| invariant_err("C0 entry vanished after peek"))?;
                     let e1 = m
                         .c1_stream
                         .as_mut()
-                        .expect("stream present")
-                        .next()
-                        .expect("peeked")?;
-                    if let Some(v) = merge_versions(self.op.as_ref(), &[v0, e1.version], m.bottom)
-                    {
+                        .and_then(Iterator::next)
+                        .ok_or_else(|| invariant_err("C1 entry vanished after peek"))??;
+                    if let Some(v) = merge_versions(self.op.as_ref(), &[v0, e1.version], m.bottom) {
                         self.stats.merge_bytes_consumed +=
                             (k0.len() + v.entry.payload_len()) as u64;
                         m.builder.add(&k0, &v)?;
                     }
                 }
                 (Some(k0), c1k) if c1k.as_ref().is_none_or(|k1| k0 < *k1) => {
-                    let (k, v0) = self.c0.drain_next().expect("peeked");
+                    let (k, v0) = self
+                        .c0
+                        .drain_next()
+                        .ok_or_else(|| invariant_err("C0 entry vanished after peek"))?;
                     if let Some(v) = merge_versions(self.op.as_ref(), &[v0], m.bottom) {
-                        self.stats.merge_bytes_consumed +=
-                            (k.len() + v.entry.payload_len()) as u64;
+                        self.stats.merge_bytes_consumed += (k.len() + v.entry.payload_len()) as u64;
                         m.builder.add(&k, &v)?;
                     }
                 }
@@ -823,15 +867,12 @@ impl BLsmTree {
                     let e1 = m
                         .c1_stream
                         .as_mut()
-                        .expect("stream present")
-                        .next()
-                        .expect("peeked")?;
+                        .and_then(Iterator::next)
+                        .ok_or_else(|| invariant_err("C1 entry vanished after peek"))??;
                     // The merge output cursor moved past e1.key: inserts at
                     // or below it must defer to the next pass (§4.2).
                     self.c0.advance_cursor(&e1.key);
-                    if let Some(v) =
-                        merge_versions(self.op.as_ref(), &[e1.version], m.bottom)
-                    {
+                    if let Some(v) = merge_versions(self.op.as_ref(), &[e1.version], m.bottom) {
                         self.stats.merge_bytes_consumed +=
                             (e1.key.len() + v.entry.payload_len()) as u64;
                         m.builder.add(&e1.key, &v)?;
@@ -850,7 +891,9 @@ impl BLsmTree {
     }
 
     fn finish_merge01(&mut self) -> Result<()> {
-        let m = self.merge01.take().expect("merge01 active");
+        let Some(m) = self.merge01.take() else {
+            return Err(invariant_err("finish_merge01 without active merge01"));
+        };
         let had_leftover = !self.c0.pass_exhausted();
         if had_leftover {
             let op = self.op.clone();
@@ -874,7 +917,11 @@ impl BLsmTree {
             old.evict_from_pool();
             self.allocator.free(old.region());
         }
-        self.c1 = if new_c1.entry_count() > 0 { Some(new_c1) } else { None };
+        self.c1 = if new_c1.entry_count() > 0 {
+            Some(new_c1)
+        } else {
+            None
+        };
         self.stats.merges01 += 1;
 
         // Log truncation: everything the pass consumed is durable. With a
@@ -892,7 +939,10 @@ impl BLsmTree {
         let c1_target = (self.r * self.config.mem_budget as f64) as u64;
         if self.merge12.is_none()
             && self.c1_prime.is_none()
-            && self.c1.as_ref().is_some_and(|c| c.data_bytes() >= c1_target)
+            && self
+                .c1
+                .as_ref()
+                .is_some_and(|c| c.data_bytes() >= c1_target)
         {
             self.c1_prime = self.c1.take();
             self.save_manifest()?;
@@ -909,7 +959,10 @@ impl BLsmTree {
 
     fn start_merge12(&mut self) -> Result<()> {
         assert!(self.merge12.is_none());
-        let c1p = self.c1_prime.clone().expect("C1' present");
+        let c1p = self
+            .c1_prime
+            .clone()
+            .ok_or_else(|| invariant_err("start_merge12 without C1'"))?;
         let c2 = self.c2.clone();
         let input_total = c1p.data_bytes() + c2.as_ref().map_or(0, |c| c.data_bytes());
         let est_entries = c1p.entry_count() + c2.as_ref().map_or(0, |c| c.entry_count()) + 16;
@@ -965,7 +1018,9 @@ impl BLsmTree {
     }
 
     fn finish_merge12(&mut self) -> Result<()> {
-        let m = self.merge12.take().expect("merge12 active");
+        let Some(m) = self.merge12.take() else {
+            return Err(invariant_err("finish_merge12 without active merge12"));
+        };
         let new_c2 = Arc::new(m.builder.finish()?);
         let used = new_c2.region().pages;
         if used < m.full_region.pages {
@@ -982,7 +1037,11 @@ impl BLsmTree {
             old.evict_from_pool();
             self.allocator.free(old.region());
         }
-        self.c2 = if new_c2.entry_count() > 0 { Some(new_c2) } else { None };
+        self.c2 = if new_c2.entry_count() > 0 {
+            Some(new_c2)
+        } else {
+            None
+        };
         self.stats.merges12 += 1;
         self.recompute_r();
         self.save_manifest()
@@ -1013,7 +1072,7 @@ impl BLsmTree {
         let meta = TreeMeta {
             components,
             allocator: self.allocator.clone(),
-            wal_head: self.wal.as_ref().map_or(0, |w| w.head_lsn()),
+            wal_head: self.wal.as_ref().map_or(0, Wal::head_lsn),
             next_seqno: self.next_seqno,
         };
         self.manifest.save(&meta.encode())
@@ -1033,9 +1092,10 @@ impl BLsmTree {
         {
             self.start_merge01()?;
         }
+        let ran_quantum = self.merge01.is_some() || self.merge12.is_some();
         self.run_merge01(budget)?;
         self.run_merge12(budget)?;
-        Ok(())
+        self.quantum_boundary_check(ran_quantum)
     }
 
     /// Drains `C0` and completes every pending merge, then truncates the
@@ -1058,6 +1118,7 @@ impl BLsmTree {
             }
             break;
         }
+        self.quantum_boundary_check(true)?;
         if let Some(wal) = &mut self.wal {
             wal.flush()?;
             let tail = wal.tail_lsn();
@@ -1065,6 +1126,121 @@ impl BLsmTree {
         }
         self.save_manifest()?;
         self.pool.flush()
+    }
+
+    // -----------------------------------------------------------------
+    // Strict invariants (feature `strict-invariants`)
+    // -----------------------------------------------------------------
+
+    /// Verifies the paper's structural invariants in one sweep:
+    ///
+    /// * every on-disk component keeps its keys in strictly ascending
+    ///   order and its Bloom filter never denies a stored key (§4.4.3
+    ///   tolerates false positives, never false negatives) — checked on
+    ///   sampled leaves, rotating coverage across calls;
+    /// * the §4.1 progress estimators `inprogress`/`outprogress` stay
+    ///   inside `[0, 1]`;
+    /// * `C0` never exceeds the memory budget (§3.1 hard cap);
+    /// * the snowshovel drain cursor is monotone within a pass (§4.2).
+    ///
+    /// Called at every merge-quantum boundary when the feature is on, and
+    /// directly from property tests.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::Corruption`] naming the first violated
+    /// invariant, or propagates device errors from sampled leaf reads.
+    #[cfg(feature = "strict-invariants")]
+    pub fn check_invariants(&mut self) -> Result<()> {
+        fn violated(what: String) -> StorageError {
+            StorageError::Corruption(format!("strict invariant violated: {what}"))
+        }
+
+        // C0 hard cap (§3.1): pacing must never let the write buffer
+        // outgrow its budget.
+        if self.c0.approx_bytes() > self.config.mem_budget {
+            return Err(violated(format!(
+                "C0 holds {} bytes, budget is {}",
+                self.c0.approx_bytes(),
+                self.config.mem_budget
+            )));
+        }
+
+        // Progress estimators (§4.1) stay in [0, 1].
+        let inputs = self.sched_inputs(0);
+        for (name, p) in [("merge01", inputs.m01), ("merge12", inputs.m12)] {
+            let Some(p) = p else { continue };
+            let inp = p.inprogress();
+            if !inp.is_finite() || !(0.0..=1.0).contains(&inp) {
+                return Err(violated(format!("{name} inprogress {inp} outside [0, 1]")));
+            }
+            let outp =
+                crate::progress::outprogress(inp, inputs.c1_bytes, inputs.c0_cap, inputs.r_ceil);
+            if !outp.is_finite() || !(0.0..=1.0).contains(&outp) {
+                return Err(violated(format!(
+                    "{name} outprogress {outp} outside [0, 1]"
+                )));
+            }
+        }
+
+        // Snowshovel cursor monotonicity (§4.2): within a pass the drain
+        // cursor only advances. A completed pass (merges01 bumped) resets
+        // it legitimately.
+        if self.stats.merges01 != self.strict.last_merges01 {
+            self.strict.last_merges01 = self.stats.merges01;
+            self.strict.last_cursor = None;
+        }
+        if let blsm_memtable::PassKind::Snowshovel { last_drained } = self.c0.pass() {
+            match (&self.strict.last_cursor, last_drained) {
+                (Some(prev), Some(cur)) if cur < prev => {
+                    return Err(violated(format!(
+                        "snowshovel cursor moved backwards: {cur:?} < {prev:?}"
+                    )));
+                }
+                (Some(prev), None) => {
+                    return Err(violated(format!(
+                        "snowshovel cursor vanished mid-pass (was {prev:?})"
+                    )));
+                }
+                _ => {}
+            }
+            self.strict.last_cursor = last_drained.clone();
+        } else {
+            self.strict.last_cursor = None;
+        }
+
+        // Component ordering + bloom agreement, on rotating leaf samples.
+        self.strict.rotation = self.strict.rotation.wrapping_add(1);
+        let rotation = self.strict.rotation;
+        for (name, comp) in [("C1", &self.c1), ("C1'", &self.c1_prime), ("C2", &self.c2)] {
+            let Some(table) = comp else { continue };
+            table.verify_integrity(2, rotation).map_err(|e| match e {
+                StorageError::Corruption(msg) => violated(format!("{name}: {msg}")),
+                other => other,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Merge-quantum boundary hook: a full [`check_invariants`] sweep when
+    /// the `strict-invariants` feature is on and merge work actually ran.
+    ///
+    /// [`check_invariants`]: Self::check_invariants
+    #[cfg(feature = "strict-invariants")]
+    fn quantum_boundary_check(&mut self, ran_quantum: bool) -> Result<()> {
+        if ran_quantum {
+            self.check_invariants()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// No-op without `strict-invariants`; compiles away entirely.
+    #[cfg(not(feature = "strict-invariants"))]
+    #[inline(always)]
+    #[allow(clippy::unnecessary_wraps)]
+    fn quantum_boundary_check(&mut self, _ran_quantum: bool) -> Result<()> {
+        Ok(())
     }
 
     /// Number of live on-disk components (for tests and experiments).
@@ -1091,6 +1267,12 @@ enum Probe {
 }
 
 /// WAL record: `kind(1) | varint seqno | varint keylen | key | value`.
+/// Surfaces a violated internal invariant as a recoverable error instead
+/// of a panic; callers of the public API see `StorageError::Corruption`.
+fn invariant_err(what: &str) -> StorageError {
+    StorageError::Corruption(format!("internal invariant violated: {what}"))
+}
+
 fn encode_wal_record(key: &Bytes, v: &Versioned) -> Vec<u8> {
     let mut out = Vec::with_capacity(12 + key.len() + v.entry.payload_len());
     let kind = match &v.entry {
@@ -1132,6 +1314,7 @@ const _: usize = PAGE_SIZE;
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::config::SchedulerKind;
     use blsm_memtable::AppendOperator;
@@ -1223,13 +1406,21 @@ mod tests {
     #[test]
     fn insert_if_not_exists_semantics() {
         let mut t = new_tree(small_config());
-        assert!(t.insert_if_not_exists(key(1), Bytes::from_static(b"a")).unwrap());
-        assert!(!t.insert_if_not_exists(key(1), Bytes::from_static(b"b")).unwrap());
+        assert!(t
+            .insert_if_not_exists(key(1), Bytes::from_static(b"a"))
+            .unwrap());
+        assert!(!t
+            .insert_if_not_exists(key(1), Bytes::from_static(b"b"))
+            .unwrap());
         assert_eq!(t.get(&key(1)).unwrap().unwrap().as_ref(), b"a");
         t.checkpoint().unwrap();
-        assert!(!t.insert_if_not_exists(key(1), Bytes::from_static(b"c")).unwrap());
+        assert!(!t
+            .insert_if_not_exists(key(1), Bytes::from_static(b"c"))
+            .unwrap());
         t.delete(key(1)).unwrap();
-        assert!(t.insert_if_not_exists(key(1), Bytes::from_static(b"d")).unwrap());
+        assert!(t
+            .insert_if_not_exists(key(1), Bytes::from_static(b"d"))
+            .unwrap());
         assert_eq!(t.get(&key(1)).unwrap().unwrap().as_ref(), b"d");
     }
 
@@ -1299,10 +1490,13 @@ mod tests {
             }
             // No checkpoint, no clean shutdown: crash.
         }
-        let mut t = BLsmTree::open(data, wal, 4096, small_config(), Arc::new(AppendOperator))
-            .unwrap();
+        let mut t =
+            BLsmTree::open(data, wal, 4096, small_config(), Arc::new(AppendOperator)).unwrap();
         for i in (0..3000u32).step_by(53) {
-            let v = t.get(&key(i)).unwrap().unwrap_or_else(|| panic!("key {i} lost"));
+            let v = t
+                .get(&key(i))
+                .unwrap()
+                .unwrap_or_else(|| panic!("key {i} lost"));
             assert_eq!(v.as_ref(), format!("val{i}").as_bytes());
         }
     }
@@ -1330,8 +1524,8 @@ mod tests {
                 t.put(key(i), Bytes::from_static(b"x")).unwrap();
             }
         }
-        let mut t = BLsmTree::open(data, wal, 4096, small_config(), Arc::new(AppendOperator))
-            .unwrap();
+        let mut t =
+            BLsmTree::open(data, wal, 4096, small_config(), Arc::new(AppendOperator)).unwrap();
         // A double-applied delta would read "base+d+d".
         assert_eq!(t.get(&key(1)).unwrap().unwrap().as_ref(), b"base+d");
     }
@@ -1340,7 +1534,10 @@ mod tests {
     fn degraded_durability_loses_c0_only() {
         let data: SharedDevice = Arc::new(MemDevice::new());
         let wal: SharedDevice = Arc::new(MemDevice::new());
-        let config = BLsmConfig { durability: Durability::None, ..small_config() };
+        let config = BLsmConfig {
+            durability: Durability::None,
+            ..small_config()
+        };
         {
             let mut t = BLsmTree::open(
                 data.clone(),
@@ -1354,10 +1551,12 @@ mod tests {
             t.checkpoint().unwrap(); // durable point
             t.put(key(2), Bytes::from_static(b"new")).unwrap(); // lost
         }
-        let mut t =
-            BLsmTree::open(data, wal, 4096, config, Arc::new(AppendOperator)).unwrap();
+        let mut t = BLsmTree::open(data, wal, 4096, config, Arc::new(AppendOperator)).unwrap();
         assert_eq!(t.get(&key(1)).unwrap().unwrap().as_ref(), b"old");
-        assert!(t.get(&key(2)).unwrap().is_none(), "unlogged write must be lost");
+        assert!(
+            t.get(&key(2)).unwrap().is_none(),
+            "unlogged write must be lost"
+        );
     }
 
     #[test]
@@ -1407,14 +1606,23 @@ mod tests {
         }
         // Wipe the WAL: a checkpointed tree must not need it.
         let fresh_wal: SharedDevice = Arc::new(MemDevice::new());
-        let mut t = BLsmTree::open(data, fresh_wal, 4096, small_config(), Arc::new(AppendOperator))
-            .unwrap();
+        let mut t = BLsmTree::open(
+            data,
+            fresh_wal,
+            4096,
+            small_config(),
+            Arc::new(AppendOperator),
+        )
+        .unwrap();
         assert_eq!(t.get(&key(999)).unwrap().unwrap().as_ref(), b"v");
     }
 
     #[test]
     fn naive_scheduler_correctness() {
-        let config = BLsmConfig { scheduler: SchedulerKind::Naive, ..small_config() };
+        let config = BLsmConfig {
+            scheduler: SchedulerKind::Naive,
+            ..small_config()
+        };
         let mut t = new_tree(config);
         for i in 0..5000u32 {
             t.put(key(i), Bytes::from(vec![1u8; 80])).unwrap();
@@ -1427,7 +1635,10 @@ mod tests {
 
     #[test]
     fn gear_scheduler_correctness() {
-        let config = BLsmConfig { scheduler: SchedulerKind::Gear, ..small_config() };
+        let config = BLsmConfig {
+            scheduler: SchedulerKind::Gear,
+            ..small_config()
+        };
         let mut t = new_tree(config);
         assert!(!t.config().snowshovel, "gear partitions C0/C0'");
         for i in 0..5000u32 {

@@ -29,7 +29,7 @@ use bytes::Bytes;
 use blsm_memtable::{Entry, Memtable, MergeOperator, Versioned};
 use blsm_sstable::{EntryRef, EntryStream, MergeIter, ReadMode, Sstable, SstableBuilder};
 use blsm_storage::page::PAGE_PAYLOAD_LEN;
-use blsm_storage::{BufferPool, Region, RegionAllocator, Result};
+use blsm_storage::{BufferPool, Region, RegionAllocator, Result, StorageError};
 
 /// Tuning knobs, defaulting to scaled-down versions of LevelDB's.
 #[derive(Debug, Clone)]
@@ -103,6 +103,12 @@ struct Compaction {
     outputs: Vec<Arc<Sstable>>,
 }
 
+/// Surfaces a violated internal invariant as a recoverable error instead
+/// of a panic.
+fn invariant_err(what: &str) -> StorageError {
+    StorageError::Corruption(format!("internal invariant violated: {what}"))
+}
+
 /// The multi-level LSM engine.
 pub struct LevelDbLike {
     pool: Arc<BufferPool>,
@@ -119,6 +125,15 @@ pub struct LevelDbLike {
     cursor: Vec<usize>,
     next_seqno: u64,
     stats: LevelDbStats,
+}
+
+impl std::fmt::Debug for LevelDbLike {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LevelDbLike")
+            .field("levels", &self.levels.len())
+            .field("compaction_active", &self.compaction.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl LevelDbLike {
@@ -157,11 +172,7 @@ impl LevelDbLike {
 
     /// Total user data bytes on disk.
     pub fn disk_data_bytes(&self) -> u64 {
-        self.levels
-            .iter()
-            .flatten()
-            .map(|t| t.data_bytes())
-            .sum()
+        self.levels.iter().flatten().map(|t| t.data_bytes()).sum()
     }
 
     // ------------------------------------------------------------------
@@ -233,7 +244,8 @@ impl LevelDbLike {
         let seqno = self.next_seqno;
         self.next_seqno += 1;
         let op = self.op.clone();
-        self.mem.insert(key, Versioned { seqno, entry }, op.as_ref());
+        self.mem
+            .insert(key, Versioned { seqno, entry }, op.as_ref());
         if self.mem.approx_bytes() >= self.config.write_buffer {
             self.flush_memtable()?;
         }
@@ -333,7 +345,7 @@ impl LevelDbLike {
         if deltas.is_empty() {
             return Bytes::copy_from_slice(base.unwrap_or_default());
         }
-        let refs: Vec<&[u8]> = deltas.iter().map(|d| d.as_ref()).collect();
+        let refs: Vec<&[u8]> = deltas.iter().map(Bytes::as_ref).collect();
         Bytes::from(self.op.fold(base, &refs))
     }
 
@@ -342,7 +354,10 @@ impl LevelDbLike {
     pub fn scan(&mut self, from: &[u8], limit: usize) -> Result<Vec<(Bytes, Bytes)>> {
         let mut streams: Vec<EntryStream<'_>> = Vec::new();
         streams.push(Box::new(self.mem.range_from(from).map(|(k, v)| {
-            Ok(EntryRef { key: k.clone(), version: v.clone() })
+            Ok(EntryRef {
+                key: k.clone(),
+                version: v.clone(),
+            })
         })));
         for f in &self.levels[0] {
             streams.push(Box::new(f.iter_from(from, ReadMode::Pooled)));
@@ -401,7 +416,9 @@ impl LevelDbLike {
                 best = Some((level, score));
             }
         }
-        let Some((level, _)) = best else { return Ok(()) };
+        let Some((level, _)) = best else {
+            return Ok(());
+        };
         self.start_compaction(level)
     }
 
@@ -421,8 +438,13 @@ impl LevelDbLike {
         if upper.is_empty() {
             return Ok(());
         }
-        let min = upper.iter().map(|f| f.meta().min_key.clone()).min().unwrap();
-        let max = upper.iter().map(|f| f.meta().max_key.clone()).max().unwrap();
+        // `upper` is non-empty (checked above), so min/max exist.
+        let Some(min) = upper.iter().map(|f| f.meta().min_key.clone()).min() else {
+            return Ok(());
+        };
+        let Some(max) = upper.iter().map(|f| f.meta().max_key.clone()).max() else {
+            return Ok(());
+        };
         let lower: Vec<Arc<Sstable>> = self.levels[level + 1]
             .iter()
             .filter(|f| f.meta().min_key <= max && min <= f.meta().max_key)
@@ -472,9 +494,17 @@ impl LevelDbLike {
                 return Ok(());
             }
             // Seal a full output file and start another.
-            if c.builder.as_ref().is_some_and(|b| b.data_bytes() >= max_file) {
-                let b = c.builder.take().expect("builder present");
-                let full = c.builder_full_region.take().expect("region recorded");
+            if c.builder
+                .as_ref()
+                .is_some_and(|b| b.data_bytes() >= max_file)
+            {
+                let Some(b) = c.builder.take() else {
+                    return Ok(()); // unreachable: presence checked above
+                };
+                let full = c
+                    .builder_full_region
+                    .take()
+                    .ok_or_else(|| invariant_err("builder without recorded region"))?;
                 let table = Arc::new(b.finish()?);
                 let used = table.region().pages;
                 c.outputs.push(table);
@@ -492,7 +522,7 @@ impl LevelDbLike {
                     }
                     c.builder
                         .as_mut()
-                        .expect("builder present")
+                        .ok_or_else(|| invariant_err("builder vanished after creation"))?
                         .add(&e.key, &e.version)?;
                 }
                 None => {
@@ -503,9 +533,14 @@ impl LevelDbLike {
     }
 
     fn finish_compaction(&mut self) -> Result<()> {
-        let mut c = self.compaction.take().expect("compaction active");
+        let Some(mut c) = self.compaction.take() else {
+            return Err(invariant_err("finish_compaction without active compaction"));
+        };
         if let Some(b) = c.builder.take() {
-            let full = c.builder_full_region.take().expect("region recorded");
+            let full = c
+                .builder_full_region
+                .take()
+                .ok_or_else(|| invariant_err("builder without recorded region"))?;
             let table = Arc::new(b.finish()?);
             let used = table.region().pages;
             if table.entry_count() > 0 {
@@ -517,8 +552,7 @@ impl LevelDbLike {
         let upper_ptrs: Vec<*const Sstable> = c.upper.iter().map(Arc::as_ptr).collect();
         let lower_ptrs: Vec<*const Sstable> = c.lower.iter().map(Arc::as_ptr).collect();
         self.levels[c.level].retain(|f| !upper_ptrs.contains(&(Arc::as_ptr(f) as *const _)));
-        self.levels[c.level + 1]
-            .retain(|f| !lower_ptrs.contains(&(Arc::as_ptr(f) as *const _)));
+        self.levels[c.level + 1].retain(|f| !lower_ptrs.contains(&(Arc::as_ptr(f) as *const _)));
         for f in c.upper.iter().chain(c.lower.iter()) {
             f.evict_from_pool();
             self.allocator.free(f.region());
@@ -590,7 +624,12 @@ impl LevelIter {
     fn new(files: Vec<Arc<Sstable>>, from: Vec<u8>) -> LevelIter {
         // Skip files entirely below `from`.
         let next_file = files.partition_point(|f| f.meta().max_key.as_ref() < from.as_slice());
-        LevelIter { files, next_file, current: None, from }
+        LevelIter {
+            files,
+            next_file,
+            current: None,
+            from,
+        }
     }
 }
 
@@ -617,6 +656,7 @@ impl Iterator for LevelIter {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use blsm_memtable::AppendOperator;
     use blsm_storage::MemDevice;
@@ -754,8 +794,12 @@ mod tests {
     #[test]
     fn rmw_and_check_insert() {
         let mut e = engine(8 << 10);
-        assert!(e.insert_if_not_exists(key(1), Bytes::from_static(b"a")).unwrap());
-        assert!(!e.insert_if_not_exists(key(1), Bytes::from_static(b"b")).unwrap());
+        assert!(e
+            .insert_if_not_exists(key(1), Bytes::from_static(b"a"))
+            .unwrap());
+        assert!(!e
+            .insert_if_not_exists(key(1), Bytes::from_static(b"b"))
+            .unwrap());
         e.read_modify_write(key(1), |old| {
             let mut v = old.unwrap().to_vec();
             v.push(b'!');

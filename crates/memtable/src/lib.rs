@@ -24,6 +24,6 @@ mod types;
 pub use memtable::Memtable;
 pub use snowshovel::{PassKind, SnowshovelBuffer};
 pub use types::{
-    merge_versions, AddOperator, AppendOperator, Entry, MergeOperator, OverwriteOperator,
-    SeqNo, Versioned,
+    merge_versions, AddOperator, AppendOperator, Entry, MergeOperator, OverwriteOperator, SeqNo,
+    Versioned,
 };

@@ -71,9 +71,7 @@ impl Memtable {
                 match &resident.entry {
                     Entry::Put(v) => Versioned::put(write.seqno, op.apply(Some(v), d)),
                     Entry::Tombstone => Versioned::put(write.seqno, op.apply(None, d)),
-                    Entry::Delta(older) => {
-                        Versioned::delta(write.seqno, op.merge_deltas(older, d))
-                    }
+                    Entry::Delta(older) => Versioned::delta(write.seqno, op.merge_deltas(older, d)),
                 }
             }
             _ => write,
@@ -142,11 +140,7 @@ impl Memtable {
             None => Some(older),
             Some(resident) => {
                 debug_assert!(resident.seqno >= older.seqno);
-                crate::types::merge_versions(
-                    op,
-                    &[resident.clone(), older],
-                    false,
-                )
+                crate::types::merge_versions(op, &[resident.clone(), older], false)
             }
         };
         let Some(folded) = folded else { return };
@@ -160,6 +154,7 @@ impl Memtable {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::types::{AddOperator, AppendOperator};
 
@@ -183,7 +178,11 @@ mod tests {
         let mut m = Memtable::new();
         m.insert(b("k"), Versioned::put(1, b("short")), &AppendOperator);
         let after_first = m.approx_bytes();
-        m.insert(b("k"), Versioned::put(2, b("a much longer value")), &AppendOperator);
+        m.insert(
+            b("k"),
+            Versioned::put(2, b("a much longer value")),
+            &AppendOperator,
+        );
         assert!(m.approx_bytes() > after_first);
         m.insert(b("k"), Versioned::put(3, b("s")), &AppendOperator);
         assert_eq!(m.approx_bytes(), ENTRY_OVERHEAD + 1 + 1);
@@ -213,7 +212,11 @@ mod tests {
     fn delta_over_tombstone_becomes_base() {
         let mut m = Memtable::new();
         m.insert(b("k"), Versioned::tombstone(1), &AddOperator);
-        m.insert(b("k"), Versioned::delta(2, Bytes::copy_from_slice(&7i64.to_le_bytes())), &AddOperator);
+        m.insert(
+            b("k"),
+            Versioned::delta(2, Bytes::copy_from_slice(&7i64.to_le_bytes())),
+            &AddOperator,
+        );
         match &m.get(b"k").unwrap().entry {
             Entry::Put(v) => assert_eq!(i64::from_le_bytes(v[..8].try_into().unwrap()), 7),
             other => panic!("expected Put, got {other:?}"),

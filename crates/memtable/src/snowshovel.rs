@@ -290,6 +290,7 @@ where
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::types::AppendOperator;
 
@@ -358,7 +359,10 @@ mod tests {
         for i in 10..100u64 {
             // Keep inserting sorted keys while draining: every insert is
             // ahead of the cursor, so the pass never ends.
-            while buf.peek_drain().map(|k| k < &b(&format!("k{i:02}"))).unwrap_or(false) {
+            while buf
+                .peek_drain()
+                .is_some_and(|k| k < &b(&format!("k{i:02}")))
+            {
                 buf.drain_next().unwrap();
                 drained += 1;
             }

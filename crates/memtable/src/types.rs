@@ -49,17 +49,26 @@ pub struct Versioned {
 impl Versioned {
     /// Convenience constructor for a base record.
     pub fn put(seqno: SeqNo, value: impl Into<Bytes>) -> Versioned {
-        Versioned { seqno, entry: Entry::Put(value.into()) }
+        Versioned {
+            seqno,
+            entry: Entry::Put(value.into()),
+        }
     }
 
     /// Convenience constructor for a delta.
     pub fn delta(seqno: SeqNo, delta: impl Into<Bytes>) -> Versioned {
-        Versioned { seqno, entry: Entry::Delta(delta.into()) }
+        Versioned {
+            seqno,
+            entry: Entry::Delta(delta.into()),
+        }
     }
 
     /// Convenience constructor for a tombstone.
     pub fn tombstone(seqno: SeqNo) -> Versioned {
-        Versioned { seqno, entry: Entry::Tombstone }
+        Versioned {
+            seqno,
+            entry: Entry::Tombstone,
+        }
     }
 }
 
@@ -80,7 +89,7 @@ pub trait MergeOperator: Send + Sync {
     /// Folds a stack of deltas (newest first, as collected by a read that
     /// walked components newest→oldest) onto a base value.
     fn fold(&self, base: Option<&[u8]>, deltas_newest_first: &[&[u8]]) -> Vec<u8> {
-        let mut acc: Option<Vec<u8>> = base.map(|b| b.to_vec());
+        let mut acc: Option<Vec<u8>> = base.map(<[u8]>::to_vec);
         for delta in deltas_newest_first.iter().rev() {
             acc = Some(self.apply(acc.as_deref(), delta));
         }
@@ -95,7 +104,7 @@ pub struct AppendOperator;
 
 impl MergeOperator for AppendOperator {
     fn apply(&self, base: Option<&[u8]>, delta: &[u8]) -> Vec<u8> {
-        let mut out = base.map(|b| b.to_vec()).unwrap_or_default();
+        let mut out = base.map(<[u8]>::to_vec).unwrap_or_default();
         out.extend_from_slice(delta);
         out
     }
@@ -122,7 +131,7 @@ impl AddOperator {
 
 impl MergeOperator for AddOperator {
     fn apply(&self, base: Option<&[u8]>, delta: &[u8]) -> Vec<u8> {
-        let b = base.map(Self::decode).unwrap_or(0);
+        let b = base.map_or(0, Self::decode);
         let d = Self::decode(delta);
         b.wrapping_add(d).to_le_bytes().to_vec()
     }
@@ -173,7 +182,10 @@ pub fn merge_versions(
             Entry::Delta(d) => deltas.push(d),
             Entry::Put(base) => {
                 if deltas.is_empty() {
-                    return Some(Versioned { seqno: newest_seq, entry: v.entry.clone() });
+                    return Some(Versioned {
+                        seqno: newest_seq,
+                        entry: v.entry.clone(),
+                    });
                 }
                 let merged = op.fold(Some(base), &deltas);
                 return Some(Versioned::put(newest_seq, bytes::Bytes::from(merged)));
@@ -197,12 +209,15 @@ pub fn merge_versions(
             bytes::Bytes::copy_from_slice(deltas[0]),
         ));
     }
-    let mut acc = deltas.pop().expect("at least one delta").to_vec();
+    let mut acc = deltas.pop()?.to_vec(); // non-empty: versions is non-empty, all deltas
     while let Some(newer) = deltas.pop() {
         acc = op.merge_deltas(&acc, newer);
     }
     if bottom {
-        Some(Versioned::put(newest_seq, bytes::Bytes::from(op.apply(None, &acc))))
+        Some(Versioned::put(
+            newest_seq,
+            bytes::Bytes::from(op.apply(None, &acc)),
+        ))
     } else {
         Some(Versioned::delta(newest_seq, bytes::Bytes::from(acc)))
     }
@@ -210,6 +225,7 @@ pub fn merge_versions(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

@@ -1,12 +1,17 @@
 //! Property-based tests for `C0`: folding semantics and snowshoveling
 //! invariants under arbitrary interleavings.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    missing_debug_implementations
+)]
+
 use bytes::Bytes;
 use proptest::prelude::*;
 
 use blsm_memtable::{
-    merge_versions, AddOperator, AppendOperator, Entry, Memtable,
-    SnowshovelBuffer, Versioned,
+    merge_versions, AddOperator, AppendOperator, Entry, Memtable, SnowshovelBuffer, Versioned,
 };
 
 fn key(k: u8) -> Bytes {

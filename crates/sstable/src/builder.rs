@@ -66,6 +66,14 @@ pub struct SstableBuilder {
     last_key: Option<Bytes>,
 }
 
+impl std::fmt::Debug for SstableBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SstableBuilder")
+            .field("region", &self.region)
+            .finish_non_exhaustive()
+    }
+}
+
 impl SstableBuilder {
     /// Starts building into `region` (which must be generously sized; the
     /// unused tail can be freed after [`finish`](Self::finish)).
@@ -142,7 +150,10 @@ impl SstableBuilder {
             }
             encode_entry(&mut self.leaf, key, v);
             self.leaf_count += 1;
-            self.leaf_entries.push(EntryRef { key: key.clone(), version: v.clone() });
+            self.leaf_entries.push(EntryRef {
+                key: key.clone(),
+                version: v.clone(),
+            });
         }
         self.bloom.insert(key);
         self.entry_count += 1;
@@ -164,7 +175,11 @@ impl SstableBuilder {
         if self.leaf_count == 0 {
             return Ok(());
         }
-        let first_key = self.leaf_first_key.take().expect("leaf has entries");
+        let Some(first_key) = self.leaf_first_key.take() else {
+            return Err(StorageError::Corruption(
+                "open leaf has entries but no first key".into(),
+            ));
+        };
         let mut page = Page::new(PageType::Data);
         write_data_page_header(page.payload_mut(), self.leaf_count, 0);
         page.payload_mut()[DATA_PAGE_HEADER..DATA_PAGE_HEADER + self.leaf.len()]
@@ -323,7 +338,11 @@ impl SstableBuilder {
             entry_count: self.entry_count,
             data_bytes: self.data_bytes,
             tombstones: self.tombstones,
-            min_seqno: if self.entry_count == 0 { 0 } else { self.min_seqno },
+            min_seqno: if self.entry_count == 0 {
+                0
+            } else {
+                self.min_seqno
+            },
             max_seqno: self.max_seqno,
             min_key: self.min_key.clone().unwrap_or_default(),
             max_key: self.last_key.clone().unwrap_or_default(),
@@ -336,7 +355,10 @@ impl SstableBuilder {
         self.emit_page(page)?;
         self.flush_chunk()?;
 
-        let used = Region { start: self.region.start, pages: self.next_page };
+        let used = Region {
+            start: self.region.start,
+            pages: self.next_page,
+        };
         Ok(Sstable::assemble(
             self.pool.clone(),
             used,
@@ -350,6 +372,12 @@ impl SstableBuilder {
 /// Read access to a partially built component.
 pub struct BuilderView<'a> {
     builder: &'a SstableBuilder,
+}
+
+impl std::fmt::Debug for BuilderView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuilderView").finish_non_exhaustive()
+    }
 }
 
 impl<'a> BuilderView<'a> {
@@ -410,6 +438,14 @@ pub struct BuilderIter<'a> {
     emitted_open_leaf: bool,
 }
 
+impl std::fmt::Debug for BuilderIter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuilderIter")
+            .field("next_leaf", &self.next_leaf)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Iterator for BuilderIter<'_> {
     type Item = Result<EntryRef>;
 
@@ -443,6 +479,7 @@ impl Iterator for BuilderIter<'_> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use blsm_storage::device::Device;
     use blsm_storage::{DiskModel, MemDevice, SimDevice};
@@ -458,11 +495,17 @@ mod tests {
     #[test]
     fn build_and_read_back() {
         let pool = pool();
-        let region = Region { start: blsm_storage::PageId(0), pages: 512 };
+        let region = Region {
+            start: blsm_storage::PageId(0),
+            pages: 512,
+        };
         let mut b = SstableBuilder::new(pool.clone(), region, 1000);
         for i in 0..1000u32 {
-            b.add(&key(i), &Versioned::put(u64::from(i), Bytes::from(vec![i as u8; 100])))
-                .unwrap();
+            b.add(
+                &key(i),
+                &Versioned::put(u64::from(i), Bytes::from(vec![i as u8; 100])),
+            )
+            .unwrap();
         }
         let table = b.finish().unwrap();
         assert_eq!(table.meta().entry_count, 1000);
@@ -476,12 +519,18 @@ mod tests {
     #[test]
     fn view_reads_flushed_and_buffered_entries() {
         let pool = pool();
-        let region = Region { start: blsm_storage::PageId(0), pages: 512 };
+        let region = Region {
+            start: blsm_storage::PageId(0),
+            pages: 512,
+        };
         // Small flush chunk so some pages are on device, some buffered.
         let mut b = SstableBuilder::new(pool, region, 500).with_flush_pages(2);
         for i in 0..500u32 {
-            b.add(&key(i), &Versioned::put(u64::from(i), Bytes::from(vec![0u8; 50])))
-                .unwrap();
+            b.add(
+                &key(i),
+                &Versioned::put(u64::from(i), Bytes::from(vec![0u8; 50])),
+            )
+            .unwrap();
         }
         let view = b.view();
         for i in (0..500u32).step_by(13) {
@@ -495,10 +544,14 @@ mod tests {
     #[test]
     fn view_iter_is_ordered_and_complete() {
         let pool = pool();
-        let region = Region { start: blsm_storage::PageId(0), pages: 512 };
+        let region = Region {
+            start: blsm_storage::PageId(0),
+            pages: 512,
+        };
         let mut b = SstableBuilder::new(pool, region, 300).with_flush_pages(2);
         for i in 0..300u32 {
-            b.add(&key(i), &Versioned::put(1, Bytes::from_static(b"v"))).unwrap();
+            b.add(&key(i), &Versioned::put(1, Bytes::from_static(b"v")))
+                .unwrap();
         }
         let got: Vec<_> = b
             .view()
@@ -513,17 +566,19 @@ mod tests {
     #[test]
     fn spanning_records_roundtrip() {
         let pool = pool();
-        let region = Region { start: blsm_storage::PageId(0), pages: 512 };
+        let region = Region {
+            start: blsm_storage::PageId(0),
+            pages: 512,
+        };
         let mut b = SstableBuilder::new(pool, region, 10);
         let big = Bytes::from(vec![7u8; 20_000]);
-        b.add(&key(0), &Versioned::put(1, Bytes::from_static(b"small"))).unwrap();
+        b.add(&key(0), &Versioned::put(1, Bytes::from_static(b"small")))
+            .unwrap();
         b.add(&key(1), &Versioned::put(2, big.clone())).unwrap();
-        b.add(&key(2), &Versioned::put(3, Bytes::from_static(b"after"))).unwrap();
+        b.add(&key(2), &Versioned::put(3, Bytes::from_static(b"after")))
+            .unwrap();
         let table = b.finish().unwrap();
-        assert_eq!(
-            table.get(&key(1)).unwrap().unwrap().entry,
-            Entry::Put(big)
-        );
+        assert_eq!(table.get(&key(1)).unwrap().unwrap().entry, Entry::Put(big));
         assert_eq!(
             table.get(&key(2)).unwrap().unwrap().entry,
             Entry::Put(Bytes::from_static(b"after"))
@@ -533,7 +588,10 @@ mod tests {
     #[test]
     fn out_of_order_add_panics() {
         let pool = pool();
-        let region = Region { start: blsm_storage::PageId(0), pages: 64 };
+        let region = Region {
+            start: blsm_storage::PageId(0),
+            pages: 64,
+        };
         let mut b = SstableBuilder::new(pool, region, 10);
         b.add(&key(5), &Versioned::put(1, Bytes::new())).unwrap();
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -545,7 +603,10 @@ mod tests {
     #[test]
     fn region_overflow_is_an_error() {
         let pool = pool();
-        let region = Region { start: blsm_storage::PageId(0), pages: 2 };
+        let region = Region {
+            start: blsm_storage::PageId(0),
+            pages: 2,
+        };
         let mut b = SstableBuilder::new(pool, region, 10);
         let val = Bytes::from(vec![0u8; 3000]);
         let mut hit_error = false;
@@ -564,16 +625,24 @@ mod tests {
     fn chunked_writes_are_sequential_on_device() {
         let dev = Arc::new(SimDevice::new(DiskModel::hdd()));
         let pool = Arc::new(BufferPool::new(dev.clone(), 1024));
-        let region = Region { start: blsm_storage::PageId(0), pages: 2048 };
+        let region = Region {
+            start: blsm_storage::PageId(0),
+            pages: 2048,
+        };
         let mut b = SstableBuilder::new(pool, region, 2000);
         for i in 0..2000u32 {
-            b.add(&key(i), &Versioned::put(1, Bytes::from(vec![0u8; 900]))).unwrap();
+            b.add(&key(i), &Versioned::put(1, Bytes::from(vec![0u8; 900])))
+                .unwrap();
         }
         let table = b.finish().unwrap();
         let stats = dev.stats();
         // ~2000 entries * ~912B = ~450 pages; at 64-page chunks that is a
         // handful of device writes, all but the first sequential.
-        assert!(stats.random_writes <= 2, "random writes: {}", stats.random_writes);
+        assert!(
+            stats.random_writes <= 2,
+            "random writes: {}",
+            stats.random_writes
+        );
         assert!(stats.sequential_writes >= 5);
         assert!(table.meta().n_data_pages >= 400);
     }

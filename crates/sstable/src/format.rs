@@ -14,9 +14,9 @@
 
 use bytes::Bytes;
 
+use blsm_memtable::{Entry, Versioned};
 use blsm_storage::codec::{self, Reader};
 use blsm_storage::{Result, StorageError};
-use blsm_memtable::{Entry, Versioned};
 
 /// Borrowed view of a decoded entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,10 +74,15 @@ pub fn decode_entry(r: &mut Reader<'_>) -> Result<EntryRef> {
         1 => Entry::Delta(Bytes::copy_from_slice(r.bytes()?)),
         2 => Entry::Tombstone,
         other => {
-            return Err(StorageError::InvalidFormat(format!("bad entry kind {other}")))
+            return Err(StorageError::InvalidFormat(format!(
+                "bad entry kind {other}"
+            )))
         }
     };
-    Ok(EntryRef { key, version: Versioned { seqno, entry } })
+    Ok(EntryRef {
+        key,
+        version: Versioned { seqno, entry },
+    })
 }
 
 /// Header bytes at the start of every data page payload.
@@ -89,10 +94,20 @@ pub fn write_data_page_header(payload: &mut [u8], count: u16, overflow_pages: u1
     payload[2..4].copy_from_slice(&overflow_pages.to_le_bytes());
 }
 
+/// Reads a little-endian `u16` from the first 2 bytes of `b`.
+///
+/// # Panics
+/// Panics if `b` is shorter than 2 bytes.
+pub(crate) fn le_u16(b: &[u8]) -> u16 {
+    let mut a = [0u8; 2];
+    a.copy_from_slice(&b[..2]);
+    u16::from_le_bytes(a)
+}
+
 /// Reads `(count, overflow_pages)` from a data page payload.
 pub fn read_data_page_header(payload: &[u8]) -> (u16, u16) {
-    let count = u16::from_le_bytes(payload[0..2].try_into().unwrap());
-    let overflow = u16::from_le_bytes(payload[2..4].try_into().unwrap());
+    let count = le_u16(&payload[0..2]);
+    let overflow = le_u16(&payload[2..4]);
     (count, overflow)
 }
 
@@ -143,12 +158,16 @@ pub fn parse_data_page(payload: &[u8], overflow: &[u8]) -> Result<Vec<EntryRef>>
     } else {
         Entry::Delta(Bytes::from(val))
     };
-    entries.push(EntryRef { key, version: Versioned { seqno, entry } });
+    entries.push(EntryRef {
+        key,
+        version: Versioned { seqno, entry },
+    });
     Ok(entries)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn v_put(seq: u64, val: &[u8]) -> Versioned {

@@ -17,7 +17,7 @@ use bytes::Bytes;
 
 use blsm_memtable::{merge_versions, MergeOperator};
 use blsm_storage::page::{Page, PAGE_SIZE};
-use blsm_storage::Result;
+use blsm_storage::{Result, StorageError};
 
 use crate::format::{self, parse_data_page, EntryRef};
 use crate::table::Sstable;
@@ -43,6 +43,14 @@ pub struct SstIterator {
     /// Prefetch buffer: raw page images starting at `buf_start`.
     buf: Vec<u8>,
     buf_start: u64,
+}
+
+impl std::fmt::Debug for SstIterator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SstIterator")
+            .field("next_leaf_pos", &self.next_leaf_pos)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SstIterator {
@@ -75,7 +83,10 @@ impl SstIterator {
                 if idx < self.buf_start || idx >= self.buf_start + have {
                     // Prefetch a chunk, clamped to the data area.
                     let n_data = self.table.meta().n_data_pages;
-                    let n = (readahead as u64).max(1).min(n_data.saturating_sub(idx)).max(1);
+                    let n = (readahead as u64)
+                        .max(1)
+                        .min(n_data.saturating_sub(idx))
+                        .max(1);
                     self.buf.resize((n as usize) * PAGE_SIZE, 0);
                     let off = self.table.region().page(idx).offset();
                     self.table.pool().device().read_at(off, &mut self.buf)?;
@@ -105,7 +116,8 @@ impl SstIterator {
             let opage = self.fetch_page(leaf_idx + 1 + i)?;
             overflow.extend_from_slice(opage.payload());
         }
-        self.pending.extend(parse_data_page(page.payload(), &overflow)?);
+        self.pending
+            .extend(parse_data_page(page.payload(), &overflow)?);
         Ok(true)
     }
 }
@@ -116,15 +128,17 @@ impl Iterator for SstIterator {
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             if let Some(e) = self.pending.pop_front() {
-                if let Some(from) = &self.skip_below {
-                    if e.key.as_ref() < from.as_slice() {
-                        continue;
-                    }
+                let skip = self
+                    .skip_below
+                    .as_ref()
+                    .is_some_and(|from| e.key.as_ref() < from.as_slice());
+                if skip {
+                    continue; // drain pending before touching the next leaf
                 }
                 return Some(Ok(e));
             }
             match self.load_next_leaf() {
-                Ok(true) => continue,
+                Ok(true) => {} // another leaf queued; retry pending
                 Ok(false) => return None,
                 Err(e) => return Some(Err(e)),
             }
@@ -145,6 +159,16 @@ pub struct MergeIter<'a> {
     op: Arc<dyn MergeOperator>,
     bottom: bool,
     errored: bool,
+}
+
+impl std::fmt::Debug for MergeIter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergeIter")
+            .field("streams", &self.streams.len())
+            .field("bottom", &self.bottom)
+            .field("errored", &self.errored)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> MergeIter<'a> {
@@ -181,8 +205,14 @@ impl Iterator for MergeIter<'_> {
                     Some(Ok(_)) => {}
                     Some(Err(_)) => {
                         self.errored = true;
-                        // Surface the error by consuming it.
-                        let err = s.next().expect("peeked").unwrap_err();
+                        // Surface the error by consuming it; peek() just
+                        // returned Err, so next() must yield the same entry.
+                        let err = match s.next() {
+                            Some(Err(err)) => err,
+                            _ => StorageError::Corruption(
+                                "error entry vanished between peek and next".into(),
+                            ),
+                        };
                         return Some(Err(err));
                     }
                     None => {}
@@ -192,16 +222,16 @@ impl Iterator for MergeIter<'_> {
             // Collect all versions of that key, newest stream first.
             let mut versions = Vec::new();
             for s in &mut self.streams {
-                if let Some(Ok(e)) = s.peek() {
-                    if e.key == key {
-                        let e = s.next().expect("peeked").expect("ok");
+                let has_key = matches!(s.peek(), Some(Ok(e)) if e.key == key);
+                if has_key {
+                    if let Some(Ok(e)) = s.next() {
                         versions.push(e.version);
                     }
                 }
             }
-            match merge_versions(self.op.as_ref(), &versions, self.bottom) {
-                Some(version) => return Some(Ok(EntryRef { key, version })),
-                None => continue, // dropped (bottom-level tombstone)
+            // `None` means dropped (bottom-level tombstone): keep looping.
+            if let Some(version) = merge_versions(self.op.as_ref(), &versions, self.bottom) {
+                return Some(Ok(EntryRef { key, version }));
             }
         }
     }
@@ -209,6 +239,7 @@ impl Iterator for MergeIter<'_> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::builder::SstableBuilder;
     use blsm_memtable::{merge_versions, AddOperator, AppendOperator, Entry, Versioned};
@@ -223,7 +254,10 @@ mod tests {
         start_page: u64,
         entries: &[(&str, Versioned)],
     ) -> Arc<Sstable> {
-        let region = Region { start: PageId(start_page), pages: 1024 };
+        let region = Region {
+            start: PageId(start_page),
+            pages: 1024,
+        };
         let mut b = SstableBuilder::new(pool.clone(), region, entries.len() as u64);
         for (k, v) in entries {
             b.add(&Bytes::copy_from_slice(k.as_bytes()), v).unwrap();
@@ -241,8 +275,10 @@ mod tests {
         let entries: Vec<(String, Versioned)> = (0..3000u32)
             .map(|i| (format!("k{i:06}"), put(1, "v")))
             .collect();
-        let refs: Vec<(&str, Versioned)> =
-            entries.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let refs: Vec<(&str, Versioned)> = entries
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect();
         let t = build_table(&pool, 0, &refs);
         for mode in [ReadMode::Pooled, ReadMode::Buffered(16)] {
             let keys: Vec<_> = t.iter(mode).map(|r| r.unwrap().key).collect();
@@ -254,10 +290,13 @@ mod tests {
     #[test]
     fn iter_from_starts_at_bound() {
         let pool = pool();
-        let entries: Vec<(String, Versioned)> =
-            (0..100u32).map(|i| (format!("k{i:03}"), put(1, "v"))).collect();
-        let refs: Vec<(&str, Versioned)> =
-            entries.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let entries: Vec<(String, Versioned)> = (0..100u32)
+            .map(|i| (format!("k{i:03}"), put(1, "v")))
+            .collect();
+        let refs: Vec<(&str, Versioned)> = entries
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect();
         let t = build_table(&pool, 0, &refs);
         let keys: Vec<_> = t
             .iter_from(b"k050", ReadMode::Pooled)
@@ -281,8 +320,10 @@ mod tests {
         let entries: Vec<(String, Versioned)> = (0..5000u32)
             .map(|i| (format!("k{i:06}"), put(1, &"x".repeat(100))))
             .collect();
-        let refs: Vec<(&str, Versioned)> =
-            entries.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let refs: Vec<(&str, Versioned)> = entries
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect();
         let t = build_table(&pool, 0, &refs);
         pool.drop_clean();
         let before = dev.stats();
@@ -296,12 +337,7 @@ mod tests {
     #[test]
     fn merge_versions_newest_base_wins() {
         let op = AppendOperator;
-        let v = merge_versions(
-            &op,
-            &[put(5, "new"), put(3, "old")],
-            false,
-        )
-        .unwrap();
+        let v = merge_versions(&op, &[put(5, "new"), put(3, "old")], false).unwrap();
         assert_eq!(v.entry, Entry::Put(Bytes::from_static(b"new")));
         assert_eq!(v.seqno, 5);
     }
@@ -333,7 +369,10 @@ mod tests {
         // Deltas newer than a tombstone rebuild from nothing.
         let v = merge_versions(
             &op,
-            &[Versioned::delta(6, Bytes::from_static(b"d")), Versioned::tombstone(5)],
+            &[
+                Versioned::delta(6, Bytes::from_static(b"d")),
+                Versioned::tombstone(5),
+            ],
             false,
         )
         .unwrap();
@@ -364,7 +403,11 @@ mod tests {
         let old = build_table(
             &pool,
             0,
-            &[("a", put(1, "a-old")), ("b", put(2, "b-old")), ("d", put(3, "d-old"))],
+            &[
+                ("a", put(1, "a-old")),
+                ("b", put(2, "b-old")),
+                ("d", put(3, "d-old")),
+            ],
         );
         let new = build_table(
             &pool,

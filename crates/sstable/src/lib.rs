@@ -28,8 +28,8 @@ mod format;
 mod iter;
 mod table;
 
+pub use blsm_memtable::merge_versions;
 pub use builder::SstableBuilder;
 pub use format::{decode_entry, encode_entry, EntryRef};
-pub use blsm_memtable::merge_versions;
 pub use iter::{EntryStream, MergeIter, ReadMode, SstIterator};
 pub use table::{Sstable, SstableMeta};

@@ -103,6 +103,15 @@ pub struct Sstable {
     bloom: Arc<BloomFilter>,
 }
 
+impl std::fmt::Debug for Sstable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sstable")
+            .field("region", &self.region)
+            .field("meta", &self.meta)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Sstable {
     pub(crate) fn assemble(
         pool: Arc<BufferPool>,
@@ -111,7 +120,13 @@ impl Sstable {
         index: Vec<(Bytes, u32)>,
         bloom: Arc<BloomFilter>,
     ) -> Sstable {
-        Sstable { pool, region, meta, index, bloom }
+        Sstable {
+            pool,
+            region,
+            meta,
+            index,
+            bloom,
+        }
     }
 
     /// Opens a component from a region whose last page is its footer —
@@ -137,7 +152,7 @@ impl Sstable {
                 return Err(StorageError::InvalidFormat("expected index page".into()));
             }
             let payload = page.payload();
-            let count = u16::from_le_bytes(payload[..2].try_into().unwrap());
+            let count = format::le_u16(&payload[..2]);
             let mut r = Reader::new(&payload[2..]);
             for _ in 0..count {
                 let key = Bytes::copy_from_slice(r.bytes()?);
@@ -160,9 +175,8 @@ impl Sstable {
             remaining -= n;
             i += 1;
         }
-        let bloom = BloomFilter::from_bytes(&bloom_bytes).ok_or_else(|| {
-            StorageError::InvalidFormat("corrupt bloom filter image".into())
-        })?;
+        let bloom = BloomFilter::from_bytes(&bloom_bytes)
+            .ok_or_else(|| StorageError::InvalidFormat("corrupt bloom filter image".into()))?;
 
         Ok(Sstable {
             pool,
@@ -286,6 +300,98 @@ impl Sstable {
         &self.index
     }
 
+    /// Verifies the component's structural invariants: the in-RAM leaf
+    /// fences are strictly ascending and agree with the footer's key range,
+    /// and — for up to `max_leaves` leaves sampled starting at `offset`
+    /// (wrapping, so successive calls rotate coverage) — leaf entries are
+    /// strictly ascending, sit inside their fence interval, and probe
+    /// positive in the Bloom filter. A stored key the filter denies would
+    /// be a lost read: §4.4.3 tolerates false positives, never false
+    /// negatives.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::Corruption`] naming the first violated
+    /// invariant, or propagates device errors from the sampled leaf reads.
+    pub fn verify_integrity(&self, max_leaves: usize, offset: usize) -> Result<()> {
+        fn broken(what: String) -> StorageError {
+            StorageError::Corruption(format!("sstable invariant violated: {what}"))
+        }
+        if self.meta.entry_count == 0 {
+            return Ok(());
+        }
+        if self.meta.min_key > self.meta.max_key {
+            return Err(broken(format!(
+                "footer key range inverted: {:?} > {:?}",
+                self.meta.min_key, self.meta.max_key
+            )));
+        }
+        for (i, w) in self.index.windows(2).enumerate() {
+            if w[0].0 >= w[1].0 {
+                return Err(broken(format!(
+                    "leaf fences out of order at {i}: {:?} >= {:?}",
+                    w[0].0, w[1].0
+                )));
+            }
+        }
+        match self.index.first() {
+            Some((first, _)) if *first == self.meta.min_key => {}
+            Some((first, _)) => {
+                return Err(broken(format!(
+                    "first fence {first:?} != footer min_key {:?}",
+                    self.meta.min_key
+                )))
+            }
+            None => return Err(broken("entries recorded but no leaf fences".into())),
+        }
+
+        let n = self.index.len();
+        let sample = max_leaves.min(n).max(1);
+        for s in 0..sample {
+            let li = (offset + s * n / sample) % n;
+            let (fence, page_idx) = &self.index[li];
+            let upper = self.index.get(li + 1).map(|(k, _)| k);
+            let entries = self.read_leaf(u64::from(*page_idx))?;
+            let mut prev: Option<&Bytes> = None;
+            for e in &entries {
+                if prev.is_some_and(|p| *p >= e.key) {
+                    return Err(broken(format!(
+                        "leaf {li} keys out of order: {prev:?} >= {:?}",
+                        e.key
+                    )));
+                }
+                prev = Some(&e.key);
+                if e.key < *fence || upper.is_some_and(|u| e.key >= *u) {
+                    return Err(broken(format!(
+                        "leaf {li} key {:?} outside fence interval [{fence:?}, {upper:?})",
+                        e.key
+                    )));
+                }
+                if e.key > self.meta.max_key {
+                    return Err(broken(format!(
+                        "leaf {li} key {:?} above footer max_key {:?}",
+                        e.key, self.meta.max_key
+                    )));
+                }
+                if !self.bloom.contains(&e.key) {
+                    return Err(broken(format!(
+                        "bloom filter denies stored key {:?} (false negative)",
+                        e.key
+                    )));
+                }
+            }
+            match entries.first() {
+                Some(e) if e.key == *fence => {}
+                _ => {
+                    return Err(broken(format!(
+                        "leaf {li} first entry does not match its fence {fence:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Drops this component's pages from the buffer pool cache (used after
     /// a merge retires the component and its region is freed).
     pub fn evict_from_pool(&self) {
@@ -297,6 +403,7 @@ impl Sstable {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::builder::SstableBuilder;
     use blsm_storage::{MemDevice, PageId};
@@ -306,7 +413,10 @@ mod tests {
     }
 
     fn build(pool: &Arc<BufferPool>, n: u32, start_page: u64) -> Sstable {
-        let region = Region { start: PageId(start_page), pages: 1024 };
+        let region = Region {
+            start: PageId(start_page),
+            pages: 1024,
+        };
         let mut b = SstableBuilder::new(pool.clone(), region, u64::from(n));
         for i in 0..n {
             b.add(
@@ -369,7 +479,11 @@ mod tests {
         let v = t.get(b"key00001000").unwrap();
         assert!(v.is_some());
         let d = dev.stats().delta_since(&before);
-        assert_eq!(d.random_reads + d.sequential_reads, 1, "exactly one page read");
+        assert_eq!(
+            d.random_reads + d.sequential_reads,
+            1,
+            "exactly one page read"
+        );
     }
 
     #[test]
@@ -392,7 +506,10 @@ mod tests {
         }
         let d = dev.stats().delta_since(&before);
         // ~1% false positive rate ⇒ ~10 probes out of 1000.
-        assert!(probed <= 40, "bloom let {probed} of 1000 absent probes through");
+        assert!(
+            probed <= 40,
+            "bloom let {probed} of 1000 absent probes through"
+        );
         // Each false positive costs at most one leaf read (repeat probes of
         // the same leaf hit the pool cache).
         assert!(d.bytes_read <= u64::from(probed) * 4096);
@@ -412,7 +529,10 @@ mod tests {
     #[test]
     fn empty_table_roundtrip() {
         let pool = pool();
-        let region = Region { start: PageId(0), pages: 16 };
+        let region = Region {
+            start: PageId(0),
+            pages: 16,
+        };
         let b = SstableBuilder::new(pool.clone(), region, 1);
         let t = b.finish().unwrap();
         assert_eq!(t.entry_count(), 0);

@@ -1,5 +1,11 @@
 //! Property-based tests for on-disk components.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    missing_debug_implementations
+)]
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -15,7 +21,10 @@ fn pool() -> Arc<BufferPool> {
 }
 
 fn build(pool: &Arc<BufferPool>, start: u64, entries: &BTreeMap<Bytes, Versioned>) -> Arc<Sstable> {
-    let region = Region { start: PageId(start), pages: 8192 };
+    let region = Region {
+        start: PageId(start),
+        pages: 8192,
+    };
     let mut b = SstableBuilder::new(pool.clone(), region, entries.len() as u64);
     for (k, v) in entries {
         b.add(k, v).unwrap();
@@ -26,13 +35,16 @@ fn build(pool: &Arc<BufferPool>, start: u64, entries: &BTreeMap<Bytes, Versioned
 fn arb_entries(max: usize) -> impl Strategy<Value = BTreeMap<Bytes, Versioned>> {
     proptest::collection::btree_map(
         proptest::collection::vec(any::<u8>(), 1..24).prop_map(Bytes::from),
-        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..2048), 0u8..3).prop_map(
-            |(seq, val, kind)| match kind {
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..2048),
+            0u8..3,
+        )
+            .prop_map(|(seq, val, kind)| match kind {
                 0 => Versioned::put(seq, Bytes::from(val)),
                 1 => Versioned::delta(seq, Bytes::from(val)),
                 _ => Versioned::tombstone(seq),
-            },
-        ),
+            }),
         1..max,
     )
 }

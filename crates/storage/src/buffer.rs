@@ -52,6 +52,14 @@ pub struct BufferPool {
     inner: Mutex<Inner>,
 }
 
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
 impl BufferPool {
     /// Creates a pool caching at most `capacity` pages.
     pub fn new(device: SharedDevice, capacity: usize) -> BufferPool {
@@ -83,6 +91,11 @@ impl BufferPool {
     }
 
     /// Reads a page, from cache if possible.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device read fails, the page's checksum does not
+    /// verify, or a dirty victim cannot be written back during eviction.
     pub fn read(&self, pid: PageId) -> Result<SharedPage> {
         {
             let mut inner = self.inner.lock();
@@ -107,6 +120,11 @@ impl BufferPool {
     /// Installs a new or modified page as dirty. The page is sealed
     /// (checksummed) immediately; writeback happens on eviction or
     /// [`flush`](Self::flush).
+    ///
+    /// # Errors
+    ///
+    /// Fails if making room requires evicting a dirty page and that
+    /// writeback fails.
     pub fn write(&self, pid: PageId, mut page: Page) -> Result<()> {
         page.seal();
         let mut inner = self.inner.lock();
@@ -115,6 +133,11 @@ impl BufferPool {
 
     /// Writes a page straight through to the device and caches it clean.
     /// Used where the caller needs the bytes durable immediately.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device write fails, or if eviction of a dirty victim
+    /// fails while caching the page.
     pub fn write_through(&self, pid: PageId, mut page: Page) -> Result<()> {
         page.seal();
         self.device.write_at(pid.offset(), page.raw())?;
@@ -136,7 +159,14 @@ impl BufferPool {
                 frame.dirty |= dirty;
             }
             None => {
-                inner.frames.insert(pid, Frame { page, referenced: true, dirty });
+                inner.frames.insert(
+                    pid,
+                    Frame {
+                        page,
+                        referenced: true,
+                        dirty,
+                    },
+                );
                 inner.clock.push_back(pid);
             }
         }
@@ -160,7 +190,9 @@ impl BufferPool {
                 inner.clock.push_back(pid);
                 continue;
             }
-            let frame = inner.frames.remove(&pid).expect("frame present");
+            let Some(frame) = inner.frames.remove(&pid) else {
+                continue; // unreachable: presence checked above, same lock held
+            };
             if frame.dirty {
                 self.device.write_at(pid.offset(), frame.page.raw())?;
                 inner.stats.writebacks += 1;
@@ -172,6 +204,11 @@ impl BufferPool {
 
     /// Writes back every dirty page, in page-id order (sequential-friendly,
     /// per Stasis' improved writeback policy), leaving them cached clean.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any page writeback fails; earlier pages may already have
+    /// been written.
     pub fn flush(&self) -> Result<()> {
         let mut inner = self.inner.lock();
         let mut dirty: Vec<PageId> = inner
@@ -182,7 +219,9 @@ impl BufferPool {
             .collect();
         dirty.sort_unstable();
         for pid in dirty {
-            let frame = inner.frames.get_mut(&pid).expect("frame present");
+            let Some(frame) = inner.frames.get_mut(&pid) else {
+                continue; // unreachable: pid collected from this map, same lock held
+            };
             self.device.write_at(pid.offset(), frame.page.raw())?;
             frame.dirty = false;
             inner.stats.writebacks += 1;
@@ -225,9 +264,10 @@ impl BufferPool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
-    use crate::device::MemDevice;
     use crate::device::Device;
+    use crate::device::MemDevice;
     use crate::page::PageType;
     use std::sync::Arc;
 

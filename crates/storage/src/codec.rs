@@ -45,7 +45,38 @@ pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     out.extend_from_slice(b);
 }
 
+/// Reads a little-endian `u16` from the first 2 bytes of `b`.
+///
+/// # Panics
+/// Panics if `b` is shorter than 2 bytes.
+pub fn le_u16(b: &[u8]) -> u16 {
+    let mut a = [0u8; 2];
+    a.copy_from_slice(&b[..2]);
+    u16::from_le_bytes(a)
+}
+
+/// Reads a little-endian `u32` from the first 4 bytes of `b`.
+///
+/// # Panics
+/// Panics if `b` is shorter than 4 bytes.
+pub fn le_u32(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[..4]);
+    u32::from_le_bytes(a)
+}
+
+/// Reads a little-endian `u64` from the first 8 bytes of `b`.
+///
+/// # Panics
+/// Panics if `b` is shorter than 8 bytes.
+pub fn le_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(a)
+}
+
 /// Cursor for decoding buffers produced with the `put_*` helpers.
+#[derive(Debug)]
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -80,26 +111,47 @@ impl<'a> Reader<'a> {
     }
 
     /// Decodes a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::InvalidFormat`] if the input is exhausted.
     pub fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
     /// Decodes a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::InvalidFormat`] if fewer than 2 bytes remain.
     pub fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(le_u16(self.take(2)?))
     }
 
     /// Decodes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::InvalidFormat`] if fewer than 4 bytes remain.
     pub fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(le_u32(self.take(4)?))
     }
 
     /// Decodes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::InvalidFormat`] if fewer than 8 bytes remain.
     pub fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(le_u64(self.take(8)?))
     }
 
     /// Decodes a LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::InvalidFormat`] if the input is exhausted
+    /// or the encoding exceeds 64 bits.
     pub fn varint(&mut self) -> Result<u64> {
         let mut v: u64 = 0;
         let mut shift = 0u32;
@@ -117,6 +169,11 @@ impl<'a> Reader<'a> {
     }
 
     /// Decodes a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::InvalidFormat`] if the length prefix is
+    /// malformed or promises more bytes than remain.
     pub fn bytes(&mut self) -> Result<&'a [u8]> {
         let len = self.varint()? as usize;
         self.take(len)
@@ -145,7 +202,11 @@ const fn make_table() -> [u32; 256] {
         let mut crc = i as u32;
         let mut j = 0;
         while j < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
             j += 1;
         }
         table[i] = crc;
@@ -158,6 +219,7 @@ static TABLE: [u32; 256] = make_table();
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

@@ -119,6 +119,12 @@ struct MemInner {
     last_write_end: u64,
 }
 
+impl std::fmt::Debug for MemDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemDevice").finish_non_exhaustive()
+    }
+}
+
 impl MemDevice {
     /// Creates an empty in-memory device.
     pub fn new() -> Self {
@@ -209,8 +215,20 @@ struct FileTracking {
     last_write_end: u64,
 }
 
+impl std::fmt::Debug for FileDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileDevice")
+            .field("len", &self.len.load(std::sync::atomic::Ordering::Acquire))
+            .finish_non_exhaustive()
+    }
+}
+
 impl FileDevice {
     /// Opens (creating if necessary) a file-backed device at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be opened/created or its metadata read.
     pub fn open(path: &Path) -> Result<Self> {
         let file = std::fs::OpenOptions::new()
             .read(true)
@@ -250,7 +268,7 @@ impl Device for FileDevice {
         use std::os::unix::fs::FileExt;
         self.file.write_all_at(buf, offset)?;
         let end = offset + buf.len() as u64;
-        self.len.fetch_max(end, Ordering::Relaxed);
+        self.len.fetch_max(end, Ordering::Release);
         let mut t = self.inner.lock();
         if offset == t.last_write_end {
             t.stats.sequential_writes += 1;
@@ -269,7 +287,7 @@ impl Device for FileDevice {
     }
 
     fn len(&self) -> u64 {
-        self.len.load(Ordering::Relaxed)
+        self.len.load(Ordering::Acquire)
     }
 
     fn stats(&self) -> DeviceStats {
@@ -381,6 +399,14 @@ struct SimInner {
     last_write_end: u64,
 }
 
+impl std::fmt::Debug for SimDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimDevice")
+            .field("model", &self.model)
+            .finish_non_exhaustive()
+    }
+}
+
 impl SimDevice {
     /// Creates a simulated device with the given cost model.
     pub fn new(model: DiskModel) -> Self {
@@ -475,6 +501,7 @@ impl Device for SimDevice {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn rw_roundtrip(dev: &dyn Device) {

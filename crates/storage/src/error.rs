@@ -10,7 +10,11 @@ pub enum StorageError {
     /// A page or log record failed its checksum.
     Corruption(String),
     /// A read or write touched space past the end of an allocation.
-    OutOfBounds { offset: u64, len: usize, device_len: u64 },
+    OutOfBounds {
+        offset: u64,
+        len: usize,
+        device_len: u64,
+    },
     /// The region allocator could not satisfy an allocation.
     OutOfSpace { requested_pages: u64 },
     /// The manifest (or another structure) contains an invalid encoding.
@@ -24,12 +28,19 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
             StorageError::Corruption(msg) => write!(f, "corruption detected: {msg}"),
-            StorageError::OutOfBounds { offset, len, device_len } => write!(
+            StorageError::OutOfBounds {
+                offset,
+                len,
+                device_len,
+            } => write!(
                 f,
                 "access out of bounds: offset={offset} len={len} device_len={device_len}"
             ),
             StorageError::OutOfSpace { requested_pages } => {
-                write!(f, "region allocator out of space: requested {requested_pages} pages")
+                write!(
+                    f,
+                    "region allocator out of space: requested {requested_pages} pages"
+                )
             }
             StorageError::InvalidFormat(msg) => write!(f, "invalid format: {msg}"),
             StorageError::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),

@@ -34,6 +34,18 @@ pub struct FaultyDevice {
     tripped: std::sync::atomic::AtomicBool,
 }
 
+impl std::fmt::Debug for FaultyDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyDevice")
+            .field("mode", &self.mode)
+            .field(
+                "remaining",
+                &self.remaining.load(std::sync::atomic::Ordering::Acquire),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
 impl FaultyDevice {
     /// Wraps `inner`; the first `budget` operations of the faulted kind
     /// succeed, after which the configured failure mode engages.
@@ -48,7 +60,7 @@ impl FaultyDevice {
 
     /// True once the fault has fired.
     pub fn tripped(&self) -> bool {
-        self.tripped.load(Ordering::Relaxed)
+        self.tripped.load(Ordering::Acquire)
     }
 
     fn io_error(&self, what: &str) -> StorageError {
@@ -62,10 +74,10 @@ impl FaultyDevice {
         }
         let prev = self
             .remaining
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
             .ok();
         if prev.is_none() {
-            self.tripped.store(true, Ordering::Relaxed);
+            self.tripped.store(true, Ordering::Release);
             return true;
         }
         false
@@ -126,6 +138,7 @@ impl Device for FaultyDevice {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::device::MemDevice;
     use std::sync::Arc;

@@ -34,11 +34,9 @@ pub mod region;
 pub mod wal;
 
 pub use buffer::{BufferPool, PoolStats};
-pub use device::{
-    DeviceStats, DiskModel, FileDevice, MemDevice, SharedDevice, SimDevice,
-};
-pub use fault::{FaultMode, FaultyDevice};
+pub use device::{DeviceStats, DiskModel, FileDevice, MemDevice, SharedDevice, SimDevice};
 pub use error::{Result, StorageError};
+pub use fault::{FaultMode, FaultyDevice};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use region::{Region, RegionAllocator};
 pub use wal::{Lsn, Wal, WalRecord};

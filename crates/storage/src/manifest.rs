@@ -32,16 +32,34 @@ pub struct ManifestStore {
     epoch: u64,
 }
 
+impl std::fmt::Debug for ManifestStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManifestStore")
+            .field("slot_pages", &self.slot_pages)
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
 impl ManifestStore {
     /// Opens the store (no I/O happens until [`load`](Self::load) or
     /// [`save`](Self::save)).
     pub fn new(device: SharedDevice, slot_pages: u64) -> ManifestStore {
         assert!(slot_pages > 0);
-        ManifestStore { device, slot_pages, epoch: 0 }
+        ManifestStore {
+            device,
+            slot_pages,
+            epoch: 0,
+        }
     }
 
     /// Opens the store and recovers the newest valid manifest, if any.
     /// Returns the store and the recovered payload.
+    ///
+    /// # Errors
+    ///
+    /// Fails if reading either manifest slot from the device fails.
+    /// Torn or corrupt slots are not errors; they are simply skipped.
     pub fn open(device: SharedDevice, slot_pages: u64) -> Result<(ManifestStore, Option<Vec<u8>>)> {
         let mut store = ManifestStore::new(device, slot_pages);
         let payload = store.load()?;
@@ -72,6 +90,12 @@ impl ManifestStore {
     /// Persists `payload` with the next epoch, alternating slots, and
     /// syncs the device so the new root is stable before the caller frees
     /// any superseded regions.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::InvalidFormat`] if `payload` exceeds the
+    /// slot capacity, or if the device write or sync fails (in which case
+    /// the previous manifest remains the recovery root).
     pub fn save(&mut self, payload: &[u8]) -> Result<()> {
         if payload.len() > self.max_payload() {
             return Err(StorageError::InvalidFormat(format!(
@@ -97,6 +121,11 @@ impl ManifestStore {
     }
 
     /// Reads both slots and returns the payload of the newest valid one.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a device read fails. Slots that fail checksum or length
+    /// validation are skipped, not reported as errors.
     pub fn load(&mut self) -> Result<Option<Vec<u8>>> {
         let mut best: Option<(u64, Vec<u8>)> = None;
         for slot_idx in 0..2u64 {
@@ -124,14 +153,19 @@ impl ManifestStore {
         if self.device.read_at(off, &mut header).is_err() {
             return Ok(None);
         }
-        let stored_crc = u32::from_le_bytes(header[..4].try_into().unwrap());
-        let epoch = u64::from_le_bytes(header[4..12].try_into().unwrap());
-        let len = u32::from_le_bytes(header[12..16].try_into().unwrap()) as usize;
+        let stored_crc = crate::codec::le_u32(&header[..4]);
+        let epoch = crate::codec::le_u64(&header[4..12]);
+        let len = crate::codec::le_u32(&header[12..16]) as usize;
         if len > self.max_payload() {
             return Ok(None);
         }
         let mut payload = vec![0u8; len];
-        if len > 0 && self.device.read_at(off + SLOT_HEADER as u64, &mut payload).is_err() {
+        if len > 0
+            && self
+                .device
+                .read_at(off + SLOT_HEADER as u64, &mut payload)
+                .is_err()
+        {
             return Ok(None);
         }
         let mut body = Vec::with_capacity(12 + len);
@@ -146,6 +180,7 @@ impl ManifestStore {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::device::MemDevice;
     use std::sync::Arc;
@@ -190,7 +225,7 @@ mod tests {
         let mut s = ManifestStore::new(dev.clone(), 2);
         s.save(b"good-old").unwrap(); // epoch 1, slot 1
         s.save(b"good-new").unwrap(); // epoch 2, slot 0
-        // Corrupt slot 0's epoch field (the newest) to simulate a torn write.
+                                      // Corrupt slot 0's epoch field (the newest) to simulate a torn write.
         dev.write_at(4, &[0xff; 8]).unwrap();
         let mut s2 = ManifestStore::new(dev, 2);
         assert_eq!(s2.load().unwrap().unwrap(), b"good-old");

@@ -62,6 +62,10 @@ pub enum PageType {
 
 impl PageType {
     /// Decodes a page type tag.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::InvalidFormat`] on an unknown tag value.
     pub fn from_u8(v: u8) -> Result<PageType> {
         Ok(match v {
             0 => PageType::Free,
@@ -83,15 +87,30 @@ pub struct Page {
     buf: Box<[u8; PAGE_SIZE]>,
 }
 
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("type", &self.buf[4])
+            .finish_non_exhaustive()
+    }
+}
+
 impl Page {
     /// A zeroed page of type `ty`.
     pub fn new(ty: PageType) -> Page {
-        let mut p = Page { buf: Box::new([0u8; PAGE_SIZE]) };
+        let mut p = Page {
+            buf: Box::new([0u8; PAGE_SIZE]),
+        };
         p.buf[4] = ty as u8;
         p
     }
 
     /// The page's type tag.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::InvalidFormat`] if the header byte is not
+    /// a known page type.
     pub fn page_type(&self) -> Result<PageType> {
         PageType::from_u8(self.buf[4])
     }
@@ -124,6 +143,12 @@ impl Page {
     }
 
     /// Deserializes from device bytes, verifying the checksum.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::InvalidFormat`] on a length mismatch and
+    /// with [`StorageError::Corruption`] if the stored CRC does not
+    /// match the page contents.
     pub fn from_bytes(bytes: &[u8], pid: PageId) -> Result<Page> {
         if bytes.len() != PAGE_SIZE {
             return Err(StorageError::InvalidFormat(format!(
@@ -131,7 +156,7 @@ impl Page {
                 bytes.len()
             )));
         }
-        let stored = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+        let stored = crate::codec::le_u32(&bytes[..4]);
         let actual = crc32c(&bytes[4..]);
         if stored != actual {
             return Err(StorageError::Corruption(format!(
@@ -149,6 +174,7 @@ pub type SharedPage = Arc<Page>;
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

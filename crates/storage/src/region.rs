@@ -39,7 +39,11 @@ impl Region {
 
     /// The `i`-th page of the region. Panics if out of range.
     pub fn page(&self, i: u64) -> PageId {
-        assert!(i < self.pages, "page {i} out of region of {} pages", self.pages);
+        assert!(
+            i < self.pages,
+            "page {i} out of region of {} pages",
+            self.pages
+        );
         PageId(self.start.0 + i)
     }
 
@@ -62,25 +66,38 @@ impl RegionAllocator {
     /// Creates an allocator whose first allocatable page is `first_page`
     /// (pages below that are reserved, e.g. for the manifest slots).
     pub fn new(first_page: u64) -> RegionAllocator {
-        RegionAllocator { next_page: first_page, free: BTreeMap::new() }
+        RegionAllocator {
+            next_page: first_page,
+            free: BTreeMap::new(),
+        }
     }
 
     /// Allocates a contiguous region of `pages` pages.
     pub fn alloc(&mut self, pages: u64) -> Region {
         assert!(pages > 0, "cannot allocate an empty region");
         // First fit within the free list.
-        let fit = self.free.iter().find(|(_, &len)| len >= pages).map(|(&s, &l)| (s, l));
+        let fit = self
+            .free
+            .iter()
+            .find(|(_, &len)| len >= pages)
+            .map(|(&s, &l)| (s, l));
         if let Some((start, len)) = fit {
             self.free.remove(&start);
             if len > pages {
                 self.free.insert(start + pages, len - pages);
             }
-            return Region { start: PageId(start), pages };
+            return Region {
+                start: PageId(start),
+                pages,
+            };
         }
         // Extend the high-water mark.
         let start = self.next_page;
         self.next_page += pages;
-        Region { start: PageId(start), pages }
+        Region {
+            start: PageId(start),
+            pages,
+        }
     }
 
     /// Returns a region to the free list, coalescing with neighbours.
@@ -136,6 +153,11 @@ impl RegionAllocator {
     }
 
     /// Deserializes allocator state.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::InvalidFormat`] if the reader runs out of
+    /// bytes or a varint is malformed.
     pub fn decode(r: &mut Reader<'_>) -> Result<RegionAllocator> {
         let next_page = r.u64()?;
         let n = r.varint()?;
@@ -151,6 +173,7 @@ impl RegionAllocator {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]
@@ -217,7 +240,10 @@ mod tests {
 
     #[test]
     fn region_page_iteration() {
-        let r = Region { start: PageId(10), pages: 3 };
+        let r = Region {
+            start: PageId(10),
+            pages: 3,
+        };
         let pages: Vec<_> = r.iter_pages().collect();
         assert_eq!(pages, vec![PageId(10), PageId(11), PageId(12)]);
         assert_eq!(r.len_bytes(), 3 * 4096);

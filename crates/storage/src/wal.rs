@@ -54,13 +54,28 @@ pub struct Wal {
     pending_start: Lsn,
 }
 
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("capacity", &self.capacity)
+            .field("head", &self.head)
+            .field("tail", &self.tail)
+            .field("flushed", &self.flushed)
+            .field("synced", &self.synced)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Wal {
     /// Creates a log on `device` with the given ring capacity. `head` is the
     /// truncation point recovered from the manifest (0 for a fresh log);
     /// `tail` must be the value returned by [`replay`] (equal to `head` for
     /// a fresh log).
     pub fn new(device: SharedDevice, capacity: u64, head: Lsn, tail: Lsn) -> Wal {
-        assert!(capacity > FRAME_HEADER_LEN as u64 * 2, "wal capacity too small");
+        assert!(
+            capacity > FRAME_HEADER_LEN as u64 * 2,
+            "wal capacity too small"
+        );
         assert!(head <= tail);
         Wal {
             device,
@@ -96,6 +111,12 @@ impl Wal {
 
     /// Appends a record, returning its LSN. The record is buffered; call
     /// [`flush`](Self::flush) or [`sync`](Self::sync) to make it durable.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::OutOfSpace`] when the record would
+    /// overrun the ring capacity (the caller must advance the head by
+    /// completing a merge before retrying).
     pub fn append(&mut self, payload: &[u8]) -> Result<Lsn> {
         let frame_len = FRAME_HEADER_LEN as u64 + payload.len() as u64;
         if self.live_bytes() + frame_len > self.capacity {
@@ -118,6 +139,10 @@ impl Wal {
     /// Writes buffered records to the device (no device sync). With the
     /// paper's §5.1 configuration ("none of the systems sync their logs at
     /// commit") this is all that runs on the commit path.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device write fails; buffered records stay pending.
     pub fn flush(&mut self) -> Result<()> {
         if self.pending.is_empty() {
             return Ok(());
@@ -131,6 +156,10 @@ impl Wal {
     }
 
     /// Flushes and then forces the device.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the flush or the device sync fails.
     pub fn sync(&mut self) -> Result<()> {
         self.flush()?;
         self.device.sync()?;
@@ -151,7 +180,10 @@ impl Wal {
     /// Advances the truncation point. The caller persists `new_head` in the
     /// manifest; space behind it is logically reclaimed.
     pub fn truncate(&mut self, new_head: Lsn) {
-        assert!(new_head >= self.head && new_head <= self.tail, "bad truncate point");
+        assert!(
+            new_head >= self.head && new_head <= self.tail,
+            "bad truncate point"
+        );
         self.head = new_head;
     }
 
@@ -187,9 +219,9 @@ fn read_frame(device: &SharedDevice, capacity: u64, lsn: Lsn) -> Option<WalRecor
 
     let mut header = [0u8; FRAME_HEADER_LEN];
     read_frame_header(&read_ring, lsn, &mut header).ok()?;
-    let stored_crc = u32::from_le_bytes(header[..4].try_into().unwrap());
-    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
-    let frame_lsn = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let stored_crc = crate::codec::le_u32(&header[..4]);
+    let len = crate::codec::le_u32(&header[4..8]) as usize;
+    let frame_lsn = crate::codec::le_u64(&header[8..16]);
     if frame_lsn != lsn || len as u64 > capacity {
         return None;
     }
@@ -231,6 +263,7 @@ pub fn replay(device: &SharedDevice, capacity: u64, head: Lsn) -> (Vec<WalRecord
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::device::MemDevice;
     use std::sync::Arc;

@@ -1,5 +1,11 @@
 //! Property-based tests for the storage substrate.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    missing_debug_implementations
+)]
+
 use std::sync::Arc;
 
 use proptest::prelude::*;

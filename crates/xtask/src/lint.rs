@@ -1,0 +1,697 @@
+//! Repo-specific lint rules (`cargo xtask lint`).
+//!
+//! Three rules the paper's correctness argument needs but clippy cannot
+//! express (§4.4.1 warns that merge threads acting on stale or weakly
+//! ordered shared state are the classic source of LSM race bugs):
+//!
+//! - **`relaxed-atomic`** — no `Ordering::Relaxed` in non-test library
+//!   code. Cross-thread flags and statistics must use an ordering the
+//!   author actually chose; genuinely single-threaded or lock-protected
+//!   counters get an audited allowlist entry instead.
+//! - **`condvar-wait-loop`** — every condition-variable `wait`/`wait_for`
+//!   call must sit inside a `while`/`loop` block so the predicate is
+//!   re-checked after spurious wakeups and racing notifies. A bare `if` +
+//!   `wait` is the lost-wakeup bug shape that bit the merge handshake.
+//! - **`storage-errors-doc`** — every `pub fn` in `blsm-storage` that
+//!   returns `Result` documents its failure modes in a `# Errors` doc
+//!   section (the storage layer is the root of the whole error story).
+//!
+//! Audited exceptions live in `xtask-lint.allow` at the workspace root:
+//! one `rule-id<space>file<space>function` triple per line, `#` comments.
+//! Every entry must carry a trailing `# reason`.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Finding {
+    rule: &'static str,
+    file: String,
+    line: usize,
+    function: String,
+    message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] in `{}`: {}",
+            self.file, self.line, self.rule, self.function, self.message
+        )
+    }
+}
+
+/// An allowlist entry: `rule file function # reason`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AllowEntry {
+    rule: String,
+    file: String,
+    function: String,
+}
+
+/// Runs every rule over the workspace. Returns failure if any finding is
+/// not covered by the allowlist, or if allowlist entries are stale.
+pub fn run() -> ExitCode {
+    let root = workspace_root();
+    let allow_path = root.join("xtask-lint.allow");
+    let allow = match load_allowlist(&allow_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xtask lint: cannot read {}: {e}", allow_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut findings = Vec::new();
+    let mut files = Vec::new();
+    for dir in ["crates", "shims", "src", "tests", "examples"] {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+    for path in &files {
+        let Ok(source) = std::fs::read_to_string(path) else {
+            eprintln!("xtask lint: unreadable file {}", path.display());
+            return ExitCode::FAILURE;
+        };
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(lint_file(&rel, &source));
+    }
+
+    let mut used = vec![false; allow.len()];
+    let mut failed = false;
+    for finding in &findings {
+        let allowed = allow.iter().enumerate().find(|(_, a)| {
+            a.rule == finding.rule && a.file == finding.file && a.function == finding.function
+        });
+        match allowed {
+            Some((i, _)) => used[i] = true,
+            None => {
+                eprintln!("{finding}");
+                failed = true;
+            }
+        }
+    }
+    for (entry, used) in allow.iter().zip(&used) {
+        if !used {
+            eprintln!(
+                "xtask-lint.allow: stale entry `{} {} {}` (no longer triggered; remove it)",
+                entry.rule, entry.file, entry.function
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!();
+        eprintln!(
+            "xtask lint: failed. Audited exceptions go in xtask-lint.allow as \
+             `rule file function  # reason`."
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "xtask lint: OK ({} files, {} findings all allowlisted)",
+            files.len(),
+            findings.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root: parent of this crate's manifest directory's parent
+/// when running under `cargo xtask` (CARGO_MANIFEST_DIR = crates/xtask),
+/// else the current directory.
+fn workspace_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let p = PathBuf::from(dir);
+            p.ancestors().nth(2).map_or(p.clone(), Path::to_path_buf)
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn load_allowlist(path: &Path) -> std::io::Result<Vec<AllowEntry>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut entries = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !raw.contains('#') {
+            return Err(std::io::Error::other(format!(
+                "{}:{}: allowlist entry has no `# reason` comment",
+                path.display(),
+                lineno + 1
+            )));
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(file), Some(function), None) => entries.push(AllowEntry {
+                rule: rule.to_string(),
+                file: file.to_string(),
+                function: function.to_string(),
+            }),
+            _ => {
+                return Err(std::io::Error::other(format!(
+                    "{}:{}: expected `rule file function  # reason`",
+                    path.display(),
+                    lineno + 1
+                )))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+// ---------------------------------------------------------------------
+// Scanner
+// ---------------------------------------------------------------------
+
+/// Is this path non-library code where the rules don't apply?
+fn is_test_like(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.starts_with("examples/")
+        || rel.contains("/examples/")
+}
+
+/// One enclosing block, for the loop/test tracking stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Block {
+    Loop,
+    TestMod,
+    Other,
+}
+
+/// Lints one file's source, returning all findings (allowlist applied by
+/// the caller).
+fn lint_file(rel: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let clean = strip_comments_and_strings(source);
+    let in_storage = rel.starts_with("crates/storage/src/");
+
+    // Block tracking state.
+    let mut stack: Vec<Block> = Vec::new();
+    let mut fn_stack: Vec<(String, usize)> = Vec::new(); // (name, depth at body open)
+    let mut pending_block = Block::Other;
+    let mut pending_fn: Option<String> = None;
+    let mut pending_cfg_test = false;
+    // storage-errors-doc state.
+    let mut last_doc_has_errors = false;
+    let mut doc_streak = false;
+
+    for (idx, line) in clean.lines().enumerate() {
+        let lineno = idx + 1;
+        let raw_line = source.lines().nth(idx).unwrap_or("");
+        let trimmed = line.trim();
+
+        // Track `/// ...` doc blocks from the *raw* source (comments are
+        // stripped in `clean`).
+        let raw_trimmed = raw_line.trim();
+        if raw_trimmed.starts_with("///")
+            || raw_trimmed.starts_with("#[")
+            || raw_trimmed.starts_with("#!")
+        {
+            if raw_trimmed.starts_with("///") {
+                if !doc_streak {
+                    last_doc_has_errors = false;
+                    doc_streak = true;
+                }
+                if raw_trimmed.contains("# Errors") {
+                    last_doc_has_errors = true;
+                }
+            }
+        } else if !raw_trimmed.is_empty()
+            && !raw_trimmed.starts_with("pub fn")
+            && !trimmed.starts_with("fn ")
+        {
+            // A non-doc, non-attribute, non-fn line ends the doc streak.
+            if !raw_trimmed.starts_with("pub") {
+                doc_streak = false;
+            }
+        }
+
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+
+        // Record fn names and classify upcoming blocks.
+        if let Some(name) = fn_name_on_line(trimmed) {
+            pending_fn = Some(name);
+        }
+        if trimmed.starts_with("while ")
+            || trimmed.starts_with("while(")
+            || trimmed.starts_with("loop {")
+            || trimmed.contains(" loop {")
+            || trimmed.starts_with("for ")
+        {
+            pending_block = Block::Loop;
+        }
+
+        let in_test_context = is_test_like(rel) || stack.contains(&Block::TestMod);
+
+        // Rule: storage-errors-doc (checked at fn signature lines).
+        if in_storage && !in_test_context && trimmed.starts_with("pub fn") {
+            let returns_result = sig_returns_result(&clean, idx);
+            if returns_result && !(doc_streak && last_doc_has_errors) {
+                let function = fn_name_on_line(trimmed).unwrap_or_else(|| "?".to_string());
+                findings.push(Finding {
+                    rule: "storage-errors-doc",
+                    file: rel.to_string(),
+                    line: lineno,
+                    function,
+                    message: "pub fn returning Result lacks a `# Errors` doc section".to_string(),
+                });
+            }
+        }
+
+        // Rule: relaxed-atomic.
+        if !in_test_context && line.contains("Ordering::Relaxed") {
+            findings.push(Finding {
+                rule: "relaxed-atomic",
+                file: rel.to_string(),
+                line: lineno,
+                function: current_fn(&fn_stack),
+                message: "Ordering::Relaxed on shared state; pick an ordering deliberately \
+                          (or allowlist with the audit reason)"
+                    .to_string(),
+            });
+        }
+
+        // Rule: condvar-wait-loop.
+        if !in_test_context
+            && (line.contains(".wait(")
+                || line.contains(".wait_for(")
+                || line.contains(".wait_timeout("))
+            && !stack.contains(&Block::Loop)
+        {
+            findings.push(Finding {
+                rule: "condvar-wait-loop",
+                file: rel.to_string(),
+                line: lineno,
+                function: current_fn(&fn_stack),
+                message: "condition-variable wait outside a while/loop predicate re-check"
+                    .to_string(),
+            });
+        }
+
+        // Update the block stack from this line's braces.
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    let block = if pending_cfg_test && trimmed.contains("mod ") {
+                        Block::TestMod
+                    } else {
+                        pending_block
+                    };
+                    if trimmed.contains("mod ") || !trimmed.starts_with("#") {
+                        pending_cfg_test = false;
+                    }
+                    stack.push(block);
+                    pending_block = Block::Other;
+                    if let Some(name) = pending_fn.take() {
+                        fn_stack.push((name, stack.len()));
+                    }
+                }
+                '}' => {
+                    stack.pop();
+                    if let Some((_, depth)) = fn_stack.last() {
+                        if stack.len() < *depth {
+                            fn_stack.pop();
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    findings
+}
+
+fn current_fn(fn_stack: &[(String, usize)]) -> String {
+    fn_stack
+        .last()
+        .map_or_else(|| "<file scope>".to_string(), |(n, _)| n.clone())
+}
+
+/// Extracts the function name if this line declares one.
+fn fn_name_on_line(line: &str) -> Option<String> {
+    let after = line
+        .strip_prefix("pub fn ")
+        .or_else(|| line.strip_prefix("fn "))
+        .or_else(|| line.strip_prefix("pub(crate) fn "))
+        .or_else(|| line.strip_prefix("pub(super) fn "))
+        .or_else(|| {
+            // `pub const fn`, `pub unsafe fn`, `async fn`, etc.
+            let idx = line.find("fn ")?;
+            let before = &line[..idx];
+            if before
+                .chars()
+                .all(|c| c.is_alphanumeric() || c.is_whitespace() || c == '(' || c == ')')
+            {
+                Some(&line[idx + 3..])
+            } else {
+                None
+            }
+        })?;
+    let name: String = after
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Does the `pub fn` signature starting at `start_line` return `Result`?
+/// Scans forward to the end of the signature (the body `{` or `;`).
+fn sig_returns_result(clean: &str, start_line: usize) -> bool {
+    let mut sig = String::new();
+    for line in clean.lines().skip(start_line).take(12) {
+        sig.push_str(line);
+        sig.push(' ');
+        if line.contains('{') || line.trim_end().ends_with(';') {
+            break;
+        }
+    }
+    match sig.find("->") {
+        Some(arrow) => {
+            let ret = &sig[arrow + 2..];
+            let ret = ret.split('{').next().unwrap_or(ret);
+            ret.contains("Result")
+        }
+        None => false,
+    }
+}
+
+/// Blanks out comments and string/char literals so brace counting and
+/// token matching can't be fooled by `"{"` or `// }`. Line structure is
+/// preserved.
+fn strip_comments_and_strings(source: &str) -> String {
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut out = String::with_capacity(source.len());
+    let mut mode = Mode::Code;
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match mode {
+            Mode::Code => match (c, next) {
+                ('/', Some('/')) => {
+                    mode = Mode::LineComment;
+                    out.push(' ');
+                }
+                ('/', Some('*')) => {
+                    mode = Mode::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 1;
+                }
+                ('r', Some('"')) => {
+                    mode = Mode::RawStr(0);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 1;
+                }
+                ('r', Some('#')) => {
+                    // r#"..."# raw string (count hashes); r#ident is handled
+                    // by the fallthrough when no quote follows the hashes.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        mode = Mode::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j;
+                    } else {
+                        out.push(c);
+                    }
+                }
+                ('"', _) => {
+                    mode = Mode::Str;
+                    out.push(' ');
+                }
+                ('\'', Some(n)) => {
+                    // Char literal vs lifetime: a lifetime is 'ident (or
+                    // '_) not followed by a closing quote.
+                    let is_lifetime =
+                        (n.is_alphabetic() || n == '_') && bytes.get(i + 2).copied() != Some('\'');
+                    if is_lifetime {
+                        out.push(c);
+                    } else {
+                        mode = Mode::Char;
+                        out.push(' ');
+                    }
+                }
+                _ => out.push(c),
+            },
+            Mode::LineComment => {
+                if c == '\n' {
+                    mode = Mode::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            Mode::BlockComment(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '*' && next == Some('/') {
+                    out.push(' ');
+                    i += 1;
+                    if depth == 1 {
+                        mode = Mode::Code;
+                    } else {
+                        mode = Mode::BlockComment(depth - 1);
+                    }
+                } else if c == '/' && next == Some('*') {
+                    out.push(' ');
+                    i += 1;
+                    mode = Mode::BlockComment(depth + 1);
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    mode = Mode::Code;
+                    out.push(' ');
+                } else if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if bytes.get(i + 1 + k as usize) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes {
+                            out.push(' ');
+                        }
+                        i += hashes as usize;
+                        mode = Mode::Code;
+                    } else {
+                        out.push(' ');
+                    }
+                } else if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            Mode::Char => {
+                if c == '\\' {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    mode = Mode::Code;
+                    out.push(' ');
+                } else {
+                    out.push(' ');
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn strips_strings_and_comments() {
+        let src = "let a = \"{\"; // }\nlet b = 1; /* { */";
+        let clean = strip_comments_and_strings(src);
+        assert!(!clean.contains('"'));
+        assert!(!clean.contains('{'));
+        assert_eq!(clean.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn relaxed_atomic_flagged_outside_tests() {
+        let src = "fn f() {\n    x.load(Ordering::Relaxed);\n}\n";
+        let f = lint_file("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "relaxed-atomic");
+        assert_eq!(f[0].function, "f");
+    }
+
+    #[test]
+    fn relaxed_atomic_ignored_in_test_mod() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() {\n        x.load(Ordering::Relaxed);\n    }\n}\n";
+        let f = lint_file("crates/core/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn condvar_wait_without_loop_flagged() {
+        let src = "fn f() {\n    if !*pending {\n        cv.wait_for(&mut pending, t);\n    }\n}\n";
+        let f = lint_file("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "condvar-wait-loop");
+    }
+
+    #[test]
+    fn condvar_wait_inside_while_ok() {
+        let src =
+            "fn f() {\n    while !*pending {\n        cv.wait_for(&mut pending, t);\n    }\n}\n";
+        let f = lint_file("crates/core/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn condvar_wait_inside_bare_loop_ok() {
+        let src =
+            "fn f() {\n    loop {\n        if *p { break; }\n        cv.wait(&mut p);\n    }\n}\n";
+        let f = lint_file("crates/core/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn storage_result_fn_needs_errors_doc() {
+        let src = "/// Does a thing.\npub fn f(&self) -> Result<()> {\n    Ok(())\n}\n";
+        let f = lint_file("crates/storage/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "storage-errors-doc");
+    }
+
+    #[test]
+    fn storage_result_fn_with_errors_doc_ok() {
+        let src = "/// Does a thing.\n///\n/// # Errors\n/// Fails on I/O errors.\npub fn f(&self) -> Result<()> {\n    Ok(())\n}\n";
+        let f = lint_file("crates/storage/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn storage_non_result_fn_ignored() {
+        let src = "pub fn f(&self) -> usize {\n    1\n}\n";
+        let f = lint_file("crates/storage/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn multiline_signature_result_detected() {
+        let src = "pub fn f(\n    a: usize,\n) -> Result<()> {\n    Ok(())\n}\n";
+        let f = lint_file("crates/storage/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn fn_names_parse() {
+        assert_eq!(
+            fn_name_on_line("pub fn open(&self) -> X {").unwrap(),
+            "open"
+        );
+        assert_eq!(fn_name_on_line("fn helper() {").unwrap(), "helper");
+        assert_eq!(
+            fn_name_on_line("pub const fn size() -> usize {").unwrap(),
+            "size"
+        );
+        assert!(fn_name_on_line("let x = 1;").is_none());
+    }
+
+    #[test]
+    fn allowlist_rejects_missing_reason() {
+        let dir = std::env::temp_dir().join("xtask-lint-test-allow");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("allow1");
+        std::fs::write(&p, "relaxed-atomic crates/a.rs f\n").unwrap();
+        assert!(load_allowlist(&p).is_err());
+        std::fs::write(
+            &p,
+            "relaxed-atomic crates/a.rs f  # audited: lock-protected\n",
+        )
+        .unwrap();
+        let entries = load_allowlist(&p).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].function, "f");
+    }
+}

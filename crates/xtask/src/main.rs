@@ -1,0 +1,33 @@
+//! Workspace automation tasks. Run as `cargo xtask <task>`.
+//!
+//! The only task today is `lint`: repo-specific static analysis rules
+//! that clippy cannot express (see `lint` module docs and DESIGN.md's
+//! "Correctness tooling" section).
+
+mod lint;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") | None => lint::run(),
+        Some("help" | "--help" | "-h") => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown task `{other}`");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: cargo xtask [lint]");
+    eprintln!();
+    eprintln!("tasks:");
+    eprintln!("  lint    run repo-specific static-analysis rules over the workspace");
+    eprintln!("          (allowlist for audited exceptions: xtask-lint.allow)");
+}

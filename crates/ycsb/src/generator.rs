@@ -12,6 +12,7 @@ pub trait KeyChooser: Send {
 }
 
 /// Uniformly random record ids.
+#[derive(Debug)]
 pub struct Uniform {
     rng: StdRng,
     n: u64,
@@ -21,7 +22,10 @@ impl Uniform {
     /// Creates a uniform chooser over `[0, n)`.
     pub fn new(n: u64, seed: u64) -> Uniform {
         assert!(n > 0);
-        Uniform { rng: StdRng::seed_from_u64(seed), n }
+        Uniform {
+            rng: StdRng::seed_from_u64(seed),
+            n,
+        }
     }
 }
 
@@ -37,6 +41,7 @@ impl KeyChooser for Uniform {
 
 /// Zipfian ranks via Gray et al.'s rejection-free algorithm — the exact
 /// construction YCSB uses, with YCSB's default θ = 0.99.
+#[derive(Debug)]
 pub struct Zipfian {
     rng: StdRng,
     n: u64,
@@ -58,7 +63,15 @@ impl Zipfian {
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipfian { rng: StdRng::seed_from_u64(seed), n, theta, alpha, zetan, zeta2, eta }
+        Zipfian {
+            rng: StdRng::seed_from_u64(seed),
+            n,
+            theta,
+            alpha,
+            zetan,
+            zeta2,
+            eta,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -67,8 +80,8 @@ impl Zipfian {
 
     fn recompute(&mut self) {
         self.zetan = Self::zeta(self.n, self.theta);
-        self.eta = (1.0 - (2.0 / self.n as f64).powf(1.0 - self.theta))
-            / (1.0 - self.zeta2 / self.zetan);
+        self.eta =
+            (1.0 - (2.0 / self.n as f64).powf(1.0 - self.theta)) / (1.0 - self.zeta2 / self.zetan);
     }
 }
 
@@ -98,6 +111,7 @@ impl KeyChooser for Zipfian {
 /// YCSB's scrambled Zipfian: Zipfian ranks hashed over the id space, so
 /// the popular items are spread across the keyspace instead of clustered
 /// at its start.
+#[derive(Debug)]
 pub struct ScrambledZipfian {
     inner: Zipfian,
     n: u64,
@@ -107,7 +121,10 @@ impl ScrambledZipfian {
     /// Creates a scrambled-Zipfian chooser over `[0, n)` with YCSB's
     /// default θ.
     pub fn new(n: u64, seed: u64) -> ScrambledZipfian {
-        ScrambledZipfian { inner: Zipfian::new(n, Zipfian::DEFAULT_THETA, seed), n }
+        ScrambledZipfian {
+            inner: Zipfian::new(n, Zipfian::DEFAULT_THETA, seed),
+            n,
+        }
     }
 
     fn fnv64(mut x: u64) -> u64 {
@@ -137,6 +154,7 @@ impl KeyChooser for ScrambledZipfian {
 
 /// YCSB's "latest" distribution: Zipfian skew toward the most recently
 /// inserted records (used by workload D — "read latest").
+#[derive(Debug)]
 pub struct Latest {
     inner: Zipfian,
     n: u64,
@@ -145,7 +163,10 @@ pub struct Latest {
 impl Latest {
     /// Creates a latest-skewed chooser over `[0, n)`.
     pub fn new(n: u64, seed: u64) -> Latest {
-        Latest { inner: Zipfian::new(n, Zipfian::DEFAULT_THETA, seed), n }
+        Latest {
+            inner: Zipfian::new(n, Zipfian::DEFAULT_THETA, seed),
+            n,
+        }
     }
 }
 
@@ -166,6 +187,7 @@ impl KeyChooser for Latest {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use std::collections::HashMap;
 
@@ -176,7 +198,9 @@ mod tests {
         for _ in 0..100_000 {
             counts[u.next_id() as usize] += 1;
         }
-        let (min, max) = counts.iter().fold((u32::MAX, 0), |(a, b), &c| (a.min(c), b.max(c)));
+        let (min, max) = counts
+            .iter()
+            .fold((u32::MAX, 0), |(a, b), &c| (a.min(c), b.max(c)));
         assert!(min > 700 && max < 1300, "min={min} max={max}");
     }
 
@@ -211,7 +235,10 @@ mod tests {
         by_count.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         let hot0 = by_count[0].0;
         let hot1 = by_count[1].0;
-        assert!(hot0.abs_diff(hot1) > 1, "hot keys clustered: {hot0}, {hot1}");
+        assert!(
+            hot0.abs_diff(hot1) > 1,
+            "hot keys clustered: {hot0}, {hot1}"
+        );
         // Still skewed: hottest id well above uniform share.
         assert!(by_count[0].1 > 100_000 / 10_000 * 20);
     }

@@ -148,6 +148,7 @@ impl std::fmt::Debug for Histogram {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

@@ -37,6 +37,7 @@ pub fn make_value(id: u64, size: usize) -> bytes::Bytes {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

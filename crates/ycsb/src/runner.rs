@@ -91,23 +91,37 @@ pub struct OpMix {
 impl OpMix {
     /// 100% blind updates.
     pub fn updates_only() -> OpMix {
-        OpMix { update: 1.0, ..Default::default() }
+        OpMix {
+            update: 1.0,
+            ..Default::default()
+        }
     }
 
     /// 100% reads.
     pub fn reads_only() -> OpMix {
-        OpMix { read: 1.0, ..Default::default() }
+        OpMix {
+            read: 1.0,
+            ..Default::default()
+        }
     }
 
     /// `write_frac` blind updates, rest reads (Figure 8's blind-write
     /// sweep).
     pub fn read_blind_write(write_frac: f64) -> OpMix {
-        OpMix { read: 1.0 - write_frac, update: write_frac, ..Default::default() }
+        OpMix {
+            read: 1.0 - write_frac,
+            update: write_frac,
+            ..Default::default()
+        }
     }
 
     /// `write_frac` read-modify-writes, rest reads (Figure 8's RMW sweep).
     pub fn read_rmw(write_frac: f64) -> OpMix {
-        OpMix { read: 1.0 - write_frac, rmw: write_frac, ..Default::default() }
+        OpMix {
+            read: 1.0 - write_frac,
+            rmw: write_frac,
+            ..Default::default()
+        }
     }
 
     fn pick(&self, u: f64) -> OpKind {
@@ -150,6 +164,19 @@ pub struct Workload {
     pub cpu_us_per_op: f64,
 }
 
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("record_count", &self.record_count)
+            .field("value_size", &self.value_size)
+            .field("mix", &self.mix)
+            .field("scan_max", &self.scan_max)
+            .field("seed", &self.seed)
+            .field("cpu_us_per_op", &self.cpu_us_per_op)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Workload {
     /// A uniform workload over `records` records with the given mix.
     pub fn uniform(records: u64, mix: OpMix, seed: u64) -> Workload {
@@ -179,27 +206,59 @@ impl Workload {
     /// F (50/50 read/read-modify-write, zipfian).
     pub fn ycsb(letter: char, records: u64, seed: u64) -> Workload {
         match letter.to_ascii_uppercase() {
-            'A' => Workload::zipfian(records, OpMix { read: 0.5, update: 0.5, ..Default::default() }, seed),
-            'B' => Workload::zipfian(records, OpMix { read: 0.95, update: 0.05, ..Default::default() }, seed),
+            'A' => Workload::zipfian(
+                records,
+                OpMix {
+                    read: 0.5,
+                    update: 0.5,
+                    ..Default::default()
+                },
+                seed,
+            ),
+            'B' => Workload::zipfian(
+                records,
+                OpMix {
+                    read: 0.95,
+                    update: 0.05,
+                    ..Default::default()
+                },
+                seed,
+            ),
             'C' => Workload::zipfian(records, OpMix::reads_only(), seed),
             'D' => Workload {
                 chooser: Box::new(crate::Latest::new(records, seed ^ 0xabcd)),
                 ..Workload::uniform(
                     records,
-                    OpMix { read: 0.95, insert: 0.05, ..Default::default() },
+                    OpMix {
+                        read: 0.95,
+                        insert: 0.05,
+                        ..Default::default()
+                    },
                     seed,
                 )
             },
             'E' => {
                 let mut w = Workload::zipfian(
                     records,
-                    OpMix { scan: 0.95, insert: 0.05, ..Default::default() },
+                    OpMix {
+                        scan: 0.95,
+                        insert: 0.05,
+                        ..Default::default()
+                    },
                     seed,
                 );
                 w.scan_max = 100;
                 w
             }
-            'F' => Workload::zipfian(records, OpMix { read: 0.5, rmw: 0.5, ..Default::default() }, seed),
+            'F' => Workload::zipfian(
+                records,
+                OpMix {
+                    read: 0.5,
+                    rmw: 0.5,
+                    ..Default::default()
+                },
+                seed,
+            ),
             other => panic!("unknown YCSB workload {other:?} (expected A-F)"),
         }
     }
@@ -219,6 +278,7 @@ pub struct TimePoint {
 }
 
 /// Results of a run.
+#[derive(Debug)]
 pub struct RunReport {
     /// Operations completed.
     pub ops: u64,
@@ -242,6 +302,7 @@ impl RunReport {
 }
 
 /// Closed-loop runner.
+#[derive(Debug)]
 pub struct Runner {
     /// Timeseries bucket width in virtual seconds.
     pub bucket_sec: f64,
@@ -451,6 +512,7 @@ pub enum LoadOrder {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use std::collections::BTreeMap;
 
@@ -463,7 +525,11 @@ mod tests {
 
     impl MemEngine {
         fn new(per_op_us: u64) -> MemEngine {
-            MemEngine { map: BTreeMap::new(), fake_us: 0, per_op_us }
+            MemEngine {
+                map: BTreeMap::new(),
+                fake_us: 0,
+                per_op_us,
+            }
         }
     }
 
@@ -516,7 +582,11 @@ mod tests {
         wl.cpu_us_per_op = 20.0;
         let report = Runner::default().run(&mut engine, &mut wl, 5000).unwrap();
         assert_eq!(report.ops, 5000);
-        assert!((report.ops_per_sec - 10_000.0).abs() < 500.0, "{}", report.ops_per_sec);
+        assert!(
+            (report.ops_per_sec - 10_000.0).abs() < 500.0,
+            "{}",
+            report.ops_per_sec
+        );
         assert!((report.latency.mean() - 100.0).abs() < 5.0);
     }
 
@@ -547,14 +617,12 @@ mod tests {
     fn timeseries_buckets_cover_run() {
         let mut engine = MemEngine::new(100_000); // 0.1s per op
         let mut wl = Workload::uniform(10, OpMix::updates_only(), 1);
-        let report = Runner { bucket_sec: 0.5 }.run(&mut engine, &mut wl, 20).unwrap();
+        let report = Runner { bucket_sec: 0.5 }
+            .run(&mut engine, &mut wl, 20)
+            .unwrap();
         // 20 ops * 0.1s = 2s => ~4 buckets of 0.5s.
         assert!(report.timeseries.len() >= 4, "{}", report.timeseries.len());
-        let total: f64 = report
-            .timeseries
-            .iter()
-            .map(|p| p.ops_per_sec * 0.5)
-            .sum();
+        let total: f64 = report.timeseries.iter().map(|p| p.ops_per_sec * 0.5).sum();
         assert!((total - 20.0).abs() < 1.0);
     }
 

@@ -11,6 +11,12 @@
 //!
 //! Run with: `cargo run --release --example crash_recovery`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    missing_debug_implementations
+)]
+
 use std::sync::Arc;
 
 use blsm_repro::blsm::{AppendOperator, BLsmConfig, BLsmTree, Durability};
@@ -46,11 +52,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         {
             let mut tree = open(&data, &wal, durability)?;
             for i in 0..2000u32 {
-                tree.put(format!("key{i:06}").into_bytes(), format!("v{i}").into_bytes())?;
+                tree.put(
+                    format!("key{i:06}").into_bytes(),
+                    format!("v{i}").into_bytes(),
+                )?;
             }
             tree.checkpoint()?;
             for i in 2000..2500u32 {
-                tree.put(format!("key{i:06}").into_bytes(), format!("v{i}").into_bytes())?;
+                tree.put(
+                    format!("key{i:06}").into_bytes(),
+                    format!("v{i}").into_bytes(),
+                )?;
             }
             // Crash: drop without checkpoint or clean shutdown.
         }
@@ -58,14 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Phase 2: recover and inventory what survived.
         let mut tree = open(&data, &wal, durability)?;
         let merged_survivors = (0..2000u32)
-            .filter(|i| {
-                tree.get(format!("key{i:06}").as_bytes()).unwrap().is_some()
-            })
+            .filter(|i| tree.get(format!("key{i:06}").as_bytes()).unwrap().is_some())
             .count();
         let tail_survivors = (2000..2500u32)
-            .filter(|i| {
-                tree.get(format!("key{i:06}").as_bytes()).unwrap().is_some()
-            })
+            .filter(|i| tree.get(format!("key{i:06}").as_bytes()).unwrap().is_some())
             .count();
         println!(
             "{durability:?}: {merged_survivors}/2000 checkpointed records, \
@@ -74,13 +82,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(merged_survivors, 2000, "merged data must always survive");
         match durability {
             Durability::Sync | Durability::Buffered => {
-                assert_eq!(tail_survivors, 500, "logged writes must replay")
+                assert_eq!(tail_survivors, 500, "logged writes must replay");
             }
             Durability::None => {
                 assert_eq!(
                     tail_survivors, 0,
                     "degraded mode loses everything after the last merge"
-                )
+                );
             }
         }
     }

@@ -13,6 +13,12 @@
 //!
 //! Run with: `cargo run --release --example event_log`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    missing_debug_implementations
+)]
+
 use std::sync::Arc;
 
 use blsm_repro::blsm::{AppendOperator, BLsmConfig, BLsmTree};
@@ -22,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Simulated SSD so the example also demonstrates the cost model.
     let data: SharedDevice = Arc::new(SimDevice::new(DiskModel::ssd()));
     let wal: SharedDevice = Arc::new(SimDevice::new(DiskModel::ssd()));
-    let config = BLsmConfig { mem_budget: 4 << 20, ..Default::default() };
+    let config = BLsmConfig {
+        mem_budget: 4 << 20,
+        ..Default::default()
+    };
     let mut tree = BLsmTree::open(data.clone(), wal, 1024, config, Arc::new(AppendOperator))?;
 
     // Ingest 200k click events over 20k users, in arrival (random) order.
@@ -31,7 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = 0xc11c5u64;
     println!("ingesting {events} events over {users} users (blind deltas)...");
     for e in 0..events {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let user = (rng >> 33) % users;
         let key = format!("user{user:08}");
         let event = format!("[t={e} page={}]", rng % 977);

@@ -8,6 +8,12 @@
 //!
 //! Run with: `cargo run --release --example partitioned_store`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    missing_debug_implementations
+)]
+
 use std::sync::Arc;
 
 use blsm_repro::blsm::{AppendOperator, BLsmConfig, PartitionedBLsm};
@@ -33,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bounds,
         |i| devices[i].clone(),
         128,
-        BLsmConfig { mem_budget: 256 << 10, ..Default::default() },
+        BLsmConfig {
+            mem_budget: 256 << 10,
+            ..Default::default()
+        },
         Arc::new(AppendOperator),
     )?;
 
@@ -69,11 +78,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Reads and cross-partition scans still behave.
-    let v = store.get(&format_key(hot_base + 7))?.expect("hot key present");
+    let v = store
+        .get(&format_key(hot_base + 7))?
+        .expect("hot key present");
     println!("\nhot key read back: {} bytes", v.len());
     let boundary = RECORDS * 3 / PARTITIONS as u64;
     let rows = store.scan(&format_key(boundary - 5), 10)?;
-    println!("cross-boundary scan at partition 2/3 border returned {} rows:", rows.len());
+    println!(
+        "cross-boundary scan at partition 2/3 border returned {} rows:",
+        rows.len()
+    );
     for r in &rows {
         println!("  {}", String::from_utf8_lossy(&r.key));
     }

@@ -2,6 +2,12 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    missing_debug_implementations
+)]
+
 use std::sync::Arc;
 
 use blsm_repro::blsm::{AppendOperator, BLsmConfig, BLsmTree};
@@ -17,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 64 MiB C0, defaults otherwise: spring-and-gear scheduler,
     // snowshoveling on, buffered durability.
-    let config = BLsmConfig { mem_budget: 64 << 20, ..Default::default() };
+    let config = BLsmConfig {
+        mem_budget: 64 << 20,
+        ..Default::default()
+    };
     let mut tree = BLsmTree::open(
         data.clone(),
         wal.clone(),
@@ -39,10 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("get(user00004242) = {:?}", std::str::from_utf8(&v)?);
 
     // insert-if-not-exists: zero seeks for absent keys (§3.1.2).
-    let inserted = tree.insert_if_not_exists(
-        b"user00004242".as_slice(),
-        b"never-stored".as_slice(),
-    )?;
+    let inserted =
+        tree.insert_if_not_exists(b"user00004242".as_slice(), b"never-stored".as_slice())?;
     println!("checked insert of an existing key inserted? {inserted}");
 
     // Blind delta: zero seeks; folded into the base record on read/merge.
@@ -64,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = tree.stats();
     println!(
         "stats: {} writes, {} gets, {} merges, {} disk probes",
-        stats.writes, stats.gets, stats.merges01 + stats.merges12, stats.disk_probes
+        stats.writes,
+        stats.gets,
+        stats.merges01 + stats.merges12,
+        stats.disk_probes
     );
     drop(tree);
     let mut tree = BLsmTree::open(data, wal, 4096, config, Arc::new(AppendOperator))?;

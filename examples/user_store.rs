@@ -10,6 +10,12 @@
 //!
 //! Run with: `cargo run --release --example user_store`
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    missing_debug_implementations
+)]
+
 use std::sync::Arc;
 
 use blsm_repro::blsm::{AppendOperator, BLsmConfig, BLsmTree, SchedulerKind};
@@ -24,8 +30,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scheduler: SchedulerKind::SpringGear,
         ..Default::default()
     };
-    let mut tree =
-        BLsmTree::open(data.clone(), wal.clone(), 512, config, Arc::new(AppendOperator))?;
+    let mut tree = BLsmTree::open(
+        data.clone(),
+        wal.clone(),
+        512,
+        config,
+        Arc::new(AppendOperator),
+    )?;
 
     // Seed 50k user profiles.
     let users = 50_000u64;
@@ -54,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else if dice < 90 {
             let id = chooser.next_id();
             tree.read_modify_write(format_key(id), |old| {
-                let mut v = old.map(|o| o.to_vec()).unwrap_or_default();
+                let mut v = old.map(<[u8]>::to_vec).unwrap_or_default();
                 v.truncate(996);
                 v.extend_from_slice(b"sess");
                 Some(v)
@@ -94,6 +105,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "merge activity: {} C0:C1 passes, {} C1':C2 merges, {} forced stalls",
         stats.merges01, stats.merges12, stats.forced_stalls
     );
-    assert_eq!(stats.forced_stalls, 0, "spring-and-gear must avoid hard stalls");
+    assert_eq!(
+        stats.forced_stalls, 0,
+        "spring-and-gear must avoid hard stalls"
+    );
     Ok(())
 }

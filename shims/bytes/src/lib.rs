@@ -1,0 +1,319 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no network access and no vendored registry,
+//! so the workspace ships minimal API-compatible shims for its external
+//! dependencies (see `crates/shims/README.md`). This crate provides the
+//! subset of `bytes` the workspace uses: a cheaply cloneable, immutable,
+//! contiguous byte container.
+//!
+//! Unlike the real crate there is no zero-copy slicing machinery —
+//! `Bytes` is either a borrowed `&'static [u8]` or an `Arc<[u8]>`. That
+//! is sufficient (and semantically identical) for every call site here.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable slice of bytes.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    #[must_use]
+    pub const fn new() -> Bytes {
+        Bytes {
+            repr: Repr::Static(&[]),
+        }
+    }
+
+    /// Creates `Bytes` from a static slice without copying.
+    #[must_use]
+    pub const fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes {
+            repr: Repr::Static(data),
+        }
+    }
+
+    /// Copies `data` into a new `Bytes`.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            repr: Repr::Shared(Arc::from(data)),
+        }
+    }
+
+    /// The number of bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the container is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Borrows the underlying bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a,
+        }
+    }
+
+    /// Copies the bytes into an owned `Vec`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Returns a new `Bytes` covering `range` of this one (copies; the
+    /// real crate shares the allocation, which no caller here relies on).
+    #[must_use]
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        Bytes::copy_from_slice(&self.as_slice()[start..end])
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl PartialEq<&Bytes> for Bytes {
+    fn eq(&self, other: &&Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd<&Bytes> for Bytes {
+    fn partial_cmp(&self, other: &&Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.as_slice().cmp(other.as_slice()))
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl PartialEq<str> for Bytes {
+    fn eq(&self, other: &str) -> bool {
+        self.as_slice() == other.as_bytes()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            repr: Repr::Shared(Arc::from(v)),
+        }
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(v: Box<[u8]>) -> Bytes {
+        Bytes {
+            repr: Repr::Shared(Arc::from(v)),
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl<const N: usize> From<&'static [u8; N]> for Bytes {
+    fn from(s: &'static [u8; N]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        let a = Bytes::from_static(b"hello");
+        let b = Bytes::copy_from_slice(b"hello");
+        let c = Bytes::from(b"hello".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn ordering_matches_slices() {
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::from_static(b"abd");
+        assert!(a < b);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn btreemap_borrow_lookup() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<Bytes, u32> = BTreeMap::new();
+        m.insert(Bytes::from_static(b"k1"), 1);
+        assert_eq!(m.get(b"k1".as_slice()), Some(&1));
+    }
+
+    #[test]
+    fn slice_bounds() {
+        let a = Bytes::from_static(b"hello");
+        assert_eq!(a.slice(1..3), Bytes::from_static(b"el"));
+        assert_eq!(a.slice(..), a);
+        assert_eq!(a.slice(2..), Bytes::from_static(b"llo"));
+    }
+
+    #[test]
+    fn debug_escapes_non_printable() {
+        let s = format!("{:?}", Bytes::from_static(b"a\x00b"));
+        assert_eq!(s, "b\"a\\x00b\"");
+    }
+}

@@ -1,0 +1,264 @@
+//! Offline stand-in for `criterion` (see `crates/shims/README.md`).
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `iter`/`iter_batched`,
+//! `Throughput`, `BatchSize`, `criterion_group!`/`criterion_main!` — with
+//! a simple wall-clock measurement loop instead of the real crate's
+//! statistical machinery: a short warm-up, then timed batches until a
+//! fixed measurement budget elapses, reporting mean ns/iter and derived
+//! throughput.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many iterations per setup.
+    SmallInput,
+    /// Large inputs: fewer iterations per setup.
+    LargeInput,
+    /// One setup per iteration (for expensive, mutated state).
+    PerIteration,
+}
+
+impl BatchSize {
+    fn iters_per_batch(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measurement state handed to the closure of `bench_function`.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Total iterations measured.
+    iters: u64,
+    /// Total measured time.
+    elapsed: Duration,
+    /// Measurement budget.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Bencher {
+        Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            budget,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement budget elapses.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: a few unmeasured calls.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        while self.elapsed < self.budget {
+            let start = Instant::now();
+            for _ in 0..16 {
+                black_box(routine());
+            }
+            self.elapsed += start.elapsed();
+            self.iters += 16;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        size: BatchSize,
+    ) {
+        let per_batch = size.iters_per_batch();
+        black_box(routine(setup())); // warm-up
+        while self.elapsed < self.budget {
+            let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.elapsed += start.elapsed();
+            self.iters += per_batch;
+        }
+    }
+
+    fn report(&self, group: &str, name: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("{group}/{name}: no iterations measured");
+            return;
+        }
+        let ns_per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let mut line = format!("{group}/{name}: {ns_per_iter:.1} ns/iter");
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 * 1e9 / ns_per_iter;
+                line.push_str(&format!(" ({per_sec:.0} elem/s)"));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 * 1e9 / ns_per_iter;
+                line.push_str(&format!(" ({:.1} MiB/s)", per_sec / (1024.0 * 1024.0)));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used for derived rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for compatibility; the shim's budget is time-based, so a
+    /// smaller sample count shrinks the measurement window.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let base = self.criterion.measurement_time;
+        self.sample_budget = base.mul_f64((n.max(1) as f64 / 100.0).min(1.0));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_budget);
+        f(&mut b);
+        b.report(&self.name, name, self.throughput);
+        self
+    }
+
+    /// Ends the group (reporting happens eagerly; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep whole-suite runtime modest: the shim is a smoke-benchmark
+        // harness, not a statistics engine.
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_budget: self.measurement_time,
+            criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.measurement_time);
+        f(&mut b);
+        b.report("bench", name, None);
+        self
+    }
+}
+
+/// Declares a benchmark group runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. --bench); ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+            acc
+        });
+        assert!(b.iters > 0);
+        assert!(b.elapsed >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_batch() {
+        let mut b = Bencher::new(Duration::from_millis(2));
+        b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::PerIteration);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1)).sample_size(10);
+        g.bench_function("noop", |b| b.iter(|| black_box(0)));
+        g.finish();
+    }
+}

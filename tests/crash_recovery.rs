@@ -1,6 +1,12 @@
 //! Crash-recovery integration tests spanning the WAL, manifest, sstables
 //! and the engine (§4.4.2 behaviours, plus the invariants of DESIGN.md §8).
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    missing_debug_implementations
+)]
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -57,8 +63,7 @@ fn crash_at_every_growth_stage() {
         // Crash without checkpoint.
         drop(tree);
     }
-    let mut tree =
-        BLsmTree::open(data, wal, 1024, config(), Arc::new(AppendOperator)).unwrap();
+    let mut tree = BLsmTree::open(data, wal, 1024, config(), Arc::new(AppendOperator)).unwrap();
     for (k, v) in &model {
         assert_eq!(tree.get(k).unwrap().as_deref(), Some(v.as_ref()));
     }
@@ -84,8 +89,7 @@ fn recovered_tree_keeps_correct_scan_order() {
             tree.delete(key(i)).unwrap();
         }
     }
-    let mut tree =
-        BLsmTree::open(data, wal, 1024, config(), Arc::new(AppendOperator)).unwrap();
+    let mut tree = BLsmTree::open(data, wal, 1024, config(), Arc::new(AppendOperator)).unwrap();
     let rows = tree.scan(&key(100), 100).unwrap();
     assert!(rows.windows(2).all(|w| w[0].key < w[1].key));
     for row in &rows {
@@ -135,8 +139,7 @@ fn counter_deltas_survive_crash_exactly_once() {
         }
         drop(tree); // crash
     }
-    let mut tree =
-        BLsmTree::open(data, wal, 1024, config(), Arc::new(AddOperator)).unwrap();
+    let mut tree = BLsmTree::open(data, wal, 1024, config(), Arc::new(AddOperator)).unwrap();
     for id in 0..n_keys {
         let v = tree.get(&key(id)).unwrap().expect("counter present");
         let got = i64::from_le_bytes(v[..8].try_into().unwrap());
@@ -151,14 +154,8 @@ fn clean_shutdown_then_wal_wipe() {
     let data: SharedDevice = Arc::new(MemDevice::new());
     let wal: SharedDevice = Arc::new(MemDevice::new());
     {
-        let mut tree = BLsmTree::open(
-            data.clone(),
-            wal,
-            1024,
-            config(),
-            Arc::new(AppendOperator),
-        )
-        .unwrap();
+        let mut tree =
+            BLsmTree::open(data.clone(), wal, 1024, config(), Arc::new(AppendOperator)).unwrap();
         for i in 0..3_000u64 {
             tree.put(key(i), Bytes::from(format!("v{i}"))).unwrap();
         }
@@ -179,7 +176,10 @@ fn clean_shutdown_then_wal_wipe() {
 fn degraded_durability_recovers_prefix() {
     let data: SharedDevice = Arc::new(MemDevice::new());
     let wal: SharedDevice = Arc::new(MemDevice::new());
-    let cfg = BLsmConfig { durability: Durability::None, ..config() };
+    let cfg = BLsmConfig {
+        durability: Durability::None,
+        ..config()
+    };
     {
         let mut tree = BLsmTree::open(
             data.clone(),

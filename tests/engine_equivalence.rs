@@ -3,6 +3,12 @@
 //! must produce identical read results — including mid-merge, mid-compaction
 //! and after recovery.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    missing_debug_implementations
+)]
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -18,7 +24,10 @@ fn key(i: u64) -> Bytes {
 }
 
 fn value(i: u64, round: u64) -> Bytes {
-    Bytes::from(format!("value-{i}-{round}-{}", "x".repeat((i % 64) as usize)))
+    Bytes::from(format!(
+        "value-{i}-{round}-{}",
+        "x".repeat((i % 64) as usize)
+    ))
 }
 
 struct Harness {
@@ -36,7 +45,10 @@ impl Harness {
             data,
             wal,
             1024,
-            BLsmConfig { mem_budget: 128 << 10, ..Default::default() },
+            BLsmConfig {
+                mem_budget: 128 << 10,
+                ..Default::default()
+            },
             Arc::new(AppendOperator),
         )
         .unwrap();
@@ -53,7 +65,12 @@ impl Harness {
             },
             Arc::new(AppendOperator),
         );
-        Harness { model: BTreeMap::new(), blsm, btree, ldb }
+        Harness {
+            model: BTreeMap::new(),
+            blsm,
+            btree,
+            ldb,
+        }
     }
 
     fn put(&mut self, k: Bytes, v: Bytes) {
@@ -104,7 +121,9 @@ fn random_workload_equivalence() {
     let mut h = Harness::new();
     let mut rng = 0xdecafu64;
     let mut next = || {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         rng >> 33
     };
     for round in 0..8_000u64 {
@@ -119,9 +138,18 @@ fn random_workload_equivalence() {
                 // Checked insert must agree with the model.
                 let expect = !h.model.contains_key(&key(id));
                 let v = value(id, round);
-                assert_eq!(h.blsm.insert_if_not_exists(key(id), v.clone()).unwrap(), expect);
-                assert_eq!(h.btree.insert_if_not_exists(key(id), v.clone()).unwrap(), expect);
-                assert_eq!(h.ldb.insert_if_not_exists(key(id), v.clone()).unwrap(), expect);
+                assert_eq!(
+                    h.blsm.insert_if_not_exists(key(id), v.clone()).unwrap(),
+                    expect
+                );
+                assert_eq!(
+                    h.btree.insert_if_not_exists(key(id), v.clone()).unwrap(),
+                    expect
+                );
+                assert_eq!(
+                    h.ldb.insert_if_not_exists(key(id), v.clone()).unwrap(),
+                    expect
+                );
                 if expect {
                     h.model.insert(key(id), v);
                 }

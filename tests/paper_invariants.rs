@@ -3,6 +3,12 @@
 //! bLSM "a general purpose log structured merge tree" rather than just a
 //! correct key-value store.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    missing_debug_implementations
+)]
+
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -26,7 +32,11 @@ fn sim_tree(config: BLsmConfig) -> (BLsmTree, SharedDevice, SharedDevice) {
 }
 
 fn config(mem: usize) -> BLsmConfig {
-    BLsmConfig { mem_budget: mem, wal_capacity: 256 << 20, ..Default::default() }
+    BLsmConfig {
+        mem_budget: mem,
+        wal_capacity: 256 << 20,
+        ..Default::default()
+    }
 }
 
 /// §2.3.1: three-level write amplification is O(sqrt(|data|/|C0|)). With
@@ -53,7 +63,10 @@ fn write_amplification_is_sqrt_bounded() {
         wamp < bound,
         "write amplification {wamp:.2} exceeds O(R) bound {bound:.2} (R={r:.2})"
     );
-    assert!(wamp > 1.0, "write amplification below 1 is impossible: {wamp}");
+    assert!(
+        wamp > 1.0,
+        "write amplification below 1 is impossible: {wamp}"
+    );
 }
 
 /// §3.1/Figure 2: uncached point lookups cost ~1 seek — the Bloom bound of
@@ -113,6 +126,14 @@ fn read_fanout_matches_appendix_a() {
 /// worst single-write device time under spring-and-gear is an order of
 /// magnitude below naive merge-when-full.
 #[test]
+// The strict sweep reads sampled leaves at every quantum boundary; on the
+// simulated device those reads advance simulated time, distorting the
+// latency ratio this test measures. Correctness coverage for the feature
+// lives in the proptests and the other invariant tests.
+#[cfg_attr(
+    feature = "strict-invariants",
+    ignore = "invariant sampling adds simulated I/O time, skewing the latency ratio"
+)]
 fn spring_gear_bounds_worst_case_write_latency() {
     let run = |kind: SchedulerKind| -> u64 {
         let (mut tree, data, wal) = sim_tree(BLsmConfig {
@@ -149,11 +170,15 @@ fn blind_writes_never_read_the_data_device() {
     let before = data.stats();
     for i in 0..500u64 {
         tree.put(format_key(i), make_value(i ^ 9, 500)).unwrap();
-        tree.apply_delta(format_key(i), Bytes::from_static(b"+d")).unwrap();
+        tree.apply_delta(format_key(i), Bytes::from_static(b"+d"))
+            .unwrap();
         tree.delete(format_key(i + 10_000)).unwrap();
     }
     let d = data.stats().delta_since(&before);
-    assert_eq!(d.bytes_read, 0, "blind writes must not read the data device");
+    assert_eq!(
+        d.bytes_read, 0,
+        "blind writes must not read the data device"
+    );
 }
 
 /// Zero-seek insert-if-not-exists (§3.1.2): checked inserts of absent

@@ -3,6 +3,12 @@
 //! a single map — routing, boundary keys, cross-partition scans and the
 //! coordinated merge scheduler included.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    missing_debug_implementations
+)]
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

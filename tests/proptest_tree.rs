@@ -1,15 +1,19 @@
 //! Property-based tests: arbitrary operation sequences against a model,
 //! with randomized crash points, all three schedulers, and delta folding.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    missing_debug_implementations
+)]
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
 use proptest::prelude::*;
 
-use blsm_repro::blsm::{
-    AppendOperator, BLsmConfig, BLsmTree, SchedulerKind,
-};
+use blsm_repro::blsm::{AppendOperator, BLsmConfig, BLsmTree, SchedulerKind};
 use blsm_repro::blsm_storage::{MemDevice, SharedDevice};
 
 #[derive(Debug, Clone)]
@@ -78,7 +82,8 @@ fn run_sequence(scheduler: SchedulerKind, snowshovel: bool, ops: &[Op]) {
             }
             Op::Delta(k, v) => {
                 let delta = vec![*v; 3];
-                tree.apply_delta(key(*k), Bytes::from(delta.clone())).unwrap();
+                tree.apply_delta(key(*k), Bytes::from(delta.clone()))
+                    .unwrap();
                 model.entry(key(*k)).or_default().extend_from_slice(&delta);
             }
             Op::Get(k) => {
@@ -112,6 +117,10 @@ fn run_sequence(scheduler: SchedulerKind, snowshovel: bool, ops: &[Op]) {
                 tree = open();
             }
         }
+        // With `--features strict-invariants`, sweep the paper invariants
+        // after every model step (each step may have run merge quanta).
+        #[cfg(feature = "strict-invariants")]
+        tree.check_invariants().unwrap();
     }
     // Final verification sweep.
     for (k, v) in &model {
@@ -119,6 +128,8 @@ fn run_sequence(scheduler: SchedulerKind, snowshovel: bool, ops: &[Op]) {
     }
     let rows = tree.scan(b"", 4096).unwrap();
     assert_eq!(rows.len(), model.len(), "final scan cardinality");
+    #[cfg(feature = "strict-invariants")]
+    tree.check_invariants().unwrap();
 }
 
 proptest! {
