@@ -11,7 +11,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use blsm_bench::setup::{make_blsm, make_btree, make_leveldb, Scale};
-use blsm_bench::{fmt_f, print_table};
+use blsm_bench::{fmt_f, parse_threads, print_table, read_scaling_rows};
 use blsm_storage::DiskModel;
 use blsm_ycsb::{KvEngine, LoadOrder, Runner, Workload};
 
@@ -82,4 +82,44 @@ fn main() {
             "workload {letter}: bLSM {blsm} far below B-Tree {btree}"
         );
     }
+
+    // Concurrent serving (wall clock): N reader threads race a writer
+    // thread that keeps C0 churning and catalog swaps happening — the
+    // YCSB-B shape (read-mostly with concurrent updates). Pass
+    // `--threads 1,2,4,8` to choose the thread counts.
+    let threads = parse_threads(&[1, 2, 4]);
+    let mut engine = make_blsm(DiskModel::ssd(), &scale);
+    runner
+        .load(
+            &mut engine,
+            scale.records,
+            scale.value_size,
+            false,
+            LoadOrder::Random,
+        )
+        .unwrap();
+    engine.settle().unwrap();
+    let points = read_scaling_rows(
+        engine.tree,
+        scale.records,
+        scale.value_size,
+        ops,
+        &threads,
+        true,
+    );
+    let scaling_rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.threads.to_string(),
+                fmt_f(p.ops_per_sec),
+                p.writes.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "YCSB extension: bLSM concurrent reads vs a live writer, wall clock",
+        &["reader threads", "reads/s", "writes landed meanwhile"],
+        &scaling_rows,
+    );
 }

@@ -30,6 +30,133 @@ pub mod setup;
 pub use adapters::{BLsmEngine, BTreeEngine, LevelDbEngine};
 pub use setup::{EngineKind, Scale};
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use blsm::{BLsmTree, ThreadedBLsm};
+use blsm_ycsb::{format_key, make_value};
+
+/// Parses `--threads N[,M,...]` from the process arguments: the thread
+/// counts the concurrent read-scaling section runs at. Returns `default`
+/// when the flag is absent or unparseable.
+pub fn parse_threads(default: &[usize]) -> Vec<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let list = if arg == "--threads" {
+            args.next()
+        } else {
+            arg.strip_prefix("--threads=").map(str::to_string)
+        };
+        let Some(list) = list else { continue };
+        let parsed: Vec<usize> = list
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .collect();
+        if !parsed.is_empty() {
+            return parsed;
+        }
+    }
+    default.to_vec()
+}
+
+/// One thread count's result from [`read_scaling_rows`].
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Reader thread count.
+    pub threads: usize,
+    /// Wall-clock read throughput summed across all readers.
+    pub ops_per_sec: f64,
+    /// Writes the concurrent writer completed while the readers ran
+    /// (0 when the section runs read-only).
+    pub writes: u64,
+}
+
+/// Wall-clock concurrent read scaling over the lock-free read path.
+///
+/// For each entry in `threads`, wraps the (already loaded) tree in a
+/// [`ThreadedBLsm`] — background merge thread and all — and hammers it
+/// with that many reader threads, each issuing `ops_per_thread` uniform
+/// point reads through its own [`blsm::ReadView`] clone. With
+/// `with_writer`, the calling thread simultaneously issues blind writes
+/// (keeping merges active) until the readers finish, so the readers race
+/// live catalog swaps. Every read asserts the full, untorn value.
+///
+/// This section deliberately uses wall-clock time, not the virtual
+/// device clock: the virtual clock serializes by construction, and the
+/// point here is what concurrency buys.
+pub fn read_scaling_rows(
+    mut tree: BLsmTree,
+    records: u64,
+    value_size: usize,
+    ops_per_thread: u64,
+    threads: &[usize],
+    with_writer: bool,
+) -> Vec<ScalingPoint> {
+    let mut points = Vec::with_capacity(threads.len());
+    for &n in threads {
+        let db = Arc::new(
+            ThreadedBLsm::start(tree, 1 << 20)
+                .unwrap_or_else(|e| panic!("start merge thread: {e}")),
+        );
+        let readers_done = Arc::new(AtomicU64::new(0));
+        let start = std::time::Instant::now();
+        let handles: Vec<_> = (0..n)
+            .map(|t| {
+                let view = db.read_view();
+                let done = readers_done.clone();
+                std::thread::spawn(move || {
+                    let mut rng = 0x5eed_0000_u64 + t as u64;
+                    for _ in 0..ops_per_thread {
+                        rng = rng
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let id = (rng >> 33) % records;
+                        let v = view
+                            .get(&format_key(id))
+                            .unwrap_or_else(|e| panic!("read failed: {e}"))
+                            .unwrap_or_else(|| panic!("loaded key {id} missing"));
+                        assert_eq!(v, make_value(id, value_size), "torn read for key {id}");
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+
+        let mut writes = 0u64;
+        if with_writer {
+            // Re-write loaded records with their canonical value so
+            // readers can still verify bytes; the churn keeps C0 filling
+            // and catalog swaps happening under the readers.
+            let mut wrng = 0xbeef_u64;
+            while readers_done.load(Ordering::SeqCst) < n as u64 {
+                wrng = wrng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let id = (wrng >> 33) % records;
+                db.put(format_key(id), make_value(id, value_size))
+                    .unwrap_or_else(|e| panic!("write failed: {e}"));
+                writes += 1;
+            }
+        }
+        for h in handles {
+            h.join()
+                .unwrap_or_else(|_| panic!("reader thread panicked"));
+        }
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        points.push(ScalingPoint {
+            threads: n,
+            ops_per_sec: (n as u64 * ops_per_thread) as f64 / elapsed,
+            writes,
+        });
+        tree = Arc::try_unwrap(db)
+            .unwrap_or_else(|_| panic!("reader threads still hold the db"))
+            .shutdown()
+            .unwrap_or_else(|e| panic!("shutdown: {e}"));
+    }
+    points
+}
+
 /// Prints an aligned text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");

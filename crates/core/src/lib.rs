@@ -32,10 +32,13 @@
 //! write performs, which is exactly how the paper bounds write latency
 //! "without resorting to techniques that degrade read performance".
 
+mod catalog;
 mod config;
+mod merge;
 mod meta;
 mod partitioned;
 mod progress;
+mod read;
 mod sched;
 mod stats;
 mod threaded;
@@ -44,12 +47,13 @@ mod tree;
 pub use config::{BLsmConfig, Durability, SchedulerKind};
 pub use partitioned::PartitionedBLsm;
 pub use progress::{outprogress, MergeProgress};
+pub use read::{ReadView, ScanItem};
 pub use sched::{
     GearScheduler, MergeScheduler, NaiveScheduler, SchedInputs, SpringGearScheduler, WorkPlan,
 };
-pub use stats::TreeStats;
+pub use stats::{TreeStats, TreeStatsSnapshot};
 pub use threaded::ThreadedBLsm;
-pub use tree::{BLsmTree, ScanItem};
+pub use tree::BLsmTree;
 
 pub use blsm_memtable::{
     AddOperator, AppendOperator, Entry, MergeOperator, OverwriteOperator, SeqNo, Versioned,

@@ -1,0 +1,460 @@
+//! The serialized merge state machine.
+//!
+//! Everything here requires `&mut BLsmTree` — there is exactly one merge
+//! driver at a time (§4.4.1's merge threads, serialized behind the tree
+//! handle). Merges build their output `Sstable` off to the side; nothing
+//! becomes visible to readers until a new [`ComponentCatalog`] is
+//! published, and the `C0:C1` commit point additionally holds the `c0`
+//! write lock so the catalog swap and the retirement of drained `C0`
+//! entries are one atomic step (see `catalog.rs` for the protocol).
+//!
+//! Retired components are reclaimed *deferred*: a reader that pinned an
+//! older catalog may still stream from the old table, so its pages are
+//! evicted and its region freed only once the retired list holds the
+//! last `Arc` (strong count of one — at that point no new references can
+//! be minted, so the check is stable).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use blsm_memtable::merge_versions;
+use blsm_sstable::{EntryRef, EntryStream, MergeIter, ReadMode, Sstable, SstableBuilder};
+use blsm_storage::{Lsn, PageId, Region, Result, Wal};
+
+use crate::catalog::ComponentCatalog;
+use crate::stats;
+use crate::tree::{invariant_err, BLsmTree};
+
+/// Wraps an owned sstable iterator, counting consumed input bytes so the
+/// merge's `inprogress` estimator stays smooth (§4.1).
+pub(crate) struct CountingStream {
+    inner: blsm_sstable::SstIterator,
+    counter: Arc<AtomicU64>,
+}
+
+impl Iterator for CountingStream {
+    type Item = Result<EntryRef>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next();
+        if let Some(Ok(e)) = &item {
+            let cost = (e.key.len() + e.version.entry.payload_len()) as u64;
+            self.counter.fetch_add(cost, Ordering::Relaxed);
+        }
+        item
+    }
+}
+
+/// State of a running `C0:C1` merge.
+pub(crate) struct Merge01 {
+    pub(crate) builder: SstableBuilder,
+    /// Region as allocated (the unused tail is freed at completion).
+    pub(crate) full_region: Region,
+    /// Old `C1` input stream (None when there was no `C1`).
+    pub(crate) c1_stream: Option<std::iter::Peekable<CountingStream>>,
+    pub(crate) c1_consumed: Arc<AtomicU64>,
+    /// `|C0'| + |C1|` at pass start.
+    pub(crate) input_total: u64,
+    /// `|C0'|` at pass start (spring-and-gear rate denominator).
+    pub(crate) c0_input: u64,
+    /// Output becomes the largest component (affects tombstone handling).
+    pub(crate) bottom: bool,
+    /// Log position at pass start — the truncation point on completion.
+    pub(crate) pass_start_lsn: Lsn,
+    /// Stop draining `C0` once the output exceeds this many data bytes.
+    pub(crate) run_cap_bytes: u64,
+    /// Set when the run cap fired; `C0` entries stay for the next pass.
+    pub(crate) c0_capped: bool,
+}
+
+/// State of a running `C1':C2` merge.
+pub(crate) struct Merge12 {
+    pub(crate) builder: SstableBuilder,
+    pub(crate) full_region: Region,
+    pub(crate) iter: MergeIter<'static>,
+    pub(crate) consumed: Arc<AtomicU64>,
+    pub(crate) input_total: u64,
+}
+
+/// A retired on-disk component awaiting reclamation.
+pub(crate) struct RetiredTable {
+    pub(crate) table: Arc<Sstable>,
+    pub(crate) region: Region,
+}
+
+impl BLsmTree {
+    pub(crate) fn start_merge01(&mut self) -> Result<()> {
+        assert!(self.merge01.is_none());
+        let (c0_input, c0_len) = {
+            let mut c0 = self.shared.c0.write();
+            c0.begin_pass(self.shared.config.snowshovel);
+            (c0.pass_start_bytes() as u64, c0.len() as u64)
+        };
+        let catalog = self.shared.catalog.load();
+        let c1_data = catalog.c1.as_ref().map_or(0, |c| c.data_bytes());
+        let c1_entries = catalog.c1.as_ref().map_or(0, |c| c.entry_count());
+        let est_bytes = c0_input + c1_data;
+        let est_entries = c0_len + c1_entries + 16;
+        let factor = self.shared.config.run_length_cap.max(1.0) + 0.5;
+        let pages = Self::merge_region_pages(est_bytes, est_entries, factor);
+        let region = self.allocator.alloc(pages);
+        let builder = SstableBuilder::new(
+            self.shared.pool.clone(),
+            region,
+            (est_entries as f64 * factor) as u64 + 16,
+        );
+        let c1_consumed = Arc::new(AtomicU64::new(0));
+        let c1_stream = catalog.c1.as_ref().map(|c| {
+            CountingStream {
+                inner: c.iter(ReadMode::Buffered(64)),
+                counter: c1_consumed.clone(),
+            }
+            .peekable()
+        });
+        let bottom = catalog.c2.is_none() && catalog.c1_prime.is_none();
+        let pass_start_lsn = self.wal.as_ref().map_or(0, Wal::tail_lsn);
+        self.merge01 = Some(Merge01 {
+            builder,
+            full_region: region,
+            c1_stream,
+            c1_consumed,
+            input_total: est_bytes.max(1),
+            c0_input: c0_input.max(1),
+            bottom,
+            pass_start_lsn,
+            run_cap_bytes: ((est_bytes as f64) * self.shared.config.run_length_cap) as u64 + 4096,
+            c0_capped: false,
+        });
+        Ok(())
+    }
+
+    /// Consumes up to `budget` input bytes of `C0:C1` merge work.
+    ///
+    /// The `c0` write lock is taken per merged entry and released before
+    /// the builder append — readers only ever wait for one peek/drain,
+    /// never for merge I/O.
+    pub(crate) fn run_merge01(&mut self, budget: u64) -> Result<()> {
+        if self.merge01.is_none() {
+            return Ok(());
+        }
+        let op = self.shared.op.clone();
+        let start_consumed = self.merge01_consumed();
+        loop {
+            if self.merge01_consumed() - start_consumed >= budget {
+                return Ok(());
+            }
+            let Some(m) = self.merge01.as_mut() else {
+                return Ok(()); // unreachable: presence checked on entry
+            };
+            // Run-length cap (§4.2: sorted input would otherwise extend the
+            // pass forever).
+            if !m.c0_capped && m.builder.data_bytes() >= m.run_cap_bytes {
+                m.c0_capped = true;
+            }
+            let c1_key = match m.c1_stream.as_mut().and_then(|s| s.peek()) {
+                Some(Ok(e)) => Some(e.key.clone()),
+                Some(Err(_)) => {
+                    // peek() just returned Err; next() must yield it.
+                    let err = match m.c1_stream.as_mut().and_then(Iterator::next) {
+                        Some(Err(err)) => err,
+                        _ => invariant_err("C1 stream error vanished between peek and next"),
+                    };
+                    return Err(err);
+                }
+                None => None,
+            };
+            let mut c0 = self.shared.c0.write();
+            let c0_key = if m.c0_capped {
+                None
+            } else {
+                c0.peek_drain().cloned()
+            };
+            let (key, versions) = match (c0_key, c1_key) {
+                (None, None) => {
+                    drop(c0);
+                    self.finish_merge01()?;
+                    return Ok(());
+                }
+                (Some(k0), Some(k1)) if k0 == k1 => {
+                    let (_, v0) = c0
+                        .drain_next()
+                        .ok_or_else(|| invariant_err("C0 entry vanished after peek"))?;
+                    drop(c0);
+                    let e1 = m
+                        .c1_stream
+                        .as_mut()
+                        .and_then(Iterator::next)
+                        .ok_or_else(|| invariant_err("C1 entry vanished after peek"))??;
+                    (k0, vec![v0, e1.version])
+                }
+                (Some(k0), c1k) if c1k.as_ref().is_none_or(|k1| k0 < *k1) => {
+                    let (k, v0) = c0
+                        .drain_next()
+                        .ok_or_else(|| invariant_err("C0 entry vanished after peek"))?;
+                    drop(c0);
+                    (k, vec![v0])
+                }
+                (_, Some(_)) => {
+                    let e1 = m
+                        .c1_stream
+                        .as_mut()
+                        .and_then(Iterator::next)
+                        .ok_or_else(|| invariant_err("C1 entry vanished after peek"))??;
+                    // The merge output cursor moved past e1.key: inserts at
+                    // or below it must defer to the next pass (§4.2).
+                    c0.advance_cursor(&e1.key);
+                    drop(c0);
+                    (e1.key, vec![e1.version])
+                }
+                _ => unreachable!(),
+            };
+            if let Some(v) = merge_versions(op.as_ref(), &versions, m.bottom) {
+                stats::bump(
+                    &self.shared.stats.merge_bytes_consumed,
+                    (key.len() + v.entry.payload_len()) as u64,
+                );
+                m.builder.add(&key, &v)?;
+            }
+        }
+    }
+
+    pub(crate) fn merge01_consumed(&self) -> u64 {
+        match &self.merge01 {
+            Some(m) => {
+                self.shared.c0.read().drained_bytes() as u64 + m.c1_consumed.load(Ordering::Relaxed)
+            }
+            None => 0,
+        }
+    }
+
+    pub(crate) fn finish_merge01(&mut self) -> Result<()> {
+        let Some(m) = self.merge01.take() else {
+            return Err(invariant_err("finish_merge01 without active merge01"));
+        };
+        let Merge01 {
+            builder,
+            full_region,
+            c1_stream,
+            pass_start_lsn,
+            ..
+        } = m;
+        // Build and open the new C1 off to the side — nothing is visible
+        // to readers until the catalog swap below.
+        let new_c1 = Arc::new(builder.finish()?);
+        // Free the unused tail of the over-allocated region.
+        let used = new_c1.region().pages;
+        if used < full_region.pages {
+            self.allocator.free(Region {
+                start: PageId(full_region.start.0 + used),
+                pages: full_region.pages - used,
+            });
+        }
+        let new_c1 = (new_c1.entry_count() > 0).then_some(new_c1);
+        // Release the old-C1 iterator's table handle before reclamation.
+        drop(c1_stream);
+
+        let had_leftover;
+        {
+            let old = self.shared.catalog.load();
+            let next = Arc::new(ComponentCatalog::new(
+                new_c1,
+                old.c1_prime.clone(),
+                old.c2.clone(),
+            ));
+            let old_c1 = old.c1.clone();
+            drop(old);
+            // Commit point (see catalog.rs): publish the new catalog and
+            // retire the pass's drained C0 copies in one c0 write critical
+            // section. A concurrent reader pins either the old pair (old
+            // C1 + retained entries) or the new pair — both complete.
+            {
+                let mut c0 = self.shared.c0.write();
+                had_leftover = !c0.pass_exhausted();
+                self.shared.catalog.store(next);
+                if had_leftover {
+                    let op = self.shared.op.clone();
+                    c0.end_pass_with_remainder(op.as_ref());
+                } else {
+                    c0.end_pass();
+                }
+            }
+            if let Some(old_c1) = old_c1 {
+                self.retire(old_c1);
+            }
+        }
+        self.last_pass_had_leftover = had_leftover;
+        stats::bump(&self.shared.stats.merges01, 1);
+
+        // Log truncation: everything the pass consumed is durable. With a
+        // leftover (capped pass) pre-pass records may still be live, so
+        // truncation waits for the next clean pass (§4.4.2:
+        // "snowshoveling delays log truncation").
+        if !had_leftover {
+            if let Some(wal) = &mut self.wal {
+                wal.truncate(pass_start_lsn);
+            }
+        }
+
+        self.recompute_r();
+        // Trigger the downstream merge when C1 reaches R fills (§2.3.1).
+        let c1_target = (self.r * self.shared.config.mem_budget as f64) as u64;
+        let rotate = {
+            let cat = self.shared.catalog.load();
+            self.merge12.is_none()
+                && cat.c1_prime.is_none()
+                && cat.c1.as_ref().is_some_and(|c| c.data_bytes() >= c1_target)
+        };
+        if rotate {
+            {
+                let cat = self.shared.catalog.load();
+                // C1 → C1' rotation: the same table is reachable before
+                // and after the swap, so readers never see a gap.
+                self.shared.catalog.store(Arc::new(ComponentCatalog::new(
+                    None,
+                    cat.c1.clone(),
+                    cat.c2.clone(),
+                )));
+            }
+            self.save_manifest()?;
+            self.start_merge12()?;
+            if self.scheduler.blocking_merge12() {
+                // The naive scheduler's unbounded pause (§3.2).
+                self.run_merge12(u64::MAX)?;
+            }
+        } else {
+            self.save_manifest()?;
+        }
+        self.reap_retired();
+        Ok(())
+    }
+
+    pub(crate) fn start_merge12(&mut self) -> Result<()> {
+        assert!(self.merge12.is_none());
+        let catalog = self.shared.catalog.load();
+        let c1p = catalog
+            .c1_prime
+            .clone()
+            .ok_or_else(|| invariant_err("start_merge12 without C1'"))?;
+        let c2 = catalog.c2.clone();
+        let input_total = c1p.data_bytes() + c2.as_ref().map_or(0, |c| c.data_bytes());
+        let est_entries = c1p.entry_count() + c2.as_ref().map_or(0, |c| c.entry_count()) + 16;
+        let pages = Self::merge_region_pages(input_total, est_entries, 1.2);
+        let region = self.allocator.alloc(pages);
+        let builder = SstableBuilder::new(self.shared.pool.clone(), region, est_entries);
+        let consumed = Arc::new(AtomicU64::new(0));
+        let mut streams: Vec<EntryStream<'static>> = Vec::with_capacity(2);
+        streams.push(Box::new(CountingStream {
+            inner: c1p.iter(ReadMode::Buffered(64)),
+            counter: consumed.clone(),
+        }));
+        if let Some(c2) = &c2 {
+            streams.push(Box::new(CountingStream {
+                inner: c2.iter(ReadMode::Buffered(64)),
+                counter: consumed.clone(),
+            }));
+        }
+        let iter = MergeIter::new(streams, self.shared.op.clone(), true);
+        self.merge12 = Some(Merge12 {
+            builder,
+            full_region: region,
+            iter,
+            consumed,
+            input_total: input_total.max(1),
+        });
+        Ok(())
+    }
+
+    /// Consumes up to `budget` input bytes of `C1':C2` merge work.
+    pub(crate) fn run_merge12(&mut self, budget: u64) -> Result<()> {
+        let Some(m) = self.merge12.as_mut() else {
+            return Ok(());
+        };
+        let start = m.consumed.load(Ordering::Relaxed);
+        loop {
+            if m.consumed.load(Ordering::Relaxed) - start >= budget {
+                return Ok(());
+            }
+            match m.iter.next() {
+                Some(e) => {
+                    let e = e?;
+                    stats::bump(
+                        &self.shared.stats.merge_bytes_consumed,
+                        (e.key.len() + e.version.entry.payload_len()) as u64,
+                    );
+                    m.builder.add(&e.key, &e.version)?;
+                }
+                None => {
+                    self.finish_merge12()?;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    pub(crate) fn finish_merge12(&mut self) -> Result<()> {
+        let Some(m) = self.merge12.take() else {
+            return Err(invariant_err("finish_merge12 without active merge12"));
+        };
+        let Merge12 {
+            builder,
+            full_region,
+            iter,
+            ..
+        } = m;
+        let new_c2 = Arc::new(builder.finish()?);
+        let used = new_c2.region().pages;
+        if used < full_region.pages {
+            self.allocator.free(Region {
+                start: PageId(full_region.start.0 + used),
+                pages: full_region.pages - used,
+            });
+        }
+        let new_c2 = (new_c2.entry_count() > 0).then_some(new_c2);
+        // Release the input iterators' table handles before reclamation.
+        drop(iter);
+        {
+            let old = self.shared.catalog.load();
+            // Single swap: C1' and the old C2 leave, the merged C2
+            // arrives. No C0 state changes, so the c0 lock is not needed:
+            // a reader's pinned old catalog is still a complete view.
+            self.shared.catalog.store(Arc::new(ComponentCatalog::new(
+                old.c1.clone(),
+                None,
+                new_c2,
+            )));
+            if let Some(t) = old.c1_prime.clone() {
+                self.retire(t);
+            }
+            if let Some(t) = old.c2.clone() {
+                self.retire(t);
+            }
+        }
+        stats::bump(&self.shared.stats.merges12, 1);
+        self.recompute_r();
+        self.save_manifest()?;
+        self.reap_retired();
+        Ok(())
+    }
+
+    /// Queues a replaced component for deferred reclamation.
+    pub(crate) fn retire(&mut self, table: Arc<Sstable>) {
+        let region = table.region();
+        self.retired.push(RetiredTable { table, region });
+    }
+
+    /// Reclaims retired components no longer referenced by any catalog
+    /// snapshot or in-flight iterator. A strong count of one means the
+    /// retired list holds the last handle; no new references can be
+    /// minted from it, so eviction + region free is safe.
+    pub(crate) fn reap_retired(&mut self) {
+        let pending = std::mem::take(&mut self.retired);
+        for r in pending {
+            if Arc::strong_count(&r.table) == 1 {
+                r.table.evict_from_pool();
+                self.allocator.free(r.region);
+            } else {
+                self.retired.push(r);
+            }
+        }
+    }
+}

@@ -30,8 +30,9 @@ use blsm_memtable::MergeOperator;
 use blsm_storage::{Result, SharedDevice};
 
 use crate::config::BLsmConfig;
-use crate::stats::TreeStats;
-use crate::tree::{BLsmTree, ScanItem};
+use crate::read::ScanItem;
+use crate::stats::TreeStatsSnapshot;
+use crate::tree::BLsmTree;
 
 /// A set of range-partitioned bLSM trees behind one keyspace.
 ///
@@ -178,8 +179,8 @@ impl PartitionedBLsm {
         self.drive_merges(incoming)
     }
 
-    /// Point lookup.
-    pub fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>> {
+    /// Point lookup (lock-free against each partition's merges).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
         let p = self.partition_for(key);
         self.partitions[p].get(key)
     }
@@ -201,7 +202,7 @@ impl PartitionedBLsm {
 
     /// Ordered scan across partition boundaries: partitions hold disjoint
     /// ranges, so results concatenate in key order.
-    pub fn scan(&mut self, from: &[u8], limit: usize) -> Result<Vec<ScanItem>> {
+    pub fn scan(&self, from: &[u8], limit: usize) -> Result<Vec<ScanItem>> {
         let mut out = Vec::with_capacity(limit);
         let first = self.partition_for(from);
         for p in first..self.partitions.len() {
@@ -232,22 +233,10 @@ impl PartitionedBLsm {
     }
 
     /// Sum of per-partition stats.
-    pub fn stats(&self) -> TreeStats {
-        let mut total = TreeStats::default();
+    pub fn stats(&self) -> TreeStatsSnapshot {
+        let mut total = TreeStatsSnapshot::default();
         for p in &self.partitions {
-            let s = p.stats();
-            total.gets += s.gets;
-            total.writes += s.writes;
-            total.scans += s.scans;
-            total.check_inserts += s.check_inserts;
-            total.disk_probes += s.disk_probes;
-            total.bloom_skips += s.bloom_skips;
-            total.early_terminations += s.early_terminations;
-            total.user_bytes_written += s.user_bytes_written;
-            total.merge_bytes_consumed += s.merge_bytes_consumed;
-            total.merges01 += s.merges01;
-            total.merges12 += s.merges12;
-            total.forced_stalls += s.forced_stalls;
+            total.accumulate(&p.stats());
         }
         total
     }

@@ -1,0 +1,276 @@
+//! The lock-free read path.
+//!
+//! Point lookups, existence checks and scans all run against an immutable
+//! pinned pair — a `C0` snapshot and a [`ComponentCatalog`] — so they are
+//! `&self`, never block merges, and never block each other (§4.4.1:
+//! merge threads must not take a coarse mutex per tuple or page).
+//!
+//! Pinning protocol (the other half lives in `merge.rs`): a reader takes
+//! the `c0` read lock, collects the key's in-memory version chain (or the
+//! `C0` rows of a scan range) *and* loads the catalog pointer under that
+//! lock, then drops the lock before probing disk. Because the `C0:C1`
+//! merge publishes its output and retires the drained `C0` copies inside
+//! one `c0` write critical section, the pinned pair is always consistent:
+//! every version of every key is visible exactly once along the
+//! newest→oldest search order.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use blsm_memtable::{Entry, MergeOperator, Versioned};
+use blsm_sstable::{EntryRef, EntryStream, MergeIter, ReadMode};
+use blsm_storage::Result;
+
+use crate::catalog::{ComponentCatalog, TreeShared};
+use crate::stats::{self, TreeStatsSnapshot};
+
+/// One row returned by a scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanItem {
+    /// The key.
+    pub key: Bytes,
+    /// The fully resolved value (deltas folded, tombstones elided).
+    pub value: Bytes,
+}
+
+/// A shareable, lock-free handle to the tree's read path.
+///
+/// Cheap to clone (one `Arc`), `Send + Sync`, and valid for as long as
+/// the originating [`crate::BLsmTree`] world exists — including while
+/// merges run: reads pin an immutable component snapshot and proceed
+/// without ever taking the tree lock.
+#[derive(Clone)]
+pub struct ReadView {
+    shared: Arc<TreeShared>,
+}
+
+impl std::fmt::Debug for ReadView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadView")
+            .field("stats", &self.shared.stats.snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ReadView {
+    pub(crate) fn new(shared: Arc<TreeShared>) -> ReadView {
+        ReadView { shared }
+    }
+
+    /// Point lookup. Walks components newest→oldest, consults a Bloom
+    /// filter before every disk probe, folds deltas, and stops at the
+    /// first base record (§3.1, §3.1.1).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        self.shared.get(key)
+    }
+
+    /// Existence check with early termination and Bloom short-circuits.
+    pub fn exists(&self, key: &[u8]) -> Result<bool> {
+        self.shared.exists(key)
+    }
+
+    /// Ordered scan: up to `limit` live rows with key ≥ `from`.
+    pub fn scan(&self, from: &[u8], limit: usize) -> Result<Vec<ScanItem>> {
+        self.shared.scan(from, None, limit)
+    }
+
+    /// Ordered scan of `[from, to)`, up to `limit` rows.
+    pub fn scan_range(&self, from: &[u8], to: &[u8], limit: usize) -> Result<Vec<ScanItem>> {
+        self.shared.scan(from, Some(to), limit)
+    }
+
+    /// Lock-free snapshot of the engine counters.
+    pub fn stats(&self) -> TreeStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+}
+
+/// Folds collected deltas over a base value (or its absence).
+fn resolve_base(op: &dyn MergeOperator, base: Option<&[u8]>, deltas: &[Bytes]) -> Option<Bytes> {
+    if deltas.is_empty() {
+        return base.map(Bytes::copy_from_slice);
+    }
+    let refs: Vec<&[u8]> = deltas.iter().map(Bytes::as_ref).collect();
+    Some(Bytes::from(op.fold(base, &refs)))
+}
+
+/// What the in-memory part of a lookup decided before disk is consulted.
+enum C0Verdict {
+    /// A base record terminated the search (value, or `None` for a
+    /// tombstone); `deltas` collected above it still apply.
+    Terminated(Option<Bytes>),
+    /// Only deltas (or nothing) found; the disk components must be
+    /// probed.
+    Continue,
+}
+
+impl TreeShared {
+    /// Pins a `(C0 verdict, catalog)` pair for `key` under one `c0` read
+    /// lock — the consistency unit of the whole read path.
+    fn pin_for_get(
+        &self,
+        key: &[u8],
+        deltas: &mut Vec<Bytes>,
+    ) -> (C0Verdict, Arc<ComponentCatalog>) {
+        let c0 = self.c0.read();
+        let mut verdict = C0Verdict::Continue;
+        for v in c0.version_chain(key) {
+            match &v.entry {
+                Entry::Put(b) => {
+                    verdict = C0Verdict::Terminated(Some(b.clone()));
+                    break;
+                }
+                Entry::Tombstone => {
+                    verdict = C0Verdict::Terminated(None);
+                    break;
+                }
+                Entry::Delta(d) => deltas.push(d.clone()),
+            }
+        }
+        (verdict, self.catalog.load())
+    }
+
+    pub(crate) fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        stats::bump(&self.stats.gets, 1);
+        let mut deltas: Vec<Bytes> = Vec::new();
+        let (verdict, catalog) = self.pin_for_get(key, &mut deltas);
+        match verdict {
+            C0Verdict::Terminated(Some(base)) => {
+                stats::bump(&self.stats.early_terminations, 1);
+                return Ok(resolve_base(self.op.as_ref(), Some(&base), &deltas));
+            }
+            C0Verdict::Terminated(None) => {
+                // Tombstone: deltas above it (if any) apply to an absent
+                // base; with none, the key is simply gone.
+                return Ok(
+                    resolve_base(self.op.as_ref(), None, &deltas).filter(|_| !deltas.is_empty())
+                );
+            }
+            C0Verdict::Continue => {}
+        }
+
+        for table in catalog.tables() {
+            if !table.may_contain(key) {
+                stats::bump(&self.stats.bloom_skips, 1);
+                continue;
+            }
+            stats::bump(&self.stats.disk_probes, 1);
+            let Some(v) = table.get(key)? else { continue };
+            match v.entry {
+                Entry::Put(b) => {
+                    stats::bump(&self.stats.early_terminations, 1);
+                    return Ok(resolve_base(self.op.as_ref(), Some(&b), &deltas));
+                }
+                Entry::Tombstone => {
+                    return Ok(resolve_base(self.op.as_ref(), None, &deltas)
+                        .filter(|_| !deltas.is_empty()));
+                }
+                Entry::Delta(d) => deltas.push(d),
+            }
+        }
+        if deltas.is_empty() {
+            Ok(None)
+        } else {
+            // Orphan deltas: apply against an absent base.
+            Ok(resolve_base(self.op.as_ref(), None, &deltas))
+        }
+    }
+
+    pub(crate) fn exists(&self, key: &[u8]) -> Result<bool> {
+        let (c0_hit, catalog) = {
+            let c0 = self.c0.read();
+            let hit = c0.version_chain(key).next().cloned();
+            (hit, self.catalog.load())
+        };
+        if let Some(v) = c0_hit {
+            // A delta implies a live record (it materializes on read).
+            return Ok(!matches!(v.entry, Entry::Tombstone));
+        }
+        for table in catalog.tables() {
+            if !table.may_contain(key) {
+                stats::bump(&self.stats.bloom_skips, 1);
+                continue;
+            }
+            stats::bump(&self.stats.disk_probes, 1);
+            if let Some(v) = table.get(key)? {
+                return Ok(!matches!(v.entry, Entry::Tombstone));
+            }
+        }
+        Ok(false)
+    }
+
+    /// Newest on-disk sequence number for `key` (recovery's replay
+    /// check). The seqno horizon answers "no component can cover this
+    /// record" without any probe.
+    pub(crate) fn disk_newest_seqno(&self, key: &[u8], at_least: u64) -> Result<Option<u64>> {
+        let catalog = self.catalog.load();
+        if at_least > catalog.seqno_horizon {
+            return Ok(None);
+        }
+        for table in catalog.tables() {
+            if !table.may_contain(key) {
+                continue;
+            }
+            if let Some(v) = table.get(key)? {
+                return Ok(Some(v.seqno));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Ordered scan of `[from, to)` (unbounded above when `to` is
+    /// `None`), up to `limit` live rows. Touches every component once
+    /// (§3.3's two/three-seek scans).
+    pub(crate) fn scan(
+        &self,
+        from: &[u8],
+        to: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<ScanItem>> {
+        stats::bump(&self.stats.scans, 1);
+        // Pin: copy the C0 rows of the range and load the catalog under
+        // one c0 read lock. The copy is bounded by the C0 memory budget
+        // (and by `to` when given); disk components stream lazily.
+        let (c0_rows, catalog) = {
+            let c0 = self.c0.read();
+            let mut rows: Vec<(Bytes, Versioned)> = Vec::new();
+            for (k, v) in c0.range_from(from) {
+                if to.is_some_and(|t| k.as_ref() >= t) {
+                    break;
+                }
+                rows.push((k.clone(), v.clone()));
+            }
+            (rows, self.catalog.load())
+        };
+
+        let mut streams: Vec<EntryStream<'static>> = Vec::with_capacity(4);
+        // C0 (freshest).
+        streams.push(Box::new(
+            c0_rows
+                .into_iter()
+                .map(|(key, version)| Ok(EntryRef { key, version })),
+        ));
+        for table in catalog.tables() {
+            streams.push(Box::new(table.iter_from(from, ReadMode::Pooled)));
+        }
+
+        let merged = MergeIter::new(streams, self.op.clone(), true);
+        let mut out = Vec::with_capacity(limit);
+        for item in merged {
+            let e = item?;
+            if let Some(to) = to {
+                if e.key.as_ref() >= to {
+                    break;
+                }
+            }
+            if let Entry::Put(value) = e.version.entry {
+                out.push(ScanItem { key: e.key, value });
+                if out.len() >= limit {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,10 +1,87 @@
 //! Engine-level counters backing the paper's metrics (§2.1).
+//!
+//! Counters are lock-free atomics so the read path ([`crate::ReadView`])
+//! never needs `&mut` access to the tree: concurrent readers, the write
+//! path and the merge thread all bump the same [`TreeStats`] cell inside
+//! `TreeShared`. Consumers take a [`TreeStatsSnapshot`] — a plain `Copy`
+//! struct — and do delta arithmetic on that.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Increment a statistics counter.
+///
+/// Relaxed is deliberate: these are monotonic counters with no
+/// cross-thread ordering dependencies; snapshot readers tolerate small
+/// skew between fields.
+#[inline]
+pub(crate) fn bump(counter: &AtomicU64, n: u64) {
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read a statistics counter. Relaxed for the same reason as [`bump`].
+#[inline]
+fn read(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}
 
 /// Counters maintained by [`crate::BLsmTree`]. Device-level seek and byte
 /// counts live in `blsm_storage::DeviceStats`; these add the engine-side
 /// breakdown (bloom effectiveness, merge volume, stall behaviour).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Fields mirror [`TreeStatsSnapshot`]; use [`TreeStats::snapshot`] to
+/// read them coherently enough for reporting.
+#[derive(Debug, Default)]
 pub struct TreeStats {
+    /// Application point lookups.
+    pub(crate) gets: AtomicU64,
+    /// Application writes (put/delete/delta).
+    pub(crate) writes: AtomicU64,
+    /// Application scans.
+    pub(crate) scans: AtomicU64,
+    /// `insert_if_not_exists` calls.
+    pub(crate) check_inserts: AtomicU64,
+    /// On-disk component probes actually performed (post-bloom).
+    pub(crate) disk_probes: AtomicU64,
+    /// Component probes skipped because a Bloom filter said "absent".
+    pub(crate) bloom_skips: AtomicU64,
+    /// Reads that terminated at a base record before exhausting components.
+    pub(crate) early_terminations: AtomicU64,
+    /// Bytes of user data written by the application.
+    pub(crate) user_bytes_written: AtomicU64,
+    /// Input bytes consumed by merges (both levels).
+    pub(crate) merge_bytes_consumed: AtomicU64,
+    /// `C0:C1` merge passes completed.
+    pub(crate) merges01: AtomicU64,
+    /// `C1':C2` merges completed.
+    pub(crate) merges12: AtomicU64,
+    /// Writes that hit the hard `C0` cap and had to run forced merge work.
+    pub(crate) forced_stalls: AtomicU64,
+}
+
+impl TreeStats {
+    /// Lock-free point-in-time copy of every counter.
+    pub fn snapshot(&self) -> TreeStatsSnapshot {
+        TreeStatsSnapshot {
+            gets: read(&self.gets),
+            writes: read(&self.writes),
+            scans: read(&self.scans),
+            check_inserts: read(&self.check_inserts),
+            disk_probes: read(&self.disk_probes),
+            bloom_skips: read(&self.bloom_skips),
+            early_terminations: read(&self.early_terminations),
+            user_bytes_written: read(&self.user_bytes_written),
+            merge_bytes_consumed: read(&self.merge_bytes_consumed),
+            merges01: read(&self.merges01),
+            merges12: read(&self.merges12),
+            forced_stalls: read(&self.forced_stalls),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`TreeStats`], safe to copy around, compare and
+/// subtract. Field meanings match the atomic struct one-for-one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeStatsSnapshot {
     /// Application point lookups.
     pub gets: u64,
     /// Application writes (put/delete/delta).
@@ -31,7 +108,7 @@ pub struct TreeStats {
     pub forced_stalls: u64,
 }
 
-impl TreeStats {
+impl TreeStatsSnapshot {
     /// Mean disk probes per get — the measured read amplification
     /// numerator (§2.1 measures it in seeks).
     pub fn probes_per_get(&self) -> f64 {
@@ -40,5 +117,58 @@ impl TreeStats {
         } else {
             self.disk_probes as f64 / self.gets as f64
         }
+    }
+
+    /// Field-wise accumulate, used by `PartitionedBLsm::stats` to sum
+    /// per-partition counters.
+    pub fn accumulate(&mut self, other: &TreeStatsSnapshot) {
+        self.gets += other.gets;
+        self.writes += other.writes;
+        self.scans += other.scans;
+        self.check_inserts += other.check_inserts;
+        self.disk_probes += other.disk_probes;
+        self.bloom_skips += other.bloom_skips;
+        self.early_terminations += other.early_terminations;
+        self.user_bytes_written += other.user_bytes_written;
+        self.merge_bytes_consumed += other.merge_bytes_consumed;
+        self.merges01 += other.merges01;
+        self.merges12 += other.merges12;
+        self.forced_stalls += other.forced_stalls;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_bumped_counters() {
+        let stats = TreeStats::default();
+        bump(&stats.gets, 3);
+        bump(&stats.disk_probes, 6);
+        let snap = stats.snapshot();
+        assert_eq!(snap.gets, 3);
+        assert_eq!(snap.disk_probes, 6);
+        assert!((snap.probes_per_get() - 2.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn accumulate_sums_fieldwise() {
+        let mut a = TreeStatsSnapshot {
+            gets: 1,
+            writes: 2,
+            ..TreeStatsSnapshot::default()
+        };
+        let b = TreeStatsSnapshot {
+            gets: 10,
+            merges01: 4,
+            ..TreeStatsSnapshot::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.gets, 11);
+        assert_eq!(a.writes, 2);
+        assert_eq!(a.merges01, 4);
     }
 }

@@ -10,11 +10,14 @@
 //! §4.4.1 notes the concurrency pitfalls of merge threads ("it is
 //! prohibitively expensive to acquire a coarse-grained mutex for each
 //! merged tuple or page ... each merge thread must take action based upon
-//! stale statistics"). We keep the locking coarse but *short*: the merge
-//! thread acquires the lock once per bounded work quantum, so application
-//! operations interleave between quanta — the same backpressure shape as
-//! the cooperative driver, with bounded lock hold times instead of
-//! per-tuple locking.
+//! stale statistics"). Writes keep the locking coarse but *short*: the
+//! merge thread acquires the tree lock once per bounded work quantum, so
+//! application writes interleave between quanta. Reads never take that
+//! lock at all — [`ThreadedBLsm::get`], [`scan`](ThreadedBLsm::scan),
+//! [`exists`](ThreadedBLsm::exists) and [`stats`](ThreadedBLsm::stats) go
+//! through the tree's lock-free [`ReadView`], which pins an immutable
+//! catalog snapshot and proceeds even while a merge quantum holds the
+//! tree lock (see `catalog.rs`).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -22,8 +25,10 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-use blsm_storage::Result;
+use blsm_storage::{Result, StorageError};
 
+use crate::read::{ReadView, ScanItem};
+use crate::stats::TreeStatsSnapshot;
 use crate::tree::BLsmTree;
 
 struct Shared {
@@ -34,10 +39,13 @@ struct Shared {
     shutdown: AtomicBool,
 }
 
-/// A [`BLsmTree`] with a background merge thread.
+/// A [`BLsmTree`] with a background merge thread and a lock-free read
+/// path.
 pub struct ThreadedBLsm {
     /// `Some` until `shutdown` hands the tree back.
     shared: Option<Arc<Shared>>,
+    /// Lock-free reads; valid for the tree's whole life.
+    view: ReadView,
     merge_thread: Option<std::thread::JoinHandle<()>>,
     /// Merge input bytes processed per lock acquisition.
     quantum: u64,
@@ -55,8 +63,16 @@ impl std::fmt::Debug for ThreadedBLsm {
 impl ThreadedBLsm {
     /// Wraps a tree and starts the merge thread. `quantum` bounds merge
     /// bytes processed per lock hold (and therefore the time any
-    /// application operation can wait behind the merge thread).
-    pub fn start(tree: BLsmTree, quantum: u64) -> ThreadedBLsm {
+    /// application *write* can wait behind the merge thread; reads never
+    /// wait).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] if the merge thread cannot be
+    /// spawned (e.g. the process hit its thread limit); the tree itself
+    /// is dropped in that case, so reopen it from its devices.
+    pub fn start(tree: BLsmTree, quantum: u64) -> Result<ThreadedBLsm> {
+        let view = tree.read_view();
         let shared = Arc::new(Shared {
             tree: Mutex::new(tree),
             work_cv: Condvar::new(),
@@ -67,12 +83,13 @@ impl ThreadedBLsm {
         let merge_thread = std::thread::Builder::new()
             .name("blsm-merge".into())
             .spawn(move || merge_loop(&thread_shared, quantum.max(64 << 10)))
-            .unwrap_or_else(|e| panic!("failed to spawn merge thread: {e}"));
-        ThreadedBLsm {
+            .map_err(StorageError::Io)?;
+        Ok(ThreadedBLsm {
             shared: Some(shared),
+            view,
             merge_thread: Some(merge_thread),
             quantum,
-        }
+        })
     }
 
     fn shared(&self) -> &Arc<Shared> {
@@ -109,9 +126,32 @@ impl ThreadedBLsm {
         self.with_tree(|t| t.put(key, value))
     }
 
-    /// Convenience: point lookup.
+    /// Point lookup — lock-free: proceeds even while the merge thread
+    /// holds the tree lock for a work quantum.
     pub fn get(&self, key: &[u8]) -> Result<Option<bytes::Bytes>> {
-        self.with_tree(|t| t.get(key))
+        self.view.get(key)
+    }
+
+    /// Existence check — lock-free.
+    pub fn exists(&self, key: &[u8]) -> Result<bool> {
+        self.view.exists(key)
+    }
+
+    /// Ordered scan — lock-free.
+    pub fn scan(&self, from: &[u8], limit: usize) -> Result<Vec<ScanItem>> {
+        self.view.scan(from, limit)
+    }
+
+    /// A cloneable lock-free read handle, independent of this wrapper's
+    /// lifetime bookkeeping (hand these to reader threads).
+    pub fn read_view(&self) -> ReadView {
+        self.view.clone()
+    }
+
+    /// Lock-free snapshot of the engine counters — never waits for the
+    /// merge thread.
+    pub fn stats(&self) -> TreeStatsSnapshot {
+        self.view.stats()
     }
 
     /// Convenience: delete.
@@ -234,7 +274,7 @@ mod tests {
             Arc::new(AppendOperator),
         )
         .unwrap();
-        ThreadedBLsm::start(tree, 1 << 20)
+        ThreadedBLsm::start(tree, 1 << 20).unwrap()
     }
 
     #[test]
@@ -281,7 +321,7 @@ mod tests {
             db.put(format!("k{i:06}").into_bytes(), Bytes::from_static(b"v"))
                 .unwrap();
         }
-        let mut tree = db.shutdown().unwrap();
+        let tree = db.shutdown().unwrap();
         assert!(tree.c0_bytes() == 0, "shutdown must checkpoint");
         assert_eq!(
             tree.get(b"k002999").unwrap().unwrap(),
@@ -311,7 +351,7 @@ mod tests {
             )
             .unwrap();
             // Quantum below the floor: exercises the floor clamp too.
-            let db = Arc::new(ThreadedBLsm::start(tree, 1));
+            let db = Arc::new(ThreadedBLsm::start(tree, 1).unwrap());
             let stop = Arc::new(AtomicBool::new(false));
             let mut handles = Vec::new();
             for t in 0..3u32 {
@@ -337,7 +377,7 @@ mod tests {
             let counts: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
             let db = Arc::try_unwrap(db)
                 .unwrap_or_else(|_| panic!("writer threads exited; sole owner expected"));
-            let mut tree = db.shutdown().unwrap();
+            let tree = db.shutdown().unwrap();
             // Every acknowledged write must be readable after shutdown.
             for (t, n) in counts.iter().enumerate() {
                 for i in (0..*n).step_by(17) {

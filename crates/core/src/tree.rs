@@ -13,117 +13,71 @@
 //! happens relative to application writes, which is all that matters for
 //! latency and throughput. `maintenance` exposes the same state machine
 //! for background/idle driving.
+//!
+//! Concurrency: the tree splits into a shared, lock-free read side and a
+//! serialized merge/write side. `BLsmTree` owns the write side; reads go
+//! through the `Arc<TreeShared>` it publishes (also reachable as a
+//! standalone [`crate::ReadView`] via [`BLsmTree::read_view`]), so `get`,
+//! `scan` and `exists` take `&self` and never contend with merge quanta.
+//! The module split mirrors the design: `catalog.rs` (the atomically
+//! swapped component snapshot), `read.rs` (the read path), `merge.rs`
+//! (the serialized merge machinery).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use bytes::Bytes;
 
-use blsm_memtable::{merge_versions, Entry, MergeOperator, SnowshovelBuffer, Versioned};
-use blsm_sstable::{EntryRef, EntryStream, MergeIter, ReadMode, Sstable, SstableBuilder};
+use blsm_memtable::{Entry, MergeOperator, SnowshovelBuffer, Versioned};
+use blsm_sstable::Sstable;
 use blsm_storage::codec::{self, Reader};
 use blsm_storage::manifest::{ManifestStore, DEFAULT_SLOT_PAGES};
 use blsm_storage::page::PAGE_PAYLOAD_LEN;
 use blsm_storage::{
-    BufferPool, Lsn, Region, RegionAllocator, Result, SharedDevice, StorageError, Wal, PAGE_SIZE,
+    BufferPool, RegionAllocator, Result, SharedDevice, StorageError, Wal, PAGE_SIZE,
 };
+use parking_lot::RwLock;
 
+use crate::catalog::{CatalogCell, ComponentCatalog, TreeShared};
 use crate::config::{BLsmConfig, Durability};
+use crate::merge::{Merge01, Merge12, RetiredTable};
 use crate::meta::{ComponentSlot, TreeMeta};
-use crate::progress::MergeProgress;
+use crate::read::{ReadView, ScanItem};
 use crate::sched::{make_scheduler, MergeScheduler, SchedInputs};
-use crate::stats::TreeStats;
-
-/// One row returned by a scan.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ScanItem {
-    /// The key.
-    pub key: Bytes,
-    /// The fully resolved value (deltas folded, tombstones elided).
-    pub value: Bytes,
-}
-
-/// Wraps an owned sstable iterator, counting consumed input bytes so the
-/// merge's `inprogress` estimator stays smooth (§4.1).
-struct CountingStream {
-    inner: blsm_sstable::SstIterator,
-    counter: Arc<AtomicU64>,
-}
-
-impl Iterator for CountingStream {
-    type Item = Result<EntryRef>;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        let item = self.inner.next();
-        if let Some(Ok(e)) = &item {
-            let cost = (e.key.len() + e.version.entry.payload_len()) as u64;
-            self.counter.fetch_add(cost, Ordering::Relaxed);
-        }
-        item
-    }
-}
-
-/// State of a running `C0:C1` merge.
-struct Merge01 {
-    builder: SstableBuilder,
-    /// Region as allocated (the unused tail is freed at completion).
-    full_region: Region,
-    /// Old `C1` input stream (None when there was no `C1`).
-    c1_stream: Option<std::iter::Peekable<CountingStream>>,
-    c1_consumed: Arc<AtomicU64>,
-    /// `|C0'| + |C1|` at pass start.
-    input_total: u64,
-    /// `|C0'|` at pass start (spring-and-gear rate denominator).
-    c0_input: u64,
-    /// Output becomes the largest component (affects tombstone handling).
-    bottom: bool,
-    /// Log position at pass start — the truncation point on completion.
-    pass_start_lsn: Lsn,
-    /// Stop draining `C0` once the output exceeds this many data bytes.
-    run_cap_bytes: u64,
-    /// Set when the run cap fired; `C0` entries stay for the next pass.
-    c0_capped: bool,
-}
-
-/// State of a running `C1':C2` merge.
-struct Merge12 {
-    builder: SstableBuilder,
-    full_region: Region,
-    iter: MergeIter<'static>,
-    consumed: Arc<AtomicU64>,
-    input_total: u64,
-}
+use crate::stats::{self, TreeStats, TreeStatsSnapshot};
 
 /// A general purpose log structured merge tree (the paper's system).
+///
+/// This handle is the *serialized merge state*: writes, pacing and merge
+/// quanta require `&mut self`. Reads are `&self` and lock-free against
+/// merges — they run on the shared catalog/`C0` snapshot (see
+/// [`crate::ReadView`] for a cloneable read-only handle).
 pub struct BLsmTree {
-    config: BLsmConfig,
-    op: Arc<dyn MergeOperator>,
-    pool: Arc<BufferPool>,
-    allocator: RegionAllocator,
-    manifest: ManifestStore,
-    wal: Option<Wal>,
-    scheduler: Box<dyn MergeScheduler>,
-    c0: SnowshovelBuffer,
-    c1: Option<Arc<Sstable>>,
-    c1_prime: Option<Arc<Sstable>>,
-    c2: Option<Arc<Sstable>>,
-    merge01: Option<Merge01>,
-    merge12: Option<Merge12>,
-    next_seqno: u64,
+    /// Read-path state shared with every [`ReadView`].
+    pub(crate) shared: Arc<TreeShared>,
+    pub(crate) allocator: RegionAllocator,
+    pub(crate) manifest: ManifestStore,
+    pub(crate) wal: Option<Wal>,
+    pub(crate) scheduler: Box<dyn MergeScheduler>,
+    pub(crate) merge01: Option<Merge01>,
+    pub(crate) merge12: Option<Merge12>,
+    /// Replaced components awaiting deferred reclamation (readers may
+    /// still hold pinned catalog snapshots referencing them).
+    pub(crate) retired: Vec<RetiredTable>,
+    pub(crate) next_seqno: u64,
     /// Current level size ratio (recomputed after merges unless pinned).
-    r: f64,
-    stats: TreeStats,
+    pub(crate) r: f64,
     /// True when the last completed pass left entries in `C0` (suppresses
     /// log truncation for that pass).
-    last_pass_had_leftover: bool,
+    pub(crate) last_pass_had_leftover: bool,
     #[cfg(feature = "strict-invariants")]
-    strict: StrictState,
+    pub(crate) strict: StrictState,
 }
 
 /// Cross-quantum bookkeeping for [`BLsmTree::check_invariants`].
 #[cfg(feature = "strict-invariants")]
 #[derive(Debug, Default)]
-struct StrictState {
+pub(crate) struct StrictState {
     /// Snowshovel cursor observed at the previous quantum boundary; the
     /// cursor must never move backwards within a pass (§4.2).
     last_cursor: Option<Bytes>,
@@ -138,7 +92,7 @@ struct StrictState {
 impl std::fmt::Debug for BLsmTree {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BLsmTree")
-            .field("c0_bytes", &self.c0.approx_bytes())
+            .field("c0_bytes", &self.c0_bytes())
             .field("merge01_active", &self.merge01.is_some())
             .field("merge12_active", &self.merge12.is_some())
             .field("r", &self.r)
@@ -181,76 +135,91 @@ impl BLsmTree {
         };
 
         let scheduler = make_scheduler(&config);
-        let mut tree = BLsmTree {
+        let shared = Arc::new(TreeShared {
             op,
             pool,
+            catalog: CatalogCell::new(ComponentCatalog::new(c1, c1_prime, c2)),
+            c0: RwLock::new(SnowshovelBuffer::new()),
+            stats: TreeStats::default(),
+            config,
+        });
+        let mut tree = BLsmTree {
+            shared,
             allocator,
             manifest,
             wal: None,
             scheduler,
-            c0: SnowshovelBuffer::new(),
-            c1,
-            c1_prime,
-            c2,
             merge01: None,
             merge12: None,
+            retired: Vec::new(),
             next_seqno,
-            r: config.r.unwrap_or(4.0),
-            stats: TreeStats::default(),
+            r: 4.0,
             last_pass_had_leftover: false,
             #[cfg(feature = "strict-invariants")]
             strict: StrictState::default(),
-            config,
         };
+        tree.r = tree.shared.config.r.unwrap_or(4.0);
 
         // Replay the logical log into C0 (§4.4.2). Each record is checked
         // against the recovered components: snowshoveling delays log
         // truncation, so the live log window can contain records whose
         // effects already reached C1 — those are skipped by sequence
         // number, keeping replay exactly-once even for deltas.
-        if tree.config.durability != Durability::None {
+        if tree.shared.config.durability != Durability::None {
             let (records, tail) =
-                blsm_storage::wal::replay(&wal_dev, tree.config.wal_capacity, wal_head);
+                blsm_storage::wal::replay(&wal_dev, tree.shared.config.wal_capacity, wal_head);
             for rec in records {
                 let (key, v) = decode_wal_record(&rec.payload)?;
                 next_seqno = next_seqno.max(v.seqno + 1);
-                let durable = tree.disk_newest_seqno(&key)?;
+                let durable = tree.shared.disk_newest_seqno(&key, v.seqno)?;
                 if durable.is_some_and(|s| s >= v.seqno) {
                     continue;
                 }
-                let op = tree.op.clone();
-                tree.c0.insert(key, v, op.as_ref());
+                let op = tree.shared.op.clone();
+                tree.shared.c0.write().insert(key, v, op.as_ref());
             }
             tree.next_seqno = next_seqno;
-            tree.wal = Some(Wal::new(wal_dev, tree.config.wal_capacity, wal_head, tail));
+            tree.wal = Some(Wal::new(
+                wal_dev,
+                tree.shared.config.wal_capacity,
+                wal_head,
+                tail,
+            ));
         }
 
         // A crash mid-C1':C2 leaves C1' installed; restart its merge.
-        if tree.c1_prime.is_some() {
+        if tree.shared.catalog.load().c1_prime.is_some() {
             tree.start_merge12()?;
         }
         tree.recompute_r();
         Ok(tree)
     }
 
+    /// A cloneable, lock-free handle to the read path. Valid for the
+    /// tree's whole life; safe to use from any thread while this handle
+    /// keeps writing and merging.
+    pub fn read_view(&self) -> ReadView {
+        ReadView::new(self.shared.clone())
+    }
+
     /// The tree's merge operator.
     pub fn operator(&self) -> &Arc<dyn MergeOperator> {
-        &self.op
+        &self.shared.op
     }
 
     /// The buffer pool (device access, cache statistics).
     pub fn pool(&self) -> &Arc<BufferPool> {
-        &self.pool
+        &self.shared.pool
     }
 
-    /// Engine counters.
-    pub fn stats(&self) -> TreeStats {
-        self.stats
+    /// Lock-free snapshot of the engine counters.
+    pub fn stats(&self) -> TreeStatsSnapshot {
+        self.shared.stats.snapshot()
     }
 
     /// Active configuration.
     pub fn config(&self) -> &BLsmConfig {
-        &self.config
+        &self.shared.config
     }
 
     /// Current level size ratio `R`.
@@ -260,32 +229,32 @@ impl BLsmTree {
 
     /// Bytes buffered in `C0`.
     pub fn c0_bytes(&self) -> usize {
-        self.c0.approx_bytes()
+        self.shared.c0.read().approx_bytes()
     }
 
     /// Data bytes in each on-disk component `(C1, C1', C2)`.
     pub fn component_bytes(&self) -> (u64, u64, u64) {
+        let cat = self.shared.catalog.load();
         (
-            self.c1.as_ref().map_or(0, |c| c.data_bytes()),
-            self.c1_prime.as_ref().map_or(0, |c| c.data_bytes()),
-            self.c2.as_ref().map_or(0, |c| c.data_bytes()),
+            cat.c1.as_ref().map_or(0, |c| c.data_bytes()),
+            cat.c1_prime.as_ref().map_or(0, |c| c.data_bytes()),
+            cat.c2.as_ref().map_or(0, |c| c.data_bytes()),
         )
     }
 
     /// Total user data bytes across all levels (approximate).
     pub fn total_data_bytes(&self) -> u64 {
         let (a, b, c) = self.component_bytes();
-        a + b + c + self.c0.approx_bytes() as u64
+        a + b + c + self.c0_bytes() as u64
     }
 
     /// RAM consumed by in-memory indexes and Bloom filters — the read
     /// fanout denominator (§2.1).
     pub fn index_ram_bytes(&self) -> usize {
-        let mut total = 0;
-        for c in [&self.c1, &self.c1_prime, &self.c2].into_iter().flatten() {
-            total += c.index_ram_bytes() + c.bloom().params().bytes();
-        }
-        total
+        let cat = self.shared.catalog.load();
+        cat.tables()
+            .map(|c| c.index_ram_bytes() + c.bloom().params().bytes())
+            .sum()
     }
 
     // -----------------------------------------------------------------
@@ -332,7 +301,7 @@ impl BLsmTree {
         value: impl Into<Bytes>,
     ) -> Result<bool> {
         let key = key.into();
-        self.stats.check_inserts += 1;
+        stats::bump(&self.shared.stats.check_inserts, 1);
         if self.exists(&key)? {
             return Ok(false);
         }
@@ -341,16 +310,8 @@ impl BLsmTree {
     }
 
     /// Existence check with early termination and Bloom short-circuits.
-    pub fn exists(&mut self, key: &[u8]) -> Result<bool> {
-        if let Some(v) = self.c0.get(key) {
-            return Ok(!matches!(v.entry, Entry::Tombstone));
-        }
-        for probe in self.probe_plan(key) {
-            if let Some(v) = self.run_probe(probe, key)? {
-                return Ok(!matches!(v.entry, Entry::Tombstone));
-            }
-        }
-        Ok(false)
+    pub fn exists(&self, key: &[u8]) -> Result<bool> {
+        self.shared.exists(key)
     }
 
     fn write_entry(&mut self, key: Bytes, entry: Entry) -> Result<()> {
@@ -362,10 +323,13 @@ impl BLsmTree {
         self.next_seqno += 1;
         let v = Versioned { seqno, entry };
         self.log_write(&key, &v)?;
-        self.stats.writes += 1;
-        self.stats.user_bytes_written += (key.len() + v.entry.payload_len()) as u64;
-        let op = self.op.clone();
-        self.c0.insert(key, v, op.as_ref());
+        stats::bump(&self.shared.stats.writes, 1);
+        stats::bump(
+            &self.shared.stats.user_bytes_written,
+            (key.len() + v.entry.payload_len()) as u64,
+        );
+        let op = self.shared.op.clone();
+        self.shared.c0.write().insert(key, v, op.as_ref());
         Ok(())
     }
 
@@ -391,7 +355,7 @@ impl BLsmTree {
             .wal
             .as_mut()
             .ok_or_else(|| invariant_err("wal vanished after append"))?;
-        match self.config.durability {
+        match self.shared.config.durability {
             Durability::Buffered => wal.flush()?,
             Durability::Sync => wal.sync()?,
             Durability::None => unreachable!(),
@@ -400,292 +364,53 @@ impl BLsmTree {
     }
 
     // -----------------------------------------------------------------
-    // Read path
+    // Read path (delegates to the shared, lock-free implementation)
     // -----------------------------------------------------------------
 
     /// Point lookup. Walks components newest→oldest, consults a Bloom
     /// filter before every disk probe, folds deltas, and stops at the
     /// first base record (§3.1, §3.1.1).
-    pub fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>> {
-        self.stats.gets += 1;
-        let mut deltas: Vec<Bytes> = Vec::new();
-
-        let resolve_base =
-            |op: &dyn MergeOperator, base: Option<&[u8]>, deltas: &[Bytes]| -> Option<Bytes> {
-                if deltas.is_empty() {
-                    return base.map(Bytes::copy_from_slice);
-                }
-                let refs: Vec<&[u8]> = deltas.iter().map(Bytes::as_ref).collect();
-                Some(Bytes::from(op.fold(base, &refs)))
-            };
-
-        if let Some(v) = self.c0.get(key) {
-            match &v.entry {
-                Entry::Put(b) => {
-                    self.stats.early_terminations += 1;
-                    return Ok(resolve_base(self.op.as_ref(), Some(b), &deltas));
-                }
-                Entry::Tombstone => return Ok(None),
-                Entry::Delta(d) => deltas.push(d.clone()),
-            }
-        }
-
-        for probe in self.probe_plan(key) {
-            let Some(v) = self.run_probe(probe, key)? else {
-                continue;
-            };
-            match v.entry {
-                Entry::Put(b) => {
-                    self.stats.early_terminations += 1;
-                    return Ok(resolve_base(self.op.as_ref(), Some(&b), &deltas));
-                }
-                Entry::Tombstone => {
-                    return Ok(resolve_base(self.op.as_ref(), None, &deltas)
-                        .filter(|_| !deltas.is_empty()));
-                }
-                Entry::Delta(d) => deltas.push(d),
-            }
-        }
-        if deltas.is_empty() {
-            Ok(None)
-        } else {
-            // Orphan deltas: apply against an absent base.
-            Ok(resolve_base(self.op.as_ref(), None, &deltas))
-        }
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        self.shared.get(key)
     }
-
-    /// Which disk structures to probe for `key`, newest first, honouring
-    /// the in-flight merge cursors (Figure 1's "in progress" routing).
-    fn probe_plan(&self, key: &[u8]) -> Vec<Probe> {
-        let mut plan = Vec::with_capacity(3);
-        // Level 1: the merge output covers keys <= its cursor; the old C1
-        // covers the rest.
-        match &self.merge01 {
-            Some(m) if m.builder.last_key().is_some_and(|c| key <= c.as_ref()) => {
-                plan.push(Probe::Builder01);
-            }
-            _ => {
-                if self.c1.is_some() {
-                    plan.push(Probe::C1);
-                }
-            }
-        }
-        // Level 2: during a C1':C2 merge, keys <= cursor live in the new
-        // C2 builder (which already folded C1' and C2); the rest must
-        // probe C1' then old C2.
-        match &self.merge12 {
-            Some(m) if m.builder.last_key().is_some_and(|c| key <= c.as_ref()) => {
-                plan.push(Probe::Builder12);
-            }
-            _ => {
-                if self.c1_prime.is_some() {
-                    plan.push(Probe::C1Prime);
-                }
-                if self.c2.is_some() {
-                    plan.push(Probe::C2);
-                }
-            }
-        }
-        plan
-    }
-
-    fn run_probe(&mut self, probe: Probe, key: &[u8]) -> Result<Option<Versioned>> {
-        match probe {
-            Probe::Builder01 => {
-                let m = self
-                    .merge01
-                    .as_ref()
-                    .ok_or_else(|| invariant_err("Builder01 probe without active merge01"))?;
-                let view = m.builder.view();
-                if !view.may_contain(key) {
-                    self.stats.bloom_skips += 1;
-                    return Ok(None);
-                }
-                self.stats.disk_probes += 1;
-                view.get(key)
-            }
-            Probe::Builder12 => {
-                let m = self
-                    .merge12
-                    .as_ref()
-                    .ok_or_else(|| invariant_err("Builder12 probe without active merge12"))?;
-                let view = m.builder.view();
-                if !view.may_contain(key) {
-                    self.stats.bloom_skips += 1;
-                    return Ok(None);
-                }
-                self.stats.disk_probes += 1;
-                view.get(key)
-            }
-            Probe::C1 | Probe::C1Prime | Probe::C2 => {
-                let table = match probe {
-                    Probe::C1 => self.c1.as_ref(),
-                    Probe::C1Prime => self.c1_prime.as_ref(),
-                    Probe::C2 => self.c2.as_ref(),
-                    _ => unreachable!(),
-                }
-                .ok_or_else(|| invariant_err("probe plan referenced an absent component"))?
-                .clone();
-                if !table.may_contain(key) {
-                    self.stats.bloom_skips += 1;
-                    return Ok(None);
-                }
-                self.stats.disk_probes += 1;
-                table.get(key)
-            }
-        }
-    }
-
-    /// Newest on-disk sequence number for `key` (recovery's replay check).
-    fn disk_newest_seqno(&mut self, key: &[u8]) -> Result<Option<u64>> {
-        for probe in self.probe_plan(key) {
-            if let Some(v) = self.run_probe(probe, key)? {
-                return Ok(Some(v.seqno));
-            }
-        }
-        Ok(None)
-    }
-
-    // -----------------------------------------------------------------
-    // Scans
-    // -----------------------------------------------------------------
 
     /// Ordered scan: up to `limit` live rows with key ≥ `from`.
     /// Touches every component once (§3.3's two/three-seek scans).
-    pub fn scan(&mut self, from: &[u8], limit: usize) -> Result<Vec<ScanItem>> {
-        self.stats.scans += 1;
-        self.scan_inner(from, None, limit)
+    pub fn scan(&self, from: &[u8], limit: usize) -> Result<Vec<ScanItem>> {
+        self.shared.scan(from, None, limit)
     }
 
     /// Ordered scan of `[from, to)`, up to `limit` rows.
-    pub fn scan_range(&mut self, from: &[u8], to: &[u8], limit: usize) -> Result<Vec<ScanItem>> {
-        self.stats.scans += 1;
-        self.scan_inner(from, Some(to), limit)
-    }
-
-    fn scan_inner(
-        &mut self,
-        from: &[u8],
-        to: Option<&[u8]>,
-        limit: usize,
-    ) -> Result<Vec<ScanItem>> {
-        let mut streams: Vec<EntryStream<'_>> = Vec::with_capacity(6);
-        // C0 (freshest).
-        streams.push(Box::new(self.c0.range_from(from).map(|(k, v)| {
-            Ok(EntryRef {
-                key: k.clone(),
-                version: v.clone(),
-            })
-        })));
-        // Level 1.
-        if let Some(m) = &self.merge01 {
-            let cursor = m.builder.last_key().cloned();
-            if let Some(cursor) = cursor {
-                let c = cursor.clone();
-                streams.push(Box::new(
-                    m.builder
-                        .view()
-                        .iter_from(from)
-                        .take_while(move |r| r.as_ref().map_or(true, |e| e.key <= c)),
-                ));
-                if let Some(c1) = &self.c1 {
-                    let c = cursor;
-                    streams.push(Box::new(
-                        c1.iter_from(from, ReadMode::Pooled)
-                            .filter(move |r| r.as_ref().map_or(true, |e| e.key > c)),
-                    ));
-                }
-            } else if let Some(c1) = &self.c1 {
-                streams.push(Box::new(c1.iter_from(from, ReadMode::Pooled)));
-            }
-        } else if let Some(c1) = &self.c1 {
-            streams.push(Box::new(c1.iter_from(from, ReadMode::Pooled)));
-        }
-        // Level 2.
-        if let Some(m) = &self.merge12 {
-            let cursor = m.builder.last_key().cloned();
-            if let Some(cursor) = cursor {
-                let c = cursor.clone();
-                streams.push(Box::new(
-                    m.builder
-                        .view()
-                        .iter_from(from)
-                        .take_while(move |r| r.as_ref().map_or(true, |e| e.key <= c)),
-                ));
-                let c_a = cursor.clone();
-                if let Some(c1p) = &self.c1_prime {
-                    streams.push(Box::new(
-                        c1p.iter_from(from, ReadMode::Pooled)
-                            .filter(move |r| r.as_ref().map_or(true, |e| e.key > c_a)),
-                    ));
-                }
-                let c_b = cursor;
-                if let Some(c2) = &self.c2 {
-                    streams.push(Box::new(
-                        c2.iter_from(from, ReadMode::Pooled)
-                            .filter(move |r| r.as_ref().map_or(true, |e| e.key > c_b)),
-                    ));
-                }
-            } else {
-                if let Some(c1p) = &self.c1_prime {
-                    streams.push(Box::new(c1p.iter_from(from, ReadMode::Pooled)));
-                }
-                if let Some(c2) = &self.c2 {
-                    streams.push(Box::new(c2.iter_from(from, ReadMode::Pooled)));
-                }
-            }
-        } else {
-            if let Some(c1p) = &self.c1_prime {
-                streams.push(Box::new(c1p.iter_from(from, ReadMode::Pooled)));
-            }
-            if let Some(c2) = &self.c2 {
-                streams.push(Box::new(c2.iter_from(from, ReadMode::Pooled)));
-            }
-        }
-
-        let merged = MergeIter::new(streams, self.op.clone(), true);
-        let mut out = Vec::with_capacity(limit);
-        for item in merged {
-            let e = item?;
-            if let Some(to) = to {
-                if e.key.as_ref() >= to {
-                    break;
-                }
-            }
-            if let Entry::Put(value) = e.version.entry {
-                out.push(ScanItem { key: e.key, value });
-                if out.len() >= limit {
-                    break;
-                }
-            }
-        }
-        Ok(out)
+    pub fn scan_range(&self, from: &[u8], to: &[u8], limit: usize) -> Result<Vec<ScanItem>> {
+        self.shared.scan(from, Some(to), limit)
     }
 
     // -----------------------------------------------------------------
-    // Merge machinery
+    // Merge pacing
     // -----------------------------------------------------------------
 
-    fn sched_inputs(&self, incoming: u64) -> SchedInputs {
+    pub(crate) fn sched_inputs(&self, incoming: u64) -> SchedInputs {
+        let catalog = self.shared.catalog.load();
+        let c0 = self.shared.c0.read();
         let filling = if matches!(
-            self.c0.pass(),
+            c0.pass(),
             blsm_memtable::PassKind::Frozen | blsm_memtable::PassKind::Snowshovel { .. }
         ) {
-            self.c0.behind_bytes() as u64
+            c0.behind_bytes() as u64
         } else {
-            self.c0.approx_bytes() as u64
+            c0.approx_bytes() as u64
         };
         SchedInputs {
-            c0_bytes: if self.config.snowshovel {
-                self.c0.approx_bytes() as u64
+            c0_bytes: if self.shared.config.snowshovel {
+                c0.approx_bytes() as u64
             } else {
                 filling
             },
-            c0_fill: self.config.c0_fill_bytes() as u64,
-            c0_cap: self.config.mem_budget as u64,
+            c0_fill: self.shared.config.c0_fill_bytes() as u64,
+            c0_cap: self.shared.config.mem_budget as u64,
             incoming,
             m01: self.merge01.as_ref().map(|m| MergeProgress {
-                bytes_read: self.c0.drained_bytes() as u64 + m.c1_consumed.load(Ordering::Relaxed),
+                bytes_read: c0.drained_bytes() as u64 + m.c1_consumed.load(Ordering::Relaxed),
                 input_total: m.input_total,
             }),
             m01_c0_input: self.merge01.as_ref().map_or(1, |m| m.c0_input.max(1)),
@@ -693,7 +418,7 @@ impl BLsmTree {
                 bytes_read: m.consumed.load(Ordering::Relaxed),
                 input_total: m.input_total,
             }),
-            c1_bytes: self.c1.as_ref().map_or(0, |c| c.data_bytes()),
+            c1_bytes: catalog.c1.as_ref().map_or(0, |c| c.data_bytes()),
             r_ceil: self.r.ceil() as u64,
         }
     }
@@ -702,9 +427,9 @@ impl BLsmTree {
     /// cap. This is where the paper's write-latency bound comes from.
     fn pace(&mut self, incoming: u64) -> Result<()> {
         let mut ran_quantum = false;
-        if !self.config.external_pacing {
+        if !self.shared.config.external_pacing {
             if self.merge01.is_none()
-                && !self.c0.is_empty()
+                && !self.shared.c0.read().is_empty()
                 && self
                     .scheduler
                     .should_start_merge01(&self.sched_inputs(incoming))
@@ -714,11 +439,11 @@ impl BLsmTree {
 
             let plan = self.scheduler.plan(&self.sched_inputs(incoming));
             if plan.merge01_bytes > 0 {
-                self.run_merge01(plan.merge01_bytes.min(self.config.work_quantum))?;
+                self.run_merge01(plan.merge01_bytes.min(self.shared.config.work_quantum))?;
                 ran_quantum = true;
             }
             if plan.merge12_bytes > 0 {
-                self.run_merge12(plan.merge12_bytes.min(self.config.work_quantum))?;
+                self.run_merge12(plan.merge12_bytes.min(self.shared.config.work_quantum))?;
                 ran_quantum = true;
             }
         }
@@ -726,18 +451,18 @@ impl BLsmTree {
         // Hard cap: C0 must never exceed the memory budget. A paced
         // scheduler rarely lands here; the naive scheduler lives here.
         let mut stalled = false;
-        while self.c0.approx_bytes() as u64 + incoming > self.config.mem_budget as u64 {
+        while self.c0_bytes() as u64 + incoming > self.shared.config.mem_budget as u64 {
             if !stalled {
-                self.stats.forced_stalls += 1;
+                stats::bump(&self.shared.stats.forced_stalls, 1);
                 stalled = true;
             }
             if self.merge01.is_none() {
-                if self.c0.is_empty() {
+                if self.shared.c0.read().is_empty() {
                     break;
                 }
                 self.start_merge01()?;
             }
-            self.run_merge01(self.config.work_quantum.max(1 << 20))?;
+            self.run_merge01(self.shared.config.work_quantum.max(1 << 20))?;
             ran_quantum = true;
         }
         self.quantum_boundary_check(ran_quantum)
@@ -747,7 +472,7 @@ impl BLsmTree {
     /// waste up to half a page when entries are large (a leaf seals when
     /// the next entry does not fit), so data pages are budgeted at a 50%
     /// worst-case fill; the unused tail is freed after the merge.
-    fn merge_region_pages(est_bytes: u64, est_entries: u64, factor: f64) -> u64 {
+    pub(crate) fn merge_region_pages(est_bytes: u64, est_entries: u64, factor: f64) -> u64 {
         let payload = PAGE_PAYLOAD_LEN as u64;
         let encoded = est_bytes + est_entries * 24;
         let data_pages = (encoded as f64 * factor * 2.0 / payload as f64).ceil() as u64 + 8;
@@ -756,317 +481,27 @@ impl BLsmTree {
         data_pages + index_pages + bloom_pages + 16
     }
 
-    fn start_merge01(&mut self) -> Result<()> {
-        assert!(self.merge01.is_none());
-        self.c0.begin_pass(self.config.snowshovel);
-        let c0_input = self.c0.pass_start_bytes() as u64;
-        let c1_data = self.c1.as_ref().map_or(0, |c| c.data_bytes());
-        let c1_entries = self.c1.as_ref().map_or(0, |c| c.entry_count());
-        let est_bytes = c0_input + c1_data;
-        let est_entries = self.c0.len() as u64 + c1_entries + 16;
-        let factor = self.config.run_length_cap.max(1.0) + 0.5;
-        let pages = Self::merge_region_pages(est_bytes, est_entries, factor);
-        let region = self.allocator.alloc(pages);
-        let builder = SstableBuilder::new(
-            self.pool.clone(),
-            region,
-            (est_entries as f64 * factor) as u64 + 16,
-        );
-        let c1_consumed = Arc::new(AtomicU64::new(0));
-        let c1_stream = self.c1.as_ref().map(|c| {
-            CountingStream {
-                inner: c.iter(ReadMode::Buffered(64)),
-                counter: c1_consumed.clone(),
-            }
-            .peekable()
-        });
-        let bottom = self.c2.is_none() && self.c1_prime.is_none();
-        let pass_start_lsn = self.wal.as_ref().map_or(0, Wal::tail_lsn);
-        self.merge01 = Some(Merge01 {
-            builder,
-            full_region: region,
-            c1_stream,
-            c1_consumed,
-            input_total: est_bytes.max(1),
-            c0_input: c0_input.max(1),
-            bottom,
-            pass_start_lsn,
-            run_cap_bytes: ((est_bytes as f64) * self.config.run_length_cap) as u64 + 4096,
-            c0_capped: false,
-        });
-        Ok(())
-    }
-
-    /// Consumes up to `budget` input bytes of `C0:C1` merge work.
-    fn run_merge01(&mut self, budget: u64) -> Result<()> {
-        if self.merge01.is_none() {
-            return Ok(());
-        }
-        let start_consumed = self.merge01_consumed();
-        loop {
-            if self.merge01_consumed() - start_consumed >= budget {
-                return Ok(());
-            }
-            let Some(m) = self.merge01.as_mut() else {
-                return Ok(()); // unreachable: presence checked on entry
-            };
-            // Run-length cap (§4.2: sorted input would otherwise extend the
-            // pass forever).
-            if !m.c0_capped && m.builder.data_bytes() >= m.run_cap_bytes {
-                m.c0_capped = true;
-            }
-            let c0_key = if m.c0_capped {
-                None
-            } else {
-                self.c0.peek_drain().cloned()
-            };
-            let c1_key = match m.c1_stream.as_mut().and_then(|s| s.peek()) {
-                Some(Ok(e)) => Some(e.key.clone()),
-                Some(Err(_)) => {
-                    // peek() just returned Err; next() must yield it.
-                    let err = match m.c1_stream.as_mut().and_then(Iterator::next) {
-                        Some(Err(err)) => err,
-                        _ => invariant_err("C1 stream error vanished between peek and next"),
-                    };
-                    return Err(err);
-                }
-                None => None,
-            };
-            match (c0_key, c1_key) {
-                (None, None) => {
-                    self.finish_merge01()?;
-                    return Ok(());
-                }
-                (Some(k0), Some(k1)) if k0 == k1 => {
-                    let (_, v0) = self
-                        .c0
-                        .drain_next()
-                        .ok_or_else(|| invariant_err("C0 entry vanished after peek"))?;
-                    let e1 = m
-                        .c1_stream
-                        .as_mut()
-                        .and_then(Iterator::next)
-                        .ok_or_else(|| invariant_err("C1 entry vanished after peek"))??;
-                    if let Some(v) = merge_versions(self.op.as_ref(), &[v0, e1.version], m.bottom) {
-                        self.stats.merge_bytes_consumed +=
-                            (k0.len() + v.entry.payload_len()) as u64;
-                        m.builder.add(&k0, &v)?;
-                    }
-                }
-                (Some(k0), c1k) if c1k.as_ref().is_none_or(|k1| k0 < *k1) => {
-                    let (k, v0) = self
-                        .c0
-                        .drain_next()
-                        .ok_or_else(|| invariant_err("C0 entry vanished after peek"))?;
-                    if let Some(v) = merge_versions(self.op.as_ref(), &[v0], m.bottom) {
-                        self.stats.merge_bytes_consumed += (k.len() + v.entry.payload_len()) as u64;
-                        m.builder.add(&k, &v)?;
-                    }
-                }
-                (_, Some(_)) => {
-                    let e1 = m
-                        .c1_stream
-                        .as_mut()
-                        .and_then(Iterator::next)
-                        .ok_or_else(|| invariant_err("C1 entry vanished after peek"))??;
-                    // The merge output cursor moved past e1.key: inserts at
-                    // or below it must defer to the next pass (§4.2).
-                    self.c0.advance_cursor(&e1.key);
-                    if let Some(v) = merge_versions(self.op.as_ref(), &[e1.version], m.bottom) {
-                        self.stats.merge_bytes_consumed +=
-                            (e1.key.len() + v.entry.payload_len()) as u64;
-                        m.builder.add(&e1.key, &v)?;
-                    }
-                }
-                _ => unreachable!(),
-            }
-        }
-    }
-
-    fn merge01_consumed(&self) -> u64 {
-        match &self.merge01 {
-            Some(m) => self.c0.drained_bytes() as u64 + m.c1_consumed.load(Ordering::Relaxed),
-            None => 0,
-        }
-    }
-
-    fn finish_merge01(&mut self) -> Result<()> {
-        let Some(m) = self.merge01.take() else {
-            return Err(invariant_err("finish_merge01 without active merge01"));
-        };
-        let had_leftover = !self.c0.pass_exhausted();
-        if had_leftover {
-            let op = self.op.clone();
-            self.c0.end_pass_with_remainder(op.as_ref());
-        } else {
-            self.c0.end_pass();
-        }
-        self.last_pass_had_leftover = had_leftover;
-
-        let new_c1 = Arc::new(m.builder.finish()?);
-        // Free the unused tail of the over-allocated region.
-        let used = new_c1.region().pages;
-        if used < m.full_region.pages {
-            self.allocator.free(Region {
-                start: blsm_storage::PageId(m.full_region.start.0 + used),
-                pages: m.full_region.pages - used,
-            });
-        }
-        // Retire the old C1.
-        if let Some(old) = self.c1.take() {
-            old.evict_from_pool();
-            self.allocator.free(old.region());
-        }
-        self.c1 = if new_c1.entry_count() > 0 {
-            Some(new_c1)
-        } else {
-            None
-        };
-        self.stats.merges01 += 1;
-
-        // Log truncation: everything the pass consumed is durable. With a
-        // leftover (capped pass) pre-pass records may still be live, so
-        // truncation waits for the next clean pass (§4.4.2:
-        // "snowshoveling delays log truncation").
-        if !had_leftover {
-            if let Some(wal) = &mut self.wal {
-                wal.truncate(m.pass_start_lsn);
-            }
-        }
-
-        self.recompute_r();
-        // Trigger the downstream merge when C1 reaches R fills (§2.3.1).
-        let c1_target = (self.r * self.config.mem_budget as f64) as u64;
-        if self.merge12.is_none()
-            && self.c1_prime.is_none()
-            && self
-                .c1
-                .as_ref()
-                .is_some_and(|c| c.data_bytes() >= c1_target)
-        {
-            self.c1_prime = self.c1.take();
-            self.save_manifest()?;
-            self.start_merge12()?;
-            if self.scheduler.blocking_merge12() {
-                // The naive scheduler's unbounded pause (§3.2).
-                self.run_merge12(u64::MAX)?;
-            }
-        } else {
-            self.save_manifest()?;
-        }
-        Ok(())
-    }
-
-    fn start_merge12(&mut self) -> Result<()> {
-        assert!(self.merge12.is_none());
-        let c1p = self
-            .c1_prime
-            .clone()
-            .ok_or_else(|| invariant_err("start_merge12 without C1'"))?;
-        let c2 = self.c2.clone();
-        let input_total = c1p.data_bytes() + c2.as_ref().map_or(0, |c| c.data_bytes());
-        let est_entries = c1p.entry_count() + c2.as_ref().map_or(0, |c| c.entry_count()) + 16;
-        let pages = Self::merge_region_pages(input_total, est_entries, 1.2);
-        let region = self.allocator.alloc(pages);
-        let builder = SstableBuilder::new(self.pool.clone(), region, est_entries);
-        let consumed = Arc::new(AtomicU64::new(0));
-        let mut streams: Vec<EntryStream<'static>> = Vec::with_capacity(2);
-        streams.push(Box::new(CountingStream {
-            inner: c1p.iter(ReadMode::Buffered(64)),
-            counter: consumed.clone(),
-        }));
-        if let Some(c2) = &c2 {
-            streams.push(Box::new(CountingStream {
-                inner: c2.iter(ReadMode::Buffered(64)),
-                counter: consumed.clone(),
-            }));
-        }
-        let iter = MergeIter::new(streams, self.op.clone(), true);
-        self.merge12 = Some(Merge12 {
-            builder,
-            full_region: region,
-            iter,
-            consumed,
-            input_total: input_total.max(1),
-        });
-        Ok(())
-    }
-
-    /// Consumes up to `budget` input bytes of `C1':C2` merge work.
-    fn run_merge12(&mut self, budget: u64) -> Result<()> {
-        let Some(m) = self.merge12.as_mut() else {
-            return Ok(());
-        };
-        let start = m.consumed.load(Ordering::Relaxed);
-        loop {
-            if m.consumed.load(Ordering::Relaxed) - start >= budget {
-                return Ok(());
-            }
-            match m.iter.next() {
-                Some(e) => {
-                    let e = e?;
-                    self.stats.merge_bytes_consumed +=
-                        (e.key.len() + e.version.entry.payload_len()) as u64;
-                    m.builder.add(&e.key, &e.version)?;
-                }
-                None => {
-                    self.finish_merge12()?;
-                    return Ok(());
-                }
-            }
-        }
-    }
-
-    fn finish_merge12(&mut self) -> Result<()> {
-        let Some(m) = self.merge12.take() else {
-            return Err(invariant_err("finish_merge12 without active merge12"));
-        };
-        let new_c2 = Arc::new(m.builder.finish()?);
-        let used = new_c2.region().pages;
-        if used < m.full_region.pages {
-            self.allocator.free(Region {
-                start: blsm_storage::PageId(m.full_region.start.0 + used),
-                pages: m.full_region.pages - used,
-            });
-        }
-        if let Some(old) = self.c1_prime.take() {
-            old.evict_from_pool();
-            self.allocator.free(old.region());
-        }
-        if let Some(old) = self.c2.take() {
-            old.evict_from_pool();
-            self.allocator.free(old.region());
-        }
-        self.c2 = if new_c2.entry_count() > 0 {
-            Some(new_c2)
-        } else {
-            None
-        };
-        self.stats.merges12 += 1;
-        self.recompute_r();
-        self.save_manifest()
-    }
-
-    fn recompute_r(&mut self) {
-        if let Some(r) = self.config.r {
+    pub(crate) fn recompute_r(&mut self) {
+        if let Some(r) = self.shared.config.r {
             self.r = r;
             return;
         }
         // R = sqrt(|data| / |C0|), the three-level optimum (§2.3.1).
         let data = self.total_data_bytes().max(1) as f64;
-        let c0 = self.config.mem_budget as f64;
+        let c0 = self.shared.config.mem_budget as f64;
         self.r = (data / c0).sqrt().max(2.0);
     }
 
-    fn save_manifest(&mut self) -> Result<()> {
+    pub(crate) fn save_manifest(&mut self) -> Result<()> {
+        let catalog = self.shared.catalog.load();
         let mut components = Vec::new();
-        if let Some(c) = &self.c1 {
+        if let Some(c) = &catalog.c1 {
             components.push((ComponentSlot::C1, c.region()));
         }
-        if let Some(c) = &self.c1_prime {
+        if let Some(c) = &catalog.c1_prime {
             components.push((ComponentSlot::C1Prime, c.region()));
         }
-        if let Some(c) = &self.c2 {
+        if let Some(c) = &catalog.c2 {
             components.push((ComponentSlot::C2, c.region()));
         }
         let meta = TreeMeta {
@@ -1087,7 +522,7 @@ impl BLsmTree {
     /// "merges can be run during off-peak periods").
     pub fn maintenance(&mut self, budget: u64) -> Result<()> {
         if self.merge01.is_none()
-            && !self.c0.is_empty()
+            && !self.shared.c0.read().is_empty()
             && self.scheduler.should_start_merge01(&self.sched_inputs(0))
         {
             self.start_merge01()?;
@@ -1095,6 +530,7 @@ impl BLsmTree {
         let ran_quantum = self.merge01.is_some() || self.merge12.is_some();
         self.run_merge01(budget)?;
         self.run_merge12(budget)?;
+        self.reap_retired();
         self.quantum_boundary_check(ran_quantum)
     }
 
@@ -1112,7 +548,7 @@ impl BLsmTree {
             if self.merge01.is_some() || self.merge12.is_some() {
                 continue;
             }
-            if !self.c0.is_empty() {
+            if !self.shared.c0.read().is_empty() {
                 self.start_merge01()?;
                 continue;
             }
@@ -1125,7 +561,8 @@ impl BLsmTree {
             wal.truncate(tail);
         }
         self.save_manifest()?;
-        self.pool.flush()
+        self.reap_retired();
+        self.shared.pool.flush()
     }
 
     // -----------------------------------------------------------------
@@ -1143,8 +580,9 @@ impl BLsmTree {
     /// * `C0` never exceeds the memory budget (§3.1 hard cap);
     /// * the snowshovel drain cursor is monotone within a pass (§4.2).
     ///
-    /// Called at every merge-quantum boundary when the feature is on, and
-    /// directly from property tests.
+    /// Called at every merge-quantum boundary when the feature is on —
+    /// which includes every catalog swap, since swaps happen inside merge
+    /// quanta — and directly from property tests.
     ///
     /// # Errors
     ///
@@ -1158,11 +596,11 @@ impl BLsmTree {
 
         // C0 hard cap (§3.1): pacing must never let the write buffer
         // outgrow its budget.
-        if self.c0.approx_bytes() > self.config.mem_budget {
+        if self.c0_bytes() > self.shared.config.mem_budget {
             return Err(violated(format!(
                 "C0 holds {} bytes, budget is {}",
-                self.c0.approx_bytes(),
-                self.config.mem_budget
+                self.c0_bytes(),
+                self.shared.config.mem_budget
             )));
         }
 
@@ -1186,12 +624,17 @@ impl BLsmTree {
         // Snowshovel cursor monotonicity (§4.2): within a pass the drain
         // cursor only advances. A completed pass (merges01 bumped) resets
         // it legitimately.
-        if self.stats.merges01 != self.strict.last_merges01 {
-            self.strict.last_merges01 = self.stats.merges01;
+        let merges01 = self.stats().merges01;
+        if merges01 != self.strict.last_merges01 {
+            self.strict.last_merges01 = merges01;
             self.strict.last_cursor = None;
         }
-        if let blsm_memtable::PassKind::Snowshovel { last_drained } = self.c0.pass() {
-            match (&self.strict.last_cursor, last_drained) {
+        let pass_cursor = match self.shared.c0.read().pass() {
+            blsm_memtable::PassKind::Snowshovel { last_drained } => Some(last_drained.clone()),
+            _ => None,
+        };
+        if let Some(last_drained) = pass_cursor {
+            match (&self.strict.last_cursor, &last_drained) {
                 (Some(prev), Some(cur)) if cur < prev => {
                     return Err(violated(format!(
                         "snowshovel cursor moved backwards: {cur:?} < {prev:?}"
@@ -1204,7 +647,7 @@ impl BLsmTree {
                 }
                 _ => {}
             }
-            self.strict.last_cursor = last_drained.clone();
+            self.strict.last_cursor = last_drained;
         } else {
             self.strict.last_cursor = None;
         }
@@ -1212,7 +655,12 @@ impl BLsmTree {
         // Component ordering + bloom agreement, on rotating leaf samples.
         self.strict.rotation = self.strict.rotation.wrapping_add(1);
         let rotation = self.strict.rotation;
-        for (name, comp) in [("C1", &self.c1), ("C1'", &self.c1_prime), ("C2", &self.c2)] {
+        let catalog = self.shared.catalog.load();
+        for (name, comp) in [
+            ("C1", &catalog.c1),
+            ("C1'", &catalog.c1_prime),
+            ("C2", &catalog.c2),
+        ] {
             let Some(table) = comp else { continue };
             table.verify_integrity(2, rotation).map_err(|e| match e {
                 StorageError::Corruption(msg) => violated(format!("{name}: {msg}")),
@@ -1227,7 +675,7 @@ impl BLsmTree {
     ///
     /// [`check_invariants`]: Self::check_invariants
     #[cfg(feature = "strict-invariants")]
-    fn quantum_boundary_check(&mut self, ran_quantum: bool) -> Result<()> {
+    pub(crate) fn quantum_boundary_check(&mut self, ran_quantum: bool) -> Result<()> {
         if ran_quantum {
             self.check_invariants()
         } else {
@@ -1239,16 +687,13 @@ impl BLsmTree {
     #[cfg(not(feature = "strict-invariants"))]
     #[inline(always)]
     #[allow(clippy::unnecessary_wraps)]
-    fn quantum_boundary_check(&mut self, _ran_quantum: bool) -> Result<()> {
+    pub(crate) fn quantum_boundary_check(&mut self, _ran_quantum: bool) -> Result<()> {
         Ok(())
     }
 
     /// Number of live on-disk components (for tests and experiments).
     pub fn component_count(&self) -> usize {
-        [&self.c1, &self.c1_prime, &self.c2]
-            .into_iter()
-            .flatten()
-            .count()
+        self.shared.catalog.load().tables().count()
     }
 
     /// Whether a `C0:C1` (resp. `C1':C2`) merge is currently in flight.
@@ -1257,22 +702,15 @@ impl BLsmTree {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Probe {
-    Builder01,
-    C1,
-    Builder12,
-    C1Prime,
-    C2,
-}
+use crate::progress::MergeProgress;
 
-/// WAL record: `kind(1) | varint seqno | varint keylen | key | value`.
 /// Surfaces a violated internal invariant as a recoverable error instead
 /// of a panic; callers of the public API see `StorageError::Corruption`.
-fn invariant_err(what: &str) -> StorageError {
+pub(crate) fn invariant_err(what: &str) -> StorageError {
     StorageError::Corruption(format!("internal invariant violated: {what}"))
 }
 
+/// WAL record: `kind(1) | varint seqno | varint keylen | key | value`.
 fn encode_wal_record(key: &Bytes, v: &Versioned) -> Vec<u8> {
     let mut out = Vec::with_capacity(12 + key.len() + v.entry.payload_len());
     let kind = match &v.entry {
@@ -1490,8 +928,7 @@ mod tests {
             }
             // No checkpoint, no clean shutdown: crash.
         }
-        let mut t =
-            BLsmTree::open(data, wal, 4096, small_config(), Arc::new(AppendOperator)).unwrap();
+        let t = BLsmTree::open(data, wal, 4096, small_config(), Arc::new(AppendOperator)).unwrap();
         for i in (0..3000u32).step_by(53) {
             let v = t
                 .get(&key(i))
@@ -1524,8 +961,7 @@ mod tests {
                 t.put(key(i), Bytes::from_static(b"x")).unwrap();
             }
         }
-        let mut t =
-            BLsmTree::open(data, wal, 4096, small_config(), Arc::new(AppendOperator)).unwrap();
+        let t = BLsmTree::open(data, wal, 4096, small_config(), Arc::new(AppendOperator)).unwrap();
         // A double-applied delta would read "base+d+d".
         assert_eq!(t.get(&key(1)).unwrap().unwrap().as_ref(), b"base+d");
     }
@@ -1551,7 +987,7 @@ mod tests {
             t.checkpoint().unwrap(); // durable point
             t.put(key(2), Bytes::from_static(b"new")).unwrap(); // lost
         }
-        let mut t = BLsmTree::open(data, wal, 4096, config, Arc::new(AppendOperator)).unwrap();
+        let t = BLsmTree::open(data, wal, 4096, config, Arc::new(AppendOperator)).unwrap();
         assert_eq!(t.get(&key(1)).unwrap().unwrap().as_ref(), b"old");
         assert!(
             t.get(&key(2)).unwrap().is_none(),
@@ -1606,7 +1042,7 @@ mod tests {
         }
         // Wipe the WAL: a checkpointed tree must not need it.
         let fresh_wal: SharedDevice = Arc::new(MemDevice::new());
-        let mut t = BLsmTree::open(
+        let t = BLsmTree::open(
             data,
             fresh_wal,
             4096,
@@ -1686,5 +1122,58 @@ mod tests {
             assert_eq!(k.as_ref(), b"k");
             assert_eq!(d, v);
         }
+    }
+
+    #[test]
+    fn read_view_sees_writes_and_survives_merges() {
+        let mut t = new_tree(small_config());
+        let view = t.read_view();
+        for i in 0..4000u32 {
+            t.put(key(i), Bytes::from(vec![i as u8; 100])).unwrap();
+        }
+        assert!(t.stats().merges01 > 0, "merges must have run");
+        // The view, created before any write, sees everything — it pins
+        // per-operation snapshots, not a point-in-time one.
+        for i in (0..4000u32).step_by(131) {
+            let v = view.get(&key(i)).unwrap().expect("present via view");
+            assert_eq!(v.as_ref(), &vec![i as u8; 100][..]);
+        }
+        let items = view.scan(&key(100), 10).unwrap();
+        assert_eq!(items.len(), 10);
+        assert_eq!(items[0].key, key(100));
+        assert_eq!(view.stats().gets, t.stats().gets);
+    }
+
+    #[test]
+    fn reads_consistent_mid_merge_pass() {
+        // Stop a merge pass in the middle (small quanta via maintenance)
+        // and verify every key is readable: some live in the old C1 (not
+        // yet rotated out), some in the retained C0 copies, some ahead of
+        // the drain cursor.
+        let config = BLsmConfig {
+            external_pacing: true, // no inline pacing: we drive quanta
+            ..small_config()
+        };
+        let mut t = new_tree(config);
+        for i in 0..800u32 {
+            t.put(key(i), Bytes::from(vec![7u8; 40])).unwrap();
+        }
+        t.checkpoint().unwrap(); // everything into C1
+        for i in 0..800u32 {
+            t.put(key(i), Bytes::from(vec![8u8; 40])).unwrap(); // fresher C0
+        }
+        t.start_merge01().unwrap();
+        t.run_merge01(2_000).unwrap(); // a sliver of the pass
+        assert!(t.merges_active().0, "merge must still be in flight");
+        let view = t.read_view();
+        for i in (0..800u32).step_by(37) {
+            let v = view.get(&key(i)).unwrap().expect("present mid-merge");
+            assert_eq!(v.as_ref(), &[8u8; 40][..], "key {i} must be the new value");
+        }
+        // Scans mid-pass see each key exactly once, newest version.
+        let items = view.scan(&key(0), 800).unwrap();
+        assert_eq!(items.len(), 800);
+        assert!(items.iter().all(|it| it.value.as_ref() == [8u8; 40]));
+        t.checkpoint().unwrap();
     }
 }

@@ -131,6 +131,19 @@ impl Memtable {
         std::mem::take(self)
     }
 
+    /// Inserts an entry for a key known to be absent — no folding is
+    /// needed or attempted. The snowshovel buffer uses this to retain
+    /// drained entries for concurrent readers: a pass drains each key at
+    /// most once, so the retained table never sees a duplicate.
+    pub fn insert_unmerged(&mut self, key: Bytes, v: Versioned) {
+        debug_assert!(
+            !self.map.contains_key(&key),
+            "insert_unmerged: key already resident"
+        );
+        self.bytes += Self::entry_cost(&key, &v);
+        self.map.insert(key, v);
+    }
+
     /// Inserts an entry known to be *older* than anything resident for the
     /// key: the resident entry wins, with deltas resolved through
     /// [`merge_versions`](crate::merge_versions). Used when a capped merge

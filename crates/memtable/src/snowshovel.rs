@@ -43,6 +43,13 @@ pub struct SnowshovelBuffer {
     current: Memtable,
     /// Entries deferred to the next pass.
     behind: Memtable,
+    /// Copies of entries already drained by the active pass. They are not
+    /// yet visible in the published `C1` (the merge output is under
+    /// construction), so readers must still find them here; the table is
+    /// dropped when the pass ends and the new `C1` is published. Excluded
+    /// from [`SnowshovelBuffer::approx_bytes`]: retained bytes are
+    /// already accounted to the merge output for pacing purposes.
+    retained: Memtable,
     pass: PassKind,
     /// Bytes in `current` when the pass began (the `|C0'|` of the
     /// inprogress estimator).
@@ -63,6 +70,7 @@ impl SnowshovelBuffer {
         SnowshovelBuffer {
             current: Memtable::new(),
             behind: Memtable::new(),
+            retained: Memtable::new(),
             pass: PassKind::Idle,
             pass_start_bytes: 0,
             drained_bytes: 0,
@@ -111,9 +119,26 @@ impl SnowshovelBuffer {
     }
 
     /// Looks up `key`. During a pass the `behind` table is never older than
-    /// `current` for the same key, so it is consulted first.
+    /// `current` for the same key, so it is consulted first; entries
+    /// already drained by the pass (retained for concurrent readers) come
+    /// last.
     pub fn get(&self, key: &[u8]) -> Option<&Versioned> {
-        self.behind.get(key).or_else(|| self.current.get(key))
+        self.behind
+            .get(key)
+            .or_else(|| self.current.get(key))
+            .or_else(|| self.retained.get(key))
+    }
+
+    /// All resident versions of `key`, newest first (`behind` → `current`
+    /// → `retained`). Unlike [`SnowshovelBuffer::get`], this exposes a
+    /// fresher `Delta` *and* the older base it shadows, so the read path
+    /// can fold them like any other component chain.
+    pub fn version_chain<'a>(&'a self, key: &[u8]) -> impl Iterator<Item = &'a Versioned> {
+        self.behind
+            .get(key)
+            .into_iter()
+            .chain(self.current.get(key))
+            .chain(self.retained.get(key))
     }
 
     /// Begins a merge pass. `snowshovel=true` starts a replacement-selection
@@ -125,6 +150,10 @@ impl SnowshovelBuffer {
         assert!(
             self.behind.is_empty(),
             "behind table must be empty between passes"
+        );
+        debug_assert!(
+            self.retained.is_empty(),
+            "retained table must be empty between passes"
         );
         self.pass = if snowshovel {
             PassKind::Snowshovel { last_drained: None }
@@ -154,6 +183,11 @@ impl SnowshovelBuffer {
         if let PassKind::Snowshovel { last_drained } = &mut self.pass {
             *last_drained = Some(key.clone());
         }
+        // Keep a copy visible to concurrent readers until the merge output
+        // is published. The cursor is now ≥ `key`, so a re-insert of the
+        // same key lands in `behind`, never back in `current` — each key
+        // is drained at most once per pass.
+        self.retained.insert_unmerged(key.clone(), v.clone());
         Some((key, v))
     }
 
@@ -189,6 +223,7 @@ impl SnowshovelBuffer {
             self.current.len()
         );
         self.current = self.behind.take();
+        self.retained.clear();
         self.pass = PassKind::Idle;
         self.pass_start_bytes = 0;
         self.drained_bytes = 0;
@@ -205,6 +240,7 @@ impl SnowshovelBuffer {
             self.behind.insert_older(key.clone(), v.clone(), op);
         }
         self.current = self.behind.take();
+        self.retained.clear();
         self.pass = PassKind::Idle;
         self.pass_start_bytes = 0;
         self.drained_bytes = 0;
@@ -231,12 +267,23 @@ impl SnowshovelBuffer {
         self.drained_bytes
     }
 
+    /// Bytes held for concurrent readers on behalf of the active pass
+    /// (already drained, not yet published in the merge output).
+    pub fn retained_bytes(&self) -> usize {
+        self.retained.approx_bytes()
+    }
+
     /// Iterates every resident entry in key order, preferring `behind`
-    /// (fresher) when a key is present in both tables.
+    /// (freshest) over `current` over `retained` when a key appears in
+    /// more than one table.
     pub fn iter(&self) -> impl Iterator<Item = (&Bytes, &Versioned)> {
         DualIter {
             a: self.behind.iter().peekable(),
-            b: self.current.iter().peekable(),
+            b: DualIter {
+                a: self.current.iter().peekable(),
+                b: self.retained.iter().peekable(),
+            }
+            .peekable(),
         }
     }
 
@@ -247,7 +294,11 @@ impl SnowshovelBuffer {
     ) -> impl Iterator<Item = (&'a Bytes, &'a Versioned)> {
         DualIter {
             a: self.behind.range_from(from).peekable(),
-            b: self.current.range_from(from).peekable(),
+            b: DualIter {
+                a: self.current.range_from(from).peekable(),
+                b: self.retained.range_from(from).peekable(),
+            }
+            .peekable(),
         }
     }
 }
@@ -471,5 +522,61 @@ mod tests {
         put(&mut buf, "a", 1);
         buf.begin_pass(true);
         buf.end_pass();
+    }
+
+    #[test]
+    fn drained_entries_stay_readable_until_pass_ends() {
+        let mut buf = SnowshovelBuffer::new();
+        put(&mut buf, "a", 1);
+        put(&mut buf, "b", 2);
+        buf.begin_pass(true);
+        buf.drain_next().unwrap(); // drains "a"
+                                   // "a" is gone from `current` but must still be readable: the merge
+                                   // output containing it has not been published yet.
+        assert_eq!(buf.get(b"a").unwrap().seqno, 1);
+        assert!(buf.retained_bytes() > 0);
+        buf.drain_next().unwrap();
+        buf.end_pass();
+        assert!(buf.get(b"a").is_none(), "retained copies dropped at end");
+        assert_eq!(buf.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_of_drained_key_shadows_retained_copy() {
+        let mut buf = SnowshovelBuffer::new();
+        put(&mut buf, "k", 1);
+        buf.begin_pass(true);
+        buf.drain_next().unwrap();
+        put(&mut buf, "k", 5); // behind the cursor → deferred
+        assert_eq!(buf.get(b"k").unwrap().seqno, 5, "behind wins over retained");
+        let chain: Vec<u64> = buf.version_chain(b"k").map(|v| v.seqno).collect();
+        assert_eq!(chain, vec![5, 1], "newest first: behind then retained");
+    }
+
+    #[test]
+    fn version_chain_exposes_delta_over_retained_base() {
+        let mut buf = SnowshovelBuffer::new();
+        buf.insert(b("k"), Versioned::put(1, b("base")), &AppendOperator);
+        buf.begin_pass(true);
+        buf.drain_next().unwrap(); // base now retained
+        buf.insert(b("k"), Versioned::delta(2, b("+d")), &AppendOperator);
+        let chain: Vec<_> = buf.version_chain(b"k").collect();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].seqno, 2, "fresh delta first");
+        assert_eq!(chain[1].seqno, 1, "retained base second");
+    }
+
+    #[test]
+    fn iter_spans_retained_entries() {
+        let mut buf = SnowshovelBuffer::new();
+        put(&mut buf, "a", 1);
+        put(&mut buf, "c", 1);
+        buf.begin_pass(true);
+        buf.drain_next().unwrap(); // "a" retained
+        put(&mut buf, "b", 2); // joins pass (ahead of cursor "a")
+        let keys: Vec<_> = buf.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b("a"), b("b"), b("c")]);
+        let from_b: Vec<_> = buf.range_from(b"b").map(|(k, _)| k.clone()).collect();
+        assert_eq!(from_b, vec![b("b"), b("c")]);
     }
 }

@@ -1,6 +1,6 @@
 //! Repo-specific lint rules (`cargo xtask lint`).
 //!
-//! Three rules the paper's correctness argument needs but clippy cannot
+//! Four rules the paper's correctness argument needs but clippy cannot
 //! express (§4.4.1 warns that merge threads acting on stale or weakly
 //! ordered shared state are the classic source of LSM race bugs):
 //!
@@ -15,6 +15,16 @@
 //! - **`storage-errors-doc`** — every `pub fn` in `blsm-storage` that
 //!   returns `Result` documents its failure modes in a `# Errors` doc
 //!   section (the storage layer is the root of the whole error story).
+//! - **`guard-across-merge`** — in `crates/core`, a `let`-bound
+//!   `parking_lot` lock guard (`.lock()` / `.read()` / `.write()`) must
+//!   not be live across a call into a merge-quantum function
+//!   (`start/run/finish_merge01/12`, `maintenance`, `pace`,
+//!   `checkpoint`). The lock-free read path depends on merge quanta
+//!   taking the `c0`/catalog locks themselves for short critical
+//!   sections; a guard held by the caller deadlocks (parking_lot locks
+//!   are not reentrant) or serializes readers behind a whole quantum.
+//!   Drop the guard first (`drop(g)` or scope it); deliberate holders
+//!   get an audited allowlist entry.
 //!
 //! Audited exceptions live in `xtask-lint.allow` at the workspace root:
 //! one `rule-id<space>file<space>function` triple per line, `#` comments.
@@ -220,6 +230,7 @@ fn lint_file(rel: &str, source: &str) -> Vec<Finding> {
     let mut findings = Vec::new();
     let clean = strip_comments_and_strings(source);
     let in_storage = rel.starts_with("crates/storage/src/");
+    let in_core = rel.starts_with("crates/core/src/");
 
     // Block tracking state.
     let mut stack: Vec<Block> = Vec::new();
@@ -230,6 +241,9 @@ fn lint_file(rel: &str, source: &str) -> Vec<Finding> {
     // storage-errors-doc state.
     let mut last_doc_has_errors = false;
     let mut doc_streak = false;
+    // guard-across-merge state: live let-bound lock guards, with the
+    // block depth at which each was bound (dies when its block closes).
+    let mut guards: Vec<(String, usize)> = Vec::new();
 
     for (idx, line) in clean.lines().enumerate() {
         let lineno = idx + 1;
@@ -309,6 +323,30 @@ fn lint_file(rel: &str, source: &str) -> Vec<Finding> {
             });
         }
 
+        // Rule: guard-across-merge (crates/core only). Process releases
+        // (explicit `drop(name)`) before new bindings and the call check,
+        // so `drop(c0); self.finish_merge01()?` on one line is clean.
+        if in_core && !in_test_context {
+            guards.retain(|(name, _)| !line.contains(&format!("drop({name})")));
+            if let Some(call) = merge_quantum_call(line) {
+                if let Some((guard, _)) = guards.first() {
+                    findings.push(Finding {
+                        rule: "guard-across-merge",
+                        file: rel.to_string(),
+                        line: lineno,
+                        function: current_fn(&fn_stack),
+                        message: format!(
+                            "lock guard `{guard}` held across merge-quantum call `{call}`; \
+                             drop it first (or allowlist with the audit reason)"
+                        ),
+                    });
+                }
+            }
+            if let Some(name) = guard_binding_on_line(trimmed) {
+                guards.push((name, stack.len()));
+            }
+        }
+
         // Rule: condvar-wait-loop.
         if !in_test_context
             && (line.contains(".wait(")
@@ -351,12 +389,58 @@ fn lint_file(rel: &str, source: &str) -> Vec<Finding> {
                             fn_stack.pop();
                         }
                     }
+                    guards.retain(|(_, depth)| stack.len() >= *depth);
                 }
                 _ => {}
             }
         }
     }
     findings
+}
+
+/// Functions that execute (part of) a merge quantum — holding a lock
+/// guard across any of these serializes or deadlocks the read path.
+const MERGE_QUANTUM_CALLS: &[&str] = &[
+    "start_merge01(",
+    "start_merge12(",
+    "run_merge01(",
+    "run_merge12(",
+    "finish_merge01(",
+    "finish_merge12(",
+    ".maintenance(",
+    ".pace(",
+    ".checkpoint(",
+];
+
+/// The merge-quantum function this line calls, if any.
+fn merge_quantum_call(line: &str) -> Option<&'static str> {
+    MERGE_QUANTUM_CALLS
+        .iter()
+        .find(|c| line.contains(**c))
+        .copied()
+}
+
+/// If this line `let`-binds a parking_lot lock guard
+/// (`let [mut] name = <expr>.lock()/.read()/.write()…`), its name.
+fn guard_binding_on_line(trimmed: &str) -> Option<String> {
+    let after_let = trimmed.strip_prefix("let ")?;
+    let after_let = after_let.strip_prefix("mut ").unwrap_or(after_let);
+    let (name, rhs) = after_let.split_once('=')?;
+    let name: String = name
+        .trim()
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    // Only a binding whose right-hand side *ends* with the acquire call
+    // is a guard; `.read().is_empty()` releases the temporary at the `;`.
+    let rhs = rhs.trim().trim_end_matches(';').trim_end();
+    let acquires = [".lock()", ".read()", ".write()"]
+        .iter()
+        .any(|m| rhs.ends_with(m));
+    acquires.then_some(name)
 }
 
 fn current_fn(fn_stack: &[(String, usize)]) -> String {
@@ -662,6 +746,60 @@ mod tests {
         let src = "pub fn f(\n    a: usize,\n) -> Result<()> {\n    Ok(())\n}\n";
         let f = lint_file("crates/storage/src/x.rs", src);
         assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn guard_across_merge_flagged() {
+        let src = "fn f(&mut self) {\n    let mut tree = shared.tree.lock();\n    tree.maintenance(q);\n}\n";
+        let f = lint_file("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "guard-across-merge");
+        assert_eq!(f[0].function, "f");
+        assert!(f[0].message.contains("`tree`"));
+        assert!(f[0].message.contains(".maintenance("));
+    }
+
+    #[test]
+    fn guard_dropped_before_merge_ok() {
+        let src = "fn f(&mut self) {\n    let mut c0 = self.shared.c0.write();\n    c0.advance_cursor(k);\n    drop(c0);\n    self.finish_merge01()?;\n}\n";
+        let f = lint_file("crates/core/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn guard_drop_and_call_same_line_ok() {
+        let src = "fn f(&mut self) {\n    let c0 = self.shared.c0.write();\n    drop(c0); self.finish_merge01()?;\n}\n";
+        let f = lint_file("crates/core/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn guard_scoped_out_before_merge_ok() {
+        let src = "fn f(&mut self) {\n    {\n        let c0 = self.shared.c0.read();\n        let b = c0.approx_bytes();\n    }\n    self.run_merge01(b)?;\n}\n";
+        let f = lint_file("crates/core/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn temporary_guard_not_tracked() {
+        // `.read()` inside a larger expression releases at the `;`.
+        let src = "fn f(&mut self) {\n    let empty = self.shared.c0.read().is_empty();\n    self.run_merge01(1)?;\n}\n";
+        let f = lint_file("crates/core/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn guard_across_merge_scoped_to_core() {
+        let src = "fn f(&mut self) {\n    let g = m.lock();\n    tree.checkpoint()?;\n}\n";
+        let f = lint_file("crates/bench/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn guard_across_merge_ignored_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() {\n        let t = shared.tree.lock();\n        t.checkpoint().unwrap();\n    }\n}\n";
+        let f = lint_file("crates/core/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

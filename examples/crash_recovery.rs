@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
 
         // Phase 2: recover and inventory what survived.
-        let mut tree = open(&data, &wal, durability)?;
+        let tree = open(&data, &wal, durability)?;
         let merged_survivors = (0..2000u32)
             .filter(|i| tree.get(format!("key{i:06}").as_bytes()).unwrap().is_some())
             .count();

@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.disk_probes
     );
     drop(tree);
-    let mut tree = BLsmTree::open(data, wal, 4096, config, Arc::new(AppendOperator))?;
+    let tree = BLsmTree::open(data, wal, 4096, config, Arc::new(AppendOperator))?;
     let v = tree.get(b"user00004242")?.expect("recovered");
     println!("after recovery: {:?}", std::str::from_utf8(&v)?);
 

@@ -26,7 +26,7 @@ fn main() {
         ..Default::default()
     };
     let tree = BLsmTree::open(data, wal, 1024, config, Arc::new(AppendOperator)).unwrap();
-    let db = Arc::new(ThreadedBLsm::start(tree, 256 << 10));
+    let db = Arc::new(ThreadedBLsm::start(tree, 256 << 10).unwrap());
 
     // Three writer threads hammer the tree; every write kicks the merge
     // thread, racing the kick against its sleep/shutdown checks.
@@ -54,7 +54,7 @@ fn main() {
 
     // Shutdown drains every pending merge and hands the tree back.
     let db = Arc::try_unwrap(db).unwrap_or_else(|_| panic!("writers still hold the db"));
-    let mut tree = db.shutdown().unwrap();
+    let tree = db.shutdown().unwrap();
     let rows = tree.scan(b"", 100_000).unwrap();
     let stats = tree.stats();
     println!(

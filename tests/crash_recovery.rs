@@ -63,7 +63,7 @@ fn crash_at_every_growth_stage() {
         // Crash without checkpoint.
         drop(tree);
     }
-    let mut tree = BLsmTree::open(data, wal, 1024, config(), Arc::new(AppendOperator)).unwrap();
+    let tree = BLsmTree::open(data, wal, 1024, config(), Arc::new(AppendOperator)).unwrap();
     for (k, v) in &model {
         assert_eq!(tree.get(k).unwrap().as_deref(), Some(v.as_ref()));
     }
@@ -89,7 +89,7 @@ fn recovered_tree_keeps_correct_scan_order() {
             tree.delete(key(i)).unwrap();
         }
     }
-    let mut tree = BLsmTree::open(data, wal, 1024, config(), Arc::new(AppendOperator)).unwrap();
+    let tree = BLsmTree::open(data, wal, 1024, config(), Arc::new(AppendOperator)).unwrap();
     let rows = tree.scan(&key(100), 100).unwrap();
     assert!(rows.windows(2).all(|w| w[0].key < w[1].key));
     for row in &rows {
@@ -139,7 +139,7 @@ fn counter_deltas_survive_crash_exactly_once() {
         }
         drop(tree); // crash
     }
-    let mut tree = BLsmTree::open(data, wal, 1024, config(), Arc::new(AddOperator)).unwrap();
+    let tree = BLsmTree::open(data, wal, 1024, config(), Arc::new(AddOperator)).unwrap();
     for id in 0..n_keys {
         let v = tree.get(&key(id)).unwrap().expect("counter present");
         let got = i64::from_le_bytes(v[..8].try_into().unwrap());
@@ -162,8 +162,7 @@ fn clean_shutdown_then_wal_wipe() {
         tree.checkpoint().unwrap();
     }
     let fresh_wal: SharedDevice = Arc::new(MemDevice::new());
-    let mut tree =
-        BLsmTree::open(data, fresh_wal, 1024, config(), Arc::new(AppendOperator)).unwrap();
+    let tree = BLsmTree::open(data, fresh_wal, 1024, config(), Arc::new(AppendOperator)).unwrap();
     for i in (0..3_000u64).step_by(97) {
         assert_eq!(
             tree.get(&key(i)).unwrap().unwrap(),
@@ -200,7 +199,7 @@ fn degraded_durability_recovers_prefix() {
         // prefix ("older (up to a well-defined point in time) updates are
         // available", §4.4.2).
     }
-    let mut tree = BLsmTree::open(data, wal, 1024, cfg, Arc::new(AppendOperator)).unwrap();
+    let tree = BLsmTree::open(data, wal, 1024, cfg, Arc::new(AppendOperator)).unwrap();
     // Everything that survived must carry the correct value; nothing
     // corrupted, and the survivors form a consistent tree.
     let mut survivors = 0u64;

@@ -68,7 +68,7 @@ fn data_device_death_is_an_error_not_a_panic() {
     // The medium (what survived) plus the WAL must reopen into a
     // consistent tree: recovery only trusts the last *completed* manifest.
     drop(tree);
-    let mut recovered = BLsmTree::open(medium, wal_medium, 512, config(), Arc::new(AppendOperator))
+    let recovered = BLsmTree::open(medium, wal_medium, 512, config(), Arc::new(AppendOperator))
         .expect("recovery after device death");
     // Spot-check that recovered reads behave (values are whatever the
     // durable prefix says; they must parse, not panic).
@@ -110,7 +110,7 @@ fn torn_final_write_recovers_every_acknowledged_write() {
         assert!(!acknowledged.is_empty());
     }
     // Recover from the torn medium.
-    let mut tree = BLsmTree::open(medium, wal_medium, 512, config(), Arc::new(AppendOperator))
+    let tree = BLsmTree::open(medium, wal_medium, 512, config(), Arc::new(AppendOperator))
         .expect("recovery after torn write");
     // Last writer wins per key.
     let mut latest = std::collections::HashMap::new();
@@ -180,7 +180,7 @@ fn read_faults_are_propagated() {
     // Reopen behind a read-fault wrapper with a small budget: open itself
     // reads (manifest/footers), so give it room, then trip during gets.
     let flaky: SharedDevice = Arc::new(FaultyDevice::new(medium, FaultMode::FailReads, 5_000));
-    let mut tree = BLsmTree::open(flaky, wal, 64, config(), Arc::new(AppendOperator)).unwrap();
+    let tree = BLsmTree::open(flaky, wal, 64, config(), Arc::new(AppendOperator)).unwrap();
     let mut errors = 0;
     let mut oks = 0;
     for i in 0..20_000u64 {
@@ -252,7 +252,7 @@ fn read_faults_during_merges_are_propagated() {
     let msg = first_err.expect("the merge-path read fault must eventually fire");
     assert!(msg.contains("injected fault"), "unexpected error: {msg}");
     // The raw medium still opens into a consistent tree.
-    let mut recovered = BLsmTree::open(medium, wal_medium, 512, config(), Arc::new(AppendOperator))
+    let recovered = BLsmTree::open(medium, wal_medium, 512, config(), Arc::new(AppendOperator))
         .expect("recovery after merge-time read faults");
     for i in (0..2_000u64).step_by(97) {
         let _ = recovered.get(&key(i)).unwrap();
@@ -281,7 +281,7 @@ fn read_faults_during_scans_are_propagated() {
         tree.checkpoint().unwrap();
     }
     let flaky: SharedDevice = Arc::new(FaultyDevice::new(medium, FaultMode::FailReads, 4_000));
-    let mut tree = BLsmTree::open(flaky, wal, 64, config(), Arc::new(AppendOperator)).unwrap();
+    let tree = BLsmTree::open(flaky, wal, 64, config(), Arc::new(AppendOperator)).unwrap();
     let mut errors = 0u32;
     let mut oks = 0u32;
     for i in 0..3_000u64 {
@@ -334,7 +334,7 @@ fn torn_wal_write_keeps_all_prior_acknowledged_writes() {
         );
     }
     // Reopen from the surviving media.
-    let mut tree = BLsmTree::open(data, wal_medium, 512, config(), Arc::new(AppendOperator))
+    let tree = BLsmTree::open(data, wal_medium, 512, config(), Arc::new(AppendOperator))
         .expect("recovery after torn log write");
     let mut latest = std::collections::HashMap::new();
     for (k, v) in &acknowledged {
