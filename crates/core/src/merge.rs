@@ -263,21 +263,35 @@ impl BLsmTree {
             ));
             let old_c1 = old.c1.clone();
             drop(old);
+            // A capped pass leaves undrained C0 entries; fold them into
+            // the deferred table *before* the commit critical section.
+            // The O(|C0|) operator folding runs under the read lock, so
+            // concurrent readers proceed; nothing else can mutate C0 in
+            // between — this handle is the sole writer and the merge has
+            // stopped draining.
+            let premerged = {
+                let c0 = self.shared.c0.read();
+                (!c0.pass_exhausted()).then(|| c0.fold_remainder(self.shared.op.as_ref()))
+            };
+            had_leftover = premerged.is_some();
             // Commit point (see catalog.rs): publish the new catalog and
-            // retire the pass's drained C0 copies in one c0 write critical
-            // section. A concurrent reader pins either the old pair (old
-            // C1 + retained entries) or the new pair — both complete.
-            {
+            // retire the pass's drained C0 copies in one *brief* (O(1))
+            // c0 write critical section. A concurrent reader pins either
+            // the old pair (old C1 + retained entries) or the new pair —
+            // both complete.
+            let displaced = {
                 let mut c0 = self.shared.c0.write();
-                had_leftover = !c0.pass_exhausted();
                 self.shared.catalog.store(next);
-                if had_leftover {
-                    let op = self.shared.op.clone();
-                    c0.end_pass_with_remainder(op.as_ref());
-                } else {
-                    c0.end_pass();
+                match premerged {
+                    Some(merged) => Some(c0.end_pass_installing(merged)),
+                    None => {
+                        c0.end_pass();
+                        None
+                    }
                 }
-            }
+            };
+            // Free the displaced C0 tables outside the critical section.
+            drop(displaced);
             if let Some(old_c1) = old_c1 {
                 self.retire(old_c1);
             }
@@ -450,6 +464,10 @@ impl BLsmTree {
         let pending = std::mem::take(&mut self.retired);
         for r in pending {
             if Arc::strong_count(&r.table) == 1 {
+                // Synchronize with the release decrement of the last
+                // reader's handle drop before discarding the pages (the
+                // same fence `Arc`'s own `Drop` issues before freeing).
+                std::sync::atomic::fence(Ordering::Acquire);
                 r.table.evict_from_pool();
                 self.allocator.free(r.region);
             } else {

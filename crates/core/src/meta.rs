@@ -47,6 +47,12 @@ pub struct TreeMeta {
     pub components: Vec<(ComponentSlot, Region)>,
     /// Region allocator state at save time.
     pub allocator: RegionAllocator,
+    /// Regions of retired components still allocated at save time (a
+    /// reader pinning an old catalog kept them alive). The retired list
+    /// itself does not survive a restart, so reopen reclaims these —
+    /// otherwise a component retired-but-pinned at the final manifest
+    /// save would leak its region on disk permanently.
+    pub retired: Vec<Region>,
     /// Logical-log truncation point: replay starts here.
     pub wal_head: Lsn,
     /// Next sequence number to assign (replayed records may push it up).
@@ -69,6 +75,11 @@ impl TreeMeta {
             codec::put_u64(&mut out, region.pages);
         }
         self.allocator.encode(&mut out);
+        codec::put_varint(&mut out, self.retired.len() as u64);
+        for region in &self.retired {
+            codec::put_u64(&mut out, region.start.0);
+            codec::put_u64(&mut out, region.pages);
+        }
         out
     }
 
@@ -98,11 +109,26 @@ impl TreeMeta {
             ));
         }
         let allocator = RegionAllocator::decode(&mut r)?;
+        // Optional trailer: manifests written before retired-region
+        // persistence end at the allocator state.
+        let mut retired = Vec::new();
+        if r.position() < bytes.len() {
+            let n = r.varint()?;
+            for _ in 0..n {
+                let start = r.u64()?;
+                let pages = r.u64()?;
+                retired.push(Region {
+                    start: PageId(start),
+                    pages,
+                });
+            }
+        }
         Ok(TreeMeta {
             components,
             allocator,
             wal_head,
             next_seqno,
+            retired,
         })
     }
 }
@@ -133,9 +159,30 @@ mod tests {
             allocator,
             wal_head: 123_456,
             next_seqno: 999,
+            retired: vec![Region {
+                start: PageId(2000),
+                pages: 64,
+            }],
         };
         let enc = meta.encode();
         assert_eq!(TreeMeta::decode(&enc).unwrap(), meta);
+    }
+
+    #[test]
+    fn decode_tolerates_missing_retired_trailer() {
+        // A pre-trailer manifest ends at the allocator state. With no
+        // retired regions, the trailer is a single varint 0 — strip it to
+        // emulate the legacy layout.
+        let meta = TreeMeta {
+            components: vec![],
+            allocator: RegionAllocator::new(128),
+            wal_head: 7,
+            next_seqno: 3,
+            retired: vec![],
+        };
+        let enc = meta.encode();
+        let legacy = &enc[..enc.len() - 1];
+        assert_eq!(TreeMeta::decode(legacy).unwrap(), meta);
     }
 
     #[test]
@@ -151,6 +198,7 @@ mod tests {
             allocator: RegionAllocator::new(128),
             wal_head: 0,
             next_seqno: 1,
+            retired: vec![],
         };
         assert_eq!(TreeMeta::decode(&meta.encode()).unwrap(), meta);
     }

@@ -232,6 +232,16 @@ impl TreeShared {
         // Pin: copy the C0 rows of the range and load the catalog under
         // one c0 read lock. The copy is bounded by the C0 memory budget
         // (and by `to` when given); disk components stream lazily.
+        // Deliberate trade-off: an unbounded-above scan can copy the
+        // whole C0 tail under the read lock, an O(mem_budget) window in
+        // which writers (who need the write lock) wait. Bounding the copy
+        // by `limit` is not possible — tombstones and the upper levels
+        // decide which rows survive — so latency-sensitive writers should
+        // issue bounded range scans. Readers are unaffected either way.
+        // Mid-pass, `range_from` yields *every* resident version of a key
+        // (a deferred Delta and the base it shadows, newest first); the
+        // rows go to MergeIter below as one multi-version stream so tied
+        // versions fold exactly like any other component chain.
         let (c0_rows, catalog) = {
             let c0 = self.c0.read();
             let mut rows: Vec<(Bytes, Versioned)> = Vec::new();

@@ -129,7 +129,14 @@ impl BLsmTree {
                         ComponentSlot::C2 => c2 = Some(table),
                     }
                 }
-                (meta.allocator, meta.wal_head, meta.next_seqno)
+                let mut allocator = meta.allocator;
+                // Regions that were retired but still reader-pinned at
+                // the final manifest save belong to nobody now — without
+                // this they would stay allocated forever.
+                for region in meta.retired {
+                    allocator.free(region);
+                }
+                (allocator, meta.wal_head, meta.next_seqno)
             }
             None => (RegionAllocator::new(manifest.first_free_page()), 0, 1),
         };
@@ -507,6 +514,9 @@ impl BLsmTree {
         let meta = TreeMeta {
             components,
             allocator: self.allocator.clone(),
+            // Still-pinned retired regions ride along so a reopen can
+            // reclaim them (the in-memory retired list dies with us).
+            retired: self.retired.iter().map(|r| r.region).collect(),
             wal_head: self.wal.as_ref().map_or(0, Wal::head_lsn),
             next_seqno: self.next_seqno,
         };
@@ -1175,5 +1185,110 @@ mod tests {
         assert_eq!(items.len(), 800);
         assert!(items.iter().all(|it| it.value.as_ref() == [8u8; 40]));
         t.checkpoint().unwrap();
+    }
+
+    #[test]
+    fn retired_regions_pinned_at_shutdown_are_reclaimed_on_reopen() {
+        // A reader pinning an old catalog across the final checkpoint
+        // keeps the replaced component's region allocated; the manifest
+        // records it as retired so reopen reclaims it instead of leaking
+        // it on disk forever.
+        let data: SharedDevice = Arc::new(MemDevice::new());
+        let wal: SharedDevice = Arc::new(MemDevice::new());
+        let pinned;
+        let retired_pages;
+        let allocated_before;
+        {
+            let mut t = BLsmTree::open(
+                data.clone(),
+                wal.clone(),
+                4096,
+                small_config(),
+                Arc::new(AppendOperator),
+            )
+            .unwrap();
+            for i in 0..500u32 {
+                t.put(key(i), Bytes::from(vec![1u8; 60])).unwrap();
+            }
+            t.checkpoint().unwrap();
+            // Pin the catalog like a slow reader mid-scan would.
+            pinned = t.shared.catalog.load();
+            for i in 0..500u32 {
+                t.put(key(i), Bytes::from(vec![2u8; 60])).unwrap();
+            }
+            t.checkpoint().unwrap(); // replaces the pinned components
+            assert!(
+                !t.retired.is_empty(),
+                "the pinned old component must still be awaiting reclamation"
+            );
+            retired_pages = t.retired.iter().map(|r| r.region.pages).sum::<u64>();
+            allocated_before = t.allocator.high_water() - t.allocator.free_pages();
+            // Tree dropped here with the reader still pinning.
+        }
+        drop(pinned);
+        let t2 = BLsmTree::open(data, wal, 4096, small_config(), Arc::new(AppendOperator)).unwrap();
+        let allocated_after = t2.allocator.high_water() - t2.allocator.free_pages();
+        assert_eq!(
+            allocated_after,
+            allocated_before - retired_pages,
+            "reopen must reclaim regions that were retired-but-pinned at save"
+        );
+        assert_eq!(t2.get(&key(1)).unwrap().unwrap().as_ref(), &[2u8; 60][..]);
+    }
+
+    #[test]
+    fn scan_folds_delta_over_retained_base_mid_pass() {
+        // Regression: during a snowshovel pass a key's base can live only
+        // in the retained (already-drained) C0 copies while a fresher
+        // Delta lands in the deferred table. A scan racing the pass must
+        // fold the two, not return the delta over an absent base.
+        let config = BLsmConfig {
+            external_pacing: true, // we drive the pass by hand
+            ..small_config()
+        };
+        let mut t = new_tree(config);
+        assert!(t.config().snowshovel);
+        t.put(key(0), Bytes::from_static(b"base")).unwrap();
+        t.put(key(1), Bytes::from_static(b"other")).unwrap();
+        t.start_merge01().unwrap();
+        t.run_merge01(1).unwrap(); // drains key(0): base now only retained
+        assert!(t.merges_active().0, "pass must still be in flight");
+        t.apply_delta(key(0), Bytes::from_static(b"+d")).unwrap(); // behind cursor → deferred
+        let view = t.read_view();
+        assert_eq!(view.get(&key(0)).unwrap().unwrap().as_ref(), b"base+d");
+        let items = view.scan(&key(0), 10).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(
+            items[0].value.as_ref(),
+            b"base+d",
+            "scan must fold the deferred delta over the retained base"
+        );
+        t.checkpoint().unwrap();
+        assert_eq!(t.get(&key(0)).unwrap().unwrap().as_ref(), b"base+d");
+    }
+
+    #[test]
+    fn scan_folds_delta_over_frozen_base_mid_pass() {
+        // Frozen-pass variant: the base is still in the sealed current
+        // table (undrained C0') when the delta lands in the next table.
+        let config = BLsmConfig {
+            scheduler: SchedulerKind::Gear, // gear partitions C0/C0' (frozen passes)
+            external_pacing: true,
+            ..small_config()
+        };
+        let mut t = new_tree(config);
+        assert!(!t.config().snowshovel);
+        t.put(key(0), Bytes::from_static(b"base")).unwrap();
+        t.put(key(1), Bytes::from_static(b"other")).unwrap();
+        t.start_merge01().unwrap();
+        assert!(t.merges_active().0);
+        t.apply_delta(key(0), Bytes::from_static(b"+d")).unwrap(); // frozen → deferred
+        let view = t.read_view();
+        assert_eq!(view.get(&key(0)).unwrap().unwrap().as_ref(), b"base+d");
+        let items = view.scan(&key(0), 10).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].value.as_ref(), b"base+d");
+        t.checkpoint().unwrap();
+        assert_eq!(t.get(&key(0)).unwrap().unwrap().as_ref(), b"base+d");
     }
 }

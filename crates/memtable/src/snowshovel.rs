@@ -229,21 +229,42 @@ impl SnowshovelBuffer {
         self.drained_bytes = 0;
     }
 
-    /// Ends the pass even though entries remain undrained (a run-length
-    /// cap stopped the merge early, §4.2 discussion of adversarial
-    /// inputs). Undrained entries are folded back into the next table —
-    /// they are *older* than any same-key entry deferred during the pass.
-    pub fn end_pass_with_remainder(&mut self, op: &dyn MergeOperator) {
+    /// Pre-computes the table a capped pass will leave behind: the
+    /// deferred (`behind`) entries with every undrained `current` entry
+    /// folded in as the *older* version (a run-length cap stopped the
+    /// merge early, §4.2 discussion of adversarial inputs).
+    ///
+    /// `&self` so the O(|C0|) operator folding can run under a read lock
+    /// (concurrent readers proceed); the result is then installed by
+    /// [`SnowshovelBuffer::end_pass_installing`] in an O(1) critical
+    /// section. The buffer must not change between the two calls —
+    /// callers hold the unique write handle across both.
+    pub fn fold_remainder(&self, op: &dyn MergeOperator) -> Memtable {
+        assert_ne!(self.pass, PassKind::Idle, "no pass active");
+        let mut merged = self.behind.clone();
+        for (key, v) in self.current.iter() {
+            merged.insert_older(key.clone(), v.clone(), op);
+        }
+        merged
+    }
+
+    /// Ends a capped pass by installing `merged` (built by
+    /// [`SnowshovelBuffer::fold_remainder`]) as the new current table.
+    /// The displaced tables are returned so the caller can drop them
+    /// outside its critical section.
+    ///
+    /// Panics if no pass is active.
+    #[must_use = "drop the displaced tables outside the critical section"]
+    pub fn end_pass_installing(&mut self, merged: Memtable) -> [Memtable; 3] {
         assert_ne!(self.pass, PassKind::Idle, "no pass active");
         let leftover = self.current.take();
-        for (key, v) in leftover.iter() {
-            self.behind.insert_older(key.clone(), v.clone(), op);
-        }
-        self.current = self.behind.take();
-        self.retained.clear();
+        let behind = self.behind.take();
+        let retained = self.retained.take();
+        self.current = merged;
         self.pass = PassKind::Idle;
         self.pass_start_bytes = 0;
         self.drained_bytes = 0;
+        [leftover, behind, retained]
     }
 
     /// Bytes in the `current` (pass input) table.
@@ -273,9 +294,12 @@ impl SnowshovelBuffer {
         self.retained.approx_bytes()
     }
 
-    /// Iterates every resident entry in key order, preferring `behind`
-    /// (freshest) over `current` over `retained` when a key appears in
-    /// more than one table.
+    /// Iterates every resident entry in key order. When a key appears in
+    /// more than one table, *all* of its versions are yielded, newest
+    /// first (`behind` → `current` → `retained`) — the streaming analogue
+    /// of [`SnowshovelBuffer::version_chain`]. Consumers must fold tied
+    /// versions (e.g. via a merge iterator); collapsing to the first
+    /// would lose the base under a fresher `Delta`.
     pub fn iter(&self) -> impl Iterator<Item = (&Bytes, &Versioned)> {
         DualIter {
             a: self.behind.iter().peekable(),
@@ -287,7 +311,8 @@ impl SnowshovelBuffer {
         }
     }
 
-    /// Iterates entries with key ≥ `from`.
+    /// Iterates entries with key ≥ `from`, with the same all-versions
+    /// newest-first tie semantics as [`SnowshovelBuffer::iter`].
     pub fn range_from<'a>(
         &'a self,
         from: &[u8],
@@ -303,7 +328,8 @@ impl SnowshovelBuffer {
     }
 }
 
-/// Merge of two key-ordered iterators where stream `a` wins ties.
+/// Merge of two key-ordered iterators. On ties, `a` (the fresher stream)
+/// is yielded first and `b`'s copy follows — no version is dropped.
 struct DualIter<'a, A, B>
 where
     A: Iterator<Item = (&'a Bytes, &'a Versioned)>,
@@ -328,8 +354,12 @@ where
                 } else if kb < ka {
                     self.b.next()
                 } else {
-                    // Same key: a (behind, fresher) wins; drop b's copy.
-                    self.b.next();
+                    // Same key: a (fresher) goes first, but b's copy is
+                    // *kept* — it surfaces on the next call, so consumers
+                    // see every version newest-first and can fold them.
+                    // Dropping the shadowed copy would be lossy for
+                    // deltas: a fresh `behind` Delta can shadow a base
+                    // that lives only in `retained`/`current` mid-pass.
                     self.a.next()
                 }
             }
@@ -470,15 +500,47 @@ mod tests {
     }
 
     #[test]
-    fn iter_prefers_fresher_copy() {
+    fn iter_yields_all_versions_newest_first() {
         let mut buf = SnowshovelBuffer::new();
         put(&mut buf, "a", 1);
         put(&mut buf, "b", 1);
         buf.begin_pass(false);
         put(&mut buf, "b", 2);
         put(&mut buf, "c", 2);
+        // Both copies of "b" surface, fresher first — consumers fold.
         let items: Vec<_> = buf.iter().map(|(k, v)| (k.clone(), v.seqno)).collect();
-        assert_eq!(items, vec![(b("a"), 1), (b("b"), 2), (b("c"), 2)]);
+        assert_eq!(
+            items,
+            vec![(b("a"), 1), (b("b"), 2), (b("b"), 1), (b("c"), 2)]
+        );
+    }
+
+    #[test]
+    fn range_from_exposes_delta_over_retained_base() {
+        // The scan-path shape of `version_chain_exposes_delta_over_
+        // retained_base`: mid-pass, a key's base lives only in `retained`
+        // while a fresher Delta sits in `behind`. The range iterator must
+        // yield both (newest first) or the scan would fold the delta over
+        // an absent base.
+        let mut buf = SnowshovelBuffer::new();
+        buf.insert(b("k"), Versioned::put(1, b("base")), &AppendOperator);
+        buf.begin_pass(true);
+        buf.drain_next().unwrap(); // base now retained
+        buf.insert(b("k"), Versioned::delta(2, b("+d")), &AppendOperator);
+        let versions: Vec<_> = buf.range_from(b"k").map(|(_, v)| v.seqno).collect();
+        assert_eq!(versions, vec![2, 1], "delta then shadowed base");
+    }
+
+    #[test]
+    fn range_from_exposes_delta_over_frozen_base() {
+        // Frozen-pass variant: the base is still in `current` (undrained)
+        // when the delta lands in `behind`.
+        let mut buf = SnowshovelBuffer::new();
+        buf.insert(b("k"), Versioned::put(1, b("base")), &AppendOperator);
+        buf.begin_pass(false);
+        buf.insert(b("k"), Versioned::delta(2, b("+d")), &AppendOperator);
+        let versions: Vec<_> = buf.range_from(b"k").map(|(_, v)| v.seqno).collect();
+        assert_eq!(versions, vec![2, 1], "delta then shadowed base");
     }
 
     #[test]
@@ -564,6 +626,31 @@ mod tests {
         assert_eq!(chain.len(), 2);
         assert_eq!(chain[0].seqno, 2, "fresh delta first");
         assert_eq!(chain[1].seqno, 1, "retained base second");
+    }
+
+    #[test]
+    fn capped_pass_folds_remainder_outside_install() {
+        let mut buf = SnowshovelBuffer::new();
+        buf.insert(b("a"), Versioned::put(1, b("a1")), &AppendOperator);
+        buf.insert(b("k"), Versioned::put(2, b("base")), &AppendOperator);
+        buf.begin_pass(true);
+        // Drain "a" → retained, then defer a fresher delta for the
+        // still-undrained "k".
+        buf.drain_next().unwrap();
+        buf.insert(b("k"), Versioned::delta(3, b("+d")), &AppendOperator);
+        // Cap fires with "k" undrained: fold, then install.
+        let merged = buf.fold_remainder(&AppendOperator);
+        let displaced = buf.end_pass_installing(merged);
+        drop(displaced);
+        assert_eq!(buf.pass(), &PassKind::Idle);
+        // The undrained base folded under the deferred delta.
+        let v = buf.get(b"k").unwrap();
+        assert_eq!(v.seqno, 3);
+        assert_eq!(v.entry, crate::types::Entry::Put(b("base+d")));
+        // Drained-and-retained copies are gone.
+        assert!(buf.get(b"a").is_none());
+        assert_eq!(buf.retained_bytes(), 0);
+        assert_eq!(buf.drained_bytes(), 0);
     }
 
     #[test]

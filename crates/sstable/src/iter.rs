@@ -153,7 +153,12 @@ pub type EntryStream<'a> = Box<dyn Iterator<Item = Result<EntryRef>> + Send + 'a
 /// K-way merge over key-ordered entry streams.
 ///
 /// Streams must be supplied **newest first**; when several streams hold the
-/// same key, their versions are resolved with [`merge_versions`].
+/// same key, their versions are resolved with [`merge_versions`]. A single
+/// stream may also carry *several consecutive versions of one key* (newest
+/// first, all newer than any same-key entry in later streams) — the `C0`
+/// snapshot of a scan does this mid-merge-pass, when a fresh `Delta` in
+/// the deferred table shadows a base that only lives in the drained
+/// (retained) copies. Every tied version is collected before folding.
 pub struct MergeIter<'a> {
     streams: Vec<std::iter::Peekable<EntryStream<'a>>>,
     op: Arc<dyn MergeOperator>,
@@ -219,11 +224,12 @@ impl Iterator for MergeIter<'_> {
                 }
             }
             let key = min_key?;
-            // Collect all versions of that key, newest stream first.
+            // Collect all versions of that key, newest stream first —
+            // draining *every* consecutive same-key entry a stream holds,
+            // not just its head (multi-version streams, see type docs).
             let mut versions = Vec::new();
             for s in &mut self.streams {
-                let has_key = matches!(s.peek(), Some(Ok(e)) if e.key == key);
-                if has_key {
+                while matches!(s.peek(), Some(Ok(e)) if e.key == key) {
                     if let Some(Ok(e)) = s.next() {
                         versions.push(e.version);
                     }
@@ -440,6 +446,40 @@ mod tests {
                 ("d".into(), "d-old".into()),
             ]
         );
+    }
+
+    #[test]
+    fn merge_iter_folds_multi_version_stream() {
+        // A stream carrying two consecutive versions of one key (newest
+        // first) — the shape a C0 scan snapshot produces mid-merge-pass —
+        // must have both folded into one output entry, not emitted twice.
+        let pool = pool();
+        let disk = build_table(&pool, 0, &[("a", put(1, "old")), ("c", put(1, "c"))]);
+        let mem: Vec<std::result::Result<EntryRef, blsm_storage::StorageError>> = vec![
+            Ok(EntryRef {
+                key: Bytes::from_static(b"a"),
+                version: Versioned::delta(9, Bytes::from_static(b"+d")),
+            }),
+            Ok(EntryRef {
+                key: Bytes::from_static(b"a"),
+                version: put(8, "base"),
+            }),
+        ];
+        let streams: Vec<EntryStream<'static>> = vec![
+            Box::new(mem.into_iter()),
+            Box::new(disk.iter(ReadMode::Pooled)),
+        ];
+        let merged: Vec<_> = MergeIter::new(streams, Arc::new(AppendOperator), true)
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(merged.len(), 2, "no duplicate keys in the output");
+        assert_eq!(merged[0].key.as_ref(), b"a");
+        assert_eq!(
+            merged[0].version.entry,
+            Entry::Put(Bytes::from_static(b"base+d")),
+            "delta folded over the same-stream base, shadowing disk"
+        );
+        assert_eq!(merged[1].key.as_ref(), b"c");
     }
 
     #[test]
