@@ -12,10 +12,67 @@
 
 use blsm_bench::setup::{make_blsm, make_btree, make_leveldb, Scale};
 use blsm_bench::{fmt_f, parse_threads, print_table, read_scaling_rows};
+use blsm_server::RemoteKv;
 use blsm_storage::DiskModel;
 use blsm_ycsb::{KvEngine, LoadOrder, Runner, Workload};
 
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Network mode: drive a live `blsm-server` over TCP through the client
+/// library, reporting the same histograms as the in-process path. The
+/// engine's clock is the wall clock, so latencies include the wire.
+fn run_network_suite(args: &[String]) {
+    let addr = flag_value(args, "--server").expect("--server needs ADDR");
+    let records: u64 = flag_value(args, "--records")
+        .map_or(2_000, |v| v.parse().expect("--records: not a number"));
+    let ops: u64 =
+        flag_value(args, "--ops").map_or(2_000, |v| v.parse().expect("--ops: not a number"));
+    let letters: Vec<char> = flag_value(args, "--workloads")
+        .unwrap_or_else(|| "ABCDEF".into())
+        .to_ascii_uppercase()
+        .chars()
+        .collect();
+
+    let runner = Runner::default();
+    let mut engine = RemoteKv::connect(addr.clone()).expect("connect to blsm-server");
+    println!("loading {records} records into {addr} ...");
+    runner
+        .load(&mut engine, records, 100, false, LoadOrder::Random)
+        .unwrap();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &letter in &letters {
+        let mut wl = Workload::ycsb(letter, records, 0x5eed_u64 ^ letter as u64);
+        wl.value_size = 100;
+        let report = runner.run(&mut engine, &mut wl, ops).unwrap();
+        rows.push(vec![
+            letter.to_string(),
+            fmt_f(report.ops_per_sec),
+            report.latency.summary(),
+        ]);
+    }
+    print_table(
+        &format!("YCSB over TCP against {addr} (wall-clock latency)"),
+        &["workload", "ops/s", "latency"],
+        &rows,
+    );
+    let stats = engine.client().stats().expect("STATS");
+    println!(
+        "server: backpressure={:?} admitted={} delayed={} rejected={} merges01={}",
+        stats.backpressure, stats.admitted, stats.delayed, stats.rejected, stats.merges01
+    );
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--server") {
+        run_network_suite(&args);
+        return;
+    }
     let scale = Scale::paper_scaled().with_records(20_000);
     let runner = Runner::default();
     let ops = 5_000u64;

@@ -31,7 +31,8 @@ use blsm_sstable::Sstable;
 use blsm_storage::BufferPool;
 
 use crate::config::BLsmConfig;
-use crate::stats::TreeStats;
+use crate::sched::BackpressureLevel;
+use crate::stats::{TreeStats, TreeStatsSnapshot};
 
 /// An immutable snapshot of the on-disk component set, searched
 /// newest→oldest: `C1`, then `C1'`, then `C2`.
@@ -117,6 +118,24 @@ pub(crate) struct TreeShared {
     pub(crate) catalog: CatalogCell,
     pub(crate) c0: RwLock<SnowshovelBuffer>,
     pub(crate) stats: TreeStats,
+}
+
+impl TreeShared {
+    /// Counter snapshot plus the live spring-and-gear backpressure level
+    /// derived from `C0` occupancy against the configured watermarks —
+    /// the single source of truth the serving layer's admission control
+    /// and STATS command read.
+    pub(crate) fn stats_snapshot(&self) -> TreeStatsSnapshot {
+        let c0_bytes = self.c0.read().approx_bytes() as u64;
+        let mut snap = self.stats.snapshot();
+        snap.backpressure = BackpressureLevel::from_occupancy(
+            c0_bytes,
+            self.config.mem_budget as u64,
+            self.config.low_water,
+            self.config.high_water,
+        );
+        snap
+    }
 }
 
 impl std::fmt::Debug for TreeShared {

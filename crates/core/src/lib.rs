@@ -49,7 +49,8 @@ pub use partitioned::PartitionedBLsm;
 pub use progress::{outprogress, MergeProgress};
 pub use read::{ReadView, ScanItem};
 pub use sched::{
-    GearScheduler, MergeScheduler, NaiveScheduler, SchedInputs, SpringGearScheduler, WorkPlan,
+    BackpressureLevel, GearScheduler, MergeScheduler, NaiveScheduler, SchedInputs,
+    SpringGearScheduler, WorkPlan,
 };
 pub use stats::{TreeStats, TreeStatsSnapshot};
 pub use threaded::ThreadedBLsm;

@@ -80,9 +80,11 @@ impl ReadView {
         self.shared.scan(from, Some(to), limit)
     }
 
-    /// Lock-free snapshot of the engine counters.
+    /// Snapshot of the engine counters plus the live backpressure level.
+    /// Takes the `c0` read lock briefly (to see occupancy), never the
+    /// tree lock.
     pub fn stats(&self) -> TreeStatsSnapshot {
-        self.shared.stats.snapshot()
+        self.shared.stats_snapshot()
     }
 }
 

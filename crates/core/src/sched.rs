@@ -15,6 +15,59 @@
 
 use crate::progress::{outprogress, MergeProgress};
 
+/// The spring-and-gear watermark state, exported as a shared backpressure
+/// signal (§4.3's "spring").
+///
+/// The scheduler keeps `C0` occupancy between a low and a high water mark;
+/// this enum names which regime the tree is in so layers *outside* the
+/// engine — the serving layer's admission control, the STATS wire command —
+/// read the same signal the scheduler paces writes with, instead of
+/// inventing their own thresholds. Ordered by severity, so accumulating
+/// partitions can take the `max`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BackpressureLevel {
+    /// `C0` is below the low water mark: writes flow freely, downstream
+    /// merges idle.
+    #[default]
+    Idle,
+    /// Between the marks: the spring is winding. The payload is how far
+    /// into the band occupancy sits, in per-mille (0 = at the low mark,
+    /// 1000 = at the high mark); merge work per write scales with it.
+    Paced(u16),
+    /// At or above the high water mark: backpressure ramps super-linearly
+    /// and the engine is one spike away from the hard `C0` cap.
+    Saturated,
+}
+
+impl BackpressureLevel {
+    /// Classifies `C0` occupancy against the watermark fractions.
+    pub fn from_occupancy(c0_bytes: u64, c0_cap: u64, low: f64, high: f64) -> BackpressureLevel {
+        let occ = c0_bytes as f64 / c0_cap.max(1) as f64;
+        if occ < low {
+            BackpressureLevel::Idle
+        } else if occ < high {
+            let frac = (occ - low) / (high - low).max(f64::EPSILON);
+            BackpressureLevel::Paced((frac.clamp(0.0, 1.0) * 1000.0).round() as u16)
+        } else {
+            BackpressureLevel::Saturated
+        }
+    }
+
+    /// The winding fraction in `[0, 1]`: 0 when idle, 1 when saturated.
+    pub fn fraction(&self) -> f64 {
+        match self {
+            BackpressureLevel::Idle => 0.0,
+            BackpressureLevel::Paced(permille) => f64::from(*permille) / 1000.0,
+            BackpressureLevel::Saturated => 1.0,
+        }
+    }
+
+    /// True once occupancy has crossed the high water mark.
+    pub fn is_saturated(&self) -> bool {
+        matches!(self, BackpressureLevel::Saturated)
+    }
+}
+
 /// Snapshot of tree state handed to the scheduler before each write.
 #[derive(Debug, Clone, Copy)]
 pub struct SchedInputs {
@@ -407,6 +460,34 @@ mod tests {
         assert!(!s.should_start_merge01(&inp));
         inp.c0_bytes = 900;
         assert!(s.should_start_merge01(&inp));
+    }
+
+    #[test]
+    fn backpressure_level_tracks_watermarks() {
+        let cap = 1000u64;
+        assert_eq!(
+            BackpressureLevel::from_occupancy(0, cap, 0.5, 0.9),
+            BackpressureLevel::Idle
+        );
+        assert_eq!(
+            BackpressureLevel::from_occupancy(499, cap, 0.5, 0.9),
+            BackpressureLevel::Idle
+        );
+        assert_eq!(
+            BackpressureLevel::from_occupancy(500, cap, 0.5, 0.9),
+            BackpressureLevel::Paced(0)
+        );
+        let mid = BackpressureLevel::from_occupancy(700, cap, 0.5, 0.9);
+        assert_eq!(mid, BackpressureLevel::Paced(500));
+        assert!((mid.fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(
+            BackpressureLevel::from_occupancy(900, cap, 0.5, 0.9),
+            BackpressureLevel::Saturated
+        );
+        assert!(BackpressureLevel::from_occupancy(2000, cap, 0.5, 0.9).is_saturated());
+        // Severity ordering lets partitioned stores take the max.
+        assert!(BackpressureLevel::Idle < BackpressureLevel::Paced(1));
+        assert!(BackpressureLevel::Paced(999) < BackpressureLevel::Saturated);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::sched::BackpressureLevel;
+
 /// Increment a statistics counter.
 ///
 /// Relaxed is deliberate: these are monotonic counters with no
@@ -74,6 +76,7 @@ impl TreeStats {
             merges01: read(&self.merges01),
             merges12: read(&self.merges12),
             forced_stalls: read(&self.forced_stalls),
+            backpressure: BackpressureLevel::Idle,
         }
     }
 }
@@ -106,6 +109,12 @@ pub struct TreeStatsSnapshot {
     pub merges12: u64,
     /// Writes that hit the hard `C0` cap and had to run forced merge work.
     pub forced_stalls: u64,
+    /// The spring-and-gear watermark regime at snapshot time — the shared
+    /// backpressure signal admission control and STATS read (§4.3). Raw
+    /// [`TreeStats::snapshot`] reports `Idle` (counters alone cannot see
+    /// `C0`); snapshots taken through the tree or a
+    /// [`crate::ReadView`] carry the live level.
+    pub backpressure: BackpressureLevel,
 }
 
 impl TreeStatsSnapshot {
@@ -134,6 +143,9 @@ impl TreeStatsSnapshot {
         self.merges01 += other.merges01;
         self.merges12 += other.merges12;
         self.forced_stalls += other.forced_stalls;
+        // Backpressure is a level, not a counter: the store is as pressed
+        // as its most-pressed partition.
+        self.backpressure = self.backpressure.max(other.backpressure);
     }
 }
 
@@ -170,5 +182,20 @@ mod tests {
         assert_eq!(a.gets, 11);
         assert_eq!(a.writes, 2);
         assert_eq!(a.merges01, 4);
+    }
+
+    #[test]
+    fn accumulate_keeps_worst_backpressure() {
+        let mut a = TreeStatsSnapshot {
+            backpressure: BackpressureLevel::Paced(300),
+            ..TreeStatsSnapshot::default()
+        };
+        a.accumulate(&TreeStatsSnapshot::default());
+        assert_eq!(a.backpressure, BackpressureLevel::Paced(300));
+        a.accumulate(&TreeStatsSnapshot {
+            backpressure: BackpressureLevel::Saturated,
+            ..TreeStatsSnapshot::default()
+        });
+        assert_eq!(a.backpressure, BackpressureLevel::Saturated);
     }
 }

@@ -160,6 +160,39 @@ impl ThreadedBLsm {
         self.with_tree(|t| t.delete(key))
     }
 
+    /// Convenience: the paper's zero-seek `insert if not exists`
+    /// (§3.1.2). Returns true if the insert happened.
+    pub fn insert_if_not_exists(
+        &self,
+        key: impl Into<bytes::Bytes>,
+        value: impl Into<bytes::Bytes>,
+    ) -> Result<bool> {
+        let (key, value) = (key.into(), value.into());
+        self.with_tree(|t| t.insert_if_not_exists(key, value))
+    }
+
+    /// Convenience: merge-operator delta write.
+    pub fn apply_delta(
+        &self,
+        key: impl Into<bytes::Bytes>,
+        delta: impl Into<bytes::Bytes>,
+    ) -> Result<()> {
+        let (key, delta) = (key.into(), delta.into());
+        self.with_tree(|t| t.apply_delta(key, delta))
+    }
+
+    /// Ordered scan of `[from, to)` — lock-free.
+    pub fn scan_range(&self, from: &[u8], to: &[u8], limit: usize) -> Result<Vec<ScanItem>> {
+        self.view.scan_range(from, to, limit)
+    }
+
+    /// The live spring-and-gear backpressure level — the admission
+    /// signal the serving layer throttles writes by. Lock-free (brief
+    /// `c0` read lock, never the tree lock).
+    pub fn backpressure(&self) -> crate::sched::BackpressureLevel {
+        self.view.stats().backpressure
+    }
+
     /// Bound on merge bytes per lock hold.
     pub fn quantum(&self) -> u64 {
         self.quantum
@@ -202,6 +235,19 @@ impl Drop for ThreadedBLsm {
     fn drop(&mut self) {
         if self.merge_thread.is_some() {
             self.stop_thread();
+        }
+        // Drop-safe shutdown hook: a handle dropped without an explicit
+        // `shutdown` (e.g. a server unwinding on error) still checkpoints
+        // so the WAL closes cleanly. Best-effort — a checkpoint error
+        // cannot propagate out of `drop`, and recovery replays the WAL
+        // anyway; `try_unwrap` fails only if another thread still holds
+        // the `Arc`, in which case mutating the tree would be unsound to
+        // force.
+        if let Some(shared) = self.shared.take() {
+            if let Ok(shared) = Arc::try_unwrap(shared) {
+                let mut tree = shared.tree.into_inner();
+                let _ = tree.checkpoint();
+            }
         }
     }
 }
@@ -325,6 +371,39 @@ mod tests {
         assert!(tree.c0_bytes() == 0, "shutdown must checkpoint");
         assert_eq!(
             tree.get(b"k002999").unwrap().unwrap(),
+            Bytes::from_static(b"v")
+        );
+    }
+
+    #[test]
+    fn drop_checkpoints_like_shutdown() {
+        let data: SharedDevice = Arc::new(MemDevice::new());
+        let wal: SharedDevice = Arc::new(MemDevice::new());
+        let config = BLsmConfig {
+            mem_budget: 64 << 10,
+            ..Default::default()
+        };
+        let tree = BLsmTree::open(
+            data.clone(),
+            wal.clone(),
+            1024,
+            config.clone(),
+            Arc::new(AppendOperator),
+        )
+        .unwrap();
+        let db = ThreadedBLsm::start(tree, 1 << 20).unwrap();
+        for i in 0..500u32 {
+            db.put(format!("k{i:06}").into_bytes(), Bytes::from_static(b"v"))
+                .unwrap();
+        }
+        drop(db);
+        // The Drop hook must have checkpointed: reopening finds every
+        // write in the components with an empty C0 (nothing left to
+        // replay from the WAL).
+        let tree = BLsmTree::open(data, wal, 1024, config, Arc::new(AppendOperator)).unwrap();
+        assert_eq!(tree.c0_bytes(), 0, "drop must checkpoint");
+        assert_eq!(
+            tree.get(b"k000499").unwrap().unwrap(),
             Bytes::from_static(b"v")
         );
     }

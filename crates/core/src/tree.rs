@@ -219,9 +219,9 @@ impl BLsmTree {
         &self.shared.pool
     }
 
-    /// Lock-free snapshot of the engine counters.
+    /// Snapshot of the engine counters plus the live backpressure level.
     pub fn stats(&self) -> TreeStatsSnapshot {
-        self.shared.stats.snapshot()
+        self.shared.stats_snapshot()
     }
 
     /// Active configuration.

@@ -1,0 +1,101 @@
+//! Command-line client for a running blsm server.
+//!
+//! ```text
+//! blsm-cli ADDR ping
+//! blsm-cli ADDR get KEY
+//! blsm-cli ADDR put KEY VALUE
+//! blsm-cli ADDR insert KEY VALUE
+//! blsm-cli ADDR delta KEY SUFFIX
+//! blsm-cli ADDR delete KEY
+//! blsm-cli ADDR scan FROM LIMIT [TO]
+//! blsm-cli ADDR stats
+//! blsm-cli ADDR shutdown
+//! ```
+//!
+//! Write commands retry with backoff when the server answers
+//! RETRY_LATER (admission control above the high water mark); exit code
+//! 1 means the retry budget ran out or the request failed.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use blsm_server::Client;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: blsm-cli ADDR (ping | get K | put K V | insert K V | delta K V | \
+         delete K | scan FROM LIMIT [TO] | stats | shutdown)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let mut client = match Client::connect(args[0].clone()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("blsm-cli: connect {}: {e}", args[0]);
+            std::process::exit(1);
+        }
+    };
+    let arg = |i: usize| -> &str {
+        match args.get(i) {
+            Some(s) => s,
+            None => usage(),
+        }
+    };
+    let outcome = match arg(1) {
+        "ping" => client.ping().map(|()| println!("PONG")),
+        "get" => client.get(arg(2).as_bytes()).map(|v| match v {
+            Some(v) => println!("{}", String::from_utf8_lossy(&v)),
+            None => println!("(nil)"),
+        }),
+        "put" => client
+            .put(arg(2).as_bytes(), arg(3).as_bytes())
+            .map(|()| println!("OK")),
+        "insert" => client
+            .insert_if_not_exists(arg(2).as_bytes(), arg(3).as_bytes())
+            .map(|inserted| println!("{}", if inserted { "INSERTED" } else { "EXISTS" })),
+        "delta" => client
+            .apply_delta(arg(2).as_bytes(), arg(3).as_bytes())
+            .map(|()| println!("OK")),
+        "delete" => client.delete(arg(2).as_bytes()).map(|()| println!("OK")),
+        "scan" => {
+            let limit: u32 = arg(3).parse().unwrap_or_else(|_| usage());
+            let to = args.get(4).map(String::as_bytes);
+            client.scan(arg(2).as_bytes(), to, limit).map(|rows| {
+                for (k, v) in &rows {
+                    println!(
+                        "{}\t{}",
+                        String::from_utf8_lossy(k),
+                        String::from_utf8_lossy(v)
+                    );
+                }
+                println!("({} rows)", rows.len());
+            })
+        }
+        "stats" => client.stats().map(|s| {
+            println!(
+                "gets={} writes={} scans={} merges01={} merges12={} \
+                 backpressure={:?} admitted={} delayed={} rejected={}",
+                s.gets,
+                s.writes,
+                s.scans,
+                s.merges01,
+                s.merges12,
+                s.backpressure,
+                s.admitted,
+                s.delayed,
+                s.rejected
+            );
+        }),
+        "shutdown" => client.shutdown_server().map(|()| println!("OK")),
+        _ => usage(),
+    };
+    if let Err(e) = outcome {
+        eprintln!("blsm-cli: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Standalone blsm server over file-backed devices.
+//!
+//! ```text
+//! blsm-server --addr 127.0.0.1:7878 --data /tmp/blsm.data --wal /tmp/blsm.wal
+//! ```
+//!
+//! Options: `--addr HOST:PORT` (default 127.0.0.1:7878; port 0 picks an
+//! ephemeral port, printed on stdout), `--data PATH`, `--wal PATH`
+//! (required), `--mem-budget BYTES` (default 8 MiB), `--pool-pages N`
+//! (default 4096). The process runs until a client sends SHUTDOWN, then
+//! drains connections, checkpoints and exits 0.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
+
+use blsm::{AppendOperator, BLsmConfig, BLsmTree, ThreadedBLsm};
+use blsm_server::{Server, ServerConfig};
+use blsm_storage::{FileDevice, SharedDevice};
+
+struct Args {
+    addr: String,
+    data: String,
+    wal: String,
+    mem_budget: usize,
+    pool_pages: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".into(),
+        data: String::new(),
+        wal: String::new(),
+        mem_budget: 8 << 20,
+        pool_pages: 4096,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--data" => args.data = value("--data")?,
+            "--wal" => args.wal = value("--wal")?,
+            "--mem-budget" => {
+                args.mem_budget = value("--mem-budget")?
+                    .parse()
+                    .map_err(|e| format!("--mem-budget: {e}"))?;
+            }
+            "--pool-pages" => {
+                args.pool_pages = value("--pool-pages")?
+                    .parse()
+                    .map_err(|e| format!("--pool-pages: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.data.is_empty() || args.wal.is_empty() {
+        return Err("--data and --wal are required".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("blsm-server: {e}");
+            std::process::exit(2);
+        }
+    };
+    let data: SharedDevice = Arc::new(FileDevice::open(args.data.as_ref()).unwrap());
+    let wal: SharedDevice = Arc::new(FileDevice::open(args.wal.as_ref()).unwrap());
+    let config = BLsmConfig {
+        mem_budget: args.mem_budget,
+        ..Default::default()
+    };
+    let tree = BLsmTree::open(data, wal, args.pool_pages, config, Arc::new(AppendOperator))
+        .expect("open tree");
+    let db = ThreadedBLsm::start(tree, 1 << 20).expect("start merge thread");
+    let server = Server::start(db, args.addr.as_str(), ServerConfig::default()).expect("bind");
+    // Parsed by scripts (the CI smoke job greps for the port).
+    println!("listening on {}", server.local_addr());
+    while !server.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let tree = server.shutdown().expect("graceful shutdown");
+    let stats = tree.stats();
+    println!(
+        "shut down cleanly: {} writes, {} C0:C1 passes, {} C1':C2 merges",
+        stats.writes, stats.merges01, stats.merges12
+    );
+}

@@ -1,0 +1,319 @@
+//! Blocking client for the blsm wire protocol.
+//!
+//! [`Client`] owns one TCP connection (re-established lazily after any
+//! I/O failure, with exponential backoff) and offers typed helpers over
+//! [`crate::protocol`]. Write helpers honor the server's admission
+//! control: a RETRY_LATER reply sleeps the server's backoff hint and
+//! retries, up to a configured attempt budget — so a caller sees
+//! backpressure as latency, exactly like an in-process writer stalling
+//! on the hard `C0` cap, never as a spurious error. [`Client::call`]
+//! is public for callers (tests, the saturation probe) that want the
+//! raw single-shot outcome instead.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use blsm_storage::{Result, StorageError};
+
+use crate::protocol::{
+    decode_response, encode_request, FrameDecoder, Request, Response, WireStats,
+};
+
+/// Client tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Attempts per logical operation (I/O failures and RETRY_LATER
+    /// replies both consume attempts).
+    pub max_attempts: u32,
+    /// Base reconnect backoff; doubles per consecutive failure.
+    pub reconnect_backoff: Duration,
+    /// Socket read timeout (an unresponsive server surfaces as an
+    /// I/O error rather than a hang).
+    pub read_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_attempts: 8,
+            reconnect_backoff: Duration::from_millis(10),
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A blocking connection to a blsm server.
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+    decoder: FrameDecoder,
+    next_id: u64,
+}
+
+impl Client {
+    /// Creates a client for `addr` and connects eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::Io`] if the first connection cannot be
+    /// established.
+    pub fn connect(addr: impl Into<String>) -> Result<Client> {
+        Client::with_config(addr, ClientConfig::default())
+    }
+
+    /// [`Client::connect`] with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::Io`] if the first connection cannot be
+    /// established.
+    pub fn with_config(addr: impl Into<String>, config: ClientConfig) -> Result<Client> {
+        let mut c = Client {
+            addr: addr.into(),
+            config,
+            stream: None,
+            decoder: FrameDecoder::new(),
+            next_id: 1,
+        };
+        c.ensure_connected()?;
+        Ok(c)
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr).map_err(StorageError::Io)?;
+            stream
+                .set_read_timeout(Some(self.config.read_timeout))
+                .map_err(StorageError::Io)?;
+            stream.set_nodelay(true).map_err(StorageError::Io)?;
+            // A fresh connection starts a fresh framing context.
+            self.decoder = FrameDecoder::new();
+            self.stream = Some(stream);
+        }
+        match self.stream.as_mut() {
+            Some(s) => Ok(s),
+            // Unreachable: just stored above.
+            None => Err(StorageError::Io(std::io::Error::other("no stream"))),
+        }
+    }
+
+    /// Single-shot request/response over the current connection; any
+    /// I/O failure drops the connection (the next call reconnects).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::Io`] on socket errors and
+    /// [`StorageError::InvalidFormat`] on protocol violations
+    /// (mismatched ids, garbage frames).
+    pub fn call(&mut self, req: &Request) -> Result<Response> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut wire = Vec::new();
+        encode_request(&mut wire, id, req)?;
+        let out = (|| -> Result<Response> {
+            let config_read_timeout = self.config.read_timeout;
+            let stream = self.ensure_connected()?;
+            stream.write_all(&wire).map_err(StorageError::Io)?;
+            stream.flush().map_err(StorageError::Io)?;
+            let deadline = std::time::Instant::now() + config_read_timeout;
+            let mut buf = [0u8; 8 << 10];
+            loop {
+                if let Some(payload) = self.decoder.next_frame()? {
+                    let (got, resp) = decode_response(&payload)?;
+                    if got != id {
+                        // A stale reply from a previous (torn) exchange.
+                        // We never pipeline within one `call`, so skip it.
+                        continue;
+                    }
+                    return Ok(resp);
+                }
+                if std::time::Instant::now() >= deadline {
+                    return Err(StorageError::Io(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "response deadline exceeded",
+                    )));
+                }
+                let Some(stream) = self.stream.as_mut() else {
+                    return Err(StorageError::Io(std::io::Error::other("no stream")));
+                };
+                match stream.read(&mut buf) {
+                    Ok(0) => {
+                        return Err(StorageError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "server closed the connection",
+                        )))
+                    }
+                    Ok(n) => self.decoder.feed(&buf[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(StorageError::Io(e)),
+                }
+            }
+        })();
+        if out.is_err() {
+            // Connection state is unknown; force a reconnect next time.
+            self.stream = None;
+        }
+        out
+    }
+
+    /// `call` with reconnect/retry: I/O errors reconnect with
+    /// exponential backoff, RETRY_LATER sleeps the server's hint. Both
+    /// consume attempts from the same budget.
+    fn call_retrying(&mut self, req: &Request) -> Result<Response> {
+        let mut backoff = self.config.reconnect_backoff;
+        let mut last_err: Option<StorageError> = None;
+        for _ in 0..self.config.max_attempts.max(1) {
+            match self.call(req) {
+                Ok(Response::RetryLater { backoff_ms }) => {
+                    std::thread::sleep(Duration::from_millis(u64::from(backoff_ms)));
+                    last_err = Some(StorageError::Io(std::io::Error::other(
+                        "server saturated (RETRY_LATER)",
+                    )));
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e @ StorageError::Io(_)) => {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_secs(1));
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| StorageError::Io(std::io::Error::other("retry budget exhausted"))))
+    }
+
+    fn expect_ok(resp: Response) -> Result<()> {
+        match resp {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server is unreachable past the retry budget.
+    pub fn ping(&mut self) -> Result<()> {
+        Self::expect_ok(self.call_retrying(&Request::Ping)?)
+    }
+
+    /// Point lookup.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors past the retry budget or server-side
+    /// engine errors.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self.call_retrying(&Request::Get { key: key.to_vec() })? {
+            Response::Value(v) => Ok(v),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Blind write, retrying through backpressure.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the retry budget is exhausted (server saturated or
+    /// unreachable) or the engine rejects the write.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        Self::expect_ok(self.call_retrying(&Request::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })?)
+    }
+
+    /// Delete, retrying through backpressure.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Client::put`].
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        Self::expect_ok(self.call_retrying(&Request::Delete { key: key.to_vec() })?)
+    }
+
+    /// Checked insert (§3.1.2), retrying through backpressure; false if
+    /// the key already existed.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Client::put`].
+    pub fn insert_if_not_exists(&mut self, key: &[u8], value: &[u8]) -> Result<bool> {
+        match self.call_retrying(&Request::InsertIfNotExists {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })? {
+            Response::Inserted(b) => Ok(b),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Merge-operator delta write, retrying through backpressure.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Client::put`].
+    pub fn apply_delta(&mut self, key: &[u8], delta: &[u8]) -> Result<()> {
+        Self::expect_ok(self.call_retrying(&Request::ApplyDelta {
+            key: key.to_vec(),
+            delta: delta.to_vec(),
+        })?)
+    }
+
+    /// Ordered scan from `from`, up to `limit` rows (`to = None` for
+    /// unbounded above).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors past the retry budget or server-side
+    /// engine errors.
+    pub fn scan(
+        &mut self,
+        from: &[u8],
+        to: Option<&[u8]>,
+        limit: u32,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        match self.call_retrying(&Request::Scan {
+            from: from.to_vec(),
+            to: to.map(<[u8]>::to_vec),
+            limit,
+        })? {
+            Response::Rows(rows) => Ok(rows),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Engine + admission statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server is unreachable past the retry budget.
+    pub fn stats(&mut self) -> Result<WireStats> {
+        match self.call_retrying(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully. The acknowledgment
+    /// arrives before the server begins stopping.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server is already unreachable.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        Self::expect_ok(self.call(&Request::Shutdown)?)
+    }
+}
+
+fn unexpected(resp: &Response) -> StorageError {
+    match resp {
+        Response::Err(msg) => StorageError::InvalidFormat(format!("server error: {msg}")),
+        other => StorageError::InvalidFormat(format!("unexpected response: {other:?}")),
+    }
+}

@@ -1,0 +1,27 @@
+//! Networked serving layer for the bLSM engine.
+//!
+//! The paper builds bLSM as the storage engine for a hosted serving
+//! store (PNUTS/Walnut, §1, §5); this crate adds the missing process
+//! boundary: a length-prefixed binary wire protocol ([`protocol`]), a
+//! multi-threaded `std::net` TCP server with scheduler-coupled
+//! admission control ([`server`], [`admission`]), a blocking client
+//! library with reconnect/retry ([`client`]), and a [`KvEngine`]
+//! adapter so the YCSB suite can drive a live server over TCP
+//! ([`remote`]).
+//!
+//! See DESIGN.md §11 for the wire format table, the admission state
+//! machine and the thread model.
+//!
+//! [`KvEngine`]: blsm_ycsb::KvEngine
+
+pub mod admission;
+pub mod client;
+pub mod protocol;
+pub mod remote;
+pub mod server;
+
+pub use admission::{AdmissionConfig, AdmissionController, WriteAdmission};
+pub use client::{Client, ClientConfig};
+pub use protocol::{FrameDecoder, Request, Response, WireStats, MAX_FRAME};
+pub use remote::RemoteKv;
+pub use server::{Server, ServerConfig};

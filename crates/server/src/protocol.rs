@@ -1,0 +1,595 @@
+//! The length-prefixed binary wire protocol shared by server and client.
+//!
+//! Every message is one *frame*: a little-endian `u32` payload length
+//! followed by the payload. Payloads start with a `u64` request id (the
+//! client picks it; the server echoes it back, so clients may pipeline
+//! several requests per connection) and a one-byte opcode/tag. Field
+//! encodings reuse [`blsm_storage::codec`] — the same explicit
+//! little-endian + LEB128 conventions as every on-disk structure in the
+//! workspace.
+//!
+//! The decoder is incremental and paranoid: a torn frame (bytes still in
+//! flight) is "not yet", an oversized length prefix or a malformed
+//! payload is an error, and nothing panics — the lint wall's
+//! `unwrap_used = deny` applies here like everywhere else.
+
+use blsm_storage::codec::{self, Reader};
+use blsm_storage::{Result, StorageError};
+
+use blsm::BackpressureLevel;
+
+/// Hard ceiling on a frame payload (4 MiB). Anything larger is treated
+/// as protocol corruption, not a request.
+pub const MAX_FRAME: usize = 4 << 20;
+
+/// Bytes of frame header (the `u32` payload length).
+pub const FRAME_HEADER: usize = 4;
+
+/// A client-to-server command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Point lookup.
+    Get { key: Vec<u8> },
+    /// Blind write.
+    Put { key: Vec<u8>, value: Vec<u8> },
+    /// Delete (tombstone write).
+    Delete { key: Vec<u8> },
+    /// Ordered scan of `[from, to)` (unbounded above when `to` is
+    /// `None`), up to `limit` rows.
+    Scan {
+        from: Vec<u8>,
+        to: Option<Vec<u8>>,
+        limit: u32,
+    },
+    /// The paper's zero-seek checked insert (§3.1.2).
+    InsertIfNotExists { key: Vec<u8>, value: Vec<u8> },
+    /// Merge-operator delta write.
+    ApplyDelta { key: Vec<u8>, delta: Vec<u8> },
+    /// Engine + admission counters.
+    Stats,
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+}
+
+impl Request {
+    /// True for commands the admission controller may throttle.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            Request::Put { .. }
+                | Request::Delete { .. }
+                | Request::InsertIfNotExists { .. }
+                | Request::ApplyDelta { .. }
+        )
+    }
+
+    fn opcode(&self) -> u8 {
+        match self {
+            Request::Ping => 0,
+            Request::Get { .. } => 1,
+            Request::Put { .. } => 2,
+            Request::Delete { .. } => 3,
+            Request::Scan { .. } => 4,
+            Request::InsertIfNotExists { .. } => 5,
+            Request::ApplyDelta { .. } => 6,
+            Request::Stats => 7,
+            Request::Shutdown => 8,
+        }
+    }
+}
+
+/// Engine + admission counters carried by [`Response::Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Point lookups served by the engine.
+    pub gets: u64,
+    /// Engine writes (put/delete/delta).
+    pub writes: u64,
+    /// Scans served.
+    pub scans: u64,
+    /// `C0:C1` merge passes completed.
+    pub merges01: u64,
+    /// `C1':C2` merges completed.
+    pub merges12: u64,
+    /// The live spring-and-gear backpressure level.
+    pub backpressure: BackpressureLevel,
+    /// Writes admitted without throttling.
+    pub admitted: u64,
+    /// Writes whose responses were delayed (paced band).
+    pub delayed: u64,
+    /// Writes rejected with RETRY_LATER (above the high water mark).
+    pub rejected: u64,
+}
+
+/// A server-to-client reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Write (or ping/shutdown) acknowledged.
+    Ok,
+    /// GET result; `None` for an absent key.
+    Value(Option<Vec<u8>>),
+    /// SCAN result rows, in key order.
+    Rows(Vec<(Vec<u8>, Vec<u8>)>),
+    /// INSERT_IF_NOT_EXISTS outcome; false if the key already existed.
+    Inserted(bool),
+    /// STATS reply.
+    Stats(WireStats),
+    /// Write rejected above the high water mark; retry after the hint.
+    RetryLater {
+        /// Server's backoff hint, milliseconds.
+        backoff_ms: u32,
+    },
+    /// Request failed server-side (message is human-readable).
+    Err(String),
+}
+
+impl Response {
+    fn tag(&self) -> u8 {
+        match self {
+            Response::Ok => 0,
+            Response::Value(_) => 1,
+            Response::Rows(_) => 2,
+            Response::Inserted(_) => 3,
+            Response::Stats(_) => 4,
+            Response::RetryLater { .. } => 5,
+            Response::Err(_) => 6,
+        }
+    }
+}
+
+fn frame_error(what: &str) -> StorageError {
+    StorageError::InvalidFormat(format!("wire protocol: {what}"))
+}
+
+/// Wraps `payload` in a frame (length prefix + payload), appended to
+/// `out`.
+///
+/// # Errors
+///
+/// Fails if `payload` exceeds [`MAX_FRAME`].
+fn put_frame(out: &mut Vec<u8>, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(frame_error("outgoing frame exceeds MAX_FRAME"));
+    }
+    codec::put_u32(out, payload.len() as u32);
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Encodes one request frame (header included) onto `out`.
+///
+/// # Errors
+///
+/// Fails only if the encoded payload would exceed [`MAX_FRAME`]
+/// (oversized key/value).
+pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) -> Result<()> {
+    let mut payload = Vec::with_capacity(64);
+    codec::put_u64(&mut payload, id);
+    codec::put_u8(&mut payload, req.opcode());
+    match req {
+        Request::Ping | Request::Stats | Request::Shutdown => {}
+        Request::Get { key } | Request::Delete { key } => {
+            codec::put_bytes(&mut payload, key);
+        }
+        Request::Put { key, value } | Request::InsertIfNotExists { key, value } => {
+            codec::put_bytes(&mut payload, key);
+            codec::put_bytes(&mut payload, value);
+        }
+        Request::ApplyDelta { key, delta } => {
+            codec::put_bytes(&mut payload, key);
+            codec::put_bytes(&mut payload, delta);
+        }
+        Request::Scan { from, to, limit } => {
+            codec::put_bytes(&mut payload, from);
+            match to {
+                Some(to) => {
+                    codec::put_u8(&mut payload, 1);
+                    codec::put_bytes(&mut payload, to);
+                }
+                None => codec::put_u8(&mut payload, 0),
+            }
+            codec::put_u32(&mut payload, *limit);
+        }
+    }
+    put_frame(out, &payload)
+}
+
+/// Decodes a request frame payload (header already stripped).
+///
+/// # Errors
+///
+/// Fails with [`StorageError::InvalidFormat`] on unknown opcodes,
+/// truncated fields, or trailing garbage.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request)> {
+    let mut r = Reader::new(payload);
+    let id = r.u64()?;
+    let opcode = r.u8()?;
+    let req = match opcode {
+        0 => Request::Ping,
+        1 => Request::Get {
+            key: r.bytes()?.to_vec(),
+        },
+        2 => Request::Put {
+            key: r.bytes()?.to_vec(),
+            value: r.bytes()?.to_vec(),
+        },
+        3 => Request::Delete {
+            key: r.bytes()?.to_vec(),
+        },
+        4 => {
+            let from = r.bytes()?.to_vec();
+            let to = match r.u8()? {
+                0 => None,
+                1 => Some(r.bytes()?.to_vec()),
+                other => return Err(frame_error(&format!("bad scan bound marker {other}"))),
+            };
+            Request::Scan {
+                from,
+                to,
+                limit: r.u32()?,
+            }
+        }
+        5 => Request::InsertIfNotExists {
+            key: r.bytes()?.to_vec(),
+            value: r.bytes()?.to_vec(),
+        },
+        6 => Request::ApplyDelta {
+            key: r.bytes()?.to_vec(),
+            delta: r.bytes()?.to_vec(),
+        },
+        7 => Request::Stats,
+        8 => Request::Shutdown,
+        other => return Err(frame_error(&format!("unknown opcode {other}"))),
+    };
+    if r.remaining() != 0 {
+        return Err(frame_error("trailing bytes after request"));
+    }
+    Ok((id, req))
+}
+
+fn put_backpressure(out: &mut Vec<u8>, level: BackpressureLevel) {
+    match level {
+        BackpressureLevel::Idle => codec::put_u8(out, 0),
+        BackpressureLevel::Paced(p) => {
+            codec::put_u8(out, 1);
+            codec::put_u16(out, p);
+        }
+        BackpressureLevel::Saturated => codec::put_u8(out, 2),
+    }
+}
+
+fn read_backpressure(r: &mut Reader<'_>) -> Result<BackpressureLevel> {
+    match r.u8()? {
+        0 => Ok(BackpressureLevel::Idle),
+        1 => Ok(BackpressureLevel::Paced(r.u16()?)),
+        2 => Ok(BackpressureLevel::Saturated),
+        other => Err(frame_error(&format!("bad backpressure tag {other}"))),
+    }
+}
+
+/// Encodes one response frame (header included) onto `out`.
+///
+/// # Errors
+///
+/// Fails only if the encoded payload would exceed [`MAX_FRAME`]
+/// (e.g. a scan reply larger than the frame ceiling).
+pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) -> Result<()> {
+    let mut payload = Vec::with_capacity(64);
+    codec::put_u64(&mut payload, id);
+    codec::put_u8(&mut payload, resp.tag());
+    match resp {
+        Response::Ok => {}
+        Response::Value(v) => match v {
+            Some(v) => {
+                codec::put_u8(&mut payload, 1);
+                codec::put_bytes(&mut payload, v);
+            }
+            None => codec::put_u8(&mut payload, 0),
+        },
+        Response::Rows(rows) => {
+            codec::put_varint(&mut payload, rows.len() as u64);
+            for (k, v) in rows {
+                codec::put_bytes(&mut payload, k);
+                codec::put_bytes(&mut payload, v);
+            }
+        }
+        Response::Inserted(inserted) => codec::put_u8(&mut payload, u8::from(*inserted)),
+        Response::Stats(s) => {
+            codec::put_u64(&mut payload, s.gets);
+            codec::put_u64(&mut payload, s.writes);
+            codec::put_u64(&mut payload, s.scans);
+            codec::put_u64(&mut payload, s.merges01);
+            codec::put_u64(&mut payload, s.merges12);
+            put_backpressure(&mut payload, s.backpressure);
+            codec::put_u64(&mut payload, s.admitted);
+            codec::put_u64(&mut payload, s.delayed);
+            codec::put_u64(&mut payload, s.rejected);
+        }
+        Response::RetryLater { backoff_ms } => codec::put_u32(&mut payload, *backoff_ms),
+        Response::Err(msg) => codec::put_bytes(&mut payload, msg.as_bytes()),
+    }
+    put_frame(out, &payload)
+}
+
+/// Decodes a response frame payload (header already stripped).
+///
+/// # Errors
+///
+/// Fails with [`StorageError::InvalidFormat`] on unknown tags, truncated
+/// fields, or trailing garbage.
+pub fn decode_response(payload: &[u8]) -> Result<(u64, Response)> {
+    let mut r = Reader::new(payload);
+    let id = r.u64()?;
+    let tag = r.u8()?;
+    let resp = match tag {
+        0 => Response::Ok,
+        1 => match r.u8()? {
+            0 => Response::Value(None),
+            1 => Response::Value(Some(r.bytes()?.to_vec())),
+            other => return Err(frame_error(&format!("bad value marker {other}"))),
+        },
+        2 => {
+            let n = r.varint()? as usize;
+            // Bound the pre-allocation by what the payload could hold.
+            let mut rows = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let k = r.bytes()?.to_vec();
+                let v = r.bytes()?.to_vec();
+                rows.push((k, v));
+            }
+            Response::Rows(rows)
+        }
+        3 => Response::Inserted(r.u8()? != 0),
+        4 => Response::Stats(WireStats {
+            gets: r.u64()?,
+            writes: r.u64()?,
+            scans: r.u64()?,
+            merges01: r.u64()?,
+            merges12: r.u64()?,
+            backpressure: read_backpressure(&mut r)?,
+            admitted: r.u64()?,
+            delayed: r.u64()?,
+            rejected: r.u64()?,
+        }),
+        5 => Response::RetryLater {
+            backoff_ms: r.u32()?,
+        },
+        6 => Response::Err(String::from_utf8_lossy(r.bytes()?).into_owned()),
+        other => return Err(frame_error(&format!("unknown response tag {other}"))),
+    };
+    if r.remaining() != 0 {
+        return Err(frame_error("trailing bytes after response"));
+    }
+    Ok((id, resp))
+}
+
+/// Incremental frame reassembler.
+///
+/// Feed it raw socket bytes in whatever chunks arrive; pull complete
+/// frame payloads out with [`FrameDecoder::next_frame`]. A torn frame
+/// returns `Ok(None)` (wait for more bytes); a length prefix above the
+/// configured ceiling is an error — the connection should be dropped,
+/// since the stream can no longer be trusted to be framed at all.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes already consumed from the front of `buf`; compacted lazily
+    /// so every `next_frame` is O(frame), not O(buffer).
+    start: usize,
+    max_frame: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder with the standard [`MAX_FRAME`] ceiling.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::with_max(MAX_FRAME)
+    }
+
+    /// A decoder with a custom frame ceiling (tests use small ones).
+    pub fn with_max(max_frame: usize) -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            start: 0,
+            max_frame,
+        }
+    }
+
+    /// Appends raw bytes from the wire.
+    pub fn feed(&mut self, data: &[u8]) {
+        // Compact once consumed bytes dominate, amortizing the copy.
+        if self.start > 0 && self.start >= self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Extracts the next complete frame payload, if one has fully
+    /// arrived.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::InvalidFormat`] if the length prefix
+    /// exceeds the ceiling — the stream is unframable garbage and the
+    /// connection must be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < FRAME_HEADER {
+            return Ok(None);
+        }
+        let len = codec::le_u32(&avail[..FRAME_HEADER]) as usize;
+        if len > self.max_frame {
+            return Err(frame_error(&format!(
+                "frame length {len} exceeds ceiling {}",
+                self.max_frame
+            )));
+        }
+        if avail.len() < FRAME_HEADER + len {
+            return Ok(None);
+        }
+        let payload = avail[FRAME_HEADER..FRAME_HEADER + len].to_vec();
+        self.start += FRAME_HEADER + len;
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut wire = Vec::new();
+        encode_request(&mut wire, 42, &req).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let payload = dec.next_frame().unwrap().unwrap();
+        let (id, back) = decode_request(&payload).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(back, req);
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Get { key: b"k".to_vec() });
+        roundtrip_request(Request::Put {
+            key: b"k".to_vec(),
+            value: vec![0xAB; 300],
+        });
+        roundtrip_request(Request::Delete { key: Vec::new() });
+        roundtrip_request(Request::Scan {
+            from: b"a".to_vec(),
+            to: Some(b"z".to_vec()),
+            limit: 17,
+        });
+        roundtrip_request(Request::Scan {
+            from: Vec::new(),
+            to: None,
+            limit: 0,
+        });
+        roundtrip_request(Request::InsertIfNotExists {
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+        });
+        roundtrip_request(Request::ApplyDelta {
+            key: b"k".to_vec(),
+            delta: b"+1".to_vec(),
+        });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        for resp in [
+            Response::Ok,
+            Response::Value(None),
+            Response::Value(Some(vec![7; 99])),
+            Response::Rows(vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"b".to_vec(), vec![]),
+            ]),
+            Response::Inserted(true),
+            Response::Inserted(false),
+            Response::Stats(WireStats {
+                gets: 1,
+                writes: 2,
+                scans: 3,
+                merges01: 4,
+                merges12: 5,
+                backpressure: BackpressureLevel::Paced(512),
+                admitted: 6,
+                delayed: 7,
+                rejected: 8,
+            }),
+            Response::RetryLater { backoff_ms: 250 },
+            Response::Err("boom".into()),
+        ] {
+            let mut wire = Vec::new();
+            encode_response(&mut wire, 7, &resp).unwrap();
+            let (id, back) = decode_response(&wire[FRAME_HEADER..]).unwrap();
+            assert_eq!(id, 7);
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn torn_frames_wait_byte_by_byte() {
+        let mut wire = Vec::new();
+        encode_request(
+            &mut wire,
+            9,
+            &Request::Put {
+                key: b"key".to_vec(),
+                value: b"value".to_vec(),
+            },
+        )
+        .unwrap();
+        let mut dec = FrameDecoder::new();
+        for (i, b) in wire.iter().enumerate() {
+            dec.feed(&[*b]);
+            let got = dec.next_frame().unwrap();
+            if i + 1 < wire.len() {
+                assert!(got.is_none(), "frame complete early at byte {i}");
+            } else {
+                let (_, req) = decode_request(&got.unwrap()).unwrap();
+                assert!(matches!(req, Request::Put { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_frame_is_an_error() {
+        let mut dec = FrameDecoder::with_max(16);
+        let mut wire = Vec::new();
+        codec::put_u32(&mut wire, 17);
+        dec.feed(&wire);
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn garbage_payload_is_an_error_not_a_panic() {
+        // A well-formed frame whose payload is noise: decode must error.
+        let payload = vec![0xFFu8; 32];
+        let mut wire = Vec::new();
+        codec::put_u32(&mut wire, payload.len() as u32);
+        wire.extend_from_slice(&payload);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let frame = dec.next_frame().unwrap().unwrap();
+        assert!(decode_request(&frame).is_err());
+        assert!(decode_response(&frame).is_err());
+    }
+
+    #[test]
+    fn pipelined_frames_come_out_in_order() {
+        let mut wire = Vec::new();
+        for id in 0..10u64 {
+            encode_request(&mut wire, id, &Request::Ping).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        for id in 0..10u64 {
+            let payload = dec.next_frame().unwrap().unwrap();
+            let (got, _) = decode_request(&payload).unwrap();
+            assert_eq!(got, id);
+        }
+        assert!(dec.next_frame().unwrap().is_none());
+        assert_eq!(dec.pending(), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! [`KvEngine`] adapter over the network client, so the YCSB runner can
+//! drive a live `blsm-server` process exactly like an in-process engine.
+//!
+//! The in-process engines report *virtual* device time; a network engine
+//! has no device clock, so [`RemoteKv::now_us`] reports wall-clock
+//! microseconds — histograms then measure end-to-end request latency
+//! including the wire, which is the quantity a serving store cares
+//! about (§5.1 measures YCSB the same way).
+
+use std::time::Instant;
+
+use bytes::Bytes;
+
+use blsm_storage::Result;
+use blsm_ycsb::KvEngine;
+
+use crate::client::{Client, ClientConfig};
+
+/// A [`KvEngine`] backed by a remote blsm server.
+#[derive(Debug)]
+pub struct RemoteKv {
+    client: Client,
+    t0: Instant,
+}
+
+impl RemoteKv {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`blsm_storage::StorageError::Io`] if the connection
+    /// cannot be established.
+    pub fn connect(addr: impl Into<String>) -> Result<RemoteKv> {
+        Ok(RemoteKv {
+            client: Client::connect(addr)?,
+            t0: Instant::now(),
+        })
+    }
+
+    /// [`RemoteKv::connect`] with explicit client tuning.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`blsm_storage::StorageError::Io`] if the connection
+    /// cannot be established.
+    pub fn with_config(addr: impl Into<String>, config: ClientConfig) -> Result<RemoteKv> {
+        Ok(RemoteKv {
+            client: Client::with_config(addr, config)?,
+            t0: Instant::now(),
+        })
+    }
+
+    /// The underlying client (for STATS probes between phases).
+    pub fn client(&mut self) -> &mut Client {
+        &mut self.client
+    }
+}
+
+impl KvEngine for RemoteKv {
+    fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>> {
+        Ok(self.client.get(key)?.map(Bytes::from))
+    }
+
+    fn put(&mut self, key: Bytes, value: Bytes) -> Result<()> {
+        self.client.put(&key, &value)
+    }
+
+    fn delete(&mut self, key: Bytes) -> Result<()> {
+        self.client.delete(&key)
+    }
+
+    fn read_modify_write(&mut self, key: Bytes, suffix: Bytes) -> Result<()> {
+        let mut v = self.client.get(&key)?.unwrap_or_default();
+        v.extend_from_slice(&suffix);
+        self.client.put(&key, &v)
+    }
+
+    fn insert_if_not_exists(&mut self, key: Bytes, value: Bytes) -> Result<bool> {
+        self.client.insert_if_not_exists(&key, &value)
+    }
+
+    fn apply_delta(&mut self, key: Bytes, delta: Bytes) -> Result<()> {
+        self.client.apply_delta(&key, &delta)
+    }
+
+    fn scan(&mut self, from: &[u8], limit: usize) -> Result<usize> {
+        let limit = u32::try_from(limit).unwrap_or(u32::MAX);
+        Ok(self.client.scan(from, None, limit)?.len())
+    }
+
+    fn now_us(&self) -> u64 {
+        // Wall clock: end-to-end latency including the wire.
+        u64::try_from(self.t0.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}

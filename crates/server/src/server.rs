@@ -1,0 +1,450 @@
+//! Multi-threaded TCP server over a [`ThreadedBLsm`].
+//!
+//! Thread model (documented in DESIGN.md §11): one nonblocking accept
+//! loop plus one thread per connection. Reads are served through a
+//! per-connection clone of the lock-free [`blsm::ReadView`], so reader
+//! threads never touch the tree mutex — they race the merge thread the
+//! same way in-process readers do. Writes decoded from one socket read
+//! are batched: consecutive write commands apply under a single tree
+//! lock acquisition before the merge thread is kicked once.
+//!
+//! Admission control is scheduler-coupled (see `admission.rs`): each
+//! write consults the spring-and-gear backpressure level and is admitted,
+//! delayed (response held back proportionally), or rejected with
+//! RETRY_LATER. Reads are never throttled.
+//!
+//! Graceful shutdown: [`Server::shutdown`] stops the accept loop, lets
+//! every connection thread drain its buffered requests and exit (they
+//! poll the stop flag on a short read timeout), then shuts the tree down
+//! — completing pending merges, checkpointing and closing the WAL.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use blsm::{BLsmTree, ReadView, ThreadedBLsm};
+use blsm_storage::{Result, StorageError};
+
+use crate::admission::{AdmissionConfig, AdmissionController, WriteAdmission};
+use crate::protocol::{
+    decode_request, encode_response, FrameDecoder, Request, Response, WireStats, MAX_FRAME,
+};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Frame payload ceiling (bytes).
+    pub max_frame: usize,
+    /// Admission policy.
+    pub admission: AdmissionConfig,
+    /// Read timeout on connection sockets; bounds how long a quiescent
+    /// connection takes to notice the stop flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_frame: MAX_FRAME,
+            admission: AdmissionConfig::default(),
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+struct Inner {
+    db: ThreadedBLsm,
+    admission: AdmissionController,
+    config: ServerConfig,
+    /// Set by `shutdown()` or a SHUTDOWN request; accept loop and
+    /// connection threads poll it.
+    stop: AtomicBool,
+    /// Live connection threads (leak detector for tests).
+    active_connections: AtomicU64,
+    /// Total requests answered.
+    served: AtomicU64,
+}
+
+/// A running blsm server.
+///
+/// Dropping a `Server` without calling [`Server::shutdown`] still stops
+/// every thread and checkpoints the tree (via the [`ThreadedBLsm`] drop
+/// hook); `shutdown` additionally hands the settled [`BLsmTree`] back.
+pub struct Server {
+    inner: Option<Arc<Inner>>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("running", &self.inner.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `db`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::Io`] if the address cannot be bound or
+    /// the accept thread cannot be spawned.
+    pub fn start(
+        db: ThreadedBLsm,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> Result<Server> {
+        let listener = TcpListener::bind(addr).map_err(StorageError::Io)?;
+        listener.set_nonblocking(true).map_err(StorageError::Io)?;
+        let local_addr = listener.local_addr().map_err(StorageError::Io)?;
+        let inner = Arc::new(Inner {
+            db,
+            admission: AdmissionController::new(config.admission),
+            config,
+            stop: AtomicBool::new(false),
+            active_connections: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+        });
+        let accept_inner = inner.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("blsm-accept".into())
+            .spawn(move || accept_loop(&accept_inner, &listener))
+            .map_err(StorageError::Io)?;
+        Ok(Server {
+            inner: Some(inner),
+            accept_thread: Some(accept_thread),
+            local_addr,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    fn inner(&self) -> &Arc<Inner> {
+        match &self.inner {
+            Some(i) => i,
+            // Unreachable: `shutdown` consumes `self`.
+            None => panic!("server used after shutdown"),
+        }
+    }
+
+    /// True once a client sent SHUTDOWN (or `shutdown` began). The
+    /// server binary polls this to decide when to exit its wait loop.
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner().stop.load(Ordering::SeqCst)
+    }
+
+    /// Connection threads currently alive.
+    pub fn active_connections(&self) -> u64 {
+        self.inner().active_connections.load(Ordering::SeqCst)
+    }
+
+    /// Total requests answered so far.
+    pub fn requests_served(&self) -> u64 {
+        self.inner().served.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, drains every connection thread, then shuts the
+    /// tree down (pending merges completed, checkpoint written, WAL
+    /// closed) and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint errors from the tree shutdown.
+    pub fn shutdown(mut self) -> Result<BLsmTree> {
+        let Some(inner) = self.inner.take() else {
+            return Err(StorageError::Corruption(
+                "shutdown on an already shut-down server".into(),
+            ));
+        };
+        inner.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        // The accept loop joins every connection thread before exiting,
+        // so this Arc is now the sole owner.
+        let inner = Arc::try_unwrap(inner).map_err(|_| {
+            StorageError::Corruption("connection thread leaked past accept-loop join".into())
+        })?;
+        inner.db.shutdown()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            inner.stop.store(true, Ordering::SeqCst);
+            if let Some(h) = self.accept_thread.take() {
+                let _ = h.join();
+            }
+            // `inner.db`'s own Drop hook checkpoints once the Arc dies.
+        }
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !inner.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_inner = inner.clone();
+                inner.active_connections.fetch_add(1, Ordering::SeqCst);
+                let spawned =
+                    std::thread::Builder::new()
+                        .name("blsm-conn".into())
+                        .spawn(move || {
+                            serve_connection(&conn_inner, stream);
+                            conn_inner.active_connections.fetch_sub(1, Ordering::SeqCst);
+                        });
+                match spawned {
+                    Ok(h) => handles.push(h),
+                    Err(_) => {
+                        // Thread limit: drop the connection, undo the count.
+                        inner.active_connections.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+        // Reap finished connection threads so the handle list stays
+        // bounded on long-lived servers.
+        if handles.len() > 32 {
+            let (done, live): (Vec<_>, Vec<_>) = handles
+                .into_iter()
+                .partition(std::thread::JoinHandle::is_finished);
+            for h in done {
+                let _ = h.join();
+            }
+            handles = live;
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// Per-connection loop: read → decode → serve → respond, until the peer
+/// disconnects, the stream turns to garbage, or the server stops.
+fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
+    if stream
+        .set_read_timeout(Some(inner.config.poll_interval))
+        .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let view = inner.db.read_view();
+    let mut decoder = FrameDecoder::with_max(inner.config.max_frame);
+    let mut buf = vec![0u8; 16 << 10];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                decoder.feed(&buf[..n]);
+                let mut frames = Vec::new();
+                loop {
+                    match decoder.next_frame() {
+                        Ok(Some(payload)) => frames.push(payload),
+                        Ok(None) => break,
+                        // Unframable stream: nothing sane to answer.
+                        Err(_) => return,
+                    }
+                }
+                if frames.is_empty() {
+                    continue;
+                }
+                match serve_batch(inner, &view, &frames) {
+                    Ok((out, shutdown)) => {
+                        inner
+                            .served
+                            .fetch_add(frames.len() as u64, Ordering::SeqCst);
+                        if stream.write_all(&out).is_err() || stream.flush().is_err() {
+                            return;
+                        }
+                        if shutdown {
+                            inner.stop.store(true, Ordering::SeqCst);
+                            return;
+                        }
+                    }
+                    // Undecodable request payload: drop the connection
+                    // (ids can no longer be trusted).
+                    Err(_) => return,
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// A write queued behind admission, applied as part of a batch.
+struct PendingWrite {
+    id: u64,
+    req: Request,
+}
+
+/// Serves one decoded batch in request order, grouping consecutive
+/// admitted writes under a single tree-lock acquisition. Returns the
+/// encoded responses and whether a SHUTDOWN was requested.
+fn serve_batch(inner: &Inner, view: &ReadView, frames: &[Vec<u8>]) -> Result<(Vec<u8>, bool)> {
+    let mut out = Vec::new();
+    let mut pending: Vec<PendingWrite> = Vec::new();
+    let mut shutdown = false;
+    for payload in frames {
+        let (id, req) = decode_request(payload)?;
+        if req.is_write() {
+            match inner.admission.write_admission(view.stats().backpressure) {
+                WriteAdmission::Admit => pending.push(PendingWrite { id, req }),
+                WriteAdmission::Delay(d) => {
+                    pending.push(PendingWrite { id, req });
+                    // Proportional pacing: hold this connection's write
+                    // responses back. Applied before the flush so the
+                    // sleep never overlaps a lock hold.
+                    flush_writes(inner, &mut pending, Some(d), &mut out)?;
+                }
+                WriteAdmission::RetryLater { backoff_ms } => {
+                    flush_writes(inner, &mut pending, None, &mut out)?;
+                    push_response(&mut out, id, &Response::RetryLater { backoff_ms })?;
+                }
+            }
+            continue;
+        }
+        // Reads (and control commands) see all writes queued so far.
+        flush_writes(inner, &mut pending, None, &mut out)?;
+        let resp = match &req {
+            Request::Ping => Response::Ok,
+            Request::Get { key } => match view.get(key) {
+                Ok(v) => Response::Value(v.map(|b| b.to_vec())),
+                Err(e) => Response::Err(e.to_string()),
+            },
+            Request::Scan { from, to, limit } => {
+                let limit = *limit as usize;
+                let scanned = match to {
+                    Some(to) => view.scan_range(from, to, limit),
+                    None => view.scan(from, limit),
+                };
+                match scanned {
+                    Ok(rows) => Response::Rows(
+                        rows.into_iter()
+                            .map(|r| (r.key.to_vec(), r.value.to_vec()))
+                            .collect(),
+                    ),
+                    Err(e) => Response::Err(e.to_string()),
+                }
+            }
+            Request::Stats => Response::Stats(wire_stats(inner, view)),
+            Request::Shutdown => {
+                shutdown = true;
+                Response::Ok
+            }
+            // Writes were handled above.
+            _ => Response::Err("unhandled request".into()),
+        };
+        push_response(&mut out, id, &resp)?;
+    }
+    flush_writes(inner, &mut pending, None, &mut out)?;
+    Ok((out, shutdown))
+}
+
+/// Applies queued writes under one tree-lock acquisition (one merge-
+/// thread kick for the whole group), optionally sleeping the pacing
+/// delay first, then appends their responses in order.
+fn flush_writes(
+    inner: &Inner,
+    pending: &mut Vec<PendingWrite>,
+    delay: Option<Duration>,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    if let Some(d) = delay {
+        std::thread::sleep(d);
+    }
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let batch = std::mem::take(pending);
+    let results: Vec<(u64, Response)> = inner.db.with_tree(|t| {
+        batch
+            .into_iter()
+            .map(|w| {
+                let resp = match w.req {
+                    Request::Put { key, value } => match t.put(key, value) {
+                        Ok(()) => Response::Ok,
+                        Err(e) => Response::Err(e.to_string()),
+                    },
+                    Request::Delete { key } => match t.delete(key) {
+                        Ok(()) => Response::Ok,
+                        Err(e) => Response::Err(e.to_string()),
+                    },
+                    Request::InsertIfNotExists { key, value } => {
+                        match t.insert_if_not_exists(key, value) {
+                            Ok(inserted) => Response::Inserted(inserted),
+                            Err(e) => Response::Err(e.to_string()),
+                        }
+                    }
+                    Request::ApplyDelta { key, delta } => match t.apply_delta(key, delta) {
+                        Ok(()) => Response::Ok,
+                        Err(e) => Response::Err(e.to_string()),
+                    },
+                    // `is_write` admits only the four arms above.
+                    _ => Response::Err("non-write in write batch".into()),
+                };
+                (w.id, resp)
+            })
+            .collect()
+    });
+    for (id, resp) in results {
+        push_response(out, id, &resp)?;
+    }
+    Ok(())
+}
+
+/// Encodes `resp`, downgrading frames that exceed the ceiling (giant
+/// scans) to an in-band error instead of a torn connection.
+fn push_response(out: &mut Vec<u8>, id: u64, resp: &Response) -> Result<()> {
+    let before = out.len();
+    if encode_response(out, id, resp).is_err() {
+        out.truncate(before);
+        return encode_response(
+            out,
+            id,
+            &Response::Err("response exceeds frame ceiling".into()),
+        );
+    }
+    Ok(())
+}
+
+fn wire_stats(inner: &Inner, view: &ReadView) -> WireStats {
+    let engine = view.stats();
+    let admission = inner.admission.counters();
+    WireStats {
+        gets: engine.gets,
+        writes: engine.writes,
+        scans: engine.scans,
+        merges01: engine.merges01,
+        merges12: engine.merges12,
+        backpressure: engine.backpressure,
+        admitted: admission.admitted,
+        delayed: admission.delayed,
+        rejected: admission.rejected,
+    }
+}

@@ -1,0 +1,345 @@
+//! End-to-end tests over real sockets: concurrent clients racing the
+//! merge thread, mid-request disconnects, pipelining, admission-control
+//! saturation, and graceful shutdown with WAL-clean recovery.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    missing_debug_implementations
+)]
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use blsm::{AppendOperator, BLsmConfig, BLsmTree, SchedulerKind, ThreadedBLsm};
+use blsm_server::protocol::{encode_request, Request, Response};
+use blsm_server::{Client, Server, ServerConfig};
+use blsm_storage::{MemDevice, SharedDevice};
+
+fn open_tree(data: &SharedDevice, wal: &SharedDevice, config: &BLsmConfig) -> BLsmTree {
+    BLsmTree::open(
+        data.clone(),
+        wal.clone(),
+        2048,
+        config.clone(),
+        Arc::new(AppendOperator),
+    )
+    .unwrap()
+}
+
+fn start_server(config: BLsmConfig) -> (Server, SharedDevice, SharedDevice) {
+    let data: SharedDevice = Arc::new(MemDevice::new());
+    let wal: SharedDevice = Arc::new(MemDevice::new());
+    let tree = open_tree(&data, &wal, &config);
+    let db = ThreadedBLsm::start(tree, 256 << 10).unwrap();
+    let server = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    (server, data, wal)
+}
+
+fn small_config() -> BLsmConfig {
+    BLsmConfig {
+        mem_budget: 64 << 10,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn basic_roundtrip_over_the_wire() {
+    let (server, _data, _wal) = start_server(small_config());
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(addr).unwrap();
+
+    c.ping().unwrap();
+    assert_eq!(c.get(b"missing").unwrap(), None);
+    c.put(b"alpha", b"1").unwrap();
+    c.put(b"beta", b"2").unwrap();
+    assert_eq!(c.get(b"alpha").unwrap().unwrap(), b"1");
+    assert!(c.insert_if_not_exists(b"gamma", b"3").unwrap());
+    assert!(!c.insert_if_not_exists(b"gamma", b"x").unwrap());
+    c.apply_delta(b"alpha", b"+").unwrap();
+    assert_eq!(c.get(b"alpha").unwrap().unwrap(), b"1+");
+    c.delete(b"beta").unwrap();
+    assert_eq!(c.get(b"beta").unwrap(), None);
+
+    let rows = c.scan(b"", None, 100).unwrap();
+    assert_eq!(
+        rows.iter().map(|(k, _)| k.as_slice()).collect::<Vec<_>>(),
+        vec![b"alpha".as_slice(), b"gamma".as_slice()]
+    );
+    let bounded = c.scan(b"a", Some(b"b"), 100).unwrap();
+    assert_eq!(bounded.len(), 1);
+
+    let stats = c.stats().unwrap();
+    assert!(stats.gets >= 3);
+    assert!(stats.writes >= 4);
+
+    let tree = server.shutdown().unwrap();
+    assert_eq!(tree.get(b"alpha").unwrap().unwrap().as_ref(), b"1+");
+}
+
+/// ≥4 client connections race GET/PUT/SCAN against the live merge
+/// thread. Runs under strict-invariants in CI (the merge thread panics
+/// on any violated tree invariant, which this test then observes as
+/// lost writes).
+#[test]
+fn concurrent_clients_race_merge_thread() {
+    let (server, _data, _wal) = start_server(small_config());
+    let addr = server.local_addr().to_string();
+
+    let mut handles = Vec::new();
+    for t in 0..5u32 {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            for i in 0..400u32 {
+                let id = t * 10_000 + i;
+                let key = format!("user{id:08}");
+                c.put(key.as_bytes(), format!("v{t}-{i}").as_bytes())
+                    .unwrap();
+                if i % 7 == 0 {
+                    // Read-your-writes through a different code path.
+                    let got = c.get(key.as_bytes()).unwrap();
+                    assert_eq!(got.unwrap(), format!("v{t}-{i}").into_bytes());
+                }
+                if i % 31 == 0 {
+                    let rows = c.scan(format!("user{:08}", t * 10_000).as_bytes(), None, 5);
+                    assert!(!rows.unwrap().is_empty());
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let mut c = Client::connect(addr).unwrap();
+    let stats = c.stats().unwrap();
+    assert!(stats.writes >= 2000, "writes: {}", stats.writes);
+
+    let tree = server.shutdown().unwrap();
+    // Every acknowledged write survives shutdown.
+    for t in 0..5u32 {
+        for i in (0..400u32).step_by(37) {
+            let id = t * 10_000 + i;
+            let got = tree.get(format!("user{id:08}").as_bytes()).unwrap();
+            assert_eq!(got.unwrap().as_ref(), format!("v{t}-{i}").as_bytes());
+        }
+    }
+    assert!(tree.stats().merges01 > 0, "merge thread never ran a pass");
+}
+
+/// Pipelining: many requests written in one burst come back in order,
+/// batched through a single connection.
+#[test]
+fn pipelined_burst_preserves_order() {
+    let (server, _data, _wal) = start_server(small_config());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let mut wire = Vec::new();
+    for i in 0..50u64 {
+        let key = format!("p{i:04}").into_bytes();
+        encode_request(
+            &mut wire,
+            i,
+            &Request::Put {
+                key,
+                value: vec![b'x'; 32],
+            },
+        )
+        .unwrap();
+    }
+    encode_request(
+        &mut wire,
+        50,
+        &Request::Get {
+            key: b"p0049".to_vec(),
+        },
+    )
+    .unwrap();
+    stream.write_all(&wire).unwrap();
+
+    let mut decoder = blsm_server::FrameDecoder::new();
+    let mut got = Vec::new();
+    let mut buf = [0u8; 4096];
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    while got.len() < 51 {
+        use std::io::Read;
+        let n = stream.read(&mut buf).unwrap();
+        assert!(n > 0, "server closed early");
+        decoder.feed(&buf[..n]);
+        while let Some(payload) = decoder.next_frame().unwrap() {
+            got.push(blsm_server::protocol::decode_response(&payload).unwrap());
+        }
+    }
+    for (i, (id, resp)) in got.iter().take(50).enumerate() {
+        assert_eq!(*id, i as u64);
+        assert!(matches!(resp, Response::Ok | Response::RetryLater { .. }));
+    }
+    let (id, last) = &got[50];
+    assert_eq!(*id, 50);
+    assert!(matches!(last, Response::Value(Some(v)) if v == &vec![b'x'; 32]));
+
+    server.shutdown().unwrap();
+}
+
+/// A client that dies mid-request (torn frame, then hard disconnect)
+/// must leak neither its connection thread nor a tree lock.
+#[test]
+fn mid_request_disconnect_leaks_nothing() {
+    let (server, _data, _wal) = start_server(small_config());
+    let addr = server.local_addr();
+
+    // Torn frame: a length prefix promising more than is ever sent.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut torn = Vec::new();
+        encode_request(
+            &mut torn,
+            1,
+            &Request::Put {
+                key: b"torn".to_vec(),
+                value: vec![0u8; 1000],
+            },
+        )
+        .unwrap();
+        stream.write_all(&torn[..torn.len() / 2]).unwrap();
+        // Hard drop, mid-frame.
+    }
+    // Garbage: an oversized length prefix.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&[0xFF; 64]).unwrap();
+    }
+
+    // Both connection threads must notice and exit.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.active_connections() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "connection thread leaked: {} still active",
+            server.active_connections()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // No tree lock leaked either: a fresh client can still write.
+    let mut c = Client::connect(addr.to_string()).unwrap();
+    c.put(b"alive", b"yes").unwrap();
+    assert_eq!(c.get(b"alive").unwrap().unwrap(), b"yes");
+    assert_eq!(c.get(b"torn").unwrap(), None, "torn write must not apply");
+
+    server.shutdown().unwrap();
+}
+
+/// Saturation: with the naive scheduler (merges only start when C0 is
+/// completely full), unthrottled puts walk C0 up through the paced band
+/// into saturation. Writes must see proportional delays and then
+/// RETRY_LATER, while reads keep completing throughout.
+#[test]
+fn saturation_sheds_writes_while_reads_flow() {
+    let config = BLsmConfig {
+        mem_budget: 64 << 10,
+        scheduler: SchedulerKind::Naive,
+        ..Default::default()
+    };
+    let (server, _data, _wal) = start_server(config);
+    let addr = server.local_addr().to_string();
+
+    let mut writer = Client::connect(addr.clone()).unwrap();
+    let mut reader = Client::connect(addr).unwrap();
+    writer.put(b"seed", b"v").unwrap();
+
+    // Raw calls (no retry) so RETRY_LATER is observable.
+    let value = vec![0u8; 1024];
+    let mut saw_retry_later = false;
+    for i in 0..200u32 {
+        let req = Request::Put {
+            key: format!("fill{i:06}").into_bytes(),
+            value: value.clone(),
+        };
+        match writer.call(&req).unwrap() {
+            Response::Ok => {}
+            Response::RetryLater { backoff_ms } => {
+                assert!(backoff_ms > 0);
+                saw_retry_later = true;
+                break;
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert!(
+        saw_retry_later,
+        "C0 crossed the high water mark but no write was rejected"
+    );
+
+    // Reads keep flowing while writes are shed.
+    assert_eq!(reader.get(b"seed").unwrap().unwrap(), b"v");
+    assert_eq!(reader.get(b"fill000000").unwrap().unwrap(), value);
+
+    let stats = reader.stats().unwrap();
+    assert!(
+        stats.backpressure.is_saturated(),
+        "{:?}",
+        stats.backpressure
+    );
+    assert!(stats.rejected > 0, "rejections not counted");
+    assert!(
+        stats.delayed > 0,
+        "the paced band was crossed without any proportional delay"
+    );
+
+    // And rejected writes really were not applied.
+    let mut probe = 0;
+    for i in 0..200u32 {
+        if reader
+            .get(format!("fill{i:06}").as_bytes())
+            .unwrap()
+            .is_some()
+        {
+            probe += 1;
+        }
+    }
+    assert!(probe < 200, "a rejected write was applied anyway");
+
+    server.shutdown().unwrap();
+}
+
+/// Graceful shutdown over the wire: SHUTDOWN drains and checkpoints, so
+/// a reopen finds every acknowledged write with an empty C0 (nothing
+/// left to replay from the WAL).
+#[test]
+fn wire_shutdown_checkpoints_for_clean_recovery() {
+    let config = small_config();
+    let (server, data, wal) = start_server(config.clone());
+    let addr = server.local_addr().to_string();
+
+    let mut c = Client::connect(addr).unwrap();
+    for i in 0..300u32 {
+        c.put(format!("k{i:06}").as_bytes(), format!("v{i}").as_bytes())
+            .unwrap();
+    }
+    c.shutdown_server().unwrap();
+
+    // The stop flag is set; finish the drain and take the tree back.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !server.shutdown_requested() {
+        assert!(Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let tree = server.shutdown().unwrap();
+    assert_eq!(tree.c0_bytes(), 0, "shutdown must checkpoint");
+    drop(tree);
+
+    // Recovery: reopen from the same devices.
+    let tree = open_tree(&data, &wal, &config);
+    assert_eq!(tree.c0_bytes(), 0, "clean WAL: nothing to replay");
+    for i in (0..300u32).step_by(23) {
+        let got = tree.get(format!("k{i:06}").as_bytes()).unwrap();
+        assert_eq!(got.unwrap().as_ref(), format!("v{i}").as_bytes());
+    }
+}

@@ -1,6 +1,6 @@
 //! Repo-specific lint rules (`cargo xtask lint`).
 //!
-//! Four rules the paper's correctness argument needs but clippy cannot
+//! Five rules the paper's correctness argument needs but clippy cannot
 //! express (§4.4.1 warns that merge threads acting on stale or weakly
 //! ordered shared state are the classic source of LSM race bugs):
 //!
@@ -25,6 +25,14 @@
 //!   are not reentrant) or serializes readers behind a whole quantum.
 //!   Drop the guard first (`drop(g)` or scope it); deliberate holders
 //!   get an audited allowlist entry.
+//! - **`blocking-io-under-lock`** — in `crates/server`, no blocking
+//!   socket call (`write_all`, `read`, `flush`, `accept`, `connect`)
+//!   while a `let`-bound lock guard is live. A slow or stalled peer
+//!   would then hold the lock for the duration of the kernel call,
+//!   stalling every other connection and the merge thread behind one
+//!   client's TCP window. Serve from a pinned `ReadView`, batch writes,
+//!   and do all socket I/O lock-free; deliberate holders get an audited
+//!   allowlist entry.
 //!
 //! Audited exceptions live in `xtask-lint.allow` at the workspace root:
 //! one `rule-id<space>file<space>function` triple per line, `#` comments.
@@ -231,6 +239,7 @@ fn lint_file(rel: &str, source: &str) -> Vec<Finding> {
     let clean = strip_comments_and_strings(source);
     let in_storage = rel.starts_with("crates/storage/src/");
     let in_core = rel.starts_with("crates/core/src/");
+    let in_server = rel.starts_with("crates/server/src/");
 
     // Block tracking state.
     let mut stack: Vec<Block> = Vec::new();
@@ -323,23 +332,44 @@ fn lint_file(rel: &str, source: &str) -> Vec<Finding> {
             });
         }
 
-        // Rule: guard-across-merge (crates/core only). Process releases
-        // (explicit `drop(name)`) before new bindings and the call check,
-        // so `drop(c0); self.finish_merge01()?` on one line is clean.
-        if in_core && !in_test_context {
+        // Rules: guard-across-merge (crates/core) and
+        // blocking-io-under-lock (crates/server). Both track live
+        // let-bound lock guards. Process releases (explicit
+        // `drop(name)`) before new bindings and the call checks, so
+        // `drop(c0); self.finish_merge01()?` on one line is clean.
+        if (in_core || in_server) && !in_test_context {
             guards.retain(|(name, _)| !line.contains(&format!("drop({name})")));
-            if let Some(call) = merge_quantum_call(line) {
-                if let Some((guard, _)) = guards.first() {
-                    findings.push(Finding {
-                        rule: "guard-across-merge",
-                        file: rel.to_string(),
-                        line: lineno,
-                        function: current_fn(&fn_stack),
-                        message: format!(
-                            "lock guard `{guard}` held across merge-quantum call `{call}`; \
-                             drop it first (or allowlist with the audit reason)"
-                        ),
-                    });
+            if in_core {
+                if let Some(call) = merge_quantum_call(line) {
+                    if let Some((guard, _)) = guards.first() {
+                        findings.push(Finding {
+                            rule: "guard-across-merge",
+                            file: rel.to_string(),
+                            line: lineno,
+                            function: current_fn(&fn_stack),
+                            message: format!(
+                                "lock guard `{guard}` held across merge-quantum call `{call}`; \
+                                 drop it first (or allowlist with the audit reason)"
+                            ),
+                        });
+                    }
+                }
+            }
+            if in_server {
+                if let Some(call) = blocking_io_call(line) {
+                    if let Some((guard, _)) = guards.first() {
+                        findings.push(Finding {
+                            rule: "blocking-io-under-lock",
+                            file: rel.to_string(),
+                            line: lineno,
+                            function: current_fn(&fn_stack),
+                            message: format!(
+                                "lock guard `{guard}` held across blocking socket call \
+                                 `{call}`; a stalled peer would pin the lock — drop the \
+                                 guard first (or allowlist with the audit reason)"
+                            ),
+                        });
+                    }
                 }
             }
             if let Some(name) = guard_binding_on_line(trimmed) {
@@ -415,6 +445,28 @@ const MERGE_QUANTUM_CALLS: &[&str] = &[
 /// The merge-quantum function this line calls, if any.
 fn merge_quantum_call(line: &str) -> Option<&'static str> {
     MERGE_QUANTUM_CALLS
+        .iter()
+        .find(|c| line.contains(**c))
+        .copied()
+}
+
+/// Blocking socket calls that must not run under a lock guard. `.read(&`
+/// (with an argument) is socket I/O; the bare no-arg `.read()` is the
+/// parking_lot acquire and is tracked as a guard binding instead.
+const BLOCKING_IO_CALLS: &[&str] = &[
+    ".write_all(",
+    ".read(&",
+    ".read_exact(",
+    ".read_to_end(",
+    ".flush(",
+    ".accept(",
+    ".peek(",
+    "TcpStream::connect(",
+];
+
+/// The blocking socket call this line makes, if any.
+fn blocking_io_call(line: &str) -> Option<&'static str> {
+    BLOCKING_IO_CALLS
         .iter()
         .find(|c| line.contains(**c))
         .copied()
@@ -799,6 +851,60 @@ mod tests {
     fn guard_across_merge_ignored_in_tests() {
         let src = "#[cfg(test)]\nmod tests {\n    fn f() {\n        let t = shared.tree.lock();\n        t.checkpoint().unwrap();\n    }\n}\n";
         let f = lint_file("crates/core/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn blocking_io_under_lock_flagged() {
+        let src =
+            "fn f(&self) {\n    let tree = self.db.lock();\n    stream.write_all(&buf)?;\n}\n";
+        let f = lint_file("crates/server/src/server.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "blocking-io-under-lock");
+        assert_eq!(f[0].function, "f");
+        assert!(f[0].message.contains("`tree`"));
+        assert!(f[0].message.contains(".write_all("));
+    }
+
+    #[test]
+    fn blocking_io_after_guard_dropped_ok() {
+        let src = "fn f(&self) {\n    let tree = self.db.lock();\n    let v = tree.get(k);\n    drop(tree);\n    stream.write_all(&v)?;\n}\n";
+        let f = lint_file("crates/server/src/server.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn blocking_io_with_scoped_guard_ok() {
+        let src = "fn f(&self) {\n    {\n        let tree = self.db.lock();\n        tree.put(k, v)?;\n    }\n    stream.read(&mut buf)?;\n}\n";
+        let f = lint_file("crates/server/src/server.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn blocking_io_without_guard_ok() {
+        let src = "fn f(&self) {\n    stream.read(&mut buf)?;\n    out.flush()?;\n    listener.accept()?;\n}\n";
+        let f = lint_file("crates/server/src/server.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn blocking_io_rule_scoped_to_server() {
+        // crates/core holds guards around non-merge work freely; socket
+        // calls there are someone else's problem (there are none).
+        let src = "fn f(&self) {\n    let g = m.lock();\n    stream.write_all(&buf)?;\n}\n";
+        let f = lint_file("crates/core/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+        // And server integration tests are exempt like all test code.
+        let f = lint_file("crates/server/tests/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn bare_read_acquire_is_guard_not_io() {
+        // `let g = x.read();` is a parking_lot acquire (tracked as a
+        // guard), not socket I/O — even while another guard is live.
+        let src = "fn f(&self) {\n    let a = m.lock();\n    let b = n.read();\n    let x = b.len();\n}\n";
+        let f = lint_file("crates/server/src/server.rs", src);
         assert!(f.is_empty(), "{f:?}");
     }
 

@@ -122,6 +122,21 @@ impl Histogram {
         self.min = self.min.min(other.min);
     }
 
+    /// One-line human-readable summary (`n`, mean, p50/p95/p99, max in
+    /// µs) — the report format shared by the in-process and network
+    /// YCSB paths.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:.1}us p50={}us p95={}us p99={}us max={}us",
+            self.total,
+            self.mean(),
+            self.percentile(0.5),
+            self.percentile(0.95),
+            self.percentile(0.99),
+            self.max()
+        )
+    }
+
     /// Clears all samples.
     pub fn reset(&mut self) {
         self.counts.fill(0);
@@ -197,6 +212,18 @@ mod tests {
         assert_eq!(a.count(), 200);
         assert!(a.percentile(0.9) >= 1000);
         assert_eq!(a.min(), 0);
+    }
+
+    #[test]
+    fn summary_mentions_every_quantile() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        for needle in ["n=100", "mean=", "p50=", "p95=", "p99=", "max=100us"] {
+            assert!(s.contains(needle), "{s} missing {needle}");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub use blsm_bloom;
 pub use blsm_btree;
 pub use blsm_leveldb_like;
 pub use blsm_memtable;
+pub use blsm_server;
 pub use blsm_sstable;
 pub use blsm_storage;
 pub use blsm_ycsb;
