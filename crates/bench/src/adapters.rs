@@ -60,6 +60,10 @@ impl KvEngine for BLsmEngine {
         Ok(self.tree.scan(from, limit)?.len())
     }
 
+    fn scrub(&mut self) -> Result<Vec<String>> {
+        Ok(self.tree.scrub().errors)
+    }
+
     fn now_us(&self) -> u64 {
         self.data.now_us() + self.wal.now_us()
     }

@@ -16,6 +16,30 @@ use blsm_server::RemoteKv;
 use blsm_storage::DiskModel;
 use blsm_ycsb::{KvEngine, LoadOrder, Runner, Workload};
 
+/// Integrity gate: numbers measured against a damaged store are
+/// garbage, so every engine is scrubbed after loading and before the
+/// measured phase. Any finding prints a diagnostic and exits nonzero
+/// so CI (and scripted sweeps) cannot silently publish tainted results.
+fn scrub_gate(engine: &mut dyn KvEngine, context: &str) {
+    let errors = match engine.scrub() {
+        Ok(errors) => errors,
+        Err(e) => {
+            eprintln!("ycsb_suite: pre-run scrub of {context} failed to run: {e}");
+            std::process::exit(2);
+        }
+    };
+    if !errors.is_empty() {
+        eprintln!(
+            "ycsb_suite: pre-run scrub of {context} found {} problem(s); refusing to benchmark a damaged store:",
+            errors.len()
+        );
+        for e in &errors {
+            eprintln!("ycsb_suite:   {e}");
+        }
+        std::process::exit(2);
+    }
+}
+
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
@@ -43,6 +67,7 @@ fn run_network_suite(args: &[String]) {
     runner
         .load(&mut engine, records, 100, false, LoadOrder::Random)
         .unwrap();
+    scrub_gate(&mut engine, &format!("server {addr}"));
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     for &letter in &letters {
@@ -109,6 +134,7 @@ fn main() {
                 )
                 .unwrap();
             engine.settle().unwrap();
+            scrub_gate(engine.as_mut(), which);
             let mut wl = Workload::ycsb(letter, scale.records, 0x5eed_u64 ^ letter as u64);
             wl.value_size = scale.value_size;
             let report = runner.run(engine.as_mut(), &mut wl, ops).unwrap();
@@ -156,6 +182,7 @@ fn main() {
         )
         .unwrap();
     engine.settle().unwrap();
+    scrub_gate(&mut engine, "blsm (concurrent serving)");
     let points = read_scaling_rows(
         engine.tree,
         scale.records,

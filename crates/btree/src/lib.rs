@@ -68,7 +68,11 @@ pub struct BTree {
 /// Surfaces a violated internal invariant as a recoverable error instead
 /// of a panic.
 fn invariant_err(what: &str) -> StorageError {
-    StorageError::Corruption(format!("internal invariant violated: {what}"))
+    StorageError::corruption(
+        blsm_storage::ComponentId::Tree,
+        None,
+        format!("internal invariant violated: {what}"),
+    )
 }
 
 impl std::fmt::Debug for BTree {

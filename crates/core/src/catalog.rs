@@ -28,11 +28,11 @@ use parking_lot::RwLock;
 
 use blsm_memtable::{MergeOperator, SnowshovelBuffer};
 use blsm_sstable::Sstable;
-use blsm_storage::BufferPool;
+use blsm_storage::{BufferPool, ComponentId};
 
 use crate::config::BLsmConfig;
 use crate::sched::BackpressureLevel;
-use crate::stats::{TreeStats, TreeStatsSnapshot};
+use crate::stats::{RecoveryReport, TreeStats, TreeStatsSnapshot};
 
 /// An immutable snapshot of the on-disk component set, searched
 /// newest→oldest: `C1`, then `C1'`, then `C2`.
@@ -74,6 +74,18 @@ impl ComponentCatalog {
     /// Components in probe order (newest first), absent slots skipped.
     pub(crate) fn tables(&self) -> impl Iterator<Item = &Arc<Sstable>> {
         [&self.c1, &self.c1_prime, &self.c2].into_iter().flatten()
+    }
+
+    /// Like [`tables`](Self::tables), but each component is paired with
+    /// its slot identity so errors can name where they came from.
+    pub(crate) fn named_tables(&self) -> impl Iterator<Item = (ComponentId, &Arc<Sstable>)> {
+        [
+            (ComponentId::C1, &self.c1),
+            (ComponentId::C1Prime, &self.c1_prime),
+            (ComponentId::C2, &self.c2),
+        ]
+        .into_iter()
+        .filter_map(|(id, t)| t.as_ref().map(|t| (id, t)))
     }
 }
 
@@ -118,6 +130,9 @@ pub(crate) struct TreeShared {
     pub(crate) catalog: CatalogCell,
     pub(crate) c0: RwLock<SnowshovelBuffer>,
     pub(crate) stats: TreeStats,
+    /// Set once at the end of [`crate::BLsmTree::open`]; the lock is only
+    /// for interior mutability, never held across I/O.
+    pub(crate) recovery: RwLock<RecoveryReport>,
 }
 
 impl TreeShared {
@@ -134,6 +149,7 @@ impl TreeShared {
             self.config.low_water,
             self.config.high_water,
         );
+        snap.recovery = *self.recovery.read();
         snap
     }
 }

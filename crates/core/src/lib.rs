@@ -47,12 +47,12 @@ mod tree;
 pub use config::{BLsmConfig, Durability, SchedulerKind};
 pub use partitioned::PartitionedBLsm;
 pub use progress::{outprogress, MergeProgress};
-pub use read::{ReadView, ScanItem};
+pub use read::{ReadView, ScanItem, TreeScrubReport};
 pub use sched::{
     BackpressureLevel, GearScheduler, MergeScheduler, NaiveScheduler, SchedInputs,
     SpringGearScheduler, WorkPlan,
 };
-pub use stats::{TreeStats, TreeStatsSnapshot};
+pub use stats::{RecoveryReport, TreeStats, TreeStatsSnapshot};
 pub use threaded::ThreadedBLsm;
 pub use tree::BLsmTree;
 

@@ -25,6 +25,31 @@ use blsm_storage::Result;
 use crate::catalog::{ComponentCatalog, TreeShared};
 use crate::stats::{self, TreeStatsSnapshot};
 
+/// Tree-wide outcome of a scrub pass over every on-disk component.
+///
+/// Produced by [`crate::BLsmTree::scrub`] / [`ReadView::scrub`]; the
+/// per-component numbers are summed and every problem string is prefixed
+/// with the component slot it came from.
+#[derive(Debug, Clone, Default)]
+pub struct TreeScrubReport {
+    /// On-disk components scrubbed.
+    pub components_checked: u64,
+    /// Pages read back from the device and checksum-verified.
+    pub pages_checked: u64,
+    /// Logical entries walked during the structural passes.
+    pub entries_checked: u64,
+    /// Every problem found, prefixed with its component slot (empty ⇒
+    /// all components are clean).
+    pub errors: Vec<String>,
+}
+
+impl TreeScrubReport {
+    /// True when no component reported a problem.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
 /// One row returned by a scan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScanItem {
@@ -85,6 +110,14 @@ impl ReadView {
     /// tree lock.
     pub fn stats(&self) -> TreeStatsSnapshot {
         self.shared.stats_snapshot()
+    }
+
+    /// Verifies every on-disk component against the device (checksums,
+    /// footers, ordering, Bloom agreement). Lock-free like every other
+    /// read: the pass runs on a pinned catalog snapshot while writes and
+    /// merges proceed.
+    pub fn scrub(&self) -> TreeScrubReport {
+        self.shared.scrub()
     }
 }
 
@@ -152,13 +185,15 @@ impl TreeShared {
             C0Verdict::Continue => {}
         }
 
-        for table in catalog.tables() {
+        for (slot, table) in catalog.named_tables() {
             if !table.may_contain(key) {
                 stats::bump(&self.stats.bloom_skips, 1);
                 continue;
             }
             stats::bump(&self.stats.disk_probes, 1);
-            let Some(v) = table.get(key)? else { continue };
+            let Some(v) = table.get(key).map_err(|e| e.in_component(slot))? else {
+                continue;
+            };
             match v.entry {
                 Entry::Put(b) => {
                     stats::bump(&self.stats.early_terminations, 1);
@@ -189,13 +224,13 @@ impl TreeShared {
             // A delta implies a live record (it materializes on read).
             return Ok(!matches!(v.entry, Entry::Tombstone));
         }
-        for table in catalog.tables() {
+        for (slot, table) in catalog.named_tables() {
             if !table.may_contain(key) {
                 stats::bump(&self.stats.bloom_skips, 1);
                 continue;
             }
             stats::bump(&self.stats.disk_probes, 1);
-            if let Some(v) = table.get(key)? {
+            if let Some(v) = table.get(key).map_err(|e| e.in_component(slot))? {
                 return Ok(!matches!(v.entry, Entry::Tombstone));
             }
         }
@@ -210,15 +245,35 @@ impl TreeShared {
         if at_least > catalog.seqno_horizon {
             return Ok(None);
         }
-        for table in catalog.tables() {
+        for (slot, table) in catalog.named_tables() {
             if !table.may_contain(key) {
                 continue;
             }
-            if let Some(v) = table.get(key)? {
+            if let Some(v) = table.get(key).map_err(|e| e.in_component(slot))? {
                 return Ok(Some(v.seqno));
             }
         }
         Ok(None)
+    }
+
+    /// Scrubs every catalogued component, summing the per-component
+    /// reports and prefixing each problem with its slot name. Bumps the
+    /// `scrubs`/`scrub_errors` counters.
+    pub(crate) fn scrub(&self) -> TreeScrubReport {
+        let catalog = self.catalog.load();
+        let mut report = TreeScrubReport::default();
+        for (slot, table) in catalog.named_tables() {
+            let r = table.scrub();
+            report.components_checked += 1;
+            report.pages_checked += r.pages_checked;
+            report.entries_checked += r.entries_checked;
+            report
+                .errors
+                .extend(r.errors.into_iter().map(|e| format!("{slot}: {e}")));
+        }
+        stats::bump(&self.stats.scrubs, 1);
+        stats::bump(&self.stats.scrub_errors, report.errors.len() as u64);
+        report
     }
 
     /// Ordered scan of `[from, to)` (unbounded above when `to` is

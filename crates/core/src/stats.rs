@@ -58,6 +58,10 @@ pub struct TreeStats {
     pub(crate) merges12: AtomicU64,
     /// Writes that hit the hard `C0` cap and had to run forced merge work.
     pub(crate) forced_stalls: AtomicU64,
+    /// Scrub passes completed over the on-disk components.
+    pub(crate) scrubs: AtomicU64,
+    /// Total problems reported by scrub passes.
+    pub(crate) scrub_errors: AtomicU64,
 }
 
 impl TreeStats {
@@ -76,9 +80,33 @@ impl TreeStats {
             merges01: read(&self.merges01),
             merges12: read(&self.merges12),
             forced_stalls: read(&self.forced_stalls),
+            scrubs: read(&self.scrubs),
+            scrub_errors: read(&self.scrub_errors),
             backpressure: BackpressureLevel::Idle,
+            recovery: RecoveryReport::default(),
         }
     }
+}
+
+/// What recovery found and did when the tree was opened. `Default` means
+/// a clean open: nothing rolled back, nothing truncated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// On-disk components reopened from the manifest.
+    pub components_salvaged: u64,
+    /// True when the newest manifest slot was damaged (torn write) and
+    /// the previous epoch was used instead.
+    pub manifest_rolled_back: bool,
+    /// WAL records replayed into `C0`.
+    pub wal_records_replayed: u64,
+    /// Replayed records skipped because their effects were already
+    /// durable in an on-disk component.
+    pub wal_records_skipped: u64,
+    /// WAL bytes scanned between the recovered head and tail.
+    pub wal_recovered_bytes: u64,
+    /// Estimated bytes of a partially-written frame discarded at the WAL
+    /// tail (nonzero means a crash cut the final log write).
+    pub wal_torn_tail_bytes: u64,
 }
 
 /// Plain-value snapshot of [`TreeStats`], safe to copy around, compare and
@@ -109,12 +137,20 @@ pub struct TreeStatsSnapshot {
     pub merges12: u64,
     /// Writes that hit the hard `C0` cap and had to run forced merge work.
     pub forced_stalls: u64,
+    /// Scrub passes completed over the on-disk components.
+    pub scrubs: u64,
+    /// Total problems reported by scrub passes.
+    pub scrub_errors: u64,
     /// The spring-and-gear watermark regime at snapshot time — the shared
     /// backpressure signal admission control and STATS read (§4.3). Raw
     /// [`TreeStats::snapshot`] reports `Idle` (counters alone cannot see
     /// `C0`); snapshots taken through the tree or a
     /// [`crate::ReadView`] carry the live level.
     pub backpressure: BackpressureLevel,
+    /// What recovery found when this tree was opened. Raw
+    /// [`TreeStats::snapshot`] reports the default; snapshots taken
+    /// through the tree or a [`crate::ReadView`] carry the real report.
+    pub recovery: RecoveryReport,
 }
 
 impl TreeStatsSnapshot {
@@ -143,6 +179,14 @@ impl TreeStatsSnapshot {
         self.merges01 += other.merges01;
         self.merges12 += other.merges12;
         self.forced_stalls += other.forced_stalls;
+        self.scrubs += other.scrubs;
+        self.scrub_errors += other.scrub_errors;
+        self.recovery.components_salvaged += other.recovery.components_salvaged;
+        self.recovery.manifest_rolled_back |= other.recovery.manifest_rolled_back;
+        self.recovery.wal_records_replayed += other.recovery.wal_records_replayed;
+        self.recovery.wal_records_skipped += other.recovery.wal_records_skipped;
+        self.recovery.wal_recovered_bytes += other.recovery.wal_recovered_bytes;
+        self.recovery.wal_torn_tail_bytes += other.recovery.wal_torn_tail_bytes;
         // Backpressure is a level, not a counter: the store is as pressed
         // as its most-pressed partition.
         self.backpressure = self.backpressure.max(other.backpressure);

@@ -204,8 +204,10 @@ impl ThreadedBLsm {
         self.stop_thread();
         let Some(shared) = self.shared.take() else {
             // Unreachable: `shutdown` takes `self` by value.
-            return Err(blsm_storage::StorageError::Corruption(
-                "shutdown on an already shut-down tree".into(),
+            return Err(blsm_storage::StorageError::corruption(
+                blsm_storage::ComponentId::Tree,
+                None,
+                "shutdown on an already shut-down tree",
             ));
         };
         let shared =

@@ -42,9 +42,9 @@ use crate::catalog::{CatalogCell, ComponentCatalog, TreeShared};
 use crate::config::{BLsmConfig, Durability};
 use crate::merge::{Merge01, Merge12, RetiredTable};
 use crate::meta::{ComponentSlot, TreeMeta};
-use crate::read::{ReadView, ScanItem};
+use crate::read::{ReadView, ScanItem, TreeScrubReport};
 use crate::sched::{make_scheduler, MergeScheduler, SchedInputs};
-use crate::stats::{self, TreeStats, TreeStatsSnapshot};
+use crate::stats::{self, RecoveryReport, TreeStats, TreeStatsSnapshot};
 
 /// A general purpose log structured merge tree (the paper's system).
 ///
@@ -115,6 +115,10 @@ impl BLsmTree {
         let pool = Arc::new(BufferPool::new(data_dev, pool_pages));
         let (manifest, payload) = ManifestStore::open(pool.device().clone(), DEFAULT_SLOT_PAGES)?;
 
+        let mut recovery = RecoveryReport {
+            manifest_rolled_back: manifest.load_report().rolled_back,
+            ..RecoveryReport::default()
+        };
         let mut c1 = None;
         let mut c1_prime = None;
         let mut c2 = None;
@@ -123,6 +127,7 @@ impl BLsmTree {
                 let meta = TreeMeta::decode(&bytes)?;
                 for (slot, region) in &meta.components {
                     let table = Arc::new(Sstable::open(pool.clone(), *region)?);
+                    recovery.components_salvaged += 1;
                     match slot {
                         ComponentSlot::C1 => c1 = Some(table),
                         ComponentSlot::C1Prime => c1_prime = Some(table),
@@ -148,6 +153,7 @@ impl BLsmTree {
             catalog: CatalogCell::new(ComponentCatalog::new(c1, c1_prime, c2)),
             c0: RwLock::new(SnowshovelBuffer::new()),
             stats: TreeStats::default(),
+            recovery: RwLock::new(RecoveryReport::default()),
             config,
         });
         let mut tree = BLsmTree {
@@ -173,13 +179,21 @@ impl BLsmTree {
         // effects already reached C1 — those are skipped by sequence
         // number, keeping replay exactly-once even for deltas.
         if tree.shared.config.durability != Durability::None {
-            let (records, tail) =
-                blsm_storage::wal::replay(&wal_dev, tree.shared.config.wal_capacity, wal_head);
-            for rec in records {
+            let replay = blsm_storage::wal::replay_report(
+                &wal_dev,
+                tree.shared.config.wal_capacity,
+                wal_head,
+            );
+            recovery.wal_records_replayed = replay.records.len() as u64;
+            recovery.wal_recovered_bytes = replay.tail - wal_head;
+            recovery.wal_torn_tail_bytes = replay.torn_tail_bytes;
+            let tail = replay.tail;
+            for rec in replay.records {
                 let (key, v) = decode_wal_record(&rec.payload)?;
                 next_seqno = next_seqno.max(v.seqno + 1);
                 let durable = tree.shared.disk_newest_seqno(&key, v.seqno)?;
                 if durable.is_some_and(|s| s >= v.seqno) {
+                    recovery.wal_records_skipped += 1;
                     continue;
                 }
                 let op = tree.shared.op.clone();
@@ -193,6 +207,7 @@ impl BLsmTree {
                 tail,
             ));
         }
+        *tree.shared.recovery.write() = recovery;
 
         // A crash mid-C1':C2 leaves C1' installed; restart its merge.
         if tree.shared.catalog.load().c1_prime.is_some() {
@@ -222,6 +237,20 @@ impl BLsmTree {
     /// Snapshot of the engine counters plus the live backpressure level.
     pub fn stats(&self) -> TreeStatsSnapshot {
         self.shared.stats_snapshot()
+    }
+
+    /// What recovery found and did when this tree was opened.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        *self.shared.recovery.read()
+    }
+
+    /// Verifies every on-disk component against the device: per-page
+    /// checksums (read device-direct, bypassing the cache), footer
+    /// checksums, key ordering, fence agreement, Bloom-filter agreement
+    /// and entry counts. Returns the problems found instead of failing on
+    /// the first one.
+    pub fn scrub(&self) -> TreeScrubReport {
+        self.shared.scrub()
     }
 
     /// Active configuration.
@@ -601,7 +630,11 @@ impl BLsmTree {
     #[cfg(feature = "strict-invariants")]
     pub fn check_invariants(&mut self) -> Result<()> {
         fn violated(what: String) -> StorageError {
-            StorageError::Corruption(format!("strict invariant violated: {what}"))
+            StorageError::corruption(
+                blsm_storage::ComponentId::Tree,
+                None,
+                format!("strict invariant violated: {what}"),
+            )
         }
 
         // C0 hard cap (§3.1): pacing must never let the write buffer
@@ -673,7 +706,7 @@ impl BLsmTree {
         ] {
             let Some(table) = comp else { continue };
             table.verify_integrity(2, rotation).map_err(|e| match e {
-                StorageError::Corruption(msg) => violated(format!("{name}: {msg}")),
+                StorageError::Corruption { detail, .. } => violated(format!("{name}: {detail}")),
                 other => other,
             })?;
         }
@@ -717,7 +750,11 @@ use crate::progress::MergeProgress;
 /// Surfaces a violated internal invariant as a recoverable error instead
 /// of a panic; callers of the public API see `StorageError::Corruption`.
 pub(crate) fn invariant_err(what: &str) -> StorageError {
-    StorageError::Corruption(format!("internal invariant violated: {what}"))
+    StorageError::corruption(
+        blsm_storage::ComponentId::Tree,
+        None,
+        format!("internal invariant violated: {what}"),
+    )
 }
 
 /// WAL record: `kind(1) | varint seqno | varint keylen | key | value`.

@@ -106,7 +106,11 @@ struct Compaction {
 /// Surfaces a violated internal invariant as a recoverable error instead
 /// of a panic.
 fn invariant_err(what: &str) -> StorageError {
-    StorageError::Corruption(format!("internal invariant violated: {what}"))
+    StorageError::corruption(
+        blsm_storage::ComponentId::Tree,
+        None,
+        format!("internal invariant violated: {what}"),
+    )
 }
 
 /// The multi-level LSM engine.

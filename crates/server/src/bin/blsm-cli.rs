@@ -9,8 +9,12 @@
 //! blsm-cli ADDR delete KEY
 //! blsm-cli ADDR scan FROM LIMIT [TO]
 //! blsm-cli ADDR stats
+//! blsm-cli ADDR scrub
 //! blsm-cli ADDR shutdown
 //! ```
+//!
+//! `scrub` exits 3 when the store has detectable damage (and prints
+//! each finding), so scripts can gate on integrity.
 //!
 //! Write commands retry with backoff when the server answers
 //! RETRY_LATER (admission control above the high water mark); exit code
@@ -23,7 +27,7 @@ use blsm_server::Client;
 fn usage() -> ! {
     eprintln!(
         "usage: blsm-cli ADDR (ping | get K | put K V | insert K V | delta K V | \
-         delete K | scan FROM LIMIT [TO] | stats | shutdown)"
+         delete K | scan FROM LIMIT [TO] | stats | scrub | shutdown)"
     );
     std::process::exit(2);
 }
@@ -79,7 +83,9 @@ fn main() {
         "stats" => client.stats().map(|s| {
             println!(
                 "gets={} writes={} scans={} merges01={} merges12={} \
-                 backpressure={:?} admitted={} delayed={} rejected={}",
+                 backpressure={:?} admitted={} delayed={} rejected={} \
+                 scrubs={} scrub_errors={} wal_records_replayed={} \
+                 wal_torn_tail_bytes={} manifest_rolled_back={}",
                 s.gets,
                 s.writes,
                 s.scans,
@@ -88,8 +94,28 @@ fn main() {
                 s.backpressure,
                 s.admitted,
                 s.delayed,
-                s.rejected
+                s.rejected,
+                s.scrubs,
+                s.scrub_errors,
+                s.wal_records_replayed,
+                s.wal_torn_tail_bytes,
+                s.manifest_rolled_back
             );
+        }),
+        "scrub" => client.scrub().map(|r| {
+            println!(
+                "components={} pages={} entries={} errors={}",
+                r.components,
+                r.pages,
+                r.entries,
+                r.errors.len()
+            );
+            for e in &r.errors {
+                println!("ERROR {e}");
+            }
+            if !r.errors.is_empty() {
+                std::process::exit(3);
+            }
         }),
         "shutdown" => client.shutdown_server().map(|()| println!("OK")),
         _ => usage(),

@@ -14,10 +14,11 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use blsm_storage::{Result, StorageError};
+use blsm_storage::{ComponentId, Result, StorageError};
 
 use crate::protocol::{
-    decode_response, encode_request, FrameDecoder, Request, Response, WireStats,
+    decode_response, encode_request, ErrKind, FrameDecoder, Request, Response, WireScrubReport,
+    WireStats,
 };
 
 /// Client tuning knobs.
@@ -300,6 +301,21 @@ impl Client {
         }
     }
 
+    /// Asks the server to verify every on-disk component and report
+    /// the findings.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server is unreachable past the retry budget. A
+    /// *corrupt* store is not an error here — the damage comes back in
+    /// the report's `errors` list.
+    pub fn scrub(&mut self) -> Result<WireScrubReport> {
+        match self.call_retrying(&Request::Scrub)? {
+            Response::ScrubReport(r) => Ok(r),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Asks the server to shut down gracefully. The acknowledgment
     /// arrives before the server begins stopping.
     ///
@@ -311,9 +327,24 @@ impl Client {
     }
 }
 
+/// Rehydrates a server-side failure into a typed [`StorageError`], so
+/// `client.get(..).is_err_and(|e| e.is_corruption())` works exactly like
+/// the in-process read path.
 fn unexpected(resp: &Response) -> StorageError {
     match resp {
-        Response::Err(msg) => StorageError::InvalidFormat(format!("server error: {msg}")),
+        Response::Err { kind, message } => match kind {
+            ErrKind::Corruption => StorageError::corruption(
+                ComponentId::Server,
+                None,
+                format!("server error: {message}"),
+            ),
+            ErrKind::Io => {
+                StorageError::Io(std::io::Error::other(format!("server error: {message}")))
+            }
+            ErrKind::Invalid | ErrKind::Other => {
+                StorageError::InvalidFormat(format!("server error: {message}"))
+            }
+        },
         other => StorageError::InvalidFormat(format!("unexpected response: {other:?}")),
     }
 }

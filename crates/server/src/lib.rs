@@ -22,6 +22,8 @@ pub mod server;
 
 pub use admission::{AdmissionConfig, AdmissionController, WriteAdmission};
 pub use client::{Client, ClientConfig};
-pub use protocol::{FrameDecoder, Request, Response, WireStats, MAX_FRAME};
+pub use protocol::{
+    ErrKind, FrameDecoder, Request, Response, WireScrubReport, WireStats, MAX_FRAME,
+};
 pub use remote::RemoteKv;
 pub use server::{Server, ServerConfig};

@@ -51,6 +51,9 @@ pub enum Request {
     Stats,
     /// Ask the server to shut down gracefully.
     Shutdown,
+    /// Verify every on-disk component (checksums, ordering, Bloom
+    /// agreement) and report the findings.
+    Scrub,
 }
 
 impl Request {
@@ -76,6 +79,7 @@ impl Request {
             Request::ApplyDelta { .. } => 6,
             Request::Stats => 7,
             Request::Shutdown => 8,
+            Request::Scrub => 9,
         }
     }
 }
@@ -101,6 +105,78 @@ pub struct WireStats {
     pub delayed: u64,
     /// Writes rejected with RETRY_LATER (above the high water mark).
     pub rejected: u64,
+    /// Scrub passes completed over the on-disk components.
+    pub scrubs: u64,
+    /// Total problems reported by scrub passes.
+    pub scrub_errors: u64,
+    /// WAL records replayed into `C0` when the tree was opened.
+    pub wal_records_replayed: u64,
+    /// Estimated bytes of a partially-written frame discarded at the WAL
+    /// tail during recovery.
+    pub wal_torn_tail_bytes: u64,
+    /// True when recovery had to fall back to the previous manifest
+    /// epoch because the newest slot was damaged.
+    pub manifest_rolled_back: bool,
+}
+
+/// Broad classification of a server-side failure, carried with every
+/// [`Response::Err`] so clients can tell data corruption from transient
+/// I/O trouble from a bad request without parsing message strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrKind {
+    /// A checksum or invariant failure: the data is damaged; retrying
+    /// will not help, but other keys may still be readable.
+    Corruption,
+    /// A device/transport failure (possibly transient).
+    Io,
+    /// The request itself was malformed or out of range.
+    Invalid,
+    /// Anything else.
+    Other,
+}
+
+impl ErrKind {
+    /// Maps an engine error to its wire classification.
+    pub fn classify(e: &StorageError) -> ErrKind {
+        match e {
+            StorageError::Corruption { .. } => ErrKind::Corruption,
+            StorageError::Io(_) | StorageError::Fault { .. } => ErrKind::Io,
+            StorageError::InvalidFormat(_) | StorageError::OutOfBounds { .. } => ErrKind::Invalid,
+            _ => ErrKind::Other,
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrKind::Corruption => 0,
+            ErrKind::Io => 1,
+            ErrKind::Invalid => 2,
+            ErrKind::Other => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<ErrKind> {
+        Ok(match v {
+            0 => ErrKind::Corruption,
+            1 => ErrKind::Io,
+            2 => ErrKind::Invalid,
+            3 => ErrKind::Other,
+            other => return Err(frame_error(&format!("bad error kind {other}"))),
+        })
+    }
+}
+
+/// SCRUB findings carried by [`Response::ScrubReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireScrubReport {
+    /// On-disk components scrubbed.
+    pub components: u64,
+    /// Pages read back from the device and checksum-verified.
+    pub pages: u64,
+    /// Logical entries walked.
+    pub entries: u64,
+    /// Every problem found (empty ⇒ clean).
+    pub errors: Vec<String>,
 }
 
 /// A server-to-client reply.
@@ -121,8 +197,16 @@ pub enum Response {
         /// Server's backoff hint, milliseconds.
         backoff_ms: u32,
     },
-    /// Request failed server-side (message is human-readable).
-    Err(String),
+    /// Request failed server-side. `kind` classifies the failure;
+    /// `message` is human-readable detail.
+    Err {
+        /// Failure classification.
+        kind: ErrKind,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// SCRUB findings.
+    ScrubReport(WireScrubReport),
 }
 
 impl Response {
@@ -134,7 +218,8 @@ impl Response {
             Response::Inserted(_) => 3,
             Response::Stats(_) => 4,
             Response::RetryLater { .. } => 5,
-            Response::Err(_) => 6,
+            Response::Err { .. } => 6,
+            Response::ScrubReport(_) => 7,
         }
     }
 }
@@ -169,7 +254,7 @@ pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) -> Result<()> {
     codec::put_u64(&mut payload, id);
     codec::put_u8(&mut payload, req.opcode());
     match req {
-        Request::Ping | Request::Stats | Request::Shutdown => {}
+        Request::Ping | Request::Stats | Request::Shutdown | Request::Scrub => {}
         Request::Get { key } | Request::Delete { key } => {
             codec::put_bytes(&mut payload, key);
         }
@@ -241,6 +326,7 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request)> {
         },
         7 => Request::Stats,
         8 => Request::Shutdown,
+        9 => Request::Scrub,
         other => return Err(frame_error(&format!("unknown opcode {other}"))),
     };
     if r.remaining() != 0 {
@@ -306,9 +392,26 @@ pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) -> Result<()
             codec::put_u64(&mut payload, s.admitted);
             codec::put_u64(&mut payload, s.delayed);
             codec::put_u64(&mut payload, s.rejected);
+            codec::put_u64(&mut payload, s.scrubs);
+            codec::put_u64(&mut payload, s.scrub_errors);
+            codec::put_u64(&mut payload, s.wal_records_replayed);
+            codec::put_u64(&mut payload, s.wal_torn_tail_bytes);
+            codec::put_u8(&mut payload, u8::from(s.manifest_rolled_back));
         }
         Response::RetryLater { backoff_ms } => codec::put_u32(&mut payload, *backoff_ms),
-        Response::Err(msg) => codec::put_bytes(&mut payload, msg.as_bytes()),
+        Response::Err { kind, message } => {
+            codec::put_u8(&mut payload, kind.to_u8());
+            codec::put_bytes(&mut payload, message.as_bytes());
+        }
+        Response::ScrubReport(report) => {
+            codec::put_u64(&mut payload, report.components);
+            codec::put_u64(&mut payload, report.pages);
+            codec::put_u64(&mut payload, report.entries);
+            codec::put_varint(&mut payload, report.errors.len() as u64);
+            for e in &report.errors {
+                codec::put_bytes(&mut payload, e.as_bytes());
+            }
+        }
     }
     put_frame(out, &payload)
 }
@@ -352,11 +455,35 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response)> {
             admitted: r.u64()?,
             delayed: r.u64()?,
             rejected: r.u64()?,
+            scrubs: r.u64()?,
+            scrub_errors: r.u64()?,
+            wal_records_replayed: r.u64()?,
+            wal_torn_tail_bytes: r.u64()?,
+            manifest_rolled_back: r.u8()? != 0,
         }),
         5 => Response::RetryLater {
             backoff_ms: r.u32()?,
         },
-        6 => Response::Err(String::from_utf8_lossy(r.bytes()?).into_owned()),
+        6 => Response::Err {
+            kind: ErrKind::from_u8(r.u8()?)?,
+            message: String::from_utf8_lossy(r.bytes()?).into_owned(),
+        },
+        7 => {
+            let components = r.u64()?;
+            let pages = r.u64()?;
+            let entries = r.u64()?;
+            let n = r.varint()? as usize;
+            let mut errors = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                errors.push(String::from_utf8_lossy(r.bytes()?).into_owned());
+            }
+            Response::ScrubReport(WireScrubReport {
+                components,
+                pages,
+                entries,
+                errors,
+            })
+        }
         other => return Err(frame_error(&format!("unknown response tag {other}"))),
     };
     if r.remaining() != 0 {
@@ -492,6 +619,7 @@ mod tests {
         });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Scrub);
     }
 
     #[test]
@@ -516,9 +644,28 @@ mod tests {
                 admitted: 6,
                 delayed: 7,
                 rejected: 8,
+                scrubs: 9,
+                scrub_errors: 10,
+                wal_records_replayed: 11,
+                wal_torn_tail_bytes: 12,
+                manifest_rolled_back: true,
             }),
             Response::RetryLater { backoff_ms: 250 },
-            Response::Err("boom".into()),
+            Response::Err {
+                kind: ErrKind::Corruption,
+                message: "boom".into(),
+            },
+            Response::Err {
+                kind: ErrKind::Other,
+                message: String::new(),
+            },
+            Response::ScrubReport(WireScrubReport::default()),
+            Response::ScrubReport(WireScrubReport {
+                components: 3,
+                pages: 100,
+                entries: 5000,
+                errors: vec!["C1: page p7 bad".into(), "C2: footer".into()],
+            }),
         ] {
             let mut wire = Vec::new();
             encode_response(&mut wire, 7, &resp).unwrap();

@@ -88,6 +88,10 @@ impl KvEngine for RemoteKv {
         Ok(self.client.scan(from, None, limit)?.len())
     }
 
+    fn scrub(&mut self) -> Result<Vec<String>> {
+        Ok(self.client.scrub()?.errors)
+    }
+
     fn now_us(&self) -> u64 {
         // Wall clock: end-to-end latency including the wire.
         u64::try_from(self.t0.elapsed().as_micros()).unwrap_or(u64::MAX)

@@ -29,7 +29,8 @@ use blsm_storage::{Result, StorageError};
 
 use crate::admission::{AdmissionConfig, AdmissionController, WriteAdmission};
 use crate::protocol::{
-    decode_request, encode_response, FrameDecoder, Request, Response, WireStats, MAX_FRAME,
+    decode_request, encode_response, ErrKind, FrameDecoder, Request, Response, WireScrubReport,
+    WireStats, MAX_FRAME,
 };
 
 /// Server tuning knobs.
@@ -161,8 +162,10 @@ impl Server {
     /// Propagates checkpoint errors from the tree shutdown.
     pub fn shutdown(mut self) -> Result<BLsmTree> {
         let Some(inner) = self.inner.take() else {
-            return Err(StorageError::Corruption(
-                "shutdown on an already shut-down server".into(),
+            return Err(StorageError::corruption(
+                blsm_storage::ComponentId::Server,
+                None,
+                "shutdown on an already shut-down server",
             ));
         };
         inner.stop.store(true, Ordering::SeqCst);
@@ -172,7 +175,11 @@ impl Server {
         // The accept loop joins every connection thread before exiting,
         // so this Arc is now the sole owner.
         let inner = Arc::try_unwrap(inner).map_err(|_| {
-            StorageError::Corruption("connection thread leaked past accept-loop join".into())
+            StorageError::corruption(
+                blsm_storage::ComponentId::Server,
+                None,
+                "connection thread leaked past accept-loop join",
+            )
         })?;
         inner.db.shutdown()
     }
@@ -297,6 +304,16 @@ fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
     }
 }
 
+/// Maps an engine error to the typed wire error, preserving the
+/// corruption/I-O/invalid distinction so clients can react (a corrupt
+/// key is permanent; an I/O hiccup may be worth a retry).
+fn err_response(e: &StorageError) -> Response {
+    Response::Err {
+        kind: ErrKind::classify(e),
+        message: e.to_string(),
+    }
+}
+
 /// A write queued behind admission, applied as part of a batch.
 struct PendingWrite {
     id: u64,
@@ -335,7 +352,7 @@ fn serve_batch(inner: &Inner, view: &ReadView, frames: &[Vec<u8>]) -> Result<(Ve
             Request::Ping => Response::Ok,
             Request::Get { key } => match view.get(key) {
                 Ok(v) => Response::Value(v.map(|b| b.to_vec())),
-                Err(e) => Response::Err(e.to_string()),
+                Err(e) => err_response(&e),
             },
             Request::Scan { from, to, limit } => {
                 let limit = *limit as usize;
@@ -349,16 +366,28 @@ fn serve_batch(inner: &Inner, view: &ReadView, frames: &[Vec<u8>]) -> Result<(Ve
                             .map(|r| (r.key.to_vec(), r.value.to_vec()))
                             .collect(),
                     ),
-                    Err(e) => Response::Err(e.to_string()),
+                    Err(e) => err_response(&e),
                 }
             }
             Request::Stats => Response::Stats(wire_stats(inner, view)),
+            Request::Scrub => {
+                let r = view.scrub();
+                Response::ScrubReport(WireScrubReport {
+                    components: r.components_checked,
+                    pages: r.pages_checked,
+                    entries: r.entries_checked,
+                    errors: r.errors,
+                })
+            }
             Request::Shutdown => {
                 shutdown = true;
                 Response::Ok
             }
             // Writes were handled above.
-            _ => Response::Err("unhandled request".into()),
+            _ => Response::Err {
+                kind: ErrKind::Invalid,
+                message: "unhandled request".into(),
+            },
         };
         push_response(&mut out, id, &resp)?;
     }
@@ -389,24 +418,27 @@ fn flush_writes(
                 let resp = match w.req {
                     Request::Put { key, value } => match t.put(key, value) {
                         Ok(()) => Response::Ok,
-                        Err(e) => Response::Err(e.to_string()),
+                        Err(e) => err_response(&e),
                     },
                     Request::Delete { key } => match t.delete(key) {
                         Ok(()) => Response::Ok,
-                        Err(e) => Response::Err(e.to_string()),
+                        Err(e) => err_response(&e),
                     },
                     Request::InsertIfNotExists { key, value } => {
                         match t.insert_if_not_exists(key, value) {
                             Ok(inserted) => Response::Inserted(inserted),
-                            Err(e) => Response::Err(e.to_string()),
+                            Err(e) => err_response(&e),
                         }
                     }
                     Request::ApplyDelta { key, delta } => match t.apply_delta(key, delta) {
                         Ok(()) => Response::Ok,
-                        Err(e) => Response::Err(e.to_string()),
+                        Err(e) => err_response(&e),
                     },
                     // `is_write` admits only the four arms above.
-                    _ => Response::Err("non-write in write batch".into()),
+                    _ => Response::Err {
+                        kind: ErrKind::Invalid,
+                        message: "non-write in write batch".into(),
+                    },
                 };
                 (w.id, resp)
             })
@@ -427,7 +459,10 @@ fn push_response(out: &mut Vec<u8>, id: u64, resp: &Response) -> Result<()> {
         return encode_response(
             out,
             id,
-            &Response::Err("response exceeds frame ceiling".into()),
+            &Response::Err {
+                kind: ErrKind::Invalid,
+                message: "response exceeds frame ceiling".into(),
+            },
         );
     }
     Ok(())
@@ -446,5 +481,10 @@ fn wire_stats(inner: &Inner, view: &ReadView) -> WireStats {
         admitted: admission.admitted,
         delayed: admission.delayed,
         rejected: admission.rejected,
+        scrubs: engine.scrubs,
+        scrub_errors: engine.scrub_errors,
+        wal_records_replayed: engine.recovery.wal_records_replayed,
+        wal_torn_tail_bytes: engine.recovery.wal_torn_tail_bytes,
+        manifest_rolled_back: engine.recovery.manifest_rolled_back,
     }
 }

@@ -12,8 +12,8 @@
 use proptest::prelude::*;
 
 use blsm_server::protocol::{
-    decode_request, decode_response, encode_request, encode_response, FrameDecoder, Request,
-    Response, WireStats, FRAME_HEADER,
+    decode_request, decode_response, encode_request, encode_response, ErrKind, FrameDecoder,
+    Request, Response, WireScrubReport, WireStats, FRAME_HEADER,
 };
 
 fn small_bytes() -> impl Strategy<Value = Vec<u8>> {
@@ -25,6 +25,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         1 => Just(Request::Ping),
         1 => Just(Request::Stats),
         1 => Just(Request::Shutdown),
+        1 => Just(Request::Scrub),
         4 => small_bytes().prop_map(|key| Request::Get { key }),
         4 => (small_bytes(), small_bytes()).prop_map(|(key, value)| Request::Put { key, value }),
         2 => small_bytes().prop_map(|key| Request::Delete { key }),
@@ -51,8 +52,26 @@ fn response_strategy() -> impl Strategy<Value = Response> {
             .prop_map(Response::Rows),
         1 => any::<bool>().prop_map(Response::Inserted),
         1 => any::<u32>().prop_map(|backoff_ms| Response::RetryLater { backoff_ms }),
-        1 => small_bytes()
-            .prop_map(|b| Response::Err(String::from_utf8_lossy(&b).into_owned())),
+        1 => (any::<u8>(), small_bytes()).prop_map(|(k, b)| Response::Err {
+            kind: match k % 4 {
+                0 => ErrKind::Corruption,
+                1 => ErrKind::Io,
+                2 => ErrKind::Invalid,
+                _ => ErrKind::Other,
+            },
+            message: String::from_utf8_lossy(&b).into_owned(),
+        }),
+        1 => (any::<u64>(), proptest::collection::vec(small_bytes(), 0..4)).prop_map(
+            |(n, errs)| Response::ScrubReport(WireScrubReport {
+                components: n % 4,
+                pages: n,
+                entries: n.wrapping_mul(17),
+                errors: errs
+                    .into_iter()
+                    .map(|b| String::from_utf8_lossy(&b).into_owned())
+                    .collect(),
+            })
+        ),
         1 => (any::<u64>(), any::<u64>(), any::<u16>()).prop_map(|(a, b, p)| {
             Response::Stats(WireStats {
                 gets: a,
@@ -68,6 +87,11 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                 admitted: a,
                 delayed: b,
                 rejected: a & b,
+                scrubs: a >> 1,
+                scrub_errors: b >> 1,
+                wal_records_replayed: a | b,
+                wal_torn_tail_bytes: u64::from(p),
+                manifest_rolled_back: p & 1 == 1,
             })
         }),
     ]

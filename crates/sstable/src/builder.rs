@@ -176,8 +176,10 @@ impl SstableBuilder {
             return Ok(());
         }
         let Some(first_key) = self.leaf_first_key.take() else {
-            return Err(StorageError::Corruption(
-                "open leaf has entries but no first key".into(),
+            return Err(StorageError::corruption(
+                blsm_storage::ComponentId::Sstable,
+                None,
+                "open leaf has entries but no first key",
             ));
         };
         let mut page = Page::new(PageType::Data);

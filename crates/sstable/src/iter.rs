@@ -214,8 +214,10 @@ impl Iterator for MergeIter<'_> {
                         // returned Err, so next() must yield the same entry.
                         let err = match s.next() {
                             Some(Err(err)) => err,
-                            _ => StorageError::Corruption(
-                                "error entry vanished between peek and next".into(),
+                            _ => StorageError::corruption(
+                                blsm_storage::ComponentId::Sstable,
+                                None,
+                                "error entry vanished between peek and next",
                             ),
                         };
                         return Some(Err(err));

@@ -32,4 +32,4 @@ pub use blsm_memtable::merge_versions;
 pub use builder::SstableBuilder;
 pub use format::{decode_entry, encode_entry, EntryRef};
 pub use iter::{EntryStream, MergeIter, ReadMode, SstIterator};
-pub use table::{Sstable, SstableMeta};
+pub use table::{ScrubReport, Sstable, SstableMeta};

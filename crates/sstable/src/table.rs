@@ -7,8 +7,8 @@ use bytes::Bytes;
 use blsm_bloom::BloomFilter;
 use blsm_memtable::Versioned;
 use blsm_storage::codec::{self, Reader};
-use blsm_storage::page::PageType;
-use blsm_storage::{BufferPool, Region, Result, StorageError};
+use blsm_storage::page::{Page, PageType};
+use blsm_storage::{BufferPool, ComponentId, Region, Result, StorageError, PAGE_SIZE};
 
 use crate::format::{self, parse_data_page, EntryRef};
 use crate::iter::{ReadMode, SstIterator};
@@ -42,12 +42,16 @@ pub struct SstableMeta {
     pub max_key: Bytes,
 }
 
-const FOOTER_MAGIC: u32 = 0x5353_4C42; // "BLSS"
+/// Original footer format: fields only, protected solely by the page CRC.
+const FOOTER_MAGIC_V1: u32 = 0x5353_4C42; // "BLSS"
+/// Current footer format: the v1 fields followed by a crc32c over them, so
+/// the footer carries its own checksum independent of the page framing.
+const FOOTER_MAGIC: u32 = 0x3253_4C42; // "BLS2"
 
 impl SstableMeta {
-    /// Serializes the footer body.
+    /// Serializes the footer body (current format, with trailing checksum).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(96 + self.min_key.len() + self.max_key.len());
+        let mut out = Vec::with_capacity(100 + self.min_key.len() + self.max_key.len());
         codec::put_u32(&mut out, FOOTER_MAGIC);
         codec::put_u64(&mut out, self.n_data_pages);
         codec::put_u64(&mut out, self.index_start);
@@ -61,19 +65,23 @@ impl SstableMeta {
         codec::put_u64(&mut out, self.max_seqno);
         codec::put_bytes(&mut out, &self.min_key);
         codec::put_bytes(&mut out, &self.max_key);
+        let crc = codec::crc32c(&out);
+        codec::put_u32(&mut out, crc);
         out
     }
 
-    /// Deserializes a footer body.
+    /// Deserializes a footer body. Accepts both the current checksummed
+    /// format and the original v1 format (components written before the
+    /// footer carried its own CRC stay readable).
     pub fn decode(bytes: &[u8]) -> Result<SstableMeta> {
         let mut r = Reader::new(bytes);
         let magic = r.u32()?;
-        if magic != FOOTER_MAGIC {
+        if magic != FOOTER_MAGIC && magic != FOOTER_MAGIC_V1 {
             return Err(StorageError::InvalidFormat(format!(
                 "bad sstable footer magic {magic:#x}"
             )));
         }
-        Ok(SstableMeta {
+        let meta = SstableMeta {
             n_data_pages: r.u64()?,
             index_start: r.u64()?,
             n_index_pages: r.u64()?,
@@ -86,7 +94,45 @@ impl SstableMeta {
             max_seqno: r.u64()?,
             min_key: Bytes::copy_from_slice(r.bytes()?),
             max_key: Bytes::copy_from_slice(r.bytes()?),
-        })
+        };
+        if magic == FOOTER_MAGIC {
+            let body_len = r.position();
+            let stored = r.u32()?;
+            let actual = codec::crc32c(&bytes[..body_len]);
+            if stored != actual {
+                return Err(StorageError::corruption(
+                    ComponentId::Sstable,
+                    None,
+                    format!("footer checksum mismatch: stored {stored:#x}, computed {actual:#x}"),
+                ));
+            }
+        }
+        Ok(meta)
+    }
+}
+
+/// Outcome of a [`Sstable::scrub`] pass over one component.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubReport {
+    /// Pages read back from the device and checksum-verified.
+    pub pages_checked: u64,
+    /// Logical entries walked during the structural pass.
+    pub entries_checked: u64,
+    /// Description of every problem found (empty ⇒ component is clean).
+    pub errors: Vec<String>,
+}
+
+impl ScrubReport {
+    /// True when the scrub found nothing wrong.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Folds another component's report into this one.
+    pub fn merge(&mut self, other: ScrubReport) {
+        self.pages_checked += other.pages_checked;
+        self.entries_checked += other.entries_checked;
+        self.errors.extend(other.errors);
     }
 }
 
@@ -175,8 +221,13 @@ impl Sstable {
             remaining -= n;
             i += 1;
         }
-        let bloom = BloomFilter::from_bytes(&bloom_bytes)
-            .ok_or_else(|| StorageError::InvalidFormat("corrupt bloom filter image".into()))?;
+        let bloom = BloomFilter::from_bytes(&bloom_bytes).ok_or_else(|| {
+            StorageError::corruption(
+                ComponentId::Bloom,
+                Some(region.page(meta.bloom_start).offset()),
+                "bloom filter image fails to decode",
+            )
+        })?;
 
         Ok(Sstable {
             pool,
@@ -315,7 +366,11 @@ impl Sstable {
     /// invariant, or propagates device errors from the sampled leaf reads.
     pub fn verify_integrity(&self, max_leaves: usize, offset: usize) -> Result<()> {
         fn broken(what: String) -> StorageError {
-            StorageError::Corruption(format!("sstable invariant violated: {what}"))
+            StorageError::corruption(
+                ComponentId::Sstable,
+                None,
+                format!("sstable invariant violated: {what}"),
+            )
         }
         if self.meta.entry_count == 0 {
             return Ok(());
@@ -392,6 +447,62 @@ impl Sstable {
         Ok(())
     }
 
+    /// Full verification sweep: every page of the region is read *directly
+    /// from the device* (the buffer-pool cache would mask on-media
+    /// corruption) and its checksum verified, the on-device footer is
+    /// re-decoded (which re-checks the footer's own CRC) and compared to
+    /// the in-memory metadata, and a complete [`verify_integrity`] pass
+    /// walks every leaf checking ordering, fences, Bloom agreement, and
+    /// the entry count against the footer. Problems are collected into the
+    /// report rather than failing fast, so one bad page cannot hide
+    /// another.
+    ///
+    /// [`verify_integrity`]: Self::verify_integrity
+    pub fn scrub(&self) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let device = self.pool.device();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for pid in self.region.iter_pages() {
+            match device.read_at(pid.offset(), &mut buf) {
+                Ok(()) => match Page::from_bytes(&buf, pid) {
+                    Ok(_) => report.pages_checked += 1,
+                    Err(e) => report.errors.push(e.to_string()),
+                },
+                Err(e) => report.errors.push(format!("page {pid} unreadable: {e}")),
+            }
+        }
+        let footer_pid = self.region.page(self.region.pages - 1);
+        if device.read_at(footer_pid.offset(), &mut buf).is_ok() {
+            match Page::from_bytes(&buf, footer_pid).and_then(|p| SstableMeta::decode(p.payload()))
+            {
+                Ok(meta) if meta == self.meta => {}
+                Ok(_) => report
+                    .errors
+                    .push("on-device footer disagrees with in-memory metadata".into()),
+                Err(e) => report.errors.push(format!("footer undecodable: {e}")),
+            }
+        }
+        if let Err(e) = self.verify_integrity(self.index.len().max(1), 0) {
+            report.errors.push(e.to_string());
+        }
+        let mut entries = 0u64;
+        for (_, page_idx) in &self.index {
+            // Leaf reads go through the pool; physical damage was already
+            // reported by the device pass above.
+            if let Ok(es) = self.read_leaf(u64::from(*page_idx)) {
+                entries += es.len() as u64;
+            }
+        }
+        report.entries_checked = entries;
+        if entries != self.meta.entry_count && report.is_clean() {
+            report.errors.push(format!(
+                "leaves hold {entries} entries but footer records {}",
+                self.meta.entry_count
+            ));
+        }
+        report
+    }
+
     /// Drops this component's pages from the buffer pool cache (used after
     /// a merge retires the component and its region is freed).
     pub fn evict_from_pool(&self) {
@@ -447,6 +558,82 @@ mod tests {
         let enc = m.encode();
         assert_eq!(SstableMeta::decode(&enc).unwrap(), m);
         assert!(SstableMeta::decode(&enc[..10]).is_err());
+    }
+
+    #[test]
+    fn decode_accepts_v1_footer() {
+        let m = SstableMeta {
+            n_data_pages: 10,
+            index_start: 10,
+            n_index_pages: 1,
+            bloom_start: 11,
+            bloom_len: 123,
+            entry_count: 42,
+            data_bytes: 9000,
+            tombstones: 3,
+            min_seqno: 5,
+            max_seqno: 99,
+            min_key: Bytes::from_static(b"aaa"),
+            max_key: Bytes::from_static(b"zzz"),
+        };
+        // A v1 footer is the v2 encoding with the old magic and no
+        // trailing checksum.
+        let mut v1 = m.encode();
+        v1.truncate(v1.len() - 4);
+        v1[..4].copy_from_slice(&FOOTER_MAGIC_V1.to_le_bytes());
+        assert_eq!(SstableMeta::decode(&v1).unwrap(), m);
+    }
+
+    #[test]
+    fn footer_checksum_catches_field_corruption() {
+        let m = SstableMeta {
+            n_data_pages: 10,
+            index_start: 10,
+            n_index_pages: 1,
+            bloom_start: 11,
+            bloom_len: 123,
+            entry_count: 42,
+            data_bytes: 9000,
+            tombstones: 3,
+            min_seqno: 5,
+            max_seqno: 99,
+            min_key: Bytes::from_static(b"aaa"),
+            max_key: Bytes::from_static(b"zzz"),
+        };
+        let mut enc = m.encode();
+        enc[12] ^= 0x01; // flip a bit inside index_start
+        let err = SstableMeta::decode(&enc).unwrap_err();
+        assert!(err.is_corruption(), "got {err}");
+    }
+
+    #[test]
+    fn scrub_clean_table_reports_no_errors() {
+        let pool = pool();
+        let t = build(&pool, 500, 0);
+        let report = t.scrub();
+        assert!(report.is_clean(), "errors: {:?}", report.errors);
+        assert_eq!(report.pages_checked, t.region().pages);
+        assert_eq!(report.entries_checked, 500);
+    }
+
+    #[test]
+    fn scrub_detects_single_bit_flip_in_any_page() {
+        use blsm_storage::device::Device;
+        let dev = Arc::new(MemDevice::new());
+        let pool = Arc::new(BufferPool::new(dev.clone(), 2048));
+        let t = build(&pool, 500, 0);
+        // Flip one bit in every page of the region in turn; the scrub must
+        // flag each one, including index, bloom and footer pages.
+        for pid in t.region().iter_pages() {
+            let offset = pid.offset() + 1000;
+            let mut byte = [0u8; 1];
+            dev.read_at(offset, &mut byte).unwrap();
+            dev.write_at(offset, &[byte[0] ^ 0x40]).unwrap();
+            let report = t.scrub();
+            assert!(!report.is_clean(), "bit flip in {pid} went undetected");
+            dev.write_at(offset, &byte).unwrap();
+        }
+        assert!(t.scrub().is_clean());
     }
 
     #[test]

@@ -2,13 +2,88 @@
 
 use std::fmt;
 
+/// Which on-disk (or simulated-device) structure an error refers to.
+///
+/// Corruption and injected-fault errors carry one of these so callers —
+/// the read path, `scrub()`, the server's typed error responses — can
+/// tell *what* is damaged without parsing a message string. The LSM
+/// read path relabels low-level errors (a `Page` checksum failure
+/// inside an sstable block) with the component slot it was probing
+/// (`C1`, `C1Prime`, `C2`) via [`StorageError::in_component`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentId {
+    /// The raw device / simulated medium (injected faults, power cuts).
+    Device,
+    /// A page-framed block (checksum header) not yet attributed to a
+    /// higher-level structure.
+    Page,
+    /// The logical write-ahead log ring.
+    Wal,
+    /// The double-slot shadow-paged manifest.
+    Manifest,
+    /// An sstable (data/index/bloom blocks or footer) not yet
+    /// attributed to a tree slot.
+    Sstable,
+    /// A bloom filter block disagreeing with its component.
+    Bloom,
+    /// The in-memory tree / engine invariants.
+    Tree,
+    /// The `C1` component of the LSM.
+    C1,
+    /// The `C1'` snapshot being merged into `C2`.
+    C1Prime,
+    /// The `C2` component of the LSM.
+    C2,
+    /// The networked serving layer.
+    Server,
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ComponentId::Device => "device",
+            ComponentId::Page => "page",
+            ComponentId::Wal => "wal",
+            ComponentId::Manifest => "manifest",
+            ComponentId::Sstable => "sstable",
+            ComponentId::Bloom => "bloom",
+            ComponentId::Tree => "tree",
+            ComponentId::C1 => "C1",
+            ComponentId::C1Prime => "C1'",
+            ComponentId::C2 => "C2",
+            ComponentId::Server => "server",
+        };
+        f.write_str(name)
+    }
+}
+
 /// Errors surfaced by devices, the buffer pool, the WAL and the manifest.
 #[derive(Debug)]
 pub enum StorageError {
     /// An underlying I/O error from a file-backed device.
     Io(std::io::Error),
-    /// A page or log record failed its checksum.
-    Corruption(String),
+    /// A page, block or log record failed validation (checksum mismatch,
+    /// violated structural invariant). `offset` is the device byte
+    /// offset of the damaged block when known.
+    Corruption {
+        /// The structure the corruption was detected in.
+        component: ComponentId,
+        /// Device byte offset of the damaged block, when known.
+        offset: Option<u64>,
+        /// Human-readable description of what failed.
+        detail: String,
+    },
+    /// A deliberately injected fault from a test device wrapper
+    /// ([`crate::FaultyDevice`], [`crate::CrashDevice`]). Structured so
+    /// tests can assert on the operation and offset instead of parsing
+    /// message strings.
+    Fault {
+        /// The device operation that faulted (`"read"`, `"write"`,
+        /// `"torn write"`, `"sync"`, ...).
+        op: &'static str,
+        /// Device byte offset of the faulted operation (0 for `sync`).
+        offset: u64,
+    },
     /// A read or write touched space past the end of an allocation.
     OutOfBounds {
         offset: u64,
@@ -23,11 +98,71 @@ pub enum StorageError {
     PoolExhausted,
 }
 
+impl StorageError {
+    /// A [`StorageError::Corruption`] with an explicit component and
+    /// block offset.
+    pub fn corruption(
+        component: ComponentId,
+        offset: Option<u64>,
+        detail: impl Into<String>,
+    ) -> StorageError {
+        StorageError::Corruption {
+            component,
+            offset,
+            detail: detail.into(),
+        }
+    }
+
+    /// Relabels a corruption error with the component slot the caller
+    /// was probing (`C1`, `C1'`, `C2`), keeping the lower-level
+    /// component in the detail text. Non-corruption errors pass through
+    /// unchanged.
+    #[must_use]
+    pub fn in_component(self, component: ComponentId) -> StorageError {
+        match self {
+            StorageError::Corruption {
+                component: inner,
+                offset,
+                detail,
+            } => StorageError::Corruption {
+                component,
+                offset,
+                detail: if inner == component {
+                    detail
+                } else {
+                    format!("{inner}: {detail}")
+                },
+            },
+            other => other,
+        }
+    }
+
+    /// True for [`StorageError::Corruption`].
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, StorageError::Corruption { .. })
+    }
+}
+
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
-            StorageError::Corruption(msg) => write!(f, "corruption detected: {msg}"),
+            StorageError::Corruption {
+                component,
+                offset,
+                detail,
+            } => match offset {
+                Some(off) => {
+                    write!(
+                        f,
+                        "corruption detected in {component} at offset {off}: {detail}"
+                    )
+                }
+                None => write!(f, "corruption detected in {component}: {detail}"),
+            },
+            StorageError::Fault { op, offset } => {
+                write!(f, "injected fault: {op} at offset {offset}")
+            }
             StorageError::OutOfBounds {
                 offset,
                 len,
@@ -65,3 +200,53 @@ impl From<std::io::Error> for StorageError {
 
 /// Convenience alias used across the storage stack.
 pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn corruption_display_names_component_and_offset() {
+        let e = StorageError::corruption(ComponentId::Sstable, Some(4096), "crc mismatch");
+        let s = format!("{e}");
+        assert!(s.contains("corruption detected"));
+        assert!(s.contains("sstable"));
+        assert!(s.contains("4096"));
+    }
+
+    #[test]
+    fn fault_display_keeps_injected_fault_marker() {
+        let e = StorageError::Fault {
+            op: "torn write",
+            offset: 128,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("injected fault"));
+        assert!(s.contains("torn"));
+        assert!(s.contains("128"));
+    }
+
+    #[test]
+    fn in_component_relabels_and_keeps_inner_context() {
+        let e = StorageError::corruption(ComponentId::Page, Some(8192), "checksum mismatch");
+        let relabeled = e.in_component(ComponentId::C2);
+        match relabeled {
+            StorageError::Corruption {
+                component,
+                offset,
+                detail,
+            } => {
+                assert_eq!(component, ComponentId::C2);
+                assert_eq!(offset, Some(8192));
+                assert!(detail.contains("page"), "{detail}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Non-corruption errors pass through untouched.
+        assert!(matches!(
+            StorageError::PoolExhausted.in_component(ComponentId::C1),
+            StorageError::PoolExhausted
+        ));
+    }
+}

@@ -6,11 +6,48 @@
 //! motivates the double-slot manifest and CRC-framed WAL). Tests use this
 //! to prove that every error path surfaces as an `Err` rather than a
 //! panic, and that recovery tolerates a torn final write.
+//!
+//! For exhaustive crash-point enumeration (crash at *every* device
+//! operation index, persisting a seeded subset of unsynced writes) see
+//! [`crate::CrashDevice`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::device::{Device, DeviceStats, SharedDevice};
 use crate::error::{Result, StorageError};
+use crate::page::PAGE_SIZE;
+
+/// Where a torn write is cut. Real disks tear on sector/page boundaries;
+/// buggy controllers tear anywhere — both shapes are expressible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TearPoint {
+    /// Keep `num/den` of the write's bytes (`Fraction(1, 2)` is the
+    /// classic half-write).
+    Fraction(u32, u32),
+    /// Keep exactly the first `n` bytes (clamped to the write length).
+    Bytes(u64),
+    /// Keep the first `n` whole [`PAGE_SIZE`] pages, so the tear lands
+    /// on a page boundary like a real disk's atomic-sector behavior.
+    Pages(u64),
+}
+
+impl TearPoint {
+    /// How many bytes of a `len`-byte write survive the tear.
+    pub fn kept_bytes(self, len: usize) -> usize {
+        match self {
+            TearPoint::Fraction(num, den) => {
+                if den == 0 {
+                    0
+                } else {
+                    ((len as u64).saturating_mul(u64::from(num)) / u64::from(den)) as usize
+                }
+            }
+            TearPoint::Bytes(n) => (n as usize).min(len),
+            TearPoint::Pages(n) => ((n as usize).saturating_mul(PAGE_SIZE)).min(len),
+        }
+        .min(len)
+    }
+}
 
 /// What happens when the fault budget is exhausted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,8 +58,23 @@ pub enum FaultMode {
     FailReads,
     /// The triggering write is torn: only the first half of its bytes
     /// reach the medium, and all later writes are silently dropped
-    /// (simulating power loss mid-write).
+    /// (simulating power loss mid-write). Equivalent to
+    /// `TornWriteAt(TearPoint::Fraction(1, 2))`.
     TornWriteThenDead,
+    /// The triggering write is torn at the configured [`TearPoint`],
+    /// then the device is dead (all later operations fail).
+    TornWriteAt(TearPoint),
+}
+
+impl FaultMode {
+    /// The tear point, for the torn-write modes.
+    fn tear_point(self) -> Option<TearPoint> {
+        match self {
+            FaultMode::TornWriteThenDead => Some(TearPoint::Fraction(1, 2)),
+            FaultMode::TornWriteAt(t) => Some(t),
+            _ => None,
+        }
+    }
 }
 
 /// A device that starts failing after `budget` operations of the faulted
@@ -63,8 +115,8 @@ impl FaultyDevice {
         self.tripped.load(Ordering::Acquire)
     }
 
-    fn io_error(&self, what: &str) -> StorageError {
-        StorageError::Io(std::io::Error::other(format!("injected fault: {what}")))
+    fn fault(&self, op: &'static str, offset: u64) -> StorageError {
+        StorageError::Fault { op, offset }
     }
 
     /// Consumes one unit of budget; returns true when the fault fires.
@@ -87,7 +139,7 @@ impl FaultyDevice {
 impl Device for FaultyDevice {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
         if self.mode == FaultMode::FailReads && self.spend() {
-            return Err(self.io_error("read"));
+            return Err(self.fault("read", offset));
         }
         self.inner.read_at(offset, buf)
     }
@@ -96,23 +148,26 @@ impl Device for FaultyDevice {
         match self.mode {
             FaultMode::FailWrites => {
                 if self.spend() {
-                    return Err(self.io_error("write"));
+                    return Err(self.fault("write", offset));
                 }
                 self.inner.write_at(offset, buf)
             }
-            FaultMode::TornWriteThenDead => {
+            FaultMode::TornWriteThenDead | FaultMode::TornWriteAt(_) => {
                 if self.tripped() {
                     // Dead device: writes vanish but the caller is not told
                     // (power already failed; nobody is listening anyway).
-                    return Err(self.io_error("write after power loss"));
+                    return Err(self.fault("write after power loss", offset));
                 }
                 if self.spend() {
-                    // Tear this write: half the bytes land.
-                    let half = buf.len() / 2;
-                    if half > 0 {
-                        self.inner.write_at(offset, &buf[..half])?;
+                    // Tear this write at the configured point.
+                    let kept = self
+                        .mode
+                        .tear_point()
+                        .map_or(0, |t| t.kept_bytes(buf.len()));
+                    if kept > 0 {
+                        self.inner.write_at(offset, &buf[..kept])?;
                     }
-                    return Err(self.io_error("torn write"));
+                    return Err(self.fault("torn write", offset));
                 }
                 self.inner.write_at(offset, buf)
             }
@@ -122,7 +177,7 @@ impl Device for FaultyDevice {
 
     fn sync(&self) -> Result<()> {
         if self.tripped() && self.mode != FaultMode::FailReads {
-            return Err(self.io_error("sync"));
+            return Err(self.fault("sync", 0));
         }
         self.inner.sync()
     }
@@ -173,6 +228,13 @@ mod tests {
         dev.write_at(0, &[0xAA; 16]).unwrap();
         let err = dev.write_at(16, &[0xBB; 16]).unwrap_err();
         assert!(format!("{err}").contains("torn"));
+        assert!(matches!(
+            err,
+            StorageError::Fault {
+                op: "torn write",
+                offset: 16
+            }
+        ));
         // First half of the torn write landed; second half did not.
         assert_eq!(inner.len(), 24);
         let mut buf = [0u8; 8];
@@ -181,5 +243,53 @@ mod tests {
         // The device is dead afterwards.
         assert!(dev.write_at(32, &[1u8; 4]).is_err());
         assert!(dev.sync().is_err());
+    }
+
+    #[test]
+    fn tear_point_fraction_and_bytes() {
+        assert_eq!(TearPoint::Fraction(1, 2).kept_bytes(16), 8);
+        assert_eq!(TearPoint::Fraction(3, 4).kept_bytes(16), 12);
+        assert_eq!(TearPoint::Fraction(0, 1).kept_bytes(16), 0);
+        assert_eq!(TearPoint::Fraction(1, 0).kept_bytes(16), 0);
+        assert_eq!(TearPoint::Fraction(5, 4).kept_bytes(16), 16); // clamped
+        assert_eq!(TearPoint::Bytes(3).kept_bytes(16), 3);
+        assert_eq!(TearPoint::Bytes(99).kept_bytes(16), 16);
+    }
+
+    #[test]
+    fn tear_point_pages_lands_on_page_boundary() {
+        let len = 3 * PAGE_SIZE + 100;
+        assert_eq!(TearPoint::Pages(1).kept_bytes(len), PAGE_SIZE);
+        assert_eq!(TearPoint::Pages(2).kept_bytes(len), 2 * PAGE_SIZE);
+        assert_eq!(TearPoint::Pages(10).kept_bytes(len), len);
+        assert_eq!(TearPoint::Pages(0).kept_bytes(len), 0);
+    }
+
+    #[test]
+    fn torn_write_at_byte_offset() {
+        let inner = Arc::new(MemDevice::new());
+        let dev = FaultyDevice::new(
+            inner.clone(),
+            FaultMode::TornWriteAt(TearPoint::Bytes(5)),
+            0,
+        );
+        let err = dev.write_at(0, &[0xCC; 16]).unwrap_err();
+        assert!(format!("{err}").contains("torn"));
+        assert_eq!(inner.len(), 5);
+    }
+
+    #[test]
+    fn torn_write_at_page_boundary() {
+        let inner = Arc::new(MemDevice::new());
+        let dev = FaultyDevice::new(
+            inner.clone(),
+            FaultMode::TornWriteAt(TearPoint::Pages(1)),
+            0,
+        );
+        let buf = vec![0xDD; 2 * PAGE_SIZE];
+        let err = dev.write_at(0, &buf).unwrap_err();
+        assert!(format!("{err}").contains("torn"));
+        // Exactly one whole page landed.
+        assert_eq!(inner.len(), PAGE_SIZE as u64);
     }
 }

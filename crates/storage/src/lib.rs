@@ -17,6 +17,9 @@
 //!   of the device, eliminating filesystem fragmentation (§4.4.2).
 //! * [`wal`] — the *logical* write-ahead log that gives individual writes
 //!   durability, including the degraded-durability mode of §4.4.2.
+//! * [`fault`] / [`crash`] — fault-injecting device wrappers: budgeted
+//!   I/O failures and torn writes, and whole-workload crash-point
+//!   enumeration with seeded subset persistence of unsynced writes.
 //! * [`manifest`] — an atomically-swapped metadata root. Stasis used a
 //!   physical WAL to keep a physically-consistent tree available at crash;
 //!   because our tree components are append-only, a shadow-paging manifest
@@ -25,6 +28,7 @@
 
 pub mod buffer;
 pub mod codec;
+pub mod crash;
 pub mod device;
 pub mod error;
 pub mod fault;
@@ -34,9 +38,10 @@ pub mod region;
 pub mod wal;
 
 pub use buffer::{BufferPool, PoolStats};
+pub use crash::{CrashDevice, CrashPlan};
 pub use device::{DeviceStats, DiskModel, FileDevice, MemDevice, SharedDevice, SimDevice};
-pub use error::{Result, StorageError};
-pub use fault::{FaultMode, FaultyDevice};
+pub use error::{ComponentId, Result, StorageError};
+pub use fault::{FaultMode, FaultyDevice, TearPoint};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use region::{Region, RegionAllocator};
-pub use wal::{Lsn, Wal, WalRecord};
+pub use wal::{Lsn, Wal, WalRecord, WalReplayReport, WalTailState};

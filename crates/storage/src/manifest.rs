@@ -25,11 +25,33 @@ pub const DEFAULT_SLOT_PAGES: u64 = 64;
 
 const SLOT_HEADER: usize = 4 + 8 + 4;
 
+/// What [`ManifestStore::load`] found in the two slots, for recovery
+/// reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManifestLoadReport {
+    /// Epoch of the slot recovery chose, if any.
+    pub chosen_epoch: Option<u64>,
+    /// True when a slot held bytes that failed validation while another
+    /// valid slot existed — i.e. a newer save attempt was torn by a
+    /// crash and recovery rolled back to the surviving epoch.
+    pub rolled_back: bool,
+}
+
+/// One slot's condition as seen by [`ManifestStore::load`].
+enum SlotState {
+    Valid(u64, Vec<u8>),
+    /// Bytes present but checksum/length validation failed.
+    Damaged,
+    /// Never written (absent or all zeros).
+    Empty,
+}
+
 /// Double-slot manifest store at the front of a device.
 pub struct ManifestStore {
     device: SharedDevice,
     slot_pages: u64,
     epoch: u64,
+    load_report: ManifestLoadReport,
 }
 
 impl std::fmt::Debug for ManifestStore {
@@ -50,7 +72,14 @@ impl ManifestStore {
             device,
             slot_pages,
             epoch: 0,
+            load_report: ManifestLoadReport::default(),
         }
+    }
+
+    /// What the most recent [`load`](Self::load) found (fresh default
+    /// before any load).
+    pub fn load_report(&self) -> ManifestLoadReport {
+        self.load_report
     }
 
     /// Opens the store and recovers the newest valid manifest, if any.
@@ -87,9 +116,17 @@ impl ManifestStore {
         self.epoch
     }
 
-    /// Persists `payload` with the next epoch, alternating slots, and
-    /// syncs the device so the new root is stable before the caller frees
-    /// any superseded regions.
+    /// Persists `payload` with the next epoch, alternating slots, with a
+    /// write barrier on each side: the device is synced *before* the
+    /// slot is written (so every page the new root references — sstable
+    /// blocks written by merge builders — is durable before the root
+    /// that points at them can become durable) and again *after* (so
+    /// the caller may free superseded regions).
+    ///
+    /// Without the leading sync, a power cut could persist the slot
+    /// write while dropping earlier unsynced component pages, leaving a
+    /// durable root that references garbage — exactly the reordering
+    /// the crash-point harness enumerates.
     ///
     /// # Errors
     ///
@@ -114,6 +151,7 @@ impl ManifestStore {
         slot.extend_from_slice(&crc.to_le_bytes());
         slot.extend_from_slice(&body);
         let slot_idx = epoch % 2;
+        self.device.sync()?;
         self.device.write_at(slot_idx * self.slot_bytes(), &slot)?;
         self.device.sync()?;
         self.epoch = epoch;
@@ -128,36 +166,56 @@ impl ManifestStore {
     /// validation are skipped, not reported as errors.
     pub fn load(&mut self) -> Result<Option<Vec<u8>>> {
         let mut best: Option<(u64, Vec<u8>)> = None;
+        let mut damaged = false;
         for slot_idx in 0..2u64 {
-            if let Some((epoch, payload)) = self.read_slot(slot_idx)? {
-                if best.as_ref().is_none_or(|(e, _)| epoch > *e) {
-                    best = Some((epoch, payload));
+            match self.read_slot(slot_idx)? {
+                SlotState::Valid(epoch, payload) => {
+                    if best.as_ref().is_none_or(|(e, _)| epoch > *e) {
+                        best = Some((epoch, payload));
+                    }
                 }
+                SlotState::Damaged => damaged = true,
+                SlotState::Empty => {}
             }
         }
         match best {
             Some((epoch, payload)) => {
                 self.epoch = epoch;
+                self.load_report = ManifestLoadReport {
+                    chosen_epoch: Some(epoch),
+                    rolled_back: damaged,
+                };
                 Ok(Some(payload))
             }
-            None => Ok(None),
+            None => {
+                self.load_report = ManifestLoadReport {
+                    chosen_epoch: None,
+                    // Damaged bytes with nothing to fall back to still
+                    // mean a save attempt was lost.
+                    rolled_back: damaged,
+                };
+                Ok(None)
+            }
         }
     }
 
-    fn read_slot(&self, slot_idx: u64) -> Result<Option<(u64, Vec<u8>)>> {
+    fn read_slot(&self, slot_idx: u64) -> Result<SlotState> {
         let off = slot_idx * self.slot_bytes();
         if self.device.len() < off + SLOT_HEADER as u64 {
-            return Ok(None);
+            return Ok(SlotState::Empty);
         }
         let mut header = [0u8; SLOT_HEADER];
         if self.device.read_at(off, &mut header).is_err() {
-            return Ok(None);
+            return Ok(SlotState::Damaged);
+        }
+        if header.iter().all(|&b| b == 0) {
+            return Ok(SlotState::Empty);
         }
         let stored_crc = crate::codec::le_u32(&header[..4]);
         let epoch = crate::codec::le_u64(&header[4..12]);
         let len = crate::codec::le_u32(&header[12..16]) as usize;
         if len > self.max_payload() {
-            return Ok(None);
+            return Ok(SlotState::Damaged);
         }
         let mut payload = vec![0u8; len];
         if len > 0
@@ -166,15 +224,15 @@ impl ManifestStore {
                 .read_at(off + SLOT_HEADER as u64, &mut payload)
                 .is_err()
         {
-            return Ok(None);
+            return Ok(SlotState::Damaged);
         }
         let mut body = Vec::with_capacity(12 + len);
         body.extend_from_slice(&header[4..]);
         body.extend_from_slice(&payload);
         if crate::codec::crc32c(&body) != stored_crc {
-            return Ok(None);
+            return Ok(SlotState::Damaged);
         }
-        Ok(Some((epoch, payload)))
+        Ok(SlotState::Valid(epoch, payload))
     }
 }
 
@@ -243,6 +301,48 @@ mod tests {
         assert_eq!(payload.unwrap(), b"old"); // recovered epoch 1
         s2.save(b"newer").unwrap(); // epoch 2 -> slot 0 (the torn one)
         assert_eq!(s2.load().unwrap().unwrap(), b"newer");
+    }
+
+    #[test]
+    fn load_report_flags_torn_slot_rollback() {
+        let dev: SharedDevice = Arc::new(MemDevice::new());
+        let mut s = ManifestStore::new(dev.clone(), 2);
+        assert!(s.load().unwrap().is_none());
+        assert_eq!(s.load_report(), ManifestLoadReport::default());
+        s.save(b"old").unwrap();
+        s.save(b"new").unwrap();
+        let mut clean = ManifestStore::new(dev.clone(), 2);
+        assert!(clean.load().unwrap().is_some());
+        assert_eq!(
+            clean.load_report(),
+            ManifestLoadReport {
+                chosen_epoch: Some(2),
+                rolled_back: false
+            }
+        );
+        // Tear the newest slot: recovery rolls back and says so.
+        dev.write_at(4, &[0xff; 8]).unwrap();
+        let mut torn = ManifestStore::new(dev, 2);
+        assert_eq!(torn.load().unwrap().unwrap(), b"old");
+        assert_eq!(
+            torn.load_report(),
+            ManifestLoadReport {
+                chosen_epoch: Some(1),
+                rolled_back: true
+            }
+        );
+    }
+
+    #[test]
+    fn save_syncs_before_writing_the_slot() {
+        // The leading sync is the ordering barrier that makes component
+        // pages durable before the root that references them. Count
+        // syncs around a save to pin the two-sync protocol.
+        let dev: SharedDevice = Arc::new(MemDevice::new());
+        let mut s = ManifestStore::new(dev.clone(), 2);
+        let before = dev.stats().syncs;
+        s.save(b"payload").unwrap();
+        assert_eq!(dev.stats().syncs, before + 2);
     }
 
     #[test]

@@ -159,9 +159,11 @@ impl Page {
         let stored = crate::codec::le_u32(&bytes[..4]);
         let actual = crc32c(&bytes[4..]);
         if stored != actual {
-            return Err(StorageError::Corruption(format!(
-                "page {pid} checksum mismatch: stored {stored:#x}, computed {actual:#x}"
-            )));
+            return Err(StorageError::corruption(
+                crate::error::ComponentId::Page,
+                Some(pid.offset()),
+                format!("page {pid} checksum mismatch: stored {stored:#x}, computed {actual:#x}"),
+            ));
         }
         let mut buf = Box::new([0u8; PAGE_SIZE]);
         buf.copy_from_slice(bytes);
@@ -195,7 +197,10 @@ mod tests {
         bytes[100] ^= 0xff;
         assert!(matches!(
             Page::from_bytes(&bytes, PageId(7)),
-            Err(StorageError::Corruption(_))
+            Err(StorageError::Corruption {
+                offset: Some(offset),
+                ..
+            }) if offset == PageId(7).offset()
         ));
     }
 

@@ -201,9 +201,50 @@ impl Wal {
     }
 }
 
-/// Reads one frame at `lsn` from the ring; `None` when the frame is invalid
-/// (end of log).
-fn read_frame(device: &SharedDevice, capacity: u64, lsn: Lsn) -> Option<WalRecord> {
+/// What replay found at the position where it stopped. Used to distinguish
+/// a log that ended cleanly from one whose tail was cut by a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalTailState {
+    /// The frame header was all zeroes or unreadable: the log simply ends.
+    #[default]
+    CleanEnd,
+    /// An intact frame from a previous lap of the ring starts here — the
+    /// normal stopping condition for a wrapped log; nothing was lost.
+    StaleLap,
+    /// A frame whose header claims this LSN but whose checksum fails: a
+    /// write to the current lap was torn by a crash.
+    TornFrame,
+    /// Nonzero bytes that are not a recognizable frame on the first lap of
+    /// the ring: an interrupted write left partial header bytes behind.
+    Garbage,
+}
+
+/// Result of [`replay_report`]: the recovered records plus diagnostics
+/// about how the log ended.
+#[derive(Debug, Clone, Default)]
+pub struct WalReplayReport {
+    /// Every intact record from `head` to the first invalid frame.
+    pub records: Vec<WalRecord>,
+    /// LSN at which replay stopped; new appends resume here.
+    pub tail: Lsn,
+    /// What was found at the stop position.
+    pub tail_state: WalTailState,
+    /// Estimated bytes of a partially-written frame discarded at the tail
+    /// (zero unless `tail_state` is `TornFrame` or `Garbage`).
+    pub torn_tail_bytes: u64,
+}
+
+enum FrameOutcome {
+    Record(WalRecord),
+    End {
+        state: WalTailState,
+        torn_bytes: u64,
+    },
+}
+
+/// Reads one frame at `lsn` from the ring, classifying the end of the log
+/// when the frame is invalid.
+fn read_frame(device: &SharedDevice, capacity: u64, lsn: Lsn) -> FrameOutcome {
     let read_ring = |lsn: Lsn, buf: &mut [u8]| -> Result<()> {
         let mut off = lsn % capacity;
         let mut pos = 0usize;
@@ -216,49 +257,80 @@ fn read_frame(device: &SharedDevice, capacity: u64, lsn: Lsn) -> Option<WalRecor
         }
         Ok(())
     };
+    let end = |state: WalTailState, torn_bytes: u64| FrameOutcome::End { state, torn_bytes };
 
     let mut header = [0u8; FRAME_HEADER_LEN];
-    read_frame_header(&read_ring, lsn, &mut header).ok()?;
+    if read_ring(lsn, &mut header).is_err() || header.iter().all(|&b| b == 0) {
+        return end(WalTailState::CleanEnd, 0);
+    }
     let stored_crc = crate::codec::le_u32(&header[..4]);
     let len = crate::codec::le_u32(&header[4..8]) as usize;
     let frame_lsn = crate::codec::le_u64(&header[8..16]);
-    if frame_lsn != lsn || len as u64 > capacity {
-        return None;
+    let dirty_header_bytes = header.iter().filter(|&&b| b != 0).count() as u64;
+    if frame_lsn != lsn {
+        if lsn >= capacity {
+            // The ring has wrapped, so leftover bytes from a previous lap
+            // are expected here; the LSN-in-frame check rejects them.
+            return end(WalTailState::StaleLap, 0);
+        }
+        // First lap: nothing was ever written here before, so nonzero
+        // bytes that do not form a frame for this LSN are debris of a
+        // torn write.
+        return end(WalTailState::Garbage, dirty_header_bytes);
+    }
+    if len as u64 > capacity {
+        // The header names this LSN but its length field is insane: the
+        // frame was cut mid-header.
+        return end(WalTailState::TornFrame, u64::from(FRAME_HEADER_LEN as u32));
     }
     let mut payload = vec![0u8; len];
-    read_ring(lsn + FRAME_HEADER_LEN as u64, &mut payload).ok()?;
+    if read_ring(lsn + FRAME_HEADER_LEN as u64, &mut payload).is_err() {
+        // Header claims a payload the device does not hold.
+        return end(WalTailState::TornFrame, (FRAME_HEADER_LEN + len) as u64);
+    }
     // CRC covers len | lsn | payload.
     let mut body = Vec::with_capacity(12 + len);
     body.extend_from_slice(&header[4..]);
     body.extend_from_slice(&payload);
-    if crc32c(&body) != stored_crc {
-        return None;
+    if crc32c(&body) == stored_crc {
+        return FrameOutcome::Record(WalRecord { lsn, payload });
     }
-    Some(WalRecord { lsn, payload })
+    end(WalTailState::TornFrame, (FRAME_HEADER_LEN + len) as u64)
 }
 
-fn read_frame_header(
-    read_ring: &impl Fn(Lsn, &mut [u8]) -> Result<()>,
-    lsn: Lsn,
-    header: &mut [u8; FRAME_HEADER_LEN],
-) -> Result<()> {
-    read_ring(lsn, header)
+/// Replays the log from `head`, returning all valid records, the recovered
+/// tail LSN, and diagnostics about how the log ended. Replay stops at the
+/// first invalid frame, which is where the crash cut the log (§4.4.2:
+/// "replaying the log at startup").
+pub fn replay_report(device: &SharedDevice, capacity: u64, head: Lsn) -> WalReplayReport {
+    let mut report = WalReplayReport {
+        tail: head,
+        ..WalReplayReport::default()
+    };
+    if device.is_empty() {
+        return report;
+    }
+    loop {
+        match read_frame(device, capacity, report.tail) {
+            FrameOutcome::Record(rec) => {
+                report.tail += FRAME_HEADER_LEN as u64 + rec.payload.len() as u64;
+                report.records.push(rec);
+            }
+            FrameOutcome::End { state, torn_bytes } => {
+                report.tail_state = state;
+                report.torn_tail_bytes = torn_bytes;
+                return report;
+            }
+        }
+    }
 }
 
 /// Replays the log from `head`, returning all valid records and the
-/// recovered tail LSN. Replay stops at the first invalid frame, which is
-/// where the crash cut the log (§4.4.2: "replaying the log at startup").
+/// recovered tail LSN. Convenience wrapper over [`replay_report`] for
+/// callers that do not need tail diagnostics.
 pub fn replay(device: &SharedDevice, capacity: u64, head: Lsn) -> (Vec<WalRecord>, Lsn) {
-    let mut records = Vec::new();
-    let mut lsn = head;
-    if device.is_empty() {
-        return (records, lsn);
-    }
-    while let Some(rec) = read_frame(device, capacity, lsn) {
-        lsn += FRAME_HEADER_LEN as u64 + rec.payload.len() as u64;
-        records.push(rec);
-    }
-    (records, lsn)
+    let report = replay_report(device, capacity, head);
+    (report.records, report.tail)
 }
 
 #[cfg(test)]
@@ -385,6 +457,74 @@ mod tests {
         let (records, tail) = replay(&dev, 4096, 0);
         assert!(records.is_empty());
         assert_eq!(tail, 0);
+    }
+
+    #[test]
+    fn report_flags_torn_tail() {
+        let (dev, mut wal) = mem_wal(4096);
+        wal.append(b"one").unwrap();
+        let l1 = wal.append(b"two").unwrap();
+        wal.append(b"three").unwrap();
+        wal.flush().unwrap();
+        // Corrupt the middle frame's payload: its header still names l1,
+        // so the damage reads as a torn write of that frame.
+        let off = (l1 + FRAME_HEADER_LEN as u64) % 4096;
+        dev.write_at(off, b"XXX").unwrap();
+        let report = replay_report(&dev, 4096, 0);
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.tail, l1);
+        assert_eq!(report.tail_state, WalTailState::TornFrame);
+        assert_eq!(report.torn_tail_bytes, FRAME_HEADER_LEN as u64 + 3);
+    }
+
+    #[test]
+    fn report_clean_end_after_flush() {
+        let (dev, mut wal) = mem_wal(4096);
+        wal.append(b"alpha").unwrap();
+        wal.flush().unwrap();
+        let report = replay_report(&dev, 4096, 0);
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.tail_state, WalTailState::CleanEnd);
+        assert_eq!(report.torn_tail_bytes, 0);
+    }
+
+    #[test]
+    fn report_garbage_on_first_lap() {
+        let (dev, mut wal) = mem_wal(4096);
+        wal.append(b"good").unwrap();
+        wal.flush().unwrap();
+        let tail = wal.tail_lsn();
+        // A torn append left partial header bytes (no valid frame) behind.
+        dev.write_at(tail % 4096, &[0xAB; 6]).unwrap();
+        let report = replay_report(&dev, 4096, 0);
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.tail, tail);
+        assert_eq!(report.tail_state, WalTailState::Garbage);
+        assert_eq!(report.torn_tail_bytes, 6);
+    }
+
+    #[test]
+    fn report_stale_lap_is_not_torn() {
+        // Reuse the wrapping workload: once the ring has lapped, the bytes
+        // past the tail are stale frames, not corruption.
+        let capacity = 256u64;
+        let (dev, mut wal) = mem_wal(capacity);
+        let mut boundaries = std::collections::VecDeque::new();
+        for i in 0..50u32 {
+            let payload = format!("record-{i:04}");
+            let lsn = wal.append(payload.as_bytes()).unwrap();
+            wal.flush().unwrap();
+            boundaries.push_back(lsn);
+            while boundaries.len() > 2 {
+                boundaries.pop_front();
+            }
+            wal.truncate(*boundaries.front().unwrap());
+        }
+        assert!(wal.tail_lsn() > capacity, "must have wrapped");
+        let report = replay_report(&dev, capacity, wal.head_lsn());
+        assert_eq!(report.tail, wal.tail_lsn());
+        assert_eq!(report.tail_state, WalTailState::StaleLap);
+        assert_eq!(report.torn_tail_bytes, 0);
     }
 
     #[test]

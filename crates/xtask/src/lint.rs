@@ -1,6 +1,6 @@
 //! Repo-specific lint rules (`cargo xtask lint`).
 //!
-//! Five rules the paper's correctness argument needs but clippy cannot
+//! Six rules the paper's correctness argument needs but clippy cannot
 //! express (§4.4.1 warns that merge threads acting on stale or weakly
 //! ordered shared state are the classic source of LSM race bugs):
 //!
@@ -15,6 +15,12 @@
 //! - **`storage-errors-doc`** — every `pub fn` in `blsm-storage` that
 //!   returns `Result` documents its failure modes in a `# Errors` doc
 //!   section (the storage layer is the root of the whole error story).
+//! - **`stringly-corruption`** — library code must not smuggle a
+//!   corruption report through `StorageError::InvalidFormat` (a line
+//!   mentioning `InvalidFormat` plus corrupt/checksum/crc/torn is the
+//!   tell). Detected damage goes through `StorageError::corruption(..)`
+//!   so readers, the scrubber and the server can route on the typed
+//!   `Corruption` variant instead of grepping messages.
 //! - **`guard-across-merge`** — in `crates/core`, a `let`-bound
 //!   `parking_lot` lock guard (`.lock()` / `.read()` / `.write()`) must
 //!   not be live across a call into a merge-quantum function
@@ -315,6 +321,31 @@ fn lint_file(rel: &str, source: &str) -> Vec<Finding> {
                     line: lineno,
                     function,
                     message: "pub fn returning Result lacks a `# Errors` doc section".to_string(),
+                });
+            }
+        }
+
+        // Rule: stringly-corruption (library code in any crate). The
+        // variant name must appear in *code* (`line` has strings and
+        // comments stripped); the telltale word usually sits in the
+        // message string, so that check reads the raw line.
+        let in_lib = rel.starts_with("crates/") && rel.contains("/src/");
+        if in_lib && !in_test_context && line.contains("InvalidFormat") {
+            let lower = raw_line.to_lowercase();
+            let told = ["corrupt", "checksum", "crc", "torn"]
+                .iter()
+                .find(|w| lower.contains(*w));
+            if let Some(word) = told {
+                findings.push(Finding {
+                    rule: "stringly-corruption",
+                    file: rel.to_string(),
+                    line: lineno,
+                    function: current_fn(&fn_stack),
+                    message: format!(
+                        "stringly corruption report (InvalidFormat + `{word}`); use \
+                         StorageError::corruption(component, offset, detail) so callers \
+                         can route on the typed variant"
+                    ),
                 });
             }
         }
@@ -768,6 +799,36 @@ mod tests {
         let src =
             "fn f() {\n    loop {\n        if *p { break; }\n        cv.wait(&mut p);\n    }\n}\n";
         let f = lint_file("crates/core/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn stringly_corruption_flagged_in_lib_code() {
+        let src = "fn f() -> Result<()> {\n    Err(StorageError::InvalidFormat(\"corrupt bloom image\".into()))\n}\n";
+        let f = lint_file("crates/sstable/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "stringly-corruption");
+        assert_eq!(f[0].function, "f");
+    }
+
+    #[test]
+    fn stringly_corruption_typed_variant_ok() {
+        let src = "fn f() -> Result<()> {\n    Err(StorageError::corruption(ComponentId::Bloom, None, \"checksum mismatch\"))\n}\n";
+        let f = lint_file("crates/sstable/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn stringly_corruption_invalid_format_without_telltale_ok() {
+        let src = "fn f() -> Result<()> {\n    Err(StorageError::InvalidFormat(\"bad opcode\".into()))\n}\n";
+        let f = lint_file("crates/server/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn stringly_corruption_ignored_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() {\n        let _ = StorageError::InvalidFormat(\"crc\".into());\n    }\n}\n";
+        let f = lint_file("crates/storage/src/x.rs", src);
         assert!(f.is_empty(), "{f:?}");
     }
 

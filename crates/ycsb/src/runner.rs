@@ -52,6 +52,19 @@ pub trait KvEngine {
     fn flush_cache(&mut self) -> Result<()> {
         Ok(())
     }
+    /// Verifies on-disk integrity (checksums, ordering, Bloom agreement)
+    /// and returns every problem found. Engines without durable
+    /// components have nothing to check. A benchmark driver should gate
+    /// on this before a measured phase: numbers from a damaged store
+    /// measure garbage.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on transport errors reaching the store; detected
+    /// damage is data, not an error.
+    fn scrub(&mut self) -> Result<Vec<String>> {
+        Ok(Vec::new())
+    }
 }
 
 /// Operation types the mix can draw.

@@ -1,0 +1,270 @@
+//! Crash-point enumeration: simulated power cuts at *every* device
+//! operation index of a scripted workload (ALICE/CrashMonkey style).
+//!
+//! The WAL and data devices are wrapped in [`CrashDevice`]s sharing one
+//! [`CrashPlan`] — one global power rail. A first counting pass
+//! (`crash_at = u64::MAX`) measures how many mutating device operations
+//! the workload issues; the harness then reruns the workload once per
+//! crash point, cutting the power at that operation index. The cut
+//! persists a seeded subset of the unsynced writes (whole, torn, or
+//! dropped, then reordered), exactly the freedom a real disk has between
+//! sync barriers.
+//!
+//! After each cut the durability oracle checks, on the survivors:
+//!
+//! * the tree reopens cleanly — recovery must cope with whatever the
+//!   crash left behind, at any point in a merge/checkpoint/manifest save;
+//! * every *acknowledged* synced write reads back its last value
+//!   (`Durability::Sync` acks only after the WAL sync barrier);
+//! * no phantoms: every surviving key/value pair was actually written at
+//!   some point (a torn write must never fabricate data);
+//! * `scrub()` is clean — components referenced by the surviving
+//!   manifest were synced before the manifest pointed at them, so a
+//!   crash can never leave checksum-invalid pages *inside* the tree;
+//! * under `--features strict-invariants`, the full §8 invariant sweep.
+//!
+//! The default test sweeps a bounded, evenly-spread subset of crash
+//! points (override the stride with `CRASH_POINTS_STRIDE=1` for all of
+//! them); the `#[ignore]`d exhaustive variant is for nightly CI.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    missing_debug_implementations
+)]
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use blsm_repro::blsm::{AppendOperator, BLsmConfig, BLsmTree, Durability};
+use blsm_repro::blsm_storage::{CrashDevice, CrashPlan, MemDevice, SharedDevice};
+
+const SEED: u64 = 0xB15D_C4A5_11FE_ED05;
+
+fn config() -> BLsmConfig {
+    BLsmConfig {
+        // Smallest legal C0 so the scripted workload spills through
+        // merges, manifest saves and a WAL checkpoint — the crash must
+        // be able to land inside every one of those.
+        mem_budget: 64 << 10,
+        wal_capacity: 1 << 20,
+        durability: Durability::Sync,
+        ..Default::default()
+    }
+}
+
+fn open(data: &SharedDevice, wal: &SharedDevice) -> blsm_repro::blsm_storage::Result<BLsmTree> {
+    BLsmTree::open(
+        data.clone(),
+        wal.clone(),
+        512,
+        config(),
+        Arc::new(AppendOperator),
+    )
+}
+
+fn key(i: u64) -> Bytes {
+    // Multiplicative permutation: spread inserts across the keyspace so
+    // merges shuffle real interleavings, not an append-only pattern.
+    Bytes::from(format!("user{:06}", (i * 257) % 1_000))
+}
+
+/// What the workload managed to get acknowledged before the power died.
+#[derive(Default)]
+struct Oracle {
+    /// Last acknowledged state per key (`None` = tombstone). Every entry
+    /// here was synced — losing one is a durability bug.
+    guaranteed: BTreeMap<Bytes, Option<Bytes>>,
+    /// The write the power cut interrupted, if it was a user write: it
+    /// may legally surface or not.
+    inflight: Option<(Bytes, Option<Bytes>)>,
+    /// Every value ever handed to `put` per key — the no-phantom set.
+    history: BTreeSet<(Bytes, Bytes)>,
+    /// True when the script ran to completion (counting pass).
+    completed: bool,
+}
+
+/// Runs the scripted workload until it completes or the power dies.
+/// The script mixes puts, deletes, overwrites and an explicit
+/// checkpoint, so crash points land in WAL appends/syncs, C0→C1 and
+/// C1→C2 merge writes, manifest saves and WAL truncation.
+fn run_workload(data: &SharedDevice, wal: &SharedDevice) -> Oracle {
+    let mut oracle = Oracle::default();
+    let Ok(mut tree) = open(data, wal) else {
+        // Power died during open's own writes (e.g. manifest format):
+        // nothing was acknowledged, nothing to check.
+        return oracle;
+    };
+    for i in 0..360u64 {
+        let k = key(i);
+        if i % 9 == 3 && oracle.guaranteed.contains_key(&key(i - 3)) {
+            let victim = key(i - 3);
+            match tree.delete(victim.clone()) {
+                Ok(()) => {
+                    oracle.guaranteed.insert(victim, None);
+                }
+                Err(_) => {
+                    oracle.inflight = Some((victim, None));
+                    return oracle;
+                }
+            }
+            continue;
+        }
+        let v = Bytes::from(format!(
+            "value-{i:04}-{}",
+            "x".repeat(180 + (i % 60) as usize)
+        ));
+        oracle.history.insert((k.clone(), v.clone()));
+        match tree.put(k.clone(), v.clone()) {
+            Ok(()) => {
+                oracle.guaranteed.insert(k, Some(v));
+            }
+            Err(_) => {
+                oracle.inflight = Some((k, Some(v)));
+                return oracle;
+            }
+        }
+        if i == 130 && tree.checkpoint().is_err() {
+            return oracle;
+        }
+    }
+    if tree.checkpoint().is_err() {
+        return oracle;
+    }
+    oracle.completed = true;
+    oracle
+}
+
+/// Reopens from the durable (post-crash) devices and checks the oracle.
+fn check_survivors(data: &SharedDevice, wal: &SharedDevice, oracle: &Oracle, point: u64) {
+    #[cfg_attr(not(feature = "strict-invariants"), allow(unused_mut))]
+    let mut tree = match open(data, wal) {
+        Ok(t) => t,
+        Err(e) => panic!("crash point {point}: reopen failed: {e}"),
+    };
+
+    // Acknowledged writes read back their last value. The interrupted
+    // write may override its own key — it was mid-flight, both outcomes
+    // are legal.
+    let inflight = oracle.inflight.as_ref();
+    for (k, expected) in &oracle.guaranteed {
+        let got = tree
+            .get(k)
+            .unwrap_or_else(|e| panic!("crash point {point}: get {k:?}: {e}"));
+        let inflight_ok =
+            matches!(inflight, Some((ik, iv)) if ik == k && got.as_deref() == iv.as_deref());
+        let expected_ok = got.as_deref() == expected.as_deref();
+        assert!(
+            expected_ok || inflight_ok,
+            "crash point {point}: key {k:?}: acknowledged {expected:?}, read back {got:?}"
+        );
+    }
+
+    // No phantoms: everything the survivors serve was actually written.
+    let rows = tree
+        .scan(b"", 10_000)
+        .unwrap_or_else(|e| panic!("crash point {point}: scan: {e}"));
+    for row in rows {
+        let pair = (row.key.clone(), Bytes::from(row.value.to_vec()));
+        assert!(
+            oracle.history.contains(&pair),
+            "crash point {point}: phantom row {:?} => {:?}",
+            row.key,
+            row.value
+        );
+    }
+
+    // Whatever the crash tore, it must not be *inside* the tree: every
+    // component the surviving manifest references was synced first.
+    let report = tree.scrub();
+    assert!(
+        report.is_clean(),
+        "crash point {point}: scrub found damage: {:?}",
+        report.errors
+    );
+
+    #[cfg(feature = "strict-invariants")]
+    tree.check_invariants()
+        .unwrap_or_else(|e| panic!("crash point {point}: invariants: {e}"));
+}
+
+/// One full crash-and-recover cycle at `crash_at`.
+fn crash_cycle(crash_at: u64) {
+    let durable_data: SharedDevice = Arc::new(MemDevice::new());
+    let durable_wal: SharedDevice = Arc::new(MemDevice::new());
+    let plan = CrashPlan::new(crash_at, SEED ^ crash_at);
+    let data: SharedDevice = Arc::new(CrashDevice::new(durable_data.clone(), &plan));
+    let wal: SharedDevice = Arc::new(CrashDevice::new(durable_wal.clone(), &plan));
+    let oracle = run_workload(&data, &wal);
+    assert!(
+        plan.crashed(),
+        "crash point {crash_at}: the workload outran the plan"
+    );
+    assert!(!oracle.completed);
+    check_survivors(&durable_data, &durable_wal, &oracle, crash_at);
+}
+
+/// Counting pass: how many mutating device ops the full workload issues.
+fn count_ops() -> u64 {
+    let plan = CrashPlan::new(u64::MAX, SEED);
+    let data: SharedDevice = Arc::new(CrashDevice::new(Arc::new(MemDevice::new()), &plan));
+    let wal: SharedDevice = Arc::new(CrashDevice::new(Arc::new(MemDevice::new()), &plan));
+    let oracle = run_workload(&data, &wal);
+    assert!(oracle.completed, "counting pass must not fail");
+    let ops = plan.ops_issued();
+    assert!(ops > 500, "workload too small to be interesting: {ops} ops");
+    ops
+}
+
+fn sweep(stride: u64) {
+    let total = count_ops();
+    let mut checked = 0u64;
+    let mut point = 0u64;
+    while point < total {
+        crash_cycle(point);
+        checked += 1;
+        point += stride;
+    }
+    println!("crash-point sweep: {checked}/{total} points checked (stride {stride})");
+}
+
+/// Bounded sweep for PR CI: an evenly-spread subset of crash points.
+/// `CRASH_POINTS_STRIDE` overrides the spacing (1 = exhaustive).
+#[test]
+fn crash_point_subset_sweep() {
+    let stride = std::env::var("CRASH_POINTS_STRIDE")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or_else(|| count_ops().div_ceil(64).max(1));
+    sweep(stride);
+}
+
+/// Exhaustive sweep — every single operation index. Minutes, not
+/// seconds; run nightly (`cargo test --release -- --ignored`).
+#[test]
+#[ignore = "exhaustive sweep is for nightly CI; covered by the strided subset on PRs"]
+fn crash_point_exhaustive_sweep() {
+    sweep(1);
+}
+
+/// The same crash point with different seeds draws different torn/kept
+/// subsets; durability must hold for all of them.
+#[test]
+fn crash_point_survives_many_subset_draws() {
+    let total = count_ops();
+    for variant in 0..8u64 {
+        let crash_at = total / 2 + variant;
+        let durable_data: SharedDevice = Arc::new(MemDevice::new());
+        let durable_wal: SharedDevice = Arc::new(MemDevice::new());
+        let plan = CrashPlan::new(crash_at, variant.wrapping_mul(0x9E37_79B9));
+        let data: SharedDevice = Arc::new(CrashDevice::new(durable_data.clone(), &plan));
+        let wal: SharedDevice = Arc::new(CrashDevice::new(durable_wal.clone(), &plan));
+        let oracle = run_workload(&data, &wal);
+        assert!(plan.crashed());
+        check_survivors(&durable_data, &durable_wal, &oracle, crash_at);
+    }
+}
