@@ -9,7 +9,9 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use blsm_bench::setup::{make_blsm, make_btree, make_leveldb, Scale};
-use blsm_bench::{fmt_f, parse_threads, print_table, read_scaling_rows};
+use blsm_bench::{
+    fmt_f, parse_json_path, parse_threads, print_table, read_scaling_rows, write_json_report, Json,
+};
 use blsm_storage::{DiskModel, SharedDevice};
 use blsm_ycsb::{KvEngine, LoadOrder, OpMix, Runner, Workload};
 
@@ -17,9 +19,12 @@ fn main() {
     let scale = Scale::paper_scaled().with_records(20_000);
     let runner = Runner::default();
     let ops = 8_000u64;
+    let json_path = parse_json_path();
+    let mut json_models = Vec::new();
 
     for model in [DiskModel::hdd(), DiskModel::ssd()] {
         let mut rows = Vec::new();
+        let mut json_rows = Vec::new();
         let engines: Vec<(&str, Box<dyn KvEngine>, SharedDevice)> = {
             let mut v: Vec<(&str, Box<dyn KvEngine>, SharedDevice)> = Vec::new();
             let e = make_blsm(model.clone(), &scale);
@@ -59,12 +64,29 @@ fn main() {
                 fmt_f(report.latency.mean() / 1e3),
                 fmt_f(report.latency.percentile(0.99) as f64 / 1e3),
             ]);
+            json_rows.push(Json::obj(vec![
+                ("system", Json::Str(name.to_string())),
+                ("ops_per_sec", Json::Num(report.ops_per_sec)),
+                (
+                    "seeks_per_read",
+                    Json::Num(d.random_reads as f64 / ops as f64),
+                ),
+                ("mean_latency_ms", Json::Num(report.latency.mean() / 1e3)),
+                (
+                    "p99_latency_ms",
+                    Json::Num(report.latency.percentile(0.99) as f64 / 1e3),
+                ),
+            ]));
         }
         print_table(
             &format!("Sec 5.3: 100% uniform random reads ({})", model.name),
             &["system", "ops/s", "seeks/read", "mean lat (ms)", "p99 (ms)"],
             &rows,
         );
+        json_models.push(Json::obj(vec![
+            ("model", Json::Str(model.name.to_string())),
+            ("rows", Json::Arr(json_rows)),
+        ]));
     }
     println!(
         "\nPaper: InnoDB and bLSM perform about one disk seek per read; LevelDB performs \
@@ -110,8 +132,32 @@ fn main() {
         &rows,
     );
     println!(
-        "\nReaders never take a tree-level lock (they pin an immutable catalog snapshot), so \
-         they are never blocked behind merge quanta; the residual shared point is the \
-         buffer-pool mutex every disk probe crosses."
+        "\nReaders never take a tree-level lock (they pin an immutable catalog snapshot) and \
+         the buffer pool is sharded, so concurrent cached probes no longer serialize on a \
+         single pool mutex."
     );
+
+    if let Some(path) = json_path {
+        let scaling = points
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("threads", Json::Int(p.threads as u64)),
+                    ("ops_per_sec", Json::Num(p.ops_per_sec)),
+                    (
+                        "ops_per_sec_per_thread",
+                        Json::Num(p.ops_per_sec / p.threads as f64),
+                    ),
+                ])
+            })
+            .collect();
+        let report = Json::obj(vec![
+            ("bench", Json::Str("sec53_random_reads".into())),
+            ("records", Json::Int(scale.records)),
+            ("ops", Json::Int(ops)),
+            ("models", Json::Arr(json_models)),
+            ("concurrent_read_scaling", Json::Arr(scaling)),
+        ]);
+        write_json_report(&path, &report);
+    }
 }

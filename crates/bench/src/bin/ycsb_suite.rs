@@ -11,7 +11,9 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use blsm_bench::setup::{make_blsm, make_btree, make_leveldb, Scale};
-use blsm_bench::{fmt_f, parse_threads, print_table, read_scaling_rows};
+use blsm_bench::{
+    fmt_f, parse_json_path, parse_threads, print_table, read_scaling_rows, write_json_report, Json,
+};
 use blsm_server::RemoteKv;
 use blsm_storage::DiskModel;
 use blsm_ycsb::{KvEngine, LoadOrder, Runner, Workload};
@@ -102,6 +104,7 @@ fn main() {
     let runner = Runner::default();
     let ops = 5_000u64;
     let letters = ['A', 'B', 'C', 'D', 'E', 'F'];
+    let json_path = parse_json_path();
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut results: Vec<Vec<f64>> = Vec::new();
@@ -206,4 +209,37 @@ fn main() {
         &["reader threads", "reads/s", "writes landed meanwhile"],
         &scaling_rows,
     );
+
+    if let Some(path) = json_path {
+        let workloads = letters
+            .iter()
+            .zip(&results)
+            .map(|(letter, nums)| {
+                Json::obj(vec![
+                    ("workload", Json::Str(letter.to_string())),
+                    ("btree_ops_per_sec", Json::Num(nums[0])),
+                    ("leveldb_ops_per_sec", Json::Num(nums[1])),
+                    ("blsm_ops_per_sec", Json::Num(nums[2])),
+                ])
+            })
+            .collect();
+        let scaling = points
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("threads", Json::Int(p.threads as u64)),
+                    ("reads_per_sec", Json::Num(p.ops_per_sec)),
+                    ("concurrent_writes", Json::Int(p.writes)),
+                ])
+            })
+            .collect();
+        let report = Json::obj(vec![
+            ("bench", Json::Str("ycsb_suite".into())),
+            ("records", Json::Int(scale.records)),
+            ("ops", Json::Int(ops)),
+            ("workloads", Json::Arr(workloads)),
+            ("concurrent_serving", Json::Arr(scaling)),
+        ]);
+        write_json_report(&path, &report);
+    }
 }

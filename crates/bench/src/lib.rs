@@ -157,6 +157,118 @@ pub fn read_scaling_rows(
     points
 }
 
+/// A JSON value for machine-readable benchmark reports. The offline
+/// tree has no serde; benchmark output is flat and small enough that a
+/// five-variant emitter covers it.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`, and the rendering of non-finite floats.
+    Null,
+    /// A float (rendered with enough precision to round-trip ops/s).
+    Num(f64),
+    /// An integer (thread counts, op counts).
+    Int(u64),
+    /// A string (engine names, workload letters).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for an object from `(key, value)` pairs.
+    #[must_use]
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Renders compact JSON (no whitespace beyond what keys contain).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.render_into(&mut s);
+        s
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Str(v) => {
+                out.push('"');
+                for c in v.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Parses `--json PATH` from the process arguments: where to write the
+/// machine-readable report (the human table still goes to stdout).
+/// Returns `None` when the flag is absent.
+pub fn parse_json_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(p) = arg.strip_prefix("--json=") {
+            return Some(std::path::PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// Writes a report to `path` as pretty-enough JSON (one trailing
+/// newline), panicking with a clear message on I/O failure so scripted
+/// sweeps fail loudly rather than silently losing results.
+pub fn write_json_report(path: &std::path::Path, report: &Json) {
+    let body = report.render() + "\n";
+    std::fs::write(path, body)
+        .unwrap_or_else(|e| panic!("--json {}: write failed: {e}", path.display()));
+    println!("\nwrote JSON report to {}", path.display());
+}
+
 /// Prints an aligned text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
@@ -190,5 +302,51 @@ pub fn fmt_f(v: f64) -> String {
         format!("{v:.1}")
     } else {
         format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn json_renders_nested_report() {
+        let j = Json::obj(vec![
+            ("bench", Json::Str("sec53".into())),
+            (
+                "rows",
+                Json::Arr(vec![Json::obj(vec![
+                    ("threads", Json::Int(4)),
+                    ("ops_per_sec", Json::Num(123.5)),
+                ])]),
+            ),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"bench":"sec53","rows":[{"threads":4,"ops_per_sec":123.5}]}"#
+        );
+    }
+
+    #[test]
+    fn json_escapes_strings_and_rejects_nan() {
+        let j = Json::Arr(vec![
+            Json::Str("a\"b\\c\n".into()),
+            Json::Num(f64::NAN),
+            Json::Null,
+        ]);
+        assert_eq!(j.render(), r#"["a\"b\\c\n",null,null]"#);
+    }
+
+    #[test]
+    fn json_float_round_trips_ops_per_sec() {
+        // `{}` on f64 prints shortest-round-trip, so parsing the output
+        // recovers the measured number exactly.
+        let v = 80761.34221;
+        let Json::Num(_) = Json::Num(v) else {
+            unreachable!()
+        };
+        assert_eq!(Json::Num(v).render().parse::<f64>().unwrap(), v);
     }
 }

@@ -26,8 +26,8 @@ use blsm_storage::page::{Page, PageType, PAGE_PAYLOAD_LEN};
 use blsm_storage::{BufferPool, Region, Result, StorageError, PAGE_SIZE};
 
 use crate::format::{
-    self, encode_entry, encoded_len, parse_data_page, write_data_page_header, EntryRef,
-    DATA_PAGE_HEADER,
+    encode_entry, encoded_len, shared_payload, write_data_page_header, write_entry_offsets,
+    EntryRef, LeafPage, DATA_PAGE_HEADER, ENTRY_OFFSET_SLOT,
 };
 use crate::table::{Sstable, SstableMeta};
 
@@ -38,6 +38,21 @@ pub const LEAF_CAPACITY: usize = PAGE_PAYLOAD_LEN - DATA_PAGE_HEADER;
 /// which merge output reaches the device.
 pub const DEFAULT_FLUSH_PAGES: usize = 64;
 
+/// Which data-page layout the builder writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PageVersion {
+    /// Original layout: entries only, lookups scan the leaf.
+    V1,
+    /// Current layout: trailing entry-offset table enabling in-page binary
+    /// search. Each entry reserves one two-byte table slot, so a page
+    /// holds at most `count * 2` bytes less than a v1 page — under 0.2%
+    /// for paper-sized values and ~3% for the densest tiny-value pages,
+    /// where the O(log n) lookup more than pays for it. Spanning records
+    /// still use the v1 layout either way.
+    #[default]
+    V2,
+}
+
 /// Streaming builder for one on-disk component.
 pub struct SstableBuilder {
     pool: Arc<BufferPool>,
@@ -46,6 +61,9 @@ pub struct SstableBuilder {
     leaf: Vec<u8>,
     leaf_count: u16,
     leaf_first_key: Option<Bytes>,
+    /// Payload offset of each open-leaf entry, for the v2 offset table.
+    leaf_offsets: Vec<u16>,
+    page_version: PageVersion,
     /// Decoded copies of the open leaf's entries, for the readable view.
     leaf_entries: Vec<EntryRef>,
     /// Sealed page images not yet flushed to the device.
@@ -86,6 +104,8 @@ impl SstableBuilder {
             leaf: Vec::with_capacity(LEAF_CAPACITY),
             leaf_count: 0,
             leaf_first_key: None,
+            leaf_offsets: Vec::new(),
+            page_version: PageVersion::default(),
             leaf_entries: Vec::new(),
             chunk: Vec::new(),
             chunk_start: 0,
@@ -106,6 +126,14 @@ impl SstableBuilder {
     /// Overrides the write-buffer chunk size (in pages).
     pub fn with_flush_pages(mut self, pages: usize) -> SstableBuilder {
         self.flush_pages = pages.max(1);
+        self
+    }
+
+    /// Overrides the data-page layout. The default is
+    /// [`PageVersion::V2`]; tests use [`PageVersion::V1`] to exercise the
+    /// read-compat path for components written before the offset table.
+    pub fn with_page_version(mut self, version: PageVersion) -> SstableBuilder {
+        self.page_version = version;
         self
     }
 
@@ -139,7 +167,14 @@ impl SstableBuilder {
             );
         }
         let len = encoded_len(key, v);
-        if self.leaf.len() + len > LEAF_CAPACITY {
+        // v2 entries each reserve a two-byte offset-table slot, so the
+        // sealed leaf can always carry its table.
+        let reserve = if self.page_version == PageVersion::V2 {
+            (self.leaf_offsets.len() + 1) * ENTRY_OFFSET_SLOT
+        } else {
+            0
+        };
+        if self.leaf.len() + len + reserve > LEAF_CAPACITY {
             self.seal_leaf()?;
         }
         if len > LEAF_CAPACITY {
@@ -148,6 +183,8 @@ impl SstableBuilder {
             if self.leaf_first_key.is_none() {
                 self.leaf_first_key = Some(key.clone());
             }
+            self.leaf_offsets
+                .push((DATA_PAGE_HEADER + self.leaf.len()) as u16);
             encode_entry(&mut self.leaf, key, v);
             self.leaf_count += 1;
             self.leaf_entries.push(EntryRef {
@@ -182,15 +219,28 @@ impl SstableBuilder {
                 "open leaf has entries but no first key",
             ));
         };
-        let mut page = Page::new(PageType::Data);
+        // `add` reserved a slot per entry, so the table fits — except for
+        // a lone entry that fills the page so exactly that even one slot
+        // cannot squeeze in, which seals in the v1 layout instead.
+        let with_table = self.page_version == PageVersion::V2
+            && self.leaf.len() + self.leaf_offsets.len() * ENTRY_OFFSET_SLOT <= LEAF_CAPACITY;
+        let mut page = if with_table {
+            Page::new(PageType::DataV2)
+        } else {
+            Page::new(PageType::Data)
+        };
         write_data_page_header(page.payload_mut(), self.leaf_count, 0);
         page.payload_mut()[DATA_PAGE_HEADER..DATA_PAGE_HEADER + self.leaf.len()]
             .copy_from_slice(&self.leaf);
+        if with_table {
+            write_entry_offsets(page.payload_mut(), &self.leaf_offsets);
+        }
         let idx = self.emit_page(page)?;
         self.index.push((first_key, idx as u32));
         self.leaf.clear();
         self.leaf_count = 0;
         self.leaf_entries.clear();
+        self.leaf_offsets.clear();
         Ok(())
     }
 
@@ -258,27 +308,30 @@ impl SstableBuilder {
     }
 
     /// Reads a region-relative page, preferring the in-memory write buffer.
-    fn read_page(&self, idx: u64) -> Result<Page> {
+    fn read_page(&self, idx: u64) -> Result<blsm_storage::page::SharedPage> {
         if idx >= self.chunk_start {
             let off = ((idx - self.chunk_start) as usize) * PAGE_SIZE;
             let bytes = &self.chunk[off..off + PAGE_SIZE];
-            Page::from_bytes(bytes, self.region.page(idx))
+            Ok(Arc::new(Page::from_bytes(bytes, self.region.page(idx))?))
         } else {
-            let page = self.pool.read(self.region.page(idx))?;
-            Ok((*page).clone())
+            self.pool.read(self.region.page(idx))
         }
     }
 
     /// Parses the data page at `idx` (including overflow reassembly).
     fn read_leaf(&self, idx: u64) -> Result<Vec<EntryRef>> {
         let page = self.read_page(idx)?;
-        let (_, n_overflow) = format::read_data_page_header(page.payload());
+        let v2 = page.page_type()? == PageType::DataV2;
+        let leaf = LeafPage::parse(shared_payload(&page), v2)?;
+        if !leaf.is_spanning() {
+            return leaf.entries();
+        }
         let mut overflow = Vec::new();
-        for i in 0..u64::from(n_overflow) {
+        for i in 0..u64::from(leaf.overflow_pages()) {
             let opage = self.read_page(idx + 1 + i)?;
             overflow.extend_from_slice(opage.payload());
         }
-        parse_data_page(page.payload(), &overflow)
+        Ok(vec![leaf.spanning_entry(&overflow)?])
     }
 
     /// A readable view of everything added so far.
@@ -585,6 +638,96 @@ mod tests {
             table.get(&key(2)).unwrap().unwrap().entry,
             Entry::Put(Bytes::from_static(b"after"))
         );
+    }
+
+    #[test]
+    fn v2_reserves_slots_and_falls_back_when_brim_full() {
+        // Every v2 entry reserves a two-byte offset slot, so sealed
+        // leaves carry their binary-search table regardless of how
+        // densely entries pack; for paper-sized values the reservation
+        // never changes the page count versus a v1 build.
+        let region = Region {
+            start: blsm_storage::PageId(0),
+            pages: 512,
+        };
+        let build = |value: usize, version: PageVersion| {
+            let pool = pool();
+            let mut b = SstableBuilder::new(pool.clone(), region, 200).with_page_version(version);
+            for i in 0..200u32 {
+                b.add(&key(i), &Versioned::put(1, Bytes::from(vec![0u8; value])))
+                    .unwrap();
+            }
+            let t = b.finish().unwrap();
+            let types: Vec<PageType> = (0..t.meta().n_data_pages)
+                .map(|i| pool.read(region.page(i)).unwrap().page_type().unwrap())
+                .collect();
+            (t.meta().n_data_pages, types)
+        };
+
+        let (_, small_types) = build(50, PageVersion::V2);
+        assert!(
+            small_types.iter().all(|t| *t == PageType::DataV2),
+            "dense small-value pages get the table: {small_types:?}"
+        );
+
+        // ~1006-byte entries: 4 per page with slack for 4 slots, so v2
+        // matches the v1 page count entry-for-entry.
+        let (big_v2_pages, big_types) = build(990, PageVersion::V2);
+        let (big_v1_pages, _) = build(990, PageVersion::V1);
+        assert_eq!(
+            big_v2_pages, big_v1_pages,
+            "slot reservation must not cost a page at paper value sizes"
+        );
+        assert!(
+            big_types.iter().all(|t| *t == PageType::DataV2),
+            "paper-sized pages get the table too: {big_types:?}"
+        );
+
+        // An entry that fills the page so exactly that even one slot
+        // cannot fit seals alone in the v1 layout — and stays readable.
+        let k = key(0);
+        let probe = |vs: usize| encoded_len(&k, &Versioned::put(1, Bytes::from(vec![9u8; vs])));
+        let mut vs = LEAF_CAPACITY - 32;
+        while probe(vs) < LEAF_CAPACITY {
+            vs += 1;
+        }
+        assert_eq!(
+            probe(vs),
+            LEAF_CAPACITY,
+            "found an exactly page-filling entry"
+        );
+        let pool2 = pool();
+        let mut b = SstableBuilder::new(pool2.clone(), region, 4);
+        let brim = Bytes::from(vec![9u8; vs]);
+        b.add(&key(0), &Versioned::put(1, brim.clone())).unwrap();
+        b.add(&key(1), &Versioned::put(2, Bytes::from_static(b"after")))
+            .unwrap();
+        let t = b.finish().unwrap();
+        assert_eq!(
+            pool2.read(region.page(0)).unwrap().page_type().unwrap(),
+            PageType::Data,
+            "brim-full single-entry leaf falls back to v1"
+        );
+        assert_eq!(t.get(&key(0)).unwrap().unwrap().entry, Entry::Put(brim));
+        assert_eq!(
+            t.get(&key(1)).unwrap().unwrap().entry,
+            Entry::Put(Bytes::from_static(b"after"))
+        );
+
+        // Mixed-density builds stay fully readable.
+        let pool3 = pool();
+        let mut b = SstableBuilder::new(pool3, region, 200);
+        for i in 0..200u32 {
+            b.add(&key(i), &Versioned::put(1, Bytes::from(vec![3u8; 990])))
+                .unwrap();
+        }
+        let t = b.finish().unwrap();
+        for i in (0..200u32).step_by(17) {
+            assert_eq!(
+                t.get(&key(i)).unwrap().unwrap().entry,
+                Entry::Put(Bytes::from(vec![3u8; 990]))
+            );
+        }
     }
 
     #[test]

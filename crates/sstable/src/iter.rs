@@ -16,10 +16,10 @@ use std::sync::Arc;
 use bytes::Bytes;
 
 use blsm_memtable::{merge_versions, MergeOperator};
-use blsm_storage::page::{Page, PAGE_SIZE};
+use blsm_storage::page::{verify_page_image, PageType, PAGE_HEADER_LEN, PAGE_SIZE};
 use blsm_storage::{Result, StorageError};
 
-use crate::format::{self, parse_data_page, EntryRef};
+use crate::format::{shared_payload, EntryRef, LeafPage};
 use crate::table::Sstable;
 
 /// How an iterator fetches pages.
@@ -40,8 +40,9 @@ pub struct SstIterator {
     pending: VecDeque<EntryRef>,
     skip_below: Option<Vec<u8>>,
     mode: ReadMode,
-    /// Prefetch buffer: raw page images starting at `buf_start`.
-    buf: Vec<u8>,
+    /// Prefetch buffer: raw page images starting at `buf_start`, held as a
+    /// shared buffer so decoded entries can alias it zero-copy.
+    buf: Bytes,
     buf_start: u64,
 }
 
@@ -66,17 +67,21 @@ impl SstIterator {
             pending: VecDeque::new(),
             skip_below,
             mode,
-            buf: Vec::new(),
+            buf: Bytes::new(),
             buf_start: 0,
         }
     }
 
     /// Reads the page at region-relative `idx`, honouring the read mode.
-    fn fetch_page(&mut self, idx: u64) -> Result<Page> {
+    /// Returns the page's payload as a zero-copy shared buffer plus its
+    /// type: pooled pages alias the cached `Arc<Page>`, buffered pages
+    /// alias the prefetch chunk (checksum-verified in place).
+    fn fetch_page(&mut self, idx: u64) -> Result<(Bytes, PageType)> {
         match self.mode {
             ReadMode::Pooled => {
                 let page = self.table.pool().read(self.table.region().page(idx))?;
-                Ok((*page).clone())
+                let ty = page.page_type()?;
+                Ok((shared_payload(&page), ty))
             }
             ReadMode::Buffered(readahead) => {
                 let have = self.buf.len() as u64 / PAGE_SIZE as u64;
@@ -87,16 +92,17 @@ impl SstIterator {
                         .max(1)
                         .min(n_data.saturating_sub(idx))
                         .max(1);
-                    self.buf.resize((n as usize) * PAGE_SIZE, 0);
+                    let mut chunk = vec![0u8; (n as usize) * PAGE_SIZE];
                     let off = self.table.region().page(idx).offset();
-                    self.table.pool().device().read_at(off, &mut self.buf)?;
+                    self.table.pool().device().read_at(off, &mut chunk)?;
+                    self.buf = Bytes::from(chunk);
                     self.buf_start = idx;
                 }
                 let off = ((idx - self.buf_start) as usize) * PAGE_SIZE;
-                Page::from_bytes(
-                    &self.buf[off..off + PAGE_SIZE],
-                    self.table.region().page(idx),
-                )
+                let pid = self.table.region().page(idx);
+                let ty = verify_page_image(&self.buf[off..off + PAGE_SIZE], pid)?;
+                let payload = self.buf.slice(off + PAGE_HEADER_LEN..off + PAGE_SIZE);
+                Ok((payload, ty))
             }
         }
     }
@@ -109,15 +115,18 @@ impl SstIterator {
         }
         let leaf_idx = u64::from(index[self.next_leaf_pos].1);
         self.next_leaf_pos += 1;
-        let page = self.fetch_page(leaf_idx)?;
-        let (_, n_overflow) = format::read_data_page_header(page.payload());
-        let mut overflow = Vec::new();
-        for i in 0..u64::from(n_overflow) {
-            let opage = self.fetch_page(leaf_idx + 1 + i)?;
-            overflow.extend_from_slice(opage.payload());
+        let (payload, ty) = self.fetch_page(leaf_idx)?;
+        let leaf = LeafPage::parse(payload, ty == PageType::DataV2)?;
+        if !leaf.is_spanning() {
+            self.pending.extend(leaf.entries()?);
+            return Ok(true);
         }
-        self.pending
-            .extend(parse_data_page(page.payload(), &overflow)?);
+        let mut overflow = Vec::new();
+        for i in 0..u64::from(leaf.overflow_pages()) {
+            let (opayload, _) = self.fetch_page(leaf_idx + 1 + i)?;
+            overflow.extend_from_slice(&opayload);
+        }
+        self.pending.push_back(leaf.spanning_entry(&overflow)?);
         Ok(true)
     }
 }

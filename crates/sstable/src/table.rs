@@ -10,7 +10,7 @@ use blsm_storage::codec::{self, Reader};
 use blsm_storage::page::{Page, PageType};
 use blsm_storage::{BufferPool, ComponentId, Region, Result, StorageError, PAGE_SIZE};
 
-use crate::format::{self, parse_data_page, EntryRef};
+use crate::format::{self, shared_payload, EntryRef, LeafPage};
 use crate::iter::{ReadMode, SstIterator};
 
 /// Component metadata persisted in the footer page.
@@ -146,6 +146,9 @@ pub struct Sstable {
     meta: SstableMeta,
     /// `(first_key, region-relative page)` per leaf, in key order.
     index: Vec<(Bytes, u32)>,
+    /// RAM held by `index`, computed once at assembly — stats calls must
+    /// not re-walk the whole index.
+    index_ram: usize,
     bloom: Arc<BloomFilter>,
 }
 
@@ -166,11 +169,16 @@ impl Sstable {
         index: Vec<(Bytes, u32)>,
         bloom: Arc<BloomFilter>,
     ) -> Sstable {
+        let index_ram = index
+            .iter()
+            .map(|(k, _)| k.len() + std::mem::size_of::<(Bytes, u32)>())
+            .sum();
         Sstable {
             pool,
             region,
             meta,
             index,
+            index_ram,
             bloom,
         }
     }
@@ -229,13 +237,13 @@ impl Sstable {
             )
         })?;
 
-        Ok(Sstable {
+        Ok(Sstable::assemble(
             pool,
             region,
             meta,
             index,
-            bloom: Arc::new(bloom),
-        })
+            Arc::new(bloom),
+        ))
     }
 
     /// Component metadata.
@@ -274,12 +282,9 @@ impl Sstable {
     }
 
     /// RAM consumed by the in-memory leaf index — the denominator of the
-    /// paper's *read fanout* metric (§2.1).
+    /// paper's *read fanout* metric (§2.1). Cached at assembly; O(1).
     pub fn index_ram_bytes(&self) -> usize {
-        self.index
-            .iter()
-            .map(|(k, _)| k.len() + std::mem::size_of::<(Bytes, u32)>())
-            .sum()
+        self.index_ram
     }
 
     /// Bloom filter probe. False ⇒ key definitely absent (0 seeks spent).
@@ -297,30 +302,57 @@ impl Sstable {
         }
     }
 
-    /// Reads and parses the leaf (data) page at region-relative `idx`,
-    /// reassembling any overflow pages.
-    pub(crate) fn read_leaf(&self, idx: u64) -> Result<Vec<EntryRef>> {
+    /// Reads and parses the leaf (data) page at region-relative `idx` into
+    /// a lazily-decodable [`LeafPage`] (v1 or v2 dispatched on page type).
+    pub(crate) fn read_leaf_page(&self, idx: u64) -> Result<LeafPage> {
         let page = self.pool.read(self.region.page(idx))?;
-        let (_, n_overflow) = format::read_data_page_header(page.payload());
+        let v2 = page.page_type()? == PageType::DataV2;
+        LeafPage::parse(shared_payload(&page), v2)
+    }
+
+    /// Concatenated overflow-page payloads for the spanning leaf at `idx`.
+    fn read_overflow(&self, idx: u64, n_overflow: u16) -> Result<Vec<u8>> {
         let mut overflow = Vec::new();
         for i in 0..u64::from(n_overflow) {
             let opage = self.pool.read(self.region.page(idx + 1 + i))?;
             overflow.extend_from_slice(opage.payload());
         }
-        parse_data_page(page.payload(), &overflow)
+        Ok(overflow)
+    }
+
+    /// Reads and fully decodes the leaf at region-relative `idx`,
+    /// reassembling any overflow pages. Scans and integrity checks use
+    /// this; point lookups go through [`read_leaf_page`] and decode lazily.
+    ///
+    /// [`read_leaf_page`]: Self::read_leaf_page
+    pub(crate) fn read_leaf(&self, idx: u64) -> Result<Vec<EntryRef>> {
+        let leaf = self.read_leaf_page(idx)?;
+        if !leaf.is_spanning() {
+            return leaf.entries();
+        }
+        let overflow = self.read_overflow(idx, leaf.overflow_pages())?;
+        Ok(vec![leaf.spanning_entry(&overflow)?])
     }
 
     /// Point lookup without consulting the Bloom filter (at most one leaf
-    /// read — plus overflow pages for huge records).
+    /// read — plus overflow pages for huge records). Decoding is lazy and
+    /// zero-copy: a v2 leaf is binary-searched via its offset table, a v1
+    /// leaf is scanned with early exit, and non-matching entries are never
+    /// materialized. A non-matching spanning leaf is rejected on its key
+    /// alone, before any overflow page is touched.
     pub fn get(&self, key: &[u8]) -> Result<Option<Versioned>> {
-        let Some(leaf) = self.leaf_for(key) else {
+        let Some(idx) = self.leaf_for(key) else {
             return Ok(None);
         };
-        let entries = self.read_leaf(leaf)?;
-        Ok(entries
-            .into_iter()
-            .find(|e| e.key.as_ref() == key)
-            .map(|e| e.version))
+        let leaf = self.read_leaf_page(idx)?;
+        if leaf.is_spanning() {
+            if leaf.spanning_key()? != key {
+                return Ok(None);
+            }
+            let overflow = self.read_overflow(idx, leaf.overflow_pages())?;
+            return Ok(Some(leaf.spanning_entry(&overflow)?.version));
+        }
+        Ok(leaf.find(key)?.map(|e| e.version))
     }
 
     /// Point lookup that consults the Bloom filter first: the paper's read
@@ -406,7 +438,18 @@ impl Sstable {
             let li = (offset + s * n / sample) % n;
             let (fence, page_idx) = &self.index[li];
             let upper = self.index.get(li + 1).map(|(k, _)| k);
-            let entries = self.read_leaf(u64::from(*page_idx))?;
+            let page_idx = u64::from(*page_idx);
+            // v2 leaves: the offset table must agree with the real entry
+            // boundaries (a wrong slot would silently misroute binary
+            // search on the hot path).
+            let leaf = self.read_leaf_page(page_idx)?;
+            leaf.verify_offset_table()?;
+            let entries = if leaf.is_spanning() {
+                let overflow = self.read_overflow(page_idx, leaf.overflow_pages())?;
+                vec![leaf.spanning_entry(&overflow)?]
+            } else {
+                leaf.entries()?
+            };
             let mut prev: Option<&Bytes> = None;
             for e in &entries {
                 if prev.is_some_and(|p| *p >= e.key) {
@@ -634,6 +677,36 @@ mod tests {
             dev.write_at(offset, &byte).unwrap();
         }
         assert!(t.scrub().is_clean());
+    }
+
+    #[test]
+    fn corrupt_offset_table_surfaces_as_typed_corruption() {
+        use blsm_storage::device::Device;
+        use blsm_storage::page::{Page, PageType};
+        let dev = Arc::new(MemDevice::new());
+        let pool = Arc::new(BufferPool::new(dev.clone(), 2048));
+        let t = build(&pool, 500, 0);
+
+        // Craft a DataV2 page whose offset table points past the entry
+        // bytes — a logically corrupt but correctly checksummed image, so
+        // the page layer accepts it and the leaf parser must catch it.
+        let mut page = Page::new(PageType::DataV2);
+        let real = pool.read(t.region().page(0)).unwrap();
+        page.payload_mut().copy_from_slice(real.payload());
+        let payload_len = page.payload().len();
+        page.payload_mut()[payload_len - 2..].copy_from_slice(&0xfff0u16.to_le_bytes());
+        dev.write_at(t.region().page(0).offset(), &page.to_bytes())
+            .unwrap();
+        pool.drop_clean();
+
+        let err = t.get(b"key00000000").unwrap_err();
+        assert!(err.is_corruption(), "got {err}");
+        let report = t.scrub();
+        assert!(
+            report.errors.iter().any(|e| e.contains("offset table")),
+            "scrub missed the bad table: {:?}",
+            report.errors
+        );
     }
 
     #[test]

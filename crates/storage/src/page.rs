@@ -58,6 +58,12 @@ pub enum PageType {
     BTreeLeaf = 6,
     /// Continuation of a record that spans multiple pages.
     Overflow = 7,
+    /// Sorted run data page, v2 layout: same entry encoding as [`Data`]
+    /// but with a trailing entry-offset table enabling in-page binary
+    /// search. Spanning records never use this type.
+    ///
+    /// [`Data`]: PageType::Data
+    DataV2 = 8,
 }
 
 impl PageType {
@@ -76,6 +82,7 @@ impl PageType {
             5 => PageType::BTreeInternal,
             6 => PageType::BTreeLeaf,
             7 => PageType::Overflow,
+            8 => PageType::DataV2,
             _ => return Err(StorageError::InvalidFormat(format!("bad page type {v}"))),
         })
     }
@@ -171,6 +178,42 @@ impl Page {
     }
 }
 
+/// Verifies a raw page image in place, without copying it into a `Page`.
+///
+/// Returns the page type on success. This is the zero-copy counterpart of
+/// [`Page::from_bytes`] for callers that keep the image inside a larger
+/// shared buffer (e.g. a prefetched chunk) and slice payloads out of it.
+///
+/// # Errors
+///
+/// Fails with [`StorageError::InvalidFormat`] on a length mismatch or an
+/// unknown page-type tag, and with [`StorageError::Corruption`] if the
+/// stored CRC does not match the page contents.
+pub fn verify_page_image(bytes: &[u8], pid: PageId) -> Result<PageType> {
+    if bytes.len() != PAGE_SIZE {
+        return Err(StorageError::InvalidFormat(format!(
+            "page {pid} has length {}",
+            bytes.len()
+        )));
+    }
+    let stored = crate::codec::le_u32(&bytes[..4]);
+    let actual = crc32c(&bytes[4..]);
+    if stored != actual {
+        return Err(StorageError::corruption(
+            crate::error::ComponentId::Page,
+            Some(pid.offset()),
+            format!("page {pid} checksum mismatch: stored {stored:#x}, computed {actual:#x}"),
+        ));
+    }
+    PageType::from_u8(bytes[4])
+}
+
+impl AsRef<[u8]> for Page {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf[..]
+    }
+}
+
 /// Shared, immutable page handle as cached by the buffer pool.
 pub type SharedPage = Arc<Page>;
 
@@ -221,9 +264,28 @@ mod tests {
             PageType::BTreeInternal,
             PageType::BTreeLeaf,
             PageType::Overflow,
+            PageType::DataV2,
         ] {
             assert_eq!(PageType::from_u8(ty as u8).unwrap(), ty);
         }
         assert!(PageType::from_u8(99).is_err());
+    }
+
+    #[test]
+    fn verify_image_matches_from_bytes() {
+        let mut p = Page::new(PageType::DataV2);
+        p.payload_mut()[..3].copy_from_slice(b"abc");
+        let bytes = p.to_bytes();
+        assert_eq!(
+            verify_page_image(&bytes, PageId(1)).unwrap(),
+            PageType::DataV2
+        );
+        let mut bad = bytes;
+        bad[200] ^= 1;
+        assert!(matches!(
+            verify_page_image(&bad, PageId(1)),
+            Err(StorageError::Corruption { .. })
+        ));
+        assert!(verify_page_image(&bytes[..100], PageId(1)).is_err());
     }
 }

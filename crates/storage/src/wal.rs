@@ -20,7 +20,7 @@
 //! left over from a previous lap of the ring carries an older LSN and is
 //! rejected.
 
-use crate::codec::crc32c;
+use crate::codec::Crc32c;
 use crate::device::SharedDevice;
 use crate::error::{Result, StorageError};
 
@@ -125,13 +125,19 @@ impl Wal {
             });
         }
         let lsn = self.tail;
-        let mut body = Vec::with_capacity(4 + 8 + payload.len());
-        body.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        body.extend_from_slice(&lsn.to_le_bytes());
-        body.extend_from_slice(payload);
-        let crc = crc32c(&body);
-        self.pending.extend_from_slice(&crc.to_le_bytes());
-        self.pending.extend_from_slice(&body);
+        // CRC covers len | lsn | payload, computed incrementally over the
+        // parts: no temporary concatenation per record.
+        let len_le = (payload.len() as u32).to_le_bytes();
+        let lsn_le = lsn.to_le_bytes();
+        let mut crc = Crc32c::new();
+        crc.update(&len_le);
+        crc.update(&lsn_le);
+        crc.update(payload);
+        self.pending.reserve(FRAME_HEADER_LEN + payload.len());
+        self.pending.extend_from_slice(&crc.finish().to_le_bytes());
+        self.pending.extend_from_slice(&len_le);
+        self.pending.extend_from_slice(&lsn_le);
+        self.pending.extend_from_slice(payload);
         self.tail += frame_len;
         Ok(lsn)
     }
@@ -288,11 +294,12 @@ fn read_frame(device: &SharedDevice, capacity: u64, lsn: Lsn) -> FrameOutcome {
         // Header claims a payload the device does not hold.
         return end(WalTailState::TornFrame, (FRAME_HEADER_LEN + len) as u64);
     }
-    // CRC covers len | lsn | payload.
-    let mut body = Vec::with_capacity(12 + len);
-    body.extend_from_slice(&header[4..]);
-    body.extend_from_slice(&payload);
-    if crc32c(&body) == stored_crc {
+    // CRC covers len | lsn | payload, verified incrementally over the
+    // header tail and the payload buffer without re-concatenating them.
+    let mut crc = Crc32c::new();
+    crc.update(&header[4..]);
+    crc.update(&payload);
+    if crc.finish() == stored_crc {
         return FrameOutcome::Record(WalRecord { lsn, payload });
     }
     end(WalTailState::TornFrame, (FRAME_HEADER_LEN + len) as u64)

@@ -1,6 +1,6 @@
 //! Repo-specific lint rules (`cargo xtask lint`).
 //!
-//! Six rules the paper's correctness argument needs but clippy cannot
+//! Seven rules the paper's correctness argument needs but clippy cannot
 //! express (§4.4.1 warns that merge threads acting on stale or weakly
 //! ordered shared state are the classic source of LSM race bugs):
 //!
@@ -39,6 +39,15 @@
 //!   client's TCP window. Serve from a pinned `ReadView`, batch writes,
 //!   and do all socket I/O lock-free; deliberate holders get an audited
 //!   allowlist entry.
+//! - **`alloc-in-read-path`** — in the sstable read modules
+//!   (`crates/sstable/src/{format,table,iter}.rs`), no per-entry heap
+//!   copy: `copy_from_slice` / `.to_vec()` in non-test code is flagged.
+//!   The zero-copy leaf decode keeps `EntryRef` keys and values as
+//!   subslices of the cached page (`Bytes` sharing the frame's `Arc`);
+//!   a copy that sneaks back into `decode_entry`/`find`/`entries` would
+//!   silently undo the bloom-positive-lookup optimization. Genuinely
+//!   cold copies (open-time index materialization, per-iterator seek
+//!   keys, 2-byte stack reads) get an audited allowlist entry.
 //!
 //! Audited exceptions live in `xtask-lint.allow` at the workspace root:
 //! one `rule-id<space>file<space>function` triple per line, `#` comments.
@@ -363,6 +372,29 @@ fn lint_file(rel: &str, source: &str) -> Vec<Finding> {
             });
         }
 
+        // Rule: alloc-in-read-path.
+        if is_read_path_module(rel)
+            && !in_test_context
+            && (line.contains("copy_from_slice") || line.contains(".to_vec()"))
+        {
+            let what = if line.contains("copy_from_slice") {
+                "copy_from_slice"
+            } else {
+                ".to_vec()"
+            };
+            findings.push(Finding {
+                rule: "alloc-in-read-path",
+                file: rel.to_string(),
+                line: lineno,
+                function: current_fn(&fn_stack),
+                message: format!(
+                    "`{what}` in a read-path module; keep entry decode zero-copy \
+                     (slice the cached page's Bytes) or allowlist with the audit \
+                     reason if this copy is genuinely cold"
+                ),
+            });
+        }
+
         // Rules: guard-across-merge (crates/core) and
         // blocking-io-under-lock (crates/server). Both track live
         // let-bound lock guards. Process releases (explicit
@@ -457,6 +489,17 @@ fn lint_file(rel: &str, source: &str) -> Vec<Finding> {
         }
     }
     findings
+}
+
+/// The sstable modules whose non-test code is the point-lookup / scan
+/// hot path, where the zero-copy invariant is enforced.
+fn is_read_path_module(rel: &str) -> bool {
+    matches!(
+        rel,
+        "crates/sstable/src/format.rs"
+            | "crates/sstable/src/table.rs"
+            | "crates/sstable/src/iter.rs"
+    )
 }
 
 /// Functions that execute (part of) a merge quantum — holding a lock
@@ -966,6 +1009,48 @@ mod tests {
         // guard), not socket I/O — even while another guard is live.
         let src = "fn f(&self) {\n    let a = m.lock();\n    let b = n.read();\n    let x = b.len();\n}\n";
         let f = lint_file("crates/server/src/server.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn alloc_in_read_path_flagged() {
+        let src = "fn f(payload: &[u8]) -> Vec<u8> {\n    payload.to_vec()\n}\n";
+        let f = lint_file("crates/sstable/src/format.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "alloc-in-read-path");
+        assert_eq!(f[0].function, "f");
+        assert!(f[0].message.contains(".to_vec()"));
+    }
+
+    #[test]
+    fn alloc_in_read_path_copy_from_slice_flagged() {
+        let src = "fn f(dst: &mut [u8], src: &[u8]) {\n    dst.copy_from_slice(src);\n}\n";
+        let f = lint_file("crates/sstable/src/table.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "alloc-in-read-path");
+        assert!(f[0].message.contains("copy_from_slice"));
+    }
+
+    #[test]
+    fn alloc_in_read_path_scoped_to_sstable_read_modules() {
+        let src = "fn f(payload: &[u8]) -> Vec<u8> {\n    payload.to_vec()\n}\n";
+        // The builder copies freely (write path), as does every other crate.
+        assert!(lint_file("crates/sstable/src/builder.rs", src).is_empty());
+        assert!(lint_file("crates/storage/src/page.rs", src).is_empty());
+        assert!(lint_file("crates/core/src/tree.rs", src).is_empty());
+    }
+
+    #[test]
+    fn alloc_in_read_path_ignored_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(p: &[u8]) -> Vec<u8> {\n        p.to_vec()\n    }\n}\n";
+        let f = lint_file("crates/sstable/src/format.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn alloc_in_read_path_zero_copy_slice_ok() {
+        let src = "fn f(payload: &Bytes) -> Bytes {\n    payload.slice(4..10)\n}\n";
+        let f = lint_file("crates/sstable/src/format.rs", src);
         assert!(f.is_empty(), "{f:?}");
     }
 

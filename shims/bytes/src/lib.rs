@@ -6,9 +6,13 @@
 //! subset of `bytes` the workspace uses: a cheaply cloneable, immutable,
 //! contiguous byte container.
 //!
-//! Unlike the real crate there is no zero-copy slicing machinery —
-//! `Bytes` is either a borrowed `&'static [u8]` or an `Arc<[u8]>`. That
-//! is sufficient (and semantically identical) for every call site here.
+//! Like the real crate, `Bytes` supports **zero-copy slicing**: a value
+//! is a `(owner, start, len)` view over shared storage, so [`Bytes::slice`]
+//! produces a new view of the same allocation without copying. The owner
+//! is either an `Arc<[u8]>` (the common case) or, via
+//! [`Bytes::from_owner`], any `Arc`-held object that can expose its bytes
+//! — which is how sstable leaf decoding keeps keys and values as
+//! subslices of the buffer-pool page they live in.
 
 use std::borrow::Borrow;
 use std::fmt;
@@ -25,7 +29,16 @@ pub struct Bytes {
 #[derive(Clone)]
 enum Repr {
     Static(&'static [u8]),
-    Shared(Arc<[u8]>),
+    Shared {
+        buf: Arc<[u8]>,
+        start: usize,
+        len: usize,
+    },
+    Owner {
+        owner: Arc<dyn AsRef<[u8]> + Send + Sync>,
+        start: usize,
+        len: usize,
+    },
 }
 
 impl Bytes {
@@ -48,21 +61,50 @@ impl Bytes {
     /// Copies `data` into a new `Bytes`.
     #[must_use]
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        let len = data.len();
         Bytes {
-            repr: Repr::Shared(Arc::from(data)),
+            repr: Repr::Shared {
+                buf: Arc::from(data),
+                start: 0,
+                len,
+            },
+        }
+    }
+
+    /// Wraps an `Arc`-held byte owner without copying. The returned
+    /// `Bytes` covers the owner's full byte range; use [`slice`] to
+    /// narrow it. This is the zero-copy bridge from shared buffers
+    /// (cached pages, prefetch chunks) into `Bytes` views.
+    ///
+    /// [`slice`]: Self::slice
+    #[must_use]
+    pub fn from_owner<T>(owner: Arc<T>) -> Bytes
+    where
+        T: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let len = owner.as_ref().as_ref().len();
+        Bytes {
+            repr: Repr::Owner {
+                owner,
+                start: 0,
+                len,
+            },
         }
     }
 
     /// The number of bytes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.as_slice().len()
+        match &self.repr {
+            Repr::Static(s) => s.len(),
+            Repr::Shared { len, .. } | Repr::Owner { len, .. } => *len,
+        }
     }
 
     /// Whether the container is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.as_slice().is_empty()
+        self.len() == 0
     }
 
     /// Borrows the underlying bytes.
@@ -70,7 +112,8 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         match &self.repr {
             Repr::Static(s) => s,
-            Repr::Shared(a) => a,
+            Repr::Shared { buf, start, len } => &buf[*start..*start + *len],
+            Repr::Owner { owner, start, len } => &(**owner).as_ref()[*start..*start + *len],
         }
     }
 
@@ -80,12 +123,15 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
-    /// Returns a new `Bytes` covering `range` of this one (copies; the
-    /// real crate shares the allocation, which no caller here relies on).
+    /// Returns a new `Bytes` covering `range` of this one. Zero-copy:
+    /// the new value shares the same backing storage.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or inverted.
     #[must_use]
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
         use std::ops::Bound;
-        let start = match range.start_bound() {
+        let begin = match range.start_bound() {
             Bound::Included(&n) => n,
             Bound::Excluded(&n) => n + 1,
             Bound::Unbounded => 0,
@@ -95,7 +141,22 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.len(),
         };
-        Bytes::copy_from_slice(&self.as_slice()[start..end])
+        assert!(begin <= end, "slice start {begin} > end {end}");
+        assert!(end <= self.len(), "slice end {end} > len {}", self.len());
+        let repr = match &self.repr {
+            Repr::Static(s) => Repr::Static(&s[begin..end]),
+            Repr::Shared { buf, start, .. } => Repr::Shared {
+                buf: buf.clone(),
+                start: start + begin,
+                len: end - begin,
+            },
+            Repr::Owner { owner, start, .. } => Repr::Owner {
+                owner: owner.clone(),
+                start: start + begin,
+                len: end - begin,
+            },
+        };
+        Bytes { repr }
     }
 }
 
@@ -209,16 +270,26 @@ impl fmt::Debug for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
+        let len = v.len();
         Bytes {
-            repr: Repr::Shared(Arc::from(v)),
+            repr: Repr::Shared {
+                buf: Arc::from(v),
+                start: 0,
+                len,
+            },
         }
     }
 }
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Bytes {
+        let len = v.len();
         Bytes {
-            repr: Repr::Shared(Arc::from(v)),
+            repr: Repr::Shared {
+                buf: Arc::from(v),
+                start: 0,
+                len,
+            },
         }
     }
 }
@@ -309,6 +380,50 @@ mod tests {
         assert_eq!(a.slice(1..3), Bytes::from_static(b"el"));
         assert_eq!(a.slice(..), a);
         assert_eq!(a.slice(2..), Bytes::from_static(b"llo"));
+    }
+
+    #[test]
+    fn slice_is_zero_copy() {
+        let a = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let b = a.slice(1..4);
+        assert_eq!(b.as_slice(), &[2, 3, 4]);
+        // Same backing allocation: the slice's pointer sits inside the
+        // original's byte range.
+        let base = a.as_slice().as_ptr() as usize;
+        let view = b.as_slice().as_ptr() as usize;
+        assert_eq!(view, base + 1, "slice must share the allocation");
+        // Nested slices compose.
+        let c = b.slice(1..2);
+        assert_eq!(c.as_slice(), &[3]);
+        assert_eq!(c.as_slice().as_ptr() as usize, base + 2);
+    }
+
+    #[test]
+    fn from_owner_shares_storage() {
+        struct PageLike([u8; 16]);
+        impl AsRef<[u8]> for PageLike {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        let page = Arc::new(PageLike(*b"0123456789abcdef"));
+        let all = Bytes::from_owner(page.clone());
+        assert_eq!(all.len(), 16);
+        let mid = all.slice(4..8);
+        assert_eq!(mid.as_slice(), b"4567");
+        let base = page.0.as_ptr() as usize;
+        assert_eq!(mid.as_slice().as_ptr() as usize, base + 4);
+        // The view keeps the owner alive.
+        drop(page);
+        drop(all);
+        assert_eq!(mid.as_slice(), b"4567");
+    }
+
+    #[test]
+    #[should_panic(expected = "slice end")]
+    fn slice_out_of_bounds_panics() {
+        let a = Bytes::from_static(b"abc");
+        let _ = a.slice(1..9);
     }
 
     #[test]
