@@ -194,7 +194,11 @@ impl BloomFilter {
 /// from concurrent updates").
 pub struct AtomicBloom {
     params: BloomParams,
+    // ordering: Relaxed — monotonic set-only bits; a reader that misses
+    // a concurrent insert just takes a (correct) disk probe (§4.4.3).
     words: Vec<AtomicU64>,
+    // ordering: Relaxed for the statistics reads/bumps, Acquire in the
+    // Debug snapshot so it observes bits published before the count.
     inserted: AtomicU64,
 }
 

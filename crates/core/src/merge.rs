@@ -29,6 +29,9 @@ use crate::tree::{invariant_err, BLsmTree};
 /// merge's `inprogress` estimator stays smooth (§4.1).
 pub(crate) struct CountingStream {
     inner: blsm_sstable::SstIterator,
+    // ordering: Relaxed — progress estimate for the pacing scheduler;
+    // readers tolerate stale values (same-thread merges see their own
+    // writes, the scheduler only smooths `inprogress`).
     counter: Arc<AtomicU64>,
 }
 
@@ -52,6 +55,7 @@ pub(crate) struct Merge01 {
     pub(crate) full_region: Region,
     /// Old `C1` input stream (None when there was no `C1`).
     pub(crate) c1_stream: Option<std::iter::Peekable<CountingStream>>,
+    // ordering: Relaxed — pacing progress counter (see CountingStream).
     pub(crate) c1_consumed: Arc<AtomicU64>,
     /// `|C0'| + |C1|` at pass start.
     pub(crate) input_total: u64,
@@ -72,6 +76,7 @@ pub(crate) struct Merge12 {
     pub(crate) builder: SstableBuilder,
     pub(crate) full_region: Region,
     pub(crate) iter: MergeIter<'static>,
+    // ordering: Relaxed — pacing progress counter (see CountingStream).
     pub(crate) consumed: Arc<AtomicU64>,
     pub(crate) input_total: u64,
 }

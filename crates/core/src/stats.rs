@@ -35,33 +35,33 @@ fn read(counter: &AtomicU64) -> u64 {
 #[derive(Debug, Default)]
 pub struct TreeStats {
     /// Application point lookups.
-    pub(crate) gets: AtomicU64,
+    pub(crate) gets: AtomicU64, // ordering: Relaxed (statistic)
     /// Application writes (put/delete/delta).
-    pub(crate) writes: AtomicU64,
+    pub(crate) writes: AtomicU64, // ordering: Relaxed (statistic)
     /// Application scans.
-    pub(crate) scans: AtomicU64,
+    pub(crate) scans: AtomicU64, // ordering: Relaxed (statistic)
     /// `insert_if_not_exists` calls.
-    pub(crate) check_inserts: AtomicU64,
+    pub(crate) check_inserts: AtomicU64, // ordering: Relaxed (statistic)
     /// On-disk component probes actually performed (post-bloom).
-    pub(crate) disk_probes: AtomicU64,
+    pub(crate) disk_probes: AtomicU64, // ordering: Relaxed (statistic)
     /// Component probes skipped because a Bloom filter said "absent".
-    pub(crate) bloom_skips: AtomicU64,
+    pub(crate) bloom_skips: AtomicU64, // ordering: Relaxed (statistic)
     /// Reads that terminated at a base record before exhausting components.
-    pub(crate) early_terminations: AtomicU64,
+    pub(crate) early_terminations: AtomicU64, // ordering: Relaxed (statistic)
     /// Bytes of user data written by the application.
-    pub(crate) user_bytes_written: AtomicU64,
+    pub(crate) user_bytes_written: AtomicU64, // ordering: Relaxed (statistic)
     /// Input bytes consumed by merges (both levels).
-    pub(crate) merge_bytes_consumed: AtomicU64,
+    pub(crate) merge_bytes_consumed: AtomicU64, // ordering: Relaxed (statistic)
     /// `C0:C1` merge passes completed.
-    pub(crate) merges01: AtomicU64,
+    pub(crate) merges01: AtomicU64, // ordering: Relaxed (statistic)
     /// `C1':C2` merges completed.
-    pub(crate) merges12: AtomicU64,
+    pub(crate) merges12: AtomicU64, // ordering: Relaxed (statistic)
     /// Writes that hit the hard `C0` cap and had to run forced merge work.
-    pub(crate) forced_stalls: AtomicU64,
+    pub(crate) forced_stalls: AtomicU64, // ordering: Relaxed (statistic)
     /// Scrub passes completed over the on-disk components.
-    pub(crate) scrubs: AtomicU64,
+    pub(crate) scrubs: AtomicU64, // ordering: Relaxed (statistic)
     /// Total problems reported by scrub passes.
-    pub(crate) scrub_errors: AtomicU64,
+    pub(crate) scrub_errors: AtomicU64, // ordering: Relaxed (statistic)
 }
 
 impl TreeStats {

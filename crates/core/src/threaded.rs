@@ -36,6 +36,10 @@ struct Shared {
     /// Signalled by writers when merge work may be pending.
     work_cv: Condvar,
     work_pending: Mutex<bool>,
+    // ordering: SeqCst — shutdown flag checked against the condvar
+    // handshake; SeqCst keeps the store totally ordered with the
+    // `work_pending` notifies so the merge loop cannot miss it
+    // (model-checked in crates/modelcheck).
     shutdown: AtomicBool,
 }
 

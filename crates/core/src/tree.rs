@@ -464,8 +464,12 @@ impl BLsmTree {
     fn pace(&mut self, incoming: u64) -> Result<()> {
         let mut ran_quantum = false;
         if !self.shared.config.external_pacing {
-            if self.merge01.is_none()
-                && !self.shared.c0.read().is_empty()
+            // The `c0` read guard must drop before `sched_inputs`
+            // re-acquires it; as a temporary in one condition it would
+            // stay live across the call (recursive read acquisition —
+            // deadlocks once a writer queues between the two).
+            let c0_has_data = self.merge01.is_none() && !self.shared.c0.read().is_empty();
+            if c0_has_data
                 && self
                     .scheduler
                     .should_start_merge01(&self.sched_inputs(incoming))
@@ -560,10 +564,11 @@ impl BLsmTree {
     /// level. Lets callers drive merges during idle periods (§3.2's
     /// "merges can be run during off-peak periods").
     pub fn maintenance(&mut self, budget: u64) -> Result<()> {
-        if self.merge01.is_none()
-            && !self.shared.c0.read().is_empty()
-            && self.scheduler.should_start_merge01(&self.sched_inputs(0))
-        {
+        // As in `pace`: drop the `c0` read guard before `sched_inputs`
+        // re-acquires it (recursive read acquisition deadlocks once a
+        // writer queues between the two).
+        let c0_has_data = self.merge01.is_none() && !self.shared.c0.read().is_empty();
+        if c0_has_data && self.scheduler.should_start_merge01(&self.sched_inputs(0)) {
             self.start_merge01()?;
         }
         let ran_quantum = self.merge01.is_some() || self.merge12.is_some();

@@ -97,6 +97,8 @@ struct Compaction {
     /// Inputs from `level + 1`.
     lower: Vec<Arc<Sstable>>,
     iter: MergeIter<'static>,
+    // ordering: Relaxed — compaction pacing progress counter; readers
+    // only need an eventually-fresh value.
     consumed: Arc<std::sync::atomic::AtomicU64>,
     builder: Option<SstableBuilder>,
     builder_full_region: Option<Region>,
@@ -598,6 +600,7 @@ fn free_tail(allocator: &mut RegionAllocator, full: Region, used: u64) {
 /// Counting wrapper for compaction progress.
 struct Counting {
     inner: blsm_sstable::SstIterator,
+    // ordering: Relaxed — bytes-consumed pacing counter (see `consumed`).
     counter: Arc<std::sync::atomic::AtomicU64>,
 }
 

@@ -1,0 +1,233 @@
+//! Model-checked miniatures of the three core bLSM concurrency
+//! protocols, written against the swappable `sync` layer so the
+//! deterministic scheduler (`sync` with the `model` feature) can
+//! explore every interleaving of their scheduling decisions.
+//!
+//! Each protocol takes a mode switch that either runs the shape the
+//! real code uses (`Correct`) or deliberately reintroduces a historical
+//! bug class, which the checker must catch:
+//!
+//! * [`condvar_handshake`] — the merge thread's `work_pending` /
+//!   `work_cv` sleep from `blsm::threaded`. The buggy mode signals
+//!   shutdown without taking the mutex: the notify can land between the
+//!   worker's predicate check and its park, and with a timeout-free
+//!   wait the lost wakeup manifests as a deadlock.
+//! * [`catalog_publish_reap`] — `CatalogCell` publication plus
+//!   sole-`Arc` reclamation of the superseded catalog. The buggy mode
+//!   reaps without checking `Arc::strong_count`, so a reader holding a
+//!   clone can observe a reaped catalog.
+//! * [`snowshovel_handoff`] — the C0 snowshovel's consumed-prefix
+//!   handoff: entries inserted while a merge quantum is in flight must
+//!   be retained for the next pass. The buggy mode clears the whole
+//!   buffer, losing concurrent inserts.
+//!
+//! The invariants are `assert!`s inside the protocols; the model
+//! checker reports any schedule that violates one (or deadlocks), with
+//! the decision sequence needed to replay it.
+
+use sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use sync::{thread, Arc, Condvar, Mutex, RwLock};
+
+/// How the shutdown side of the handshake behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shutdown {
+    /// The shipped shape: set the flag, then set `work_pending` and
+    /// notify *under the mutex*.
+    Correct,
+    /// The historical bug: set the flag and notify without the mutex.
+    /// The notify can race into the predicate-to-park window and be
+    /// lost; the worker then sleeps forever.
+    LostWakeup,
+}
+
+/// The merge thread's sleep/kick handshake (`blsm::threaded`), with a
+/// timeout-free wait so a lost wakeup deadlocks instead of costing
+/// latency. `kicks` is the number of work units handed over before
+/// shutdown (1 for PR-bounded runs, more for nightly depth).
+pub fn condvar_handshake(mode: Shutdown, kicks: usize) {
+    struct Shared {
+        work_pending: Mutex<bool>,
+        work_cv: Condvar,
+        // ordering: SeqCst — mirrors the production shutdown flag; under the
+        // model scheduler every ordering is sequentially consistent anyway.
+        shutdown: AtomicBool,
+        // ordering: SeqCst — quantum counter checked after the join.
+        quanta: AtomicU64,
+    }
+    let shared = Arc::new(Shared {
+        work_pending: Mutex::new(false),
+        work_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        quanta: AtomicU64::new(0),
+    });
+
+    let worker = {
+        let s = Arc::clone(&shared);
+        thread::spawn(move || loop {
+            if s.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let mut pending = s.work_pending.lock();
+            while !*pending && !s.shutdown.load(Ordering::SeqCst) {
+                s.work_cv.wait(&mut pending);
+            }
+            if *pending {
+                *pending = false;
+                drop(pending);
+                s.quanta.fetch_add(1, Ordering::SeqCst);
+            }
+        })
+    };
+
+    for _ in 0..kicks {
+        let mut pending = shared.work_pending.lock();
+        *pending = true;
+        shared.work_cv.notify_one();
+    }
+
+    shared.shutdown.store(true, Ordering::SeqCst);
+    match mode {
+        Shutdown::Correct => {
+            let mut pending = shared.work_pending.lock();
+            *pending = true;
+            shared.work_cv.notify_one();
+        }
+        Shutdown::LostWakeup => {
+            shared.work_cv.notify_one();
+        }
+    }
+    drop(worker.join());
+
+    let quanta = shared.quanta.load(Ordering::SeqCst);
+    assert!(
+        quanta as usize <= kicks + 1,
+        "worker ran {quanta} quanta for {kicks} kick(s)"
+    );
+}
+
+/// How the superseded catalog is reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reap {
+    /// The shipped shape: reclaim only as the sole `Arc` owner; a
+    /// catalog still pinned by a reader is retained for a later
+    /// quantum.
+    SoleOwner,
+    /// The bug: reclaim unconditionally on publish, ignoring pins.
+    Premature,
+}
+
+/// One published catalog generation. `freed` models on-disk resources
+/// being reclaimed; a reader holding the `Arc` must never see it set.
+#[derive(Debug)]
+pub struct Catalog {
+    pub generation: u64,
+    // ordering: SeqCst — models resource reclamation; the invariant is that
+    // no reader's load ever observes `true` while it holds the `Arc`.
+    freed: AtomicBool,
+}
+
+/// `CatalogCell` publish (`blsm::catalog`) + sole-`Arc` reap: `readers`
+/// concurrently snapshot the cell (a lock-free read-path load) while
+/// the main thread publishes a successor and reclaims the old
+/// generation.
+pub fn catalog_publish_reap(mode: Reap, readers: usize) {
+    let cell = Arc::new(RwLock::new(Arc::new(Catalog {
+        generation: 0,
+        freed: AtomicBool::new(false),
+    })));
+
+    let handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                let snap = cell.read().clone();
+                assert!(
+                    !snap.freed.load(Ordering::SeqCst),
+                    "reader observed a reaped catalog (generation {})",
+                    snap.generation
+                );
+                snap.generation
+            })
+        })
+        .collect();
+
+    let old = {
+        let mut slot = cell.write();
+        std::mem::replace(
+            &mut *slot,
+            Arc::new(Catalog {
+                generation: 1,
+                freed: AtomicBool::new(false),
+            }),
+        )
+    };
+    match mode {
+        Reap::SoleOwner => {
+            // Once unpublished the count only decreases, so observing 1
+            // proves no reader pins it; otherwise retain it for a later
+            // quantum (modeled by simply not reaping in this run).
+            if Arc::strong_count(&old) == 1 {
+                old.freed.store(true, Ordering::SeqCst);
+            }
+        }
+        Reap::Premature => {
+            old.freed.store(true, Ordering::SeqCst);
+        }
+    }
+
+    for h in handles {
+        if let Ok(generation) = h.join() {
+            assert!(generation <= 1, "reader saw unpublished generation");
+        }
+    }
+}
+
+/// What the merge does with C0 after writing a quantum out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Handoff {
+    /// The shipped shape: remove exactly the consumed (snapshotted)
+    /// prefix; entries inserted mid-merge are retained.
+    RetainNew,
+    /// The bug: clear the whole buffer, dropping concurrent inserts.
+    ClearAll,
+}
+
+/// The snowshovel retained-entry handoff (`blsm::c0`): writers insert
+/// while the merge snapshots, "writes to C1", and trims the buffer.
+/// Invariant: every inserted key ends up consumed or still resident.
+pub fn snowshovel_handoff(mode: Handoff, writers: usize) {
+    let c0 = Arc::new(Mutex::new(vec![1u64, 2]));
+
+    let handles: Vec<_> = (0..writers)
+        .map(|i| {
+            let c0 = Arc::clone(&c0);
+            thread::spawn(move || c0.lock().push(10 + i as u64))
+        })
+        .collect();
+
+    // Merge quantum (main thread): snapshot the consumed prefix …
+    let consumed: Vec<u64> = c0.lock().clone();
+    // … write it to C1 (not modeled) … then hand the buffer back.
+    match mode {
+        Handoff::RetainNew => {
+            c0.lock().retain(|k| !consumed.contains(k));
+        }
+        Handoff::ClearAll => {
+            c0.lock().clear();
+        }
+    }
+
+    for h in handles {
+        drop(h.join());
+    }
+
+    let remaining = c0.lock().clone();
+    let mut expected: Vec<u64> = vec![1, 2];
+    expected.extend((0..writers).map(|i| 10 + i as u64));
+    for k in expected {
+        assert!(
+            consumed.contains(&k) || remaining.contains(&k),
+            "entry {k} lost in the C0 handoff"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Model-checking entry points: each protocol is explored exhaustively
+//! in its correct shape (zero failing schedules) and must be *caught*
+//! in its deliberately buggy shape.
+//!
+//! The `deep_` variants widen the protocols (more kicks / readers /
+//! writers) and are `#[ignore]`d: the nightly CI job runs them with
+//! `cargo test -p blsm-modelcheck -- --ignored`.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use blsm_modelcheck::{
+    catalog_publish_reap, condvar_handshake, snowshovel_handoff, Handoff, Reap, Shutdown,
+};
+use sync::{model_check, model_check_with};
+
+#[test]
+fn handshake_correct_is_exhaustively_clean() {
+    let report = model_check(|| condvar_handshake(Shutdown::Correct, 1)).unwrap();
+    assert!(
+        report.complete,
+        "handshake exploration hit the budget after {} executions",
+        report.executions
+    );
+    assert!(report.executions > 1, "scheduler never branched");
+}
+
+#[test]
+fn handshake_lost_wakeup_is_detected() {
+    let failure = model_check(|| condvar_handshake(Shutdown::LostWakeup, 1))
+        .expect_err("lost-wakeup shutdown must be caught");
+    assert!(
+        failure.message.contains("deadlock"),
+        "expected a deadlock report, got: {failure}"
+    );
+}
+
+#[test]
+fn catalog_reap_correct_is_exhaustively_clean() {
+    let report = model_check(|| catalog_publish_reap(Reap::SoleOwner, 1)).unwrap();
+    assert!(
+        report.complete,
+        "catalog exploration hit the budget after {} executions",
+        report.executions
+    );
+    assert!(report.executions > 1, "scheduler never branched");
+}
+
+#[test]
+fn catalog_premature_reap_is_detected() {
+    let failure = model_check(|| catalog_publish_reap(Reap::Premature, 1))
+        .expect_err("premature reap must be caught");
+    assert!(
+        failure.message.contains("reaped catalog"),
+        "expected the reader assertion, got: {failure}"
+    );
+}
+
+#[test]
+fn snowshovel_handoff_correct_is_exhaustively_clean() {
+    let report = model_check(|| snowshovel_handoff(Handoff::RetainNew, 1)).unwrap();
+    assert!(
+        report.complete,
+        "snowshovel exploration hit the budget after {} executions",
+        report.executions
+    );
+    assert!(report.executions > 1, "scheduler never branched");
+}
+
+#[test]
+fn snowshovel_clear_all_is_detected() {
+    let failure = model_check(|| snowshovel_handoff(Handoff::ClearAll, 1))
+        .expect_err("clear-all handoff must be caught");
+    assert!(
+        failure.message.contains("lost in the C0 handoff"),
+        "expected the lost-entry assertion, got: {failure}"
+    );
+}
+
+// ------------------------------------------------------------------
+// Nightly depth: wider protocols, still expected clean / caught.
+// ------------------------------------------------------------------
+
+#[test]
+#[ignore = "deep exploration for the nightly model-check job"]
+fn deep_handshake_two_kicks() {
+    let report = model_check(|| condvar_handshake(Shutdown::Correct, 2)).unwrap();
+    assert!(report.complete || report.executions > 10_000);
+}
+
+#[test]
+#[ignore = "deep exploration for the nightly model-check job"]
+fn deep_catalog_two_readers() {
+    let report = model_check(|| catalog_publish_reap(Reap::SoleOwner, 2)).unwrap();
+    assert!(report.complete || report.executions > 10_000);
+}
+
+#[test]
+#[ignore = "deep exploration for the nightly model-check job"]
+fn deep_catalog_two_readers_premature_reap_detected() {
+    // The failing schedule sits deep in the two-reader tree; the
+    // default budget runs out before DFS reaches it.
+    model_check_with(2_000_000, || catalog_publish_reap(Reap::Premature, 2))
+        .expect_err("premature reap must be caught at depth too");
+}
+
+#[test]
+#[ignore = "deep exploration for the nightly model-check job"]
+fn deep_snowshovel_two_writers() {
+    let report = model_check(|| snowshovel_handoff(Handoff::RetainNew, 2)).unwrap();
+    assert!(report.complete || report.executions > 10_000);
+}

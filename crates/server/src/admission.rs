@@ -65,8 +65,11 @@ pub enum WriteAdmission {
 #[derive(Debug, Default)]
 pub struct AdmissionController {
     config: AdmissionConfig,
+    // ordering: SeqCst — per-request decision counters, off any hot path.
     admitted: AtomicU64,
+    // ordering: SeqCst — per-request decision counters, off any hot path.
     delayed: AtomicU64,
+    // ordering: SeqCst — per-request decision counters, off any hot path.
     rejected: AtomicU64,
 }
 

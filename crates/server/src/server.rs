@@ -61,10 +61,15 @@ struct Inner {
     config: ServerConfig,
     /// Set by `shutdown()` or a SHUTDOWN request; accept loop and
     /// connection threads poll it.
+    // ordering: SeqCst — shutdown flag; totally ordered with the
+    // wake-up connect so the accept loop cannot miss it.
     stop: AtomicBool,
     /// Live connection threads (leak detector for tests).
+    // ordering: SeqCst — paired inc/dec observed by the shutdown
+    // drain loop; SeqCst keeps it totally ordered with `stop`.
     active_connections: AtomicU64,
     /// Total requests answered.
+    // ordering: SeqCst — statistic read by STATS replies.
     served: AtomicU64,
 }
 

@@ -57,10 +57,10 @@ pub struct PoolStats {
 /// `core::stats`).
 #[derive(Default)]
 struct AtomicPoolStats {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    writebacks: AtomicU64,
+    hits: AtomicU64,       // ordering: Relaxed (statistic; snapshots may tear)
+    misses: AtomicU64,     // ordering: Relaxed (statistic; snapshots may tear)
+    evictions: AtomicU64,  // ordering: Relaxed (statistic; snapshots may tear)
+    writebacks: AtomicU64, // ordering: Relaxed (statistic; snapshots may tear)
 }
 
 impl AtomicPoolStats {

@@ -111,7 +111,11 @@ impl CrashCore {
 pub struct CrashPlan {
     crash_at: u64,
     seed: u64,
+    // ordering: AcqRel fetch_add hands out crash-point indexes; Acquire
+    // loads pair with it so observers see a consistent count.
     ops: AtomicU64,
+    // ordering: Release store publishes the tripped state after the
+    // partial write is staged; Acquire loads pair with it.
     crashed: AtomicBool,
     devices: Mutex<Vec<Arc<CrashCore>>>,
 }

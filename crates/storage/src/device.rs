@@ -205,6 +205,8 @@ impl Device for MemDevice {
 /// File-backed device for real deployments.
 pub struct FileDevice {
     file: File,
+    // ordering: Release fetch_max publishes the new end-of-device after
+    // the backing write completes; Acquire loads pair with it.
     len: AtomicU64,
     inner: Mutex<FileTracking>,
 }

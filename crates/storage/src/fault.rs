@@ -82,7 +82,11 @@ impl FaultMode {
 pub struct FaultyDevice {
     inner: SharedDevice,
     mode: FaultMode,
+    // ordering: AcqRel fetch_update decrements the budget; Acquire
+    // loads pair with it.
     remaining: AtomicU64,
+    // ordering: Release store publishes the trip after the budget hits
+    // zero; Acquire loads pair with it.
     tripped: std::sync::atomic::AtomicBool,
 }
 

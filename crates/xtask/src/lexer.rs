@@ -1,0 +1,508 @@
+//! A minimal span-based Rust lexer for the lint engine.
+//!
+//! Produces a token stream that *tiles* the source: every byte of the
+//! input belongs to exactly one token (including whitespace and comment
+//! trivia), so `tokens.map(|t| &src[t.start..t.end]).concat() == src`.
+//! That round-trip property is what the proptests in
+//! `crates/xtask/tests/` pin down, and it is the reason the engine can
+//! never be fooled by `Ordering::Relaxed` inside a comment or a `{`
+//! inside a string literal — those bytes are classified once, here, and
+//! every rule downstream sees only classified tokens.
+//!
+//! This is not a conforming Rust lexer; it covers the constructs that
+//! appear in this workspace (nested block comments, raw strings with
+//! hashes, byte strings, char literals vs lifetimes, doc comments) and
+//! degrades gracefully on anything else: unknown bytes become one-byte
+//! `Punct` tokens, and an unterminated literal extends to end of input.
+
+/// Bracket-like delimiter kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `{` / `}`
+    Brace,
+    /// `(` / `)`
+    Paren,
+    /// `[` / `]`
+    Bracket,
+}
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// String-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'x'`.
+    CharLit,
+    /// One punctuation character (operators are not glued).
+    Punct,
+    /// Opening delimiter.
+    Open(Delim),
+    /// Closing delimiter.
+    Close(Delim),
+    /// `// …` comment; `doc` for `///` and `//!`.
+    LineComment {
+        /// Whether this is a doc comment (`///` or `//!`).
+        doc: bool,
+    },
+    /// `/* … */` comment (nesting handled); `doc` for `/**` and `/*!`.
+    BlockComment {
+        /// Whether this is a doc comment (`/**` or `/*!`).
+        doc: bool,
+    },
+    /// A run of whitespace (may span lines).
+    Whitespace,
+}
+
+impl TokenKind {
+    /// Trivia tokens carry no code meaning (whitespace and comments).
+    pub fn is_trivia(self) -> bool {
+        matches!(
+            self,
+            TokenKind::Whitespace | TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// Comment tokens (doc or not).
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+}
+
+/// One lexed token: a kind plus the byte span it covers and the
+/// (1-based) source line its first byte sits on.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+/// Lexes `source` into a token stream tiling the whole input.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.char_indices().collect(),
+        src_len: source.len(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    /// `(byte_offset, char)` pairs for the whole input.
+    chars: Vec<(usize, char)>,
+    src_len: usize,
+    /// Index into `chars`.
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.chars.len() {
+            let start = self.pos;
+            let c = self.chars[start].1;
+            let kind = match c {
+                c if c.is_whitespace() => self.whitespace(),
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                'r' if self.raw_string_ahead(1) => self.raw_string(1),
+                'b' if self.peek(1) == Some('"') => self.string(2),
+                'b' if self.peek(1) == Some('\'') => self.char_lit(2),
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => self.raw_string(2),
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                '"' => self.string(1),
+                '\'' => self.quote(),
+                '{' => self.one(TokenKind::Open(Delim::Brace)),
+                '}' => self.one(TokenKind::Close(Delim::Brace)),
+                '(' => self.one(TokenKind::Open(Delim::Paren)),
+                ')' => self.one(TokenKind::Close(Delim::Paren)),
+                '[' => self.one(TokenKind::Open(Delim::Bracket)),
+                ']' => self.one(TokenKind::Close(Delim::Bracket)),
+                _ => self.one(TokenKind::Punct),
+            };
+            let end = self.byte_at(self.pos);
+            self.out.push(Token {
+                kind,
+                start: self.chars[start].0,
+                end,
+                line: self.token_line(start),
+            });
+        }
+        self.out
+    }
+
+    /// The line number of the token that starts at char index `start`
+    /// (`self.line` has already advanced past any newlines consumed).
+    fn token_line(&self, start: usize) -> u32 {
+        let consumed_newlines = self.chars[start..self.pos]
+            .iter()
+            .filter(|(_, c)| *c == '\n')
+            .count() as u32;
+        self.line - consumed_newlines
+    }
+
+    fn byte_at(&self, char_idx: usize) -> usize {
+        self.chars.get(char_idx).map_or(self.src_len, |(b, _)| *b)
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|(_, c)| *c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).map(|(_, c)| *c);
+        if let Some(c) = c {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn one(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn whitespace(&mut self) -> TokenKind {
+        while self.peek(0).is_some_and(char::is_whitespace) {
+            self.bump();
+        }
+        TokenKind::Whitespace
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        // `///` is doc, but `////…` is a plain comment (rustdoc rule);
+        // `//!` is inner doc.
+        let doc =
+            (self.peek(2) == Some('/') && self.peek(3) != Some('/')) || self.peek(2) == Some('!');
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokenKind::LineComment { doc }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // `/**/` is empty non-doc; `/**x` and `/*!` are doc.
+        let doc =
+            (self.peek(2) == Some('*') && self.peek(3) != Some('/')) || self.peek(2) == Some('!');
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        TokenKind::BlockComment { doc }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        // Raw identifier `r#name` (reached via `raw_string_ahead` being
+        // false for `r#` + non-quote).
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+
+    fn number(&mut self) -> TokenKind {
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `1..n` does not.
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && matches!(
+                    self.chars.get(self.pos.wrapping_sub(1)),
+                    Some((_, 'e' | 'E'))
+                )
+            {
+                // Exponent sign: `1e-5`.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Number
+    }
+
+    /// Is `r`/`br` at `self.pos` followed (after `hash_offset` chars)
+    /// by `#*"` — i.e. a raw string opener?
+    fn raw_string_ahead(&self, from: usize) -> bool {
+        let mut i = from;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    /// Lexes `r#*"…"#*` (and `br` variants); `prefix_len` is the number
+    /// of chars before the first `#` or `"` (1 for `r`, 2 for `br`).
+    fn raw_string(&mut self, prefix_len: usize) -> TokenKind {
+        for _ in 0..prefix_len {
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// Lexes a (possibly `b`-prefixed) escaped string literal;
+    /// `prefix_len` counts the chars through the opening quote.
+    fn string(&mut self, prefix_len: usize) -> TokenKind {
+        for _ in 0..prefix_len {
+            self.bump();
+        }
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        TokenKind::Str
+    }
+
+    fn char_lit(&mut self, prefix_len: usize) -> TokenKind {
+        for _ in 0..prefix_len {
+            self.bump();
+        }
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        TokenKind::CharLit
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime/label) at a `'`.
+    fn quote(&mut self) -> TokenKind {
+        let next = self.peek(1);
+        let is_lifetime =
+            next.is_some_and(|c| c.is_alphabetic() || c == '_') && self.peek(2) != Some('\'');
+        if is_lifetime {
+            self.bump(); // '
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                self.bump();
+            }
+            TokenKind::Lifetime
+        } else {
+            self.char_lit(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.kind.is_trivia())
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    #[test]
+    fn tiles_the_source() {
+        let src = "fn f() { let a = \"{\"; // }\n let b = 'x'; /* { */ }";
+        let toks = lex(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap before {t:?}");
+            assert!(t.end > t.start || src.is_empty());
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len());
+    }
+
+    #[test]
+    fn strings_and_comments_are_single_tokens() {
+        let src = "let a = \"{ not a brace }\"; // Ordering::Relaxed\nlet b = 1;";
+        let toks = texts(src);
+        assert!(toks
+            .iter()
+            .all(|(k, s)| !(matches!(k, TokenKind::Open(_)) || s.contains("Relaxed"))));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"quote " inside"#; x"####;
+        let toks = texts(src);
+        let s = toks
+            .iter()
+            .find(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, s)| *s)
+            .unwrap();
+        assert_eq!(s, r###"r#"quote " inside"#"###);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }";
+        let toks = texts(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::CharLit)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still */ b";
+        let toks = texts(src);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].1, "a");
+        assert_eq!(toks[1].1, "b");
+    }
+
+    #[test]
+    fn doc_comment_classification() {
+        let cases = [
+            ("/// doc", true),
+            ("//! doc", true),
+            ("// plain", false),
+            ("//// not doc", false),
+            ("/** doc */", true),
+            ("/*! doc */", true),
+            ("/* plain */", false),
+        ];
+        for (src, want_doc) in cases {
+            let t = lex(src).into_iter().next().unwrap();
+            let got = match t.kind {
+                TokenKind::LineComment { doc } | TokenKind::BlockComment { doc } => doc,
+                k => panic!("{src}: {k:?}"),
+            };
+            assert_eq!(got, want_doc, "{src}");
+        }
+    }
+
+    #[test]
+    fn line_numbers() {
+        let src = "a\nb\n  c";
+        let toks: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| !t.kind.is_trivia())
+            .collect();
+        assert_eq!(toks.iter().map(|t| t.line).collect::<Vec<_>>(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn multiline_string_line_tracking() {
+        let src = "let s = \"line\nline\";\nx";
+        let toks: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| !t.kind.is_trivia())
+            .collect();
+        let x = toks.last().unwrap();
+        assert_eq!(src[x.start..x.end].to_string(), "x");
+        assert_eq!(x.line, 3);
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_ranges() {
+        let src = "let a = 1.5e-3; let b = 0..10; let c = 0xFF_u64;";
+        let toks = texts(src);
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(nums, ["1.5e-3", "0", "10", "0xFF_u64"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let src = "let r#type = 1;";
+        let toks = texts(src);
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && *s == "r#type"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(lex("").is_empty());
+    }
+}

@@ -1,0 +1,21 @@
+//! Workspace automation library: the token/syntax-aware lint engine
+//! behind `cargo xtask lint`.
+//!
+//! Layering, bottom to top:
+//!
+//! - [`lexer`] — a span-based tiling lexer (tokens exactly tile the
+//!   source, so nothing can hide in comments or string literals).
+//! - [`syntax`] — the brace tree: blocks classified by their heads
+//!   (fn / loop / `#[cfg(test)]` mod / struct / impl).
+//! - [`walker`] — the guard-liveness walk over one function body.
+//! - [`rules`] — the lint rules built on those layers.
+//! - [`engine`] — file discovery, allowlist, output formats.
+//!
+//! The library exists so integration tests (and fixtures under
+//! `tests/fixtures/`) can drive [`engine::analyze`] directly.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod syntax;
+pub mod walker;

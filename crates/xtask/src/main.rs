@@ -1,17 +1,31 @@
 //! Workspace automation tasks. Run as `cargo xtask <task>`.
 //!
 //! The only task today is `lint`: repo-specific static analysis rules
-//! that clippy cannot express (see `lint` module docs and DESIGN.md's
-//! "Correctness tooling" section).
-
-mod lint;
+//! that clippy cannot express (see the `rules` module docs and
+//! DESIGN.md §14 / "Correctness tooling" in the README).
 
 use std::process::ExitCode;
+
+use xtask::engine::{self, Output};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("lint") | None => lint::run(),
+        Some("lint") | None => {
+            let mut output = Output::Text;
+            for flag in args {
+                match flag.as_str() {
+                    "--json" => output = Output::Json,
+                    "--github" => output = Output::Github,
+                    other => {
+                        eprintln!("unknown lint flag `{other}`");
+                        print_usage();
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            engine::run(output)
+        }
         Some("help" | "--help" | "-h") => {
             print_usage();
             ExitCode::SUCCESS
@@ -25,9 +39,11 @@ fn main() -> ExitCode {
 }
 
 fn print_usage() {
-    eprintln!("usage: cargo xtask [lint]");
+    eprintln!("usage: cargo xtask [lint] [--json|--github]");
     eprintln!();
     eprintln!("tasks:");
-    eprintln!("  lint    run repo-specific static-analysis rules over the workspace");
-    eprintln!("          (allowlist for audited exceptions: xtask-lint.allow)");
+    eprintln!("  lint            run repo-specific static-analysis rules over the workspace");
+    eprintln!("                  (allowlist for audited exceptions: xtask-lint.allow)");
+    eprintln!("  lint --json     machine-readable findings on stdout");
+    eprintln!("  lint --github   GitHub Actions ::error annotations for CI");
 }

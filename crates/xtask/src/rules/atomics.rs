@@ -1,0 +1,343 @@
+//! `atomic-ordering-doc`: the atomics inventory.
+//!
+//! Every `AtomicX` struct field in `crates/*/src` must carry an
+//! `// ordering:` annotation (same line or in the comment block directly
+//! above) naming the memory-ordering protocol it participates in —
+//! which of Relaxed / Acquire / Release / AcqRel / SeqCst its accesses
+//! use and why. The annotation is then checked against the orderings
+//! actually used at each load/store/rmw site whose receiver is that
+//! field: an access with an ordering the annotation doesn't name is a
+//! finding (either the protocol changed — update the doc — or the
+//! access is wrong — fix the code). DESIGN.md §14 lists the protocols.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Delim, TokenKind};
+use crate::syntax::{Block, BlockKind, SourceFile};
+
+use super::{is_test_like, Finding, FnSummary, ORDERINGS};
+
+/// One atomic struct field.
+#[derive(Debug, Clone)]
+pub struct AtomicField {
+    /// Workspace-relative file.
+    pub file: String,
+    /// Owning struct.
+    pub strukt: String,
+    /// Field name.
+    pub name: String,
+    /// 1-based line of the field.
+    pub line: usize,
+    /// Orderings named by the `// ordering:` annotation, if present.
+    pub annotated: Option<Vec<String>>,
+}
+
+/// One atomic access site (`recv.load(Ordering::X)` …).
+#[derive(Debug, Clone)]
+pub struct AtomicUse {
+    /// Workspace-relative file.
+    pub file: String,
+    /// Enclosing function.
+    pub function: String,
+    /// Receiver identifier (candidate field name).
+    pub recv: String,
+    /// Access method (`load`, `store`, `fetch_add`, …).
+    pub method: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Orderings passed at the site.
+    pub orderings: Vec<String>,
+}
+
+/// Per-crate inventory accumulated across files.
+#[derive(Debug, Default)]
+pub struct Inventory {
+    fields: BTreeMap<String, Vec<AtomicField>>,
+    uses: BTreeMap<String, Vec<AtomicUse>>,
+}
+
+impl Inventory {
+    /// Records one file's atomic fields and access sites. `fns` are the
+    /// file's walked function summaries (for access sites).
+    pub fn collect_file(&mut self, rel: &str, sf: &SourceFile<'_>, fns: &[FnSummary]) {
+        let Some(krate) = crate_of(rel) else {
+            return;
+        };
+        if is_test_like(rel) {
+            return;
+        }
+        let fields = self.fields.entry(krate.clone()).or_default();
+        collect_fields(rel, sf, &sf.root, false, fields);
+
+        let uses = self.uses.entry(krate).or_default();
+        for f in fns.iter().filter(|f| !f.is_test) {
+            for c in &f.calls {
+                if c.arg_orderings.is_empty() {
+                    continue;
+                }
+                let Some(recv) = &c.recv_last else {
+                    continue;
+                };
+                uses.push(AtomicUse {
+                    file: rel.to_string(),
+                    function: f.name.clone(),
+                    recv: recv.clone(),
+                    method: c.name.clone(),
+                    line: c.line,
+                    orderings: c.arg_orderings.clone(),
+                });
+            }
+        }
+    }
+
+    /// All atomic field names of `krate` (feeds the lock-order filter).
+    pub fn field_names(&self, krate: &str) -> BTreeSet<String> {
+        self.fields
+            .get(krate)
+            .map(|fs| fs.iter().map(|f| f.name.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Checks annotations and use sites; consumes nothing.
+    pub fn check(&self) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for (krate, fields) in &self.fields {
+            // Field name → union of annotated orderings (a name may
+            // repeat across structs; the union is the safe comparison).
+            let mut allowed: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+            let mut documented: BTreeSet<&str> = BTreeSet::new();
+            for f in fields {
+                match &f.annotated {
+                    None => findings.push(Finding {
+                        rule: "atomic-ordering-doc",
+                        file: f.file.clone(),
+                        line: f.line,
+                        function: f.strukt.clone(),
+                        message: format!(
+                            "atomic field `{}` lacks a `// ordering:` annotation naming \
+                             its protocol (which orderings its accesses use, and why); \
+                             see DESIGN.md §14",
+                            f.name
+                        ),
+                    }),
+                    Some(named) if named.is_empty() => findings.push(Finding {
+                        rule: "atomic-ordering-doc",
+                        file: f.file.clone(),
+                        line: f.line,
+                        function: f.strukt.clone(),
+                        message: format!(
+                            "`// ordering:` annotation on atomic field `{}` names no \
+                             ordering (expected one or more of Relaxed / Acquire / \
+                             Release / AcqRel / SeqCst)",
+                            f.name
+                        ),
+                    }),
+                    Some(named) => {
+                        documented.insert(f.name.as_str());
+                        let set = allowed.entry(f.name.as_str()).or_default();
+                        set.extend(named.iter().map(String::as_str));
+                    }
+                }
+            }
+            for u in self.uses.get(krate).into_iter().flatten() {
+                let Some(set) = allowed.get(u.recv.as_str()) else {
+                    continue; // not a documented field (locals, params, …)
+                };
+                if !documented.contains(u.recv.as_str()) {
+                    continue;
+                }
+                for o in &u.orderings {
+                    if !set.contains(o.as_str()) {
+                        findings.push(Finding {
+                            rule: "atomic-ordering-doc",
+                            file: u.file.clone(),
+                            line: u.line,
+                            function: u.function.clone(),
+                            message: format!(
+                                "atomic `{}` accessed via `{}` with Ordering::{} but its \
+                                 `// ordering:` annotation names only {{{}}}; update the \
+                                 annotation or fix the access",
+                                u.recv,
+                                u.method,
+                                o,
+                                set.iter().copied().collect::<Vec<_>>().join(", ")
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        findings
+    }
+}
+
+/// The `std::sync::atomic` type names (a wrapper struct whose name
+/// merely starts with `Atomic` is not itself an atomic).
+fn is_atomic_type(name: &str) -> bool {
+    matches!(
+        name,
+        "AtomicBool"
+            | "AtomicU8"
+            | "AtomicU16"
+            | "AtomicU32"
+            | "AtomicU64"
+            | "AtomicUsize"
+            | "AtomicI8"
+            | "AtomicI16"
+            | "AtomicI32"
+            | "AtomicI64"
+            | "AtomicIsize"
+            | "AtomicPtr"
+    )
+}
+
+/// `crates/<name>/…` → `<name>`.
+fn crate_of(rel: &str) -> Option<String> {
+    let rest = rel.strip_prefix("crates/")?;
+    let name = rest.split('/').next()?;
+    rest.contains("/src/").then(|| name.to_string())
+}
+
+fn collect_fields(
+    rel: &str,
+    sf: &SourceFile<'_>,
+    block: &Block,
+    in_test: bool,
+    out: &mut Vec<AtomicField>,
+) {
+    for child in &block.children {
+        let test = in_test || matches!(child.kind, BlockKind::TestMod);
+        if let BlockKind::Struct { name } = &child.kind {
+            if !test {
+                scan_struct_fields(rel, sf, name, child, out);
+            }
+        }
+        collect_fields(rel, sf, child, test, out);
+    }
+}
+
+/// Scans `struct … { field: Type, … }` for fields whose type mentions an
+/// `Atomic*` identifier.
+fn scan_struct_fields(
+    rel: &str,
+    sf: &SourceFile<'_>,
+    strukt: &str,
+    block: &Block,
+    out: &mut Vec<AtomicField>,
+) {
+    let mut ci = block.open_ci + 1;
+    while ci < block.close_ci {
+        // Skip attributes on the field.
+        if sf.text(ci) == "#"
+            && ci + 1 < block.close_ci
+            && sf.kind(ci + 1) == TokenKind::Open(Delim::Bracket)
+        {
+            ci = sf.matching_close(ci + 1) + 1;
+            continue;
+        }
+        // Skip visibility.
+        if sf.is_ident(ci, "pub") {
+            ci += 1;
+            if ci < block.close_ci && sf.kind(ci) == TokenKind::Open(Delim::Paren) {
+                ci = sf.matching_close(ci) + 1;
+            }
+            continue;
+        }
+        // `name : Type … ,`
+        if sf.kind(ci) == TokenKind::Ident
+            && ci + 1 < block.close_ci
+            && sf.text(ci + 1) == ":"
+            && (ci + 2 >= block.close_ci || sf.text(ci + 2) != ":")
+        {
+            let name_ci = ci;
+            let mut j = ci + 2;
+            let mut depth = 0usize;
+            let mut atomic = false;
+            while j < block.close_ci {
+                match sf.kind(j) {
+                    TokenKind::Open(_) => depth += 1,
+                    TokenKind::Close(_) => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    TokenKind::Punct if depth == 0 && sf.text(j) == "," => break,
+                    TokenKind::Ident if is_atomic_type(sf.text(j)) => atomic = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if atomic {
+                out.push(AtomicField {
+                    file: rel.to_string(),
+                    strukt: strukt.to_string(),
+                    name: sf.text(name_ci).to_string(),
+                    line: sf.line(name_ci),
+                    annotated: annotation_for(sf, sf.line(name_ci)),
+                });
+            }
+            ci = j + 1;
+            continue;
+        }
+        ci += 1;
+    }
+}
+
+/// The `// ordering:` annotation attached to the field on `line`: a
+/// trailing comment on the same line, or the contiguous comment block
+/// directly above (parsed as one unit, so the protocol text may wrap
+/// across lines). Returns the orderings it names, `None` if absent.
+fn annotation_for(sf: &SourceFile<'_>, line: usize) -> Option<Vec<String>> {
+    let comment_on = |l: usize| -> Option<String> {
+        let mut text = String::new();
+        for t in &sf.tokens {
+            if t.line as usize == l && t.kind.is_comment() {
+                text.push_str(&sf.src[t.start..t.end]);
+                text.push(' ');
+            }
+        }
+        (!text.is_empty()).then_some(text)
+    };
+    let code_on = |l: usize| -> bool {
+        sf.tokens
+            .iter()
+            .any(|t| t.line as usize == l && !t.kind.is_trivia() && t.kind != TokenKind::Whitespace)
+    };
+
+    if let Some(text) = comment_on(line) {
+        if let Some(named) = parse_annotation(&text) {
+            return Some(named);
+        }
+    }
+    // Gather the contiguous comment block above, top-to-bottom, and parse
+    // it as a whole so `ordering: X … \n // … Y …` names both X and Y.
+    let mut block_lines = Vec::new();
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        if code_on(l) {
+            break;
+        }
+        let Some(text) = comment_on(l) else {
+            break;
+        };
+        block_lines.push(text);
+    }
+    block_lines.reverse();
+    parse_annotation(&block_lines.join(" "))
+}
+
+/// Parses `… ordering: <protocol text> …`, returning the orderings the
+/// protocol text names (may be empty — that's its own finding).
+fn parse_annotation(comment: &str) -> Option<Vec<String>> {
+    let idx = comment.find("ordering:")?;
+    let rest = &comment[idx + "ordering:".len()..];
+    Some(
+        ORDERINGS
+            .iter()
+            .filter(|o| rest.contains(**o))
+            .map(|o| (*o).to_string())
+            .collect(),
+    )
+}

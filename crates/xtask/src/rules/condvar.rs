@@ -1,0 +1,42 @@
+//! `condvar-wait-loop`: every condition-variable `wait`/`wait_for`/
+//! `wait_timeout` call must sit under a `while`/`loop`/`for` block so
+//! the predicate is re-checked after spurious wakeups and racing
+//! notifies. A bare `if` + `wait` is the lost-wakeup bug shape that bit
+//! the merge handshake (and that the model checker now demonstrates —
+//! see `crates/modelcheck`).
+
+use crate::lexer::TokenKind;
+use crate::syntax::SourceFile;
+
+use super::{is_test_like, Finding};
+
+const WAIT_METHODS: &[&str] = &["wait", "wait_for", "wait_timeout"];
+
+/// Flags condvar waits outside a loop in one file.
+pub fn check(rel: &str, sf: &SourceFile<'_>) -> Vec<Finding> {
+    let file_test = is_test_like(rel);
+    let mut findings = Vec::new();
+    for ci in 0..sf.len() {
+        if sf.kind(ci) != TokenKind::Ident || !WAIT_METHODS.contains(&sf.text(ci)) {
+            continue;
+        }
+        // A method call: `.wait(`.
+        if ci == 0 || sf.text(ci - 1) != "." {
+            continue;
+        }
+        if ci + 1 >= sf.len() || sf.kind(ci + 1) != TokenKind::Open(crate::lexer::Delim::Paren) {
+            continue;
+        }
+        if file_test || sf.in_test_mod(ci) || sf.in_loop(ci) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "condvar-wait-loop",
+            file: rel.to_string(),
+            line: sf.line(ci),
+            function: sf.enclosing_fn(ci),
+            message: "condition-variable wait outside a while/loop predicate re-check".to_string(),
+        });
+    }
+    findings
+}

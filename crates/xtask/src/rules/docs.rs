@@ -1,0 +1,122 @@
+//! `storage-errors-doc`: every `pub fn` in `blsm-storage` that returns
+//! `Result` documents its failure modes in a `# Errors` doc section
+//! (the storage layer is the root of the whole error story).
+//!
+//! The token engine reads the real item head (multi-line signatures
+//! included) and the real doc-comment block above it, instead of the
+//! old line-based "doc streak" heuristic.
+
+use crate::lexer::{Delim, TokenKind};
+use crate::syntax::{BlockKind, SourceFile, Visibility};
+
+use super::{is_test_like, Finding};
+
+/// Flags undocumented fallible public storage functions in one file.
+pub fn check(rel: &str, sf: &SourceFile<'_>) -> Vec<Finding> {
+    if !rel.starts_with("crates/storage/src/") || is_test_like(rel) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (block, in_test) in sf.functions() {
+        let BlockKind::Fn { name, vis, head_ci } = &block.kind else {
+            continue;
+        };
+        if in_test || *vis != Visibility::Pub {
+            continue;
+        }
+        if !head_returns_result(sf, *head_ci, block.open_ci) {
+            continue;
+        }
+        if doc_block_has_errors_section(sf, *head_ci) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "storage-errors-doc",
+            file: rel.to_string(),
+            line: sf.line(*head_ci),
+            function: name.clone(),
+            message: "pub fn returning Result lacks a `# Errors` doc section".to_string(),
+        });
+    }
+    findings
+}
+
+/// Does the item head `[head_ci, open_ci)` have a depth-0 `-> … Result`?
+fn head_returns_result(sf: &SourceFile<'_>, head_ci: usize, open_ci: usize) -> bool {
+    let mut depth = 0usize;
+    let mut arrow_at = None;
+    let mut ci = head_ci;
+    while ci < open_ci {
+        match sf.kind(ci) {
+            TokenKind::Open(Delim::Paren | Delim::Bracket) => depth += 1,
+            TokenKind::Close(Delim::Paren | Delim::Bracket) => {
+                depth = depth.saturating_sub(1);
+            }
+            TokenKind::Punct
+                if depth == 0
+                    && sf.text(ci) == "-"
+                    && ci + 1 < open_ci
+                    && sf.text(ci + 1) == ">" =>
+            {
+                arrow_at = Some(ci + 2);
+            }
+            _ => {}
+        }
+        ci += 1;
+    }
+    let Some(start) = arrow_at else {
+        return false;
+    };
+    (start..open_ci).any(|ci| sf.is_ident(ci, "Result"))
+}
+
+/// Does the contiguous doc/attribute block above the item head contain
+/// a `# Errors` doc line?
+fn doc_block_has_errors_section(sf: &SourceFile<'_>, head_ci: usize) -> bool {
+    // Walk raw tokens backwards from the first head token, skipping
+    // whitespace and attribute groups, collecting doc comments.
+    let mut ti = sf.code[head_ci];
+    while ti > 0 {
+        ti -= 1;
+        let tok = &sf.tokens[ti];
+        match tok.kind {
+            TokenKind::Whitespace => {}
+            TokenKind::LineComment { doc } | TokenKind::BlockComment { doc } => {
+                if doc && sf.src[tok.start..tok.end].contains("# Errors") {
+                    return true;
+                }
+            }
+            TokenKind::Close(Delim::Bracket) => {
+                // Skip an attribute group `#[ … ]` backwards.
+                let mut depth = 0usize;
+                loop {
+                    match sf.tokens[ti].kind {
+                        TokenKind::Close(Delim::Bracket) => depth += 1,
+                        TokenKind::Open(Delim::Bracket) => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if ti == 0 {
+                        return false;
+                    }
+                    ti -= 1;
+                }
+                // The `#` (or `#!`) before the bracket.
+                while ti > 0 && sf.tokens[ti - 1].kind == TokenKind::Punct {
+                    let t = &sf.tokens[ti - 1];
+                    if matches!(&sf.src[t.start..t.end], "#" | "!") {
+                        ti -= 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}

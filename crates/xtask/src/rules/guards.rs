@@ -1,0 +1,187 @@
+//! Guard-liveness rules, all computed from one walk per function:
+//!
+//! - **`guard-across-merge`** — in `crates/core`, no lock guard live
+//!   across a call into a merge-quantum function. The lock-free read
+//!   path depends on merge quanta taking the `c0`/catalog locks
+//!   themselves for short critical sections; a guard held by the caller
+//!   deadlocks (parking_lot locks are not reentrant) or serializes
+//!   readers behind a whole quantum.
+//! - **`blocking-io-under-lock`** — in `crates/server`, no blocking
+//!   socket call while a lock guard is live. A slow or stalled peer
+//!   would then hold the lock for the duration of the kernel call.
+//! - **`critical-section-cost`** — in `crates/core` and
+//!   `crates/server`, no fsync/file-open/socket write or per-iteration
+//!   allocation while any guard is live. These are the costs §4.4.1
+//!   says must never sit inside a merge or read critical section.
+//!
+//! Unlike the old per-line regex rules, the walk sees guards bound by
+//! tuple and `if let` destructuring, releases guards dropped in nested
+//! scopes, and cannot match text inside string literals or comments.
+
+use super::{CallRec, Finding, FnSummary, HeldRec};
+
+/// Functions that execute (part of) a merge quantum — holding a lock
+/// guard across any of these serializes or deadlocks the read path.
+const MERGE_QUANTUM_FNS: &[&str] = &[
+    "start_merge01",
+    "start_merge12",
+    "run_merge01",
+    "run_merge12",
+    "finish_merge01",
+    "finish_merge12",
+];
+
+/// Merge-quantum *methods* (matched only as `.name(` calls, like the
+/// old `.maintenance(` patterns, so a free fn named `pace` elsewhere
+/// does not trip the rule).
+const MERGE_QUANTUM_METHODS: &[&str] = &["maintenance", "pace", "checkpoint"];
+
+/// Blocking socket methods that must not run under a lock guard.
+/// `.read(&buf)` (with arguments) is socket I/O; the no-arg `.read()`
+/// is the parking_lot acquire and is tracked as a guard instead.
+const BLOCKING_IO_METHODS: &[&str] = &[
+    "write_all",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "flush",
+    "accept",
+    "peek",
+];
+
+/// Durable-write calls: the single most expensive thing to put inside a
+/// critical section (milliseconds while every reader queues).
+const FSYNC_METHODS: &[&str] = &["sync_all", "sync_data", "fsync", "datasync"];
+
+/// File-opening path calls (`File::open`, `OpenOptions::new`, …).
+const FILE_PATH_PREFIXES: &[&str] = &["File", "OpenOptions"];
+
+/// Per-iteration allocators: flagged only inside a loop under a guard
+/// ("unbounded allocation" — the critical section grows with the data).
+const LOOP_ALLOC_METHODS: &[&str] = &["to_vec", "collect"];
+
+/// Runs the three guard rules over one file's function summaries.
+pub fn check(rel: &str, fns: &[FnSummary]) -> Vec<Finding> {
+    let in_core = rel.starts_with("crates/core/src/");
+    let in_server = rel.starts_with("crates/server/src/");
+    if !in_core && !in_server {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for f in fns {
+        if f.is_test {
+            continue;
+        }
+        for call in &f.calls {
+            if call.held.is_empty() {
+                continue;
+            }
+            let holder = holder_name(&call.held);
+            let display = call_display(call);
+
+            if in_core && is_merge_quantum(call) {
+                findings.push(Finding {
+                    rule: "guard-across-merge",
+                    file: rel.to_string(),
+                    line: call.line,
+                    function: f.name.clone(),
+                    message: format!(
+                        "lock guard `{holder}` held across merge-quantum call `{display}`; \
+                         drop it first (or allowlist with the audit reason)"
+                    ),
+                });
+                continue;
+            }
+            if in_server && is_blocking_io(call) {
+                findings.push(Finding {
+                    rule: "blocking-io-under-lock",
+                    file: rel.to_string(),
+                    line: call.line,
+                    function: f.name.clone(),
+                    message: format!(
+                        "lock guard `{holder}` held across blocking socket call \
+                         `{display}`; a stalled peer would pin the lock — drop the \
+                         guard first (or allowlist with the audit reason)"
+                    ),
+                });
+                continue;
+            }
+            if let Some(cost) = cost_class(call, in_server) {
+                let since = call.held[0].line;
+                findings.push(Finding {
+                    rule: "critical-section-cost",
+                    file: rel.to_string(),
+                    line: call.line,
+                    function: f.name.clone(),
+                    message: format!(
+                        "{cost} `{display}` while lock guard `{holder}` is live (held \
+                         since line {since}); move the expensive work outside the \
+                         critical section (or allowlist with the audit reason)"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+fn is_merge_quantum(call: &CallRec) -> bool {
+    MERGE_QUANTUM_FNS.contains(&call.name.as_str())
+        || (call.is_method && MERGE_QUANTUM_METHODS.contains(&call.name.as_str()))
+}
+
+fn is_blocking_io(call: &CallRec) -> bool {
+    if call.is_method && BLOCKING_IO_METHODS.contains(&call.name.as_str()) {
+        // `.read()` with no args is a lock acquire, never reported here
+        // (the walker classifies it as an acquisition already); require
+        // arguments for `read`.
+        return call.name != "read" || call.has_args;
+    }
+    // `TcpStream::connect(addr)`.
+    !call.is_method && call.name == "connect" && call.path_prefix.as_deref() == Some("TcpStream")
+}
+
+/// The critical-section cost class of this call, if any. Socket I/O is
+/// omitted in `crates/server` where `blocking-io-under-lock` already
+/// owns that class.
+fn cost_class(call: &CallRec, in_server: bool) -> Option<&'static str> {
+    if call.is_method && FSYNC_METHODS.contains(&call.name.as_str()) {
+        return Some("durable-write call");
+    }
+    if !call.is_method
+        && call
+            .path_prefix
+            .as_deref()
+            .is_some_and(|p| FILE_PATH_PREFIXES.contains(&p))
+    {
+        return Some("file-open call");
+    }
+    if !in_server && call.is_method && BLOCKING_IO_METHODS.contains(&call.name.as_str()) {
+        let io = call.name != "read" || call.has_args;
+        if io {
+            return Some("blocking I/O call");
+        }
+    }
+    if call.is_method && call.in_loop && LOOP_ALLOC_METHODS.contains(&call.name.as_str()) {
+        return Some("per-iteration allocation");
+    }
+    None
+}
+
+/// The name shown for the holding guard: the first named guard, else
+/// the first held lock.
+fn holder_name(held: &[HeldRec]) -> String {
+    held.iter()
+        .find_map(|h| h.guard.clone())
+        .unwrap_or_else(|| held[0].lock.clone())
+}
+
+fn call_display(call: &CallRec) -> String {
+    if call.is_method {
+        format!(".{}(", call.name)
+    } else if let Some(p) = &call.path_prefix {
+        format!("{}::{}(", p, call.name)
+    } else {
+        format!("{}(", call.name)
+    }
+}

@@ -1,0 +1,307 @@
+//! `lock-order`: the may-hold-while-acquiring graph for `crates/core`
+//! and `crates/server`, checked against the documented lock hierarchy
+//! (DESIGN.md §14 is the normative reference).
+//!
+//! For every non-test function the guard-liveness walk yields the set
+//! of locks held at each acquisition; each `(held, acquired)` pair is
+//! an edge. One level of intra-crate call propagation is added: a call
+//! made while holding lock `a` into a function that directly acquires
+//! lock `b` contributes the edge `a → b` labeled with the callee.
+//! `CatalogCell::load`/`store` on a `catalog` receiver count as
+//! acquisitions of the `catalog` lock (the cell's `inner` RwLock is
+//! aliased to `catalog`); `.load`/`.store` on known atomic fields are
+//! filtered out so atomics don't masquerade as catalog accesses.
+//!
+//! Failures: an edge against the documented order, a reentrant edge
+//! (`a` while holding `a`), an edge touching a lock missing from the
+//! hierarchy (forces DESIGN.md §14 maintenance), or any cycle.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::{Finding, FnSummary};
+
+/// The documented lock hierarchy per crate, outermost first. An edge
+/// `a → b` is legal iff `a` appears strictly before `b`.
+fn hierarchy(krate: &str) -> &'static [&'static str] {
+    match krate {
+        // DESIGN.md §14: tree → c0 → catalog → recovery → work_pending.
+        "core" => &["tree", "c0", "catalog", "recovery", "work_pending"],
+        // The server serves from pinned ReadViews and owns no locks; any
+        // edge here must first be added to DESIGN.md §14.
+        _ => &[],
+    }
+}
+
+/// Canonical lock name for a raw receiver identifier in `rel`. The
+/// catalog cell's `inner` RwLock *is* the catalog lock.
+pub fn lock_alias(rel: &str, raw: &str) -> String {
+    if raw == "inner" && rel.ends_with("core/src/catalog.rs") {
+        "catalog".to_string()
+    } else {
+        raw.to_string()
+    }
+}
+
+/// One hold-while-acquiring edge with its acquisition sites.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    function: String,
+    from_line: usize,
+    to_line: usize,
+    /// Propagated edges carry the callee name.
+    via: Option<String>,
+}
+
+/// Checks one crate's functions against the documented hierarchy.
+/// `atomic_fields` are the crate's known atomic field names, used to
+/// keep `shutdown.load(…)` from reading as a catalog access.
+pub fn check(
+    krate: &str,
+    fns: &[(String, FnSummary)],
+    atomic_fields: &BTreeSet<String>,
+) -> Vec<Finding> {
+    let order = hierarchy(krate);
+    let rank = |lock: &str| order.iter().position(|l| *l == lock);
+
+    // Direct acquisitions per function name (for call propagation).
+    let mut fn_locks: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (_, f) in fns.iter().filter(|(_, f)| !f.is_test) {
+        let entry = fn_locks.entry(f.name.as_str()).or_default();
+        for a in &f.acquires {
+            entry.insert(a.lock.as_str());
+        }
+        for c in &f.calls {
+            if is_catalog_cell_access(c, atomic_fields) {
+                entry.insert("catalog");
+            }
+        }
+    }
+
+    let mut edges: BTreeSet<Edge> = BTreeSet::new();
+    for (file, f) in fns.iter().filter(|(_, f)| !f.is_test) {
+        for a in &f.acquires {
+            for h in &a.held {
+                edges.insert(Edge {
+                    from: h.lock.clone(),
+                    to: a.lock.clone(),
+                    file: file.clone(),
+                    function: f.name.clone(),
+                    from_line: h.line,
+                    to_line: a.line,
+                    via: None,
+                });
+            }
+        }
+        for c in &f.calls {
+            if c.held.is_empty() {
+                continue;
+            }
+            // Atomic accesses are not lock traffic.
+            if let Some(recv) = &c.recv_last {
+                if atomic_fields.contains(recv) {
+                    continue;
+                }
+            }
+            if is_catalog_cell_access(c, atomic_fields) {
+                for h in &c.held {
+                    edges.insert(Edge {
+                        from: h.lock.clone(),
+                        to: "catalog".to_string(),
+                        file: file.clone(),
+                        function: f.name.clone(),
+                        from_line: h.line,
+                        to_line: c.line,
+                        via: None,
+                    });
+                }
+                continue;
+            }
+            // One-level propagation into same-crate functions. `load`/
+            // `store` are never propagated by name: outside a catalog
+            // receiver they are almost always atomics.
+            if matches!(c.name.as_str(), "load" | "store") {
+                continue;
+            }
+            let Some(locks) = fn_locks.get(c.name.as_str()) else {
+                continue;
+            };
+            if c.name == f.name {
+                continue; // direct recursion adds no new pairs
+            }
+            for lock in locks {
+                for h in &c.held {
+                    edges.insert(Edge {
+                        from: h.lock.clone(),
+                        to: (*lock).to_string(),
+                        file: file.clone(),
+                        function: f.name.clone(),
+                        from_line: h.line,
+                        to_line: c.line,
+                        via: Some(c.name.clone()),
+                    });
+                }
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut reported: BTreeSet<(String, String, String)> = BTreeSet::new();
+    for e in &edges {
+        let key = (e.function.clone(), e.from.clone(), e.to.clone());
+        if !reported.insert(key) {
+            continue;
+        }
+        let via = e
+            .via
+            .as_ref()
+            .map(|v| format!(" — via call to `{v}`"))
+            .unwrap_or_default();
+        if e.from == e.to {
+            findings.push(Finding {
+                rule: "lock-order",
+                file: e.file.clone(),
+                line: e.to_line,
+                function: e.function.clone(),
+                message: format!(
+                    "reentrant acquisition: takes `{}` (line {}) while already holding \
+                     `{}` (acquired line {}){via}; parking_lot locks are not reentrant",
+                    e.to, e.to_line, e.from, e.from_line
+                ),
+            });
+            continue;
+        }
+        match (rank(&e.from), rank(&e.to)) {
+            (Some(rf), Some(rt)) if rf > rt => {
+                findings.push(Finding {
+                    rule: "lock-order",
+                    file: e.file.clone(),
+                    line: e.to_line,
+                    function: e.function.clone(),
+                    message: format!(
+                        "lock-order violation: acquires `{}` (line {}) while holding \
+                         `{}` (acquired line {}){via}; the documented hierarchy \
+                         ({}) puts `{}` before `{}` (DESIGN.md §14)",
+                        e.to,
+                        e.to_line,
+                        e.from,
+                        e.from_line,
+                        hierarchy_text(order),
+                        e.to,
+                        e.from
+                    ),
+                });
+            }
+            (Some(_), Some(_)) => {}
+            _ => {
+                let unknown = if rank(&e.from).is_none() {
+                    &e.from
+                } else {
+                    &e.to
+                };
+                findings.push(Finding {
+                    rule: "lock-order",
+                    file: e.file.clone(),
+                    line: e.to_line,
+                    function: e.function.clone(),
+                    message: format!(
+                        "lock `{unknown}` (edge `{}` → `{}`, lines {} → {}){via} is not \
+                         in the documented {krate} lock hierarchy ({}); update \
+                         DESIGN.md §14 and this check's order table together",
+                        e.from,
+                        e.to,
+                        e.from_line,
+                        e.to_line,
+                        hierarchy_text(order)
+                    ),
+                });
+            }
+        }
+    }
+
+    findings.extend(find_cycles(&edges));
+    findings
+}
+
+/// `CatalogCell::load()`/`store(next)` on a `catalog`-named receiver.
+fn is_catalog_cell_access(c: &super::CallRec, atomic_fields: &BTreeSet<String>) -> bool {
+    if !c.is_method || !matches!(c.name.as_str(), "load" | "store") {
+        return false;
+    }
+    match &c.recv_last {
+        Some(recv) => recv == "catalog" && !atomic_fields.contains(recv),
+        None => false,
+    }
+}
+
+fn hierarchy_text(order: &[&str]) -> String {
+    if order.is_empty() {
+        "empty — no locks are documented for this crate".to_string()
+    } else {
+        order.join(" → ")
+    }
+}
+
+/// DFS cycle detection over the edge set; reports each distinct cycle
+/// (by node set) once, anchored at one of its edges' sites.
+fn find_cycles(edges: &BTreeSet<Edge>) -> Vec<Finding> {
+    let mut adj: BTreeMap<&str, Vec<&Edge>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.from.as_str()).or_default().push(e);
+    }
+    let mut findings = Vec::new();
+    let mut seen_cycles: BTreeSet<BTreeSet<String>> = BTreeSet::new();
+    let nodes: BTreeSet<&str> = edges
+        .iter()
+        .flat_map(|e| [e.from.as_str(), e.to.as_str()])
+        .collect();
+    for start in nodes {
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<&Edge> = Vec::new();
+        let mut on_path: Vec<&str> = vec![start];
+        while let Some((node, next_i)) = stack.pop() {
+            let out = adj.get(node).map(Vec::as_slice).unwrap_or_default();
+            if next_i >= out.len() {
+                path.pop();
+                on_path.pop();
+                continue;
+            }
+            stack.push((node, next_i + 1));
+            let e = out[next_i];
+            if e.to == start && (!path.is_empty() || e.from == start) {
+                // Closing the cycle back at `start`.
+                let mut cycle: Vec<String> = path.iter().map(|p| p.from.clone()).collect();
+                cycle.push(e.from.clone());
+                let nodeset: BTreeSet<String> = cycle.iter().cloned().collect();
+                if seen_cycles.insert(nodeset) {
+                    let chain: Vec<String> = cycle
+                        .iter()
+                        .chain(std::iter::once(&e.to))
+                        .cloned()
+                        .collect();
+                    findings.push(Finding {
+                        rule: "lock-order",
+                        file: e.file.clone(),
+                        line: e.to_line,
+                        function: e.function.clone(),
+                        message: format!(
+                            "lock-order cycle: {} (closing edge acquired at line {} \
+                             while holding `{}` from line {})",
+                            chain.join(" → "),
+                            e.to_line,
+                            e.from,
+                            e.from_line
+                        ),
+                    });
+                }
+            } else if !on_path.contains(&e.to.as_str()) && e.to != start {
+                path.push(e);
+                on_path.push(e.to.as_str());
+                stack.push((e.to.as_str(), 0));
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,546 @@
+//! Brace-tree builder: a lightweight syntactic skeleton on top of the
+//! token stream.
+//!
+//! Every `{ … }` region becomes a [`Block`] classified by the tokens of
+//! its *head* — the code tokens between the previous statement boundary
+//! and the opening brace (`pub fn put(…) ->` for a function, `while
+//! !done` for a loop, `#[cfg(test)] mod tests` for a test module). The
+//! tree is what lets rules reason structurally: "is this `wait()` under
+//! a loop ancestor", "which function does this finding belong to", "is
+//! this token inside `#[cfg(test)]`" — questions the old line-regex
+//! engine answered with brittle per-line state machines.
+
+use crate::lexer::{lex, Delim, Token, TokenKind};
+
+/// How a function is visible (affects `storage-errors-doc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// Plain `pub`.
+    Pub,
+    /// `pub(crate)` / `pub(super)` / `pub(in …)`.
+    PubScoped,
+    /// No `pub`.
+    Private,
+}
+
+/// Classification of one brace block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockKind {
+    /// The file itself (no braces).
+    Root,
+    /// A `fn` item body (or closure-with-`fn`-head; closures are `Other`).
+    Fn {
+        /// The function's name.
+        name: String,
+        /// Visibility of the `fn` item.
+        vis: Visibility,
+        /// Code-token index where the item head (docs excluded) begins.
+        head_ci: usize,
+    },
+    /// `while` / `while let` / `loop` / `for` body.
+    Loop,
+    /// A `#[cfg(test)] mod … { … }` body.
+    TestMod,
+    /// `struct Name { … }` body (fields).
+    Struct {
+        /// The struct's name.
+        name: String,
+    },
+    /// `impl … { … }` body; `type_name` is the last path identifier of
+    /// the implemented type (good enough for alias lookup).
+    Impl {
+        /// Last identifier of the self type.
+        type_name: String,
+    },
+    /// Anything else: plain blocks, closures, match bodies, arms, etc.
+    Other,
+}
+
+/// One brace-delimited region of the file.
+#[derive(Debug)]
+pub struct Block {
+    /// What kind of construct owns this block.
+    pub kind: BlockKind,
+    /// Code-token index of the `{` (== 0-sentinel for the root, whose
+    /// range is the whole file).
+    pub open_ci: usize,
+    /// Code-token index of the matching `}` (code length for the root).
+    pub close_ci: usize,
+    /// Nested blocks, in source order.
+    pub children: Vec<Block>,
+}
+
+impl Block {
+    /// Does `ci` fall strictly inside this block's braces?
+    pub fn contains(&self, ci: usize) -> bool {
+        if matches!(self.kind, BlockKind::Root) {
+            return true;
+        }
+        ci > self.open_ci && ci < self.close_ci
+    }
+}
+
+/// A lexed file plus its brace tree and a code-token index.
+#[derive(Debug)]
+pub struct SourceFile<'a> {
+    /// The raw source text.
+    pub src: &'a str,
+    /// All tokens, tiling `src` (trivia included).
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the non-trivia (code) tokens.
+    pub code: Vec<usize>,
+    /// Root of the brace tree.
+    pub root: Block,
+}
+
+impl<'a> SourceFile<'a> {
+    /// Lexes and parses `src`.
+    pub fn parse(src: &'a str) -> SourceFile<'a> {
+        let tokens = lex(src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.kind.is_trivia())
+            .map(|(i, _)| i)
+            .collect();
+        let root = build_tree(src, &tokens, &code);
+        SourceFile {
+            src,
+            tokens,
+            code,
+            root,
+        }
+    }
+
+    /// The `i`-th code token.
+    pub fn tok(&self, ci: usize) -> &Token {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// Text of the `i`-th code token.
+    pub fn text(&self, ci: usize) -> &'a str {
+        let t = self.tok(ci);
+        &self.src[t.start..t.end]
+    }
+
+    /// Number of code tokens.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when the file has no code tokens.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Kind of the `i`-th code token.
+    pub fn kind(&self, ci: usize) -> TokenKind {
+        self.tok(ci).kind
+    }
+
+    /// Is code token `ci` the identifier `name`?
+    pub fn is_ident(&self, ci: usize, name: &str) -> bool {
+        ci < self.len() && self.kind(ci) == TokenKind::Ident && self.text(ci) == name
+    }
+
+    /// 1-based line of code token `ci`.
+    pub fn line(&self, ci: usize) -> usize {
+        self.tok(ci).line as usize
+    }
+
+    /// The chain of blocks (outermost → innermost) containing `ci`.
+    pub fn path_to(&self, ci: usize) -> Vec<&Block> {
+        let mut path = vec![&self.root];
+        loop {
+            let cur = *path.last().unwrap_or(&&self.root);
+            match cur.children.iter().find(|c| c.contains(ci)) {
+                Some(child) => path.push(child),
+                None => return path,
+            }
+        }
+    }
+
+    /// The innermost enclosing function name for `ci`, or
+    /// `"<file scope>"`.
+    pub fn enclosing_fn(&self, ci: usize) -> String {
+        self.path_to(ci)
+            .iter()
+            .rev()
+            .find_map(|b| match &b.kind {
+                BlockKind::Fn { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .unwrap_or_else(|| "<file scope>".to_string())
+    }
+
+    /// Is `ci` inside a `#[cfg(test)] mod`?
+    pub fn in_test_mod(&self, ci: usize) -> bool {
+        self.path_to(ci)
+            .iter()
+            .any(|b| matches!(b.kind, BlockKind::TestMod))
+    }
+
+    /// Is `ci` under a loop block (for the condvar re-check rule)?
+    pub fn in_loop(&self, ci: usize) -> bool {
+        self.path_to(ci)
+            .iter()
+            .any(|b| matches!(b.kind, BlockKind::Loop))
+    }
+
+    /// All function blocks in the file (recursive), paired with whether
+    /// each sits inside a `#[cfg(test)]` module.
+    pub fn functions(&self) -> Vec<(&Block, bool)> {
+        let mut out = Vec::new();
+        collect_fns(&self.root, false, &mut out);
+        out
+    }
+
+    /// Skips a balanced delimiter group: `open_ci` must index an
+    /// `Open(..)`; returns the code index of the matching `Close`.
+    pub fn matching_close(&self, open_ci: usize) -> usize {
+        let TokenKind::Open(d) = self.kind(open_ci) else {
+            return open_ci;
+        };
+        let mut depth = 0usize;
+        for ci in open_ci..self.len() {
+            match self.kind(ci) {
+                TokenKind::Open(k) if k == d => depth += 1,
+                TokenKind::Close(k) if k == d => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return ci;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.len().saturating_sub(1)
+    }
+}
+
+fn collect_fns<'b>(block: &'b Block, in_test: bool, out: &mut Vec<(&'b Block, bool)>) {
+    for child in &block.children {
+        let test = in_test || matches!(child.kind, BlockKind::TestMod);
+        if matches!(child.kind, BlockKind::Fn { .. }) {
+            out.push((child, test));
+        }
+        collect_fns(child, test, out);
+    }
+}
+
+/// Builds the brace tree over the code tokens.
+fn build_tree(src: &str, tokens: &[Token], code: &[usize]) -> Block {
+    struct Frame {
+        block: Block,
+    }
+    let text = |ci: usize| -> &str {
+        let t = &tokens[code[ci]];
+        &src[t.start..t.end]
+    };
+    let kind_of = |ci: usize| tokens[code[ci]].kind;
+
+    let mut stack = vec![Frame {
+        block: Block {
+            kind: BlockKind::Root,
+            open_ci: 0,
+            close_ci: code.len(),
+            children: Vec::new(),
+        },
+    }];
+    // Start of the current head: the first code token after the last
+    // `{`, `}` or top-level `;`.
+    let mut head_start = 0usize;
+    // Paren/bracket nesting depth (heads never end inside a group).
+    let mut group_depth = 0usize;
+
+    let mut ci = 0usize;
+    while ci < code.len() {
+        match kind_of(ci) {
+            TokenKind::Open(Delim::Paren | Delim::Bracket) => group_depth += 1,
+            TokenKind::Close(Delim::Paren | Delim::Bracket) => {
+                group_depth = group_depth.saturating_sub(1);
+            }
+            TokenKind::Punct if group_depth == 0 && text(ci) == ";" => {
+                head_start = ci + 1;
+            }
+            TokenKind::Open(Delim::Brace) => {
+                let kind = classify_head(src, tokens, code, head_start, ci);
+                stack.push(Frame {
+                    block: Block {
+                        kind,
+                        open_ci: ci,
+                        close_ci: code.len(),
+                        children: Vec::new(),
+                    },
+                });
+                head_start = ci + 1;
+                group_depth = 0;
+            }
+            TokenKind::Close(Delim::Brace) => {
+                if stack.len() > 1 {
+                    let Some(mut frame) = stack.pop() else { break };
+                    frame.block.close_ci = ci;
+                    if let Some(parent) = stack.last_mut() {
+                        parent.block.children.push(frame.block);
+                    }
+                }
+                head_start = ci + 1;
+                group_depth = 0;
+            }
+            _ => {}
+        }
+        ci += 1;
+    }
+    // Unbalanced input: fold any unclosed frames into their parents.
+    while stack.len() > 1 {
+        let Some(frame) = stack.pop() else { break };
+        if let Some(parent) = stack.last_mut() {
+            parent.block.children.push(frame.block);
+        }
+    }
+    match stack.pop() {
+        Some(f) => f.block,
+        None => Block {
+            kind: BlockKind::Root,
+            open_ci: 0,
+            close_ci: code.len(),
+            children: Vec::new(),
+        },
+    }
+}
+
+/// Classifies the block opened at `open_ci` from its head tokens
+/// `[head_start, open_ci)`.
+fn classify_head(
+    src: &str,
+    tokens: &[Token],
+    code: &[usize],
+    head_start: usize,
+    open_ci: usize,
+) -> BlockKind {
+    let text = |ci: usize| -> &str {
+        let t = &tokens[code[ci]];
+        &src[t.start..t.end]
+    };
+    let kind_of = |ci: usize| tokens[code[ci]].kind;
+
+    // Scan at group depth 0 only: `fn` inside `(fn(usize))` is a type,
+    // `test` inside `#[cfg(test)]` is found by the attribute scan below.
+    let mut depth = 0usize;
+    let mut has_impl = false;
+    let mut has_loop = false;
+    let mut has_struct_at: Option<usize> = None;
+    let mut has_mod = false;
+    let mut fn_at: Option<usize> = None;
+    let mut vis = Visibility::Private;
+    let mut last_depth0_ident: Option<usize> = None;
+    let mut cfg_test = false;
+
+    let mut ci = head_start;
+    while ci < open_ci {
+        match kind_of(ci) {
+            TokenKind::Open(Delim::Paren | Delim::Bracket) => {
+                // Attribute groups: `# [ cfg ( test ) ]` — peek inside
+                // brackets that follow a `#`.
+                if depth == 0
+                    && kind_of(ci) == TokenKind::Open(Delim::Bracket)
+                    && ci > head_start
+                    && text(ci - 1) == "#"
+                {
+                    let mut j = ci + 1;
+                    let mut bd = 1usize;
+                    let mut saw_cfg = false;
+                    while j < open_ci && bd > 0 {
+                        match kind_of(j) {
+                            TokenKind::Open(Delim::Bracket) => bd += 1,
+                            TokenKind::Close(Delim::Bracket) => bd -= 1,
+                            TokenKind::Ident if text(j) == "cfg" => saw_cfg = true,
+                            TokenKind::Ident if text(j) == "test" && saw_cfg => cfg_test = true,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                depth += 1;
+            }
+            TokenKind::Close(Delim::Paren | Delim::Bracket) => {
+                depth = depth.saturating_sub(1);
+            }
+            TokenKind::Ident if depth == 0 => {
+                let t = text(ci);
+                match t {
+                    "fn" => {
+                        if fn_at.is_none()
+                            && ci + 1 < open_ci
+                            && kind_of(ci + 1) == TokenKind::Ident
+                        {
+                            fn_at = Some(ci);
+                        }
+                    }
+                    "impl" => has_impl = true,
+                    "while" | "loop" | "for" => has_loop = true,
+                    "struct" => has_struct_at = Some(ci),
+                    "mod" => has_mod = true,
+                    "pub" => {
+                        // `pub` vs `pub(crate)`: scoped visibility has a
+                        // paren group right after.
+                        vis = if ci + 1 < open_ci
+                            && kind_of(ci + 1) == TokenKind::Open(Delim::Paren)
+                        {
+                            Visibility::PubScoped
+                        } else {
+                            Visibility::Pub
+                        };
+                    }
+                    _ => last_depth0_ident = Some(ci),
+                }
+            }
+            _ => {}
+        }
+        ci += 1;
+    }
+
+    if let Some(fa) = fn_at {
+        return BlockKind::Fn {
+            name: text(fa + 1).to_string(),
+            vis,
+            head_ci: head_start,
+        };
+    }
+    if has_impl {
+        return BlockKind::Impl {
+            type_name: last_depth0_ident.map(text).unwrap_or_default().to_string(),
+        };
+    }
+    if has_mod {
+        return if cfg_test {
+            BlockKind::TestMod
+        } else {
+            BlockKind::Other
+        };
+    }
+    if let Some(sa) = has_struct_at {
+        if sa + 1 < open_ci && kind_of(sa + 1) == TokenKind::Ident {
+            return BlockKind::Struct {
+                name: text(sa + 1).to_string(),
+            };
+        }
+    }
+    if has_loop {
+        return BlockKind::Loop;
+    }
+    BlockKind::Other
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<BlockKind> {
+        fn walk(b: &Block, out: &mut Vec<BlockKind>) {
+            for c in &b.children {
+                out.push(c.kind.clone());
+                walk(c, out);
+            }
+        }
+        let f = SourceFile::parse(src);
+        let mut out = Vec::new();
+        walk(&f.root, &mut out);
+        out
+    }
+
+    #[test]
+    fn classifies_fn_loop_and_test_mod() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn f() {\n    while x { g(); }\n  }\n}\n";
+        assert_eq!(
+            kinds(src),
+            [
+                BlockKind::TestMod,
+                BlockKind::Fn {
+                    name: "f".into(),
+                    vis: Visibility::Private,
+                    head_ci: 10,
+                },
+                BlockKind::Loop,
+            ]
+        );
+    }
+
+    #[test]
+    fn plain_mod_is_not_test_mod() {
+        let src = "mod inner { fn f() {} }";
+        assert!(matches!(kinds(src)[0], BlockKind::Other));
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let src = "impl Iterator for Foo { fn next(&mut self) {} }";
+        assert!(matches!(kinds(src)[0], BlockKind::Impl { ref type_name } if type_name == "Foo"));
+    }
+
+    #[test]
+    fn fn_pointer_param_is_not_the_item_name() {
+        let src = "pub fn call(cb: fn(usize) -> usize) -> usize { cb(1) }";
+        match &kinds(src)[0] {
+            BlockKind::Fn { name, vis, .. } => {
+                assert_eq!(name, "call");
+                assert_eq!(*vis, Visibility::Pub);
+            }
+            k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn pub_crate_is_scoped() {
+        let src = "pub(crate) fn f() {}";
+        match &kinds(src)[0] {
+            BlockKind::Fn { vis, .. } => assert_eq!(*vis, Visibility::PubScoped),
+            k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn struct_fields_block() {
+        let src = "pub struct Stats { gets: AtomicU64 }";
+        assert!(matches!(kinds(src)[0], BlockKind::Struct { ref name } if name == "Stats"));
+    }
+
+    #[test]
+    fn enclosing_fn_and_loop_queries() {
+        let src = "fn outer() { loop { inner_call(); } }";
+        let f = SourceFile::parse(src);
+        let call_ci = (0..f.len())
+            .find(|&ci| f.is_ident(ci, "inner_call"))
+            .unwrap();
+        assert_eq!(f.enclosing_fn(call_ci), "outer");
+        assert!(f.in_loop(call_ci));
+        assert!(!f.in_test_mod(call_ci));
+    }
+
+    #[test]
+    fn while_let_is_a_loop() {
+        let src = "fn f() { while let Some(x) = it.next() { use_it(x); } }";
+        let f = SourceFile::parse(src);
+        let ci = (0..f.len()).find(|&ci| f.is_ident(ci, "use_it")).unwrap();
+        assert!(f.in_loop(ci));
+    }
+
+    #[test]
+    fn match_arm_braces_are_other() {
+        let src = "fn f() { match x { A => { a() } B => b(), } }";
+        let k = kinds(src);
+        assert!(matches!(k[0], BlockKind::Fn { .. }));
+        assert!(k[1..].iter().all(|b| matches!(b, BlockKind::Other)));
+    }
+
+    #[test]
+    fn semicolon_in_array_type_does_not_split_head() {
+        let src = "fn f(buf: [u8; 4]) { g(); }";
+        match &kinds(src)[0] {
+            BlockKind::Fn { name, .. } => assert_eq!(name, "f"),
+            k => panic!("{k:?}"),
+        }
+    }
+}

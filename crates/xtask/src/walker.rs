@@ -1,0 +1,649 @@
+//! Guard-liveness walk over one function body.
+//!
+//! Simulates, token by token, which lock guards are live at every point
+//! of a function: `let`-bound guards (including tuple and `if let`
+//! destructuring), temporaries (`x.read()` inside a larger expression,
+//! live to the end of their statement), explicit `drop(g)` releases and
+//! scope-exit releases. Rules subscribe to two event kinds:
+//!
+//! - [`WalkEvent::Acquire`] — a `parking_lot`-shaped acquisition
+//!   (`.lock()` / `.read()` / `.write()` / `.try_*()` with no
+//!   arguments), with the set of guards already held. The lock-order
+//!   graph is built from exactly these events.
+//! - [`WalkEvent::Call`] — any other function or method call, with the
+//!   held set. The critical-section cost rules
+//!   (`guard-across-merge`, `blocking-io-under-lock`,
+//!   `critical-section-cost`) and the one-level call propagation of the
+//!   lock-order graph are built from these.
+//!
+//! Known approximations, chosen to keep the walk linear and local:
+//! guards bound by `let g = { … }` block tails are not tracked, a
+//! `match expr_with_guard { … }` head temporary is considered released
+//! at the `{` (Rust extends it to the end of the match), and a
+//! shadowed guard stays live but becomes unnamed (it really is live
+//! until scope exit, but `drop(g)` now refers to the new binding).
+
+use crate::lexer::{Delim, TokenKind};
+use crate::syntax::SourceFile;
+
+/// Lock-acquire methods (empty-argument forms only: `.read(&mut buf)`
+/// is I/O, `.read()` is an acquisition).
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// Rust keywords that can precede a `(` without being a call.
+const NOT_CALLEES: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "in", "as", "move", "else",
+    "break", "continue", "unsafe", "pub", "crate", "super", "self", "Self", "where", "impl", "dyn",
+];
+
+/// One live lock hold.
+#[derive(Debug, Clone)]
+pub struct Held {
+    /// Canonical lock name (alias map already applied).
+    pub lock: String,
+    /// Binding name for `let`-bound guards; `None` for temporaries and
+    /// shadowed guards.
+    pub guard: Option<String>,
+    /// Line of the acquisition.
+    pub line: usize,
+}
+
+/// An acquisition site.
+#[derive(Debug, Clone)]
+pub struct AcquireSite {
+    /// Canonical lock name.
+    pub lock: String,
+    /// Line of the acquisition.
+    pub line: usize,
+    /// Code-token index of the acquire method identifier.
+    pub ci: usize,
+}
+
+/// A call site (anything that is not an acquisition).
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (method or function identifier).
+    pub name: String,
+    /// Whether the call is `recv.name(…)` rather than `name(…)`.
+    pub is_method: bool,
+    /// For method calls, the last plain identifier of the receiver
+    /// chain (`self.shared.c0.write().insert(…)` → `write`;
+    /// `shutdown.load(…)` → `shutdown`).
+    pub recv_last: Option<String>,
+    /// Whether the argument list is non-empty.
+    pub has_args: bool,
+    /// Line of the callee identifier.
+    pub line: usize,
+    /// Code-token index of the callee identifier.
+    pub ci: usize,
+}
+
+/// Events delivered to the rule visitor, in source order.
+#[derive(Debug)]
+pub enum WalkEvent<'a> {
+    /// A lock acquisition with the locks already held at that point.
+    Acquire {
+        /// The acquisition.
+        site: AcquireSite,
+        /// Locks held when it happens (outermost first).
+        held: &'a [Held],
+    },
+    /// A non-acquisition call with the locks held at that point.
+    Call {
+        /// The call.
+        site: CallSite,
+        /// Locks held when it happens (outermost first).
+        held: &'a [Held],
+    },
+}
+
+/// A pending temporary acquisition within the current statement.
+#[derive(Debug, Clone)]
+struct Temp {
+    lock: String,
+    line: usize,
+    /// Code index of the acquisition's closing `)`.
+    tail_ci: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Guard {
+    name: Option<String>,
+    lock: String,
+    /// Brace depth (relative to the fn body) at which the binding lives.
+    depth: usize,
+    line: usize,
+}
+
+/// Walks the fn body `[open_ci+1, close_ci)` of `sf`, applying `alias`
+/// to every raw lock name and delivering events to `visit`.
+pub fn walk_fn(
+    sf: &SourceFile<'_>,
+    open_ci: usize,
+    close_ci: usize,
+    alias: &dyn Fn(&str) -> String,
+    visit: &mut dyn FnMut(WalkEvent<'_>),
+) {
+    let mut w = Walker {
+        sf,
+        alias,
+        depth: 0,
+        group_depth: 0,
+        guards: Vec::new(),
+        temps: Vec::new(),
+        stmt_start: open_ci + 1,
+        let_eq_ci: None,
+        let_start: None,
+    };
+    let mut ci = open_ci + 1;
+    while ci < close_ci {
+        ci = w.step(ci, visit);
+    }
+}
+
+struct Walker<'s, 'a> {
+    sf: &'s SourceFile<'a>,
+    alias: &'s dyn Fn(&str) -> String,
+    depth: usize,
+    group_depth: usize,
+    guards: Vec<Guard>,
+    temps: Vec<Temp>,
+    stmt_start: usize,
+    /// `=` position of the current `let` statement, if any.
+    let_eq_ci: Option<usize>,
+    /// `let` keyword position of the current statement, if any.
+    let_start: Option<usize>,
+}
+
+impl Walker<'_, '_> {
+    /// Processes the token at `ci`; returns the next index to process.
+    fn step(&mut self, ci: usize, visit: &mut dyn FnMut(WalkEvent<'_>)) -> usize {
+        let sf = self.sf;
+        match sf.kind(ci) {
+            TokenKind::Open(Delim::Paren | Delim::Bracket) => {
+                self.group_depth += 1;
+            }
+            TokenKind::Close(Delim::Paren | Delim::Bracket) => {
+                self.group_depth = self.group_depth.saturating_sub(1);
+            }
+            TokenKind::Open(Delim::Brace) => {
+                // An `if let`-style binding scopes into the new block.
+                self.end_statement(ci, /* into_block: */ true);
+                self.depth += 1;
+                self.group_depth = 0;
+            }
+            TokenKind::Close(Delim::Brace) => {
+                self.end_statement(ci, false);
+                self.depth = self.depth.saturating_sub(1);
+                let d = self.depth;
+                self.guards.retain(|g| g.depth <= d);
+                self.group_depth = 0;
+            }
+            TokenKind::Punct if sf.text(ci) == ";" && self.group_depth == 0 => {
+                self.end_statement(ci, false);
+            }
+            TokenKind::Punct if sf.text(ci) == "=" && self.group_depth == 0 => {
+                // The binder `=` of a `let` (not `==`, `<=`, `+=`, …).
+                let prev_ok = ci == 0
+                    || !matches!(
+                        sf.text(ci - 1),
+                        "=" | "!" | "<" | ">" | "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"
+                    );
+                let next_ok = ci + 1 >= sf.len() || sf.text(ci + 1) != "=";
+                if prev_ok && next_ok && self.let_start.is_some() && self.let_eq_ci.is_none() {
+                    self.let_eq_ci = Some(ci);
+                }
+            }
+            TokenKind::Ident => {
+                let t = sf.text(ci);
+                if t == "let" && self.group_depth == 0 {
+                    self.let_start = Some(ci);
+                    self.let_eq_ci = None;
+                } else if t == "drop"
+                    && ci + 2 < sf.len()
+                    && sf.kind(ci + 1) == TokenKind::Open(Delim::Paren)
+                    && sf.kind(ci + 2) == TokenKind::Ident
+                {
+                    // `drop(name)` / `mem::drop(name)` releases the guard.
+                    let name = sf.text(ci + 2).to_string();
+                    if sf.text(ci + 3.min(sf.len() - 1)) == ")" {
+                        self.guards.retain(|g| g.name.as_deref() != Some(&name));
+                    }
+                } else if ci + 1 < sf.len() && sf.kind(ci + 1) == TokenKind::Open(Delim::Paren) {
+                    self.call_or_acquire(ci, visit);
+                }
+            }
+            _ => {}
+        }
+        ci + 1
+    }
+
+    /// Handles `ident (` at `ci`: an acquisition, a call, or neither.
+    fn call_or_acquire(&mut self, ci: usize, visit: &mut dyn FnMut(WalkEvent<'_>)) {
+        let sf = self.sf;
+        let name = sf.text(ci);
+        if NOT_CALLEES.contains(&name) {
+            return;
+        }
+        let is_method = ci > 0 && sf.text(ci - 1) == ".";
+        // Skip declarations: `fn name(` was already excluded by the
+        // keyword list via `fn`; here exclude `fn name` one step back.
+        if ci > 0 && sf.is_ident(ci - 1, "fn") {
+            return;
+        }
+        let close = sf.matching_close(ci + 1);
+        let has_args = close > ci + 2;
+
+        if is_method && !has_args && ACQUIRE_METHODS.contains(&name) {
+            let raw = self
+                .receiver_last(ci - 1)
+                .unwrap_or_else(|| name.to_string());
+            let lock = (self.alias)(&raw);
+            let held = self.held_now();
+            visit(WalkEvent::Acquire {
+                site: AcquireSite {
+                    lock: lock.clone(),
+                    line: sf.line(ci),
+                    ci,
+                },
+                held: &held,
+            });
+            self.temps.push(Temp {
+                lock,
+                line: sf.line(ci),
+                tail_ci: close,
+            });
+            return;
+        }
+
+        let recv_last = if is_method {
+            self.receiver_last(ci - 1)
+        } else {
+            None
+        };
+        let held = self.held_now();
+        visit(WalkEvent::Call {
+            site: CallSite {
+                name: name.to_string(),
+                is_method,
+                recv_last,
+                has_args,
+                line: sf.line(ci),
+                ci,
+            },
+            held: &held,
+        });
+    }
+
+    /// The receiver's last plain identifier, walking back from the `.`
+    /// at `dot_ci` and skipping one balanced `(…)`/`[…]` group.
+    fn receiver_last(&self, dot_ci: usize) -> Option<String> {
+        let sf = self.sf;
+        let mut ci = dot_ci.checked_sub(1)?;
+        // Skip a trailing call or index group: `x.f().g` / `x[i].g`.
+        loop {
+            match sf.kind(ci) {
+                TokenKind::Close(d @ (Delim::Paren | Delim::Bracket)) => {
+                    let mut depth = 0usize;
+                    loop {
+                        match sf.kind(ci) {
+                            TokenKind::Close(k) if k == d => depth += 1,
+                            TokenKind::Open(k) if k == d => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        ci = ci.checked_sub(1)?;
+                    }
+                    ci = ci.checked_sub(1)?;
+                }
+                TokenKind::Ident => return Some(sf.text(ci).to_string()),
+                _ => return None,
+            }
+        }
+    }
+
+    fn held_now(&self) -> Vec<Held> {
+        let mut held: Vec<Held> = self
+            .guards
+            .iter()
+            .map(|g| Held {
+                lock: g.lock.clone(),
+                guard: g.name.clone(),
+                line: g.line,
+            })
+            .collect();
+        held.extend(self.temps.iter().map(|t| Held {
+            lock: t.lock.clone(),
+            guard: None,
+            line: t.line,
+        }));
+        held
+    }
+
+    /// Finishes the statement ending at `end_ci` (a `;`, `{` or `}`):
+    /// promotes binding-tail temporaries to guards, clears the rest.
+    fn end_statement(&mut self, end_ci: usize, into_block: bool) {
+        let temps = std::mem::take(&mut self.temps);
+        let (let_start, let_eq) = (self.let_start.take(), self.let_eq_ci.take());
+        self.stmt_start = end_ci + 1;
+        let (Some(ls), Some(eq)) = (let_start, let_eq) else {
+            return;
+        };
+        if temps.is_empty() {
+            return;
+        }
+        let sf = self.sf;
+        // `let … else { … }`: the guard binds after the else block; we
+        // bind it now (slightly early) at the current depth.
+        let mut rhs_end = end_ci;
+        if into_block && rhs_end > 0 && sf.is_ident(rhs_end - 1, "else") {
+            rhs_end -= 1;
+        }
+        let bind_depth = if into_block && rhs_end == end_ci {
+            self.depth + 1
+        } else {
+            self.depth
+        };
+
+        // Tuple form: `let (a, b) = (x.lock(), y.read());`
+        let pat = (ls + 1, eq);
+        let rhs = (eq + 1, rhs_end);
+        let mut bindings: Vec<(String, Temp)> = Vec::new();
+        if let Some(pairs) = tuple_bindings(sf, pat, rhs, &temps) {
+            bindings = pairs;
+        } else if let Some(t) = binding_tail(sf, rhs.0, rhs.1, &temps) {
+            // Whole-RHS form: every lowercase pattern name guards it.
+            for name in pattern_names(sf, pat.0, pat.1) {
+                bindings.push((name, t.clone()));
+            }
+        }
+        for (name, t) in bindings {
+            // Shadowing: the old guard stays live (released at scope
+            // exit) but loses its name.
+            for g in &mut self.guards {
+                if g.name.as_deref() == Some(&name) {
+                    g.name = None;
+                }
+            }
+            self.guards.push(Guard {
+                name: Some(name),
+                lock: t.lock,
+                depth: bind_depth,
+                line: t.line,
+            });
+        }
+    }
+}
+
+/// Lowercase identifiers bound by the pattern `[start, end)` (skips
+/// keywords, `_`, and capitalized path/constructor segments).
+fn pattern_names(sf: &SourceFile<'_>, start: usize, end: usize) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut ci = start;
+    while ci < end {
+        if sf.kind(ci) == TokenKind::Ident {
+            let t = sf.text(ci);
+            let keyword = matches!(t, "mut" | "ref" | "_" | "box");
+            let capitalized = t.chars().next().is_some_and(char::is_uppercase);
+            // Skip type-ascription segments: `name: Type`.
+            let is_type_pos = ci > start && sf.text(ci - 1) == ":";
+            if !keyword && !capitalized && !is_type_pos {
+                names.push(t.to_string());
+            }
+        }
+        ci += 1;
+    }
+    names
+}
+
+/// If the expression `[start, end)` *ends* in one of `temps` (modulo a
+/// trailing `?`, `.unwrap()`, or `.expect(…)`), returns that temp.
+fn binding_tail(sf: &SourceFile<'_>, start: usize, end: usize, temps: &[Temp]) -> Option<Temp> {
+    if end <= start {
+        return None;
+    }
+    let mut tail = end;
+    loop {
+        let last = tail.checked_sub(1)?;
+        if last < start {
+            return None;
+        }
+        if sf.kind(last) == TokenKind::Punct && sf.text(last) == "?" {
+            tail = last;
+            continue;
+        }
+        if sf.kind(last) == TokenKind::Close(Delim::Paren) {
+            // `.unwrap()` / `.expect(…)` strip.
+            let mut depth = 0usize;
+            let mut open = last;
+            loop {
+                match sf.kind(open) {
+                    TokenKind::Close(Delim::Paren) => depth += 1,
+                    TokenKind::Open(Delim::Paren) => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                open = open.checked_sub(1)?;
+                if open < start {
+                    return None;
+                }
+            }
+            if let Some(t) = temps.iter().find(|t| t.tail_ci == last) {
+                return Some(t.clone());
+            }
+            if open >= start + 2
+                && sf.kind(open - 1) == TokenKind::Ident
+                && matches!(sf.text(open - 1), "unwrap" | "expect")
+                && sf.text(open - 2) == "."
+            {
+                tail = open - 2;
+                continue;
+            }
+            return None;
+        }
+        return None;
+    }
+}
+
+/// Positional guard bindings for `let (p1, …, pn) = (e1, …, en);`.
+/// Returns `None` when either side is not a top-level paren tuple.
+fn tuple_bindings(
+    sf: &SourceFile<'_>,
+    pat: (usize, usize),
+    rhs: (usize, usize),
+    temps: &[Temp],
+) -> Option<Vec<(String, Temp)>> {
+    let pat_parts = tuple_parts(sf, pat.0, pat.1)?;
+    let rhs_parts = tuple_parts(sf, rhs.0, rhs.1)?;
+    if pat_parts.len() != rhs_parts.len() {
+        return None;
+    }
+    let mut out = Vec::new();
+    for (p, r) in pat_parts.iter().zip(&rhs_parts) {
+        let Some(t) = binding_tail(sf, r.0, r.1, temps) else {
+            continue;
+        };
+        if let Some(name) = pattern_names(sf, p.0, p.1).into_iter().next() {
+            out.push((name, t));
+        }
+    }
+    Some(out)
+}
+
+/// Splits `( a, b, c )` spanning exactly `[start, end)` into element
+/// ranges; `None` if the range is not one parenthesized group.
+fn tuple_parts(sf: &SourceFile<'_>, start: usize, end: usize) -> Option<Vec<(usize, usize)>> {
+    if end <= start || sf.kind(start) != TokenKind::Open(Delim::Paren) {
+        return None;
+    }
+    if sf.matching_close(start) != end - 1 {
+        return None;
+    }
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut part_start = start + 1;
+    for ci in start..end {
+        match sf.kind(ci) {
+            TokenKind::Open(_) => depth += 1,
+            TokenKind::Close(_) => {
+                depth -= 1;
+                if depth == 0 {
+                    // The closing `)` of the tuple itself.
+                    if ci > part_start {
+                        parts.push((part_start, ci));
+                    }
+                }
+            }
+            TokenKind::Punct if depth == 1 && sf.text(ci) == "," => {
+                parts.push((part_start, ci));
+                part_start = ci + 1;
+            }
+            _ => {}
+        }
+    }
+    (parts.len() > 1).then_some(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::syntax::BlockKind;
+
+    /// Runs the walker over the first fn in `src`, returning
+    /// `(call name, held lock names)` pairs.
+    fn calls_with_held(src: &str) -> Vec<(String, Vec<String>)> {
+        let sf = SourceFile::parse(src);
+        let fns = sf.functions();
+        let (block, _) = fns.first().expect("no fn in source");
+        let mut out = Vec::new();
+        walk_fn(
+            &sf,
+            block.open_ci,
+            block.close_ci,
+            &|s| s.to_string(),
+            &mut |e| {
+                if let WalkEvent::Call { site, held } = e {
+                    out.push((
+                        site.name.clone(),
+                        held.iter().map(|h| h.lock.clone()).collect(),
+                    ));
+                }
+            },
+        );
+        out
+    }
+
+    fn held_at(src: &str, call: &str) -> Vec<String> {
+        calls_with_held(src)
+            .into_iter()
+            .find(|(n, _)| n == call)
+            .map(|(_, h)| h)
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn simple_guard_is_held() {
+        let src = "fn f(&self) { let g = self.c0.write(); self.maintenance(1); }";
+        assert_eq!(held_at(src, "maintenance"), ["c0"]);
+    }
+
+    #[test]
+    fn drop_releases() {
+        let src = "fn f(&self) { let g = self.c0.write(); drop(g); self.maintenance(1); }";
+        assert!(held_at(src, "maintenance").is_empty());
+    }
+
+    #[test]
+    fn scope_releases() {
+        let src = "fn f(&self) { { let g = self.c0.write(); } self.maintenance(1); }";
+        assert!(held_at(src, "maintenance").is_empty());
+    }
+
+    #[test]
+    fn temporary_released_at_statement_end() {
+        let src = "fn f(&self) { let n = self.c0.read().len(); self.maintenance(1); }";
+        assert!(held_at(src, "maintenance").is_empty());
+    }
+
+    #[test]
+    fn temporary_held_within_statement() {
+        let src = "fn f(&self) { use_it(self.c0.read().len(), self.catalog_probe()); }";
+        assert_eq!(held_at(src, "catalog_probe"), ["c0"]);
+    }
+
+    #[test]
+    fn tuple_destructuring_binds_guards() {
+        let src = "fn f(&self) { let (a, b) = (self.c0.write(), self.cat.read());\n\
+                    drop(a); self.maintenance(1); }";
+        assert_eq!(held_at(src, "maintenance"), ["cat"]);
+    }
+
+    #[test]
+    fn if_let_try_lock_binds_into_block() {
+        let src = "fn f(&self) { if let Some(g) = self.tree.try_lock() { self.pace(1); } \
+                    self.late(1); }";
+        assert_eq!(held_at(src, "pace"), ["tree"]);
+        assert!(held_at(src, "late").is_empty());
+    }
+
+    #[test]
+    fn receiver_chain_names_the_lock() {
+        let src = "fn f(&self) { let g = self.shared().tree.lock(); self.pace(1); }";
+        assert_eq!(held_at(src, "pace"), ["tree"]);
+    }
+
+    #[test]
+    fn acquire_events_carry_held_set() {
+        let src = "fn f(&self) { let a = self.c0.write(); let b = self.catalog.read(); }";
+        let sf = SourceFile::parse(src);
+        let fns = sf.functions();
+        let (block, _) = fns.first().unwrap();
+        let mut acqs = Vec::new();
+        walk_fn(
+            &sf,
+            block.open_ci,
+            block.close_ci,
+            &|s| s.to_string(),
+            &mut |e| {
+                if let WalkEvent::Acquire { site, held } = e {
+                    acqs.push((
+                        site.lock.clone(),
+                        held.iter().map(|h| h.lock.clone()).collect::<Vec<_>>(),
+                    ));
+                }
+            },
+        );
+        assert_eq!(
+            acqs,
+            [
+                ("c0".to_string(), vec![]),
+                ("catalog".to_string(), vec!["c0".to_string()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn fn_blocks_found() {
+        let src = "impl T { fn a(&self) {} fn b(&self) {} }";
+        let sf = SourceFile::parse(src);
+        let names: Vec<String> = sf
+            .functions()
+            .iter()
+            .map(|(b, _)| match &b.kind {
+                BlockKind::Fn { name, .. } => name.clone(),
+                _ => String::new(),
+            })
+            .collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

@@ -1,0 +1,15 @@
+//! False-positive regression corpus: every telltale pattern below lives
+//! in a comment or string literal, where the old line-regex engine
+//! produced findings. The token-aware engine must report nothing.
+
+pub fn documented() -> &'static str {
+    // Discussing `cv.wait(&mut guard)` outside a loop in prose is fine.
+    // So is mentioning Ordering::Relaxed on a shared flag in a comment.
+    /* even in a block comment: work_cv.wait(g); Ordering::Relaxed */
+    "cv.wait(&mut g) and Ordering::Relaxed inside a string literal"
+}
+
+pub fn log_line() -> String {
+    let msg = "merge paused; will cv.wait(pending) until Ordering::Relaxed load settles";
+    format!("{msg}!")
+}

@@ -1,0 +1,32 @@
+//! False-negative regression corpus: guards bound through tuple and
+//! if-let destructuring, which the guard-shaped regexes missed. The
+//! liveness walker must see each guard and flag the merge call made
+//! while it is live.
+
+use parking_lot::Mutex;
+
+pub struct Fixture {
+    c0: Mutex<u64>,
+}
+
+impl Fixture {
+    pub fn tuple_bound(&self) {
+        let (epoch, shovel) = (1u64, self.c0.lock());
+        start_merge01(epoch + *shovel);
+    }
+
+    pub fn if_let_bound(&self) {
+        if let Some(guard) = self.c0.try_lock() {
+            start_merge01(*guard);
+        }
+    }
+
+    pub fn dropped_before_is_clean(&self) {
+        let shovel = self.c0.lock();
+        let epoch = *shovel;
+        drop(shovel);
+        start_merge01(epoch);
+    }
+}
+
+fn start_merge01(_v: u64) {}

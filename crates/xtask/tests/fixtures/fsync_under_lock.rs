@@ -1,0 +1,19 @@
+//! Seeded critical-section-cost violation: an fsync issued while a
+//! mutex guard is live. The cost analysis must flag the `sync_all`.
+
+use parking_lot::Mutex;
+use std::fs::File;
+
+pub struct Fixture {
+    state: Mutex<u64>,
+    wal: File,
+}
+
+impl Fixture {
+    pub fn checkpoint(&self) -> std::io::Result<()> {
+        let mut state = self.state.lock();
+        *state += 1;
+        self.wal.sync_all()?;
+        Ok(())
+    }
+}

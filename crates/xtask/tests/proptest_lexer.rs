@@ -1,0 +1,92 @@
+//! Property tests for the lint engine's lexer: the tokens of any input
+//! — well-formed or hostile — exactly tile the source (round-trip by
+//! construction), and trivia classification is stable. This is the
+//! invariant that makes comment/string false positives impossible in
+//! the token-based rules.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+
+use xtask::lexer::lex;
+
+/// Fragments that exercise every lexer mode, including unterminated
+/// and pathological ones; concatenations of these cover the nasty
+/// boundaries (comment openers inside strings, quotes inside comments,
+/// raw strings, lifetimes vs char literals).
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("fn f() {}".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just("\"str with // not a comment\"".to_string()),
+        Just("\"unterminated".to_string()),
+        Just("'a'".to_string()),
+        Just("'static".to_string()),
+        Just("b\"bytes\"".to_string()),
+        Just("r#\"raw \" quote\"#".to_string()),
+        Just("r#ident".to_string()),
+        Just("// line comment with \" quote\n".to_string()),
+        Just("/* block /* nested */ comment */".to_string()),
+        Just("/* unterminated".to_string()),
+        Just("/// doc\n".to_string()),
+        Just("0x1f_u64".to_string()),
+        Just("ident_0".to_string()),
+        Just("&&".to_string()),
+        Just("::".to_string()),
+        Just(" \t\n".to_string()),
+        Just("\\".to_string()),
+        Just("\"esc \\\" aped\"".to_string()),
+        Just("émoji→λ".to_string()),
+    ]
+}
+
+proptest! {
+    /// Tokens tile the input exactly: contiguous, in order, covering
+    /// every byte. Reassembling the token spans reproduces the source.
+    #[test]
+    fn tokens_tile_fragment_soup(
+        pieces in proptest::collection::vec(fragment(), 0..60)
+    ) {
+        let src: String = pieces.concat();
+        let tokens = lex(&src);
+        let mut pos = 0usize;
+        for t in &tokens {
+            prop_assert_eq!(t.start, pos, "gap or overlap at byte {}", pos);
+            prop_assert!(t.end > t.start, "empty token at byte {}", pos);
+            pos = t.end;
+        }
+        prop_assert_eq!(pos, src.len(), "tokens must cover the whole source");
+        let rebuilt: String = tokens.iter().map(|t| &src[t.start..t.end]).collect();
+        prop_assert_eq!(rebuilt, src);
+    }
+
+    /// Same tiling invariant over arbitrary (often invalid) text: the
+    /// lexer must never panic, skip, or overlap on any input.
+    #[test]
+    fn tokens_tile_arbitrary_text(
+        bytes in proptest::collection::vec(any::<u8>(), 0..300)
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let tokens = lex(&src);
+        let mut pos = 0usize;
+        for t in &tokens {
+            prop_assert_eq!(t.start, pos);
+            pos = t.end;
+        }
+        prop_assert_eq!(pos, src.len());
+    }
+
+    /// Line numbers are monotone and match the newline count before the
+    /// token's span.
+    #[test]
+    fn line_numbers_are_consistent(
+        pieces in proptest::collection::vec(fragment(), 0..40)
+    ) {
+        let src: String = pieces.concat();
+        for t in lex(&src) {
+            let expected = 1 + src[..t.start].matches('\n').count();
+            prop_assert_eq!(t.line as usize, expected);
+        }
+    }
+}

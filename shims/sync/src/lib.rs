@@ -1,0 +1,30 @@
+//! Swappable synchronization layer for model checking.
+//!
+//! By default every export is a thin re-export of the real primitives
+//! (`parking_lot` locks, `std` atomics/`Arc`/threads), so protocol code
+//! written against this crate runs at full speed in production shape.
+//!
+//! With the `model` feature the same API is backed by a deterministic
+//! interleaving scheduler (in the spirit of loom/CHESS): exactly one
+//! logical thread runs at a time, every primitive operation is a
+//! scheduling point, and [`model_check`] explores the tree of scheduler
+//! decisions depth-first with replay. Blocked cycles are reported as
+//! deadlocks, assertion failures are reported with the schedule that
+//! produced them, and `Condvar::wait_for` timeouts are modeled lazily
+//! (a timed wait may "fire" whenever the scheduler chooses, without
+//! real time passing).
+//!
+//! The model is sequentially consistent: `Ordering` arguments are
+//! accepted but not used to weaken anything, so it checks interleaving
+//! bugs (lost wakeups, premature reclamation, lock cycles), not
+//! relaxed-memory bugs.
+
+#[cfg(feature = "model")]
+mod model;
+#[cfg(feature = "model")]
+pub use model::*;
+
+#[cfg(not(feature = "model"))]
+mod real;
+#[cfg(not(feature = "model"))]
+pub use real::*;

@@ -1,0 +1,580 @@
+//! Deterministic-interleaving model checker.
+//!
+//! Execution model (loom/CHESS-style, but over real OS threads):
+//!
+//! * Exactly one logical thread is *current* at any instant. All other
+//!   threads are parked on a condvar waiting for the token.
+//! * Every primitive operation (lock, unlock, atomic access, notify,
+//!   spawn, join, `Arc` refcount traffic) calls [`yield_point`] first,
+//!   handing the scheduler a *decision point*: it picks the next thread
+//!   to run from the runnable set.
+//! * [`model_check`] runs the closure repeatedly, exploring the tree of
+//!   decisions depth-first: each run replays a recorded prefix of
+//!   choices and takes the first branch at the frontier; backtracking
+//!   increments the deepest decision that still has unexplored options.
+//!   Decision points with a single option are not recorded, so the
+//!   tree only branches where threads genuinely race.
+//! * If a thread must block and nothing is runnable, the run fails with
+//!   a deadlock report naming every live thread and what it waits on.
+//! * Timed waits ([`Condvar::wait_for`]) are modeled lazily: a timed
+//!   waiter is always schedulable via its "timeout fires" branch, so
+//!   timeouts cost no wall-clock time and are explored like any other
+//!   nondeterminism. Untimed waits can deadlock — which is exactly how
+//!   a lost wakeup is detected.
+//!
+//! The model is sequentially consistent; `Ordering` arguments are
+//! accepted for API parity but do not weaken anything.
+//!
+//! [`Condvar::wait_for`]: primitives::Condvar::wait_for
+
+mod primitives;
+
+pub use primitives::{
+    atomic, thread, Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    WaitTimeoutResult,
+};
+
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, Once, PoisonError,
+};
+
+/// Default exploration budget (executions) when `MODEL_CHECK_BUDGET` is
+/// not set. Small protocols exhaust their tree well below this.
+const DEFAULT_BUDGET: usize = 100_000;
+
+/// Result of a completed (non-failing) model-checking run.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of executions explored.
+    pub executions: usize,
+    /// Whether the decision tree was exhausted (a proof over the model,
+    /// not a sample).
+    pub complete: bool,
+}
+
+/// A failing schedule found by the model checker.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong: deadlock, panic message, leaked thread,
+    /// nondeterminism.
+    pub message: String,
+    /// Executions run before the failure surfaced.
+    pub executions: usize,
+    /// The branch choices that reproduce it (one entry per multi-option
+    /// decision point).
+    pub schedule: Vec<usize>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model check failed after {} execution(s): {} (schedule {:?})",
+            self.executions, self.message, self.schedule
+        )
+    }
+}
+
+/// Where a logical thread stands with respect to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// May be chosen to run.
+    Runnable,
+    /// Waiting to acquire lock object `.0`.
+    BlockedLock(usize),
+    /// Parked in a condvar wait; `timed` waiters can be woken by the
+    /// scheduler's lazy-timeout branch.
+    Waiting { cv: usize, timed: bool },
+    /// Waiting for thread `.0` to finish.
+    BlockedJoin(usize),
+    /// Done; never scheduled again.
+    Finished,
+}
+
+#[derive(Debug)]
+pub(crate) struct Thr {
+    pub(crate) status: Status,
+    pub(crate) name: String,
+    /// After a wake from `Waiting`: did the wake come from the timeout
+    /// branch (true) or a notify (false)?
+    pub(crate) timed_out: bool,
+}
+
+/// One recorded multi-option decision.
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    chosen: usize,
+    options: usize,
+}
+
+#[derive(Debug)]
+pub(crate) struct ExecState {
+    pub(crate) threads: Vec<Thr>,
+    /// Which thread holds the token.
+    pub(crate) current: usize,
+    /// Replay prefix + recorded frontier.
+    decisions: Vec<Decision>,
+    /// Next decision index to replay.
+    depth: usize,
+    pub(crate) failure: Option<String>,
+}
+
+/// Shared per-run scheduler state. Spawned threads hold an `Arc` to it;
+/// the internal mutex/condvar implement the run-token handoff.
+#[derive(Debug)]
+pub(crate) struct Execution {
+    m: StdMutex<ExecState>,
+    cv: StdCondvar,
+}
+
+impl Execution {
+    fn new(prefix: Vec<Decision>) -> Self {
+        Execution {
+            m: StdMutex::new(ExecState {
+                threads: vec![Thr {
+                    status: Status::Runnable,
+                    name: "main".to_string(),
+                    timed_out: false,
+                }],
+                current: 0,
+                decisions: prefix,
+                depth: 0,
+                failure: None,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> StdMutexGuard<'_, ExecState> {
+        self.m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+impl ExecState {
+    /// Picks the next token holder. Called by the current thread after
+    /// it has updated its own status (still `Runnable` for a plain
+    /// yield, blocked otherwise).
+    pub(crate) fn schedule(&mut self) {
+        if self.failure.is_some() {
+            return;
+        }
+        let mut choices = Vec::new();
+        for (tid, t) in self.threads.iter().enumerate() {
+            match t.status {
+                Status::Runnable | Status::Waiting { timed: true, .. } => choices.push(tid),
+                _ => {}
+            }
+        }
+        if choices.is_empty() {
+            let live: Vec<String> = self
+                .threads
+                .iter()
+                .filter(|t| t.status != Status::Finished)
+                .map(|t| format!("`{}` {:?}", t.name, t.status))
+                .collect();
+            if !live.is_empty() {
+                self.failure = Some(format!(
+                    "deadlock: no thread is runnable; live threads: {}",
+                    live.join(", ")
+                ));
+            }
+            return;
+        }
+        let idx = if choices.len() == 1 {
+            0 // forced move: not a branch, don't record it
+        } else if self.depth < self.decisions.len() {
+            let d = self.decisions[self.depth];
+            self.depth += 1;
+            if d.options != choices.len() {
+                self.failure = Some(
+                    "nondeterministic execution: runnable-set size changed on replay \
+                     (the model-checked closure must be deterministic apart from scheduling)"
+                        .to_string(),
+                );
+                return;
+            }
+            d.chosen
+        } else {
+            self.decisions.push(Decision {
+                chosen: 0,
+                options: choices.len(),
+            });
+            self.depth += 1;
+            0
+        };
+        let tid = choices[idx];
+        if let Status::Waiting { timed: true, .. } = self.threads[tid].status {
+            self.threads[tid].status = Status::Runnable;
+            self.threads[tid].timed_out = true;
+        }
+        self.current = tid;
+    }
+
+    /// Makes every thread blocked on lock object `obj` runnable again.
+    pub(crate) fn wake_lock_waiters(&mut self, obj: usize) {
+        for t in &mut self.threads {
+            if t.status == Status::BlockedLock(obj) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+}
+
+/// Panic payload for secondary unwinds: a run already failed elsewhere
+/// and this thread is just being torn down. Never reported.
+pub(crate) struct ModelAbort;
+
+pub(crate) fn abort_run() -> ! {
+    std::panic::panic_any(ModelAbort)
+}
+
+pub(crate) struct Ctx {
+    pub(crate) exec: std::sync::Arc<Execution>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+    static IN_MODEL: Cell<bool> = const { Cell::new(false) };
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    let in_model = ctx.is_some();
+    CTX.with(|c| *c.borrow_mut() = ctx);
+    IN_MODEL.with(|c| c.set(in_model));
+}
+
+/// The calling thread's execution handle, if it is a model thread.
+pub(crate) fn ctx_pair() -> Option<(std::sync::Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().as_ref().map(|x| (x.exec.clone(), x.tid)))
+}
+
+pub(crate) fn require_ctx() -> (std::sync::Arc<Execution>, usize) {
+    let Some(p) = ctx_pair() else {
+        panic!("sync model primitive used outside model_check (enable via sync::model_check)")
+    };
+    p
+}
+
+/// Parks until this thread holds the token and is runnable. Aborts the
+/// thread if the run has failed.
+pub(crate) fn wait_for_token(exec: &Execution, tid: usize) {
+    let mut st = exec.lock();
+    loop {
+        if st.failure.is_some() {
+            drop(st);
+            abort_run();
+        }
+        if st.current == tid && st.threads[tid].status == Status::Runnable {
+            return;
+        }
+        st = exec.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// A scheduling decision point. No-op outside a model run (e.g. `Arc`
+/// drops after teardown) and during unwinding.
+pub(crate) fn yield_point() {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some((exec, tid)) = ctx_pair() else {
+        return;
+    };
+    {
+        let mut st = exec.lock();
+        if st.failure.is_some() {
+            drop(st);
+            abort_run();
+        }
+        st.schedule();
+        exec.notify_all();
+    }
+    wait_for_token(&exec, tid);
+}
+
+/// Transitions the calling thread to `status` (a blocked state), hands
+/// the token to someone else, and parks until woken *and* rescheduled.
+pub(crate) fn block_on(status: Status) {
+    let (exec, tid) = require_ctx();
+    {
+        let mut st = exec.lock();
+        if st.failure.is_some() {
+            drop(st);
+            abort_run();
+        }
+        st.threads[tid].status = status;
+        if matches!(status, Status::Waiting { .. }) {
+            st.threads[tid].timed_out = false;
+        }
+        st.schedule();
+        exec.notify_all();
+    }
+    wait_for_token(&exec, tid);
+}
+
+pub(crate) fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+static HOOK: Once = Once::new();
+static SERIAL: StdMutex<()> = StdMutex::new(());
+
+/// Silences the default panic printer for model threads: their panics
+/// are captured and re-reported through [`Failure`], and expected-bug
+/// tests would otherwise spray backtraces.
+fn install_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if IN_MODEL.with(std::cell::Cell::get) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Explores every interleaving of the scheduler decisions taken while
+/// running `f`, up to the budget from `MODEL_CHECK_BUDGET` (default
+/// 100 000 executions).
+///
+/// Returns `Ok` with a [`Report`] if no interleaving fails; `complete`
+/// tells whether the search was exhaustive. Returns `Err` with the
+/// failing schedule on the first deadlock, panic, or leaked thread.
+///
+/// `f` must be deterministic apart from scheduling, and must join every
+/// thread it spawns.
+pub fn model_check<F: Fn()>(f: F) -> Result<Report, Failure> {
+    let budget = std::env::var("MODEL_CHECK_BUDGET")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_BUDGET);
+    model_check_with(budget, f)
+}
+
+/// [`model_check`] with an explicit execution budget.
+pub fn model_check_with<F: Fn()>(budget: usize, f: F) -> Result<Report, Failure> {
+    install_hook();
+    let _serial = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut prefix: Vec<Decision> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        let exec = std::sync::Arc::new(Execution::new(prefix.clone()));
+        set_ctx(Some(Ctx {
+            exec: exec.clone(),
+            tid: 0,
+        }));
+        let outcome = catch_unwind(AssertUnwindSafe(&f));
+        set_ctx(None);
+
+        let mut st = exec.lock();
+        if let Err(p) = outcome {
+            if p.downcast_ref::<ModelAbort>().is_none() && st.failure.is_none() {
+                st.failure = Some(panic_msg(p.as_ref()));
+            }
+        }
+        if st.failure.is_none() {
+            if let Some(t) = st
+                .threads
+                .iter()
+                .skip(1)
+                .find(|t| t.status != Status::Finished)
+            {
+                st.failure = Some(format!(
+                    "thread `{}` still live when the closure returned (every spawned \
+                     thread must be joined)",
+                    t.name
+                ));
+            }
+        }
+        if let Some(message) = st.failure.clone() {
+            let schedule = st.decisions.iter().map(|d| d.chosen).collect();
+            drop(st);
+            // Wake any parked threads so their OS threads see the
+            // failure and exit.
+            exec.notify_all();
+            return Err(Failure {
+                message,
+                executions,
+                schedule,
+            });
+        }
+        let mut d = std::mem::take(&mut st.decisions);
+        drop(st);
+
+        // Backtrack: bump the deepest decision with an unexplored branch.
+        loop {
+            match d.last_mut() {
+                None => {
+                    return Ok(Report {
+                        executions,
+                        complete: true,
+                    })
+                }
+                Some(last) if last.chosen + 1 < last.options => {
+                    last.chosen += 1;
+                    break;
+                }
+                Some(_) => {
+                    d.pop();
+                }
+            }
+        }
+        if executions >= budget {
+            return Ok(Report {
+                executions,
+                complete: false,
+            });
+        }
+        prefix = d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::primitives::atomic::{AtomicU64, Ordering};
+    use super::primitives::{thread, Arc, Condvar, Mutex};
+    use super::{model_check, model_check_with};
+    use std::time::Duration;
+
+    #[test]
+    fn guarded_increments_never_race() {
+        let report = model_check(|| {
+            let n = Arc::new(Mutex::new(0u64));
+            let h = {
+                let n = Arc::clone(&n);
+                thread::spawn(move || *n.lock() += 1)
+            };
+            *n.lock() += 1;
+            h.join().unwrap();
+            assert_eq!(*n.lock(), 2);
+        })
+        .unwrap();
+        assert!(report.complete);
+        assert!(report.executions > 1, "two lock sites must interleave");
+    }
+
+    #[test]
+    fn unsynchronized_read_modify_write_loses_an_update() {
+        // load;store is not atomic: some schedule loses one increment,
+        // and the checker must find it.
+        let failure = model_check(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let h = {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    let v = n.load(Ordering::SeqCst);
+                    n.store(v + 1, Ordering::SeqCst);
+                })
+            };
+            let v = n.load(Ordering::SeqCst);
+            n.store(v + 1, Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        })
+        .expect_err("the lost update has a schedule; DFS must reach it");
+        assert!(failure.message.contains("assertion"), "got: {failure}");
+    }
+
+    #[test]
+    fn ab_ba_lock_cycle_deadlocks() {
+        let failure = model_check(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let h = {
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                thread::spawn(move || {
+                    let ga = a.lock();
+                    let gb = b.lock();
+                    drop((ga, gb));
+                })
+            };
+            let gb = b.lock();
+            let ga = a.lock();
+            drop((ga, gb));
+            drop(h.join());
+        })
+        .expect_err("AB-BA ordering must deadlock under some schedule");
+        assert!(failure.message.contains("deadlock"), "got: {failure}");
+    }
+
+    #[test]
+    fn lazy_timeout_unblocks_an_unsignaled_wait() {
+        // Nobody notifies; only the lazy-timeout branch can finish the
+        // run, and it must do so in every schedule.
+        let report = model_check(|| {
+            let m = Mutex::new(false);
+            let cv = Condvar::new();
+            let mut g = m.lock();
+            let r = cv.wait_for(&mut g, Duration::from_millis(10));
+            assert!(r.timed_out());
+        })
+        .unwrap();
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn untimed_unsignaled_wait_is_a_deadlock() {
+        let failure = model_check(|| {
+            let m = Mutex::new(false);
+            let cv = Condvar::new();
+            let mut g = m.lock();
+            cv.wait(&mut g);
+        })
+        .expect_err("an unsignaled untimed wait can never finish");
+        assert!(failure.message.contains("deadlock"), "got: {failure}");
+    }
+
+    #[test]
+    fn budget_bounds_the_search() {
+        let report = model_check_with(3, || {
+            let n = Arc::new(AtomicU64::new(0));
+            let h = {
+                let n = Arc::clone(&n);
+                thread::spawn(move || n.fetch_add(1, Ordering::SeqCst))
+            };
+            n.fetch_add(1, Ordering::SeqCst);
+            h.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(report.executions, 3);
+        assert!(!report.complete);
+    }
+
+    #[test]
+    fn leaked_thread_is_reported() {
+        let failure = model_check(|| {
+            let m = Arc::new(Mutex::new(()));
+            let _held = m.lock();
+            let h = {
+                let m = Arc::clone(&m);
+                thread::spawn(move || drop(m.lock()))
+            };
+            // Returning while `h` is blocked on the mutex: either the
+            // deadlock (if we get here with the child parked) or the
+            // leak check must fire.
+            std::mem::forget(h);
+        })
+        .expect_err("a never-joined thread must be reported");
+        assert!(
+            failure.message.contains("still live") || failure.message.contains("deadlock"),
+            "got: {failure}"
+        );
+    }
+}

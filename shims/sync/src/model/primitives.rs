@@ -1,0 +1,636 @@
+//! Model-mode primitives: the same API as `real.rs`, every operation a
+//! scheduling decision point.
+//!
+//! Shared data lives in `UnsafeCell`s; safety rests on the scheduler
+//! invariant that exactly one model thread runs at a time, so no two
+//! threads ever touch a cell concurrently.
+
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{
+    AtomicBool as StdAtomicBool, AtomicUsize as StdAtomicUsize, Ordering as StdOrdering,
+};
+use std::sync::{Arc as StdArc, Mutex as StdMutex, PoisonError};
+use std::time::Duration;
+
+use super::{
+    abort_run, block_on, ctx_pair, panic_msg, require_ctx, set_ctx, wait_for_token, yield_point,
+    Ctx, ModelAbort, Status, Thr,
+};
+
+/// Process-wide id source for lock/condvar objects. Ids only match
+/// blocked threads to the object that wakes them; they never feed a
+/// scheduling decision, so cross-run uniqueness is harmless.
+static NEXT_OBJ: StdAtomicUsize = StdAtomicUsize::new(0);
+
+fn fresh_id() -> usize {
+    NEXT_OBJ.fetch_add(1, StdOrdering::Relaxed)
+}
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+/// Model mutex. `lock` is a decision point; contenders block and are
+/// woken on unlock (barging allowed, like `parking_lot`).
+pub struct Mutex<T: ?Sized> {
+    id: usize,
+    locked: StdAtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the model scheduler runs exactly one logical thread at a
+// time, so all access to `value` is serialized by construction.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+// SAFETY: as above — `&Mutex` is shared across threads but the cell is
+// only touched by the single running thread, through a guard.
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: fresh_id(),
+            locked: StdAtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.lock_raw();
+        MutexGuard { mutex: self }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        yield_point();
+        if self.locked.swap(true, StdOrdering::SeqCst) {
+            None
+        } else {
+            Some(MutexGuard { mutex: self })
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+
+    /// Acquires the raw lock flag, blocking through the scheduler. The
+    /// token-holding thread is the only one running between the yield
+    /// and the swap, so check-then-act is atomic here.
+    fn lock_raw(&self) {
+        loop {
+            yield_point();
+            if !self.locked.swap(true, StdOrdering::SeqCst) {
+                return;
+            }
+            block_on(Status::BlockedLock(self.id));
+        }
+    }
+
+    /// Releases the raw lock flag and makes contenders runnable. Not a
+    /// decision point itself (the next operation of the caller is).
+    fn unlock_raw(&self) {
+        self.locked.store(false, StdOrdering::SeqCst);
+        if let Some((exec, _)) = ctx_pair() {
+            exec.lock().wake_lock_waiters(self.id);
+        }
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard for [`Mutex`]; releases on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    pub(crate) mutex: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: this guard holds the model lock and only the single
+        // running thread can execute this; no aliasing mutable access.
+        unsafe { &*self.mutex.value.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: exclusive access — the guard holds the lock and the
+        // scheduler runs one thread at a time.
+        unsafe { &mut *self.mutex.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.unlock_raw();
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MutexGuard").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------
+
+/// Model reader-writer lock. No fairness policy: woken contenders race
+/// again, which over-approximates `parking_lot` schedules.
+pub struct RwLock<T: ?Sized> {
+    id: usize,
+    readers: StdAtomicUsize,
+    writer: StdAtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: one logical thread runs at a time; see `Mutex`.
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+// SAFETY: as above; shared reads hand out `&T` only while no write
+// guard exists, enforced by the reader/writer counts.
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock {
+            id: fresh_id(),
+            readers: StdAtomicUsize::new(0),
+            writer: StdAtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        loop {
+            yield_point();
+            if !self.writer.load(StdOrdering::SeqCst) {
+                self.readers.fetch_add(1, StdOrdering::SeqCst);
+                return RwLockReadGuard { lock: self };
+            }
+            block_on(Status::BlockedLock(self.id));
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        loop {
+            yield_point();
+            if !self.writer.load(StdOrdering::SeqCst) && self.readers.load(StdOrdering::SeqCst) == 0
+            {
+                self.writer.store(true, StdOrdering::SeqCst);
+                return RwLockWriteGuard { lock: self };
+            }
+            block_on(Status::BlockedLock(self.id));
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+
+    fn wake(&self) {
+        if let Some((exec, _)) = ctx_pair() {
+            exec.lock().wake_lock_waiters(self.id);
+        }
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: read guards exclude writers; one thread runs at a time.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.lock.readers.fetch_sub(1, StdOrdering::SeqCst) == 1 {
+            self.lock.wake();
+        }
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLockReadGuard").finish_non_exhaustive()
+    }
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the write guard is exclusive.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the write guard is exclusive.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.writer.store(false, StdOrdering::SeqCst);
+        self.lock.wake();
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLockWriteGuard").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------
+
+/// Result of [`Condvar::wait_for`].
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    pub(crate) timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Model condvar. `notify_one` wakes the lowest-tid waiter (a
+/// deterministic stand-in for "some waiter"); timed waits can always be
+/// woken through the scheduler's lazy-timeout branch.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar { id: fresh_id() }
+    }
+
+    pub fn notify_one(&self) {
+        yield_point();
+        let (exec, _) = require_ctx();
+        let mut st = exec.lock();
+        let waiter = st
+            .threads
+            .iter()
+            .position(|t| matches!(t.status, Status::Waiting { cv, .. } if cv == self.id));
+        if let Some(tid) = waiter {
+            st.threads[tid].status = Status::Runnable;
+            st.threads[tid].timed_out = false;
+        }
+    }
+
+    pub fn notify_all(&self) {
+        yield_point();
+        let (exec, _) = require_ctx();
+        let mut st = exec.lock();
+        for t in &mut st.threads {
+            if matches!(t.status, Status::Waiting { cv, .. } if cv == self.id) {
+                t.status = Status::Runnable;
+                t.timed_out = false;
+            }
+        }
+    }
+
+    pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.wait_inner(guard, false);
+    }
+
+    pub fn wait_for<T: ?Sized>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        _timeout: Duration,
+    ) -> WaitTimeoutResult {
+        WaitTimeoutResult {
+            timed_out: self.wait_inner(guard, true),
+        }
+    }
+
+    /// Parks the calling thread. The mutex release and the park are
+    /// atomic with respect to scheduling (no yield between them): a
+    /// notifier that acquires the mutex is guaranteed to find the
+    /// waiter parked — the condvar contract. The yield *before* them
+    /// models the window between evaluating the wait predicate and
+    /// parking, where a notification sent without holding the mutex
+    /// can be lost.
+    fn wait_inner<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>, timed: bool) -> bool {
+        let mutex = guard.mutex;
+        yield_point();
+        mutex.unlock_raw();
+        block_on(Status::Waiting { cv: self.id, timed });
+        let (exec, tid) = require_ctx();
+        let timed_out = exec.lock().threads[tid].timed_out;
+        mutex.lock_raw();
+        timed_out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------
+
+/// Scheduled atomics. The model is sequentially consistent: `Ordering`
+/// arguments are accepted for API parity and ignored.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::super::yield_point;
+    use std::sync::atomic::{
+        AtomicBool as Inner8, AtomicU64 as Inner64, AtomicUsize as InnerUsize,
+        Ordering as StdOrdering,
+    };
+
+    macro_rules! model_atomic {
+        ($name:ident, $inner:ty, $val:ty) => {
+            /// Model atomic; every access is a scheduling decision point.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                v: $inner,
+            }
+
+            impl $name {
+                pub fn new(v: $val) -> Self {
+                    Self {
+                        v: <$inner>::new(v),
+                    }
+                }
+
+                pub fn load(&self, _order: Ordering) -> $val {
+                    yield_point();
+                    self.v.load(StdOrdering::SeqCst)
+                }
+
+                pub fn store(&self, val: $val, _order: Ordering) {
+                    yield_point();
+                    self.v.store(val, StdOrdering::SeqCst);
+                }
+
+                pub fn swap(&self, val: $val, _order: Ordering) -> $val {
+                    yield_point();
+                    self.v.swap(val, StdOrdering::SeqCst)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $val,
+                    new: $val,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$val, $val> {
+                    yield_point();
+                    self.v
+                        .compare_exchange(current, new, StdOrdering::SeqCst, StdOrdering::SeqCst)
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicBool, Inner8, bool);
+    model_atomic!(AtomicU64, Inner64, u64);
+    model_atomic!(AtomicUsize, InnerUsize, usize);
+
+    macro_rules! model_atomic_arith {
+        ($name:ident, $val:ty) => {
+            impl $name {
+                pub fn fetch_add(&self, val: $val, _order: Ordering) -> $val {
+                    yield_point();
+                    self.v.fetch_add(val, StdOrdering::SeqCst)
+                }
+
+                pub fn fetch_sub(&self, val: $val, _order: Ordering) -> $val {
+                    yield_point();
+                    self.v.fetch_sub(val, StdOrdering::SeqCst)
+                }
+
+                pub fn fetch_max(&self, val: $val, _order: Ordering) -> $val {
+                    yield_point();
+                    self.v.fetch_max(val, StdOrdering::SeqCst)
+                }
+            }
+        };
+    }
+
+    model_atomic_arith!(AtomicU64, u64);
+    model_atomic_arith!(AtomicUsize, usize);
+}
+
+// ---------------------------------------------------------------------
+// Arc
+// ---------------------------------------------------------------------
+
+/// Model `Arc`: clone, drop and `strong_count` are decision points, so
+/// refcount-gated protocols (sole-owner reclamation) are explored.
+pub struct Arc<T: ?Sized>(StdArc<T>);
+
+impl<T> Arc<T> {
+    pub fn new(v: T) -> Self {
+        Arc(StdArc::new(v))
+    }
+}
+
+impl<T: ?Sized> Arc<T> {
+    pub fn strong_count(this: &Self) -> usize {
+        yield_point();
+        StdArc::strong_count(&this.0)
+    }
+
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        StdArc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl<T: ?Sized> Clone for Arc<T> {
+    fn clone(&self) -> Self {
+        yield_point();
+        Arc(self.0.clone())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for Arc<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Drop for Arc<T> {
+    fn drop(&mut self) {
+        yield_point();
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Arc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------
+
+/// Model threads: real OS threads gated by the run token.
+pub mod thread {
+    use super::*;
+
+    /// Handle to a model thread; mirrors `std::thread::JoinHandle`.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        os: Option<std::thread::JoinHandle<()>>,
+        result: StdArc<StdMutex<Option<T>>>,
+    }
+
+    impl<T> std::fmt::Debug for JoinHandle<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("JoinHandle")
+                .field("tid", &self.tid)
+                .finish_non_exhaustive()
+        }
+    }
+
+    /// Spawns a model thread. It becomes runnable immediately but only
+    /// runs when the scheduler picks it.
+    pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (exec, _) = require_ctx();
+        let tid = {
+            let mut st = exec.lock();
+            let tid = st.threads.len();
+            st.threads.push(Thr {
+                status: Status::Runnable,
+                name: format!("t{tid}"),
+                timed_out: false,
+            });
+            tid
+        };
+        let result = StdArc::new(StdMutex::new(None));
+        let slot = result.clone();
+        let e2 = exec.clone();
+        let os = std::thread::spawn(move || {
+            set_ctx(Some(Ctx {
+                exec: e2.clone(),
+                tid,
+            }));
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                wait_for_token(&e2, tid);
+                f()
+            }));
+            {
+                let mut st = e2.lock();
+                match outcome {
+                    Ok(v) => {
+                        *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                    }
+                    Err(p) => {
+                        if p.downcast_ref::<ModelAbort>().is_none() && st.failure.is_none() {
+                            st.failure = Some(format!(
+                                "thread `{}` panicked: {}",
+                                st.threads[tid].name,
+                                panic_msg(p.as_ref())
+                            ));
+                        }
+                    }
+                }
+                st.threads[tid].status = Status::Finished;
+                for t in &mut st.threads {
+                    if t.status == Status::BlockedJoin(tid) {
+                        t.status = Status::Runnable;
+                    }
+                }
+                if st.current == tid {
+                    st.schedule();
+                }
+            }
+            e2.notify_all();
+            set_ctx(None);
+        });
+        JoinHandle {
+            tid,
+            os: Some(os),
+            result,
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread through the scheduler, then reaps the
+        /// OS thread.
+        pub fn join(mut self) -> std::thread::Result<T> {
+            let (exec, _me) = require_ctx();
+            loop {
+                yield_point();
+                let finished = {
+                    let st = exec.lock();
+                    if st.failure.is_some() {
+                        drop(st);
+                        abort_run();
+                    }
+                    st.threads[self.tid].status == Status::Finished
+                };
+                if finished {
+                    break;
+                }
+                block_on(Status::BlockedJoin(self.tid));
+            }
+            if let Some(os) = self.os.take() {
+                drop(os.join());
+            }
+            match self
+                .result
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+            {
+                Some(v) => Ok(v),
+                None => Err(Box::new("model thread produced no value".to_string())),
+            }
+        }
+    }
+
+    /// A bare scheduling point, like `std::thread::yield_now`.
+    pub fn yield_now() {
+        yield_point();
+    }
+}

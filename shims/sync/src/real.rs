@@ -1,0 +1,65 @@
+//! Production-shape backing: `parking_lot` locks, `std` everything else.
+
+pub use parking_lot::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+pub use std::sync::Arc;
+
+/// `std::sync::atomic` re-exports (the model swaps these for scheduled
+/// versions).
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// `std::thread` re-exports used by model-checked protocols.
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Result of a model-checking run.
+///
+/// Without the `model` feature there is nothing to explore; the closure
+/// runs once on the live primitives (a smoke test, not a proof).
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of executions explored.
+    pub executions: usize,
+    /// Whether the decision tree was exhausted.
+    pub complete: bool,
+}
+
+/// A failing schedule found by the model checker.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong (deadlock, panic message, leaked thread, …).
+    pub message: String,
+    /// Executions run before the failure surfaced.
+    pub executions: usize,
+    /// The decision sequence that reproduces it.
+    pub schedule: Vec<usize>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model check failed after {} execution(s): {} (schedule {:?})",
+            self.executions, self.message, self.schedule
+        )
+    }
+}
+
+/// Runs `f` once on the real primitives. Only the `model` feature turns
+/// this into an exhaustive interleaving search.
+pub fn model_check<F: Fn()>(f: F) -> Result<Report, Failure> {
+    f();
+    Ok(Report {
+        executions: 1,
+        complete: false,
+    })
+}
+
+/// Same as [`model_check`]; the budget is meaningless without `model`.
+pub fn model_check_with<F: Fn()>(_budget: usize, f: F) -> Result<Report, Failure> {
+    model_check(f)
+}
