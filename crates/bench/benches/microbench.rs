@@ -147,7 +147,7 @@ fn tree(c: &mut Criterion) {
                 )
                 .unwrap()
             },
-            |mut tree| {
+            |tree| {
                 for i in 0..10_000u64 {
                     tree.put(format_key(i * 2_654_435_761 % 50_000), make_value(i, 100))
                         .unwrap();
@@ -160,7 +160,7 @@ fn tree(c: &mut Criterion) {
 
     let data: SharedDevice = Arc::new(MemDevice::new());
     let wal: SharedDevice = Arc::new(MemDevice::new());
-    let mut tree = BLsmTree::open(
+    let tree = BLsmTree::open(
         data,
         wal,
         16_384,

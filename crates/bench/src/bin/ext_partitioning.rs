@@ -31,7 +31,7 @@ fn main() {
     let records = scale.records;
 
     // --- Unpartitioned -------------------------------------------------
-    let mut mono = make_blsm(DiskModel::hdd(), &scale);
+    let mono = make_blsm(DiskModel::hdd(), &scale);
     let mono_dev = mono.data.clone();
     let mono_seeks = scan_seeks_under_write_load(
         records,

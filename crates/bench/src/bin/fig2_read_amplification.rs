@@ -53,7 +53,7 @@ fn main() {
     // Validate the Bloom line against the actual engine: build a tree with
     // all three on-disk components populated and measure seeks per probe.
     let scale = Scale::paper_scaled().with_records(20_000);
-    let mut engine = blsm_bench::setup::make_blsm(DiskModel::ram(), &scale);
+    let engine = blsm_bench::setup::make_blsm(DiskModel::ram(), &scale);
     for id in 0..scale.records {
         engine
             .tree

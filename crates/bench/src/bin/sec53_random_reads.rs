@@ -8,11 +8,15 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
+use std::sync::Arc;
+
+use blsm::{AppendOperator, BLsmConfig, BLsmTree, Durability};
 use blsm_bench::setup::{make_blsm, make_btree, make_leveldb, Scale};
 use blsm_bench::{
-    fmt_f, parse_json_path, parse_threads, print_table, read_scaling_rows, write_json_report, Json,
+    fmt_f, parse_json_path, parse_threads, print_table, read_scaling_rows, write_json_report,
+    write_scaling_rows, Json,
 };
-use blsm_storage::{DiskModel, SharedDevice};
+use blsm_storage::{DiskModel, MemDevice, SharedDevice};
 use blsm_ycsb::{KvEngine, LoadOrder, OpMix, Runner, Workload};
 
 fn main() {
@@ -137,7 +141,66 @@ fn main() {
          single pool mutex."
     );
 
+    // Concurrent write scaling (wall clock): N writer threads, put-only,
+    // on the `&self` write path — sharded `C0`, atomic seqno tickets, no
+    // tree-wide write lock (DESIGN.md §15). Degraded durability (§4.4.2)
+    // and a generous `C0` budget isolate the write path itself from log
+    // serialization and merge stalls; keys carry a hashed first byte so
+    // the writers spread over all sixteen shards.
+    let write_ops = 40_000u64;
+    let wpoints = write_scaling_rows(
+        || {
+            let data: SharedDevice = Arc::new(MemDevice::new());
+            let wal: SharedDevice = Arc::new(MemDevice::new());
+            BLsmTree::open(
+                data,
+                wal,
+                2048,
+                BLsmConfig {
+                    mem_budget: 256 << 20,
+                    durability: Durability::None,
+                    wal_capacity: 64 << 20,
+                    ..Default::default()
+                },
+                Arc::new(AppendOperator),
+            )
+            .unwrap()
+        },
+        100,
+        write_ops,
+        &threads,
+        0,
+    );
+    let wrows: Vec<Vec<String>> = wpoints
+        .iter()
+        .map(|p| {
+            vec![
+                p.threads.to_string(),
+                fmt_f(p.puts_per_sec),
+                fmt_f(p.puts_per_sec / p.threads as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        "Sec 5.3 extension: bLSM concurrent put-only writes, wall clock (&self write path)",
+        &["threads", "puts/s", "puts/s per thread"],
+        &wrows,
+    );
+
     if let Some(path) = json_path {
+        let write_scaling = wpoints
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("threads", Json::Int(p.threads as u64)),
+                    ("puts_per_sec", Json::Num(p.puts_per_sec)),
+                    (
+                        "puts_per_sec_per_thread",
+                        Json::Num(p.puts_per_sec / p.threads as f64),
+                    ),
+                ])
+            })
+            .collect();
         let scaling = points
             .iter()
             .map(|p| {
@@ -157,6 +220,10 @@ fn main() {
             ("ops", Json::Int(ops)),
             ("models", Json::Arr(json_models)),
             ("concurrent_read_scaling", Json::Arr(scaling)),
+            (
+                "concurrent_write_scaling_put_only",
+                Json::Arr(write_scaling),
+            ),
         ]);
         write_json_report(&path, &report);
     }

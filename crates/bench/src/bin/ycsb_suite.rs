@@ -10,12 +10,16 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
+use std::sync::Arc;
+
+use blsm::{AppendOperator, BLsmConfig, BLsmTree, Durability};
 use blsm_bench::setup::{make_blsm, make_btree, make_leveldb, Scale};
 use blsm_bench::{
-    fmt_f, parse_json_path, parse_threads, print_table, read_scaling_rows, write_json_report, Json,
+    fmt_f, parse_json_path, parse_threads, print_table, read_scaling_rows, write_json_report,
+    write_scaling_rows, Json,
 };
 use blsm_server::RemoteKv;
-use blsm_storage::DiskModel;
+use blsm_storage::{DiskModel, MemDevice, SharedDevice};
 use blsm_ycsb::{KvEngine, LoadOrder, Runner, Workload};
 
 /// Integrity gate: numbers measured against a damaged store are
@@ -210,7 +214,63 @@ fn main() {
         &scaling_rows,
     );
 
+    // Concurrent write scaling (wall clock): N threads on the 50/50
+    // put/get mix — YCSB-A's shape with every thread both writing on the
+    // `&self` write path and reading through its own `ReadView` clone.
+    // Degraded durability and a generous `C0` budget isolate path cost
+    // from log serialization and merge stalls (DESIGN.md §15.6).
+    let write_ops = 40_000u64;
+    let wpoints = write_scaling_rows(
+        || {
+            let data: SharedDevice = Arc::new(MemDevice::new());
+            let wal: SharedDevice = Arc::new(MemDevice::new());
+            BLsmTree::open(
+                data,
+                wal,
+                2048,
+                BLsmConfig {
+                    mem_budget: 256 << 20,
+                    durability: Durability::None,
+                    wal_capacity: 64 << 20,
+                    ..Default::default()
+                },
+                Arc::new(AppendOperator),
+            )
+            .unwrap()
+        },
+        100,
+        write_ops,
+        &threads,
+        2,
+    );
+    let wrows: Vec<Vec<String>> = wpoints
+        .iter()
+        .map(|p| {
+            vec![
+                p.threads.to_string(),
+                fmt_f(p.puts_per_sec),
+                fmt_f(p.gets_per_sec),
+                fmt_f((p.puts_per_sec + p.gets_per_sec) / p.threads as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        "YCSB extension: bLSM concurrent 50/50 put/get, wall clock (&self write path)",
+        &["threads", "puts/s", "gets/s", "ops/s per thread"],
+        &wrows,
+    );
+
     if let Some(path) = json_path {
+        let write_scaling = wpoints
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("threads", Json::Int(p.threads as u64)),
+                    ("puts_per_sec", Json::Num(p.puts_per_sec)),
+                    ("gets_per_sec", Json::Num(p.gets_per_sec)),
+                ])
+            })
+            .collect();
         let workloads = letters
             .iter()
             .zip(&results)
@@ -239,6 +299,7 @@ fn main() {
             ("ops", Json::Int(ops)),
             ("workloads", Json::Arr(workloads)),
             ("concurrent_serving", Json::Arr(scaling)),
+            ("concurrent_write_scaling_50_50", Json::Arr(write_scaling)),
         ]);
         write_json_report(&path, &report);
     }

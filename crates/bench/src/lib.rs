@@ -157,6 +157,104 @@ pub fn read_scaling_rows(
     points
 }
 
+/// One thread count's result from [`write_scaling_rows`].
+#[derive(Debug, Clone)]
+pub struct WriteScalingPoint {
+    /// Writer thread count.
+    pub threads: usize,
+    /// Wall-clock write throughput summed across all writers.
+    pub puts_per_sec: f64,
+    /// Wall-clock read throughput summed across all writers (0 for the
+    /// put-only mix).
+    pub gets_per_sec: f64,
+}
+
+/// Splatters `id` across the keyspace: the first key byte is a mixed
+/// hash byte, so concurrent writers spread over all sixteen `C0`
+/// key-range shards instead of convoying on one (a common-prefix
+/// keyset would put every writer in the same shard — real YCSB-style
+/// keyspaces hash too).
+pub fn hashed_key(id: u64) -> bytes::Bytes {
+    let h = id
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .rotate_left(31)
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let mut k = h.to_be_bytes().to_vec();
+    k.extend_from_slice(format!("{id:012}").as_bytes());
+    bytes::Bytes::from(k)
+}
+
+/// Wall-clock concurrent write scaling over the `&self` write path
+/// (DESIGN.md §15).
+///
+/// For each entry in `threads`, builds a fresh tree via `make`, wraps
+/// it in a [`ThreadedBLsm`] (background merge thread and all) and runs
+/// that many writer threads. Each writer issues `ops_per_thread`
+/// operations over its own disjoint id range: puts, with every
+/// `1/read_every`-th operation a point read through a [`blsm::ReadView`]
+/// clone instead (`read_every = 0` → put-only; `2` → the 50/50 mix).
+///
+/// Like [`read_scaling_rows`] this uses wall-clock time: the virtual
+/// device clock serializes by construction, and the point here is what
+/// the sharded `C0` and atomic seqno tickets buy concurrent writers.
+pub fn write_scaling_rows(
+    make: impl Fn() -> BLsmTree,
+    value_size: usize,
+    ops_per_thread: u64,
+    threads: &[usize],
+    read_every: u64,
+) -> Vec<WriteScalingPoint> {
+    let mut points = Vec::with_capacity(threads.len());
+    for &n in threads {
+        let db = Arc::new(
+            ThreadedBLsm::start(make(), 1 << 20)
+                .unwrap_or_else(|e| panic!("start merge thread: {e}")),
+        );
+        let start = std::time::Instant::now();
+        let handles: Vec<_> = (0..n)
+            .map(|t| {
+                let db = db.clone();
+                let view = db.read_view();
+                std::thread::spawn(move || {
+                    let base = t as u64 * ops_per_thread;
+                    let mut gets = 0u64;
+                    for i in 0..ops_per_thread {
+                        let id = base + i;
+                        if read_every != 0 && i % read_every == 1 {
+                            // Read back a key this writer already wrote.
+                            view.get(&hashed_key(base + i / 2))
+                                .unwrap_or_else(|e| panic!("read failed: {e}"));
+                            gets += 1;
+                        } else {
+                            db.put(hashed_key(id), make_value(id, value_size))
+                                .unwrap_or_else(|e| panic!("write failed: {e}"));
+                        }
+                    }
+                    gets
+                })
+            })
+            .collect();
+        let gets: u64 = handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| panic!("writer panicked")))
+            .sum();
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        let puts = n as u64 * ops_per_thread - gets;
+        points.push(WriteScalingPoint {
+            threads: n,
+            puts_per_sec: puts as f64 / elapsed,
+            gets_per_sec: gets as f64 / elapsed,
+        });
+        drop(
+            Arc::try_unwrap(db)
+                .unwrap_or_else(|_| panic!("writer threads still hold the db"))
+                .shutdown()
+                .unwrap_or_else(|e| panic!("shutdown: {e}")),
+        );
+    }
+    points
+}
+
 /// A JSON value for machine-readable benchmark reports. The offline
 /// tree has no serde; benchmark output is flat and small enough that a
 /// five-variant emitter covers it.

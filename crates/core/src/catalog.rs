@@ -10,25 +10,36 @@
 //! Merges build their output off to the side and publish a new catalog in
 //! one [`CatalogCell::store`] per component rotation.
 //!
-//! [`TreeShared`] is everything the read path needs: the catalog cell,
-//! `C0` behind its own reader-writer lock, the merge operator, the buffer
-//! pool and the atomic statistics. [`crate::BLsmTree`] (the serialized
-//! merge state) and every [`crate::ReadView`] hold it via `Arc`.
+//! [`TreeShared`] is everything the *write and read* paths need: the
+//! catalog cell, the sharded [`ConcurrentC0`], the atomic sequence-number
+//! allocator, the WAL behind its own mutex, the merge operator, the
+//! buffer pool and the atomic statistics. [`crate::BLsmTree`] (whose
+//! `merge` mutex serializes only the merge state machine) and every
+//! [`crate::ReadView`] hold it via `Arc`.
 //!
-//! Lock order: `c0` before `catalog`, everywhere. Readers take
-//! `c0.read()` and load the catalog under it (see `read.rs`); the
-//! `C0:C1` merge commits by storing the new catalog *and* retiring the
-//! pass's drained entries under one `c0.write()` critical section, so a
-//! reader sees either the old `C1` plus the retained `C0` copies or the
-//! new `C1` without them — never neither, never both.
+//! Consistency between `C0` and the catalog no longer rests on a
+//! buffer-wide `c0` write lock. The `C0:C1` commit point runs inside
+//! [`ConcurrentC0::end_pass_with`]: the buffer bumps its publish epoch to
+//! an odd value, the closure stores the new catalog, the retained
+//! (already-drained) `C0` entries are cleared, and the epoch lands on the
+//! next even value. Readers run a seqlock loop (`read.rs`): sample an
+//! even epoch, read the `C0` shards and load the catalog, and retry if
+//! the epoch moved. They therefore see either the old `C1` plus the
+//! retained `C0` copies or the new `C1` without them — never neither,
+//! never both.
+//!
+//! Lock order (see `DESIGN.md` §14): `merge` → `wal` → `catalog` →
+//! `recovery` → `work_pending`. The memtable's internal `pass` → `tables`
+//! locks are encapsulated below `catalog` and never escape the crate.
 
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
-use blsm_memtable::{MergeOperator, SnowshovelBuffer};
+use blsm_memtable::{ConcurrentC0, MergeOperator};
 use blsm_sstable::Sstable;
-use blsm_storage::{BufferPool, ComponentId};
+use blsm_storage::{BufferPool, ComponentId, Wal};
 
 use crate::config::BLsmConfig;
 use crate::sched::BackpressureLevel;
@@ -112,23 +123,45 @@ impl CatalogCell {
         self.inner.read().clone()
     }
 
-    /// Publishes a new catalog. Callers must hold the `c0` write lock
-    /// when the swap must be atomic with a `C0` state change (the
-    /// `C0:C1` commit point); pure disk-level rotations may store
-    /// directly.
+    /// Publishes a new catalog. When the swap must be atomic with a `C0`
+    /// state change (the `C0:C1` commit point), callers store from inside
+    /// the [`ConcurrentC0::end_pass_with`] commit closure, which runs in
+    /// the odd-epoch window readers retry across; pure disk-level
+    /// rotations may store directly.
     pub(crate) fn store(&self, catalog: Arc<ComponentCatalog>) {
         *self.inner.write() = catalog;
     }
 }
 
-/// State shared between the serialized merge side ([`crate::BLsmTree`])
-/// and any number of lock-free readers ([`crate::ReadView`]).
+/// State shared between the merge side ([`crate::BLsmTree`]), concurrent
+/// application writers, and any number of lock-free readers
+/// ([`crate::ReadView`]).
 pub(crate) struct TreeShared {
     pub(crate) config: BLsmConfig,
     pub(crate) op: Arc<dyn MergeOperator>,
     pub(crate) pool: Arc<BufferPool>,
     pub(crate) catalog: CatalogCell,
-    pub(crate) c0: RwLock<SnowshovelBuffer>,
+    /// The sharded `C0`; writers insert through `&self` and scale across
+    /// key-range shards, merges drain behind the buffer's pass lock.
+    pub(crate) c0: ConcurrentC0,
+    /// Next sequence number to allocate. Writers claim seqnos with
+    /// `fetch_add` before inserting; per-key ordering is restored inside
+    /// the memtable fold (a racing latecomer folds in as the older
+    /// version).
+    // ordering: AcqRel ticket RMWs, a Release store of the replayed
+    // floor at open, Acquire loads for manifest snapshots. The counter
+    // only needs to hand out unique, monotone values; happens-before
+    // for the entries themselves comes from the shard locks.
+    pub(crate) next_seqno: AtomicU64,
+    /// Write-ahead log (`None` when durability is off). Its own mutex so
+    /// concurrent writers serialize only the log append *and the paired
+    /// `C0` insert* — that pairing is deliberate: because append+insert is
+    /// one critical section, a log-tail sample taken under this mutex
+    /// partitions records into "fully in C0" and "after the sample",
+    /// which is exactly what makes post-pass log truncation safe (see
+    /// `merge.rs`). Ordered after `merge` and before `catalog` in the
+    /// lock hierarchy.
+    pub(crate) wal: Mutex<Option<Wal>>,
     pub(crate) stats: TreeStats,
     /// Set once at the end of [`crate::BLsmTree::open`]; the lock is only
     /// for interior mutability, never held across I/O.
@@ -139,9 +172,10 @@ impl TreeShared {
     /// Counter snapshot plus the live spring-and-gear backpressure level
     /// derived from `C0` occupancy against the configured watermarks —
     /// the single source of truth the serving layer's admission control
-    /// and STATS command read.
+    /// and STATS command read. Lock-free: `C0` occupancy is an atomic
+    /// counter read.
     pub(crate) fn stats_snapshot(&self) -> TreeStatsSnapshot {
-        let c0_bytes = self.c0.read().approx_bytes() as u64;
+        let c0_bytes = self.c0.approx_bytes() as u64;
         let mut snap = self.stats.snapshot();
         snap.backpressure = BackpressureLevel::from_occupancy(
             c0_bytes,
@@ -157,7 +191,7 @@ impl TreeShared {
 impl std::fmt::Debug for TreeShared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TreeShared")
-            .field("c0_bytes", &self.c0.read().approx_bytes())
+            .field("c0_bytes", &self.c0.approx_bytes())
             .field("catalog", &self.catalog.load())
             .finish_non_exhaustive()
     }

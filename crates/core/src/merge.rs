@@ -1,29 +1,42 @@
 //! The serialized merge state machine.
 //!
-//! Everything here requires `&mut BLsmTree` — there is exactly one merge
-//! driver at a time (§4.4.1's merge threads, serialized behind the tree
-//! handle). Merges build their output `Sstable` off to the side; nothing
-//! becomes visible to readers until a new [`ComponentCatalog`] is
-//! published, and the `C0:C1` commit point additionally holds the `c0`
-//! write lock so the catalog swap and the retirement of drained `C0`
-//! entries are one atomic step (see `catalog.rs` for the protocol).
+//! There is exactly one merge driver at a time (§4.4.1's merge threads):
+//! every function here takes the tree's [`MergeState`], which callers
+//! obtain by locking the `merge` mutex — the thin wrappers on
+//! [`BLsmTree`] (`maintenance`, `checkpoint`, the pacing in `pace`) do
+//! that locking. Merges build their output `Sstable` off to the side;
+//! nothing becomes visible to readers until a new [`ComponentCatalog`] is
+//! published, and the `C0:C1` commit point runs inside
+//! [`ConcurrentC0::end_capped_pass_with`]'s epoch-bumped window so the
+//! catalog swap and the retirement of drained `C0` entries are one atomic
+//! step for the seqlock readers (see `catalog.rs` for the protocol).
+//!
+//! Draining `C0` uses the buffer's [`DrainGuard`] — an exclusive pass
+//! lock held per merged entry and released before any builder append or
+//! sstable iteration, so concurrent writers wait for at most one
+//! peek/drain, never for merge I/O.
 //!
 //! Retired components are reclaimed *deferred*: a reader that pinned an
 //! older catalog may still stream from the old table, so its pages are
 //! evicted and its region freed only once the retired list holds the
 //! last `Arc` (strong count of one — at that point no new references can
 //! be minted, so the check is stable).
+//!
+//! [`ConcurrentC0::end_capped_pass_with`]: blsm_memtable::ConcurrentC0::end_capped_pass_with
+//! [`DrainGuard`]: blsm_memtable::DrainGuard
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use blsm_memtable::merge_versions;
+use bytes::Bytes;
+
+use blsm_memtable::{merge_versions, Versioned};
 use blsm_sstable::{EntryRef, EntryStream, MergeIter, ReadMode, Sstable, SstableBuilder};
 use blsm_storage::{Lsn, PageId, Region, Result, Wal};
 
 use crate::catalog::ComponentCatalog;
 use crate::stats;
-use crate::tree::{invariant_err, BLsmTree};
+use crate::tree::{invariant_err, BLsmTree, MergeState};
 
 /// Wraps an owned sstable iterator, counting consumed input bytes so the
 /// merge's `inprogress` estimator stays smooth (§4.1).
@@ -63,7 +76,10 @@ pub(crate) struct Merge01 {
     pub(crate) c0_input: u64,
     /// Output becomes the largest component (affects tombstone handling).
     pub(crate) bottom: bool,
-    /// Log position at pass start — the truncation point on completion.
+    /// Log position sampled (under the log mutex) just before the pass
+    /// began — the truncation point on clean completion. Every record
+    /// below it had completed its `C0` insert before the pass started,
+    /// because append+insert share the log mutex (see `TreeShared::wal`).
     pub(crate) pass_start_lsn: Lsn,
     /// Stop draining `C0` once the output exceeds this many data bytes.
     pub(crate) run_cap_bytes: u64,
@@ -87,14 +103,34 @@ pub(crate) struct RetiredTable {
     pub(crate) region: Region,
 }
 
+/// One step of the `C0`/`C1` two-way merge, decided under the drain
+/// guard and executed (builder append, `C1` iterator pull) after the
+/// guard drops.
+enum Step {
+    /// Both inputs exhausted — finish the pass.
+    Finish,
+    /// `C0` holds the smallest key.
+    C0(Bytes, Versioned),
+    /// Both inputs hold the same key; `C1`'s version still needs pulling.
+    Both(Bytes, Versioned),
+    /// `C1` holds the smallest key (already peeked); the drain cursor has
+    /// been advanced past it.
+    C1,
+}
+
 impl BLsmTree {
-    pub(crate) fn start_merge01(&mut self) -> Result<()> {
-        assert!(self.merge01.is_none());
-        let (c0_input, c0_len) = {
-            let mut c0 = self.shared.c0.write();
-            c0.begin_pass(self.shared.config.snowshovel);
-            (c0.pass_start_bytes() as u64, c0.len() as u64)
-        };
+    pub(crate) fn start_merge01_locked(&self, ms: &mut MergeState) -> Result<()> {
+        assert!(ms.merge01.is_none());
+        // Sample the log tail *before* the pass begins: append+insert is
+        // atomic under the log mutex, so every record below this LSN is
+        // already in C0 and will be either drained by the pass (safe to
+        // truncate) or reported as leftover (truncation suppressed).
+        // Records appended later sit at or above it and survive
+        // truncation by construction.
+        let pass_start_lsn = self.shared.wal.lock().as_ref().map_or(0, Wal::tail_lsn);
+        self.shared.c0.begin_pass(self.shared.config.snowshovel);
+        let c0_input = self.shared.c0.pass_start_bytes() as u64;
+        let c0_len = self.shared.c0.len() as u64;
         let catalog = self.shared.catalog.load();
         let c1_data = catalog.c1.as_ref().map_or(0, |c| c.data_bytes());
         let c1_entries = catalog.c1.as_ref().map_or(0, |c| c.entry_count());
@@ -102,7 +138,7 @@ impl BLsmTree {
         let est_entries = c0_len + c1_entries + 16;
         let factor = self.shared.config.run_length_cap.max(1.0) + 0.5;
         let pages = Self::merge_region_pages(est_bytes, est_entries, factor);
-        let region = self.allocator.alloc(pages);
+        let region = ms.allocator.alloc(pages);
         let builder = SstableBuilder::new(
             self.shared.pool.clone(),
             region,
@@ -117,8 +153,7 @@ impl BLsmTree {
             .peekable()
         });
         let bottom = catalog.c2.is_none() && catalog.c1_prime.is_none();
-        let pass_start_lsn = self.wal.as_ref().map_or(0, Wal::tail_lsn);
-        self.merge01 = Some(Merge01 {
+        ms.merge01 = Some(Merge01 {
             builder,
             full_region: region,
             c1_stream,
@@ -135,20 +170,21 @@ impl BLsmTree {
 
     /// Consumes up to `budget` input bytes of `C0:C1` merge work.
     ///
-    /// The `c0` write lock is taken per merged entry and released before
-    /// the builder append — readers only ever wait for one peek/drain,
-    /// never for merge I/O.
-    pub(crate) fn run_merge01(&mut self, budget: u64) -> Result<()> {
-        if self.merge01.is_none() {
+    /// The buffer's exclusive drain guard is taken per merged entry and
+    /// released before the builder append and before any `C1` iterator
+    /// pull — writers only ever wait for one peek/drain, never for merge
+    /// I/O.
+    pub(crate) fn run_merge01_locked(&self, ms: &mut MergeState, budget: u64) -> Result<()> {
+        if ms.merge01.is_none() {
             return Ok(());
         }
         let op = self.shared.op.clone();
-        let start_consumed = self.merge01_consumed();
+        let start_consumed = self.merge01_consumed(ms);
         loop {
-            if self.merge01_consumed() - start_consumed >= budget {
+            if self.merge01_consumed(ms) - start_consumed >= budget {
                 return Ok(());
             }
-            let Some(m) = self.merge01.as_mut() else {
+            let Some(m) = ms.merge01.as_mut() else {
                 return Ok(()); // unreachable: presence checked on entry
             };
             // Run-length cap (§4.2: sorted input would otherwise extend the
@@ -156,6 +192,8 @@ impl BLsmTree {
             if !m.c0_capped && m.builder.data_bytes() >= m.run_cap_bytes {
                 m.c0_capped = true;
             }
+            // Peek C1 outside the drain guard: sstable iteration may do
+            // I/O and must never run under the buffer's pass lock.
             let c1_key = match m.c1_stream.as_mut().and_then(|s| s.peek()) {
                 Some(Ok(e)) => Some(e.key.clone()),
                 Some(Err(_)) => {
@@ -168,50 +206,55 @@ impl BLsmTree {
                 }
                 None => None,
             };
-            let mut c0 = self.shared.c0.write();
-            let c0_key = if m.c0_capped {
-                None
-            } else {
-                c0.peek_drain().cloned()
+            let step = {
+                let mut g = self.shared.c0.drain_guard();
+                let c0_key = if m.c0_capped { None } else { g.peek_drain() };
+                match (c0_key, &c1_key) {
+                    (None, None) => Step::Finish,
+                    (Some(k0), Some(k1)) if k0 == *k1 => {
+                        let (k, v0) = g
+                            .drain_next()
+                            .ok_or_else(|| invariant_err("C0 entry vanished after peek"))?;
+                        Step::Both(k, v0)
+                    }
+                    (Some(k0), c1k) if c1k.as_ref().is_none_or(|k1| k0 < *k1) => {
+                        let (k, v0) = g
+                            .drain_next()
+                            .ok_or_else(|| invariant_err("C0 entry vanished after peek"))?;
+                        Step::C0(k, v0)
+                    }
+                    (_, Some(k1)) => {
+                        // The merge output cursor moves past k1 *before*
+                        // C1's entry is pulled: a racing insert at or
+                        // below it must defer to the next pass (§4.2).
+                        g.advance_cursor(k1);
+                        Step::C1
+                    }
+                    (Some(_), None) => unreachable!("guarded above"),
+                }
             };
-            let (key, versions) = match (c0_key, c1_key) {
-                (None, None) => {
-                    drop(c0);
-                    self.finish_merge01()?;
+            let (key, versions) = match step {
+                Step::Finish => {
+                    self.finish_merge01_locked(ms)?;
                     return Ok(());
                 }
-                (Some(k0), Some(k1)) if k0 == k1 => {
-                    let (_, v0) = c0
-                        .drain_next()
-                        .ok_or_else(|| invariant_err("C0 entry vanished after peek"))?;
-                    drop(c0);
+                Step::Both(k, v0) => {
                     let e1 = m
                         .c1_stream
                         .as_mut()
                         .and_then(Iterator::next)
                         .ok_or_else(|| invariant_err("C1 entry vanished after peek"))??;
-                    (k0, vec![v0, e1.version])
+                    (k, vec![v0, e1.version])
                 }
-                (Some(k0), c1k) if c1k.as_ref().is_none_or(|k1| k0 < *k1) => {
-                    let (k, v0) = c0
-                        .drain_next()
-                        .ok_or_else(|| invariant_err("C0 entry vanished after peek"))?;
-                    drop(c0);
-                    (k, vec![v0])
-                }
-                (_, Some(_)) => {
+                Step::C0(k, v0) => (k, vec![v0]),
+                Step::C1 => {
                     let e1 = m
                         .c1_stream
                         .as_mut()
                         .and_then(Iterator::next)
                         .ok_or_else(|| invariant_err("C1 entry vanished after peek"))??;
-                    // The merge output cursor moved past e1.key: inserts at
-                    // or below it must defer to the next pass (§4.2).
-                    c0.advance_cursor(&e1.key);
-                    drop(c0);
                     (e1.key, vec![e1.version])
                 }
-                _ => unreachable!(),
             };
             if let Some(v) = merge_versions(op.as_ref(), &versions, m.bottom) {
                 stats::bump(
@@ -223,17 +266,17 @@ impl BLsmTree {
         }
     }
 
-    pub(crate) fn merge01_consumed(&self) -> u64 {
-        match &self.merge01 {
+    pub(crate) fn merge01_consumed(&self, ms: &MergeState) -> u64 {
+        match &ms.merge01 {
             Some(m) => {
-                self.shared.c0.read().drained_bytes() as u64 + m.c1_consumed.load(Ordering::Relaxed)
+                self.shared.c0.drained_bytes() as u64 + m.c1_consumed.load(Ordering::Relaxed)
             }
             None => 0,
         }
     }
 
-    pub(crate) fn finish_merge01(&mut self) -> Result<()> {
-        let Some(m) = self.merge01.take() else {
+    pub(crate) fn finish_merge01_locked(&self, ms: &mut MergeState) -> Result<()> {
+        let Some(m) = ms.merge01.take() else {
             return Err(invariant_err("finish_merge01 without active merge01"));
         };
         let Merge01 {
@@ -249,7 +292,7 @@ impl BLsmTree {
         // Free the unused tail of the over-allocated region.
         let used = new_c1.region().pages;
         if used < full_region.pages {
-            self.allocator.free(Region {
+            ms.allocator.free(Region {
                 start: PageId(full_region.start.0 + used),
                 pages: full_region.pages - used,
             });
@@ -268,58 +311,50 @@ impl BLsmTree {
             ));
             let old_c1 = old.c1.clone();
             drop(old);
-            // A capped pass leaves undrained C0 entries; fold them into
-            // the deferred table *before* the commit critical section.
-            // The O(|C0|) operator folding runs under the read lock, so
-            // concurrent readers proceed; nothing else can mutate C0 in
-            // between — this handle is the sole writer and the merge has
-            // stopped draining.
-            let premerged = {
-                let c0 = self.shared.c0.read();
-                (!c0.pass_exhausted()).then(|| c0.fold_remainder(self.shared.op.as_ref()))
-            };
-            had_leftover = premerged.is_some();
             // Commit point (see catalog.rs): publish the new catalog and
-            // retire the pass's drained C0 copies in one *brief* (O(1))
-            // c0 write critical section. A concurrent reader pins either
-            // the old pair (old C1 + retained entries) or the new pair —
-            // both complete.
-            let displaced = {
-                let mut c0 = self.shared.c0.write();
-                self.shared.catalog.store(next);
-                match premerged {
-                    Some(merged) => Some(c0.end_pass_installing(merged)),
-                    None => {
-                        c0.end_pass();
-                        None
-                    }
-                }
-            };
+            // retire the pass's drained C0 copies inside the buffer's
+            // epoch-bumped window. The *capped* variant is used even when
+            // the merge loop saw both inputs exhausted: a racing insert
+            // ahead of the cursor can land in `current` between that
+            // observation and the pass lock here, and must be folded into
+            // the next table rather than dropped. Clean shards cost O(1),
+            // so the general form is free in the quiescent case.
+            let (displaced, leftover) =
+                self.shared
+                    .c0
+                    .end_capped_pass_with(self.shared.op.as_ref(), || {
+                        self.shared.catalog.store(next);
+                    });
+            had_leftover = leftover;
             // Free the displaced C0 tables outside the critical section.
             drop(displaced);
             if let Some(old_c1) = old_c1 {
-                self.retire(old_c1);
+                Self::retire(ms, old_c1);
             }
         }
-        self.last_pass_had_leftover = had_leftover;
+        ms.last_pass_had_leftover = had_leftover;
         stats::bump(&self.shared.stats.merges01, 1);
 
-        // Log truncation: everything the pass consumed is durable. With a
-        // leftover (capped pass) pre-pass records may still be live, so
-        // truncation waits for the next clean pass (§4.4.2:
+        // Log truncation: everything the pass consumed is durable, and
+        // every record below pass_start_lsn was in C0 when the pass began
+        // (append+insert atomicity — see start_merge01_locked), so a
+        // clean pass covers them all. With a leftover (capped pass, or a
+        // racing insert folded above) pre-pass records may still be live,
+        // so truncation waits for the next clean pass (§4.4.2:
         // "snowshoveling delays log truncation").
         if !had_leftover {
-            if let Some(wal) = &mut self.wal {
+            let mut guard = self.shared.wal.lock();
+            if let Some(wal) = guard.as_mut() {
                 wal.truncate(pass_start_lsn);
             }
         }
 
-        self.recompute_r();
+        self.recompute_r(ms);
         // Trigger the downstream merge when C1 reaches R fills (§2.3.1).
-        let c1_target = (self.r * self.shared.config.mem_budget as f64) as u64;
+        let c1_target = (ms.r * self.shared.config.mem_budget as f64) as u64;
         let rotate = {
             let cat = self.shared.catalog.load();
-            self.merge12.is_none()
+            ms.merge12.is_none()
                 && cat.c1_prime.is_none()
                 && cat.c1.as_ref().is_some_and(|c| c.data_bytes() >= c1_target)
         };
@@ -334,21 +369,21 @@ impl BLsmTree {
                     cat.c2.clone(),
                 )));
             }
-            self.save_manifest()?;
-            self.start_merge12()?;
-            if self.scheduler.blocking_merge12() {
+            self.save_manifest(ms)?;
+            self.start_merge12_locked(ms)?;
+            if ms.scheduler.blocking_merge12() {
                 // The naive scheduler's unbounded pause (§3.2).
-                self.run_merge12(u64::MAX)?;
+                self.run_merge12_locked(ms, u64::MAX)?;
             }
         } else {
-            self.save_manifest()?;
+            self.save_manifest(ms)?;
         }
-        self.reap_retired();
+        self.reap_retired_locked(ms);
         Ok(())
     }
 
-    pub(crate) fn start_merge12(&mut self) -> Result<()> {
-        assert!(self.merge12.is_none());
+    pub(crate) fn start_merge12_locked(&self, ms: &mut MergeState) -> Result<()> {
+        assert!(ms.merge12.is_none());
         let catalog = self.shared.catalog.load();
         let c1p = catalog
             .c1_prime
@@ -358,7 +393,7 @@ impl BLsmTree {
         let input_total = c1p.data_bytes() + c2.as_ref().map_or(0, |c| c.data_bytes());
         let est_entries = c1p.entry_count() + c2.as_ref().map_or(0, |c| c.entry_count()) + 16;
         let pages = Self::merge_region_pages(input_total, est_entries, 1.2);
-        let region = self.allocator.alloc(pages);
+        let region = ms.allocator.alloc(pages);
         let builder = SstableBuilder::new(self.shared.pool.clone(), region, est_entries);
         let consumed = Arc::new(AtomicU64::new(0));
         let mut streams: Vec<EntryStream<'static>> = Vec::with_capacity(2);
@@ -373,7 +408,7 @@ impl BLsmTree {
             }));
         }
         let iter = MergeIter::new(streams, self.shared.op.clone(), true);
-        self.merge12 = Some(Merge12 {
+        ms.merge12 = Some(Merge12 {
             builder,
             full_region: region,
             iter,
@@ -384,8 +419,8 @@ impl BLsmTree {
     }
 
     /// Consumes up to `budget` input bytes of `C1':C2` merge work.
-    pub(crate) fn run_merge12(&mut self, budget: u64) -> Result<()> {
-        let Some(m) = self.merge12.as_mut() else {
+    pub(crate) fn run_merge12_locked(&self, ms: &mut MergeState, budget: u64) -> Result<()> {
+        let Some(m) = ms.merge12.as_mut() else {
             return Ok(());
         };
         let start = m.consumed.load(Ordering::Relaxed);
@@ -403,15 +438,15 @@ impl BLsmTree {
                     m.builder.add(&e.key, &e.version)?;
                 }
                 None => {
-                    self.finish_merge12()?;
+                    self.finish_merge12_locked(ms)?;
                     return Ok(());
                 }
             }
         }
     }
 
-    pub(crate) fn finish_merge12(&mut self) -> Result<()> {
-        let Some(m) = self.merge12.take() else {
+    pub(crate) fn finish_merge12_locked(&self, ms: &mut MergeState) -> Result<()> {
+        let Some(m) = ms.merge12.take() else {
             return Err(invariant_err("finish_merge12 without active merge12"));
         };
         let Merge12 {
@@ -423,7 +458,7 @@ impl BLsmTree {
         let new_c2 = Arc::new(builder.finish()?);
         let used = new_c2.region().pages;
         if used < full_region.pages {
-            self.allocator.free(Region {
+            ms.allocator.free(Region {
                 start: PageId(full_region.start.0 + used),
                 pages: full_region.pages - used,
             });
@@ -434,39 +469,39 @@ impl BLsmTree {
         {
             let old = self.shared.catalog.load();
             // Single swap: C1' and the old C2 leave, the merged C2
-            // arrives. No C0 state changes, so the c0 lock is not needed:
-            // a reader's pinned old catalog is still a complete view.
+            // arrives. No C0 state changes, so no epoch bump is needed: a
+            // reader's pinned old catalog is still a complete view.
             self.shared.catalog.store(Arc::new(ComponentCatalog::new(
                 old.c1.clone(),
                 None,
                 new_c2,
             )));
             if let Some(t) = old.c1_prime.clone() {
-                self.retire(t);
+                Self::retire(ms, t);
             }
             if let Some(t) = old.c2.clone() {
-                self.retire(t);
+                Self::retire(ms, t);
             }
         }
         stats::bump(&self.shared.stats.merges12, 1);
-        self.recompute_r();
-        self.save_manifest()?;
-        self.reap_retired();
+        self.recompute_r(ms);
+        self.save_manifest(ms)?;
+        self.reap_retired_locked(ms);
         Ok(())
     }
 
     /// Queues a replaced component for deferred reclamation.
-    pub(crate) fn retire(&mut self, table: Arc<Sstable>) {
+    pub(crate) fn retire(ms: &mut MergeState, table: Arc<Sstable>) {
         let region = table.region();
-        self.retired.push(RetiredTable { table, region });
+        ms.retired.push(RetiredTable { table, region });
     }
 
     /// Reclaims retired components no longer referenced by any catalog
     /// snapshot or in-flight iterator. A strong count of one means the
     /// retired list holds the last handle; no new references can be
     /// minted from it, so eviction + region free is safe.
-    pub(crate) fn reap_retired(&mut self) {
-        let pending = std::mem::take(&mut self.retired);
+    pub(crate) fn reap_retired_locked(&self, ms: &mut MergeState) {
+        let pending = std::mem::take(&mut ms.retired);
         for r in pending {
             if Arc::strong_count(&r.table) == 1 {
                 // Synchronize with the release decrement of the last
@@ -474,9 +509,9 @@ impl BLsmTree {
                 // same fence `Arc`'s own `Drop` issues before freeing).
                 std::sync::atomic::fence(Ordering::Acquire);
                 r.table.evict_from_pool();
-                self.allocator.free(r.region);
+                ms.allocator.free(r.region);
             } else {
-                self.retired.push(r);
+                ms.retired.push(r);
             }
         }
     }

@@ -5,14 +5,19 @@
 //! `&self`, never block merges, and never block each other (§4.4.1:
 //! merge threads must not take a coarse mutex per tuple or page).
 //!
-//! Pinning protocol (the other half lives in `merge.rs`): a reader takes
-//! the `c0` read lock, collects the key's in-memory version chain (or the
-//! `C0` rows of a scan range) *and* loads the catalog pointer under that
-//! lock, then drops the lock before probing disk. Because the `C0:C1`
-//! merge publishes its output and retires the drained `C0` copies inside
-//! one `c0` write critical section, the pinned pair is always consistent:
-//! every version of every key is visible exactly once along the
-//! newest→oldest search order.
+//! Pinning protocol (the other half lives in `merge.rs`): a reader
+//! samples the sharded buffer's *publish epoch* (a seqlock), collects the
+//! key's in-memory version chain (or the `C0` rows of a scan range),
+//! loads the catalog pointer, and retries from the top if the epoch moved
+//! or was odd — `C0:C1` merges publish their output and retire the
+//! drained `C0` copies inside one odd-epoch window
+//! ([`ConcurrentC0::end_capped_pass_with`]), so an unchanged even epoch
+//! proves the pinned pair is consistent: every version of every key is
+//! visible exactly once along the newest→oldest search order. Individual
+//! shard reads take only that shard's lock; no tree-wide lock exists on
+//! this path.
+//!
+//! [`ConcurrentC0::end_capped_pass_with`]: blsm_memtable::ConcurrentC0::end_capped_pass_with
 
 use std::sync::Arc;
 
@@ -106,8 +111,7 @@ impl ReadView {
     }
 
     /// Snapshot of the engine counters plus the live backpressure level.
-    /// Takes the `c0` read lock briefly (to see occupancy), never the
-    /// tree lock.
+    /// Fully lock-free: `C0` occupancy is an atomic counter read.
     pub fn stats(&self) -> TreeStatsSnapshot {
         self.shared.stats_snapshot()
     }
@@ -141,16 +145,35 @@ enum C0Verdict {
 }
 
 impl TreeShared {
-    /// Pins a `(C0 verdict, catalog)` pair for `key` under one `c0` read
-    /// lock — the consistency unit of the whole read path.
+    /// Pins a `(C0 version chain, catalog)` pair for `key` behind the
+    /// buffer's publish epoch — the consistency unit of the whole read
+    /// path. Retries while a catalog publish is in flight (odd epoch) or
+    /// completed mid-read (epoch moved); publishes are rare (once per
+    /// merge pass), so the loop almost always exits first try.
+    fn pin_chain(&self, key: &[u8]) -> (Vec<Versioned>, Arc<ComponentCatalog>) {
+        loop {
+            let e1 = self.c0.publish_epoch();
+            if e1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let chain = self.c0.version_chain(key);
+            let catalog = self.catalog.load();
+            if self.c0.publish_epoch() == e1 {
+                return (chain, catalog);
+            }
+        }
+    }
+
+    /// Walks a pinned version chain into a get verdict, collecting deltas.
     fn pin_for_get(
         &self,
         key: &[u8],
         deltas: &mut Vec<Bytes>,
     ) -> (C0Verdict, Arc<ComponentCatalog>) {
-        let c0 = self.c0.read();
+        let (chain, catalog) = self.pin_chain(key);
         let mut verdict = C0Verdict::Continue;
-        for v in c0.version_chain(key) {
+        for v in &chain {
             match &v.entry {
                 Entry::Put(b) => {
                     verdict = C0Verdict::Terminated(Some(b.clone()));
@@ -163,7 +186,7 @@ impl TreeShared {
                 Entry::Delta(d) => deltas.push(d.clone()),
             }
         }
-        (verdict, self.catalog.load())
+        (verdict, catalog)
     }
 
     pub(crate) fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
@@ -215,12 +238,8 @@ impl TreeShared {
     }
 
     pub(crate) fn exists(&self, key: &[u8]) -> Result<bool> {
-        let (c0_hit, catalog) = {
-            let c0 = self.c0.read();
-            let hit = c0.version_chain(key).next().cloned();
-            (hit, self.catalog.load())
-        };
-        if let Some(v) = c0_hit {
+        let (chain, catalog) = self.pin_chain(key);
+        if let Some(v) = chain.into_iter().next() {
             // A delta implies a live record (it materializes on read).
             return Ok(!matches!(v.entry, Entry::Tombstone));
         }
@@ -286,29 +305,29 @@ impl TreeShared {
         limit: usize,
     ) -> Result<Vec<ScanItem>> {
         stats::bump(&self.stats.scans, 1);
-        // Pin: copy the C0 rows of the range and load the catalog under
-        // one c0 read lock. The copy is bounded by the C0 memory budget
-        // (and by `to` when given); disk components stream lazily.
-        // Deliberate trade-off: an unbounded-above scan can copy the
-        // whole C0 tail under the read lock, an O(mem_budget) window in
-        // which writers (who need the write lock) wait. Bounding the copy
-        // by `limit` is not possible — tombstones and the upper levels
-        // decide which rows survive — so latency-sensitive writers should
-        // issue bounded range scans. Readers are unaffected either way.
-        // Mid-pass, `range_from` yields *every* resident version of a key
+        // Pin: copy the C0 rows of the range and load the catalog behind
+        // the publish epoch (same seqlock as `pin_chain`). The copy is
+        // bounded by the C0 memory budget (and by `to` when given); disk
+        // components stream lazily. Deliberate trade-off: an
+        // unbounded-above scan copies the whole C0 tail and retries it
+        // wholesale if a merge publishes mid-copy — publishes are
+        // once-per-pass rare, and shard locks are only held per-shard, so
+        // writers are never blocked for the duration of the copy.
+        // Mid-pass, `range_rows` yields *every* resident version of a key
         // (a deferred Delta and the base it shadows, newest first); the
         // rows go to MergeIter below as one multi-version stream so tied
         // versions fold exactly like any other component chain.
-        let (c0_rows, catalog) = {
-            let c0 = self.c0.read();
-            let mut rows: Vec<(Bytes, Versioned)> = Vec::new();
-            for (k, v) in c0.range_from(from) {
-                if to.is_some_and(|t| k.as_ref() >= t) {
-                    break;
-                }
-                rows.push((k.clone(), v.clone()));
+        let (c0_rows, catalog) = loop {
+            let e1 = self.c0.publish_epoch();
+            if e1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
             }
-            (rows, self.catalog.load())
+            let rows = self.c0.range_rows(from, to);
+            let catalog = self.catalog.load();
+            if self.c0.publish_epoch() == e1 {
+                break (rows, catalog);
+            }
         };
 
         let mut streams: Vec<EntryStream<'static>> = Vec::with_capacity(4);

@@ -5,19 +5,21 @@
 //! simulated-device experiments stay deterministic. [`ThreadedBLsm`] puts
 //! the thread back for real deployments: a merge thread repeatedly asks
 //! the engine for maintenance work, backing off when there is none, while
-//! application threads share the tree through a mutex.
+//! application threads write to the tree *directly* — `put`, `delete` and
+//! `apply_delta` are `&self` on [`BLsmTree`] and scale across threads, so
+//! this wrapper adds no mutex around them.
 //!
 //! §4.4.1 notes the concurrency pitfalls of merge threads ("it is
 //! prohibitively expensive to acquire a coarse-grained mutex for each
 //! merged tuple or page ... each merge thread must take action based upon
-//! stale statistics"). Writes keep the locking coarse but *short*: the
-//! merge thread acquires the tree lock once per bounded work quantum, so
-//! application writes interleave between quanta. Reads never take that
-//! lock at all — [`ThreadedBLsm::get`], [`scan`](ThreadedBLsm::scan),
+//! stale statistics"). The split here matches: writers contend only on
+//! their `C0` key-range shard (plus the log mutex when durability is on),
+//! the merge thread serializes on the tree's internal merge state for one
+//! bounded quantum at a time, and reads never take any of those locks —
+//! [`ThreadedBLsm::get`], [`scan`](ThreadedBLsm::scan),
 //! [`exists`](ThreadedBLsm::exists) and [`stats`](ThreadedBLsm::stats) go
-//! through the tree's lock-free [`ReadView`], which pins an immutable
-//! catalog snapshot and proceeds even while a merge quantum holds the
-//! tree lock (see `catalog.rs`).
+//! through the tree's lock-free [`ReadView`], which pins the `C0` shards
+//! and the catalog snapshot behind a publish epoch (see `catalog.rs`).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -32,7 +34,10 @@ use crate::stats::TreeStatsSnapshot;
 use crate::tree::BLsmTree;
 
 struct Shared {
-    tree: Mutex<BLsmTree>,
+    /// The tree itself — writes and reads are `&self`, so no wrapper
+    /// mutex: application threads call straight into it while the merge
+    /// thread drives `maintenance`.
+    tree: BLsmTree,
     /// Signalled by writers when merge work may be pending.
     work_cv: Condvar,
     work_pending: Mutex<bool>,
@@ -43,15 +48,15 @@ struct Shared {
     shutdown: AtomicBool,
 }
 
-/// A [`BLsmTree`] with a background merge thread and a lock-free read
-/// path.
+/// A [`BLsmTree`] with a background merge thread, parallel `&self`
+/// writes, and a lock-free read path.
 pub struct ThreadedBLsm {
     /// `Some` until `shutdown` hands the tree back.
     shared: Option<Arc<Shared>>,
     /// Lock-free reads; valid for the tree's whole life.
     view: ReadView,
     merge_thread: Option<std::thread::JoinHandle<()>>,
-    /// Merge input bytes processed per lock acquisition.
+    /// Merge input bytes processed per background quantum.
     quantum: u64,
 }
 
@@ -66,9 +71,9 @@ impl std::fmt::Debug for ThreadedBLsm {
 
 impl ThreadedBLsm {
     /// Wraps a tree and starts the merge thread. `quantum` bounds merge
-    /// bytes processed per lock hold (and therefore the time any
-    /// application *write* can wait behind the merge thread; reads never
-    /// wait).
+    /// bytes processed per background quantum (and therefore the time any
+    /// application *write* can wait behind the merge thread at the hard
+    /// `C0` cap; reads never wait).
     ///
     /// # Errors
     ///
@@ -78,7 +83,7 @@ impl ThreadedBLsm {
     pub fn start(tree: BLsmTree, quantum: u64) -> Result<ThreadedBLsm> {
         let view = tree.read_view();
         let shared = Arc::new(Shared {
-            tree: Mutex::new(tree),
+            tree,
             work_cv: Condvar::new(),
             work_pending: Mutex::new(true),
             shutdown: AtomicBool::new(false),
@@ -105,13 +110,11 @@ impl ThreadedBLsm {
         }
     }
 
-    /// Runs `f` with exclusive access to the tree, then nudges the merge
-    /// thread (writes may have created work).
-    pub fn with_tree<T>(&self, f: impl FnOnce(&mut BLsmTree) -> T) -> T {
-        let out = {
-            let mut tree = self.shared().tree.lock();
-            f(&mut tree)
-        };
+    /// Runs `f` against the tree, then nudges the merge thread (writes
+    /// may have created work). The tree's own methods are `&self` and
+    /// thread-safe; this adds no extra exclusion.
+    pub fn with_tree<T>(&self, f: impl FnOnce(&BLsmTree) -> T) -> T {
+        let out = f(&self.shared().tree);
         self.kick();
         out
     }
@@ -124,14 +127,16 @@ impl ThreadedBLsm {
         shared.work_cv.notify_one();
     }
 
-    /// Convenience: blind write.
+    /// Convenience: blind write. Runs on the caller's thread and scales
+    /// with concurrent writers (see [`BLsmTree::put`]).
     pub fn put(&self, key: impl Into<bytes::Bytes>, value: impl Into<bytes::Bytes>) -> Result<()> {
-        let (key, value) = (key.into(), value.into());
-        self.with_tree(|t| t.put(key, value))
+        let out = self.shared().tree.put(key, value);
+        self.kick();
+        out
     }
 
     /// Point lookup — lock-free: proceeds even while the merge thread
-    /// holds the tree lock for a work quantum.
+    /// runs a work quantum.
     pub fn get(&self, key: &[u8]) -> Result<Option<bytes::Bytes>> {
         self.view.get(key)
     }
@@ -160,8 +165,9 @@ impl ThreadedBLsm {
 
     /// Convenience: delete.
     pub fn delete(&self, key: impl Into<bytes::Bytes>) -> Result<()> {
-        let key = key.into();
-        self.with_tree(|t| t.delete(key))
+        let out = self.shared().tree.delete(key);
+        self.kick();
+        out
     }
 
     /// Convenience: the paper's zero-seek `insert if not exists`
@@ -171,8 +177,9 @@ impl ThreadedBLsm {
         key: impl Into<bytes::Bytes>,
         value: impl Into<bytes::Bytes>,
     ) -> Result<bool> {
-        let (key, value) = (key.into(), value.into());
-        self.with_tree(|t| t.insert_if_not_exists(key, value))
+        let out = self.shared().tree.insert_if_not_exists(key, value);
+        self.kick();
+        out
     }
 
     /// Convenience: merge-operator delta write.
@@ -181,8 +188,9 @@ impl ThreadedBLsm {
         key: impl Into<bytes::Bytes>,
         delta: impl Into<bytes::Bytes>,
     ) -> Result<()> {
-        let (key, delta) = (key.into(), delta.into());
-        self.with_tree(|t| t.apply_delta(key, delta))
+        let out = self.shared().tree.apply_delta(key, delta);
+        self.kick();
+        out
     }
 
     /// Ordered scan of `[from, to)` — lock-free.
@@ -191,13 +199,13 @@ impl ThreadedBLsm {
     }
 
     /// The live spring-and-gear backpressure level — the admission
-    /// signal the serving layer throttles writes by. Lock-free (brief
-    /// `c0` read lock, never the tree lock).
+    /// signal the serving layer throttles writes by. Lock-free (atomic
+    /// counter reads, no locks at all).
     pub fn backpressure(&self) -> crate::sched::BackpressureLevel {
         self.view.stats().backpressure
     }
 
-    /// Bound on merge bytes per lock hold.
+    /// Bound on merge bytes per background quantum.
     pub fn quantum(&self) -> u64 {
         self.quantum
     }
@@ -216,7 +224,7 @@ impl ThreadedBLsm {
         };
         let shared =
             Arc::try_unwrap(shared).unwrap_or_else(|_| panic!("merge thread still holds the tree"));
-        let mut tree = shared.tree.into_inner();
+        let tree = shared.tree;
         tree.checkpoint()?;
         Ok(tree)
     }
@@ -247,12 +255,10 @@ impl Drop for ThreadedBLsm {
         // so the WAL closes cleanly. Best-effort — a checkpoint error
         // cannot propagate out of `drop`, and recovery replays the WAL
         // anyway; `try_unwrap` fails only if another thread still holds
-        // the `Arc`, in which case mutating the tree would be unsound to
-        // force.
+        // the `Arc`, in which case the tree stays live for that thread.
         if let Some(shared) = self.shared.take() {
             if let Ok(shared) = Arc::try_unwrap(shared) {
-                let mut tree = shared.tree.into_inner();
-                let _ = tree.checkpoint();
+                let _ = shared.tree.checkpoint();
             }
         }
     }
@@ -263,9 +269,11 @@ fn merge_loop(shared: &Arc<Shared>, quantum: u64) {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        // Bounded work under the lock.
+        // Bounded work per quantum; writers and readers proceed
+        // concurrently (maintenance serializes only on the tree's
+        // internal merge state).
         let had_work = {
-            let mut tree = shared.tree.lock();
+            let tree = &shared.tree;
             let active_before = tree.merges_active();
             let _ = tree.maintenance(quantum);
             // Every background quantum is an invariant boundary; a
@@ -279,7 +287,8 @@ fn merge_loop(shared: &Arc<Shared>, quantum: u64) {
             active_before.0 || active_before.1 || active_after.0 || active_after.1
         };
         if had_work {
-            // Yield briefly so application threads can take the lock.
+            // Yield briefly so application threads stay ahead of us on
+            // the merge state at the hard cap.
             std::thread::yield_now();
             continue;
         }
@@ -355,7 +364,7 @@ mod tests {
             h.join().unwrap();
         }
         // The background thread must have driven merges.
-        let stats = db.with_tree(|t| t.stats());
+        let stats = db.with_tree(super::super::tree::BLsmTree::stats);
         assert!(stats.merges01 > 0, "merge thread never merged");
         for t in 0..4u32 {
             for i in (0..2_000u32).step_by(191) {
@@ -485,7 +494,7 @@ mod tests {
         // its own within its timeout loop.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         loop {
-            let (m01, m12) = db.with_tree(|t| t.merges_active());
+            let (m01, m12) = db.with_tree(super::super::tree::BLsmTree::merges_active);
             if !m01 && !m12 {
                 break;
             }

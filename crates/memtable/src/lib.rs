@@ -17,10 +17,12 @@
 //!   *snowshovel* mode where a cursor sweeps the keyspace and inserts
 //!   landing behind the cursor are deferred to the next pass.
 
+mod concurrent;
 mod memtable;
 mod snowshovel;
 mod types;
 
+pub use concurrent::{ConcurrentC0, DrainGuard, PassMode, C0_SHARDS};
 pub use memtable::Memtable;
 pub use snowshovel::{PassKind, SnowshovelBuffer};
 pub use types::{

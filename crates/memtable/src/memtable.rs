@@ -62,6 +62,17 @@ impl Memtable {
     /// * `Delta` with nothing resident stays a `Delta` — the base record
     ///   may live in a larger component.
     pub fn insert(&mut self, key: Bytes, write: Versioned, op: &dyn MergeOperator) {
+        // Concurrent writers race seqno allocation against the shard
+        // insert, so a latecomer can arrive carrying an older seqno than
+        // the resident entry. Fold it in as the *older* version — the
+        // resident entry wins, exactly as if the two had arrived in seqno
+        // order.
+        if let Some(resident) = self.map.get(&key) {
+            if write.seqno < resident.seqno {
+                self.insert_older(key, write, op);
+                return;
+            }
+        }
         let folded = match (self.map.get(&key), &write.entry) {
             (Some(resident), Entry::Delta(d)) => {
                 debug_assert!(

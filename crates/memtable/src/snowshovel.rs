@@ -330,13 +330,15 @@ impl SnowshovelBuffer {
 
 /// Merge of two key-ordered iterators. On ties, `a` (the fresher stream)
 /// is yielded first and `b`'s copy follows — no version is dropped.
-struct DualIter<'a, A, B>
+/// Shared with [`crate::concurrent`], whose per-shard iteration needs the
+/// identical all-versions newest-first tie semantics.
+pub(crate) struct DualIter<'a, A, B>
 where
     A: Iterator<Item = (&'a Bytes, &'a Versioned)>,
     B: Iterator<Item = (&'a Bytes, &'a Versioned)>,
 {
-    a: std::iter::Peekable<A>,
-    b: std::iter::Peekable<B>,
+    pub(crate) a: std::iter::Peekable<A>,
+    pub(crate) b: std::iter::Peekable<B>,
 }
 
 impl<'a, A, B> Iterator for DualIter<'a, A, B>

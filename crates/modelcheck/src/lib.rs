@@ -1,4 +1,4 @@
-//! Model-checked miniatures of the three core bLSM concurrency
+//! Model-checked miniatures of the four core bLSM concurrency
 //! protocols, written against the swappable `sync` layer so the
 //! deterministic scheduler (`sync` with the `model` feature) can
 //! explore every interleaving of their scheduling decisions.
@@ -20,6 +20,13 @@
 //!   handoff: entries inserted while a merge quantum is in flight must
 //!   be retained for the next pass. The buggy mode clears the whole
 //!   buffer, losing concurrent inserts.
+//! * [`c0_publish_pin`] — the concurrent-C0 insert / drain /
+//!   catalog-publish handoff (DESIGN.md §15): a drained entry is held
+//!   in the shard's retained table until the catalog publish, which
+//!   runs inside an epoch-bumped seqlock section that pinning readers
+//!   retry around. The buggy mode clears the retained copy *before*
+//!   the publish with no odd-epoch window, so a reader's pin spans the
+//!   gap and the entry vanishes from both places at once.
 //!
 //! The invariants are `assert!`s inside the protocols; the model
 //! checker reports any schedule that violates one (or deadlocks), with
@@ -230,4 +237,126 @@ pub fn snowshovel_handoff(mode: Handoff, writers: usize) {
             "entry {k} lost in the C0 handoff"
         );
     }
+}
+
+/// How the pass-end catalog publish interacts with pinning readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Publish {
+    /// The shipped shape: the epoch goes odd, the catalog is stored,
+    /// the retained copies clear, the epoch goes even. A pin whose two
+    /// epoch loads bracket any part of the publish observes odd or
+    /// changed and retries.
+    EpochPinned,
+    /// The bug: clear the retained copies before the catalog store,
+    /// with no odd-epoch window. A reader pinning across the gap finds
+    /// the drained entry in neither place.
+    UnpinnedClear,
+}
+
+/// The concurrent-C0 insert / drain / catalog-publish handoff
+/// (`blsm_memtable::ConcurrentC0` + `blsm::read`, DESIGN.md §15).
+///
+/// One shard stands in for sixteen: the main thread drains the seeded
+/// entry into the retained table (the `DrainGuard` step), then
+/// publishes it to the catalog; a concurrent writer's insert races the
+/// drain; `readers` threads pin with the epoch-seqlock check and assert
+/// the drained entry is visible in C0 or the catalog — the read path's
+/// "never both, never neither" guarantee. Each reader makes a single
+/// pin attempt (the real loop spins until consistent; one attempt keeps
+/// the schedule tree finite and loses nothing — a collision with the
+/// publish just ends the reader, the invariant is asserted exactly when
+/// the pin succeeds).
+pub fn c0_publish_pin(mode: Publish, readers: usize) {
+    struct Tables {
+        current: Vec<u64>,
+        retained: Vec<u64>,
+    }
+    struct C0 {
+        /// The single modeled shard (`Shard::tables` in the real code).
+        tables: Mutex<Tables>,
+        /// Seqlock publish epoch.
+        // ordering: SeqCst — models the Acquire/Release seqlock; under the
+        // model scheduler every ordering is sequentially consistent anyway.
+        epoch: AtomicU64,
+        /// The published component catalog (entry list stands in for it).
+        catalog: Mutex<Vec<u64>>,
+    }
+    const DRAINED: u64 = 1;
+    let c0 = Arc::new(C0 {
+        tables: Mutex::new(Tables {
+            current: vec![DRAINED],
+            retained: Vec::new(),
+        }),
+        epoch: AtomicU64::new(0),
+        catalog: Mutex::new(Vec::new()),
+    });
+
+    let writer = {
+        let c0 = Arc::clone(&c0);
+        thread::spawn(move || c0.tables.lock().current.push(2))
+    };
+
+    // Drain step (the exclusive `DrainGuard`): move the entry to the
+    // retained table so concurrent readers keep seeing it until the
+    // merge output is published. The writer's insert races this.
+    {
+        let mut t = c0.tables.lock();
+        t.current.retain(|&k| k != DRAINED);
+        t.retained.push(DRAINED);
+    }
+    // The insert/drain race is resolved by here. Joining the writer
+    // and only then spawning the readers keeps the schedule tree
+    // bounded: a drain is invisible to readers (it moves the entry
+    // between tables covered by the same lock), so the only race a
+    // reader can observe — and the one the seeded bug breaks — is its
+    // pin spanning the publish below.
+    drop(writer.join());
+    let handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let c0 = Arc::clone(&c0);
+            thread::spawn(move || {
+                let e1 = c0.epoch.load(Ordering::SeqCst);
+                if e1 & 1 == 1 {
+                    return; // publish in flight; the real loop retries
+                }
+                let in_c0 = {
+                    let t = c0.tables.lock();
+                    t.current.contains(&DRAINED) || t.retained.contains(&DRAINED)
+                };
+                let in_catalog = c0.catalog.lock().contains(&DRAINED);
+                if c0.epoch.load(Ordering::SeqCst) == e1 {
+                    assert!(
+                        in_c0 || in_catalog,
+                        "pinned reader lost entry {DRAINED} across the publish"
+                    );
+                }
+            })
+        })
+        .collect();
+    // Pass end: publish the merge output and release the retained copy.
+    match mode {
+        Publish::EpochPinned => {
+            c0.epoch.fetch_add(1, Ordering::SeqCst); // odd: publish begins
+            c0.catalog.lock().push(DRAINED);
+            c0.tables.lock().retained.clear();
+            c0.epoch.fetch_add(1, Ordering::SeqCst); // even: publish done
+        }
+        Publish::UnpinnedClear => {
+            c0.tables.lock().retained.clear();
+            c0.catalog.lock().push(DRAINED);
+        }
+    }
+
+    for h in handles {
+        drop(h.join());
+    }
+
+    // The racing insert survives the publish in both modes (the seeded
+    // bug is reader-visible, not durably lost).
+    let t = c0.tables.lock();
+    assert!(t.current.contains(&2), "concurrent insert lost at pass end");
+    assert!(
+        c0.catalog.lock().contains(&DRAINED),
+        "drained entry never published"
+    );
 }

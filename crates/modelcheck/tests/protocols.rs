@@ -9,7 +9,8 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use blsm_modelcheck::{
-    catalog_publish_reap, condvar_handshake, snowshovel_handoff, Handoff, Reap, Shutdown,
+    c0_publish_pin, catalog_publish_reap, condvar_handshake, snowshovel_handoff, Handoff, Publish,
+    Reap, Shutdown,
 };
 use sync::{model_check, model_check_with};
 
@@ -76,6 +77,27 @@ fn snowshovel_clear_all_is_detected() {
     );
 }
 
+#[test]
+fn c0_publish_pin_correct_is_exhaustively_clean() {
+    let report = model_check(|| c0_publish_pin(Publish::EpochPinned, 1)).unwrap();
+    assert!(
+        report.complete,
+        "publish-pin exploration hit the budget after {} executions",
+        report.executions
+    );
+    assert!(report.executions > 1, "scheduler never branched");
+}
+
+#[test]
+fn c0_publish_unpinned_clear_is_detected() {
+    let failure = model_check(|| c0_publish_pin(Publish::UnpinnedClear, 1))
+        .expect_err("clear-before-publish must be caught");
+    assert!(
+        failure.message.contains("lost entry"),
+        "expected the pinned-reader assertion, got: {failure}"
+    );
+}
+
 // ------------------------------------------------------------------
 // Nightly depth: wider protocols, still expected clean / caught.
 // ------------------------------------------------------------------
@@ -108,4 +130,18 @@ fn deep_catalog_two_readers_premature_reap_detected() {
 fn deep_snowshovel_two_writers() {
     let report = model_check(|| snowshovel_handoff(Handoff::RetainNew, 2)).unwrap();
     assert!(report.complete || report.executions > 10_000);
+}
+
+#[test]
+#[ignore = "deep exploration for the nightly model-check job"]
+fn deep_c0_publish_two_readers() {
+    let report = model_check_with(2_000_000, || c0_publish_pin(Publish::EpochPinned, 2)).unwrap();
+    assert!(report.complete || report.executions > 10_000);
+}
+
+#[test]
+#[ignore = "deep exploration for the nightly model-check job"]
+fn deep_c0_publish_two_readers_unpinned_clear_detected() {
+    model_check_with(2_000_000, || c0_publish_pin(Publish::UnpinnedClear, 2))
+        .expect_err("clear-before-publish must be caught at depth too");
 }

@@ -3,10 +3,13 @@
 //! Thread model (documented in DESIGN.md §11): one nonblocking accept
 //! loop plus one thread per connection. Reads are served through a
 //! per-connection clone of the lock-free [`blsm::ReadView`], so reader
-//! threads never touch the tree mutex — they race the merge thread the
-//! same way in-process readers do. Writes decoded from one socket read
-//! are batched: consecutive write commands apply under a single tree
-//! lock acquisition before the merge thread is kicked once.
+//! threads never take a lock — they race the merge thread the same way
+//! in-process readers do. Writes apply *directly on the connection
+//! thread*: the engine's write path is `&self` and scales across
+//! threads (key-range-sharded `C0`, atomic seqnos), so N connections
+//! writing are N genuinely parallel writers — there is no batching
+//! queue and no tree-wide lock to funnel through. The merge thread is
+//! kicked once per decoded socket read.
 //!
 //! Admission control is scheduler-coupled (see `admission.rs`): each
 //! write consults the spring-and-gear backpressure level and is admitted,
@@ -319,40 +322,37 @@ fn err_response(e: &StorageError) -> Response {
     }
 }
 
-/// A write queued behind admission, applied as part of a batch.
-struct PendingWrite {
-    id: u64,
-    req: Request,
-}
-
-/// Serves one decoded batch in request order, grouping consecutive
-/// admitted writes under a single tree-lock acquisition. Returns the
+/// Serves one decoded batch in request order. Writes apply immediately
+/// on this connection thread — the engine write path is `&self` and
+/// parallel across connections — with the admission verdict enforced
+/// per write (a pacing delay sleeps only this writer). Returns the
 /// encoded responses and whether a SHUTDOWN was requested.
 fn serve_batch(inner: &Inner, view: &ReadView, frames: &[Vec<u8>]) -> Result<(Vec<u8>, bool)> {
     let mut out = Vec::new();
-    let mut pending: Vec<PendingWrite> = Vec::new();
     let mut shutdown = false;
     for payload in frames {
         let (id, req) = decode_request(payload)?;
         if req.is_write() {
             match inner.admission.write_admission(view.stats().backpressure) {
-                WriteAdmission::Admit => pending.push(PendingWrite { id, req }),
+                WriteAdmission::Admit => {}
                 WriteAdmission::Delay(d) => {
-                    pending.push(PendingWrite { id, req });
-                    // Proportional pacing: hold this connection's write
-                    // responses back. Applied before the flush so the
-                    // sleep never overlaps a lock hold.
-                    flush_writes(inner, &mut pending, Some(d), &mut out)?;
+                    // Proportional pacing: stall only this writer before
+                    // its write applies. Sibling connections (and all
+                    // readers) proceed — per-writer admission delay, not
+                    // a server-wide brake.
+                    std::thread::sleep(d);
                 }
                 WriteAdmission::RetryLater { backoff_ms } => {
-                    flush_writes(inner, &mut pending, None, &mut out)?;
                     push_response(&mut out, id, &Response::RetryLater { backoff_ms })?;
+                    continue;
                 }
             }
+            let resp = apply_write(inner, req);
+            push_response(&mut out, id, &resp)?;
             continue;
         }
-        // Reads (and control commands) see all writes queued so far.
-        flush_writes(inner, &mut pending, None, &mut out)?;
+        // Reads (and control commands) see every write applied so far on
+        // this connection: writes above completed before this point.
         let resp = match &req {
             Request::Ping => Response::Ok,
             Request::Get { key } => match view.get(key) {
@@ -396,63 +396,39 @@ fn serve_batch(inner: &Inner, view: &ReadView, frames: &[Vec<u8>]) -> Result<(Ve
         };
         push_response(&mut out, id, &resp)?;
     }
-    flush_writes(inner, &mut pending, None, &mut out)?;
     Ok((out, shutdown))
 }
 
-/// Applies queued writes under one tree-lock acquisition (one merge-
-/// thread kick for the whole group), optionally sleeping the pacing
-/// delay first, then appends their responses in order.
-fn flush_writes(
-    inner: &Inner,
-    pending: &mut Vec<PendingWrite>,
-    delay: Option<Duration>,
-    out: &mut Vec<u8>,
-) -> Result<()> {
-    if let Some(d) = delay {
-        std::thread::sleep(d);
+/// Applies one admitted write directly on the calling connection
+/// thread. The engine write path is `&self`, so concurrent connections
+/// apply writes in parallel (serialized only at the WAL append + C0
+/// shard they touch) — no server-side write queue exists.
+fn apply_write(inner: &Inner, req: Request) -> Response {
+    match req {
+        Request::Put { key, value } => match inner.db.put(key, value) {
+            Ok(()) => Response::Ok,
+            Err(e) => err_response(&e),
+        },
+        Request::Delete { key } => match inner.db.delete(key) {
+            Ok(()) => Response::Ok,
+            Err(e) => err_response(&e),
+        },
+        Request::InsertIfNotExists { key, value } => {
+            match inner.db.insert_if_not_exists(key, value) {
+                Ok(inserted) => Response::Inserted(inserted),
+                Err(e) => err_response(&e),
+            }
+        }
+        Request::ApplyDelta { key, delta } => match inner.db.apply_delta(key, delta) {
+            Ok(()) => Response::Ok,
+            Err(e) => err_response(&e),
+        },
+        // `is_write` admits only the four arms above.
+        _ => Response::Err {
+            kind: ErrKind::Invalid,
+            message: "non-write in write path".into(),
+        },
     }
-    if pending.is_empty() {
-        return Ok(());
-    }
-    let batch = std::mem::take(pending);
-    let results: Vec<(u64, Response)> = inner.db.with_tree(|t| {
-        batch
-            .into_iter()
-            .map(|w| {
-                let resp = match w.req {
-                    Request::Put { key, value } => match t.put(key, value) {
-                        Ok(()) => Response::Ok,
-                        Err(e) => err_response(&e),
-                    },
-                    Request::Delete { key } => match t.delete(key) {
-                        Ok(()) => Response::Ok,
-                        Err(e) => err_response(&e),
-                    },
-                    Request::InsertIfNotExists { key, value } => {
-                        match t.insert_if_not_exists(key, value) {
-                            Ok(inserted) => Response::Inserted(inserted),
-                            Err(e) => err_response(&e),
-                        }
-                    }
-                    Request::ApplyDelta { key, delta } => match t.apply_delta(key, delta) {
-                        Ok(()) => Response::Ok,
-                        Err(e) => err_response(&e),
-                    },
-                    // `is_write` admits only the four arms above.
-                    _ => Response::Err {
-                        kind: ErrKind::Invalid,
-                        message: "non-write in write batch".into(),
-                    },
-                };
-                (w.id, resp)
-            })
-            .collect()
-    });
-    for (id, resp) in results {
-        push_response(out, id, &resp)?;
-    }
-    Ok(())
 }
 
 /// Encodes `resp`, downgrading frames that exceed the ceiling (giant

@@ -355,7 +355,7 @@ fn corrupt_component_degrades_reads_without_killing_connection() {
     let wal: SharedDevice = Arc::new(MemDevice::new());
     let sentinel_value = b"SENTINEL-VALUE-0123456789-ABCDEF";
     {
-        let mut tree = open_tree(&data, &wal, &config);
+        let tree = open_tree(&data, &wal, &config);
         for i in 0..2000u32 {
             tree.put(
                 format!("k{i:06}").into_bytes(),

@@ -70,10 +70,14 @@ pub fn analyze(files: &[(String, String)]) -> Analysis {
         findings.extend(rules::guards::check(rel, &fns));
         inventory.collect_file(rel, &sf, &fns);
 
-        for krate in ["core", "server"] {
+        for krate in ["core", "memtable", "server"] {
             if rel.starts_with(&format!("crates/{krate}/src/")) {
                 per_crate
-                    .entry(if krate == "core" { "core" } else { "server" })
+                    .entry(match krate {
+                        "core" => "core",
+                        "memtable" => "memtable",
+                        _ => "server",
+                    })
                     .or_default()
                     .extend(fns.iter().map(|f| (rel.clone(), f.clone())));
             }

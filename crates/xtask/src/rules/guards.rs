@@ -106,6 +106,16 @@ pub fn check(rel: &str, fns: &[FnSummary]) -> Vec<Finding> {
                 });
                 continue;
             }
+            // Log I/O on the WAL while holding only the WAL's own mutex
+            // is the work that lock exists to serialize (group commit:
+            // contending writers are waiting for exactly this durability
+            // point), not cost that could move outside the section.
+            let wal_self_io = call.is_method
+                && call.recv_last.as_deref() == Some("wal")
+                && call.held.iter().all(|h| h.lock == "wal");
+            if wal_self_io {
+                continue;
+            }
             if let Some(cost) = cost_class(call, in_server) {
                 let since = call.held[0].line;
                 findings.push(Finding {

@@ -1,6 +1,7 @@
-//! `lock-order`: the may-hold-while-acquiring graph for `crates/core`
-//! and `crates/server`, checked against the documented lock hierarchy
-//! (DESIGN.md §14 is the normative reference).
+//! `lock-order`: the may-hold-while-acquiring graph for `crates/core`,
+//! `crates/memtable` and `crates/server`, checked against the
+//! documented lock hierarchy (DESIGN.md §14/§15 are the normative
+//! references).
 //!
 //! For every non-test function the guard-liveness walk yields the set
 //! of locks held at each acquisition; each `(held, acquired)` pair is
@@ -24,10 +25,19 @@ use super::{Finding, FnSummary};
 /// `a → b` is legal iff `a` appears strictly before `b`.
 fn hierarchy(krate: &str) -> &'static [&'static str] {
     match krate {
-        // DESIGN.md §14: tree → c0 → catalog → recovery → work_pending.
-        "core" => &["tree", "c0", "catalog", "recovery", "work_pending"],
-        // The server serves from pinned ReadViews and owns no locks; any
-        // edge here must first be added to DESIGN.md §14.
+        // DESIGN.md §14: merge → wal → catalog → recovery → work_pending.
+        // (`tree` and `c0` left the hierarchy in the concurrent-C0
+        // refactor: the tree-wide mutex became the merge-plane `merge`
+        // lock and C0 became internally synchronized — its `pass` /
+        // `tables` locks are checked under the `memtable` crate below.)
+        "core" => &["merge", "wal", "catalog", "recovery", "work_pending"],
+        // DESIGN.md §15: the pass lock wraps per-shard table locks; no
+        // C0 code path may take `pass` while holding any shard's
+        // `tables` lock.
+        "memtable" => &["pass", "tables"],
+        // The server serves from pinned ReadViews and applies writes
+        // through `&self` engine calls; it owns no locks of its own.
+        // Any edge here must first be added to DESIGN.md §14.
         _ => &[],
     }
 }
@@ -121,8 +131,15 @@ pub fn check(
             }
             // One-level propagation into same-crate functions. `load`/
             // `store` are never propagated by name: outside a catalog
-            // receiver they are almost always atomics.
-            if matches!(c.name.as_str(), "load" | "store") {
+            // receiver they are almost always atomics. Likewise the
+            // container-accessor names: `map.get(…)`/`.len()`/
+            // `.is_empty()` on a collection held under a lock would
+            // otherwise alias any same-crate lock-taking method that
+            // shares the idiomatic name (e.g. `ConcurrentC0::get`).
+            if matches!(
+                c.name.as_str(),
+                "load" | "store" | "get" | "len" | "is_empty"
+            ) {
                 continue;
             }
             let Some(locks) = fn_locks.get(c.name.as_str()) else {

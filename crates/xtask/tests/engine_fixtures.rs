@@ -30,7 +30,7 @@ fn lock_order_inversion_is_rejected_naming_both_sites() {
     assert_eq!(violation.function, "inverted");
     // Both locks, both acquisition sites.
     assert!(
-        violation.message.contains("`catalog`") && violation.message.contains("`c0`"),
+        violation.message.contains("`catalog`") && violation.message.contains("`wal`"),
         "must name both locks: {}",
         violation.message
     );
@@ -40,7 +40,7 @@ fn lock_order_inversion_is_rejected_naming_both_sites() {
         violation.message
     );
     assert!(
-        violation.message.contains("tree → c0 → catalog"),
+        violation.message.contains("merge → wal → catalog"),
         "must cite the documented hierarchy: {}",
         violation.message
     );
@@ -53,7 +53,7 @@ fn lock_order_inversion_outside_core_is_not_checked() {
     let findings = analyze_as("crates/btree/src/fixture.rs", "lock_order_inversion.rs");
     assert!(
         findings.iter().all(|f| f.rule != "lock-order"),
-        "no hierarchy applies outside core/server: {findings:?}"
+        "no hierarchy applies outside core/memtable/server: {findings:?}"
     );
 }
 

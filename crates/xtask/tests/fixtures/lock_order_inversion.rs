@@ -1,19 +1,19 @@
-//! Seeded lock-order inversion: acquires `catalog` and then `c0`,
-//! violating the documented core hierarchy `tree → c0 → catalog`.
+//! Seeded lock-order inversion: acquires `catalog` and then `wal`,
+//! violating the documented core hierarchy `merge → wal → catalog`.
 //! The lock-order analysis must reject this file, naming both locks and
 //! both acquisition sites.
 
 use parking_lot::RwLock;
 
 pub struct Fixture {
-    c0: RwLock<u64>,
+    wal: RwLock<u64>,
     catalog: RwLock<u64>,
 }
 
 impl Fixture {
     pub fn inverted(&self) -> u64 {
         let cat = self.catalog.write();
-        let shovel = self.c0.read();
-        *cat + *shovel
+        let log = self.wal.read();
+        *cat + *log
     }
 }

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Phase 1: write 2000 records, checkpoint (merge to disk), then
         // write 500 more that only live in C0 + the log.
         {
-            let mut tree = open(&data, &wal, durability)?;
+            let tree = open(&data, &wal, durability)?;
             for i in 0..2000u32 {
                 tree.put(
                     format!("key{i:06}").into_bytes(),

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mem_budget: 4 << 20,
         ..Default::default()
     };
-    let mut tree = BLsmTree::open(data.clone(), wal, 1024, config, Arc::new(AppendOperator))?;
+    let tree = BLsmTree::open(data.clone(), wal, 1024, config, Arc::new(AppendOperator))?;
 
     // Ingest 200k click events over 20k users, in arrival (random) order.
     let users = 20_000u64;

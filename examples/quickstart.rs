@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mem_budget: 64 << 20,
         ..Default::default()
     };
-    let mut tree = BLsmTree::open(
+    let tree = BLsmTree::open(
         data.clone(),
         wal.clone(),
         4096, // 16 MiB buffer cache

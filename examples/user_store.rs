@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scheduler: SchedulerKind::SpringGear,
         ..Default::default()
     };
-    let mut tree = BLsmTree::open(
+    let tree = BLsmTree::open(
         data.clone(),
         wal.clone(),
         512,

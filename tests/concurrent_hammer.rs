@@ -173,6 +173,132 @@ fn point_reads_are_never_torn_under_churn() {
     }
 }
 
+/// Four writers × four readers × the background merge thread, on the
+/// `&self` write path (DESIGN.md §15): no torn reads, no lost writes,
+/// monotone seqnos.
+///
+/// Each writer owns a disjoint slice of the keyspace and rewrites it
+/// round by round, so "no lost writes" is exact: after shutdown every
+/// key must carry its owner's final-round byte — an earlier byte means
+/// a put vanished in the sharded `C0`, the snowshovel handoff, or a
+/// catalog publish. Keys spread their first byte across all sixteen
+/// `C0` shards so the writers genuinely run in parallel.
+#[test]
+fn four_writers_four_readers_no_lost_writes_monotone_seqnos() {
+    const WRITERS: u64 = 4;
+    const READERS: usize = 4;
+    const KEYS_PER_WRITER: u64 = 512;
+    const ROUNDS: u64 = 12;
+
+    fn wkey(w: u64, i: u64) -> Bytes {
+        // First byte sweeps every top nibble → all 16 C0 shards.
+        let mut k = vec![(i as u8 % 16) << 4];
+        k.extend_from_slice(format!("w{w}k{i:06}").as_bytes());
+        Bytes::from(k)
+    }
+    fn round_byte(r: u64) -> u8 {
+        (r % 251) as u8 + 1
+    }
+
+    // Small C0 budget: the merge thread churns C0:C1 passes (and the
+    // occasional rotation) under the writers the whole time.
+    let db = Arc::new(new_db(256 << 10));
+    let seqno_floor = db.with_tree(blsm_repro::blsm::BLsmTree::next_seqno);
+
+    let writers_done = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let view = db.read_view();
+            let done = writers_done.clone();
+            std::thread::spawn(move || {
+                let mut rng = 0xfeed ^ (r as u64) << 32;
+                let mut local = 0u64;
+                while !done.load(Ordering::SeqCst) || local < 500 {
+                    rng = rng
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let w = (rng >> 33) % WRITERS;
+                    let id = (rng >> 13) % KEYS_PER_WRITER;
+                    // A present value must be whole: full length, all
+                    // bytes identical (every round writes uniform bytes).
+                    if let Some(v) = view.get(&wkey(w, id)).unwrap() {
+                        let b = v[0];
+                        assert!(
+                            v.len() == VALUE_LEN && v.iter().all(|&x| x == b),
+                            "torn read: key w{w}k{id}: {v:?}"
+                        );
+                    }
+                    local += 1;
+                }
+            })
+        })
+        .collect();
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let mut last_seen = 0u64;
+                for r in 0..ROUNDS {
+                    for i in 0..KEYS_PER_WRITER {
+                        db.put(wkey(w, i), value(round_byte(r))).unwrap();
+                    }
+                    // Seqnos must never run backwards, from any thread's
+                    // point of view.
+                    let now = db.with_tree(blsm_repro::blsm::BLsmTree::next_seqno);
+                    assert!(
+                        now >= last_seen,
+                        "seqno ran backwards: {now} after {last_seen}"
+                    );
+                    assert!(now > last_seen, "a whole round allocated no seqnos");
+                    last_seen = now;
+                    #[cfg(feature = "strict-invariants")]
+                    db.with_tree(|t| t.check_invariants()).unwrap();
+                }
+            })
+        })
+        .collect();
+
+    for h in writers {
+        h.join().unwrap();
+    }
+    writers_done.store(true, Ordering::SeqCst);
+    for h in readers {
+        h.join().unwrap();
+    }
+
+    // Every put claims exactly one seqno ticket; none may be skipped or
+    // double-issued.
+    let allocated = db.with_tree(blsm_repro::blsm::BLsmTree::next_seqno) - seqno_floor;
+    assert_eq!(
+        allocated,
+        WRITERS * KEYS_PER_WRITER * ROUNDS,
+        "seqno tickets diverged from writes issued"
+    );
+    let stats = db.stats();
+    assert!(stats.merges01 > 0, "the hammer never drove a merge");
+
+    let tree = Arc::try_unwrap(db)
+        .unwrap_or_else(|_| panic!("threads exited; sole owner expected"))
+        .shutdown()
+        .unwrap();
+    // No lost writes: every key reads back its owner's final round.
+    let want = round_byte(ROUNDS - 1);
+    for w in 0..WRITERS {
+        for i in 0..KEYS_PER_WRITER {
+            let v = tree
+                .get(&wkey(w, i))
+                .unwrap()
+                .unwrap_or_else(|| panic!("write lost outright: w{w}k{i}"));
+            assert!(
+                v.len() == VALUE_LEN && v.iter().all(|&x| x == want),
+                "stale or torn final value for w{w}k{i}: got byte {}, want {want}",
+                v[0]
+            );
+        }
+    }
+}
+
 #[test]
 fn readers_progress_while_merge_quantum_holds_the_write_lock() {
     const KEYS: u64 = 1_000;

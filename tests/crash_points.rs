@@ -93,7 +93,7 @@ struct Oracle {
 /// C1→C2 merge writes, manifest saves and WAL truncation.
 fn run_workload(data: &SharedDevice, wal: &SharedDevice) -> Oracle {
     let mut oracle = Oracle::default();
-    let Ok(mut tree) = open(data, wal) else {
+    let Ok(tree) = open(data, wal) else {
         // Power died during open's own writes (e.g. manifest format):
         // nothing was acknowledged, nothing to check.
         return oracle;

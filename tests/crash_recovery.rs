@@ -37,7 +37,7 @@ fn crash_at_every_growth_stage() {
     let mut model: BTreeMap<Bytes, Bytes> = BTreeMap::new();
     let mut rng = 0xfadeu64;
     for stage in 0..8u64 {
-        let mut tree = BLsmTree::open(
+        let tree = BLsmTree::open(
             data.clone(),
             wal.clone(),
             1024,
@@ -74,7 +74,7 @@ fn recovered_tree_keeps_correct_scan_order() {
     let data: SharedDevice = Arc::new(MemDevice::new());
     let wal: SharedDevice = Arc::new(MemDevice::new());
     {
-        let mut tree = BLsmTree::open(
+        let tree = BLsmTree::open(
             data.clone(),
             wal.clone(),
             1024,
@@ -111,7 +111,7 @@ fn counter_deltas_survive_crash_exactly_once() {
     let mut expected = vec![0i64; n_keys as usize];
     let mut rng = 7u64;
     for _crash in 0..5 {
-        let mut tree = BLsmTree::open(
+        let tree = BLsmTree::open(
             data.clone(),
             wal.clone(),
             1024,
@@ -154,7 +154,7 @@ fn clean_shutdown_then_wal_wipe() {
     let data: SharedDevice = Arc::new(MemDevice::new());
     let wal: SharedDevice = Arc::new(MemDevice::new());
     {
-        let mut tree =
+        let tree =
             BLsmTree::open(data.clone(), wal, 1024, config(), Arc::new(AppendOperator)).unwrap();
         for i in 0..3_000u64 {
             tree.put(key(i), Bytes::from(format!("v{i}"))).unwrap();
@@ -180,7 +180,7 @@ fn degraded_durability_recovers_prefix() {
         ..config()
     };
     {
-        let mut tree = BLsmTree::open(
+        let tree = BLsmTree::open(
             data.clone(),
             wal.clone(),
             1024,

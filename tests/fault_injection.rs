@@ -40,7 +40,7 @@ fn data_device_death_is_an_error_not_a_panic() {
         FaultMode::FailWrites,
         400,
     ));
-    let mut tree = BLsmTree::open(
+    let tree = BLsmTree::open(
         data,
         wal_medium.clone(),
         512,
@@ -91,7 +91,7 @@ fn torn_final_write_recovers_every_acknowledged_write() {
     ));
     let mut acknowledged = Vec::new();
     {
-        let mut tree = BLsmTree::open(
+        let tree = BLsmTree::open(
             data,
             wal_medium.clone(),
             512,
@@ -133,7 +133,7 @@ fn wal_device_death_fails_writes_cleanly() {
         FaultMode::FailWrites,
         200,
     ));
-    let mut tree = BLsmTree::open(data, wal, 512, config(), Arc::new(AppendOperator)).unwrap();
+    let tree = BLsmTree::open(data, wal, 512, config(), Arc::new(AppendOperator)).unwrap();
     let mut wrote = 0u64;
     let mut first_err = None;
     for i in 0..10_000u64 {
@@ -163,7 +163,7 @@ fn read_faults_are_propagated() {
     let wal: SharedDevice = Arc::new(MemDevice::new());
     // Build a tree on the raw medium first.
     {
-        let mut tree = BLsmTree::open(
+        let tree = BLsmTree::open(
             medium.clone(),
             wal.clone(),
             512,
@@ -205,7 +205,7 @@ fn read_faults_during_merges_are_propagated() {
     let wal_medium: SharedDevice = Arc::new(MemDevice::new());
     // Seed enough data that later merges must re-read C1.
     {
-        let mut tree = BLsmTree::open(
+        let tree = BLsmTree::open(
             medium.clone(),
             wal_medium.clone(),
             512,
@@ -227,7 +227,7 @@ fn read_faults_during_merges_are_propagated() {
     // (open itself spends a few dozen reads on manifest/footer/index).
     let flaky: SharedDevice =
         Arc::new(FaultyDevice::new(medium.clone(), FaultMode::FailReads, 200));
-    let mut tree = BLsmTree::open(
+    let tree = BLsmTree::open(
         flaky,
         wal_medium.clone(),
         64,
@@ -267,7 +267,7 @@ fn read_faults_during_scans_are_propagated() {
     let medium: SharedDevice = Arc::new(MemDevice::new());
     let wal: SharedDevice = Arc::new(MemDevice::new());
     {
-        let mut tree = BLsmTree::open(
+        let tree = BLsmTree::open(
             medium.clone(),
             wal.clone(),
             512,
@@ -318,7 +318,7 @@ fn torn_wal_write_keeps_all_prior_acknowledged_writes() {
     ));
     let mut acknowledged = Vec::new();
     {
-        let mut tree =
+        let tree =
             BLsmTree::open(data.clone(), wal, 512, config(), Arc::new(AppendOperator)).unwrap();
         for i in 0..50_000u64 {
             let id = (i * 13) % 4_000;

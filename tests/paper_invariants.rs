@@ -46,7 +46,7 @@ fn config(mem: usize) -> BLsmConfig {
 #[test]
 fn write_amplification_is_sqrt_bounded() {
     let mem = 512 << 10;
-    let (mut tree, data, _wal) = sim_tree(config(mem));
+    let (tree, data, _wal) = sim_tree(config(mem));
     let records = 18_000u64; // ~18 MB = 36 x C0
     let mut rng = 77u64;
     for _ in 0..records {
@@ -73,7 +73,7 @@ fn write_amplification_is_sqrt_bounded() {
 /// 1 + N/100 with N ≤ 3 components.
 #[test]
 fn read_amplification_is_one_seek() {
-    let (mut tree, data, _wal) = sim_tree(config(512 << 10));
+    let (tree, data, _wal) = sim_tree(config(512 << 10));
     let records = 8_000u64;
     for i in 0..records {
         let id = (i * 7919) % records;
@@ -104,7 +104,7 @@ fn read_amplification_is_one_seek() {
 /// keys.
 #[test]
 fn read_fanout_matches_appendix_a() {
-    let (mut tree, _data, _wal) = sim_tree(config(256 << 10));
+    let (tree, _data, _wal) = sim_tree(config(256 << 10));
     let records = 10_000u64;
     for i in 0..records {
         let id = (i * 7919) % records;
@@ -136,7 +136,7 @@ fn read_fanout_matches_appendix_a() {
 )]
 fn spring_gear_bounds_worst_case_write_latency() {
     let run = |kind: SchedulerKind| -> u64 {
-        let (mut tree, data, wal) = sim_tree(BLsmConfig {
+        let (tree, data, wal) = sim_tree(BLsmConfig {
             scheduler: kind,
             ..config(256 << 10)
         });
@@ -163,7 +163,7 @@ fn spring_gear_bounds_worst_case_write_latency() {
 /// no data-device reads at all once merging is quiesced.
 #[test]
 fn blind_writes_never_read_the_data_device() {
-    let (mut tree, data, _wal) = sim_tree(config(4 << 20)); // roomy C0: no merges
+    let (tree, data, _wal) = sim_tree(config(4 << 20)); // roomy C0: no merges
     for i in 0..500u64 {
         tree.put(format_key(i), make_value(i, 500)).unwrap();
     }
@@ -185,7 +185,7 @@ fn blind_writes_never_read_the_data_device() {
 /// keys probe the device only on Bloom false positives (~1%).
 #[test]
 fn checked_inserts_of_absent_keys_are_nearly_free() {
-    let (mut tree, data, _wal) = sim_tree(config(512 << 10));
+    let (tree, data, _wal) = sim_tree(config(512 << 10));
     let records = 6_000u64;
     for i in 0..records {
         let id = (i * 7919) % records;
