@@ -32,7 +32,7 @@
 //! `recovery` → `work_pending`. The memtable's internal `pass` → `tables`
 //! locks are encapsulated below `catalog` and never escape the crate.
 
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicU64, AtomicUsize};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -153,6 +153,31 @@ pub(crate) struct TreeShared {
     // only needs to hand out unique, monotone values; happens-before
     // for the entries themselves comes from the shard locks.
     pub(crate) next_seqno: AtomicU64,
+    /// Bytes writers were admitted for by `pace` but have not yet made
+    /// resident in `C0` (claimed before the WAL append + insert, released
+    /// when the insert lands or the write errors out). Feeds
+    /// `admitted_peak` — the quantity the strict-invariants cap check
+    /// actually uses.
+    // ordering: AcqRel RMWs — a claim precedes its C0 insert, so any
+    // observer that sees an insert's bytes in the C0 counters also sees
+    // its (possibly already released) claim.
+    pub(crate) admitted_inflight: AtomicUsize,
+    /// High-water mark of `admitted_inflight`: the most bytes ever
+    /// admitted-but-uninserted at once. Concurrent writers are each
+    /// admitted against the `C0` cap *before* inserting, so the buffer
+    /// can legitimately overshoot its budget by at most this much (the
+    /// overshoot persists in `C0` after the claims release, until a pass
+    /// drains it — hence a monotone peak, not the instantaneous value).
+    /// The strict-invariants cap check adds it to its slack, so the
+    /// permitted overshoot scales with the writers actually observed in
+    /// flight — N concurrent writers × their entry sizes — instead of a
+    /// fixed constant a large fleet or large values could exceed, while a
+    /// broken pacer that admits serially past the budget still trips the
+    /// check.
+    // ordering: AcqRel `fetch_max` before the claim's C0 insert, Acquire
+    // loads — an invariant check that observes an insert's bytes in C0
+    // also observes the peak that admitted it.
+    pub(crate) admitted_peak: AtomicUsize,
     /// Write-ahead log (`None` when durability is off). Its own mutex so
     /// concurrent writers serialize only the log append *and the paired
     /// `C0` insert* — that pairing is deliberate: because append+insert is

@@ -244,6 +244,12 @@ impl BLsmTree {
                         .as_mut()
                         .and_then(Iterator::next)
                         .ok_or_else(|| invariant_err("C1 entry vanished after peek"))??;
+                    // C0's version is *usually* the fresher one, but a
+                    // seqno-ticket race can leave C0 holding an older
+                    // seqno than C1 (the older concurrent write deferred
+                    // to a later pass while the newer one was published);
+                    // merge_versions resolves by seqno, not position, so
+                    // the newer value wins either way.
                     (k, vec![v0, e1.version])
                 }
                 Step::C0(k, v0) => (k, vec![v0]),

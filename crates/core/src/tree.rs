@@ -36,7 +36,7 @@
 //! atomically swapped component snapshot), `read.rs` (the read path),
 //! `merge.rs` (the merge machinery).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -173,6 +173,8 @@ impl BLsmTree {
             catalog: CatalogCell::new(ComponentCatalog::new(c1, c1_prime, c2)),
             c0: ConcurrentC0::new(),
             next_seqno: AtomicU64::new(next_seqno),
+            admitted_inflight: AtomicUsize::new(0),
+            admitted_peak: AtomicUsize::new(0),
             wal: Mutex::new(None),
             stats: TreeStats::default(),
             recovery: parking_lot::RwLock::new(RecoveryReport::default()),
@@ -400,6 +402,23 @@ impl BLsmTree {
             + entry.payload_len()
             + blsm_memtable::Memtable::new().approx_bytes().max(64)) as u64;
         self.pace(incoming)?;
+        // Claim the admitted bytes until the C0 insert lands and fold
+        // the claim into the concurrent-admission high-water mark (see
+        // `TreeShared::admitted_inflight`/`admitted_peak`); the guard
+        // releases the claim on every exit path, including WAL errors.
+        // ordering: AcqRel RMWs — see the fields' annotations.
+        let inflight_now = incoming as usize
+            + self
+                .shared
+                .admitted_inflight
+                .fetch_add(incoming as usize, Ordering::AcqRel);
+        self.shared
+            .admitted_peak
+            .fetch_max(inflight_now, Ordering::AcqRel);
+        let _claim = AdmissionClaim {
+            inflight: &self.shared.admitted_inflight,
+            bytes: incoming as usize,
+        };
         // ordering: AcqRel — the ticket RMW both observes the replayed
         // floor (Acquire) and publishes its claim to later readers of the
         // counter (Release); per-key ordering is restored by the
@@ -428,28 +447,36 @@ impl BLsmTree {
     /// sample" — there is never a record in the log whose C0 insert is
     /// still in flight (see `start_merge01`'s truncation argument).
     fn log_and_insert(&self, key: Bytes, v: Versioned) -> Result<()> {
-        let mut guard = self.shared.wal.lock();
+        // Ring full: checkpoint by completing the in-flight pass (which
+        // truncates), then retry. Concurrent writers can refill the ring
+        // between the checkpoint and the retry, so one retry is not
+        // enough under contention — loop while the log is drainable,
+        // bounded so a ring too small for even a quiet append still
+        // surfaces the error instead of spinning. The lock must drop
+        // around the checkpoint — it takes `merge` then `wal` (lock
+        // order).
+        const MAX_FULL_RETRIES: u32 = 8;
         let payload = encode_wal_record(&key, &v);
-        let full = match guard
-            .as_mut()
-            .ok_or_else(|| invariant_err("durable tree lost its wal"))?
-            .append(&payload)
-        {
-            Ok(_) => false,
-            // Ring full: checkpoint by completing the in-flight pass
-            // (which truncates), then retry once. The lock must drop
-            // first — checkpoint takes `merge` then `wal` (lock order).
-            Err(StorageError::OutOfSpace { .. }) => true,
-            Err(e) => return Err(e),
-        };
-        if full {
-            drop(guard);
-            self.checkpoint()?;
-            guard = self.shared.wal.lock();
-            guard
+        let mut guard = self.shared.wal.lock();
+        let mut attempts = 0;
+        loop {
+            match guard
                 .as_mut()
-                .ok_or_else(|| invariant_err("wal vanished during checkpoint"))?
-                .append(&payload)?;
+                .ok_or_else(|| invariant_err("durable tree lost its wal"))?
+                .append(&payload)
+            {
+                Ok(_) => break,
+                Err(e @ StorageError::OutOfSpace { .. }) => {
+                    if attempts >= MAX_FULL_RETRIES {
+                        return Err(e);
+                    }
+                    attempts += 1;
+                    drop(guard);
+                    self.checkpoint()?;
+                    guard = self.shared.wal.lock();
+                }
+                Err(e) => return Err(e),
+            }
         }
         let wal = guard
             .as_mut()
@@ -756,14 +783,20 @@ impl BLsmTree {
 
         // C0 hard cap (§3.1): pacing must never let the write buffer
         // outgrow its budget. Concurrent writers are each admitted
-        // against the cap *before* inserting, so N simultaneous writers
-        // can overshoot by up to N-1 entries — allow a small transient
-        // slack rather than flag that race as corruption.
-        let slack = 64 << 10;
-        if self.c0_bytes() > self.shared.config.mem_budget + slack {
+        // against the cap *before* inserting, so the buffer can
+        // legitimately overshoot by up to the *peak* bytes ever admitted
+        // but uninserted at once (the overshoot persists in C0 after the
+        // writers land, until a pass drains it). `admitted_peak` measures
+        // exactly that, so the slack scales with the writers actually
+        // observed in flight (N × entry size) instead of a fixed constant
+        // a large fleet or large values could exceed — while a broken
+        // pacer admitting serially past the budget still trips the check.
+        // The small base covers replay-time inserts that bypass pacing.
+        let c0_bytes = self.c0_bytes();
+        let slack = (64 << 10) + self.shared.admitted_peak.load(Ordering::Acquire);
+        if c0_bytes > self.shared.config.mem_budget + slack {
             return Err(violated(format!(
-                "C0 holds {} bytes, budget is {}",
-                self.c0_bytes(),
+                "C0 holds {c0_bytes} bytes, budget is {} (+{slack} admission slack)",
                 self.shared.config.mem_budget
             )));
         }
@@ -887,6 +920,24 @@ impl BLsmTree {
 }
 
 use crate::progress::MergeProgress;
+
+/// RAII release of a writer's admitted-but-uninserted byte claim (see
+/// `TreeShared::admitted_inflight`): dropping it — on completion or on
+/// any error path between admission and the `C0` insert — returns the
+/// bytes to the pool the strict-invariants cap check measures.
+struct AdmissionClaim<'a> {
+    // ordering: AcqRel `fetch_sub` on drop — releases the claim taken by
+    // the paired `fetch_add`; see `TreeShared::admitted_inflight`.
+    inflight: &'a AtomicUsize,
+    bytes: usize,
+}
+
+impl Drop for AdmissionClaim<'_> {
+    fn drop(&mut self) {
+        // ordering: AcqRel — see `TreeShared::admitted_inflight`.
+        self.inflight.fetch_sub(self.bytes, Ordering::AcqRel);
+    }
+}
 
 /// Surfaces a violated internal invariant as a recoverable error instead
 /// of a panic; callers of the public API see `StorageError::Corruption`.

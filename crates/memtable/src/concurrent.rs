@@ -2,9 +2,11 @@
 //!
 //! [`ConcurrentC0`] preserves the exact semantics of
 //! [`SnowshovelBuffer`](crate::SnowshovelBuffer) — newest-first version
-//! chains, pass/drain cursor monotonicity, retained-entry durability —
-//! while letting writer threads insert concurrently instead of funneling
-//! through one buffer-wide write lock:
+//! chains (ordered by *seqno*, the authoritative freshness under
+//! concurrent writers — see [`ConcurrentC0::version_chain`]), pass/drain
+//! cursor monotonicity, retained-entry durability — while letting writer
+//! threads insert concurrently instead of funneling through one
+//! buffer-wide write lock:
 //!
 //! * The keyspace is split into [`C0_SHARDS`] **key-range shards** (by the
 //!   top nibble of the first key byte, so shard `i`'s keys all sort before
@@ -277,42 +279,54 @@ impl ConcurrentC0 {
         Self::adjust(ctr, before, after);
     }
 
-    /// Looks up `key`: first hit along `behind` → `current` → `retained`,
-    /// cloned out of the shard lock.
+    /// Looks up `key`: the **newest resident version by seqno** across
+    /// `behind`/`current`/`retained`, cloned out of the shard lock. Table
+    /// position is not trusted for freshness: writers race seqno-ticket
+    /// allocation against routing, so an older ticket can land in `behind`
+    /// after a newer one was drained to `retained` (ties — impossible with
+    /// unique tickets — would fall to the `behind` → `current` →
+    /// `retained` order).
     pub fn get(&self, key: &[u8]) -> Option<Versioned> {
         let t = self.shards[shard_of(key)].tables.read();
-        t.behind
-            .get(key)
-            .or_else(|| t.current.get(key))
-            .or_else(|| t.retained.get(key))
+        [t.behind.get(key), t.current.get(key), t.retained.get(key)]
+            .into_iter()
+            .flatten()
+            .reduce(|best, v| if v.seqno > best.seqno { v } else { best })
             .cloned()
     }
 
-    /// All resident versions of `key`, newest first (`behind` → `current`
-    /// → `retained`), cloned out of the shard lock. A key's versions all
-    /// live in one shard, so a single shard read lock yields a consistent
-    /// chain; callers pair this with an epoch check to pin it against a
-    /// concurrent catalog publish.
+    /// All resident versions of `key`, **newest first by seqno** (table
+    /// order `behind` → `current` → `retained` breaks ties), cloned out
+    /// of the shard lock. A key's versions all live in one shard, so a
+    /// single shard read lock yields a consistent chain; callers pair
+    /// this with an epoch check to pin it against a concurrent catalog
+    /// publish. Sorting by seqno (not table position) keeps reads
+    /// monotone when a racing older ticket lands in `behind` after a
+    /// newer version was drained to `retained`.
     pub fn version_chain(&self, key: &[u8]) -> Vec<Versioned> {
         let t = self.shards[shard_of(key)].tables.read();
-        t.behind
+        let mut chain: Vec<Versioned> = t
+            .behind
             .get(key)
             .into_iter()
             .chain(t.current.get(key))
             .chain(t.retained.get(key))
             .cloned()
-            .collect()
+            .collect();
+        chain.sort_by_key(|v| std::cmp::Reverse(v.seqno)); // stable: table order breaks ties
+        chain
     }
 
     /// Copies every resident entry with `from ≤ key` (`< to` when given)
     /// in key order, with the same all-versions newest-first tie
     /// semantics as [`SnowshovelBuffer::range_from`]: a key present in
-    /// more than one table yields every copy, fresher first. Shards are
-    /// visited in index order, which *is* key order under range sharding.
+    /// more than one table yields every copy, **fresher first by seqno**
+    /// (table order breaks ties). Shards are visited in index order,
+    /// which *is* key order under range sharding.
     ///
     /// [`SnowshovelBuffer::range_from`]: crate::SnowshovelBuffer::range_from
     pub fn range_rows(&self, from: &[u8], to: Option<&[u8]>) -> Vec<(Bytes, Versioned)> {
-        let mut out = Vec::new();
+        let mut out: Vec<(Bytes, Versioned)> = Vec::new();
         for shard in &self.shards[shard_of(from)..] {
             let t = shard.tables.read();
             let iter = DualIter {
@@ -328,6 +342,15 @@ impl ConcurrentC0 {
                     return out;
                 }
                 out.push((k.clone(), v.clone()));
+                // Table position is not authoritative for freshness (see
+                // `version_chain`): restore seqno-descending order within
+                // the equal-key run (at most three entries, already
+                // adjacent — DualIter yields a key's tables together).
+                let mut i = out.len() - 1;
+                while i > 0 && out[i - 1].0 == out[i].0 && out[i - 1].1.seqno < out[i].1.seqno {
+                    out.swap(i - 1, i);
+                    i -= 1;
+                }
             }
         }
         out
@@ -805,6 +828,48 @@ mod tests {
         assert_eq!(drained.len(), 800);
         assert!(drained.windows(2).all(|w| w[0] < w[1]), "key-order drain");
         buf.end_pass();
+    }
+
+    // A writer claims its seqno ticket before inserting, so an older
+    // ticket can arrive after a newer version of the same key was drained
+    // to `retained` — it then routes to `behind`. Reads must stay
+    // seqno-monotone regardless of which table holds which version.
+    #[test]
+    fn older_ticket_behind_newer_retained_reads_stay_monotone() {
+        let buf = ConcurrentC0::new();
+        buf.insert(b("k"), Versioned::put(6, b("new")), &AppendOperator);
+        buf.begin_pass(true);
+        buf.drain_guard().drain_next().unwrap(); // k@6 to retained, cursor >= "k"
+                                                 // The slow writer with the older ticket lands now: routes behind.
+        buf.insert(b("k"), Versioned::put(5, b("old")), &AppendOperator);
+        assert_eq!(buf.get(b"k").unwrap().seqno, 6, "newest seqno wins");
+        let chain: Vec<u64> = buf.version_chain(b"k").iter().map(|v| v.seqno).collect();
+        assert_eq!(chain, vec![6, 5], "chain is seqno-descending");
+        let rows: Vec<u64> = buf
+            .range_rows(b"", None)
+            .into_iter()
+            .map(|(_, v)| v.seqno)
+            .collect();
+        assert_eq!(rows, vec![6, 5], "range ties are seqno-descending");
+    }
+
+    // Same inversion, capped-pass shape: the cursor moved past "k" via a
+    // C1-side emission while k@6 stayed undrained in `current`, then the
+    // older ticket k@5 landed in `behind`. The end-of-pass fold must pick
+    // the newer version, not whichever table it presumes fresher.
+    #[test]
+    fn capped_pass_fold_picks_newest_seqno() {
+        let buf = ConcurrentC0::new();
+        buf.insert(b("k"), Versioned::put(6, b("new")), &AppendOperator);
+        buf.begin_pass(true);
+        buf.drain_guard().advance_cursor(&b("k")); // merge emitted a C1 key ≥ "k"
+        buf.insert(b("k"), Versioned::put(5, b("old")), &AppendOperator); // → behind
+        let (displaced, leftover) = buf.end_capped_pass_with(&AppendOperator, || ());
+        drop(displaced);
+        assert!(leftover);
+        let v = buf.get(b"k").unwrap();
+        assert_eq!(v.seqno, 6);
+        assert_eq!(v.entry, crate::types::Entry::Put(b("new")));
     }
 
     #[test]

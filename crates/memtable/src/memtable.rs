@@ -155,16 +155,24 @@ impl Memtable {
         self.map.insert(key, v);
     }
 
-    /// Inserts an entry known to be *older* than anything resident for the
-    /// key: the resident entry wins, with deltas resolved through
+    /// Inserts an entry *presumed older* than anything resident for the
+    /// key, resolving the pair through
     /// [`merge_versions`](crate::merge_versions). Used when a capped merge
-    /// pass returns undrained entries to the buffer.
+    /// pass returns undrained entries to the buffer, and by the
+    /// seqno-racing path of [`Memtable::insert`]. The presumption is not
+    /// trusted: concurrent writers race seqno-ticket allocation against
+    /// table routing, so the incoming entry can in fact be the newer one —
+    /// the winner is picked by seqno, resident-first on ties.
     pub fn insert_older(&mut self, key: Bytes, older: Versioned, op: &dyn MergeOperator) {
         let folded = match self.map.get(&key) {
             None => Some(older),
             Some(resident) => {
-                debug_assert!(resident.seqno >= older.seqno);
-                crate::types::merge_versions(op, &[resident.clone(), older], false)
+                let pair = if resident.seqno >= older.seqno {
+                    [resident.clone(), older]
+                } else {
+                    [older, resident.clone()]
+                };
+                crate::types::merge_versions(op, &pair, false)
             }
         };
         let Some(folded) = folded else { return };

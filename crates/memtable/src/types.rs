@@ -163,7 +163,14 @@ impl MergeOperator for OverwriteOperator {
 /// Resolves all versions of one key into the entry a merge (or read)
 /// should emit.
 ///
-/// `versions` must be ordered newest-first (i.e. by component freshness).
+/// Freshness is decided by **seqno**, not slice position. Callers supply
+/// versions in component order (newest component first), which is almost
+/// always seqno order too — but concurrent writers race seqno-ticket
+/// allocation against table routing, so an older ticket can land in a
+/// fresher table (and from there, a fresher component). The already-sorted
+/// common case pays only a linear scan; an inverted chain is re-sorted by
+/// seqno, with slice position breaking ties (fresher component first).
+///
 /// Implements §3.1.1's read semantics: walk newest→oldest collecting
 /// deltas, stop at the first base record or tombstone. When `bottom` is
 /// true the result lands in the largest component: tombstones are
@@ -175,7 +182,21 @@ pub fn merge_versions(
     bottom: bool,
 ) -> Option<Versioned> {
     debug_assert!(!versions.is_empty());
-    let newest_seq = versions[0].seqno;
+    if versions.windows(2).all(|w| w[0].seqno >= w[1].seqno) {
+        return merge_sorted_versions(op, versions.iter(), bottom);
+    }
+    let mut by_seqno: Vec<&Versioned> = versions.iter().collect();
+    by_seqno.sort_by_key(|v| std::cmp::Reverse(v.seqno)); // stable: position breaks ties
+    merge_sorted_versions(op, by_seqno.into_iter(), bottom)
+}
+
+/// The resolution walk over a chain already in seqno-descending order.
+fn merge_sorted_versions<'a>(
+    op: &dyn MergeOperator,
+    versions: impl Iterator<Item = &'a Versioned> + Clone,
+    bottom: bool,
+) -> Option<Versioned> {
+    let newest_seq = versions.clone().next()?.seqno;
     let mut deltas: Vec<&[u8]> = Vec::new();
     for v in versions {
         match &v.entry {
