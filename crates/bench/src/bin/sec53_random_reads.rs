@@ -13,8 +13,8 @@ use std::sync::Arc;
 use blsm::{AppendOperator, BLsmConfig, BLsmTree, Durability};
 use blsm_bench::setup::{make_blsm, make_btree, make_leveldb, Scale};
 use blsm_bench::{
-    fmt_f, parse_json_path, parse_threads, print_table, read_scaling_rows, write_json_report,
-    write_scaling_rows, Json,
+    fmt_f, make_sharded_mem, parse_json_path, parse_shards, parse_threads, print_table,
+    read_scaling_rows, sharded_write_scaling_rows, write_json_report, write_scaling_rows, Json,
 };
 use blsm_storage::{DiskModel, MemDevice, SharedDevice};
 use blsm_ycsb::{KvEngine, LoadOrder, OpMix, Runner, Workload};
@@ -187,7 +187,40 @@ fn main() {
         &wrows,
     );
 
+    // Sharded serving tier (wall clock): 4 writers, put-only, against a
+    // `ShardedBLsm` at each `--shards` count — per-shard WALs, merge
+    // schedulers and backpressure behind the key-range router
+    // (DESIGN.md §16). On one hardware thread this prices the routing
+    // layer; throughput should stay roughly flat as shards grow.
+    let shard_counts = parse_shards(&[1, 2, 4]);
+    let spoints = sharded_write_scaling_rows(make_sharded_mem, 100, write_ops, &shard_counts, 4, 0);
+    let srows: Vec<Vec<String>> = spoints
+        .iter()
+        .map(|p| {
+            vec![
+                p.shards.to_string(),
+                p.threads.to_string(),
+                fmt_f(p.puts_per_sec),
+            ]
+        })
+        .collect();
+    print_table(
+        "Sec 5.3 extension: sharded serving tier, concurrent put-only writes, wall clock",
+        &["shards", "writer threads", "puts/s"],
+        &srows,
+    );
+
     if let Some(path) = json_path {
+        let sharded_scaling = spoints
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("shards", Json::Int(p.shards as u64)),
+                    ("threads", Json::Int(p.threads as u64)),
+                    ("puts_per_sec", Json::Num(p.puts_per_sec)),
+                ])
+            })
+            .collect();
         let write_scaling = wpoints
             .iter()
             .map(|p| {
@@ -224,6 +257,7 @@ fn main() {
                 "concurrent_write_scaling_put_only",
                 Json::Arr(write_scaling),
             ),
+            ("sharded_write_scaling_put_only", Json::Arr(sharded_scaling)),
         ]);
         write_json_report(&path, &report);
     }

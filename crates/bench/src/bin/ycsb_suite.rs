@@ -15,8 +15,8 @@ use std::sync::Arc;
 use blsm::{AppendOperator, BLsmConfig, BLsmTree, Durability};
 use blsm_bench::setup::{make_blsm, make_btree, make_leveldb, Scale};
 use blsm_bench::{
-    fmt_f, parse_json_path, parse_threads, print_table, read_scaling_rows, write_json_report,
-    write_scaling_rows, Json,
+    fmt_f, make_sharded_mem, parse_json_path, parse_shards, parse_threads, print_table,
+    read_scaling_rows, sharded_write_scaling_rows, write_json_report, write_scaling_rows, Json,
 };
 use blsm_server::RemoteKv;
 use blsm_storage::{DiskModel, MemDevice, SharedDevice};
@@ -260,7 +260,42 @@ fn main() {
         &wrows,
     );
 
+    // Sharded serving tier (wall clock): 4 threads on the 50/50 mix
+    // against a `ShardedBLsm` at each `--shards` count — every op pays
+    // the key-range router (DESIGN.md §16) before reaching its shard's
+    // `&self` write path or read view. One hardware thread: this prices
+    // routing, it cannot show parallel speedup (see BENCH_7.json).
+    let shard_counts = parse_shards(&[1, 2, 4]);
+    let spoints = sharded_write_scaling_rows(make_sharded_mem, 100, write_ops, &shard_counts, 4, 2);
+    let srows: Vec<Vec<String>> = spoints
+        .iter()
+        .map(|p| {
+            vec![
+                p.shards.to_string(),
+                p.threads.to_string(),
+                fmt_f(p.puts_per_sec),
+                fmt_f(p.gets_per_sec),
+            ]
+        })
+        .collect();
+    print_table(
+        "YCSB extension: sharded serving tier, concurrent 50/50 put/get, wall clock",
+        &["shards", "threads", "puts/s", "gets/s"],
+        &srows,
+    );
+
     if let Some(path) = json_path {
+        let sharded_scaling = spoints
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("shards", Json::Int(p.shards as u64)),
+                    ("threads", Json::Int(p.threads as u64)),
+                    ("puts_per_sec", Json::Num(p.puts_per_sec)),
+                    ("gets_per_sec", Json::Num(p.gets_per_sec)),
+                ])
+            })
+            .collect();
         let write_scaling = wpoints
             .iter()
             .map(|p| {
@@ -300,6 +335,7 @@ fn main() {
             ("workloads", Json::Arr(workloads)),
             ("concurrent_serving", Json::Arr(scaling)),
             ("concurrent_write_scaling_50_50", Json::Arr(write_scaling)),
+            ("sharded_write_scaling_50_50", Json::Arr(sharded_scaling)),
         ]);
         write_json_report(&path, &report);
     }

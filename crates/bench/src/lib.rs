@@ -60,6 +60,30 @@ pub fn parse_threads(default: &[usize]) -> Vec<usize> {
     default.to_vec()
 }
 
+/// Parses `--shards N[,M,...]` from the process arguments: the shard
+/// counts the sharded write-scaling section runs at. Returns `default`
+/// when the flag is absent or unparseable.
+pub fn parse_shards(default: &[usize]) -> Vec<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let list = if arg == "--shards" {
+            args.next()
+        } else {
+            arg.strip_prefix("--shards=").map(str::to_string)
+        };
+        let Some(list) = list else { continue };
+        let parsed: Vec<usize> = list
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .collect();
+        if !parsed.is_empty() {
+            return parsed;
+        }
+    }
+    default.to_vec()
+}
+
 /// One thread count's result from [`read_scaling_rows`].
 #[derive(Debug, Clone)]
 pub struct ScalingPoint {
@@ -251,6 +275,128 @@ pub fn write_scaling_rows(
                 .shutdown()
                 .unwrap_or_else(|e| panic!("shutdown: {e}")),
         );
+    }
+    points
+}
+
+/// A fresh `n`-shard [`blsm::ShardedBLsm`] over in-memory devices with
+/// even two-byte boundaries, sized like the single-tree write-scaling
+/// fixtures (generous `C0` budget, degraded durability) so the sharded
+/// sections measure routing and dispatch, not log or merge stalls.
+#[must_use]
+pub fn make_sharded_mem(n: usize) -> blsm::ShardedBLsm {
+    use blsm_storage::{MemDevice, SharedDevice};
+    let bounds = if n == 1 {
+        Vec::new()
+    } else {
+        blsm::ShardedBLsm::even_bounds(n)
+    };
+    blsm::ShardedBLsm::open_with_devices(
+        Arc::new(MemDevice::new()) as SharedDevice,
+        bounds,
+        |_| {
+            Ok((
+                Arc::new(MemDevice::new()) as SharedDevice,
+                Arc::new(MemDevice::new()) as SharedDevice,
+            ))
+        },
+        &blsm::ShardedConfig {
+            tree: blsm::BLsmConfig {
+                mem_budget: 256 << 20,
+                durability: blsm::Durability::None,
+                wal_capacity: 64 << 20,
+                ..Default::default()
+            },
+            pool_pages: 2048,
+            quantum: 1 << 20,
+        },
+        &(Arc::new(blsm::AppendOperator) as Arc<dyn blsm::MergeOperator>),
+    )
+    .unwrap_or_else(|e| panic!("open {n}-shard store: {e}"))
+}
+
+/// One shard count's result from [`sharded_write_scaling_rows`].
+#[derive(Debug, Clone)]
+pub struct ShardScalingPoint {
+    /// Shard count of the [`blsm::ShardedBLsm`] under test.
+    pub shards: usize,
+    /// Writer thread count (fixed across shard counts).
+    pub threads: usize,
+    /// Wall-clock write throughput summed across all writers.
+    pub puts_per_sec: f64,
+    /// Wall-clock read throughput summed across all writers (0 for the
+    /// put-only mix).
+    pub gets_per_sec: f64,
+}
+
+/// Wall-clock concurrent writes against the sharded serving tier
+/// (DESIGN.md §16) at each shard count in `shard_counts`.
+///
+/// For each shard count, builds a fresh store via `make(n)` and runs
+/// `threads` writer threads against it: puts, with every
+/// `1/read_every`-th operation a point read through a
+/// [`blsm::ShardedReadView`] clone instead (`read_every = 0` →
+/// put-only). Keys come from [`hashed_key`], whose leading hash bytes
+/// spread uniformly over [`blsm::ShardedBLsm::even_bounds`] boundaries.
+///
+/// On a single hardware thread this measures the *cost* of the routing
+/// layer (a boundary binary search and per-shard dispatch on every op),
+/// not its parallel speedup: aggregate throughput should stay roughly
+/// flat from 1 to N shards. The structural win — per-shard WALs, merge
+/// schedulers, and backpressure that isolate a hot range's stalls — is
+/// verified by tests, not timed (see BENCH_7.json's note).
+pub fn sharded_write_scaling_rows(
+    make: impl Fn(usize) -> blsm::ShardedBLsm,
+    value_size: usize,
+    ops_per_thread: u64,
+    shard_counts: &[usize],
+    threads: usize,
+    read_every: u64,
+) -> Vec<ShardScalingPoint> {
+    let mut points = Vec::with_capacity(shard_counts.len());
+    for &n in shard_counts {
+        let store = Arc::new(make(n));
+        let start = std::time::Instant::now();
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let store = store.clone();
+                let view = store.read_view();
+                std::thread::spawn(move || {
+                    let base = t as u64 * ops_per_thread;
+                    let mut gets = 0u64;
+                    for i in 0..ops_per_thread {
+                        let id = base + i;
+                        if read_every != 0 && i % read_every == 1 {
+                            // Read back a key this writer already wrote.
+                            view.get(&hashed_key(base + i / 2))
+                                .unwrap_or_else(|e| panic!("read failed: {e}"));
+                            gets += 1;
+                        } else {
+                            store
+                                .put(hashed_key(id), make_value(id, value_size))
+                                .unwrap_or_else(|e| panic!("write failed: {e}"));
+                        }
+                    }
+                    gets
+                })
+            })
+            .collect();
+        let gets: u64 = handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| panic!("writer panicked")))
+            .sum();
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        let puts = threads as u64 * ops_per_thread - gets;
+        points.push(ShardScalingPoint {
+            shards: n,
+            threads,
+            puts_per_sec: puts as f64 / elapsed,
+            gets_per_sec: gets as f64 / elapsed,
+        });
+        Arc::try_unwrap(store)
+            .unwrap_or_else(|_| panic!("writer threads still hold the store"))
+            .shutdown()
+            .unwrap_or_else(|e| panic!("shutdown: {e}"));
     }
     points
 }

@@ -200,16 +200,22 @@ impl TreeShared {
     /// and STATS command read. Lock-free: `C0` occupancy is an atomic
     /// counter read.
     pub(crate) fn stats_snapshot(&self) -> TreeStatsSnapshot {
-        let c0_bytes = self.c0.approx_bytes() as u64;
         let mut snap = self.stats.snapshot();
-        snap.backpressure = BackpressureLevel::from_occupancy(
-            c0_bytes,
+        snap.backpressure = self.backpressure_level();
+        snap.recovery = *self.recovery.read();
+        snap
+    }
+
+    /// Just the backpressure level — one atomic `C0` occupancy read plus
+    /// arithmetic, for per-write fast paths (the merge-kick gate) that
+    /// cannot afford the full counter snapshot.
+    pub(crate) fn backpressure_level(&self) -> BackpressureLevel {
+        BackpressureLevel::from_occupancy(
+            self.c0.approx_bytes() as u64,
             self.config.mem_budget as u64,
             self.config.low_water,
             self.config.high_water,
-        );
-        snap.recovery = *self.recovery.read();
-        snap
+        )
     }
 }
 

@@ -39,7 +39,9 @@ mod meta;
 mod partitioned;
 mod progress;
 mod read;
+mod route;
 mod sched;
+mod sharded;
 mod stats;
 mod threaded;
 mod tree;
@@ -52,6 +54,7 @@ pub use sched::{
     BackpressureLevel, GearScheduler, MergeScheduler, NaiveScheduler, SchedInputs,
     SpringGearScheduler, WorkPlan,
 };
+pub use sharded::{DegradedShard, ShardedBLsm, ShardedConfig, ShardedReadView};
 pub use stats::{RecoveryReport, TreeStats, TreeStatsSnapshot};
 pub use threaded::ThreadedBLsm;
 pub use tree::BLsmTree;

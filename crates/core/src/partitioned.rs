@@ -21,6 +21,25 @@
 //! key order. Partition boundaries are fixed at creation — dynamic
 //! re-partitioning belongs to systems like partitioned exponential
 //! files (ref. \[16\]) and is out of scope here, as it was for the paper.
+//!
+//! # Relation to [`crate::ShardedBLsm`]
+//!
+//! Two deliberately distinct layers share one keyspace-splitting idea
+//! (and share its arithmetic through [`crate::route`]):
+//!
+//! * **This module** is the *in-process scheduling experiment*: `&mut
+//!   self`, single-threaded, one coordinated partition scheduler
+//!   driving merge quanta across partitions (`external_pacing`), so the
+//!   §2.3.2/§4.2.2 skew arguments can be measured deterministically.
+//! * **[`crate::ShardedBLsm`]** is the *durable serving tier*: each
+//!   shard is a whole engine behind [`crate::ThreadedBLsm`] — its own
+//!   WAL, directory, merge thread and recovery — plus a persisted shard
+//!   manifest and per-shard backpressure for the network router.
+//!
+//! Neither subsumes the other: collapsing this facade into the sharded
+//! tier would lose the deterministic coordinated-scheduler experiments,
+//! and building the serving tier on `&mut self` partitions would
+//! serialize all shards behind one borrow.
 
 use std::sync::Arc;
 
@@ -87,7 +106,7 @@ impl PartitionedBLsm {
         coordinated: bool,
     ) -> Result<PartitionedBLsm> {
         assert!(
-            bounds.windows(2).all(|w| w[0] < w[1]),
+            crate::route::bounds_are_sorted(&bounds),
             "bounds must be sorted"
         );
         config.external_pacing = coordinated;
@@ -140,9 +159,10 @@ impl PartitionedBLsm {
         self.partitions.len()
     }
 
-    /// Index of the partition owning `key`.
+    /// Index of the partition owning `key` (shared routing arithmetic,
+    /// see [`crate::route`]).
     pub fn partition_for(&self, key: &[u8]) -> usize {
-        self.bounds.partition_point(|b| b.as_ref() <= key)
+        crate::route::shard_for(&self.bounds, key)
     }
 
     /// Access a partition's tree (diagnostics, per-partition stats).

@@ -1,0 +1,114 @@
+//! Key-range routing shared by the two partitioned layers.
+//!
+//! Both [`crate::PartitionedBLsm`] (the in-process partition-scheduler
+//! experiment of §3.3) and [`crate::ShardedBLsm`] (the durable serving
+//! tier with per-shard WALs) split one keyspace over N trees by sorted
+//! boundary keys. The routing arithmetic — which tree owns a key, which
+//! trees a range touches, how to cut a keyspace evenly — is identical,
+//! so it lives here once.
+//!
+//! The boundary convention: `bounds[i]` is the *inclusive lower bound*
+//! of partition `i + 1`; partition 0 covers everything below
+//! `bounds[0]`. `bounds.len() + 1` partitions cover the whole keyspace
+//! with no gaps.
+
+use bytes::Bytes;
+
+/// Index of the partition owning `key` under sorted `bounds`.
+pub(crate) fn shard_for(bounds: &[Bytes], key: &[u8]) -> usize {
+    bounds.partition_point(|b| b.as_ref() <= key)
+}
+
+/// Inclusive range of partition indexes a scan of `[from, to)` can
+/// touch (`to = None` = unbounded above). The upper index is the
+/// partition owning the last possible key of the range.
+pub(crate) fn shards_overlapping(
+    bounds: &[Bytes],
+    from: &[u8],
+    to: Option<&[u8]>,
+) -> (usize, usize) {
+    let first = shard_for(bounds, from);
+    let last = match to {
+        // `to` is exclusive: a range ending exactly on a boundary key
+        // never reads the partition that starts there.
+        Some(to) => bounds.partition_point(|b| b.as_ref() < to),
+        None => bounds.len(),
+    };
+    (first, last.max(first))
+}
+
+/// Validates that `bounds` are strictly sorted (the precondition every
+/// router relies on for binary-search routing).
+pub(crate) fn bounds_are_sorted(bounds: &[Bytes]) -> bool {
+    bounds.windows(2).all(|w| w[0] < w[1])
+}
+
+/// `n - 1` boundaries cutting the keyspace into `n` byte-wise even
+/// shards: boundary `i` is the big-endian two-byte value
+/// `floor(65536 * i / n)`. Even cuts are the right default for hashed
+/// or uniformly distributed keys; callers with skewed keyspaces pass
+/// their own boundaries.
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or exceeds 65536 (two bytes cannot cut finer).
+pub(crate) fn even_bounds(n: usize) -> Vec<Bytes> {
+    assert!(
+        (1..=65_536).contains(&n),
+        "shard count must be in 1..=65536"
+    );
+    (1..n)
+        .map(|i| {
+            let cut = ((i as u64) << 16) / n as u64;
+            Bytes::copy_from_slice(&(cut as u16).to_be_bytes())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn routing_respects_inclusive_lower_bounds() {
+        let bounds = vec![Bytes::from_static(b"g"), Bytes::from_static(b"p")];
+        assert_eq!(shard_for(&bounds, b""), 0);
+        assert_eq!(shard_for(&bounds, b"f"), 0);
+        assert_eq!(shard_for(&bounds, b"g"), 1);
+        assert_eq!(shard_for(&bounds, b"o"), 1);
+        assert_eq!(shard_for(&bounds, b"p"), 2);
+        assert_eq!(shard_for(&bounds, b"zz"), 2);
+    }
+
+    #[test]
+    fn overlap_covers_exactly_the_touched_shards() {
+        let bounds = vec![Bytes::from_static(b"g"), Bytes::from_static(b"p")];
+        assert_eq!(shards_overlapping(&bounds, b"a", Some(b"c")), (0, 0));
+        assert_eq!(shards_overlapping(&bounds, b"a", Some(b"h")), (0, 1));
+        assert_eq!(shards_overlapping(&bounds, b"a", None), (0, 2));
+        // An exclusive `to` equal to a boundary stops short of the
+        // partition that starts there.
+        assert_eq!(shards_overlapping(&bounds, b"a", Some(b"g")), (0, 0));
+        assert_eq!(shards_overlapping(&bounds, b"h", Some(b"q")), (1, 2));
+        // Degenerate (empty) range still yields a well-formed pair.
+        assert_eq!(shards_overlapping(&bounds, b"q", Some(b"a")), (2, 2));
+    }
+
+    #[test]
+    fn even_bounds_cut_the_keyspace() {
+        assert!(even_bounds(1).is_empty());
+        let b4 = even_bounds(4);
+        assert_eq!(b4.len(), 3);
+        assert!(bounds_are_sorted(&b4));
+        assert_eq!(b4[0].as_ref(), &[0x40, 0x00]);
+        assert_eq!(b4[1].as_ref(), &[0x80, 0x00]);
+        assert_eq!(b4[2].as_ref(), &[0xC0, 0x00]);
+        // Every first byte routes somewhere, and the spread is even.
+        let mut counts = vec![0usize; 4];
+        for byte in 0..=255u8 {
+            counts[shard_for(&b4, &[byte, 0])] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 64), "{counts:?}");
+    }
+}

@@ -119,9 +119,24 @@ impl ThreadedBLsm {
         out
     }
 
-    /// Wakes the merge thread.
+    /// Wakes the merge thread — unless the tree is idle.
+    ///
+    /// Below the low watermark no scheduler starts a merge (naive and
+    /// spring-and-gear wait for the hard cap resp. high water; gear's
+    /// fill unit is at least `low_water * mem_budget`), so waking the
+    /// merge thread would buy a futex syscall and a context switch per
+    /// write just to find nothing to do. That cost is invisible with one
+    /// busy tree (the merge thread is rarely parked) but dominates with
+    /// N mostly-idle shards on few cores. Skipped wakes are bounded by
+    /// the merge loop's 10 ms wait timeout, which runs `maintenance`
+    /// regardless; and a merge already in flight keeps the loop in its
+    /// busy phase (it only parks once no merge is active), so nothing
+    /// can stall behind a skipped kick.
     fn kick(&self) {
         let shared = self.shared();
+        if shared.tree.backpressure() == crate::sched::BackpressureLevel::Idle {
+            return;
+        }
         let mut pending = shared.work_pending.lock();
         *pending = true;
         shared.work_cv.notify_one();

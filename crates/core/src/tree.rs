@@ -304,6 +304,13 @@ impl BLsmTree {
         self.shared.c0.approx_bytes()
     }
 
+    /// The live spring-and-gear backpressure level, from one atomic `C0`
+    /// occupancy read — the cheap form of the field in
+    /// [`crate::ReadView::stats`], for per-write fast paths.
+    pub fn backpressure(&self) -> crate::sched::BackpressureLevel {
+        self.shared.backpressure_level()
+    }
+
     /// The next sequence number the tree would allocate — an atomic
     /// counter read, no locks. Monotone non-decreasing over the life of
     /// an open tree (the concurrency hammer asserts exactly that).

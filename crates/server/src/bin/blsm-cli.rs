@@ -101,6 +101,23 @@ fn main() {
                 s.wal_torn_tail_bytes,
                 s.manifest_rolled_back
             );
+            for sh in &s.shards {
+                println!(
+                    "shard={} serving={} backpressure={:?} writes={} gets={} \
+                     merges01={} admitted={} delayed={} rejected={} \
+                     wal_records_replayed={}",
+                    sh.shard,
+                    sh.serving,
+                    sh.backpressure,
+                    sh.writes,
+                    sh.gets,
+                    sh.merges01,
+                    sh.admitted,
+                    sh.delayed,
+                    sh.rejected,
+                    sh.wal_records_replayed
+                );
+            }
         }),
         "scrub" => client.scrub().map(|r| {
             println!(

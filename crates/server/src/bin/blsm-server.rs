@@ -1,20 +1,33 @@
 //! Standalone blsm server over file-backed devices.
 //!
+//! Single-tree mode (the classic deployment):
+//!
 //! ```text
 //! blsm-server --addr 127.0.0.1:7878 --data /tmp/blsm.data --wal /tmp/blsm.wal
 //! ```
 //!
+//! Sharded mode — N independent shards (each with its own directory,
+//! WAL and merge scheduler) behind the key-range router:
+//!
+//! ```text
+//! blsm-server --addr 127.0.0.1:7878 --dir /tmp/blsm-store --shards 4
+//! ```
+//!
 //! Options: `--addr HOST:PORT` (default 127.0.0.1:7878; port 0 picks an
-//! ephemeral port, printed on stdout), `--data PATH`, `--wal PATH`
-//! (required), `--mem-budget BYTES` (default 8 MiB), `--pool-pages N`
-//! (default 4096). The process runs until a client sends SHUTDOWN, then
-//! drains connections, checkpoints and exits 0.
+//! ephemeral port, printed on stdout), `--data PATH` + `--wal PATH`
+//! (single-tree mode), `--dir PATH` + `--shards N` (sharded mode;
+//! `--shards` defaults to 1 and is ignored when the store already
+//! exists — boundaries are fixed at creation and recovered from the
+//! shard manifest), `--mem-budget BYTES` (default 8 MiB, per shard),
+//! `--pool-pages N` (default 4096, per shard). The process runs until a
+//! client sends SHUTDOWN, then drains connections, checkpoints every
+//! shard and exits 0.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use std::sync::Arc;
 
-use blsm::{AppendOperator, BLsmConfig, BLsmTree, ThreadedBLsm};
+use blsm::{AppendOperator, BLsmConfig, BLsmTree, ShardedBLsm, ShardedConfig, ThreadedBLsm};
 use blsm_server::{Server, ServerConfig};
 use blsm_storage::{FileDevice, SharedDevice};
 
@@ -22,6 +35,8 @@ struct Args {
     addr: String,
     data: String,
     wal: String,
+    dir: String,
+    shards: usize,
     mem_budget: usize,
     pool_pages: usize,
 }
@@ -31,6 +46,8 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7878".into(),
         data: String::new(),
         wal: String::new(),
+        dir: String::new(),
+        shards: 1,
         mem_budget: 8 << 20,
         pool_pages: 4096,
     };
@@ -41,6 +58,12 @@ fn parse_args() -> Result<Args, String> {
             "--addr" => args.addr = value("--addr")?,
             "--data" => args.data = value("--data")?,
             "--wal" => args.wal = value("--wal")?,
+            "--dir" => args.dir = value("--dir")?,
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
             "--mem-budget" => {
                 args.mem_budget = value("--mem-budget")?
                     .parse()
@@ -54,8 +77,16 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if args.data.is_empty() || args.wal.is_empty() {
-        return Err("--data and --wal are required".into());
+    let single = !args.data.is_empty() || !args.wal.is_empty();
+    let sharded = !args.dir.is_empty();
+    if single == sharded {
+        return Err("pass either --data + --wal (single tree) or --dir [--shards N]".into());
+    }
+    if single && (args.data.is_empty() || args.wal.is_empty()) {
+        return Err("--data and --wal are required together".into());
+    }
+    if args.shards == 0 {
+        return Err("--shards must be at least 1".into());
     }
     Ok(args)
 }
@@ -68,25 +99,57 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let data: SharedDevice = Arc::new(FileDevice::open(args.data.as_ref()).unwrap());
-    let wal: SharedDevice = Arc::new(FileDevice::open(args.wal.as_ref()).unwrap());
     let config = BLsmConfig {
         mem_budget: args.mem_budget,
         ..Default::default()
     };
-    let tree = BLsmTree::open(data, wal, args.pool_pages, config, Arc::new(AppendOperator))
-        .expect("open tree");
-    let db = ThreadedBLsm::start(tree, 1 << 20).expect("start merge thread");
-    let server = Server::start(db, args.addr.as_str(), ServerConfig::default()).expect("bind");
+    let store = if args.dir.is_empty() {
+        let data: SharedDevice = Arc::new(FileDevice::open(args.data.as_ref()).unwrap());
+        let wal: SharedDevice = Arc::new(FileDevice::open(args.wal.as_ref()).unwrap());
+        let tree = BLsmTree::open(data, wal, args.pool_pages, config, Arc::new(AppendOperator))
+            .expect("open tree");
+        let db = ThreadedBLsm::start(tree, 1 << 20).expect("start merge thread");
+        ShardedBLsm::from_single(db)
+    } else {
+        let sharded_config = ShardedConfig {
+            tree: config,
+            pool_pages: args.pool_pages,
+            quantum: 1 << 20,
+        };
+        let store = ShardedBLsm::open_dir(
+            args.dir.as_ref(),
+            args.shards,
+            &sharded_config,
+            &(Arc::new(AppendOperator) as Arc<dyn blsm::MergeOperator>),
+        )
+        .expect("open sharded store");
+        for d in store.degraded_shards() {
+            eprintln!("blsm-server: shard {} degraded: {}", d.shard, d.error);
+        }
+        store
+    };
+    let shard_count = store.shard_count();
+    let server =
+        Server::start_sharded(store, args.addr.as_str(), ServerConfig::default()).expect("bind");
     // Parsed by scripts (the CI smoke job greps for the port).
     println!("listening on {}", server.local_addr());
+    if shard_count > 1 {
+        println!("serving {shard_count} shards");
+    }
     while !server.shutdown_requested() {
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
-    let tree = server.shutdown().expect("graceful shutdown");
-    let stats = tree.stats();
+    let trees = server.shutdown().expect("graceful shutdown");
+    let mut writes = 0;
+    let mut merges01 = 0;
+    let mut merges12 = 0;
+    for tree in &trees {
+        let stats = tree.stats();
+        writes += stats.writes;
+        merges01 += stats.merges01;
+        merges12 += stats.merges12;
+    }
     println!(
-        "shut down cleanly: {} writes, {} C0:C1 passes, {} C1':C2 merges",
-        stats.writes, stats.merges01, stats.merges12
+        "shut down cleanly: {writes} writes, {merges01} C0:C1 passes, {merges12} C1':C2 merges"
     );
 }

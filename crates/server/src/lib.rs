@@ -3,8 +3,9 @@
 //! The paper builds bLSM as the storage engine for a hosted serving
 //! store (PNUTS/Walnut, §1, §5); this crate adds the missing process
 //! boundary: a length-prefixed binary wire protocol ([`protocol`]), a
-//! multi-threaded `std::net` TCP server with scheduler-coupled
-//! admission control ([`server`], [`admission`]), a blocking client
+//! multi-threaded `std::net` TCP server with a key-range shard router
+//! and scheduler-coupled per-shard admission control ([`server`],
+//! [`router`], [`admission`]), a blocking client
 //! library with reconnect/retry ([`client`]), and a [`KvEngine`]
 //! adapter so the YCSB suite can drive a live server over TCP
 //! ([`remote`]).
@@ -18,12 +19,14 @@ pub mod admission;
 pub mod client;
 pub mod protocol;
 pub mod remote;
+pub mod router;
 pub mod server;
 
 pub use admission::{AdmissionConfig, AdmissionController, WriteAdmission};
 pub use client::{Client, ClientConfig};
 pub use protocol::{
-    ErrKind, FrameDecoder, Request, Response, WireScrubReport, WireStats, MAX_FRAME,
+    ErrKind, FrameDecoder, Request, Response, WireScrubReport, WireShardStats, WireStats, MAX_FRAME,
 };
 pub use remote::RemoteKv;
+pub use router::ShardRouter;
 pub use server::{Server, ServerConfig};

@@ -59,13 +59,19 @@ pub enum Request {
 impl Request {
     /// True for commands the admission controller may throttle.
     pub fn is_write(&self) -> bool {
-        matches!(
-            self,
-            Request::Put { .. }
-                | Request::Delete { .. }
-                | Request::InsertIfNotExists { .. }
-                | Request::ApplyDelta { .. }
-        )
+        self.write_key().is_some()
+    }
+
+    /// The key a write command addresses — the routing input for both
+    /// shard dispatch and per-shard admission. `None` for non-writes.
+    pub fn write_key(&self) -> Option<&[u8]> {
+        match self {
+            Request::Put { key, .. }
+            | Request::Delete { key }
+            | Request::InsertIfNotExists { key, .. }
+            | Request::ApplyDelta { key, .. } => Some(key),
+            _ => None,
+        }
     }
 
     fn opcode(&self) -> u8 {
@@ -84,8 +90,38 @@ impl Request {
     }
 }
 
-/// Engine + admission counters carried by [`Response::Stats`].
+/// One shard's slice of a STATS reply: the per-shard breakdown a
+/// sharded server appends so operators can see *which* key range is
+/// hot, degraded, or pacing its writers (aggregates alone hide exactly
+/// the skew sharding exists to isolate).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireShardStats {
+    /// Shard index (routing order).
+    pub shard: u32,
+    /// False when the shard failed to open and is serving typed
+    /// degraded errors while its siblings stay healthy.
+    pub serving: bool,
+    /// This shard's live spring-and-gear backpressure level — the
+    /// signal its own admission controller keys off.
+    pub backpressure: BackpressureLevel,
+    /// Engine writes applied to this shard.
+    pub writes: u64,
+    /// Point lookups served by this shard.
+    pub gets: u64,
+    /// `C0:C1` merge passes completed on this shard.
+    pub merges01: u64,
+    /// Writes admitted to this shard without throttling.
+    pub admitted: u64,
+    /// Writes to this shard whose responses were delayed.
+    pub delayed: u64,
+    /// Writes to this shard rejected with RETRY_LATER.
+    pub rejected: u64,
+    /// WAL records this shard replayed at open (recovery is per shard).
+    pub wal_records_replayed: u64,
+}
+
+/// Engine + admission counters carried by [`Response::Stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WireStats {
     /// Point lookups served by the engine.
     pub gets: u64,
@@ -117,6 +153,9 @@ pub struct WireStats {
     /// True when recovery had to fall back to the previous manifest
     /// epoch because the newest slot was damaged.
     pub manifest_rolled_back: bool,
+    /// Per-shard breakdown, one entry per shard in routing order (a
+    /// single-tree server reports one entry).
+    pub shards: Vec<WireShardStats>,
 }
 
 /// Broad classification of a server-side failure, carried with every
@@ -397,6 +436,19 @@ pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) -> Result<()
             codec::put_u64(&mut payload, s.wal_records_replayed);
             codec::put_u64(&mut payload, s.wal_torn_tail_bytes);
             codec::put_u8(&mut payload, u8::from(s.manifest_rolled_back));
+            codec::put_varint(&mut payload, s.shards.len() as u64);
+            for sh in &s.shards {
+                codec::put_u32(&mut payload, sh.shard);
+                codec::put_u8(&mut payload, u8::from(sh.serving));
+                put_backpressure(&mut payload, sh.backpressure);
+                codec::put_u64(&mut payload, sh.writes);
+                codec::put_u64(&mut payload, sh.gets);
+                codec::put_u64(&mut payload, sh.merges01);
+                codec::put_u64(&mut payload, sh.admitted);
+                codec::put_u64(&mut payload, sh.delayed);
+                codec::put_u64(&mut payload, sh.rejected);
+                codec::put_u64(&mut payload, sh.wal_records_replayed);
+            }
         }
         Response::RetryLater { backoff_ms } => codec::put_u32(&mut payload, *backoff_ms),
         Response::Err { kind, message } => {
@@ -445,22 +497,42 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response)> {
             Response::Rows(rows)
         }
         3 => Response::Inserted(r.u8()? != 0),
-        4 => Response::Stats(WireStats {
-            gets: r.u64()?,
-            writes: r.u64()?,
-            scans: r.u64()?,
-            merges01: r.u64()?,
-            merges12: r.u64()?,
-            backpressure: read_backpressure(&mut r)?,
-            admitted: r.u64()?,
-            delayed: r.u64()?,
-            rejected: r.u64()?,
-            scrubs: r.u64()?,
-            scrub_errors: r.u64()?,
-            wal_records_replayed: r.u64()?,
-            wal_torn_tail_bytes: r.u64()?,
-            manifest_rolled_back: r.u8()? != 0,
-        }),
+        4 => {
+            let mut stats = WireStats {
+                gets: r.u64()?,
+                writes: r.u64()?,
+                scans: r.u64()?,
+                merges01: r.u64()?,
+                merges12: r.u64()?,
+                backpressure: read_backpressure(&mut r)?,
+                admitted: r.u64()?,
+                delayed: r.u64()?,
+                rejected: r.u64()?,
+                scrubs: r.u64()?,
+                scrub_errors: r.u64()?,
+                wal_records_replayed: r.u64()?,
+                wal_torn_tail_bytes: r.u64()?,
+                manifest_rolled_back: r.u8()? != 0,
+                shards: Vec::new(),
+            };
+            let n = r.varint()? as usize;
+            stats.shards.reserve(n.min(1024));
+            for _ in 0..n {
+                stats.shards.push(WireShardStats {
+                    shard: r.u32()?,
+                    serving: r.u8()? != 0,
+                    backpressure: read_backpressure(&mut r)?,
+                    writes: r.u64()?,
+                    gets: r.u64()?,
+                    merges01: r.u64()?,
+                    admitted: r.u64()?,
+                    delayed: r.u64()?,
+                    rejected: r.u64()?,
+                    wal_records_replayed: r.u64()?,
+                });
+            }
+            Response::Stats(stats)
+        }
         5 => Response::RetryLater {
             backoff_ms: r.u32()?,
         },
@@ -649,6 +721,26 @@ mod tests {
                 wal_records_replayed: 11,
                 wal_torn_tail_bytes: 12,
                 manifest_rolled_back: true,
+                shards: vec![
+                    WireShardStats {
+                        shard: 0,
+                        serving: true,
+                        backpressure: BackpressureLevel::Saturated,
+                        writes: 100,
+                        gets: 50,
+                        merges01: 3,
+                        admitted: 90,
+                        delayed: 7,
+                        rejected: 3,
+                        wal_records_replayed: 11,
+                    },
+                    WireShardStats {
+                        shard: 1,
+                        serving: false,
+                        backpressure: BackpressureLevel::Idle,
+                        ..WireShardStats::default()
+                    },
+                ],
             }),
             Response::RetryLater { backoff_ms: 250 },
             Response::Err {

@@ -1,25 +1,33 @@
-//! Multi-threaded TCP server over a [`ThreadedBLsm`].
+//! Multi-threaded TCP server over a shard-routed bLSM store.
 //!
 //! Thread model (documented in DESIGN.md §11): one nonblocking accept
 //! loop plus one thread per connection. Reads are served through a
-//! per-connection clone of the lock-free [`blsm::ReadView`], so reader
-//! threads never take a lock — they race the merge thread the same way
-//! in-process readers do. Writes apply *directly on the connection
-//! thread*: the engine's write path is `&self` and scales across
-//! threads (key-range-sharded `C0`, atomic seqnos), so N connections
-//! writing are N genuinely parallel writers — there is no batching
-//! queue and no tree-wide lock to funnel through. The merge thread is
-//! kicked once per decoded socket read.
+//! per-connection clone of the lock-free [`blsm::ShardedReadView`], so
+//! reader threads never take a lock — they race each shard's merge
+//! thread the same way in-process readers do. Writes apply *directly on
+//! the connection thread*: the engine's write path is `&self` and
+//! scales across threads (key-range-sharded `C0`, atomic seqnos), so N
+//! connections writing are N genuinely parallel writers — there is no
+//! batching queue and no tree-wide lock to funnel through.
 //!
-//! Admission control is scheduler-coupled (see `admission.rs`): each
-//! write consults the spring-and-gear backpressure level and is admitted,
-//! delayed (response held back proportionally), or rejected with
-//! RETRY_LATER. Reads are never throttled.
+//! Every request passes the [`ShardRouter`] at the front door
+//! (DESIGN.md §16): point ops go to the one shard owning the key, SCAN
+//! scatter-gathers across the shards overlapping the range with a k-way
+//! merge back into one globally ordered stream. The classic single-tree
+//! deployment ([`Server::start`]) is simply the 1-shard case of the
+//! same router.
+//!
+//! Admission control is scheduler-coupled **and per shard** (see
+//! `admission.rs`, `router.rs`): each write consults the backpressure
+//! level of the shard that owns its key, and is admitted, delayed
+//! (response held back proportionally), or rejected with RETRY_LATER —
+//! so a saturated shard paces only its own writers. Reads are never
+//! throttled.
 //!
 //! Graceful shutdown: [`Server::shutdown`] stops the accept loop, lets
 //! every connection thread drain its buffered requests and exit (they
-//! poll the stop flag on a short read timeout), then shuts the tree down
-//! — completing pending merges, checkpointing and closing the WAL.
+//! poll the stop flag on a short read timeout), then shuts every shard
+//! down — completing pending merges, checkpointing and closing each WAL.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -27,14 +35,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use blsm::{BLsmTree, ReadView, ThreadedBLsm};
+use blsm::{BLsmTree, ShardedBLsm, ShardedReadView, ThreadedBLsm};
 use blsm_storage::{Result, StorageError};
 
-use crate::admission::{AdmissionConfig, AdmissionController, WriteAdmission};
+use crate::admission::{AdmissionConfig, WriteAdmission};
 use crate::protocol::{
     decode_request, encode_response, ErrKind, FrameDecoder, Request, Response, WireScrubReport,
-    WireStats, MAX_FRAME,
+    WireShardStats, WireStats, MAX_FRAME,
 };
+use crate::router::ShardRouter;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -59,8 +68,7 @@ impl Default for ServerConfig {
 }
 
 struct Inner {
-    db: ThreadedBLsm,
-    admission: AdmissionController,
+    router: ShardRouter,
     config: ServerConfig,
     /// Set by `shutdown()` or a SHUTDOWN request; accept loop and
     /// connection threads poll it.
@@ -79,8 +87,9 @@ struct Inner {
 /// A running blsm server.
 ///
 /// Dropping a `Server` without calling [`Server::shutdown`] still stops
-/// every thread and checkpoints the tree (via the [`ThreadedBLsm`] drop
-/// hook); `shutdown` additionally hands the settled [`BLsmTree`] back.
+/// every thread and checkpoints each shard (via the [`ThreadedBLsm`]
+/// drop hook); `shutdown` additionally hands the settled
+/// [`BLsmTree`]s back.
 pub struct Server {
     inner: Option<Arc<Inner>>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
@@ -98,7 +107,8 @@ impl std::fmt::Debug for Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// serving `db`.
+    /// serving `db` — the classic one-tree deployment, served as the
+    /// 1-shard case of the router.
     ///
     /// # Errors
     ///
@@ -109,12 +119,27 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> Result<Server> {
+        Self::start_sharded(ShardedBLsm::from_single(db), addr, config)
+    }
+
+    /// Binds `addr` and starts serving a sharded store: requests are
+    /// key-range-routed, scans scatter-gather, and each shard's writers
+    /// are paced by that shard's own backpressure.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::Io`] if the address cannot be bound or
+    /// the accept thread cannot be spawned.
+    pub fn start_sharded(
+        store: ShardedBLsm,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> Result<Server> {
         let listener = TcpListener::bind(addr).map_err(StorageError::Io)?;
         listener.set_nonblocking(true).map_err(StorageError::Io)?;
         let local_addr = listener.local_addr().map_err(StorageError::Io)?;
         let inner = Arc::new(Inner {
-            db,
-            admission: AdmissionController::new(config.admission),
+            router: ShardRouter::new(store, config.admission),
             config,
             stop: AtomicBool::new(false),
             active_connections: AtomicU64::new(0),
@@ -161,14 +186,15 @@ impl Server {
         self.inner().served.load(Ordering::SeqCst)
     }
 
-    /// Stops accepting, drains every connection thread, then shuts the
-    /// tree down (pending merges completed, checkpoint written, WAL
-    /// closed) and returns it.
+    /// Stops accepting, drains every connection thread, then shuts every
+    /// shard down (pending merges completed, checkpoints written, WALs
+    /// closed, shard-manifest epoch bumped) and returns the settled
+    /// trees in shard order — one tree for a [`Server::start`] server.
     ///
     /// # Errors
     ///
-    /// Propagates checkpoint errors from the tree shutdown.
-    pub fn shutdown(mut self) -> Result<BLsmTree> {
+    /// Propagates checkpoint errors from the shard shutdowns.
+    pub fn shutdown(mut self) -> Result<Vec<BLsmTree>> {
         let Some(inner) = self.inner.take() else {
             return Err(StorageError::corruption(
                 blsm_storage::ComponentId::Server,
@@ -189,7 +215,7 @@ impl Server {
                 "connection thread leaked past accept-loop join",
             )
         })?;
-        inner.db.shutdown()
+        inner.router.shutdown()
     }
 }
 
@@ -200,7 +226,7 @@ impl Drop for Server {
             if let Some(h) = self.accept_thread.take() {
                 let _ = h.join();
             }
-            // `inner.db`'s own Drop hook checkpoints once the Arc dies.
+            // Each shard's own Drop hook checkpoints once the Arc dies.
         }
     }
 }
@@ -260,7 +286,7 @@ fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
     {
         return;
     }
-    let view = inner.db.read_view();
+    let view = inner.router.read_view();
     let mut decoder = FrameDecoder::with_max(inner.config.max_frame);
     let mut buf = vec![0u8; 16 << 10];
     loop {
@@ -325,15 +351,22 @@ fn err_response(e: &StorageError) -> Response {
 /// Serves one decoded batch in request order. Writes apply immediately
 /// on this connection thread — the engine write path is `&self` and
 /// parallel across connections — with the admission verdict enforced
-/// per write (a pacing delay sleeps only this writer). Returns the
-/// encoded responses and whether a SHUTDOWN was requested.
-fn serve_batch(inner: &Inner, view: &ReadView, frames: &[Vec<u8>]) -> Result<(Vec<u8>, bool)> {
+/// per write against the *owning shard's* backpressure (a pacing delay
+/// sleeps only this writer; a saturated shard rejects only writes
+/// addressed to it). Returns the encoded responses and whether a
+/// SHUTDOWN was requested.
+fn serve_batch(
+    inner: &Inner,
+    view: &ShardedReadView,
+    frames: &[Vec<u8>],
+) -> Result<(Vec<u8>, bool)> {
     let mut out = Vec::new();
     let mut shutdown = false;
     for payload in frames {
         let (id, req) = decode_request(payload)?;
-        if req.is_write() {
-            match inner.admission.write_admission(view.stats().backpressure) {
+        if let Some(key) = req.write_key() {
+            let (_shard, verdict) = inner.router.write_admission(key);
+            match verdict {
                 WriteAdmission::Admit => {}
                 WriteAdmission::Delay(d) => {
                     // Proportional pacing: stall only this writer before
@@ -400,30 +433,30 @@ fn serve_batch(inner: &Inner, view: &ReadView, frames: &[Vec<u8>]) -> Result<(Ve
 }
 
 /// Applies one admitted write directly on the calling connection
-/// thread. The engine write path is `&self`, so concurrent connections
-/// apply writes in parallel (serialized only at the WAL append + C0
-/// shard they touch) — no server-side write queue exists.
+/// thread, routed by key to its owning shard. The engine write path is
+/// `&self`, so concurrent connections apply writes in parallel
+/// (serialized only at the WAL append + C0 shard they touch, within one
+/// routing shard) — no server-side write queue exists.
 fn apply_write(inner: &Inner, req: Request) -> Response {
+    let store = inner.router.store();
     match req {
-        Request::Put { key, value } => match inner.db.put(key, value) {
+        Request::Put { key, value } => match store.put(key, value) {
             Ok(()) => Response::Ok,
             Err(e) => err_response(&e),
         },
-        Request::Delete { key } => match inner.db.delete(key) {
+        Request::Delete { key } => match store.delete(key) {
             Ok(()) => Response::Ok,
             Err(e) => err_response(&e),
         },
-        Request::InsertIfNotExists { key, value } => {
-            match inner.db.insert_if_not_exists(key, value) {
-                Ok(inserted) => Response::Inserted(inserted),
-                Err(e) => err_response(&e),
-            }
-        }
-        Request::ApplyDelta { key, delta } => match inner.db.apply_delta(key, delta) {
+        Request::InsertIfNotExists { key, value } => match store.insert_if_not_exists(key, value) {
+            Ok(inserted) => Response::Inserted(inserted),
+            Err(e) => err_response(&e),
+        },
+        Request::ApplyDelta { key, delta } => match store.apply_delta(key, delta) {
             Ok(()) => Response::Ok,
             Err(e) => err_response(&e),
         },
-        // `is_write` admits only the four arms above.
+        // `write_key` admits only the four arms above.
         _ => Response::Err {
             kind: ErrKind::Invalid,
             message: "non-write in write path".into(),
@@ -449,9 +482,40 @@ fn push_response(out: &mut Vec<u8>, id: u64, resp: &Response) -> Result<()> {
     Ok(())
 }
 
-fn wire_stats(inner: &Inner, view: &ReadView) -> WireStats {
+fn wire_stats(inner: &Inner, view: &ShardedReadView) -> WireStats {
     let engine = view.stats();
-    let admission = inner.admission.counters();
+    let admission = inner.router.admission_counters();
+    let shards = inner
+        .router
+        .shard_stats()
+        .into_iter()
+        .enumerate()
+        .map(|(i, per_shard)| {
+            let a = inner.router.shard_admission_counters(i);
+            match per_shard {
+                Some(s) => WireShardStats {
+                    shard: i as u32,
+                    serving: true,
+                    backpressure: s.backpressure,
+                    writes: s.writes,
+                    gets: s.gets,
+                    merges01: s.merges01,
+                    admitted: a.admitted,
+                    delayed: a.delayed,
+                    rejected: a.rejected,
+                    wal_records_replayed: s.recovery.wal_records_replayed,
+                },
+                None => WireShardStats {
+                    shard: i as u32,
+                    serving: false,
+                    admitted: a.admitted,
+                    delayed: a.delayed,
+                    rejected: a.rejected,
+                    ..WireShardStats::default()
+                },
+            }
+        })
+        .collect();
     WireStats {
         gets: engine.gets,
         writes: engine.writes,
@@ -467,5 +531,6 @@ fn wire_stats(inner: &Inner, view: &ReadView) -> WireStats {
         wal_records_replayed: engine.recovery.wal_records_replayed,
         wal_torn_tail_bytes: engine.recovery.wal_torn_tail_bytes,
         manifest_rolled_back: engine.recovery.manifest_rolled_back,
+        shards,
     }
 }

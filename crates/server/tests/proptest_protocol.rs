@@ -92,6 +92,24 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                 wal_records_replayed: a | b,
                 wal_torn_tail_bytes: u64::from(p),
                 manifest_rolled_back: p & 1 == 1,
+                shards: (0..(p % 5) as u32)
+                    .map(|i| blsm_server::WireShardStats {
+                        shard: i,
+                        serving: (a >> i) & 1 == 0,
+                        backpressure: match (p >> i) % 3 {
+                            0 => blsm::BackpressureLevel::Idle,
+                            1 => blsm::BackpressureLevel::Paced(p),
+                            _ => blsm::BackpressureLevel::Saturated,
+                        },
+                        writes: b.rotate_left(i),
+                        gets: a.rotate_left(i),
+                        merges01: a ^ u64::from(i),
+                        admitted: a >> i,
+                        delayed: b >> i,
+                        rejected: (a & b) >> i,
+                        wal_records_replayed: (a | b) >> i,
+                    })
+                    .collect(),
             })
         }),
     ]

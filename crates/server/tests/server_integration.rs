@@ -13,7 +13,9 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use blsm::{AppendOperator, BLsmConfig, BLsmTree, SchedulerKind, ThreadedBLsm};
+use blsm::{
+    AppendOperator, BLsmConfig, BLsmTree, SchedulerKind, ShardedBLsm, ShardedConfig, ThreadedBLsm,
+};
 use blsm_server::protocol::{encode_request, Request, Response};
 use blsm_server::{Client, Server, ServerConfig};
 use blsm_storage::{MemDevice, SharedDevice};
@@ -75,7 +77,7 @@ fn basic_roundtrip_over_the_wire() {
     assert!(stats.gets >= 3);
     assert!(stats.writes >= 4);
 
-    let tree = server.shutdown().unwrap();
+    let tree = server.shutdown().unwrap().remove(0);
     assert_eq!(tree.get(b"alpha").unwrap().unwrap().as_ref(), b"1+");
 }
 
@@ -118,7 +120,7 @@ fn concurrent_clients_race_merge_thread() {
     let stats = c.stats().unwrap();
     assert!(stats.writes >= 2000, "writes: {}", stats.writes);
 
-    let tree = server.shutdown().unwrap();
+    let tree = server.shutdown().unwrap().remove(0);
     // Every acknowledged write survives shutdown.
     for t in 0..5u32 {
         for i in (0..400u32).step_by(37) {
@@ -331,7 +333,7 @@ fn wire_shutdown_checkpoints_for_clean_recovery() {
         assert!(Instant::now() < deadline);
         std::thread::sleep(Duration::from_millis(5));
     }
-    let tree = server.shutdown().unwrap();
+    let tree = server.shutdown().unwrap().remove(0);
     assert_eq!(tree.c0_bytes(), 0, "shutdown must checkpoint");
     drop(tree);
 
@@ -433,5 +435,247 @@ fn wire_scrub_on_clean_store_reports_no_errors() {
     let stats = c.stats().unwrap();
     assert_eq!(stats.scrub_errors, 0);
     assert!(stats.scrubs >= 1);
+    server.shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Sharded serving: per-key routing, scatter-gather SCAN, per-shard
+// admission isolation, and per-shard STATS over the wire.
+// ---------------------------------------------------------------------------
+
+/// Starts a sharded server over MemDevices with explicit boundaries.
+/// Returns the server plus the devices so tests can reopen the store.
+fn start_sharded_server(
+    config: BLsmConfig,
+    bounds: Vec<bytes::Bytes>,
+) -> (Server, SharedDevice, Vec<(SharedDevice, SharedDevice)>) {
+    let manifest: SharedDevice = Arc::new(MemDevice::new());
+    let devs: Vec<(SharedDevice, SharedDevice)> = (0..=bounds.len())
+        .map(|_| {
+            (
+                Arc::new(MemDevice::new()) as SharedDevice,
+                Arc::new(MemDevice::new()) as SharedDevice,
+            )
+        })
+        .collect();
+    let sharded_config = ShardedConfig {
+        tree: config,
+        pool_pages: 2048,
+        quantum: 256 << 10,
+    };
+    let devs_for_open = devs.clone();
+    let store = ShardedBLsm::open_with_devices(
+        manifest.clone(),
+        bounds,
+        move |i| Ok(devs_for_open[i].clone()),
+        &sharded_config,
+        &(Arc::new(AppendOperator) as Arc<dyn blsm::MergeOperator>),
+    )
+    .unwrap();
+    let server = Server::start_sharded(store, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    (server, manifest, devs)
+}
+
+/// The full protocol over a 4-shard server: point ops route by key,
+/// SCAN scatter-gathers into one globally key-ordered stream (straddling
+/// every shard boundary), and STATS carries a per-shard breakdown
+/// showing the writes actually spread across shards.
+#[test]
+fn sharded_server_routes_and_scatter_gathers() {
+    let bounds = vec![
+        bytes::Bytes::from_static(b"g"),
+        bytes::Bytes::from_static(b"n"),
+        bytes::Bytes::from_static(b"t"),
+    ];
+    let (server, _manifest, _devs) = start_sharded_server(small_config(), bounds);
+    let mut c = Client::connect(server.local_addr().to_string()).unwrap();
+
+    // Keys covering all four shards.
+    for (k, v) in [
+        (&b"apple"[..], &b"0"[..]),
+        (b"fig", b"0"),
+        (b"grape", b"1"),
+        (b"mango", b"1"),
+        (b"nectarine", b"2"),
+        (b"peach", b"2"),
+        (b"tomato", b"3"),
+        (b"zucchini", b"3"),
+    ] {
+        c.put(k, v).unwrap();
+    }
+    assert_eq!(c.get(b"apple").unwrap().unwrap(), b"0");
+    assert_eq!(c.get(b"peach").unwrap().unwrap(), b"2");
+    assert_eq!(c.get(b"zucchini").unwrap().unwrap(), b"3");
+    assert!(c.insert_if_not_exists(b"quince", b"2x").unwrap());
+    assert!(!c.insert_if_not_exists(b"quince", b"no").unwrap());
+    c.apply_delta(b"tomato", b"+").unwrap();
+    assert_eq!(c.get(b"tomato").unwrap().unwrap(), b"3+");
+    c.delete(b"fig").unwrap();
+    assert_eq!(c.get(b"fig").unwrap(), None);
+
+    // Unbounded scatter-gather SCAN: globally key-ordered across all
+    // four shards.
+    let rows = c.scan(b"", None, 100).unwrap();
+    let keys: Vec<&[u8]> = rows.iter().map(|(k, _)| k.as_slice()).collect();
+    assert_eq!(
+        keys,
+        vec![
+            b"apple".as_slice(),
+            b"grape",
+            b"mango",
+            b"nectarine",
+            b"peach",
+            b"quince",
+            b"tomato",
+            b"zucchini",
+        ]
+    );
+    // A bounded scan straddling the middle boundary only.
+    let rows = c.scan(b"mango", Some(b"peach"), 100).unwrap();
+    let keys: Vec<&[u8]> = rows.iter().map(|(k, _)| k.as_slice()).collect();
+    assert_eq!(keys, vec![b"mango".as_slice(), b"nectarine"]);
+    // Limit applies across shards, not per shard.
+    assert_eq!(c.scan(b"", None, 3).unwrap().len(), 3);
+
+    // Per-shard STATS breakdown: 4 serving shards, writes spread.
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.shards.len(), 4);
+    assert!(stats.shards.iter().all(|s| s.serving));
+    let busy = stats.shards.iter().filter(|s| s.writes > 0).count();
+    assert_eq!(busy, 4, "writes must have landed on every shard");
+    assert_eq!(
+        stats.shards.iter().map(|s| s.writes).sum::<u64>(),
+        stats.writes
+    );
+
+    let trees = server.shutdown().unwrap();
+    assert_eq!(trees.len(), 4);
+}
+
+/// The acceptance-criterion isolation test: saturating one shard must
+/// not RETRY_LATER writes addressed to another. Shard 0 (keys < "m")
+/// is flooded until its spring-and-gear saturates and rejects; writes
+/// routed to shard 1 (keys >= "m") must still be admitted, and the
+/// per-shard STATS breakdown must pin every rejection on shard 0.
+#[test]
+fn saturating_one_shard_does_not_reject_writes_to_another() {
+    let config = BLsmConfig {
+        mem_budget: 64 << 10,
+        scheduler: SchedulerKind::Naive,
+        ..Default::default()
+    };
+    let (server, _manifest, _devs) =
+        start_sharded_server(config, vec![bytes::Bytes::from_static(b"m")]);
+    let addr = server.local_addr().to_string();
+    let mut writer = Client::connect(addr.clone()).unwrap();
+    let mut cold = Client::connect(addr).unwrap();
+
+    // Flood shard 0 with raw calls (no retry) until it sheds writes.
+    let value = vec![0u8; 1024];
+    let mut saw_retry_later = false;
+    for i in 0..200u32 {
+        let req = Request::Put {
+            key: format!("a-fill{i:06}").into_bytes(),
+            value: value.clone(),
+        };
+        match writer.call(&req).unwrap() {
+            Response::Ok => {}
+            Response::RetryLater { backoff_ms } => {
+                assert!(backoff_ms > 0);
+                saw_retry_later = true;
+                break;
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert!(saw_retry_later, "shard 0 never crossed its high water mark");
+
+    // While shard 0 is shedding, every write addressed to shard 1 is
+    // admitted — raw calls again, so a RETRY_LATER would be visible.
+    for i in 0..50u32 {
+        let req = Request::Put {
+            key: format!("z-cold{i:06}").into_bytes(),
+            value: b"v".to_vec(),
+        };
+        match cold.call(&req).unwrap() {
+            Response::Ok => {}
+            other => panic!("cold-shard write throttled by hot shard: {other:?}"),
+        }
+    }
+    // And reads flow everywhere, including the saturated shard.
+    assert_eq!(cold.get(b"z-cold000000").unwrap().unwrap(), b"v");
+    assert_eq!(cold.get(b"a-fill000000").unwrap().unwrap(), value);
+
+    // The per-shard breakdown pins the rejections on shard 0 alone.
+    let stats = cold.stats().unwrap();
+    assert_eq!(stats.shards.len(), 2);
+    assert!(
+        stats.shards[0].rejected > 0,
+        "shard 0 rejections missing: {:?}",
+        stats.shards[0]
+    );
+    assert_eq!(
+        stats.shards[1].rejected, 0,
+        "cold shard rejected writes: {:?}",
+        stats.shards[1]
+    );
+    assert!(stats.shards[1].admitted >= 50);
+    assert_eq!(stats.rejected, stats.shards[0].rejected);
+
+    server.shutdown().unwrap();
+}
+
+/// Wire shutdown + restart over the same devices: the shard manifest
+/// recovers the boundary layout (ignoring a different requested one),
+/// every shard replays its own WAL independently, and all acknowledged
+/// writes survive.
+#[test]
+fn sharded_wire_shutdown_then_restart_recovers_every_shard() {
+    let bounds = vec![bytes::Bytes::from_static(b"m")];
+    let config = small_config();
+    let (server, manifest, devs) = start_sharded_server(config.clone(), bounds.clone());
+    let addr = server.local_addr().to_string();
+    {
+        let mut c = Client::connect(addr).unwrap();
+        for i in 0..300u32 {
+            c.put(format!("a{i:05}").as_bytes(), b"low").unwrap();
+            c.put(format!("z{i:05}").as_bytes(), b"high").unwrap();
+        }
+        c.shutdown_server().unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !server.shutdown_requested() {
+        assert!(Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let trees = server.shutdown().unwrap();
+    assert_eq!(trees.len(), 2);
+    for tree in &trees {
+        assert_eq!(tree.c0_bytes(), 0, "shutdown must checkpoint each shard");
+    }
+    drop(trees);
+
+    // Restart on the same devices, requesting *different* bounds: the
+    // persisted manifest wins and every row is found again.
+    let sharded_config = ShardedConfig {
+        tree: config,
+        pool_pages: 2048,
+        quantum: 256 << 10,
+    };
+    let store = ShardedBLsm::open_with_devices(
+        manifest,
+        vec![bytes::Bytes::from_static(b"zzz")],
+        move |i| Ok(devs[i].clone()),
+        &sharded_config,
+        &(Arc::new(AppendOperator) as Arc<dyn blsm::MergeOperator>),
+    )
+    .unwrap();
+    assert_eq!(store.bounds(), &bounds[..]);
+    assert!(store.degraded_shards().is_empty());
+    let server = Server::start_sharded(store, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.local_addr().to_string()).unwrap();
+    assert_eq!(c.get(b"a00000").unwrap().unwrap(), b"low");
+    assert_eq!(c.get(b"z00299").unwrap().unwrap(), b"high");
+    assert_eq!(c.scan(b"", None, 10_000).unwrap().len(), 600);
     server.shutdown().unwrap();
 }

@@ -36,6 +36,10 @@ pub enum ComponentId {
     C2,
     /// The networked serving layer.
     Server,
+    /// One shard of a sharded (range-partitioned) store: the shard's
+    /// own tree failed to open or is serving degraded while its
+    /// siblings stay healthy.
+    Shard,
 }
 
 impl fmt::Display for ComponentId {
@@ -52,6 +56,7 @@ impl fmt::Display for ComponentId {
             ComponentId::C1Prime => "C1'",
             ComponentId::C2 => "C2",
             ComponentId::Server => "server",
+            ComponentId::Shard => "shard",
         };
         f.write_str(name)
     }

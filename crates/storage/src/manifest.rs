@@ -205,9 +205,9 @@ impl ManifestStore {
             return Ok(SlotState::Empty);
         }
         let mut header = [0u8; SLOT_HEADER];
-        if self.device.read_at(off, &mut header).is_err() {
-            return Ok(SlotState::Damaged);
-        }
+        // An I/O failure is the *device* dying, not a torn slot; swallowing
+        // it here would silently reopen a dead disk as a fresh empty store.
+        self.device.read_at(off, &mut header)?;
         if header.iter().all(|&b| b == 0) {
             return Ok(SlotState::Empty);
         }
@@ -218,13 +218,15 @@ impl ManifestStore {
             return Ok(SlotState::Damaged);
         }
         let mut payload = vec![0u8; len];
-        if len > 0
-            && self
-                .device
-                .read_at(off + SLOT_HEADER as u64, &mut payload)
-                .is_err()
-        {
-            return Ok(SlotState::Damaged);
+        if len > 0 {
+            match self.device.read_at(off + SLOT_HEADER as u64, &mut payload) {
+                Ok(()) => {}
+                // A plausible header whose payload runs past the end of the
+                // device is a torn slot write (the tail never hit the
+                // medium) — recoverable damage, not an I/O failure.
+                Err(StorageError::OutOfBounds { .. }) => return Ok(SlotState::Damaged),
+                Err(e) => return Err(e),
+            }
         }
         let mut body = Vec::with_capacity(12 + len);
         body.extend_from_slice(&header[4..]);

@@ -30,6 +30,13 @@ fn hierarchy(krate: &str) -> &'static [&'static str] {
         // refactor: the tree-wide mutex became the merge-plane `merge`
         // lock and C0 became internally synchronized — its `pass` /
         // `tables` locks are checked under the `memtable` crate below.)
+        // The sharded serving tier (DESIGN.md §16) deliberately adds
+        // nothing here: `ShardedBLsm`'s routing table is immutable after
+        // open and its shard-manifest `ManifestStore` is a plain field
+        // mutated only through `&mut self` (open / checkpoint /
+        // shutdown), so cross-shard lock edges cannot exist by
+        // construction. A lock appearing in `sharded.rs` or `route.rs`
+        // must be argued into §14/§16 and this table together.
         "core" => &["merge", "wal", "catalog", "recovery", "work_pending"],
         // DESIGN.md §15: the pass lock wraps per-shard table locks; no
         // C0 code path may take `pass` while holding any shard's
@@ -37,7 +44,10 @@ fn hierarchy(krate: &str) -> &'static [&'static str] {
         "memtable" => &["pass", "tables"],
         // The server serves from pinned ReadViews and applies writes
         // through `&self` engine calls; it owns no locks of its own.
-        // Any edge here must first be added to DESIGN.md §14.
+        // The shard router keeps it that way: immutable boundaries plus
+        // per-shard `AdmissionController`s (atomic counters only), so
+        // routing a request acquires no lock on any path (DESIGN.md
+        // §16). Any edge here must first be added to DESIGN.md §14.
         _ => &[],
     }
 }

@@ -69,7 +69,7 @@ fn main() {
 
     // Graceful shutdown: stop accepting, drain connections, checkpoint,
     // and hand the tree back for a final in-process look.
-    let tree = server.shutdown().unwrap();
+    let tree = server.shutdown().unwrap().remove(0);
     let all = tree.scan(b"", 100_000).unwrap();
     assert_eq!(all.len(), 4_000, "every acknowledged write must survive");
     assert_eq!(tree.c0_bytes(), 0, "shutdown checkpoints C0");
