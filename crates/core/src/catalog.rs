@@ -203,6 +203,9 @@ impl TreeShared {
         let mut snap = self.stats.snapshot();
         snap.backpressure = self.backpressure_level();
         snap.recovery = *self.recovery.read();
+        // ordering: Acquire — pairs with the AcqRel ticket allocation in
+        // `write_entry` / the replicated-apply CAS; see the field docs.
+        snap.next_seqno = self.next_seqno.load(std::sync::atomic::Ordering::Acquire);
         snap
     }
 

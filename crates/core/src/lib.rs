@@ -57,7 +57,7 @@ pub use sched::{
 pub use sharded::{DegradedShard, ShardedBLsm, ShardedConfig, ShardedReadView};
 pub use stats::{RecoveryReport, TreeStats, TreeStatsSnapshot};
 pub use threaded::ThreadedBLsm;
-pub use tree::BLsmTree;
+pub use tree::{BLsmTree, ReplSource};
 
 pub use blsm_memtable::{
     AddOperator, AppendOperator, Entry, MergeOperator, OverwriteOperator, SeqNo, Versioned,

@@ -14,6 +14,8 @@
 
 use bytes::Bytes;
 
+use crate::read::ScanItem;
+
 /// Index of the partition owning `key` under sorted `bounds`.
 pub(crate) fn shard_for(bounds: &[Bytes], key: &[u8]) -> usize {
     bounds.partition_point(|b| b.as_ref() <= key)
@@ -65,6 +67,42 @@ pub(crate) fn even_bounds(n: usize) -> Vec<Bytes> {
         .collect()
 }
 
+/// K-way merge of sorted [`ScanItem`] streams, smallest key first, ties
+/// broken by stream index (earlier stream wins, duplicate suppressed) —
+/// the gather half of every scatter-gather scan. Lives beside the
+/// scatter arithmetic because the two must agree on the boundary
+/// convention: the scatter step visits shards in routing order, and this
+/// merge's tie-break assumes that order (the earlier stream holds the
+/// authoritative row for a duplicated key).
+pub(crate) fn kway_merge(streams: Vec<Vec<ScanItem>>, limit: usize) -> Vec<ScanItem> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    if streams.len() == 1 {
+        let mut only = streams.into_iter().next().unwrap_or_default();
+        only.truncate(limit);
+        return only;
+    }
+    let mut heap: BinaryHeap<Reverse<(Bytes, usize, usize)>> = streams
+        .iter()
+        .enumerate()
+        .filter_map(|(s, rows)| rows.first().map(|r| Reverse((r.key.clone(), s, 0))))
+        .collect();
+    let mut out: Vec<ScanItem> = Vec::with_capacity(limit.min(1024));
+    while let Some(Reverse((key, s, pos))) = heap.pop() {
+        if out.len() >= limit {
+            break;
+        }
+        let row = streams[s][pos].clone();
+        if out.last().is_none_or(|r: &ScanItem| r.key != key) {
+            out.push(row);
+        }
+        if let Some(next) = streams[s].get(pos + 1) {
+            heap.push(Reverse((next.key.clone(), s, pos + 1)));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -93,6 +131,110 @@ mod tests {
         assert_eq!(shards_overlapping(&bounds, b"h", Some(b"q")), (1, 2));
         // Degenerate (empty) range still yields a well-formed pair.
         assert_eq!(shards_overlapping(&bounds, b"q", Some(b"a")), (2, 2));
+    }
+
+    fn item(k: &str, v: &str) -> ScanItem {
+        ScanItem {
+            key: Bytes::copy_from_slice(k.as_bytes()),
+            value: Bytes::copy_from_slice(v.as_bytes()),
+        }
+    }
+
+    #[test]
+    fn kway_merge_interleaves_and_dedupes() {
+        let merged = kway_merge(
+            vec![
+                vec![item("a", "1"), item("c", "1"), item("e", "1")],
+                vec![item("b", "2"), item("c", "2"), item("d", "2")],
+            ],
+            10,
+        );
+        let keys: Vec<&[u8]> = merged.iter().map(|r| r.key.as_ref()).collect();
+        assert_eq!(keys, vec![b"a" as &[u8], b"b", b"c", b"d", b"e"]);
+        // The tie on "c" kept the earlier stream's row.
+        assert_eq!(merged[2].value.as_ref(), b"1");
+        // Limit truncates.
+        assert_eq!(
+            kway_merge(vec![vec![item("a", "1")], vec![item("b", "2")]], 1).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn kway_merge_handles_empty_inputs() {
+        // No streams at all (a scan that overlapped zero shards).
+        assert!(kway_merge(Vec::new(), 10).is_empty());
+        // Every stream empty (shards overlapped, none had rows).
+        assert!(kway_merge(vec![Vec::new(), Vec::new()], 10).is_empty());
+        // Empty streams interleaved with full ones must not stall the
+        // heap or shift the order.
+        let merged = kway_merge(
+            vec![
+                Vec::new(),
+                vec![item("b", "2")],
+                Vec::new(),
+                vec![item("a", "4")],
+            ],
+            10,
+        );
+        let keys: Vec<&[u8]> = merged.iter().map(|r| r.key.as_ref()).collect();
+        assert_eq!(keys, vec![b"a" as &[u8], b"b"]);
+        // A single stream (the common one-shard scan) fast-paths but
+        // still honors the limit; zero limit yields zero rows.
+        assert_eq!(
+            kway_merge(vec![vec![item("a", "1"), item("b", "1")]], 1).len(),
+            1
+        );
+        assert!(kway_merge(vec![vec![item("a", "1")]], 0).is_empty());
+    }
+
+    #[test]
+    fn kway_merge_dedupes_across_three_streams() {
+        // The same key in *every* stream (a row duplicated across shards
+        // mid-migration): exactly one survivor, from the lowest stream
+        // index, and later keys are unaffected.
+        let merged = kway_merge(
+            vec![
+                vec![item("k", "s0"), item("z", "s0")],
+                vec![item("k", "s1")],
+                vec![item("k", "s2"), item("m", "s2")],
+            ],
+            10,
+        );
+        let keys: Vec<&[u8]> = merged.iter().map(|r| r.key.as_ref()).collect();
+        assert_eq!(keys, vec![b"k" as &[u8], b"m", b"z"]);
+        assert_eq!(merged[0].value.as_ref(), b"s0");
+    }
+
+    #[test]
+    fn kway_merge_dedupe_does_not_eat_the_limit() {
+        // limit counts *emitted* rows: with limit 2 and a duplicated
+        // head key, the suppressed duplicate must not consume a slot.
+        let merged = kway_merge(
+            vec![
+                vec![item("a", "s0"), item("c", "s0")],
+                vec![item("a", "s1"), item("b", "s1")],
+            ],
+            2,
+        );
+        let keys: Vec<&[u8]> = merged.iter().map(|r| r.key.as_ref()).collect();
+        assert_eq!(keys, vec![b"a" as &[u8], b"b"]);
+    }
+
+    #[test]
+    fn overlap_with_unbounded_end_reaches_the_last_shard() {
+        let bounds = vec![Bytes::from_static(b"g"), Bytes::from_static(b"p")];
+        // Unbounded-end scans cover through the final shard from any
+        // starting shard.
+        assert_eq!(shards_overlapping(&bounds, b"", None), (0, 2));
+        assert_eq!(shards_overlapping(&bounds, b"h", None), (1, 2));
+        assert_eq!(shards_overlapping(&bounds, b"zz", None), (2, 2));
+        // A start exactly on a boundary begins in the shard that the
+        // boundary opens.
+        assert_eq!(shards_overlapping(&bounds, b"p", None), (2, 2));
+        // No bounds at all: one shard owns everything, bounded or not.
+        assert_eq!(shards_overlapping(&[], b"anything", None), (0, 0));
+        assert_eq!(shards_overlapping(&[], b"", Some(b"zzz")), (0, 0));
     }
 
     #[test]

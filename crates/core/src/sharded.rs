@@ -354,6 +354,17 @@ impl ShardedBLsm {
         self.shard(i)
     }
 
+    /// The store's engine when it is exactly one serving shard, `None`
+    /// otherwise. The replication tier streams one WAL per store, so it
+    /// attaches here — a sharded store would need one stream per shard
+    /// (future work; see DESIGN.md §17).
+    pub fn single(&self) -> Option<&ThreadedBLsm> {
+        match self.shards.as_slice() {
+            [ShardSlot::Serving(db)] => Some(db),
+            _ => None,
+        }
+    }
+
     /// Blind write, routed by key.
     ///
     /// # Errors
@@ -751,38 +762,7 @@ fn scatter_scan(
             break;
         }
     }
-    Ok(kway_merge(streams, limit))
-}
-
-/// K-way merge of sorted [`ScanItem`] streams, smallest key first, ties
-/// broken by stream index (earlier stream wins, duplicate suppressed).
-fn kway_merge(streams: Vec<Vec<ScanItem>>, limit: usize) -> Vec<ScanItem> {
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-    if streams.len() == 1 {
-        let mut only = streams.into_iter().next().unwrap_or_default();
-        only.truncate(limit);
-        return only;
-    }
-    let mut heap: BinaryHeap<Reverse<(Bytes, usize, usize)>> = streams
-        .iter()
-        .enumerate()
-        .filter_map(|(s, rows)| rows.first().map(|r| Reverse((r.key.clone(), s, 0))))
-        .collect();
-    let mut out: Vec<ScanItem> = Vec::with_capacity(limit.min(1024));
-    while let Some(Reverse((key, s, pos))) = heap.pop() {
-        if out.len() >= limit {
-            break;
-        }
-        let row = streams[s][pos].clone();
-        if out.last().is_none_or(|r: &ScanItem| r.key != key) {
-            out.push(row);
-        }
-        if let Some(next) = streams[s].get(pos + 1) {
-            heap.push(Reverse((next.key.clone(), s, pos + 1)));
-        }
-    }
-    out
+    Ok(route::kway_merge(streams, limit))
 }
 
 #[cfg(test)]
@@ -979,30 +959,6 @@ mod tests {
         assert!(view.get(b"aa").is_err());
         assert!(view.backpressure(0).is_none());
         assert!(view.scrub().errors.iter().any(|e| e.contains("shard 0")));
-    }
-
-    #[test]
-    fn kway_merge_interleaves_and_dedupes() {
-        let item = |k: &str, v: &str| ScanItem {
-            key: Bytes::copy_from_slice(k.as_bytes()),
-            value: Bytes::copy_from_slice(v.as_bytes()),
-        };
-        let merged = kway_merge(
-            vec![
-                vec![item("a", "1"), item("c", "1"), item("e", "1")],
-                vec![item("b", "2"), item("c", "2"), item("d", "2")],
-            ],
-            10,
-        );
-        let keys: Vec<&[u8]> = merged.iter().map(|r| r.key.as_ref()).collect();
-        assert_eq!(keys, vec![b"a" as &[u8], b"b", b"c", b"d", b"e"]);
-        // The tie on "c" kept the earlier stream's row.
-        assert_eq!(merged[2].value.as_ref(), b"1");
-        // Limit truncates.
-        assert_eq!(
-            kway_merge(vec![vec![item("a", "1")], vec![item("b", "2")]], 1).len(),
-            1
-        );
     }
 
     #[test]

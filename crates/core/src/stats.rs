@@ -84,6 +84,7 @@ impl TreeStats {
             scrub_errors: read(&self.scrub_errors),
             backpressure: BackpressureLevel::Idle,
             recovery: RecoveryReport::default(),
+            next_seqno: 0,
         }
     }
 }
@@ -151,6 +152,14 @@ pub struct TreeStatsSnapshot {
     /// [`TreeStats::snapshot`] reports the default; snapshots taken
     /// through the tree or a [`crate::ReadView`] carry the real report.
     pub recovery: RecoveryReport,
+    /// The next sequence number the tree would allocate at snapshot
+    /// time — the replication tier's progress meter (a follower's
+    /// `next_seqno - 1` is the highest write it has fully applied; the
+    /// leader's is the highest write it has acknowledged locally, so
+    /// the difference is replication lag). Raw [`TreeStats::snapshot`]
+    /// reports 0; snapshots taken through the tree or a
+    /// [`crate::ReadView`] carry the live counter.
+    pub next_seqno: u64,
 }
 
 impl TreeStatsSnapshot {
@@ -190,6 +199,9 @@ impl TreeStatsSnapshot {
         // Backpressure is a level, not a counter: the store is as pressed
         // as its most-pressed partition.
         self.backpressure = self.backpressure.max(other.backpressure);
+        // Seqnos are per-tree tickets, not counters: an aggregate view
+        // reports the furthest-along tree.
+        self.next_seqno = self.next_seqno.max(other.next_seqno);
     }
 }
 

@@ -213,6 +213,30 @@ impl ThreadedBLsm {
         self.view.scan_range(from, to, limit)
     }
 
+    /// Applies one replicated WAL record through the normal write path,
+    /// keeping the leader's seqno (see [`BLsmTree::apply_replicated`]).
+    /// Returns the applied seqno, or `None` for an already-applied
+    /// duplicate.
+    pub fn apply_replicated(&self, payload: &[u8]) -> Result<Option<u64>> {
+        let out = self.shared().tree.apply_replicated(payload);
+        self.kick();
+        out
+    }
+
+    /// The next seqno this tree would allocate — an atomic read, no
+    /// locks. On a follower, `next_seqno() - 1` is the highest
+    /// replicated write fully applied (the read horizon STATS reports).
+    pub fn next_seqno(&self) -> u64 {
+        self.shared().tree.next_seqno()
+    }
+
+    /// A cloneable replication-source handle (seqno counter + durable
+    /// WAL window) that outlives borrows of this wrapper — what a
+    /// leader's shipper threads hold (see [`BLsmTree::repl_source`]).
+    pub fn repl_source(&self) -> crate::tree::ReplSource {
+        self.shared().tree.repl_source()
+    }
+
     /// The live spring-and-gear backpressure level — the admission
     /// signal the serving layer throttles writes by. Lock-free (atomic
     /// counter reads, no locks at all).

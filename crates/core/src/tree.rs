@@ -409,10 +409,20 @@ impl BLsmTree {
             + entry.payload_len()
             + blsm_memtable::Memtable::new().approx_bytes().max(64)) as u64;
         self.pace(incoming)?;
-        // Claim the admitted bytes until the C0 insert lands and fold
-        // the claim into the concurrent-admission high-water mark (see
-        // `TreeShared::admitted_inflight`/`admitted_peak`); the guard
-        // releases the claim on every exit path, including WAL errors.
+        let _claim = self.claim_admission(incoming);
+        // ordering: AcqRel — the ticket RMW both observes the replayed
+        // floor (Acquire) and publishes its claim to later readers of the
+        // counter (Release); per-key ordering is restored by the
+        // seqno-aware memtable fold and sorted WAL replay.
+        let seqno = self.shared.next_seqno.fetch_add(1, Ordering::AcqRel);
+        self.insert_versioned(key, Versioned { seqno, entry })
+    }
+
+    /// Claims the admitted bytes until the C0 insert lands and folds
+    /// the claim into the concurrent-admission high-water mark (see
+    /// `TreeShared::admitted_inflight`/`admitted_peak`); the guard
+    /// releases the claim on every exit path, including WAL errors.
+    fn claim_admission(&self, incoming: u64) -> AdmissionClaim<'_> {
         // ordering: AcqRel RMWs — see the fields' annotations.
         let inflight_now = incoming as usize
             + self
@@ -422,16 +432,18 @@ impl BLsmTree {
         self.shared
             .admitted_peak
             .fetch_max(inflight_now, Ordering::AcqRel);
-        let _claim = AdmissionClaim {
+        AdmissionClaim {
             inflight: &self.shared.admitted_inflight,
             bytes: incoming as usize,
-        };
-        // ordering: AcqRel — the ticket RMW both observes the replayed
-        // floor (Acquire) and publishes its claim to later readers of the
-        // counter (Release); per-key ordering is restored by the
-        // seqno-aware memtable fold and sorted WAL replay.
-        let seqno = self.shared.next_seqno.fetch_add(1, Ordering::AcqRel);
-        let v = Versioned { seqno, entry };
+        }
+    }
+
+    /// The tail of every write: bump counters, then log + insert (or
+    /// just insert under degraded durability). Shared by locally-ticketed
+    /// writes and the replication apply path, so a replicated record is
+    /// logged to *this* node's WAL and folded into `C0` exactly like a
+    /// local write.
+    fn insert_versioned(&self, key: Bytes, v: Versioned) -> Result<()> {
         stats::bump(&self.shared.stats.writes, 1);
         stats::bump(
             &self.shared.stats.user_bytes_written,
@@ -444,6 +456,101 @@ impl BLsmTree {
             return Ok(());
         }
         self.log_and_insert(key, v)
+    }
+
+    /// Applies one replicated WAL record (a payload produced by the
+    /// leader's `encode_wal_record`) through the normal write path,
+    /// keeping the **leader's** seqno: the record is appended to this
+    /// node's own WAL, made durable per the configured durability mode,
+    /// and inserted into `C0` — so a promoted follower recovers exactly
+    /// like a leader would.
+    ///
+    /// Returns `Ok(None)` when the record's seqno is below this tree's
+    /// next-seqno floor, i.e. it was already applied — duplicated
+    /// delivery (a flaky link re-sending a batch) is a no-op, which also
+    /// makes replays after an ack loss safe for non-idempotent deltas.
+    ///
+    /// The local seqno counter is advanced to `seqno + 1` *before* the
+    /// insert, so a promotion that happens mid-apply still allocates
+    /// fresh tickets above every replicated record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures ([`StorageError::InvalidFormat`]) and
+    /// WAL/insert errors.
+    pub fn apply_replicated(&self, payload: &[u8]) -> Result<Option<u64>> {
+        let (key, v) = decode_wal_record(payload)?;
+        let seqno = v.seqno;
+        // ordering: AcqRel CAS — observes the current floor (Acquire) and
+        // publishes the advanced floor to ticket allocators (Release);
+        // same contract as the `write_entry` ticket RMW.
+        let mut next = self.shared.next_seqno.load(Ordering::Acquire);
+        loop {
+            if seqno < next {
+                return Ok(None);
+            }
+            match self.shared.next_seqno.compare_exchange_weak(
+                next,
+                seqno + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(cur) => next = cur,
+            }
+        }
+        let incoming = (key.len()
+            + v.entry.payload_len()
+            + blsm_memtable::Memtable::new().approx_bytes().max(64)) as u64;
+        self.pace(incoming)?;
+        let _claim = self.claim_admission(incoming);
+        self.insert_versioned(key, v)?;
+        Ok(Some(seqno))
+    }
+
+    /// The WAL's live durable window `(head, flushed)`: records below
+    /// `head` are truncated, records in `[head, flushed)` are readable
+    /// for replication catch-up via [`wal_records_from`](Self::wal_records_from).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a tree running with durability off (no WAL to ship).
+    pub fn wal_window(&self) -> Result<(u64, u64)> {
+        let guard = self.shared.wal.lock();
+        let wal = guard
+            .as_ref()
+            .ok_or_else(|| invariant_err("wal_window on a tree without a wal"))?;
+        Ok((wal.head_lsn(), wal.flushed_lsn()))
+    }
+
+    /// Reads already-durable WAL records from `start_lsn` for shipping
+    /// to a replication follower, returning the records and the LSN the
+    /// next read should resume from.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::SnapshotNeeded`] when `start_lsn` predates the
+    /// ring's truncation point (the follower is too far behind the log);
+    /// see [`blsm_storage::Wal::records_from`] for the full contract.
+    pub fn wal_records_from(&self, start_lsn: u64) -> Result<(Vec<blsm_storage::WalRecord>, u64)> {
+        let guard = self.shared.wal.lock();
+        let wal = guard
+            .as_ref()
+            .ok_or_else(|| invariant_err("wal_records_from on a tree without a wal"))?;
+        let records = wal.records_from(start_lsn)?;
+        let next = records.last().map_or(start_lsn, |r| {
+            r.lsn + blsm_storage::wal::FRAME_HEADER_LEN as u64 + r.payload.len() as u64
+        });
+        Ok((records, next))
+    }
+
+    /// A cloneable handle onto this tree's replication-facing state
+    /// (seqno counter + WAL window), for shipper threads that outlive
+    /// any borrow of the tree itself.
+    pub fn repl_source(&self) -> ReplSource {
+        ReplSource {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Appends one record to the WAL and performs the paired `C0` insert
@@ -943,6 +1050,64 @@ impl Drop for AdmissionClaim<'_> {
     fn drop(&mut self) {
         // ordering: AcqRel — see `TreeShared::admitted_inflight`.
         self.inflight.fetch_sub(self.bytes, Ordering::AcqRel);
+    }
+}
+
+/// A cloneable, thread-safe handle onto one tree's replication-facing
+/// state: the seqno ticket counter and the WAL's durable window. A
+/// leader's shipper threads hold one of these (an `Arc` of the tree's
+/// shared state, not a borrow), so shipping outlives any particular
+/// borrow of the engine and adds **no locks** beyond the tree's own
+/// `wal` mutex, taken with nothing held.
+#[derive(Clone)]
+pub struct ReplSource {
+    shared: Arc<TreeShared>,
+}
+
+impl std::fmt::Debug for ReplSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplSource").finish_non_exhaustive()
+    }
+}
+
+impl ReplSource {
+    /// The next seqno the tree would allocate (see [`BLsmTree::next_seqno`]).
+    pub fn next_seqno(&self) -> u64 {
+        // ordering: Acquire — pairs with the AcqRel ticket allocation in
+        // `write_entry`; see the field docs in `catalog.rs`.
+        self.shared.next_seqno.load(Ordering::Acquire)
+    }
+
+    /// The WAL's live durable window `(head, flushed)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a tree running with durability off.
+    pub fn wal_window(&self) -> Result<(u64, u64)> {
+        let guard = self.shared.wal.lock();
+        let wal = guard
+            .as_ref()
+            .ok_or_else(|| invariant_err("wal_window on a tree without a wal"))?;
+        Ok((wal.head_lsn(), wal.flushed_lsn()))
+    }
+
+    /// Already-durable WAL records from `start_lsn`, plus the resume
+    /// LSN — the shipping read (see [`BLsmTree::wal_records_from`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::SnapshotNeeded`] when `start_lsn` was truncated
+    /// away; corruption/format errors per [`blsm_storage::Wal::records_from`].
+    pub fn wal_records_from(&self, start_lsn: u64) -> Result<(Vec<blsm_storage::WalRecord>, u64)> {
+        let guard = self.shared.wal.lock();
+        let wal = guard
+            .as_ref()
+            .ok_or_else(|| invariant_err("wal_records_from on a tree without a wal"))?;
+        let records = wal.records_from(start_lsn)?;
+        let next = records.last().map_or(start_lsn, |r| {
+            r.lsn + blsm_storage::wal::FRAME_HEADER_LEN as u64 + r.payload.len() as u64
+        });
+        Ok((records, next))
     }
 }
 

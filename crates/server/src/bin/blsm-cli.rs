@@ -11,10 +11,20 @@
 //! blsm-cli ADDR stats
 //! blsm-cli ADDR scrub
 //! blsm-cli ADDR shutdown
+//! blsm-cli ADDR repl-status
+//! blsm-cli ADDR promote EPOCH
+//! blsm-cli promote-auto ADDR1,ADDR2,...
 //! ```
 //!
 //! `scrub` exits 3 when the store has detectable damage (and prints
 //! each finding), so scripts can gate on integrity.
+//!
+//! `repl-status` prints one machine-parseable line of replication state
+//! (role/epoch/applied). `promote EPOCH` makes the addressed node the
+//! leader for exactly that epoch; `promote-auto` runs the deterministic
+//! failover handshake — read every reachable node's status, promote
+//! the highest `(applied_seqno, node_id)` with an epoch above every one
+//! observed — and prints the winner.
 //!
 //! Write commands retry with backoff when the server answers
 //! RETRY_LATER (admission control above the high water mark); exit code
@@ -22,12 +32,13 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use blsm_server::Client;
+use blsm_server::{elect_and_promote, Client, Response};
 
 fn usage() -> ! {
     eprintln!(
         "usage: blsm-cli ADDR (ping | get K | put K V | insert K V | delta K V | \
-         delete K | scan FROM LIMIT [TO] | stats | scrub | shutdown)"
+         delete K | scan FROM LIMIT [TO] | stats | scrub | shutdown | \
+         repl-status | promote EPOCH)\n       blsm-cli promote-auto ADDR1,ADDR2,..."
     );
     std::process::exit(2);
 }
@@ -36,6 +47,23 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 {
         usage();
+    }
+    if args[0] == "promote-auto" {
+        let addrs: Vec<String> = args[1]
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        match elect_and_promote(&addrs) {
+            Ok((winner, epoch)) => {
+                println!("promoted {winner} epoch={epoch}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("blsm-cli: promote-auto: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     let mut client = match Client::connect(args[0].clone()) {
         Ok(c) => c,
@@ -118,7 +146,45 @@ fn main() {
                     sh.wal_records_replayed
                 );
             }
+            if let Some(r) = &s.repl {
+                println!(
+                    "repl node={} role={:?} epoch={} applied_seqno={} acked_lsn={} lag_bytes={}",
+                    r.node_id, r.role, r.epoch, r.applied_seqno, r.acked_lsn, r.lag_bytes
+                );
+            }
         }),
+        "repl-status" => client.stats().map(|s| match &s.repl {
+            Some(r) => println!(
+                "node={} role={:?} epoch={} applied_seqno={} acked_lsn={} lag_bytes={}",
+                r.node_id, r.role, r.epoch, r.applied_seqno, r.acked_lsn, r.lag_bytes
+            ),
+            None => {
+                eprintln!("blsm-cli: replication not configured on this server");
+                std::process::exit(1);
+            }
+        }),
+        "promote" => {
+            let epoch: u64 = arg(2).parse().unwrap_or_else(|_| usage());
+            match client.promote(epoch) {
+                Ok(Response::ReplAck {
+                    epoch,
+                    applied_seqno,
+                    ..
+                }) => {
+                    println!("PROMOTED epoch={epoch} applied_seqno={applied_seqno}");
+                    Ok(())
+                }
+                Ok(Response::Err { kind, message }) => {
+                    eprintln!("blsm-cli: promote refused ({kind:?}): {message}");
+                    std::process::exit(1);
+                }
+                Ok(other) => {
+                    eprintln!("blsm-cli: unexpected promote reply: {other:?}");
+                    std::process::exit(1);
+                }
+                Err(e) => Err(e),
+            }
+        }
         "scrub" => client.scrub().map(|r| {
             println!(
                 "components={} pages={} entries={} errors={}",

@@ -22,13 +22,19 @@
 //! `--pool-pages N` (default 4096, per shard). The process runs until a
 //! client sends SHUTDOWN, then drains connections, checkpoints every
 //! shard and exits 0.
+//!
+//! Replication (single-tree mode only): `--node-id N --peers
+//! HOST:PORT,HOST:PORT --role leader|follower` joins a static
+//! replication group (DESIGN.md §17). Exactly one node starts as
+//! `leader` (epoch 1); the rest start as followers. Failover is driven
+//! externally with `blsm-cli promote`.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use std::sync::Arc;
 
 use blsm::{AppendOperator, BLsmConfig, BLsmTree, ShardedBLsm, ShardedConfig, ThreadedBLsm};
-use blsm_server::{Server, ServerConfig};
+use blsm_server::{ReplicationConfig, Server, ServerConfig};
 use blsm_storage::{FileDevice, SharedDevice};
 
 struct Args {
@@ -39,6 +45,9 @@ struct Args {
     shards: usize,
     mem_budget: usize,
     pool_pages: usize,
+    node_id: u64,
+    peers: Vec<String>,
+    role: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +59,9 @@ fn parse_args() -> Result<Args, String> {
         shards: 1,
         mem_budget: 8 << 20,
         pool_pages: 4096,
+        node_id: 0,
+        peers: Vec::new(),
+        role: String::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -74,6 +86,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--pool-pages: {e}"))?;
             }
+            "--node-id" => {
+                args.node_id = value("--node-id")?
+                    .parse()
+                    .map_err(|e| format!("--node-id: {e}"))?;
+            }
+            "--peers" => {
+                args.peers = value("--peers")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--role" => args.role = value("--role")?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -87,6 +112,19 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.shards == 0 {
         return Err("--shards must be at least 1".into());
+    }
+    if !args.role.is_empty() {
+        if !single {
+            return Err("replication (--role) requires single-tree mode (--data + --wal)".into());
+        }
+        if args.peers.is_empty() {
+            return Err("--role requires --peers HOST:PORT,...".into());
+        }
+        if args.role != "leader" && args.role != "follower" {
+            return Err("--role must be 'leader' or 'follower'".into());
+        }
+    } else if !args.peers.is_empty() {
+        return Err("--peers requires --role leader|follower".into());
     }
     Ok(args)
 }
@@ -103,6 +141,38 @@ fn main() {
         mem_budget: args.mem_budget,
         ..Default::default()
     };
+    if !args.role.is_empty() {
+        // Replicated single-tree deployment.
+        let data: SharedDevice = Arc::new(FileDevice::open(args.data.as_ref()).unwrap());
+        let wal: SharedDevice = Arc::new(FileDevice::open(args.wal.as_ref()).unwrap());
+        let tree = BLsmTree::open(data, wal, args.pool_pages, config, Arc::new(AppendOperator))
+            .expect("open tree");
+        let db = ThreadedBLsm::start(tree, 1 << 20).expect("start merge thread");
+        let repl_config = ReplicationConfig {
+            node_id: args.node_id,
+            peers: args.peers.clone(),
+            start_as_leader: args.role == "leader",
+            ..ReplicationConfig::default()
+        };
+        let server =
+            Server::start_replicated(db, args.addr.as_str(), ServerConfig::default(), repl_config)
+                .expect("bind");
+        // Parsed by scripts (the CI smoke job greps for the port).
+        println!("listening on {}", server.local_addr());
+        println!(
+            "replication: node {} role {} peers {}",
+            args.node_id,
+            args.role,
+            args.peers.join(",")
+        );
+        while !server.shutdown_requested() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        let trees = server.shutdown().expect("graceful shutdown");
+        let writes: u64 = trees.iter().map(|t| t.stats().writes).sum();
+        println!("shut down cleanly: {writes} writes");
+        return;
+    }
     let store = if args.dir.is_empty() {
         let data: SharedDevice = Arc::new(FileDevice::open(args.data.as_ref()).unwrap());
         let wal: SharedDevice = Arc::new(FileDevice::open(args.wal.as_ref()).unwrap());

@@ -15,6 +15,7 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use blsm_storage::{ComponentId, Result, StorageError};
+use rand::{Rng, SeedableRng};
 
 use crate::protocol::{
     decode_response, encode_request, ErrKind, FrameDecoder, Request, Response, WireScrubReport,
@@ -27,8 +28,13 @@ pub struct ClientConfig {
     /// Attempts per logical operation (I/O failures and RETRY_LATER
     /// replies both consume attempts).
     pub max_attempts: u32,
-    /// Base reconnect backoff; doubles per consecutive failure.
+    /// Base reconnect backoff; doubles per consecutive failure, capped
+    /// at `max_reconnect_backoff`, then *fully jittered* — each sleep is
+    /// uniform in `[0, backoff]` so a fleet of clients cut off by the
+    /// same failover does not reconnect in lockstep.
     pub reconnect_backoff: Duration,
+    /// Ceiling the doubling stops at.
+    pub max_reconnect_backoff: Duration,
     /// Socket read timeout (an unresponsive server surfaces as an
     /// I/O error rather than a hang).
     pub read_timeout: Duration,
@@ -39,6 +45,7 @@ impl Default for ClientConfig {
         ClientConfig {
             max_attempts: 8,
             reconnect_backoff: Duration::from_millis(10),
+            max_reconnect_backoff: Duration::from_secs(1),
             read_timeout: Duration::from_secs(10),
         }
     }
@@ -52,6 +59,9 @@ pub struct Client {
     stream: Option<TcpStream>,
     decoder: FrameDecoder,
     next_id: u64,
+    /// Per-client jitter source, seeded per instance so concurrent
+    /// clients desynchronize even when they fail at the same instant.
+    jitter: rand::rngs::StdRng,
 }
 
 impl Client {
@@ -78,6 +88,7 @@ impl Client {
             stream: None,
             decoder: FrameDecoder::new(),
             next_id: 1,
+            jitter: rand::rngs::StdRng::seed_from_u64(jitter_seed()),
         };
         c.ensure_connected()?;
         Ok(c)
@@ -160,24 +171,50 @@ impl Client {
         out
     }
 
-    /// `call` with reconnect/retry: I/O errors reconnect with
-    /// exponential backoff, RETRY_LATER sleeps the server's hint. Both
-    /// consume attempts from the same budget.
+    /// `call` with reconnect/retry: I/O errors reconnect with capped,
+    /// fully-jittered exponential backoff; RETRY_LATER sleeps a
+    /// jittered version of the server's hint. Both consume attempts
+    /// from the same budget.
+    ///
+    /// Jitter matters more than the curve: after a failover or a
+    /// saturation rejection every affected client holds the *same*
+    /// deterministic schedule, and without randomization they all
+    /// reconnect in the same instant — a retry storm that re-saturates
+    /// the server exactly when it is weakest. Full jitter (uniform in
+    /// `[0, backoff]`) provably spreads that spike; the RETRY_LATER
+    /// hint keeps at least half its value so the server still gets the
+    /// breathing room it asked for.
     fn call_retrying(&mut self, req: &Request) -> Result<Response> {
-        let mut backoff = self.config.reconnect_backoff;
+        let mut backoff = self
+            .config
+            .reconnect_backoff
+            .min(self.config.max_reconnect_backoff);
         let mut last_err: Option<StorageError> = None;
         for _ in 0..self.config.max_attempts.max(1) {
             match self.call(req) {
                 Ok(Response::RetryLater { backoff_ms }) => {
-                    std::thread::sleep(Duration::from_millis(u64::from(backoff_ms)));
+                    // Equal jitter: uniform in [hint/2, hint].
+                    let hint = u64::from(backoff_ms);
+                    let sleep_ms = if hint == 0 {
+                        0
+                    } else {
+                        self.jitter.random_range(hint.div_ceil(2)..=hint)
+                    };
+                    std::thread::sleep(Duration::from_millis(sleep_ms));
                     last_err = Some(StorageError::Io(std::io::Error::other(
                         "server saturated (RETRY_LATER)",
                     )));
                 }
                 Ok(resp) => return Ok(resp),
                 Err(e @ StorageError::Io(_)) => {
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(Duration::from_secs(1));
+                    // Full jitter: uniform in [0, backoff].
+                    let ceil = backoff.as_nanos().min(u128::from(u64::MAX)) as u64;
+                    if ceil > 0 {
+                        std::thread::sleep(Duration::from_nanos(
+                            self.jitter.random_range(0..=ceil),
+                        ));
+                    }
+                    backoff = (backoff * 2).min(self.config.max_reconnect_backoff);
                     last_err = Some(e);
                 }
                 Err(e) => return Err(e),
@@ -325,6 +362,67 @@ impl Client {
     pub fn shutdown_server(&mut self) -> Result<()> {
         Self::expect_ok(self.call(&Request::Shutdown)?)
     }
+
+    /// Opens (or re-opens) a replication shipping session: single-shot,
+    /// no retry — the shipper loop owns its own retry policy, and the
+    /// raw [`Response`] comes back so it can distinguish an ack from a
+    /// fencing error.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or protocol violations.
+    pub fn repl_subscribe(&mut self, leader_id: u64, epoch: u64) -> Result<Response> {
+        self.call(&Request::ReplSubscribe { leader_id, epoch })
+    }
+
+    /// Ships one batch of WAL records (single-shot, raw response — see
+    /// [`Client::repl_subscribe`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or protocol violations.
+    pub fn replicate(
+        &mut self,
+        leader_id: u64,
+        epoch: u64,
+        from_lsn: u64,
+        next_lsn: u64,
+        records: Vec<Vec<u8>>,
+    ) -> Result<Response> {
+        self.call(&Request::Replicate {
+            leader_id,
+            epoch,
+            from_lsn,
+            next_lsn,
+            records,
+        })
+    }
+
+    /// Instructs the connected server to become leader for `epoch`
+    /// (single-shot, raw response — the failover driver inspects
+    /// fencing errors itself).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or protocol violations.
+    pub fn promote(&mut self, epoch: u64) -> Result<Response> {
+        self.call(&Request::Promote { epoch })
+    }
+}
+
+/// A per-client RNG seed: wall clock mixed with a process-wide counter,
+/// so clients created in the same nanosecond (or across forked workers)
+/// still jitter independently.
+fn jitter_seed() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    // ordering: Relaxed — the counter only needs uniqueness, not to
+    // synchronize any other memory.
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    let nonce = NONCE.fetch_add(1, Ordering::Relaxed);
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    now ^ nonce.rotate_left(32) ^ (std::process::id() as u64)
 }
 
 /// Rehydrates a server-side failure into a typed [`StorageError`], so
@@ -343,6 +441,15 @@ fn unexpected(resp: &Response) -> StorageError {
             }
             ErrKind::Invalid | ErrKind::Other => {
                 StorageError::InvalidFormat(format!("server error: {message}"))
+            }
+            // Replication-control errors carry their own routing
+            // semantics; at the generic client surface they are typed
+            // request failures (the replication layer matches on the
+            // raw `Response::Err` kind before this rehydration runs).
+            ErrKind::Fenced => StorageError::InvalidFormat(format!("fenced: {message}")),
+            ErrKind::NotLeader => StorageError::InvalidFormat(format!("not leader: {message}")),
+            ErrKind::SnapshotNeeded => {
+                StorageError::InvalidFormat(format!("snapshot needed: {message}"))
             }
         },
         other => StorageError::InvalidFormat(format!("unexpected response: {other:?}")),

@@ -19,14 +19,20 @@ pub mod admission;
 pub mod client;
 pub mod protocol;
 pub mod remote;
+pub mod replication;
 pub mod router;
 pub mod server;
 
 pub use admission::{AdmissionConfig, AdmissionController, WriteAdmission};
 pub use client::{Client, ClientConfig};
 pub use protocol::{
-    ErrKind, FrameDecoder, Request, Response, WireScrubReport, WireShardStats, WireStats, MAX_FRAME,
+    CloseReason, ErrKind, FrameDecoder, ReplRole, Request, Response, WireReplStats,
+    WireScrubReport, WireShardStats, WireStats, MAX_FRAME,
 };
 pub use remote::RemoteKv;
+pub use replication::{
+    elect_and_promote, FlakyProxy, FlakyStream, NetFaultMode, ProxyControl, Replication,
+    ReplicationConfig,
+};
 pub use router::ShardRouter;
 pub use server::{Server, ServerConfig};

@@ -54,6 +54,47 @@ pub enum Request {
     /// Verify every on-disk component (checksums, ordering, Bloom
     /// agreement) and report the findings.
     Scrub,
+    /// Replication handshake, sent by a leader to a follower when a
+    /// shipping session opens (or re-opens after a fault). The follower
+    /// answers [`Response::ReplAck`] naming the leader-WAL LSN it wants
+    /// next, and adopts `epoch` if it is newer than its own — which is
+    /// also how a stale leader discovers it has been fenced (the ack
+    /// carries an epoch above the one it sent).
+    ReplSubscribe {
+        /// The sending leader's node id.
+        leader_id: u64,
+        /// The sending leader's epoch.
+        epoch: u64,
+    },
+    /// One batch of already-durable leader WAL records, in LSN order.
+    /// `from_lsn`/`next_lsn` bracket the batch in the **leader's** log,
+    /// so the follower can detect dropped or duplicated batches without
+    /// trusting delivery order; `records` are raw logical WAL payloads
+    /// (kind | seqno | key | value), each applied through the follower's
+    /// normal write path. An empty batch is a heartbeat that still
+    /// exercises the epoch fence.
+    Replicate {
+        /// The sending leader's node id.
+        leader_id: u64,
+        /// The sending leader's epoch; the follower rejects anything
+        /// below its own current epoch (fencing).
+        epoch: u64,
+        /// Leader-WAL LSN of the first record in the batch.
+        from_lsn: u64,
+        /// Leader-WAL LSN the next batch will start from.
+        next_lsn: u64,
+        /// Raw logical WAL record payloads, in LSN order.
+        records: Vec<Vec<u8>>,
+    },
+    /// Instruct this node to become the leader for `epoch`. Sent by the
+    /// failover driver after the deterministic handshake (highest
+    /// `(applied_seqno, node_id)` among reachable peers wins); the node
+    /// refuses epochs at or below its current one, which makes the
+    /// promotion idempotent and race-safe.
+    Promote {
+        /// The new epoch, strictly above every epoch the driver saw.
+        epoch: u64,
+    },
 }
 
 impl Request {
@@ -86,8 +127,66 @@ impl Request {
             Request::Stats => 7,
             Request::Shutdown => 8,
             Request::Scrub => 9,
+            Request::ReplSubscribe { .. } => 10,
+            Request::Replicate { .. } => 11,
+            Request::Promote { .. } => 12,
         }
     }
+}
+
+/// A node's role in the replication group, as reported over the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReplRole {
+    /// Replication is not configured on this server.
+    #[default]
+    Standalone,
+    /// Accepts client writes and ships WAL records to followers.
+    Leader,
+    /// Applies shipped records; rejects client writes with
+    /// [`ErrKind::NotLeader`].
+    Follower,
+}
+
+impl ReplRole {
+    fn to_u8(self) -> u8 {
+        match self {
+            ReplRole::Standalone => 0,
+            ReplRole::Leader => 1,
+            ReplRole::Follower => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<ReplRole> {
+        Ok(match v {
+            0 => ReplRole::Standalone,
+            1 => ReplRole::Leader,
+            2 => ReplRole::Follower,
+            other => return Err(frame_error(&format!("bad repl role {other}"))),
+        })
+    }
+}
+
+/// Replication counters appended to [`WireStats`] when the server runs
+/// in a replication group. Encoded after every pre-replication field so
+/// old clients (which stop reading at the shard list) stay compatible;
+/// decoders treat its absence as "replication not configured".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireReplStats {
+    /// This node's id (unique within the static peer list).
+    pub node_id: u64,
+    /// Current role.
+    pub role: ReplRole,
+    /// Current epoch (0 until the group elects its first leader).
+    pub epoch: u64,
+    /// Highest seqno fully applied locally — the failover handshake's
+    /// comparison key, and the follower read horizon.
+    pub applied_seqno: u64,
+    /// Leader: the smallest WAL LSN every live follower has acked.
+    /// Follower: the leader-WAL LSN it expects next.
+    pub acked_lsn: u64,
+    /// Leader: bytes of durable WAL not yet acked by the slowest
+    /// follower (replication lag). Follower: 0.
+    pub lag_bytes: u64,
 }
 
 /// One shard's slice of a STATS reply: the per-shard breakdown a
@@ -156,6 +255,9 @@ pub struct WireStats {
     /// Per-shard breakdown, one entry per shard in routing order (a
     /// single-tree server reports one entry).
     pub shards: Vec<WireShardStats>,
+    /// Replication state, present only when the server runs in a
+    /// replication group (appended field; absent on old servers).
+    pub repl: Option<WireReplStats>,
 }
 
 /// Broad classification of a server-side failure, carried with every
@@ -172,6 +274,17 @@ pub enum ErrKind {
     Invalid,
     /// Anything else.
     Other,
+    /// A replication frame carried an epoch below the receiver's: the
+    /// sender is a deposed leader and must stop shipping immediately.
+    /// The message carries the receiver's current epoch.
+    Fenced,
+    /// A client write reached a follower; the client should redirect to
+    /// the current leader (named in the message when known).
+    NotLeader,
+    /// A follower asked to catch up from a WAL LSN the leader's ring has
+    /// already truncated — log shipping cannot bridge the gap, the
+    /// follower needs a full state copy.
+    SnapshotNeeded,
 }
 
 impl ErrKind {
@@ -181,6 +294,7 @@ impl ErrKind {
             StorageError::Corruption { .. } => ErrKind::Corruption,
             StorageError::Io(_) | StorageError::Fault { .. } => ErrKind::Io,
             StorageError::InvalidFormat(_) | StorageError::OutOfBounds { .. } => ErrKind::Invalid,
+            StorageError::SnapshotNeeded { .. } => ErrKind::SnapshotNeeded,
             _ => ErrKind::Other,
         }
     }
@@ -191,6 +305,9 @@ impl ErrKind {
             ErrKind::Io => 1,
             ErrKind::Invalid => 2,
             ErrKind::Other => 3,
+            ErrKind::Fenced => 4,
+            ErrKind::NotLeader => 5,
+            ErrKind::SnapshotNeeded => 6,
         }
     }
 
@@ -200,6 +317,9 @@ impl ErrKind {
             1 => ErrKind::Io,
             2 => ErrKind::Invalid,
             3 => ErrKind::Other,
+            4 => ErrKind::Fenced,
+            5 => ErrKind::NotLeader,
+            6 => ErrKind::SnapshotNeeded,
             other => return Err(frame_error(&format!("bad error kind {other}"))),
         })
     }
@@ -246,6 +366,21 @@ pub enum Response {
     },
     /// SCRUB findings.
     ScrubReport(WireScrubReport),
+    /// Follower's answer to [`Request::ReplSubscribe`], every applied
+    /// [`Request::Replicate`] batch, and [`Request::Promote`]. `epoch`
+    /// is the follower's *current* epoch — a leader seeing one above its
+    /// own has been fenced; `next_lsn` names the leader-WAL LSN the
+    /// follower wants next (on a batch mismatch it repeats the expected
+    /// LSN so the leader rewinds instead of skipping).
+    ReplAck {
+        /// The responder's current epoch.
+        epoch: u64,
+        /// Highest seqno the responder has fully applied.
+        applied_seqno: u64,
+        /// Leader-WAL LSN the responder expects the next batch to start
+        /// from.
+        next_lsn: u64,
+    },
 }
 
 impl Response {
@@ -259,6 +394,7 @@ impl Response {
             Response::RetryLater { .. } => 5,
             Response::Err { .. } => 6,
             Response::ScrubReport(_) => 7,
+            Response::ReplAck { .. } => 8,
         }
     }
 }
@@ -316,6 +452,29 @@ pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) -> Result<()> {
             }
             codec::put_u32(&mut payload, *limit);
         }
+        Request::ReplSubscribe { leader_id, epoch } => {
+            codec::put_u64(&mut payload, *leader_id);
+            codec::put_u64(&mut payload, *epoch);
+        }
+        Request::Replicate {
+            leader_id,
+            epoch,
+            from_lsn,
+            next_lsn,
+            records,
+        } => {
+            codec::put_u64(&mut payload, *leader_id);
+            codec::put_u64(&mut payload, *epoch);
+            codec::put_u64(&mut payload, *from_lsn);
+            codec::put_u64(&mut payload, *next_lsn);
+            codec::put_varint(&mut payload, records.len() as u64);
+            for rec in records {
+                codec::put_bytes(&mut payload, rec);
+            }
+        }
+        Request::Promote { epoch } => {
+            codec::put_u64(&mut payload, *epoch);
+        }
     }
     put_frame(out, &payload)
 }
@@ -366,6 +525,30 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request)> {
         7 => Request::Stats,
         8 => Request::Shutdown,
         9 => Request::Scrub,
+        10 => Request::ReplSubscribe {
+            leader_id: r.u64()?,
+            epoch: r.u64()?,
+        },
+        11 => {
+            let leader_id = r.u64()?;
+            let epoch = r.u64()?;
+            let from_lsn = r.u64()?;
+            let next_lsn = r.u64()?;
+            let n = r.varint()? as usize;
+            // Bound the pre-allocation by what the payload could hold.
+            let mut records = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                records.push(r.bytes()?.to_vec());
+            }
+            Request::Replicate {
+                leader_id,
+                epoch,
+                from_lsn,
+                next_lsn,
+                records,
+            }
+        }
+        12 => Request::Promote { epoch: r.u64()? },
         other => return Err(frame_error(&format!("unknown opcode {other}"))),
     };
     if r.remaining() != 0 {
@@ -449,6 +632,18 @@ pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) -> Result<()
                 codec::put_u64(&mut payload, sh.rejected);
                 codec::put_u64(&mut payload, sh.wal_records_replayed);
             }
+            // Replication state is appended *after* everything the
+            // pre-replication wire format carried, and only when
+            // present, so old decoders (which stop here) and old
+            // encoders (whose payloads end here) both interoperate.
+            if let Some(repl) = &s.repl {
+                codec::put_u8(&mut payload, repl.role.to_u8());
+                codec::put_u64(&mut payload, repl.node_id);
+                codec::put_u64(&mut payload, repl.epoch);
+                codec::put_u64(&mut payload, repl.applied_seqno);
+                codec::put_u64(&mut payload, repl.acked_lsn);
+                codec::put_u64(&mut payload, repl.lag_bytes);
+            }
         }
         Response::RetryLater { backoff_ms } => codec::put_u32(&mut payload, *backoff_ms),
         Response::Err { kind, message } => {
@@ -463,6 +658,15 @@ pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) -> Result<()
             for e in &report.errors {
                 codec::put_bytes(&mut payload, e.as_bytes());
             }
+        }
+        Response::ReplAck {
+            epoch,
+            applied_seqno,
+            next_lsn,
+        } => {
+            codec::put_u64(&mut payload, *epoch);
+            codec::put_u64(&mut payload, *applied_seqno);
+            codec::put_u64(&mut payload, *next_lsn);
         }
     }
     put_frame(out, &payload)
@@ -514,6 +718,7 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response)> {
                 wal_torn_tail_bytes: r.u64()?,
                 manifest_rolled_back: r.u8()? != 0,
                 shards: Vec::new(),
+                repl: None,
             };
             let n = r.varint()? as usize;
             stats.shards.reserve(n.min(1024));
@@ -531,6 +736,18 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response)> {
                     wal_records_replayed: r.u64()?,
                 });
             }
+            // Appended replication block: absent on pre-replication
+            // servers, so an exhausted payload simply means `None`.
+            if r.remaining() != 0 {
+                stats.repl = Some(WireReplStats {
+                    role: ReplRole::from_u8(r.u8()?)?,
+                    node_id: r.u64()?,
+                    epoch: r.u64()?,
+                    applied_seqno: r.u64()?,
+                    acked_lsn: r.u64()?,
+                    lag_bytes: r.u64()?,
+                });
+            }
             Response::Stats(stats)
         }
         5 => Response::RetryLater {
@@ -539,6 +756,11 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response)> {
         6 => Response::Err {
             kind: ErrKind::from_u8(r.u8()?)?,
             message: String::from_utf8_lossy(r.bytes()?).into_owned(),
+        },
+        8 => Response::ReplAck {
+            epoch: r.u64()?,
+            applied_seqno: r.u64()?,
+            next_lsn: r.u64()?,
         },
         7 => {
             let components = r.u64()?;
@@ -643,6 +865,58 @@ impl FrameDecoder {
         self.start += FRAME_HEADER + len;
         Ok(Some(payload))
     }
+
+    /// Classifies an EOF observed *now*: a peer that closed on a frame
+    /// boundary disconnected cleanly, while buffered bytes mean the
+    /// stream died mid-frame — which after a fenced leader is cut off,
+    /// or under fault injection, is evidence worth logging rather than
+    /// an event indistinguishable from a polite hangup.
+    pub fn close_reason_at_eof(&self) -> CloseReason {
+        if self.pending() == 0 {
+            CloseReason::CleanEof
+        } else {
+            CloseReason::TornFrame {
+                pending: self.pending(),
+            }
+        }
+    }
+}
+
+/// Why a connection's read loop stopped — the typed
+/// disconnect-vs-corrupt distinction the server logs instead of
+/// treating every exit as an anonymous EOF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The peer closed on a frame boundary: an ordinary disconnect.
+    CleanEof,
+    /// The peer vanished mid-frame, leaving `pending` undelivered bytes
+    /// buffered — a torn frame (killed peer, cut partition, or a fenced
+    /// old-epoch leader whose stream was severed).
+    TornFrame {
+        /// Bytes of the unfinished frame that had arrived.
+        pending: usize,
+    },
+    /// The stream stopped being parseable as frames (oversized length
+    /// prefix or malformed payload): protocol corruption, not EOF.
+    Corrupt {
+        /// The decode error's detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CloseReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CloseReason::CleanEof => write!(f, "clean eof"),
+            CloseReason::TornFrame { pending } => {
+                write!(
+                    f,
+                    "torn frame: peer vanished with {pending} byte(s) of an unfinished frame"
+                )
+            }
+            CloseReason::Corrupt { detail } => write!(f, "corrupt stream: {detail}"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -692,6 +966,48 @@ mod tests {
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
         roundtrip_request(Request::Scrub);
+        roundtrip_request(Request::ReplSubscribe {
+            leader_id: 3,
+            epoch: 12,
+        });
+        roundtrip_request(Request::Replicate {
+            leader_id: 3,
+            epoch: 12,
+            from_lsn: 4096,
+            next_lsn: 4200,
+            records: vec![vec![0u8, 1, 2, 3], Vec::new(), vec![0xFF; 64]],
+        });
+        roundtrip_request(Request::Replicate {
+            leader_id: 1,
+            epoch: 1,
+            from_lsn: 0,
+            next_lsn: 0,
+            records: Vec::new(),
+        });
+        roundtrip_request(Request::Promote { epoch: 7 });
+    }
+
+    #[test]
+    fn repl_requests_are_not_client_writes() {
+        // Replication frames bypass per-key admission: they carry no
+        // routing key and must not look like throttleable writes.
+        for req in [
+            Request::ReplSubscribe {
+                leader_id: 1,
+                epoch: 1,
+            },
+            Request::Replicate {
+                leader_id: 1,
+                epoch: 1,
+                from_lsn: 0,
+                next_lsn: 16,
+                records: vec![vec![1, 2, 3]],
+            },
+            Request::Promote { epoch: 2 },
+        ] {
+            assert!(!req.is_write());
+            assert!(req.write_key().is_none());
+        }
     }
 
     #[test]
@@ -741,6 +1057,14 @@ mod tests {
                         ..WireShardStats::default()
                     },
                 ],
+                repl: Some(WireReplStats {
+                    node_id: 1,
+                    role: ReplRole::Leader,
+                    epoch: 3,
+                    applied_seqno: 42,
+                    acked_lsn: 4096,
+                    lag_bytes: 128,
+                }),
             }),
             Response::RetryLater { backoff_ms: 250 },
             Response::Err {
@@ -757,6 +1081,34 @@ mod tests {
                 pages: 100,
                 entries: 5000,
                 errors: vec!["C1: page p7 bad".into(), "C2: footer".into()],
+            }),
+            Response::ReplAck {
+                epoch: 9,
+                applied_seqno: 12345,
+                next_lsn: 1 << 40,
+            },
+            Response::Err {
+                kind: ErrKind::Fenced,
+                message: "epoch 3 < 5".into(),
+            },
+            Response::Err {
+                kind: ErrKind::NotLeader,
+                message: "leader is node 2".into(),
+            },
+            Response::Err {
+                kind: ErrKind::SnapshotNeeded,
+                message: "lsn 0 predates head 4096".into(),
+            },
+            Response::Stats(WireStats {
+                repl: Some(WireReplStats {
+                    node_id: 2,
+                    role: ReplRole::Follower,
+                    epoch: 4,
+                    applied_seqno: 99,
+                    acked_lsn: 8192,
+                    lag_bytes: 0,
+                }),
+                ..WireStats::default()
             }),
         ] {
             let mut wire = Vec::new();
@@ -813,6 +1165,48 @@ mod tests {
         let frame = dec.next_frame().unwrap().unwrap();
         assert!(decode_request(&frame).is_err());
         assert!(decode_response(&frame).is_err());
+    }
+
+    #[test]
+    fn stats_without_repl_block_decode_as_none() {
+        // A pre-replication server's STATS payload simply ends after the
+        // shard list; the decoder must report `repl: None`, not error.
+        let stats = WireStats {
+            gets: 5,
+            shards: vec![WireShardStats::default()],
+            repl: None,
+            ..WireStats::default()
+        };
+        let mut wire = Vec::new();
+        encode_response(&mut wire, 1, &Response::Stats(stats.clone())).unwrap();
+        let (_, back) = decode_response(&wire[FRAME_HEADER..]).unwrap();
+        assert_eq!(back, Response::Stats(stats));
+    }
+
+    #[test]
+    fn close_reason_tells_clean_eof_from_torn_frame() {
+        let mut wire = Vec::new();
+        encode_request(&mut wire, 1, &Request::Ping).unwrap();
+
+        // All frames consumed: EOF here is a polite disconnect.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        assert!(dec.next_frame().unwrap().is_some());
+        assert_eq!(dec.close_reason_at_eof(), CloseReason::CleanEof);
+
+        // The peer died mid-frame: EOF leaves buffered torn bytes, and
+        // the reason says how many.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire[..wire.len() - 3]);
+        assert!(dec.next_frame().unwrap().is_none());
+        assert_eq!(
+            dec.close_reason_at_eof(),
+            CloseReason::TornFrame {
+                pending: wire.len() - 3
+            }
+        );
+        let msg = dec.close_reason_at_eof().to_string();
+        assert!(msg.contains("torn frame"), "{msg}");
     }
 
     #[test]

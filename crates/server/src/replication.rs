@@ -1,0 +1,1193 @@
+//! Replicated serving tier: WAL shipping, follower reads, deterministic
+//! failover (DESIGN.md §17).
+//!
+//! One leader streams its already-durable logical WAL records to a
+//! static set of follower servers over the existing length-prefixed
+//! protocol ([`crate::protocol`]): `REPL_SUBSCRIBE` opens (or re-opens)
+//! a shipping session, `REPLICATE` carries batches of raw WAL payloads
+//! bracketed by leader-WAL LSNs, and every reply is a `REPL_ACK` naming
+//! the follower's current epoch, its applied seqno, and the LSN it
+//! wants next. Followers apply records through the engine's normal
+//! `&self` write path (keeping the *leader's* seqnos via
+//! [`blsm::ThreadedBLsm::apply_replicated`], which skips duplicates),
+//! log them in their own WAL for independent durability, and serve
+//! snapshot-consistent reads from the lock-free read view — a follower
+//! never surfaces a seqno it has not fully applied, because records
+//! land through the same atomic insert path local writes use.
+//!
+//! **Fencing.** Every replication frame carries `(epoch, leader_id)`.
+//! A receiver rejects epochs below its own with a typed
+//! [`ErrKind::Fenced`] error; a deposed leader learns of its demotion
+//! from the first such reply (or from any ack carrying a higher epoch)
+//! and stops shipping immediately. Promotion is a deterministic
+//! handshake — no election protocol: an external driver (the CLI, the
+//! drill harness, an operator) reads every reachable peer's STATS,
+//! picks the highest `(applied_seqno, node_id)`, and sends `PROMOTE`
+//! with an epoch strictly above every epoch it saw. The promote
+//! handler refuses stale epochs, so two racing drivers converge on
+//! exactly one leader per epoch.
+//!
+//! **Commit gate.** A leader acknowledges a client write only after a
+//! majority of the group (itself included) holds the write: the write
+//! handler samples the leader's flushed WAL LSN after the local apply
+//! and spin-waits — atomics only, no locks — until enough followers
+//! have acked at least that LSN, bounded by a timeout that surfaces as
+//! a typed I/O error (the write is *not* acked, so losing it to a
+//! subsequent failover breaks nothing).
+//!
+//! **Concurrency invariant — no new locks.** This module owns zero
+//! mutexes: all shared state is plain atomics ([`ReplState`]), shipper
+//! threads hold only `Arc<ReplState>` + [`ReplSource`] (never the
+//! server's `Inner`, so graceful shutdown's sole-owner unwrap still
+//! holds), and the only blocking is bounded sleeps. The lock-order
+//! lint's server hierarchy therefore stays empty — see
+//! `xtask/src/rules/lock_order.rs`.
+//!
+//! The second half of this module is the network fault harness:
+//! [`FlakyStream`] mirrors `blsm_storage::FaultyDevice` at the socket
+//! layer (torn frames, mid-frame stalls, connection drops, one-way
+//! partitions, duplicated delivery, each on a deterministic operation
+//! budget), and [`FlakyProxy`] interposes it on a real TCP hop so the
+//! failover drill (`tests/replication_drill.rs`) can sweep partition
+//! points the way `crash.rs` sweeps device-op indices.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use blsm::{ReplSource, ThreadedBLsm};
+use blsm_storage::{Result, StorageError};
+
+use crate::client::{Client, ClientConfig};
+use crate::protocol::{ErrKind, ReplRole, Response, WireReplStats};
+
+/// A follower cursor meaning "no position yet — accept whatever the
+/// leader sends next". Set at startup and on every epoch adoption
+/// (a new leader's WAL is a new LSN space, so the old cursor is
+/// meaningless).
+const CURSOR_UNSET: u64 = u64::MAX;
+
+/// Replication tuning and topology.
+#[derive(Debug, Clone)]
+pub struct ReplicationConfig {
+    /// This node's id — unique within the group; also the tiebreak in
+    /// the failover handshake.
+    pub node_id: u64,
+    /// Addresses of every *other* node in the group.
+    pub peers: Vec<String>,
+    /// Start as the epoch-1 leader (exactly one node per group should).
+    pub start_as_leader: bool,
+    /// How long a client write may wait for the replication quorum
+    /// before failing with a typed I/O error.
+    pub quorum_timeout: Duration,
+    /// Idle poll/heartbeat interval of the shipper threads.
+    pub ship_interval: Duration,
+    /// Soft cap on the record bytes packed into one REPLICATE frame.
+    pub batch_bytes: usize,
+    /// Socket read timeout of shipping connections (bounds how long a
+    /// mid-frame stall can hold a shipper).
+    pub ship_read_timeout: Duration,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            node_id: 0,
+            peers: Vec::new(),
+            start_as_leader: false,
+            quorum_timeout: Duration::from_secs(5),
+            ship_interval: Duration::from_millis(20),
+            batch_bytes: 256 << 10,
+            ship_read_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Shared replication state — atomics only (see the module doc's
+/// no-new-locks invariant).
+#[derive(Debug)]
+pub struct ReplState {
+    node_id: u64,
+    /// Current epoch; strictly monotonic on every node.
+    // ordering: AcqRel CAS advances paired with Acquire loads — role
+    // and leader_id stores happen-before the epoch publication.
+    epoch: AtomicU64,
+    /// [`ReplRole`] encoding (1 = leader, 2 = follower).
+    // ordering: Release stores on role flips; Acquire loads so shipper
+    // exit and write-path checks see the latest flip.
+    role: AtomicU8,
+    /// Last known leader's node id (self when leading).
+    // ordering: Relaxed — advisory routing hint carried in errors.
+    leader_id: AtomicU64,
+    /// Follower cursor: the leader-WAL LSN expected next
+    /// ([`CURSOR_UNSET`] = accept anything).
+    // ordering: Release stores / Acquire loads — the batch apply
+    // happens-before the cursor advance, so an acked cursor implies
+    // fully applied records.
+    cursor: AtomicU64,
+    /// Server shutdown flag; shippers poll it.
+    // ordering: Release store on shutdown, Acquire polls.
+    stop: AtomicBool,
+    /// Leader side: per-peer highest acked leader-WAL LSN.
+    // ordering: Release store after each ack, Acquire loads in the
+    // commit gate — the follower's apply happens-before its ack.
+    peer_acked: Vec<AtomicU64>,
+    /// Leader side: set when the peer's catch-up point was truncated
+    /// out of the WAL ring — log shipping cannot help it anymore.
+    // ordering: Relaxed — diagnostic flag surfaced in stats/logs.
+    peer_snapshot_needed: Vec<AtomicBool>,
+}
+
+impl ReplState {
+    fn new(config: &ReplicationConfig) -> ReplState {
+        let (epoch, role) = if config.start_as_leader {
+            (1, ReplRole::Leader)
+        } else {
+            (0, ReplRole::Follower)
+        };
+        ReplState {
+            node_id: config.node_id,
+            epoch: AtomicU64::new(epoch),
+            role: AtomicU8::new(role_to_u8(role)),
+            leader_id: AtomicU64::new(if config.start_as_leader {
+                config.node_id
+            } else {
+                u64::MAX
+            }),
+            cursor: AtomicU64::new(CURSOR_UNSET),
+            stop: AtomicBool::new(false),
+            peer_acked: (0..config.peers.len()).map(|_| AtomicU64::new(0)).collect(),
+            peer_snapshot_needed: (0..config.peers.len())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+        }
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        // ordering: Acquire — pairs with the AcqRel epoch advances.
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Current role.
+    pub fn role(&self) -> ReplRole {
+        // ordering: Acquire — pairs with the Release role flips.
+        u8_to_role(self.role.load(Ordering::Acquire))
+    }
+
+    /// True while this node is the leader of exactly `epoch`.
+    fn leading_at(&self, epoch: u64) -> bool {
+        // ordering: Acquire (both) — see `epoch`/`role`.
+        !self.stop.load(Ordering::Acquire)
+            && self.role() == ReplRole::Leader
+            && self.epoch() == epoch
+    }
+
+    /// Adopts `epoch` as a follower of `leader_id` if it is not below
+    /// the current epoch. Returns false (and changes nothing) when the
+    /// caller's epoch is stale — the caller answers `Fenced`.
+    fn follow(&self, epoch: u64, leader_id: u64) -> bool {
+        loop {
+            let cur = self.epoch();
+            if epoch < cur {
+                return false;
+            }
+            if epoch == cur {
+                // Same epoch: a leader never follows its own epoch's
+                // traffic (two leaders per epoch cannot be minted, so
+                // this is a deposed peer's echo — fence it).
+                if self.role() == ReplRole::Leader {
+                    return false;
+                }
+                // ordering: Relaxed — advisory hint.
+                self.leader_id.store(leader_id, Ordering::Relaxed);
+                return true;
+            }
+            // ordering: AcqRel on success — the cursor reset below and
+            // the role flip are published together with the new epoch.
+            if self
+                .epoch
+                .compare_exchange_weak(cur, epoch, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // New epoch ⇒ new leader ⇒ new LSN space: drop the old
+                // cursor *before* any frame of the new epoch applies.
+                // ordering: Release — paired with the cursor CAS loop.
+                self.cursor.store(CURSOR_UNSET, Ordering::Release);
+                // ordering: Release — demotion visible to shippers.
+                self.role
+                    .store(role_to_u8(ReplRole::Follower), Ordering::Release);
+                // ordering: Relaxed — advisory hint.
+                self.leader_id.store(leader_id, Ordering::Relaxed);
+                return true;
+            }
+        }
+    }
+
+    /// Takes leadership of `epoch` if it is strictly above the current
+    /// epoch (the promote fence).
+    fn lead(&self, epoch: u64) -> bool {
+        loop {
+            let cur = self.epoch();
+            if epoch <= cur {
+                return false;
+            }
+            // ordering: AcqRel on success — the role flip below is
+            // published together with the new epoch.
+            if self
+                .epoch
+                .compare_exchange_weak(cur, epoch, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                for (acked, snap) in self.peer_acked.iter().zip(&self.peer_snapshot_needed) {
+                    // ordering: Release/Relaxed — fresh term bookkeeping.
+                    acked.store(0, Ordering::Release);
+                    snap.store(false, Ordering::Relaxed);
+                }
+                // ordering: Release — promotion visible to the write
+                // path's follower check before any gate runs.
+                self.role
+                    .store(role_to_u8(ReplRole::Leader), Ordering::Release);
+                // ordering: Relaxed — advisory hint.
+                self.leader_id.store(self.node_id, Ordering::Relaxed);
+                return true;
+            }
+        }
+    }
+}
+
+fn role_to_u8(r: ReplRole) -> u8 {
+    match r {
+        ReplRole::Standalone => 0,
+        ReplRole::Leader => 1,
+        ReplRole::Follower => 2,
+    }
+}
+
+fn u8_to_role(v: u8) -> ReplRole {
+    match v {
+        1 => ReplRole::Leader,
+        2 => ReplRole::Follower,
+        _ => ReplRole::Standalone,
+    }
+}
+
+/// The server's replication half: state, the engine seam, and the
+/// request handlers `serve_batch` dispatches to.
+pub struct Replication {
+    state: Arc<ReplState>,
+    source: ReplSource,
+    config: ReplicationConfig,
+}
+
+impl std::fmt::Debug for Replication {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replication")
+            .field("node_id", &self.config.node_id)
+            .field("epoch", &self.state.epoch())
+            .field("role", &self.state.role())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Replication {
+    /// Builds the replication half over a single-shard store and, when
+    /// configured as the initial leader, starts shipping.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::InvalidFormat`] if the store is
+    /// sharded (replication ships one WAL; a sharded store would need
+    /// one stream per shard — future work, DESIGN.md §17) or runs
+    /// without a WAL (nothing to ship).
+    pub fn new(db: &ThreadedBLsm, config: ReplicationConfig) -> Result<Replication> {
+        let source = db.repl_source();
+        // Fail fast if there is no WAL to ship.
+        source.wal_window().map_err(|_| {
+            StorageError::InvalidFormat("replication requires a durable (WAL-backed) store".into())
+        })?;
+        let state = Arc::new(ReplState::new(&config));
+        let repl = Replication {
+            state,
+            source,
+            config,
+        };
+        if repl.config.start_as_leader {
+            repl.spawn_shippers(1);
+        }
+        Ok(repl)
+    }
+
+    /// The shared state (drill harness inspects it).
+    pub fn state(&self) -> &Arc<ReplState> {
+        &self.state
+    }
+
+    /// Signals every shipper thread to exit (server shutdown). Shippers
+    /// hold no reference to the server, so shutdown does not join them;
+    /// they notice within one ship interval.
+    pub fn stop(&self) {
+        // ordering: Release — pairs with the shippers' Acquire polls.
+        self.state.stop.store(true, Ordering::Release);
+    }
+
+    /// True when client writes must be refused with `NotLeader`.
+    pub fn refuses_writes(&self) -> bool {
+        self.state.role() != ReplRole::Leader
+    }
+
+    /// The `NotLeader` error clients get on a follower, naming the
+    /// leader when known.
+    pub fn not_leader_response(&self) -> Response {
+        // ordering: Relaxed — advisory hint.
+        let leader = self.state.leader_id.load(Ordering::Relaxed);
+        Response::Err {
+            kind: ErrKind::NotLeader,
+            message: if leader == u64::MAX {
+                "not the leader (no leader known yet)".into()
+            } else {
+                format!("not the leader; leader is node {leader}")
+            },
+        }
+    }
+
+    /// Leader commit gate: blocks until a majority of the group
+    /// (counting this leader) holds everything up to the leader's
+    /// currently-flushed WAL LSN, or the timeout passes.
+    ///
+    /// Called *after* the local apply succeeded, so the sampled flushed
+    /// LSN covers the write being acknowledged. Spin-waits on atomics
+    /// with a short sleep — no locks, so it cannot participate in any
+    /// lock cycle; the shipper threads it waits on never block on the
+    /// write path.
+    pub fn commit_gate(&self) -> Response {
+        let needed = quorum_peers(self.config.peers.len());
+        if needed == 0 {
+            return Response::Ok;
+        }
+        let flushed = match self.source.wal_window() {
+            Ok((_, flushed)) => flushed,
+            Err(e) => {
+                return Response::Err {
+                    kind: ErrKind::classify(&e),
+                    message: e.to_string(),
+                }
+            }
+        };
+        let deadline = Instant::now() + self.config.quorum_timeout;
+        loop {
+            let acked = self
+                .state
+                .peer_acked
+                .iter()
+                // ordering: Acquire — pairs with the Release ack stores.
+                .filter(|a| a.load(Ordering::Acquire) >= flushed)
+                .count();
+            if acked >= needed {
+                return Response::Ok;
+            }
+            // `stop` counts as demotion: a server shutting down must not
+            // keep a writer spinning out the full quorum timeout.
+            // ordering: Acquire — pairs with the Release store in `stop`.
+            if self.state.role() != ReplRole::Leader || self.state.stop.load(Ordering::Acquire) {
+                // Fenced mid-write: the write may survive via the new
+                // leader, but this node cannot promise that.
+                return Response::Err {
+                    kind: ErrKind::Fenced,
+                    message: format!(
+                        "demoted while awaiting quorum (epoch {})",
+                        self.state.epoch()
+                    ),
+                };
+            }
+            if Instant::now() >= deadline {
+                return Response::Err {
+                    kind: ErrKind::Io,
+                    message: format!(
+                        "replication quorum timeout: {acked}/{needed} peers acked lsn {flushed}"
+                    ),
+                };
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Handles `REPL_SUBSCRIBE` (a leader opening a shipping session).
+    pub fn handle_subscribe(&self, leader_id: u64, epoch: u64) -> Response {
+        if !self.state.follow(epoch, leader_id) {
+            return fenced(self.state.epoch());
+        }
+        self.repl_ack()
+    }
+
+    /// Handles one `REPLICATE` batch: fence, check LSN continuity,
+    /// apply through the normal write path, advance the cursor.
+    pub fn handle_replicate(
+        &self,
+        db: &ThreadedBLsm,
+        leader_id: u64,
+        epoch: u64,
+        from_lsn: u64,
+        next_lsn: u64,
+        records: &[Vec<u8>],
+    ) -> Response {
+        if !self.state.follow(epoch, leader_id) {
+            return fenced(self.state.epoch());
+        }
+        // ordering: Acquire — pairs with the Release cursor stores.
+        let expected = self.state.cursor.load(Ordering::Acquire);
+        if expected != CURSOR_UNSET && from_lsn != expected {
+            // Dropped, duplicated, or reordered batch: apply nothing and
+            // repeat the cursor so the leader rewinds. Applying here
+            // would be safe record-wise (seqnos dedupe) but would let a
+            // gap in the stream go unnoticed.
+            return self.repl_ack();
+        }
+        for payload in records {
+            if let Err(e) = db.apply_replicated(payload) {
+                // Partial batch: the cursor stays put, the leader
+                // resends, and the seqno check skips what did apply.
+                return Response::Err {
+                    kind: ErrKind::classify(&e),
+                    message: format!("replicated apply failed: {e}"),
+                };
+            }
+        }
+        // ordering: Release — everything above is visible before any
+        // reader of the advanced cursor (the ack we are about to send
+        // promises these records are applied).
+        self.state.cursor.store(next_lsn, Ordering::Release);
+        self.repl_ack()
+    }
+
+    /// Handles `PROMOTE`: fence stale epochs, take leadership, start
+    /// shipping to every peer.
+    pub fn handle_promote(&self, epoch: u64) -> Response {
+        if !self.state.lead(epoch) {
+            return fenced(self.state.epoch());
+        }
+        self.spawn_shippers(epoch);
+        self.repl_ack()
+    }
+
+    /// The standard ack: current epoch, applied horizon, wanted LSN.
+    fn repl_ack(&self) -> Response {
+        Response::ReplAck {
+            epoch: self.state.epoch(),
+            applied_seqno: self.source.next_seqno().saturating_sub(1),
+            // ordering: Acquire — pairs with the Release cursor stores.
+            next_lsn: self.state.cursor.load(Ordering::Acquire),
+        }
+    }
+
+    /// Replication block for STATS.
+    pub fn wire_stats(&self) -> WireReplStats {
+        let role = self.state.role();
+        let (acked_lsn, lag_bytes) = match role {
+            ReplRole::Leader => {
+                let min_acked = self
+                    .state
+                    .peer_acked
+                    .iter()
+                    // ordering: Acquire — pairs with the Release ack stores.
+                    .map(|a| a.load(Ordering::Acquire))
+                    .min()
+                    .unwrap_or(0);
+                let flushed = self.source.wal_window().map_or(min_acked, |(_, f)| f);
+                (min_acked, flushed.saturating_sub(min_acked))
+            }
+            _ => {
+                // ordering: Acquire — pairs with the Release cursor stores.
+                let cursor = self.state.cursor.load(Ordering::Acquire);
+                (if cursor == CURSOR_UNSET { 0 } else { cursor }, 0)
+            }
+        };
+        WireReplStats {
+            node_id: self.config.node_id,
+            role,
+            epoch: self.state.epoch(),
+            applied_seqno: self.source.next_seqno().saturating_sub(1),
+            acked_lsn,
+            lag_bytes,
+        }
+    }
+
+    /// Starts one shipper thread per peer for leadership term `epoch`.
+    /// Threads are detached by design: they hold only `Arc<ReplState>`
+    /// and [`ReplSource`] (never the server), and exit on their own as
+    /// soon as the epoch moves, the role flips, or `stop` is set.
+    fn spawn_shippers(&self, epoch: u64) {
+        for (idx, peer) in self.config.peers.iter().enumerate() {
+            let state = self.state.clone();
+            let source = self.source.clone();
+            let config = self.config.clone();
+            let peer = peer.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("blsm-ship-{idx}"))
+                .spawn(move || shipper_loop(&state, &source, &config, idx, &peer, epoch));
+            if spawned.is_err() {
+                eprintln!("blsm-server: failed to spawn shipper thread {idx}");
+            }
+        }
+    }
+}
+
+/// Peers (excluding the leader) that must ack before a write commits:
+/// majority of `peers + 1` total nodes, minus the leader's own vote.
+fn quorum_peers(peers: usize) -> usize {
+    // Majority of `peers + 1` is `(peers + 1) / 2 + 1`; dropping the
+    // leader's own vote leaves `ceil(peers / 2)`.
+    peers.div_ceil(2)
+}
+
+fn fenced(current_epoch: u64) -> Response {
+    Response::Err {
+        kind: ErrKind::Fenced,
+        message: format!("fenced: receiver is at epoch {current_epoch}"),
+    }
+}
+
+/// One leadership term's shipping loop toward one peer: connect,
+/// subscribe, stream batches from the WAL, track acks, and exit the
+/// moment this node stops being the leader of `epoch`.
+fn shipper_loop(
+    state: &Arc<ReplState>,
+    source: &ReplSource,
+    config: &ReplicationConfig,
+    peer_idx: usize,
+    peer: &str,
+    epoch: u64,
+) {
+    let client_config = ClientConfig {
+        max_attempts: 1,
+        read_timeout: config.ship_read_timeout,
+        ..ClientConfig::default()
+    };
+    let mut reconnect = Duration::from_millis(10);
+    'session: while state.leading_at(epoch) {
+        let Ok(mut client) = Client::with_config(peer, client_config) else {
+            std::thread::sleep(reconnect);
+            reconnect = (reconnect * 2).min(Duration::from_millis(500));
+            continue 'session;
+        };
+        reconnect = Duration::from_millis(10);
+        let mut cursor = match client.repl_subscribe(state.node_id, epoch) {
+            Ok(resp) => match ack_cursor(state, source, epoch, &resp) {
+                AckOutcome::Resume(lsn) => lsn,
+                AckOutcome::Fenced => return,
+                AckOutcome::Broken => continue 'session,
+            },
+            Err(_) => continue 'session,
+        };
+        while state.leading_at(epoch) {
+            // WAL gone (server shutting down): nothing to ship.
+            let Ok((head, flushed)) = source.wal_window() else {
+                return;
+            };
+            if cursor < head {
+                // The ring truncated past this peer's catch-up point:
+                // the records it lacks are gone, so log shipping alone
+                // cannot repair it (it needs a full state copy).
+                // ordering: Relaxed — diagnostic flag.
+                state.peer_snapshot_needed[peer_idx].store(true, Ordering::Relaxed);
+                eprintln!(
+                    "blsm-server: peer {peer} needs a snapshot \
+                     (wants lsn {cursor}, wal head is {head})"
+                );
+                std::thread::sleep(config.ship_interval.max(Duration::from_millis(50)));
+                continue;
+            }
+            let (records, resume) = if cursor >= flushed {
+                // Nothing new: heartbeat. Keeps the epoch fence fresh
+                // and the peer's ack (hence the commit gate) current.
+                std::thread::sleep(config.ship_interval);
+                (Vec::new(), cursor)
+            } else {
+                match source.wal_records_from(cursor) {
+                    Ok(out) => out,
+                    Err(StorageError::SnapshotNeeded { .. }) => continue,
+                    Err(_) => {
+                        std::thread::sleep(config.ship_interval);
+                        continue;
+                    }
+                }
+            };
+            // Chunk under the frame ceiling; each chunk's bracket is
+            // derived from its records' own LSNs.
+            let mut batch: Vec<Vec<u8>> = Vec::new();
+            let mut batch_from = cursor;
+            let mut batch_next = cursor;
+            let mut batch_bytes = 0usize;
+            let mut chunks: Vec<(u64, u64, Vec<Vec<u8>>)> = Vec::new();
+            for rec in records {
+                let end =
+                    rec.lsn + blsm_storage::wal::FRAME_HEADER_LEN as u64 + rec.payload.len() as u64;
+                if !batch.is_empty() && batch_bytes + rec.payload.len() > config.batch_bytes {
+                    chunks.push((batch_from, batch_next, std::mem::take(&mut batch)));
+                    batch_from = rec.lsn;
+                    batch_bytes = 0;
+                }
+                batch_bytes += rec.payload.len();
+                batch_next = end;
+                batch.push(rec.payload);
+            }
+            chunks.push((batch_from, batch_next.max(resume), batch));
+            for (from, next, records) in chunks {
+                match client.replicate(state.node_id, epoch, from, next, records) {
+                    Ok(resp) => match ack_cursor(state, source, epoch, &resp) {
+                        AckOutcome::Resume(lsn) => {
+                            // ordering: Release — the peer's applied
+                            // state happens-before the gate reads this.
+                            state.peer_acked[peer_idx].store(lsn, Ordering::Release);
+                            cursor = lsn;
+                            if lsn != next {
+                                // Peer rewound (or refused a gap): the
+                                // remaining chunks carry stale brackets,
+                                // so restart streaming from its cursor.
+                                break;
+                            }
+                        }
+                        AckOutcome::Fenced => return,
+                        AckOutcome::Broken => continue 'session,
+                    },
+                    Err(_) => continue 'session,
+                }
+            }
+        }
+    }
+}
+
+enum AckOutcome {
+    /// Stream (or restart) from this leader-WAL LSN.
+    Resume(u64),
+    /// The peer is at a higher epoch: this term is over.
+    Fenced,
+    /// Unusable reply; reconnect and resubscribe.
+    Broken,
+}
+
+/// Digests a peer's reply into the shipper's next move, demoting this
+/// node the moment any reply reveals a higher epoch.
+fn ack_cursor(
+    state: &Arc<ReplState>,
+    source: &ReplSource,
+    epoch: u64,
+    resp: &Response,
+) -> AckOutcome {
+    match resp {
+        Response::ReplAck {
+            epoch: peer_epoch,
+            next_lsn,
+            ..
+        } => {
+            if *peer_epoch > epoch {
+                state.follow(*peer_epoch, u64::MAX);
+                return AckOutcome::Fenced;
+            }
+            let lsn = *next_lsn;
+            match source.wal_window() {
+                Ok((head, flushed)) => {
+                    if lsn == CURSOR_UNSET || lsn > flushed {
+                        // Fresh follower (or one from another leader's
+                        // LSN space): restart from our head. Records it
+                        // already holds dedupe by seqno.
+                        AckOutcome::Resume(head)
+                    } else {
+                        AckOutcome::Resume(lsn)
+                    }
+                }
+                Err(_) => AckOutcome::Broken,
+            }
+        }
+        Response::Err {
+            kind: ErrKind::Fenced,
+            ..
+        } => {
+            // The peer told us our epoch is stale; adopt "some higher
+            // epoch exists" conservatively by stepping down.
+            state.follow(epoch + 1, u64::MAX);
+            AckOutcome::Fenced
+        }
+        _ => AckOutcome::Broken,
+    }
+}
+
+/// Reads every reachable node's STATS, picks the winner by the
+/// deterministic rule — highest `(applied_seqno, node_id)` — and sends
+/// it `PROMOTE` with an epoch above every epoch observed. Returns the
+/// winner's address and the new epoch.
+///
+/// Used by `blsm-cli promote --auto`, the drill harness, and the CI
+/// smoke job; running it twice concurrently is safe because the promote
+/// fence accepts only strictly increasing epochs.
+///
+/// # Errors
+///
+/// Fails if no node is reachable or the winner refuses the promotion.
+pub fn elect_and_promote(addrs: &[String]) -> Result<(String, u64)> {
+    let mut best: Option<(u64, u64, String)> = None;
+    let mut max_epoch = 0;
+    for addr in addrs {
+        let Ok(mut client) = Client::with_config(
+            addr,
+            ClientConfig {
+                max_attempts: 1,
+                read_timeout: Duration::from_secs(2),
+                ..ClientConfig::default()
+            },
+        ) else {
+            continue;
+        };
+        let Ok(stats) = client.stats() else { continue };
+        let Some(repl) = stats.repl else { continue };
+        max_epoch = max_epoch.max(repl.epoch);
+        let key = (repl.applied_seqno, repl.node_id);
+        if best.as_ref().is_none_or(|(s, n, _)| key > (*s, *n)) {
+            best = Some((repl.applied_seqno, repl.node_id, addr.clone()));
+        }
+    }
+    let Some((_, _, winner)) = best else {
+        return Err(StorageError::Io(std::io::Error::other(
+            "no replication-enabled node reachable",
+        )));
+    };
+    let epoch = max_epoch + 1;
+    let mut client = Client::with_config(
+        &winner,
+        ClientConfig {
+            max_attempts: 1,
+            read_timeout: Duration::from_secs(5),
+            ..ClientConfig::default()
+        },
+    )?;
+    match client.promote(epoch)? {
+        Response::ReplAck { .. } => Ok((winner, epoch)),
+        Response::Err { kind, message } => Err(StorageError::InvalidFormat(format!(
+            "promotion refused ({kind:?}): {message}"
+        ))),
+        other => Err(StorageError::InvalidFormat(format!(
+            "unexpected promotion reply: {other:?}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Network fault injection: FaultyDevice's socket-layer sibling.
+// ---------------------------------------------------------------------
+
+/// What a [`FlakyStream`] does once its operation budget is spent.
+/// Mirrors [`blsm_storage::FaultMode`] shapes at the socket layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultMode {
+    /// The triggering write delivers only its first `keep` bytes, then
+    /// the stream is dead — a torn frame on the wire.
+    TornWrite {
+        /// Bytes of the triggering write that still get through.
+        keep: usize,
+    },
+    /// The triggering operation (and all later ones) first stalls for
+    /// the given duration — a mid-frame stall that exercises read
+    /// timeouts rather than error paths.
+    Stall {
+        /// Stall length in milliseconds.
+        ms: u64,
+    },
+    /// The triggering operation and everything after it fails with a
+    /// connection-reset error — a dropped connection.
+    Drop,
+    /// Writes keep "succeeding" but deliver nothing — a one-way
+    /// partition (the peer's traffic still arrives; ours vanishes).
+    Blackhole,
+    /// Every write after the trigger is delivered twice — duplicated
+    /// delivery (retransmit bugs, misbehaving middleboxes).
+    Duplicate,
+}
+
+/// A `Read + Write` wrapper that injects one network fault on a
+/// deterministic schedule: the first `budget` write operations pass
+/// through untouched, then [`NetFaultMode`] engages. The socket-layer
+/// mirror of [`blsm_storage::FaultyDevice`].
+#[derive(Debug)]
+pub struct FlakyStream<S> {
+    inner: S,
+    mode: NetFaultMode,
+    // ordering: AcqRel fetch_update decrements the budget; Acquire
+    // loads pair with it (same discipline as FaultyDevice).
+    remaining: AtomicU64,
+    // ordering: Release store publishes the trip; Acquire loads pair.
+    tripped: AtomicBool,
+}
+
+impl<S> FlakyStream<S> {
+    /// Wraps `inner`; the first `budget` writes succeed, then `mode`
+    /// engages.
+    pub fn new(inner: S, mode: NetFaultMode, budget: u64) -> FlakyStream<S> {
+        FlakyStream {
+            inner,
+            mode,
+            remaining: AtomicU64::new(budget),
+            tripped: AtomicBool::new(false),
+        }
+    }
+
+    /// True once the fault has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Acquire)
+    }
+
+    /// Consumes one unit of budget; true when the fault engages (now or
+    /// previously).
+    fn spend(&self) -> bool {
+        if self.tripped() {
+            return true;
+        }
+        let spent = self
+            .remaining
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |r| r.checked_sub(1))
+            .is_err();
+        if spent {
+            self.tripped.store(true, Ordering::Release);
+        }
+        spent
+    }
+}
+
+fn reset_err() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::ConnectionReset, "injected fault")
+}
+
+impl<S: Read> Read for FlakyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        // Faults are modeled on the write side (the direction under
+        // test); wrap the opposite endpoint — or the proxy's other
+        // copy direction — to fault reads.
+        if self.tripped() {
+            match self.mode {
+                NetFaultMode::TornWrite { .. } | NetFaultMode::Drop => return Err(reset_err()),
+                NetFaultMode::Stall { ms } => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                NetFaultMode::Blackhole | NetFaultMode::Duplicate => {}
+            }
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Write> Write for FlakyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        // A torn/dropped connection stays dead: only the write that
+        // exhausts the budget leaks its partial bytes.
+        let already_dead = self.tripped();
+        if !self.spend() {
+            return self.inner.write(buf);
+        }
+        if already_dead
+            && matches!(
+                self.mode,
+                NetFaultMode::TornWrite { .. } | NetFaultMode::Drop
+            )
+        {
+            return Err(reset_err());
+        }
+        match self.mode {
+            NetFaultMode::TornWrite { keep } => {
+                let keep = keep.min(buf.len());
+                if keep > 0 {
+                    let _ = self.inner.write_all(&buf[..keep]);
+                    let _ = self.inner.flush();
+                }
+                Err(reset_err())
+            }
+            NetFaultMode::Stall { ms } => {
+                std::thread::sleep(Duration::from_millis(ms));
+                self.inner.write(buf)
+            }
+            NetFaultMode::Drop => Err(reset_err()),
+            // Lie about delivery: the bytes vanish.
+            NetFaultMode::Blackhole => Ok(buf.len()),
+            NetFaultMode::Duplicate => {
+                self.inner.write_all(buf)?;
+                self.inner.write_all(buf)?;
+                Ok(buf.len())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.tripped()
+            && matches!(
+                self.mode,
+                NetFaultMode::Drop | NetFaultMode::TornWrite { .. }
+            )
+        {
+            return Err(reset_err());
+        }
+        self.inner.flush()
+    }
+}
+
+/// Live switches on a running [`FlakyProxy`] — the drill harness flips
+/// these at swept operation indices.
+#[derive(Debug, Default)]
+pub struct ProxyControl {
+    /// Sever every current and future connection (a full partition of
+    /// this hop).
+    // ordering: Release on flip, Acquire polls in the copy loops.
+    pub cut: AtomicBool,
+    /// Silently discard client→upstream bytes while still delivering
+    /// upstream→client (a one-way partition).
+    // ordering: Release on flip, Acquire polls in the copy loops.
+    pub drop_to_upstream: AtomicBool,
+}
+
+/// A TCP proxy that interposes [`FlakyStream`] on one network hop, so
+/// fault injection works against real servers without touching their
+/// code. Accepts any number of connections; each is bridged to
+/// `upstream` with the configured fault on the client→upstream
+/// direction.
+#[derive(Debug)]
+pub struct FlakyProxy {
+    addr: SocketAddr,
+    control: Arc<ProxyControl>,
+    // ordering: Release on shutdown, Acquire polls in the accept loop.
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FlakyProxy {
+    /// Starts a proxy on an ephemeral local port toward `upstream`.
+    /// `mode`/`budget` configure the per-connection fault (each new
+    /// connection gets a fresh budget).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::Io`] if the port cannot be bound.
+    pub fn start(upstream: String, mode: NetFaultMode, budget: u64) -> Result<FlakyProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(StorageError::Io)?;
+        listener.set_nonblocking(true).map_err(StorageError::Io)?;
+        let addr = listener.local_addr().map_err(StorageError::Io)?;
+        let control = Arc::new(ProxyControl::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let t_control = control.clone();
+        let t_stop = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("flaky-proxy".into())
+            .spawn(move || {
+                proxy_accept_loop(&listener, &upstream, mode, budget, &t_control, &t_stop);
+            })
+            .map_err(StorageError::Io)?;
+        Ok(FlakyProxy {
+            addr,
+            control,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listening address (point clients/leaders here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live fault switches.
+    pub fn control(&self) -> &Arc<ProxyControl> {
+        &self.control
+    }
+}
+
+impl Drop for FlakyProxy {
+    fn drop(&mut self) {
+        // ordering: Release — pairs with the accept loop's Acquire poll.
+        self.stop.store(true, Ordering::Release);
+        // ordering: Release — sever live connections so their copy
+        // threads exit too.
+        self.control.cut.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn proxy_accept_loop(
+    listener: &TcpListener,
+    upstream: &str,
+    mode: NetFaultMode,
+    budget: u64,
+    control: &Arc<ProxyControl>,
+    stop: &Arc<AtomicBool>,
+) {
+    let mut handles = Vec::new();
+    // ordering: Acquire — pairs with the Release stop store.
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    continue;
+                };
+                let _ = client.set_nodelay(true);
+                let _ = server.set_nodelay(true);
+                // client → upstream carries the injected fault.
+                let (Ok(c2), Ok(s2)) = (client.try_clone(), server.try_clone()) else {
+                    continue;
+                };
+                let faulted = FlakyStream::new(server, mode, budget);
+                let ctl_up = control.clone();
+                let ctl_down = control.clone();
+                handles.push(std::thread::spawn(move || {
+                    proxy_copy(client, faulted, &ctl_up, true);
+                }));
+                handles.push(std::thread::spawn(move || {
+                    proxy_copy(s2, c2, &ctl_down, false);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// One direction of a proxied connection. `to_upstream` marks the
+/// client→server direction, which honors `drop_to_upstream`.
+fn proxy_copy<R: Read, W: Write>(
+    mut from: R,
+    mut to: W,
+    control: &Arc<ProxyControl>,
+    to_upstream: bool,
+) {
+    let mut buf = [0u8; 16 << 10];
+    loop {
+        // ordering: Acquire — pairs with the Release control flips.
+        if control.cut.load(Ordering::Acquire) {
+            return;
+        }
+        match from.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => {
+                // ordering: Acquire — see above.
+                if to_upstream && control.drop_to_upstream.load(Ordering::Acquire) {
+                    continue;
+                }
+                if to.write_all(&buf[..n]).is_err() || to.flush().is_err() {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn quorum_needs_a_majority_of_the_group() {
+        assert_eq!(quorum_peers(0), 0); // singleton group: self-majority
+        assert_eq!(quorum_peers(1), 1); // 2 nodes: both
+        assert_eq!(quorum_peers(2), 1); // 3 nodes: self + 1
+        assert_eq!(quorum_peers(3), 2); // 4 nodes: majority 3 = self + 2
+        assert_eq!(quorum_peers(4), 2); // 5 nodes: self + 2
+    }
+
+    fn state_with(peers: usize, leader: bool) -> ReplState {
+        ReplState::new(&ReplicationConfig {
+            node_id: 7,
+            peers: (0..peers).map(|i| format!("peer-{i}")).collect(),
+            start_as_leader: leader,
+            ..ReplicationConfig::default()
+        })
+    }
+
+    #[test]
+    fn epoch_fencing_is_monotonic() {
+        let s = state_with(2, false);
+        assert_eq!(s.epoch(), 0);
+        // Adopt a first leader.
+        assert!(s.follow(1, 1));
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.role(), ReplRole::Follower);
+        // A stale epoch is fenced; the state is untouched.
+        assert!(!s.follow(0, 9));
+        assert_eq!(s.epoch(), 1);
+        // Same epoch re-subscribes fine (reconnects after a fault).
+        assert!(s.follow(1, 1));
+        // Promotion must be strictly above the current epoch.
+        assert!(!s.lead(1));
+        assert!(s.lead(2));
+        assert_eq!(s.role(), ReplRole::Leader);
+        assert_eq!(s.leader_id.load(Ordering::Relaxed), 7);
+        // A leader fences same-epoch subscribe traffic (one leader per
+        // epoch), but yields to a genuinely newer epoch.
+        assert!(!s.follow(2, 3));
+        assert!(s.follow(3, 3));
+        assert_eq!(s.role(), ReplRole::Follower);
+        // Adoption reset the cursor for the new leader's LSN space.
+        assert_eq!(s.cursor.load(Ordering::Acquire), CURSOR_UNSET);
+    }
+
+    #[test]
+    fn flaky_stream_tears_the_triggering_write() {
+        let mut out = Vec::new();
+        {
+            let mut s = FlakyStream::new(&mut out, NetFaultMode::TornWrite { keep: 3 }, 1);
+            s.write_all(b"first").unwrap();
+            assert!(!s.tripped());
+            // Budget spent: this write is torn after 3 bytes.
+            assert!(s.write_all(b"second").is_err());
+            assert!(s.tripped());
+            // Dead afterwards.
+            assert!(s.write_all(b"third").is_err());
+        }
+        assert_eq!(&out, b"firstsec");
+    }
+
+    #[test]
+    fn flaky_stream_blackhole_lies_about_delivery() {
+        let mut out = Vec::new();
+        {
+            let mut s = FlakyStream::new(&mut out, NetFaultMode::Blackhole, 1);
+            s.write_all(b"seen").unwrap();
+            // The fault engages silently: success reported, no bytes.
+            s.write_all(b"lost").unwrap();
+            s.flush().unwrap();
+        }
+        assert_eq!(&out, b"seen");
+    }
+
+    #[test]
+    fn flaky_stream_duplicates_after_budget() {
+        let mut out = Vec::new();
+        {
+            let mut s = FlakyStream::new(&mut out, NetFaultMode::Duplicate, 1);
+            s.write_all(b"a|").unwrap();
+            s.write_all(b"b|").unwrap();
+        }
+        assert_eq!(&out, b"a|b|b|");
+    }
+
+    #[test]
+    fn flaky_stream_drop_errors_reads_too() {
+        let data = b"hello".to_vec();
+        let mut s = FlakyStream::new(std::io::Cursor::new(data), NetFaultMode::Drop, 0);
+        let mut buf = [0u8; 4];
+        assert!(s.write(b"x").is_err());
+        assert!(s.read(&mut buf).is_err());
+    }
+}

@@ -40,9 +40,10 @@ use blsm_storage::{Result, StorageError};
 
 use crate::admission::{AdmissionConfig, WriteAdmission};
 use crate::protocol::{
-    decode_request, encode_response, ErrKind, FrameDecoder, Request, Response, WireScrubReport,
-    WireShardStats, WireStats, MAX_FRAME,
+    decode_request, encode_response, CloseReason, ErrKind, FrameDecoder, Request, Response,
+    WireScrubReport, WireShardStats, WireStats, MAX_FRAME,
 };
+use crate::replication::{Replication, ReplicationConfig};
 use crate::router::ShardRouter;
 
 /// Server tuning knobs.
@@ -70,6 +71,9 @@ impl Default for ServerConfig {
 struct Inner {
     router: ShardRouter,
     config: ServerConfig,
+    /// Present when this server is part of a replication group; holds
+    /// role/epoch state and the request handlers (`replication.rs`).
+    repl: Option<Replication>,
     /// Set by `shutdown()` or a SHUTDOWN request; accept loop and
     /// connection threads poll it.
     // ordering: SeqCst — shutdown flag; totally ordered with the
@@ -135,12 +139,58 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> Result<Server> {
+        Self::start_inner(store, addr, config, None)
+    }
+
+    /// [`Server::start`] plus a replication role: the server joins the
+    /// static group described by `repl_config` — as the initial leader
+    /// (shipping WAL records to every peer, gating client-write acks on
+    /// a majority) or as a follower (applying shipped records, serving
+    /// reads, refusing client writes with `NotLeader`).
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Server::start`], or with
+    /// [`StorageError::InvalidFormat`] if the store is not a durable
+    /// single-shard store (see [`Replication::new`]).
+    pub fn start_replicated(
+        db: ThreadedBLsm,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        repl_config: ReplicationConfig,
+    ) -> Result<Server> {
+        Self::start_inner(
+            ShardedBLsm::from_single(db),
+            addr,
+            config,
+            Some(repl_config),
+        )
+    }
+
+    fn start_inner(
+        store: ShardedBLsm,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        repl_config: Option<ReplicationConfig>,
+    ) -> Result<Server> {
         let listener = TcpListener::bind(addr).map_err(StorageError::Io)?;
         listener.set_nonblocking(true).map_err(StorageError::Io)?;
         let local_addr = listener.local_addr().map_err(StorageError::Io)?;
+        let repl = match repl_config {
+            Some(rc) => {
+                let db = store.single().ok_or_else(|| {
+                    StorageError::InvalidFormat(
+                        "replication requires a single-shard store (one WAL stream)".into(),
+                    )
+                })?;
+                Some(Replication::new(db, rc)?)
+            }
+            None => None,
+        };
         let inner = Arc::new(Inner {
             router: ShardRouter::new(store, config.admission),
             config,
+            repl,
             stop: AtomicBool::new(false),
             active_connections: AtomicU64::new(0),
             served: AtomicU64::new(0),
@@ -203,6 +253,11 @@ impl Server {
             ));
         };
         inner.stop.store(true, Ordering::SeqCst);
+        // Shipper threads hold only the replication state + engine seam
+        // (never `inner`), so stopping them is a flag, not a join.
+        if let Some(repl) = &inner.repl {
+            repl.stop();
+        }
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
@@ -223,6 +278,9 @@ impl Drop for Server {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
             inner.stop.store(true, Ordering::SeqCst);
+            if let Some(repl) = &inner.repl {
+                repl.stop();
+            }
             if let Some(h) = self.accept_thread.take() {
                 let _ = h.join();
             }
@@ -278,6 +336,12 @@ fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
 
 /// Per-connection loop: read → decode → serve → respond, until the peer
 /// disconnects, the stream turns to garbage, or the server stops.
+///
+/// Every exit is classified (`CloseReason`): a clean EOF stays silent,
+/// but a torn frame or an unframable stream is logged with its typed
+/// reason — after a failover these are the fingerprints of a fenced
+/// old-epoch leader being cut off mid-frame, and they must not be
+/// indistinguishable from a polite hangup.
 fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
     if stream
         .set_read_timeout(Some(inner.config.poll_interval))
@@ -286,12 +350,28 @@ fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
     {
         return;
     }
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "<unknown>".to_string(), |a| a.to_string());
     let view = inner.router.read_view();
     let mut decoder = FrameDecoder::with_max(inner.config.max_frame);
     let mut buf = vec![0u8; 16 << 10];
     loop {
+        // Checked every iteration, not just on idle timeouts: a peer
+        // that streams continuously (a leader's shipper heartbeats
+        // every ship_interval) keeps every read returning data, so a
+        // timeout-only stop check would never fire and shutdown would
+        // block on this connection until the peer went away.
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
         match stream.read(&mut buf) {
-            Ok(0) => return, // peer closed
+            Ok(0) => {
+                // EOF: let the decoder say whether the peer stopped on
+                // a frame boundary or vanished mid-frame.
+                log_close(&peer, &decoder.close_reason_at_eof());
+                return;
+            }
             Ok(n) => {
                 decoder.feed(&buf[..n]);
                 let mut frames = Vec::new();
@@ -300,7 +380,15 @@ fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
                         Ok(Some(payload)) => frames.push(payload),
                         Ok(None) => break,
                         // Unframable stream: nothing sane to answer.
-                        Err(_) => return,
+                        Err(e) => {
+                            log_close(
+                                &peer,
+                                &CloseReason::Corrupt {
+                                    detail: e.to_string(),
+                                },
+                            );
+                            return;
+                        }
                     }
                 }
                 if frames.is_empty() {
@@ -321,7 +409,15 @@ fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
                     }
                     // Undecodable request payload: drop the connection
                     // (ids can no longer be trusted).
-                    Err(_) => return,
+                    Err(e) => {
+                        log_close(
+                            &peer,
+                            &CloseReason::Corrupt {
+                                detail: e.to_string(),
+                            },
+                        );
+                        return;
+                    }
                 }
             }
             Err(e)
@@ -336,6 +432,14 @@ fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
             Err(_) => return,
         }
     }
+}
+
+/// Logs non-clean connection closes with their typed reason.
+fn log_close(peer: &str, reason: &CloseReason) {
+    if *reason == CloseReason::CleanEof {
+        return;
+    }
+    eprintln!("blsm-server: closing connection from {peer}: {reason}");
 }
 
 /// Maps an engine error to the typed wire error, preserving the
@@ -365,6 +469,12 @@ fn serve_batch(
     for payload in frames {
         let (id, req) = decode_request(payload)?;
         if let Some(key) = req.write_key() {
+            // Followers never take client writes: replicated state must
+            // flow through the leader's WAL, not around it.
+            if let Some(repl) = inner.repl.as_ref().filter(|r| r.refuses_writes()) {
+                push_response(&mut out, id, &repl.not_leader_response())?;
+                continue;
+            }
             let (_shard, verdict) = inner.router.write_admission(key);
             match verdict {
                 WriteAdmission::Admit => {}
@@ -380,9 +490,25 @@ fn serve_batch(
                     continue;
                 }
             }
-            let resp = apply_write(inner, req);
+            let mut resp = apply_write(inner, req);
+            // Leader commit gate: the ack leaves only once a majority
+            // of the group holds the write (DESIGN.md §17).
+            if matches!(resp, Response::Ok | Response::Inserted(true)) {
+                if let Some(repl) = &inner.repl {
+                    let gate = repl.commit_gate();
+                    if gate != Response::Ok {
+                        resp = gate;
+                    }
+                }
+            }
             push_response(&mut out, id, &resp)?;
             continue;
+        }
+        if let Some(repl) = &inner.repl {
+            if let Some(resp) = serve_replication(inner, repl, &req) {
+                push_response(&mut out, id, &resp)?;
+                continue;
+            }
         }
         // Reads (and control commands) see every write applied so far on
         // this connection: writes above completed before this point.
@@ -421,6 +547,13 @@ fn serve_batch(
                 shutdown = true;
                 Response::Ok
             }
+            // Replication frames on a replication-less server.
+            Request::ReplSubscribe { .. } | Request::Replicate { .. } | Request::Promote { .. } => {
+                Response::Err {
+                    kind: ErrKind::Invalid,
+                    message: "replication not configured on this server".into(),
+                }
+            }
             // Writes were handled above.
             _ => Response::Err {
                 kind: ErrKind::Invalid,
@@ -430,6 +563,33 @@ fn serve_batch(
         push_response(&mut out, id, &resp)?;
     }
     Ok((out, shutdown))
+}
+
+/// Dispatches the three replication opcodes; `None` for anything else.
+fn serve_replication(inner: &Inner, repl: &Replication, req: &Request) -> Option<Response> {
+    match req {
+        Request::ReplSubscribe { leader_id, epoch } => {
+            Some(repl.handle_subscribe(*leader_id, *epoch))
+        }
+        Request::Replicate {
+            leader_id,
+            epoch,
+            from_lsn,
+            next_lsn,
+            records,
+        } => {
+            let Some(db) = inner.router.store().single() else {
+                // `start_replicated` guarantees a single shard.
+                return Some(Response::Err {
+                    kind: ErrKind::Invalid,
+                    message: "replication requires a single-shard store".into(),
+                });
+            };
+            Some(repl.handle_replicate(db, *leader_id, *epoch, *from_lsn, *next_lsn, records))
+        }
+        Request::Promote { epoch } => Some(repl.handle_promote(*epoch)),
+        _ => None,
+    }
 }
 
 /// Applies one admitted write directly on the calling connection
@@ -532,5 +692,6 @@ fn wire_stats(inner: &Inner, view: &ShardedReadView) -> WireStats {
         wal_torn_tail_bytes: engine.recovery.wal_torn_tail_bytes,
         manifest_rolled_back: engine.recovery.manifest_rolled_back,
         shards,
+        repl: inner.repl.as_ref().map(Replication::wire_stats),
     }
 }

@@ -110,6 +110,18 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                         wal_records_replayed: (a | b) >> i,
                     })
                     .collect(),
+                repl: (p & 2 == 0).then(|| blsm_server::WireReplStats {
+                    node_id: a % 7,
+                    role: match p % 3 {
+                        0 => blsm_server::ReplRole::Standalone,
+                        1 => blsm_server::ReplRole::Leader,
+                        _ => blsm_server::ReplRole::Follower,
+                    },
+                    epoch: b % 101,
+                    applied_seqno: a.wrapping_mul(3),
+                    acked_lsn: b.wrapping_mul(5),
+                    lag_bytes: a ^ u64::from(p),
+                }),
             })
         }),
     ]

@@ -101,6 +101,17 @@ pub enum StorageError {
     InvalidFormat(String),
     /// The buffer pool has no evictable frame (everything is pinned).
     PoolExhausted,
+    /// A WAL catch-up read asked for an LSN the ring has already
+    /// truncated: the requested history is gone and the reader (a
+    /// replication follower) must bootstrap from a full snapshot
+    /// instead of the log. Typed so callers can distinguish "you are
+    /// too far behind" from corruption or silence.
+    SnapshotNeeded {
+        /// The LSN the reader asked to resume from.
+        requested_lsn: u64,
+        /// The ring's current truncation point; history below it is gone.
+        head_lsn: u64,
+    },
 }
 
 impl StorageError {
@@ -184,6 +195,14 @@ impl fmt::Display for StorageError {
             }
             StorageError::InvalidFormat(msg) => write!(f, "invalid format: {msg}"),
             StorageError::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
+            StorageError::SnapshotNeeded {
+                requested_lsn,
+                head_lsn,
+            } => write!(
+                f,
+                "snapshot needed: requested lsn {requested_lsn} predates wal head {head_lsn} \
+                 (history truncated; catch-up via the log is impossible)"
+            ),
         }
     }
 }

@@ -193,6 +193,60 @@ impl Wal {
         self.head = new_head;
     }
 
+    /// Reads every already-durable record from `start_lsn` (inclusive)
+    /// up to the flushed tail, for replication catch-up. Only flushed
+    /// bytes are visible — a record still sitting in the append buffer
+    /// is not yet durable and must not be shipped to a follower.
+    ///
+    /// # Errors
+    ///
+    /// - [`StorageError::SnapshotNeeded`] when `start_lsn` predates the
+    ///   ring's truncation point: the requested history is gone and the
+    ///   caller must bootstrap from a snapshot, not the log.
+    /// - [`StorageError::InvalidFormat`] when `start_lsn` lies past the
+    ///   flushed tail (a reader asking for the future — e.g. a fenced
+    ///   stale leader whose view of this log is wrong).
+    /// - [`StorageError::Corruption`] when a frame between `start_lsn`
+    ///   and the flushed tail fails validation: everything below the
+    ///   flushed LSN must be intact, so an invalid frame there is real
+    ///   damage, not a clean end.
+    pub fn records_from(&self, start_lsn: Lsn) -> Result<Vec<WalRecord>> {
+        if start_lsn < self.head {
+            return Err(StorageError::SnapshotNeeded {
+                requested_lsn: start_lsn,
+                head_lsn: self.head,
+            });
+        }
+        if start_lsn > self.flushed {
+            return Err(StorageError::InvalidFormat(format!(
+                "wal catch-up from lsn {start_lsn} past flushed tail {}",
+                self.flushed
+            )));
+        }
+        let mut records = Vec::new();
+        let mut lsn = start_lsn;
+        while lsn < self.flushed {
+            match read_frame(&self.device, self.capacity, lsn) {
+                FrameOutcome::Record(rec) => {
+                    lsn += FRAME_HEADER_LEN as u64 + rec.payload.len() as u64;
+                    records.push(rec);
+                }
+                FrameOutcome::End { state, .. } => {
+                    return Err(StorageError::corruption(
+                        crate::error::ComponentId::Wal,
+                        Some(lsn % self.capacity),
+                        format!(
+                            "invalid frame ({state:?}) at lsn {lsn} below the flushed \
+                             tail {} during catch-up read",
+                            self.flushed
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(records)
+    }
+
     fn write_ring(&self, lsn: Lsn, bytes: &[u8]) -> Result<()> {
         let mut off = lsn % self.capacity;
         let mut rest = bytes;
@@ -532,6 +586,110 @@ mod tests {
         assert_eq!(report.tail, wal.tail_lsn());
         assert_eq!(report.tail_state, WalTailState::StaleLap);
         assert_eq!(report.torn_tail_bytes, 0);
+    }
+
+    #[test]
+    fn records_from_reads_the_durable_window() {
+        let (_dev, mut wal) = mem_wal(4096);
+        wal.append(b"one").unwrap();
+        let l1 = wal.append(b"two").unwrap();
+        wal.append(b"three").unwrap();
+        wal.flush().unwrap();
+        // From the head: every flushed record.
+        let all = wal.records_from(0).unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].payload, b"one");
+        // From a mid-log frame boundary: the suffix.
+        let suffix = wal.records_from(l1).unwrap();
+        assert_eq!(suffix.len(), 2);
+        assert_eq!(suffix[0].payload, b"two");
+        assert_eq!(suffix[0].lsn, l1);
+        // From the flushed tail: empty, not an error.
+        assert!(wal.records_from(wal.tail_lsn()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn records_from_excludes_unflushed_appends() {
+        let (_dev, mut wal) = mem_wal(4096);
+        wal.append(b"durable").unwrap();
+        wal.flush().unwrap();
+        let flushed = wal.flushed_lsn();
+        wal.append(b"buffered").unwrap();
+        // The buffered record is not durable: it must not ship, and
+        // asking for it by LSN is a reader error, not silence.
+        assert_eq!(wal.records_from(0).unwrap().len(), 1);
+        assert!(matches!(
+            wal.records_from(wal.tail_lsn()),
+            Err(StorageError::InvalidFormat(_))
+        ));
+        assert_eq!(wal.records_from(flushed).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn records_from_truncated_history_is_snapshot_needed() {
+        // A ring that wrapped mid-catch-up: a follower resuming from an
+        // LSN the leader already truncated must get the typed
+        // "snapshot needed" error, not silence or garbage.
+        let capacity = 256u64;
+        let (_dev, mut wal) = mem_wal(capacity);
+        let mut boundaries = std::collections::VecDeque::new();
+        let follower_lsn = 0u64; // the follower never advanced
+        for i in 0..50u32 {
+            let payload = format!("record-{i:04}");
+            let lsn = wal.append(payload.as_bytes()).unwrap();
+            wal.flush().unwrap();
+            boundaries.push_back(lsn);
+            while boundaries.len() > 2 {
+                boundaries.pop_front();
+            }
+            wal.truncate(*boundaries.front().unwrap());
+        }
+        assert!(wal.tail_lsn() > capacity, "must have wrapped");
+        match wal.records_from(follower_lsn) {
+            Err(StorageError::SnapshotNeeded {
+                requested_lsn,
+                head_lsn,
+            }) => {
+                assert_eq!(requested_lsn, follower_lsn);
+                assert_eq!(head_lsn, wal.head_lsn());
+            }
+            other => panic!("expected SnapshotNeeded, got {other:?}"),
+        }
+        // Resuming from the live window still works after the wrap:
+        // the records come back in order with their original LSNs.
+        let live = wal.records_from(wal.head_lsn()).unwrap();
+        assert_eq!(live.len(), 2);
+        assert!(live.windows(2).all(|w| w[0].lsn < w[1].lsn));
+        assert_eq!(
+            replay(&_dev, capacity, wal.head_lsn()).0.len(),
+            live.len(),
+            "catch-up and crash replay agree on the live window"
+        );
+    }
+
+    #[test]
+    fn replay_report_on_wrapped_ring_recovers_only_live_records() {
+        // The same wrapped ring, seen through replay_report the way a
+        // restart would: the stale-lap stop state, not a torn frame.
+        let capacity = 256u64;
+        let (dev, mut wal) = mem_wal(capacity);
+        let mut boundaries = std::collections::VecDeque::new();
+        for i in 0..40u32 {
+            let payload = format!("wrap-{i:04}");
+            let lsn = wal.append(payload.as_bytes()).unwrap();
+            wal.flush().unwrap();
+            boundaries.push_back(lsn);
+            while boundaries.len() > 3 {
+                boundaries.pop_front();
+            }
+            wal.truncate(*boundaries.front().unwrap());
+        }
+        assert!(wal.tail_lsn() > capacity);
+        let report = replay_report(&dev, capacity, wal.head_lsn());
+        assert_eq!(report.tail, wal.tail_lsn());
+        assert_eq!(report.records.len(), 3);
+        assert!(report.records.iter().all(|r| r.lsn >= wal.head_lsn()));
+        assert_eq!(report.tail_state, WalTailState::StaleLap);
     }
 
     #[test]

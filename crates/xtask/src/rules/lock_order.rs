@@ -47,7 +47,14 @@ fn hierarchy(krate: &str) -> &'static [&'static str] {
         // The shard router keeps it that way: immutable boundaries plus
         // per-shard `AdmissionController`s (atomic counters only), so
         // routing a request acquires no lock on any path (DESIGN.md
-        // §16). Any edge here must first be added to DESIGN.md §14.
+        // §16). The replicated tier (DESIGN.md §17) extends the same
+        // invariant: `replication.rs` is atomics-only by design —
+        // `ReplState` (epoch/role/cursor/acks) carries an `// ordering:`
+        // comment per atomic, the commit gate spins on peer-ack LSNs
+        // without blocking on any mutex, and shipper threads hold only
+        // the repl state plus the engine's `ReplSource` seam. A lock
+        // appearing anywhere in the server crate must be argued into
+        // DESIGN.md §14 and this table together.
         _ => &[],
     }
 }
