@@ -153,6 +153,19 @@ pub(crate) struct TreeShared {
     // only needs to hand out unique, monotone values; happens-before
     // for the entries themselves comes from the shard locks.
     pub(crate) next_seqno: AtomicU64,
+    /// Applied floor: every seqno strictly below it has *completed* the
+    /// WAL-append + `C0`-insert path on this node. Unlike `next_seqno`
+    /// (a reservation counter that may run ahead of failed or in-flight
+    /// writes), this only advances after an insert succeeds — it is the
+    /// horizon replication acks and the replicated-apply dedupe check
+    /// are based on, so a record whose apply *failed* (backpressure,
+    /// WAL error) is re-applied on the leader's resend instead of being
+    /// skipped as a duplicate.
+    // ordering: AcqRel `fetch_max` after each successful insert (the
+    // insert happens-before the floor advance), a Release store of the
+    // replayed floor at open, Acquire loads in the dedupe check and
+    // replication acks — an acked floor implies fully applied records.
+    pub(crate) applied_floor: AtomicU64,
     /// Bytes writers were admitted for by `pace` but have not yet made
     /// resident in `C0` (claimed before the WAL append + insert, released
     /// when the insert lands or the write errors out). Feeds

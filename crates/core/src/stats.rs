@@ -153,12 +153,12 @@ pub struct TreeStatsSnapshot {
     /// through the tree or a [`crate::ReadView`] carry the real report.
     pub recovery: RecoveryReport,
     /// The next sequence number the tree would allocate at snapshot
-    /// time — the replication tier's progress meter (a follower's
-    /// `next_seqno - 1` is the highest write it has fully applied; the
-    /// leader's is the highest write it has acknowledged locally, so
-    /// the difference is replication lag). Raw [`TreeStats::snapshot`]
-    /// reports 0; snapshots taken through the tree or a
-    /// [`crate::ReadView`] carry the live counter.
+    /// time. A *reservation* counter: it may run ahead of failed or
+    /// in-flight applies, so the replication tier's progress meter is
+    /// the applied floor ([`crate::BLsmTree::applied_seqno`]), not
+    /// `next_seqno - 1`. Raw [`TreeStats::snapshot`] reports 0;
+    /// snapshots taken through the tree or a [`crate::ReadView`] carry
+    /// the live counter.
     pub next_seqno: u64,
 }
 

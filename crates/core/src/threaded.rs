@@ -224,10 +224,18 @@ impl ThreadedBLsm {
     }
 
     /// The next seqno this tree would allocate — an atomic read, no
-    /// locks. On a follower, `next_seqno() - 1` is the highest
-    /// replicated write fully applied (the read horizon STATS reports).
+    /// locks. A reservation counter: it may run ahead of failed or
+    /// in-flight applies, so replication reports
+    /// [`applied_seqno`](Self::applied_seqno) instead.
     pub fn next_seqno(&self) -> u64 {
         self.shared().tree.next_seqno()
+    }
+
+    /// The highest seqno fully applied on this node — the read horizon
+    /// STATS reports and failover elections compare (see
+    /// [`BLsmTree::applied_seqno`]).
+    pub fn applied_seqno(&self) -> u64 {
+        self.shared().tree.applied_seqno()
     }
 
     /// A cloneable replication-source handle (seqno counter + durable

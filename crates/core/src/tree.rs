@@ -173,6 +173,7 @@ impl BLsmTree {
             catalog: CatalogCell::new(ComponentCatalog::new(c1, c1_prime, c2)),
             c0: ConcurrentC0::new(),
             next_seqno: AtomicU64::new(next_seqno),
+            applied_floor: AtomicU64::new(next_seqno),
             admitted_inflight: AtomicUsize::new(0),
             admitted_peak: AtomicUsize::new(0),
             wal: Mutex::new(None),
@@ -232,6 +233,11 @@ impl BLsmTree {
             // store pairs with the AcqRel tickets taken once the tree is
             // shared, so the replayed floor is visible to every writer.
             tree.shared.next_seqno.store(next_seqno, Ordering::Release);
+            // Everything replayed (or skipped as already durable) below
+            // the floor is fully applied on this node.
+            tree.shared
+                .applied_floor
+                .store(next_seqno, Ordering::Release);
             *tree.shared.wal.lock() = Some(Wal::new(
                 wal_dev,
                 tree.shared.config.wal_capacity,
@@ -318,6 +324,19 @@ impl BLsmTree {
         // ordering: Acquire — pairs with the AcqRel ticket allocation in
         // `write_entry`; see the field docs in `catalog.rs`.
         self.shared.next_seqno.load(Ordering::Acquire)
+    }
+
+    /// The highest seqno this tree has *fully applied* (WAL + `C0`),
+    /// from one atomic read. Unlike [`next_seqno`](Self::next_seqno)
+    /// (a reservation counter), this never covers a write whose apply
+    /// failed — it is the horizon replication acks report.
+    pub fn applied_seqno(&self) -> u64 {
+        // ordering: Acquire — pairs with the AcqRel floor advance in
+        // `insert_versioned`; see the field docs in `catalog.rs`.
+        self.shared
+            .applied_floor
+            .load(Ordering::Acquire)
+            .saturating_sub(1)
     }
 
     /// Data bytes in each on-disk component `(C1, C1', C2)`.
@@ -449,13 +468,21 @@ impl BLsmTree {
             &self.shared.stats.user_bytes_written,
             (key.len() + v.entry.payload_len()) as u64,
         );
+        let seqno = v.seqno;
         if self.shared.config.durability == Durability::None {
             // Degraded durability (§4.4.2): no log, no serialization —
             // writers contend only on their C0 key-range shard.
             self.shared.c0.insert(key, v, self.shared.op.as_ref());
-            return Ok(());
+        } else {
+            self.log_and_insert(key, v)?;
         }
-        self.log_and_insert(key, v)
+        // ordering: AcqRel — the insert above happens-before the floor
+        // advance; see the field docs in `catalog.rs`. Only reached on
+        // success, so the floor never runs ahead of a failed apply.
+        self.shared
+            .applied_floor
+            .fetch_max(seqno + 1, Ordering::AcqRel);
+        Ok(())
     }
 
     /// Applies one replicated WAL record (a payload produced by the
@@ -466,13 +493,20 @@ impl BLsmTree {
     /// like a leader would.
     ///
     /// Returns `Ok(None)` when the record's seqno is below this tree's
-    /// next-seqno floor, i.e. it was already applied — duplicated
-    /// delivery (a flaky link re-sending a batch) is a no-op, which also
-    /// makes replays after an ack loss safe for non-idempotent deltas.
+    /// *applied* floor, i.e. its apply fully completed earlier —
+    /// duplicated delivery (a flaky link re-sending a batch) is a no-op,
+    /// which also makes replays after an ack loss safe for
+    /// non-idempotent deltas.
     ///
-    /// The local seqno counter is advanced to `seqno + 1` *before* the
-    /// insert, so a promotion that happens mid-apply still allocates
-    /// fresh tickets above every replicated record.
+    /// The dedupe check is deliberately **not** based on `next_seqno`:
+    /// that counter is a reservation advanced *before* the fallible
+    /// WAL-append + insert (so a promotion that happens mid-apply still
+    /// allocates fresh tickets above every replicated record), and a
+    /// floor that can run ahead of a failed apply would make the
+    /// leader's retry of that record look like a duplicate — silently
+    /// losing it on this follower. The applied floor advances only
+    /// after the insert succeeds, so a failed apply leaves it in place
+    /// and the resend is re-applied.
     ///
     /// # Errors
     ///
@@ -481,24 +515,21 @@ impl BLsmTree {
     pub fn apply_replicated(&self, payload: &[u8]) -> Result<Option<u64>> {
         let (key, v) = decode_wal_record(payload)?;
         let seqno = v.seqno;
-        // ordering: AcqRel CAS — observes the current floor (Acquire) and
-        // publishes the advanced floor to ticket allocators (Release);
-        // same contract as the `write_entry` ticket RMW.
-        let mut next = self.shared.next_seqno.load(Ordering::Acquire);
-        loop {
-            if seqno < next {
-                return Ok(None);
-            }
-            match self.shared.next_seqno.compare_exchange_weak(
-                next,
-                seqno + 1,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => break,
-                Err(cur) => next = cur,
-            }
+        // ordering: Acquire — pairs with the AcqRel floor advance in
+        // `insert_versioned`; a floor above `seqno` implies the record's
+        // earlier apply fully completed.
+        if seqno < self.shared.applied_floor.load(Ordering::Acquire) {
+            return Ok(None);
         }
+        // Reserve the ticket space before the insert: a promotion that
+        // lands mid-apply must allocate fresh local seqnos above this
+        // record. Reserving is safe precisely because dedupe does not
+        // read this counter.
+        // ordering: AcqRel — same contract as the `write_entry` ticket
+        // RMW.
+        self.shared
+            .next_seqno
+            .fetch_max(seqno + 1, Ordering::AcqRel);
         let incoming = (key.len()
             + v.entry.payload_len()
             + blsm_memtable::Memtable::new().approx_bytes().max(64)) as u64;
@@ -1076,6 +1107,18 @@ impl ReplSource {
         // ordering: Acquire — pairs with the AcqRel ticket allocation in
         // `write_entry`; see the field docs in `catalog.rs`.
         self.shared.next_seqno.load(Ordering::Acquire)
+    }
+
+    /// The highest seqno this node has fully applied — the horizon
+    /// replication acks and failover elections compare (see
+    /// [`BLsmTree::applied_seqno`]).
+    pub fn applied_seqno(&self) -> u64 {
+        // ordering: Acquire — pairs with the AcqRel floor advance in
+        // `insert_versioned`; see the field docs in `catalog.rs`.
+        self.shared
+            .applied_floor
+            .load(Ordering::Acquire)
+            .saturating_sub(1)
     }
 
     /// The WAL's live durable window `(head, flushed)`.

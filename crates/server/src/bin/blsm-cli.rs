@@ -13,7 +13,7 @@
 //! blsm-cli ADDR shutdown
 //! blsm-cli ADDR repl-status
 //! blsm-cli ADDR promote EPOCH
-//! blsm-cli promote-auto ADDR1,ADDR2,...
+//! blsm-cli promote-auto ADDR1,ADDR2,... [GROUP_SIZE]
 //! ```
 //!
 //! `scrub` exits 3 when the store has detectable damage (and prints
@@ -24,7 +24,11 @@
 //! leader for exactly that epoch; `promote-auto` runs the deterministic
 //! failover handshake — read every reachable node's status, promote
 //! the highest `(applied_seqno, node_id)` with an epoch above every one
-//! observed — and prints the winner.
+//! observed — and prints the winner. GROUP_SIZE is the total number of
+//! nodes in the group (defaults to the number of addresses given; pass
+//! it explicitly when omitting known-dead nodes from the list):
+//! promotion refuses to run unless a majority of the group answered,
+//! since only a majority poll is guaranteed to see every acked write.
 //!
 //! Write commands retry with backoff when the server answers
 //! RETRY_LATER (admission control above the high water mark); exit code
@@ -38,7 +42,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: blsm-cli ADDR (ping | get K | put K V | insert K V | delta K V | \
          delete K | scan FROM LIMIT [TO] | stats | scrub | shutdown | \
-         repl-status | promote EPOCH)\n       blsm-cli promote-auto ADDR1,ADDR2,..."
+         repl-status | promote EPOCH)\n       blsm-cli promote-auto ADDR1,ADDR2,... [GROUP_SIZE]"
     );
     std::process::exit(2);
 }
@@ -54,7 +58,20 @@ fn main() {
             .filter(|s| !s.is_empty())
             .map(str::to_string)
             .collect();
-        match elect_and_promote(&addrs) {
+        let group_size = match args.get(2) {
+            Some(s) => match s.parse::<usize>() {
+                Ok(n) if n >= addrs.len() => n,
+                _ => {
+                    eprintln!(
+                        "blsm-cli: GROUP_SIZE must be a number >= the {} addresses given",
+                        addrs.len()
+                    );
+                    std::process::exit(2);
+                }
+            },
+            None => addrs.len(),
+        };
+        match elect_and_promote(&addrs, group_size) {
             Ok((winner, epoch)) => {
                 println!("promoted {winner} epoch={epoch}");
                 return;

@@ -446,7 +446,9 @@ fn unexpected(resp: &Response) -> StorageError {
             // semantics; at the generic client surface they are typed
             // request failures (the replication layer matches on the
             // raw `Response::Err` kind before this rehydration runs).
-            ErrKind::Fenced => StorageError::InvalidFormat(format!("fenced: {message}")),
+            ErrKind::Fenced { epoch, .. } => {
+                StorageError::InvalidFormat(format!("fenced at epoch {epoch}: {message}"))
+            }
             ErrKind::NotLeader => StorageError::InvalidFormat(format!("not leader: {message}")),
             ErrKind::SnapshotNeeded => {
                 StorageError::InvalidFormat(format!("snapshot needed: {message}"))

@@ -276,8 +276,16 @@ pub enum ErrKind {
     Other,
     /// A replication frame carried an epoch below the receiver's: the
     /// sender is a deposed leader and must stop shipping immediately.
-    /// The message carries the receiver's current epoch.
-    Fenced,
+    /// Carries the receiver's current epoch and last-known leader as
+    /// structured fields (`leader_id == u64::MAX` when unknown), so the
+    /// deposed node adopts the *true* epoch — not a locally fabricated
+    /// one — and can hint redirecting clients at the real leader.
+    Fenced {
+        /// The receiver's current epoch.
+        epoch: u64,
+        /// The receiver's last-known leader (`u64::MAX` = unknown).
+        leader_id: u64,
+    },
     /// A client write reached a follower; the client should redirect to
     /// the current leader (named in the message when known).
     NotLeader,
@@ -305,19 +313,32 @@ impl ErrKind {
             ErrKind::Io => 1,
             ErrKind::Invalid => 2,
             ErrKind::Other => 3,
-            ErrKind::Fenced => 4,
+            ErrKind::Fenced { .. } => 4,
             ErrKind::NotLeader => 5,
             ErrKind::SnapshotNeeded => 6,
         }
     }
 
-    fn from_u8(v: u8) -> Result<ErrKind> {
-        Ok(match v {
+    /// Wire form: the kind byte, then (for `Fenced` only) the
+    /// receiver's epoch and last-known leader id.
+    fn encode(self, out: &mut Vec<u8>) {
+        codec::put_u8(out, self.to_u8());
+        if let ErrKind::Fenced { epoch, leader_id } = self {
+            codec::put_u64(out, epoch);
+            codec::put_u64(out, leader_id);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<ErrKind> {
+        Ok(match r.u8()? {
             0 => ErrKind::Corruption,
             1 => ErrKind::Io,
             2 => ErrKind::Invalid,
             3 => ErrKind::Other,
-            4 => ErrKind::Fenced,
+            4 => ErrKind::Fenced {
+                epoch: r.u64()?,
+                leader_id: r.u64()?,
+            },
             5 => ErrKind::NotLeader,
             6 => ErrKind::SnapshotNeeded,
             other => return Err(frame_error(&format!("bad error kind {other}"))),
@@ -647,7 +668,7 @@ pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) -> Result<()
         }
         Response::RetryLater { backoff_ms } => codec::put_u32(&mut payload, *backoff_ms),
         Response::Err { kind, message } => {
-            codec::put_u8(&mut payload, kind.to_u8());
+            kind.encode(&mut payload);
             codec::put_bytes(&mut payload, message.as_bytes());
         }
         Response::ScrubReport(report) => {
@@ -754,7 +775,7 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response)> {
             backoff_ms: r.u32()?,
         },
         6 => Response::Err {
-            kind: ErrKind::from_u8(r.u8()?)?,
+            kind: ErrKind::decode(&mut r)?,
             message: String::from_utf8_lossy(r.bytes()?).into_owned(),
         },
         8 => Response::ReplAck {
@@ -1088,8 +1109,18 @@ mod tests {
                 next_lsn: 1 << 40,
             },
             Response::Err {
-                kind: ErrKind::Fenced,
+                kind: ErrKind::Fenced {
+                    epoch: 5,
+                    leader_id: 2,
+                },
                 message: "epoch 3 < 5".into(),
+            },
+            Response::Err {
+                kind: ErrKind::Fenced {
+                    epoch: 1,
+                    leader_id: u64::MAX,
+                },
+                message: "fenced, no leader known".into(),
             },
             Response::Err {
                 kind: ErrKind::NotLeader,

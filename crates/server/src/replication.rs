@@ -23,17 +23,28 @@
 //! handshake — no election protocol: an external driver (the CLI, the
 //! drill harness, an operator) reads every reachable peer's STATS,
 //! picks the highest `(applied_seqno, node_id)`, and sends `PROMOTE`
-//! with an epoch strictly above every epoch it saw. The promote
-//! handler refuses stale epochs, so two racing drivers converge on
-//! exactly one leader per epoch.
+//! with an epoch strictly above every epoch it saw. The driver refuses
+//! to promote unless a **majority of the group** answered the poll —
+//! acked writes live on a majority, so only a majority poll is
+//! guaranteed to intersect it and see a candidate holding every acked
+//! write ([`elect_and_promote`]). The promote handler refuses stale
+//! epochs, so two racing drivers converge on exactly one leader per
+//! epoch.
 //!
 //! **Commit gate.** A leader acknowledges a client write only after a
 //! majority of the group (itself included) holds the write: the write
 //! handler samples the leader's flushed WAL LSN after the local apply
 //! and spin-waits — atomics only, no locks — until enough followers
 //! have acked at least that LSN, bounded by a timeout that surfaces as
-//! a typed I/O error (the write is *not* acked, so losing it to a
-//! subsequent failover breaks nothing).
+//! a typed I/O error. The guarantee is **one-way**: acked ⇒ durable on
+//! a majority (so a failover can never lose it). A write that *fails*
+//! the gate is not rolled back — it is already in the leader's WAL and
+//! `C0` and keeps shipping to followers, so it may still commit and
+//! become visible to later reads (standard quorum-system semantics;
+//! clients must treat a gate error as "outcome unknown", not "write
+//! undone"). Only when the failed write's records provably never
+//! reached a follower — e.g. a full partition from before the write —
+//! does a post-failover group exclude it.
 //!
 //! **Concurrency invariant — no new locks.** This module owns zero
 //! mutexes: all shared state is plain atomics ([`ReplState`]), shipper
@@ -362,6 +373,11 @@ impl Replication {
     /// with a short sleep — no locks, so it cannot participate in any
     /// lock cycle; the shipper threads it waits on never block on the
     /// write path.
+    ///
+    /// A gate failure (timeout or demotion mid-wait) does **not**
+    /// unapply the write: it stays in this node's WAL and `C0` and may
+    /// still replicate and become visible. The error means "not
+    /// promised", never "undone" — see the module doc.
     pub fn commit_gate(&self) -> Response {
         let needed = quorum_peers(self.config.peers.len());
         if needed == 0 {
@@ -392,10 +408,16 @@ impl Replication {
             // keep a writer spinning out the full quorum timeout.
             // ordering: Acquire — pairs with the Release store in `stop`.
             if self.state.role() != ReplRole::Leader || self.state.stop.load(Ordering::Acquire) {
-                // Fenced mid-write: the write may survive via the new
-                // leader, but this node cannot promise that.
+                // Fenced mid-write: the write stays in this node's WAL
+                // and C0 and may still commit via the new leader, but
+                // this node cannot promise that (see the module doc on
+                // commit-gate semantics).
                 return Response::Err {
-                    kind: ErrKind::Fenced,
+                    kind: ErrKind::Fenced {
+                        epoch: self.state.epoch(),
+                        // ordering: Relaxed — advisory hint.
+                        leader_id: self.state.leader_id.load(Ordering::Relaxed),
+                    },
                     message: format!(
                         "demoted while awaiting quorum (epoch {})",
                         self.state.epoch()
@@ -417,7 +439,7 @@ impl Replication {
     /// Handles `REPL_SUBSCRIBE` (a leader opening a shipping session).
     pub fn handle_subscribe(&self, leader_id: u64, epoch: u64) -> Response {
         if !self.state.follow(epoch, leader_id) {
-            return fenced(self.state.epoch());
+            return fenced(&self.state);
         }
         self.repl_ack()
     }
@@ -434,7 +456,7 @@ impl Replication {
         records: &[Vec<u8>],
     ) -> Response {
         if !self.state.follow(epoch, leader_id) {
-            return fenced(self.state.epoch());
+            return fenced(&self.state);
         }
         // ordering: Acquire — pairs with the Release cursor stores.
         let expected = self.state.cursor.load(Ordering::Acquire);
@@ -466,17 +488,20 @@ impl Replication {
     /// shipping to every peer.
     pub fn handle_promote(&self, epoch: u64) -> Response {
         if !self.state.lead(epoch) {
-            return fenced(self.state.epoch());
+            return fenced(&self.state);
         }
         self.spawn_shippers(epoch);
         self.repl_ack()
     }
 
     /// The standard ack: current epoch, applied horizon, wanted LSN.
+    /// The horizon is the *applied* floor (advanced only after a
+    /// record's WAL-append + insert completed), never the reservation
+    /// counter — an ack must not overstate what this node holds.
     fn repl_ack(&self) -> Response {
         Response::ReplAck {
             epoch: self.state.epoch(),
-            applied_seqno: self.source.next_seqno().saturating_sub(1),
+            applied_seqno: self.source.applied_seqno(),
             // ordering: Acquire — pairs with the Release cursor stores.
             next_lsn: self.state.cursor.load(Ordering::Acquire),
         }
@@ -508,7 +533,7 @@ impl Replication {
             node_id: self.config.node_id,
             role,
             epoch: self.state.epoch(),
-            applied_seqno: self.source.next_seqno().saturating_sub(1),
+            applied_seqno: self.source.applied_seqno(),
             acked_lsn,
             lag_bytes,
         }
@@ -542,10 +567,16 @@ fn quorum_peers(peers: usize) -> usize {
     peers.div_ceil(2)
 }
 
-fn fenced(current_epoch: u64) -> Response {
+/// A fencing reply carrying the receiver's *actual* epoch and leader
+/// hint as structured fields — the deposed sender adopts these instead
+/// of fabricating an epoch locally.
+fn fenced(state: &ReplState) -> Response {
+    let epoch = state.epoch();
+    // ordering: Relaxed — advisory hint.
+    let leader_id = state.leader_id.load(Ordering::Relaxed);
     Response::Err {
-        kind: ErrKind::Fenced,
-        message: format!("fenced: receiver is at epoch {current_epoch}"),
+        kind: ErrKind::Fenced { epoch, leader_id },
+        message: format!("fenced: receiver is at epoch {epoch}"),
     }
 }
 
@@ -702,12 +733,19 @@ fn ack_cursor(
             }
         }
         Response::Err {
-            kind: ErrKind::Fenced,
+            kind:
+                ErrKind::Fenced {
+                    epoch: peer_epoch,
+                    leader_id,
+                },
             ..
         } => {
-            // The peer told us our epoch is stale; adopt "some higher
-            // epoch exists" conservatively by stepping down.
-            state.follow(epoch + 1, u64::MAX);
+            // The peer told us our epoch is stale; adopt its *actual*
+            // epoch (floored at a one-step demotion in case the reply
+            // is somehow self-inconsistent) and keep its leader hint so
+            // this node's NOT_LEADER replies redirect clients at the
+            // real leader instead of "no leader known".
+            state.follow((*peer_epoch).max(epoch + 1), *leader_id);
             AckOutcome::Fenced
         }
         _ => AckOutcome::Broken,
@@ -719,16 +757,28 @@ fn ack_cursor(
 /// it `PROMOTE` with an epoch above every epoch observed. Returns the
 /// winner's address and the new epoch.
 ///
-/// Used by `blsm-cli promote --auto`, the drill harness, and the CI
+/// `group_size` is the total number of nodes in the replication group
+/// (`addrs` may be a subset — e.g. the confirmed-dead leader omitted).
+/// Promotion requires STATS from a **majority** of the group: the
+/// commit gate guarantees every acked write is on a majority, so only a
+/// poll that covers a majority is guaranteed to intersect that set and
+/// see a node holding every acked write. Run against a reachable
+/// minority (say, the small side of a partition), the old rule would
+/// crown a leader missing acked writes — with no reverse-sync on heal,
+/// those writes would never be readable again.
+///
+/// Used by `blsm-cli promote-auto`, the drill harness, and the CI
 /// smoke job; running it twice concurrently is safe because the promote
 /// fence accepts only strictly increasing epochs.
 ///
 /// # Errors
 ///
-/// Fails if no node is reachable or the winner refuses the promotion.
-pub fn elect_and_promote(addrs: &[String]) -> Result<(String, u64)> {
+/// Fails if fewer than a majority of the group answered STATS, or the
+/// winner refuses the promotion.
+pub fn elect_and_promote(addrs: &[String], group_size: usize) -> Result<(String, u64)> {
     let mut best: Option<(u64, u64, String)> = None;
     let mut max_epoch = 0;
+    let mut polled = 0usize;
     for addr in addrs {
         let Ok(mut client) = Client::with_config(
             addr,
@@ -742,11 +792,22 @@ pub fn elect_and_promote(addrs: &[String]) -> Result<(String, u64)> {
         };
         let Ok(stats) = client.stats() else { continue };
         let Some(repl) = stats.repl else { continue };
+        polled += 1;
         max_epoch = max_epoch.max(repl.epoch);
         let key = (repl.applied_seqno, repl.node_id);
         if best.as_ref().is_none_or(|(s, n, _)| key > (*s, *n)) {
             best = Some((repl.applied_seqno, repl.node_id, addr.clone()));
         }
+    }
+    // The majority-intersection argument above only holds if the poll
+    // actually covered a majority of the group.
+    let majority = group_size.max(addrs.len()) / 2 + 1;
+    if polled < majority {
+        return Err(StorageError::Io(std::io::Error::other(format!(
+            "election quorum not met: {polled}/{} nodes answered, need {majority} \
+             (group of {group_size})",
+            addrs.len(),
+        ))));
     }
     let Some((_, _, winner)) = best else {
         return Err(StorageError::Io(std::io::Error::other(
@@ -1096,6 +1157,18 @@ fn proxy_copy<R: Read, W: Write>(
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
+
+    #[test]
+    fn election_refuses_without_a_majority_poll() {
+        // Nothing is listening on a reserved port: zero nodes answer
+        // STATS, so whatever the group size, promotion must be refused
+        // — polling a minority proves nothing about acked writes.
+        let err = elect_and_promote(&["127.0.0.1:1".into()], 3).unwrap_err();
+        assert!(
+            err.to_string().contains("election quorum not met"),
+            "expected a quorum refusal, got: {err}"
+        );
+    }
 
     #[test]
     fn quorum_needs_a_majority_of_the_group() {
