@@ -28,19 +28,21 @@
 //! retained `C0` copies or the new `C1` without them — never neither,
 //! never both.
 //!
-//! Lock order (see `DESIGN.md` §14): `merge` → `wal` → `catalog` →
-//! `recovery` → `work_pending`. The memtable's internal `pass` → `tables`
-//! locks are encapsulated below `catalog` and never escape the crate.
+//! Lock order (see `DESIGN.md` §14): `merge` → `commit` → `wal` →
+//! `catalog` → `recovery` → `work_pending`. The memtable's internal
+//! `pass` → `tables` locks are encapsulated below `catalog` and never
+//! escape the crate.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use blsm_memtable::{ConcurrentC0, MergeOperator};
 use blsm_sstable::Sstable;
 use blsm_storage::{BufferPool, ComponentId, Wal};
 
+use crate::commit::CommitState;
 use crate::config::BLsmConfig;
 use crate::sched::BackpressureLevel;
 use crate::stats::{RecoveryReport, TreeStats, TreeStatsSnapshot};
@@ -200,6 +202,41 @@ pub(crate) struct TreeShared {
     /// `merge.rs`). Ordered after `merge` and before `catalog` in the
     /// lock hierarchy.
     pub(crate) wal: Mutex<Option<Wal>>,
+    /// Group-commit election bookkeeping (see `commit.rs` and DESIGN.md
+    /// §18): leader flag, parked-waiter count, failure epoch. Ordered
+    /// between `merge` and `wal` in the hierarchy, but never held while
+    /// acquiring anything — the leader drops it before touching the WAL
+    /// and is **never** held across I/O.
+    pub(crate) commit: Mutex<CommitState>,
+    /// Wakes group-commit waiters when a group retires (or fails), and
+    /// the accumulating leader when a co-waiter joins. Paired with
+    /// `commit`.
+    pub(crate) commit_cv: Condvar,
+    /// LSN below which every WAL byte is known device-stable — the
+    /// horizon `Durability::Sync` acks cover. Mirrors the WAL's own
+    /// `synced` watermark so satisfied waiters return without the lock.
+    // ordering: AcqRel `fetch_max` by the group leader after its device
+    // sync (the sync happens-before the horizon it publishes), Acquire
+    // loads in the `wait_durable` fast path and `durable_lsn` — an
+    // observed horizon implies the covering sync completed. At open, a
+    // plain Release store of the replay tail (replayed bytes are on the
+    // device by definition).
+    pub(crate) durable: AtomicU64,
+    /// Appends counted into the currently-open commit group: records
+    /// appended since the last leader flush. Bumped under the `wal`
+    /// mutex by `log_and_insert`, swapped to zero under the same mutex
+    /// by the leader's flush — so the swap reads exactly the group the
+    /// flush covered. Feeds the group-size histogram.
+    // ordering: AcqRel RMWs / Release store — serialized by the wal
+    // mutex; group bookkeeping, not a synchronization edge.
+    pub(crate) unsynced_writes: AtomicU64,
+    /// Frame bytes counted into the currently-open commit group; same
+    /// discipline as `unsynced_writes`. Read (Acquire, possibly stale)
+    /// by an accumulating leader as its `commit_group_bytes` early-exit
+    /// trigger.
+    // ordering: AcqRel RMWs / Release store under the wal mutex;
+    // Acquire reads from the leader's deadline loop tolerate staleness.
+    pub(crate) unsynced_bytes: AtomicU64,
     pub(crate) stats: TreeStats,
     /// Set once at the end of [`crate::BLsmTree::open`]; the lock is only
     /// for interior mutability, never held across I/O.

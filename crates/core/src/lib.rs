@@ -33,6 +33,7 @@
 //! "without resorting to techniques that degrade read performance".
 
 mod catalog;
+mod commit;
 mod config;
 mod merge;
 mod meta;
@@ -55,7 +56,10 @@ pub use sched::{
     SpringGearScheduler, WorkPlan,
 };
 pub use sharded::{DegradedShard, ShardedBLsm, ShardedConfig, ShardedReadView};
-pub use stats::{RecoveryReport, TreeStats, TreeStatsSnapshot};
+pub use stats::{
+    fsync_micros_bucket, group_size_bucket, RecoveryReport, TreeStats, TreeStatsSnapshot,
+    COMMIT_HIST_BUCKETS,
+};
 pub use threaded::ThreadedBLsm;
 pub use tree::{BLsmTree, ReplSource};
 

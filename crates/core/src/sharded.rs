@@ -412,6 +412,89 @@ impl ShardedBLsm {
             .insert_if_not_exists(key, value)
     }
 
+    /// Nowait blind write, routed by key: applied but not yet durable.
+    /// Returns `(shard, commit_target)` — the write is durable once
+    /// [`durable_lsn`](Self::durable_lsn) of that shard reaches the
+    /// target (see [`crate::BLsmTree::put_nowait`]); retire batches with
+    /// [`commit_group`](Self::commit_group).
+    ///
+    /// # Errors
+    ///
+    /// Shard engine errors; typed shard error when the target is degraded.
+    pub fn put_nowait(
+        &self,
+        key: impl Into<Bytes>,
+        value: impl Into<Bytes>,
+    ) -> Result<(usize, u64)> {
+        let key = key.into();
+        let i = self.shard_for(&key);
+        Ok((i, self.shard(i)?.put_nowait(key, value)?))
+    }
+
+    /// Nowait delete, routed by key (see [`put_nowait`](Self::put_nowait)).
+    ///
+    /// # Errors
+    ///
+    /// Shard engine errors; typed shard error when the target is degraded.
+    pub fn delete_nowait(&self, key: impl Into<Bytes>) -> Result<(usize, u64)> {
+        let key = key.into();
+        let i = self.shard_for(&key);
+        Ok((i, self.shard(i)?.delete_nowait(key)?))
+    }
+
+    /// Nowait delta write, routed by key (see
+    /// [`put_nowait`](Self::put_nowait)).
+    ///
+    /// # Errors
+    ///
+    /// Shard engine errors; typed shard error when the target is degraded.
+    pub fn apply_delta_nowait(
+        &self,
+        key: impl Into<Bytes>,
+        delta: impl Into<Bytes>,
+    ) -> Result<(usize, u64)> {
+        let key = key.into();
+        let i = self.shard_for(&key);
+        Ok((i, self.shard(i)?.apply_delta_nowait(key, delta)?))
+    }
+
+    /// Nowait checked insert, routed by key: `(inserted, shard,
+    /// commit_target)` (see [`put_nowait`](Self::put_nowait)).
+    ///
+    /// # Errors
+    ///
+    /// Shard engine errors; typed shard error when the target is degraded.
+    pub fn insert_if_not_exists_nowait(
+        &self,
+        key: impl Into<Bytes>,
+        value: impl Into<Bytes>,
+    ) -> Result<(bool, usize, u64)> {
+        let key = key.into();
+        let i = self.shard_for(&key);
+        let (inserted, target) = self.shard(i)?.insert_if_not_exists_nowait(key, value)?;
+        Ok((inserted, i, target))
+    }
+
+    /// Forces a commit group on shard `i`, returning its new durable
+    /// horizon (see [`crate::BLsmTree::commit_group`]).
+    ///
+    /// # Errors
+    ///
+    /// Shard engine errors; typed shard error when the shard is degraded.
+    pub fn commit_group(&self, i: usize) -> Result<u64> {
+        self.shard(i)?.commit_group()
+    }
+
+    /// Shard `i`'s durable WAL horizon — an atomic read (see
+    /// [`crate::BLsmTree::durable_lsn`]).
+    ///
+    /// # Errors
+    ///
+    /// Typed shard error when the shard is degraded.
+    pub fn durable_lsn(&self, i: usize) -> Result<u64> {
+        Ok(self.shard(i)?.durable_lsn())
+    }
+
     /// Point lookup — lock-free within the owning shard.
     ///
     /// # Errors

@@ -62,11 +62,51 @@ pub struct TreeStats {
     pub(crate) scrubs: AtomicU64, // ordering: Relaxed (statistic)
     /// Total problems reported by scrub passes.
     pub(crate) scrub_errors: AtomicU64, // ordering: Relaxed (statistic)
+    /// Commit groups retired (one device sync each; see `commit.rs`).
+    pub(crate) commit_groups: AtomicU64, // ordering: Relaxed (statistic)
+    /// Writes retired across all commit groups — `/ commit_groups` is
+    /// the mean group size, the amortization factor one fsync buys.
+    pub(crate) commit_group_writes: AtomicU64, // ordering: Relaxed (statistic)
+    /// Total microseconds spent in group-commit device syncs.
+    pub(crate) fsync_micros_total: AtomicU64, // ordering: Relaxed (statistic)
+    /// Histogram of commit-group sizes; bucket `i` counts groups of
+    /// `2^i` to `2^(i+1)-1` writes (last bucket open-ended). See
+    /// [`group_size_bucket`].
+    pub(crate) group_size_hist: [AtomicU64; COMMIT_HIST_BUCKETS], // ordering: Relaxed (statistic)
+    /// Histogram of group fsync latencies; see [`fsync_micros_bucket`]
+    /// for the bucket boundaries.
+    pub(crate) fsync_micros_hist: [AtomicU64; COMMIT_HIST_BUCKETS], // ordering: Relaxed (statistic)
+}
+
+/// Buckets in each commit-group histogram ([`TreeStatsSnapshot::group_size_hist`],
+/// [`TreeStatsSnapshot::fsync_micros_hist`]).
+pub const COMMIT_HIST_BUCKETS: usize = 8;
+
+/// Histogram bucket for a commit group of `n` writes: bucket `i` covers
+/// sizes `2^i ..= 2^(i+1)-1` (1, 2–3, 4–7, …), with the last bucket
+/// collecting everything from 128 up.
+pub fn group_size_bucket(n: u64) -> usize {
+    (n.max(1).ilog2() as usize).min(COMMIT_HIST_BUCKETS - 1)
+}
+
+/// Histogram bucket for a group fsync that took `micros` µs: bucket 0 is
+/// `< 200µs`, bucket `i` covers `100·2^i .. 100·2^(i+1)` µs (200–400µs,
+/// 400–800µs, …), with the last bucket collecting everything from
+/// 12.8ms up.
+pub fn fsync_micros_bucket(micros: u64) -> usize {
+    ((micros / 100).max(1).ilog2() as usize).min(COMMIT_HIST_BUCKETS - 1)
 }
 
 impl TreeStats {
     /// Lock-free point-in-time copy of every counter.
     pub fn snapshot(&self) -> TreeStatsSnapshot {
+        let read_hist = |hist: &[AtomicU64; COMMIT_HIST_BUCKETS]| {
+            let mut out = [0u64; COMMIT_HIST_BUCKETS];
+            for (slot, counter) in out.iter_mut().zip(hist.iter()) {
+                *slot = read(counter);
+            }
+            out
+        };
         TreeStatsSnapshot {
             gets: read(&self.gets),
             writes: read(&self.writes),
@@ -82,6 +122,11 @@ impl TreeStats {
             forced_stalls: read(&self.forced_stalls),
             scrubs: read(&self.scrubs),
             scrub_errors: read(&self.scrub_errors),
+            commit_groups: read(&self.commit_groups),
+            commit_group_writes: read(&self.commit_group_writes),
+            fsync_micros_total: read(&self.fsync_micros_total),
+            group_size_hist: read_hist(&self.group_size_hist),
+            fsync_micros_hist: read_hist(&self.fsync_micros_hist),
             backpressure: BackpressureLevel::Idle,
             recovery: RecoveryReport::default(),
             next_seqno: 0,
@@ -142,6 +187,17 @@ pub struct TreeStatsSnapshot {
     pub scrubs: u64,
     /// Total problems reported by scrub passes.
     pub scrub_errors: u64,
+    /// Commit groups retired (one device sync each).
+    pub commit_groups: u64,
+    /// Writes retired across all commit groups; `/ commit_groups` is the
+    /// mean group size — how many writers each fsync amortized over.
+    pub commit_group_writes: u64,
+    /// Total microseconds spent in group-commit device syncs.
+    pub fsync_micros_total: u64,
+    /// Commit-group size histogram; see [`group_size_bucket`].
+    pub group_size_hist: [u64; COMMIT_HIST_BUCKETS],
+    /// Group fsync latency histogram; see [`fsync_micros_bucket`].
+    pub fsync_micros_hist: [u64; COMMIT_HIST_BUCKETS],
     /// The spring-and-gear watermark regime at snapshot time — the shared
     /// backpressure signal admission control and STATS read (§4.3). Raw
     /// [`TreeStats::snapshot`] reports `Idle` (counters alone cannot see
@@ -190,6 +246,19 @@ impl TreeStatsSnapshot {
         self.forced_stalls += other.forced_stalls;
         self.scrubs += other.scrubs;
         self.scrub_errors += other.scrub_errors;
+        self.commit_groups += other.commit_groups;
+        self.commit_group_writes += other.commit_group_writes;
+        self.fsync_micros_total += other.fsync_micros_total;
+        for (mine, theirs) in self.group_size_hist.iter_mut().zip(other.group_size_hist) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self
+            .fsync_micros_hist
+            .iter_mut()
+            .zip(other.fsync_micros_hist)
+        {
+            *mine += theirs;
+        }
         self.recovery.components_salvaged += other.recovery.components_salvaged;
         self.recovery.manifest_rolled_back |= other.recovery.manifest_rolled_back;
         self.recovery.wal_records_replayed += other.recovery.wal_records_replayed;
@@ -238,6 +307,41 @@ mod tests {
         assert_eq!(a.gets, 11);
         assert_eq!(a.writes, 2);
         assert_eq!(a.merges01, 4);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_their_documented_ranges() {
+        assert_eq!(group_size_bucket(0), 0);
+        assert_eq!(group_size_bucket(1), 0);
+        assert_eq!(group_size_bucket(2), 1);
+        assert_eq!(group_size_bucket(3), 1);
+        assert_eq!(group_size_bucket(4), 2);
+        assert_eq!(group_size_bucket(127), 6);
+        assert_eq!(group_size_bucket(128), 7);
+        assert_eq!(group_size_bucket(u64::MAX), 7);
+        assert_eq!(fsync_micros_bucket(0), 0);
+        assert_eq!(fsync_micros_bucket(199), 0);
+        assert_eq!(fsync_micros_bucket(200), 1);
+        assert_eq!(fsync_micros_bucket(399), 1);
+        assert_eq!(fsync_micros_bucket(12_800), 7);
+        assert_eq!(fsync_micros_bucket(u64::MAX), 7);
+    }
+
+    #[test]
+    fn accumulate_sums_commit_histograms() {
+        let mut a = TreeStatsSnapshot::default();
+        a.group_size_hist[2] = 5;
+        a.commit_groups = 5;
+        let mut b = TreeStatsSnapshot::default();
+        b.group_size_hist[2] = 3;
+        b.fsync_micros_hist[0] = 4;
+        b.commit_groups = 4;
+        b.commit_group_writes = 40;
+        a.accumulate(&b);
+        assert_eq!(a.group_size_hist[2], 8);
+        assert_eq!(a.fsync_micros_hist[0], 4);
+        assert_eq!(a.commit_groups, 9);
+        assert_eq!(a.commit_group_writes, 40);
     }
 
     #[test]

@@ -23,7 +23,6 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
@@ -128,7 +127,8 @@ impl ThreadedBLsm {
     /// write just to find nothing to do. That cost is invisible with one
     /// busy tree (the merge thread is rarely parked) but dominates with
     /// N mostly-idle shards on few cores. Skipped wakes are bounded by
-    /// the merge loop's 10 ms wait timeout, which runs `maintenance`
+    /// the merge loop's wait timeout (`BLsmConfig::merge_wait_timeout`,
+    /// default 10 ms), which runs `maintenance`
     /// regardless; and a merge already in flight keeps the loop in its
     /// busy phase (it only parks once no merge is active), so nothing
     /// can stall behind a skipped kick.
@@ -211,6 +211,70 @@ impl ThreadedBLsm {
     /// Ordered scan of `[from, to)` — lock-free.
     pub fn scan_range(&self, from: &[u8], to: &[u8], limit: usize) -> Result<Vec<ScanItem>> {
         self.view.scan_range(from, to, limit)
+    }
+
+    /// Nowait blind write: applied but not yet durable; the returned
+    /// commit target retires via [`commit_group`](Self::commit_group)
+    /// (see [`BLsmTree::put_nowait`]).
+    pub fn put_nowait(
+        &self,
+        key: impl Into<bytes::Bytes>,
+        value: impl Into<bytes::Bytes>,
+    ) -> Result<u64> {
+        let out = self.shared().tree.put_nowait(key, value);
+        self.kick();
+        out
+    }
+
+    /// Nowait delete (see [`BLsmTree::delete_nowait`]).
+    pub fn delete_nowait(&self, key: impl Into<bytes::Bytes>) -> Result<u64> {
+        let out = self.shared().tree.delete_nowait(key);
+        self.kick();
+        out
+    }
+
+    /// Nowait delta write (see [`BLsmTree::apply_delta_nowait`]).
+    pub fn apply_delta_nowait(
+        &self,
+        key: impl Into<bytes::Bytes>,
+        delta: impl Into<bytes::Bytes>,
+    ) -> Result<u64> {
+        let out = self.shared().tree.apply_delta_nowait(key, delta);
+        self.kick();
+        out
+    }
+
+    /// Nowait `insert if not exists` (see
+    /// [`BLsmTree::insert_if_not_exists_nowait`]).
+    pub fn insert_if_not_exists_nowait(
+        &self,
+        key: impl Into<bytes::Bytes>,
+        value: impl Into<bytes::Bytes>,
+    ) -> Result<(bool, u64)> {
+        let out = self.shared().tree.insert_if_not_exists_nowait(key, value);
+        self.kick();
+        out
+    }
+
+    /// Nowait replicated apply (see
+    /// [`BLsmTree::apply_replicated_nowait`]): lets a follower retire a
+    /// whole shipped batch on one commit group.
+    pub fn apply_replicated_nowait(&self, payload: &[u8]) -> Result<Option<(u64, u64)>> {
+        let out = self.shared().tree.apply_replicated_nowait(payload);
+        self.kick();
+        out
+    }
+
+    /// Forces a commit group covering everything appended so far and
+    /// returns the new durable horizon (see [`BLsmTree::commit_group`]).
+    pub fn commit_group(&self) -> Result<u64> {
+        self.shared().tree.commit_group()
+    }
+
+    /// LSN below which the WAL is known device-stable — an atomic read
+    /// (see [`BLsmTree::durable_lsn`]).
+    pub fn durable_lsn(&self) -> u64 {
+        self.shared().tree.durable_lsn()
     }
 
     /// Applies one replicated WAL record through the normal write path,
@@ -339,17 +403,21 @@ fn merge_loop(shared: &Arc<Shared>, quantum: u64) {
             std::thread::yield_now();
             continue;
         }
-        // No work: sleep until a writer kicks us (or a timeout, so paced
-        // schedulers still make progress on idle trees). The predicate is
-        // re-checked in a loop: a bare `if` would let a kick that lands
-        // between a spurious/timeout wakeup and the `*pending = false`
-        // store below be silently consumed, stalling that writer's work
-        // until the next timeout (the classic lost-wakeup shape).
+        // No work: sleep until a writer kicks us (or the configured
+        // `merge_wait_timeout`, so paced schedulers still make progress
+        // on idle trees — its own knob, independent of the group-commit
+        // deadline a sync write may *also* sit out; see `config.rs`).
+        // The predicate is re-checked in a loop: a bare `if` would let a
+        // kick that lands between a spurious/timeout wakeup and the
+        // `*pending = false` store below be silently consumed, stalling
+        // that writer's work until the next timeout (the classic
+        // lost-wakeup shape).
+        let wait_timeout = shared.tree.config().merge_wait_timeout;
         let mut pending = shared.work_pending.lock();
         while !*pending && !shared.shutdown.load(Ordering::SeqCst) {
             let timed_out = shared
                 .work_cv
-                .wait_for(&mut pending, Duration::from_millis(10))
+                .wait_for(&mut pending, wait_timeout)
                 .timed_out();
             if timed_out {
                 break;
@@ -367,6 +435,7 @@ mod tests {
     use blsm_memtable::AppendOperator;
     use blsm_storage::{MemDevice, SharedDevice};
     use bytes::Bytes;
+    use std::time::Duration;
 
     fn new_threaded() -> ThreadedBLsm {
         let data: SharedDevice = Arc::new(MemDevice::new());

@@ -177,6 +177,11 @@ impl BLsmTree {
             admitted_inflight: AtomicUsize::new(0),
             admitted_peak: AtomicUsize::new(0),
             wal: Mutex::new(None),
+            commit: Mutex::new(crate::commit::CommitState::default()),
+            commit_cv: parking_lot::Condvar::new(),
+            durable: AtomicU64::new(0),
+            unsynced_writes: AtomicU64::new(0),
+            unsynced_bytes: AtomicU64::new(0),
             stats: TreeStats::default(),
             recovery: parking_lot::RwLock::new(RecoveryReport::default()),
             config,
@@ -244,6 +249,12 @@ impl BLsmTree {
                 wal_head,
                 tail,
             ));
+            // Everything replay just read back is on the device by
+            // definition — the recovered tail is the durable horizon
+            // group commit resumes from.
+            // ordering: Release — open() is single-threaded; pairs with
+            // the Acquire loads in `wait_durable`/`durable_lsn`.
+            tree.shared.durable.store(tail, Ordering::Release);
         }
         *tree.shared.recovery.write() = recovery;
 
@@ -424,6 +435,21 @@ impl BLsmTree {
     }
 
     fn write_entry(&self, key: Bytes, entry: Entry) -> Result<()> {
+        match self.write_entry_nowait(key, entry)? {
+            // The write is applied; make it durable by joining (or
+            // leading) a commit group — never by a private fsync.
+            Some(target) => self.wait_durable(target),
+            None => Ok(()),
+        }
+    }
+
+    /// Everything of a write except the durability wait: pacing,
+    /// admission, ticket allocation, WAL append and the paired `C0`
+    /// insert. Returns the commit target a `Durability::Sync` caller
+    /// must await (`None` when the configured durability completed
+    /// inline) — the seam the nowait public API and the batching server
+    /// front end build on.
+    pub(crate) fn write_entry_nowait(&self, key: Bytes, entry: Entry) -> Result<Option<u64>> {
         let incoming = (key.len()
             + entry.payload_len()
             + blsm_memtable::Memtable::new().approx_bytes().max(64)) as u64;
@@ -461,28 +487,38 @@ impl BLsmTree {
     /// just insert under degraded durability). Shared by locally-ticketed
     /// writes and the replication apply path, so a replicated record is
     /// logged to *this* node's WAL and folded into `C0` exactly like a
-    /// local write.
-    fn insert_versioned(&self, key: Bytes, v: Versioned) -> Result<()> {
+    /// local write. Returns the WAL commit target the caller must await
+    /// for `Durability::Sync` (`None` otherwise).
+    ///
+    /// The applied floor advances here — after the insert, *before* any
+    /// durability wait. That order is deliberate: the floor's contract
+    /// ("every seqno below it completed WAL-append + `C0`-insert") is
+    /// about *application*, and the replicated-apply dedupe check must
+    /// see a record as applied even while its group commit is still in
+    /// flight — otherwise a leader resend racing the group would
+    /// re-apply a non-idempotent delta.
+    fn insert_versioned(&self, key: Bytes, v: Versioned) -> Result<Option<u64>> {
         stats::bump(&self.shared.stats.writes, 1);
         stats::bump(
             &self.shared.stats.user_bytes_written,
             (key.len() + v.entry.payload_len()) as u64,
         );
         let seqno = v.seqno;
-        if self.shared.config.durability == Durability::None {
+        let target = if self.shared.config.durability == Durability::None {
             // Degraded durability (§4.4.2): no log, no serialization —
             // writers contend only on their C0 key-range shard.
             self.shared.c0.insert(key, v, self.shared.op.as_ref());
+            None
         } else {
-            self.log_and_insert(key, v)?;
-        }
+            self.log_and_insert(key, v)?
+        };
         // ordering: AcqRel — the insert above happens-before the floor
         // advance; see the field docs in `catalog.rs`. Only reached on
         // success, so the floor never runs ahead of a failed apply.
         self.shared
             .applied_floor
             .fetch_max(seqno + 1, Ordering::AcqRel);
-        Ok(())
+        Ok(target)
     }
 
     /// Applies one replicated WAL record (a payload produced by the
@@ -513,6 +549,25 @@ impl BLsmTree {
     /// Propagates decode failures ([`StorageError::InvalidFormat`]) and
     /// WAL/insert errors.
     pub fn apply_replicated(&self, payload: &[u8]) -> Result<Option<u64>> {
+        match self.apply_replicated_inner(payload)? {
+            Some((seqno, Some(target))) => {
+                self.wait_durable(target)?;
+                Ok(Some(seqno))
+            }
+            Some((seqno, None)) => Ok(Some(seqno)),
+            None => Ok(None),
+        }
+    }
+
+    /// [`apply_replicated`](Self::apply_replicated) minus the durability
+    /// wait: `Some((seqno, commit_target))` for an applied record. Backs
+    /// both the blocking API and
+    /// [`apply_replicated_nowait`](Self::apply_replicated_nowait), which
+    /// lets a follower retire a whole shipped batch on one group.
+    pub(crate) fn apply_replicated_inner(
+        &self,
+        payload: &[u8],
+    ) -> Result<Option<(u64, Option<u64>)>> {
         let (key, v) = decode_wal_record(payload)?;
         let seqno = v.seqno;
         // ordering: Acquire — pairs with the AcqRel floor advance in
@@ -535,13 +590,18 @@ impl BLsmTree {
             + blsm_memtable::Memtable::new().approx_bytes().max(64)) as u64;
         self.pace(incoming)?;
         let _claim = self.claim_admission(incoming);
-        self.insert_versioned(key, v)?;
-        Ok(Some(seqno))
+        let target = self.insert_versioned(key, v)?;
+        Ok(Some((seqno, target)))
     }
 
-    /// The WAL's live durable window `(head, flushed)`: records below
-    /// `head` are truncated, records in `[head, flushed)` are readable
+    /// The WAL's live shippable window `(head, horizon)`: records below
+    /// `head` are truncated, records in `[head, horizon)` are readable
     /// for replication catch-up via [`wal_records_from`](Self::wal_records_from).
+    /// Under `Durability::Sync` the horizon is the last *synced* group
+    /// boundary — an append whose group has not retired must not reach a
+    /// follower before it is durable on the leader; otherwise it is the
+    /// flushed tail (the pre-group-commit behaviour, where flushed and
+    /// synced never diverged on the shipping path).
     ///
     /// # Errors
     ///
@@ -551,12 +611,13 @@ impl BLsmTree {
         let wal = guard
             .as_ref()
             .ok_or_else(|| invariant_err("wal_window on a tree without a wal"))?;
-        Ok((wal.head_lsn(), wal.flushed_lsn()))
+        Ok((wal.head_lsn(), ship_horizon(&self.shared.config, wal)))
     }
 
     /// Reads already-durable WAL records from `start_lsn` for shipping
     /// to a replication follower, returning the records and the LSN the
-    /// next read should resume from.
+    /// next read should resume from. The readable window ends at the
+    /// [`wal_window`](Self::wal_window) horizon.
     ///
     /// # Errors
     ///
@@ -568,7 +629,7 @@ impl BLsmTree {
         let wal = guard
             .as_ref()
             .ok_or_else(|| invariant_err("wal_records_from on a tree without a wal"))?;
-        let records = wal.records_from(start_lsn)?;
+        let records = wal.records_up_to(start_lsn, ship_horizon(&self.shared.config, wal))?;
         let next = records.last().map_or(start_lsn, |r| {
             r.lsn + blsm_storage::wal::FRAME_HEADER_LEN as u64 + r.payload.len() as u64
         });
@@ -591,7 +652,14 @@ impl BLsmTree {
     /// "fully inserted into C0 before the sample" and "appended after the
     /// sample" — there is never a record in the log whose C0 insert is
     /// still in flight (see `start_merge01`'s truncation argument).
-    fn log_and_insert(&self, key: Bytes, v: Versioned) -> Result<()> {
+    ///
+    /// Under `Durability::Sync` nothing is flushed or synced here: the
+    /// record joins the open commit group (counted under this mutex) and
+    /// the returned target — the log tail after this append — is what
+    /// the caller hands to `wait_durable`. The group leader's fsync runs
+    /// *outside* this mutex, so appends overlap the device sync; that
+    /// overlap is the whole batching mechanism (see `commit.rs`).
+    fn log_and_insert(&self, key: Bytes, v: Versioned) -> Result<Option<u64>> {
         // Ring full: checkpoint by completing the in-flight pass (which
         // truncates), then retry. Concurrent writers can refill the ring
         // between the checkpoint and the retry, so one retry is not
@@ -626,13 +694,28 @@ impl BLsmTree {
         let wal = guard
             .as_mut()
             .ok_or_else(|| invariant_err("wal vanished after append"))?;
-        match self.shared.config.durability {
-            Durability::Buffered => wal.flush()?,
-            Durability::Sync => wal.sync()?,
-            Durability::None => {}
-        }
+        let target = match self.shared.config.durability {
+            Durability::Buffered => {
+                wal.flush()?;
+                None
+            }
+            Durability::Sync => {
+                // Join the open commit group: counted under the wal
+                // mutex, so the leader's flush-time swap reads exactly
+                // the appends its flush covered (see `catalog.rs`).
+                // ordering: AcqRel RMWs under the wal mutex — group
+                // bookkeeping, not a synchronization edge.
+                self.shared.unsynced_writes.fetch_add(1, Ordering::AcqRel);
+                self.shared.unsynced_bytes.fetch_add(
+                    blsm_storage::wal::FRAME_HEADER_LEN as u64 + payload.len() as u64,
+                    Ordering::AcqRel,
+                );
+                Some(wal.tail_lsn())
+            }
+            Durability::None => None,
+        };
         self.shared.c0.insert(key, v, self.shared.op.as_ref());
-        Ok(())
+        Ok(target)
     }
 
     // -----------------------------------------------------------------
@@ -1121,7 +1204,9 @@ impl ReplSource {
             .saturating_sub(1)
     }
 
-    /// The WAL's live durable window `(head, flushed)`.
+    /// The WAL's live shippable window `(head, horizon)` (see
+    /// [`BLsmTree::wal_window`] — under group commit the horizon is the
+    /// last synced group boundary).
     ///
     /// # Errors
     ///
@@ -1131,7 +1216,7 @@ impl ReplSource {
         let wal = guard
             .as_ref()
             .ok_or_else(|| invariant_err("wal_window on a tree without a wal"))?;
-        Ok((wal.head_lsn(), wal.flushed_lsn()))
+        Ok((wal.head_lsn(), ship_horizon(&self.shared.config, wal)))
     }
 
     /// Already-durable WAL records from `start_lsn`, plus the resume
@@ -1146,11 +1231,24 @@ impl ReplSource {
         let wal = guard
             .as_ref()
             .ok_or_else(|| invariant_err("wal_records_from on a tree without a wal"))?;
-        let records = wal.records_from(start_lsn)?;
+        let records = wal.records_up_to(start_lsn, ship_horizon(&self.shared.config, wal))?;
         let next = records.last().map_or(start_lsn, |r| {
             r.lsn + blsm_storage::wal::FRAME_HEADER_LEN as u64 + r.payload.len() as u64
         });
         Ok((records, next))
+    }
+}
+
+/// The LSN horizon replication may ship up to: under `Durability::Sync`
+/// the last synced group boundary (a record must be durable *here*
+/// before a follower can ack it elsewhere), otherwise the flushed tail —
+/// the historical behaviour, where the shipping path never saw the two
+/// watermarks diverge.
+fn ship_horizon(config: &BLsmConfig, wal: &Wal) -> u64 {
+    if config.durability == Durability::Sync {
+        wal.synced_lsn()
+    } else {
+        wal.flushed_lsn()
     }
 }
 

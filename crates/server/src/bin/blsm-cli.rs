@@ -146,6 +146,21 @@ fn main() {
                 s.wal_torn_tail_bytes,
                 s.manifest_rolled_back
             );
+            let mean_group = if s.commit_groups == 0 {
+                0.0
+            } else {
+                s.commit_group_writes as f64 / s.commit_groups as f64
+            };
+            println!(
+                "commit_groups={} commit_group_writes={} mean_group_size={:.1} \
+                 fsync_micros_total={} group_size_hist={:?} fsync_micros_hist={:?}",
+                s.commit_groups,
+                s.commit_group_writes,
+                mean_group,
+                s.fsync_micros_total,
+                s.group_size_hist,
+                s.fsync_micros_hist
+            );
             for sh in &s.shards {
                 println!(
                     "shard={} serving={} backpressure={:?} writes={} gets={} \

@@ -19,9 +19,12 @@
 //! `--shards` defaults to 1 and is ignored when the store already
 //! exists — boundaries are fixed at creation and recovered from the
 //! shard manifest), `--mem-budget BYTES` (default 8 MiB, per shard),
-//! `--pool-pages N` (default 4096, per shard). The process runs until a
-//! client sends SHUTDOWN, then drains connections, checkpoints every
-//! shard and exits 0.
+//! `--pool-pages N` (default 4096, per shard), `--durability
+//! sync|buffered` (default buffered; `sync` turns on the group-commit
+//! WAL — every ack means fsynced), `--reactors N` (reactor thread
+//! count; default 0 = one per core, clamped to [2, 8]). The process
+//! runs until a client sends SHUTDOWN, then drains connections,
+//! checkpoints every shard and exits 0.
 //!
 //! Replication (single-tree mode only): `--node-id N --peers
 //! HOST:PORT,HOST:PORT --role leader|follower` joins a static
@@ -33,7 +36,9 @@
 
 use std::sync::Arc;
 
-use blsm::{AppendOperator, BLsmConfig, BLsmTree, ShardedBLsm, ShardedConfig, ThreadedBLsm};
+use blsm::{
+    AppendOperator, BLsmConfig, BLsmTree, Durability, ShardedBLsm, ShardedConfig, ThreadedBLsm,
+};
 use blsm_server::{ReplicationConfig, Server, ServerConfig};
 use blsm_storage::{FileDevice, SharedDevice};
 
@@ -48,6 +53,8 @@ struct Args {
     node_id: u64,
     peers: Vec<String>,
     role: String,
+    durability: Durability,
+    reactors: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -62,6 +69,8 @@ fn parse_args() -> Result<Args, String> {
         node_id: 0,
         peers: Vec::new(),
         role: String::new(),
+        durability: Durability::Buffered,
+        reactors: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -99,6 +108,20 @@ fn parse_args() -> Result<Args, String> {
                     .collect();
             }
             "--role" => args.role = value("--role")?,
+            "--durability" => {
+                args.durability = match value("--durability")?.as_str() {
+                    "sync" => Durability::Sync,
+                    "buffered" => Durability::Buffered,
+                    other => {
+                        return Err(format!("--durability must be sync|buffered, got {other}"))
+                    }
+                };
+            }
+            "--reactors" => {
+                args.reactors = value("--reactors")?
+                    .parse()
+                    .map_err(|e| format!("--reactors: {e}"))?;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -139,7 +162,12 @@ fn main() {
     };
     let config = BLsmConfig {
         mem_budget: args.mem_budget,
+        durability: args.durability,
         ..Default::default()
+    };
+    let server_config = ServerConfig {
+        reactors: args.reactors,
+        ..ServerConfig::default()
     };
     if !args.role.is_empty() {
         // Replicated single-tree deployment.
@@ -154,9 +182,8 @@ fn main() {
             start_as_leader: args.role == "leader",
             ..ReplicationConfig::default()
         };
-        let server =
-            Server::start_replicated(db, args.addr.as_str(), ServerConfig::default(), repl_config)
-                .expect("bind");
+        let server = Server::start_replicated(db, args.addr.as_str(), server_config, repl_config)
+            .expect("bind");
         // Parsed by scripts (the CI smoke job greps for the port).
         println!("listening on {}", server.local_addr());
         println!(
@@ -199,8 +226,7 @@ fn main() {
         store
     };
     let shard_count = store.shard_count();
-    let server =
-        Server::start_sharded(store, args.addr.as_str(), ServerConfig::default()).expect("bind");
+    let server = Server::start_sharded(store, args.addr.as_str(), server_config).expect("bind");
     // Parsed by scripts (the CI smoke job greps for the port).
     println!("listening on {}", server.local_addr());
     if shard_count > 1 {

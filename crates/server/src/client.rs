@@ -171,6 +171,86 @@ impl Client {
         out
     }
 
+    /// Pipelines `reqs` over the connection: every request frame is
+    /// written before any response is awaited, and responses — which
+    /// the server may complete **out of order** as commit groups retire
+    /// — are collected by request id and returned in request order.
+    ///
+    /// This is the client half of the group-commit bargain: N durable
+    /// writes in one pipeline cost one round trip and (typically) one
+    /// server-side fsync, instead of N of each. Single-shot like
+    /// [`Client::call`]: no retry, and any failure drops the connection
+    /// so the next call reconnects.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::Io`] on socket errors or timeout and
+    /// [`StorageError::InvalidFormat`] on protocol violations (unknown
+    /// response ids, garbage frames).
+    pub fn pipeline(&mut self, reqs: &[Request]) -> Result<Vec<Response>> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let first_id = self.next_id;
+        self.next_id += reqs.len() as u64;
+        let mut wire = Vec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            encode_request(&mut wire, first_id + i as u64, req)?;
+        }
+        let out = (|| -> Result<Vec<Response>> {
+            let config_read_timeout = self.config.read_timeout;
+            let stream = self.ensure_connected()?;
+            stream.write_all(&wire).map_err(StorageError::Io)?;
+            stream.flush().map_err(StorageError::Io)?;
+            let deadline = std::time::Instant::now() + config_read_timeout;
+            let mut slots: Vec<Option<Response>> = (0..reqs.len()).map(|_| None).collect();
+            let mut filled = 0usize;
+            let mut buf = [0u8; 8 << 10];
+            while filled < reqs.len() {
+                if let Some(payload) = self.decoder.next_frame()? {
+                    let (got, resp) = decode_response(&payload)?;
+                    let Some(slot) = got
+                        .checked_sub(first_id)
+                        .and_then(|i| slots.get_mut(i as usize))
+                    else {
+                        // A stale reply from a previous (torn) exchange.
+                        continue;
+                    };
+                    if slot.replace(resp).is_none() {
+                        filled += 1;
+                    }
+                    continue;
+                }
+                if std::time::Instant::now() >= deadline {
+                    return Err(StorageError::Io(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "response deadline exceeded",
+                    )));
+                }
+                let Some(stream) = self.stream.as_mut() else {
+                    return Err(StorageError::Io(std::io::Error::other("no stream")));
+                };
+                match stream.read(&mut buf) {
+                    Ok(0) => {
+                        return Err(StorageError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "server closed the connection",
+                        )))
+                    }
+                    Ok(n) => self.decoder.feed(&buf[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(StorageError::Io(e)),
+                }
+            }
+            Ok(slots.into_iter().flatten().collect())
+        })();
+        if out.is_err() {
+            // Connection state is unknown; force a reconnect next time.
+            self.stream = None;
+        }
+        out
+    }
+
     /// `call` with reconnect/retry: I/O errors reconnect with capped,
     /// fully-jittered exponential backoff; RETRY_LATER sleeps a
     /// jittered version of the server's hint. Both consume attempts

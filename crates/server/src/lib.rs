@@ -2,13 +2,13 @@
 //!
 //! The paper builds bLSM as the storage engine for a hosted serving
 //! store (PNUTS/Walnut, §1, §5); this crate adds the missing process
-//! boundary: a length-prefixed binary wire protocol ([`protocol`]), a
-//! multi-threaded `std::net` TCP server with a key-range shard router
-//! and scheduler-coupled per-shard admission control ([`server`],
-//! [`router`], [`admission`]), a blocking client
-//! library with reconnect/retry ([`client`]), and a [`KvEngine`]
-//! adapter so the YCSB suite can drive a live server over TCP
-//! ([`remote`]).
+//! boundary: a length-prefixed binary wire protocol ([`protocol`]), an
+//! event-driven TCP server — epoll reactor threads ([`poller`],
+//! [`server`]) over a group-commit WAL — with a key-range shard router
+//! and scheduler-coupled per-shard admission control ([`router`],
+//! [`admission`]), a blocking client library with reconnect/retry and
+//! request pipelining ([`client`]), and a [`KvEngine`] adapter so the
+//! YCSB suite can drive a live server over TCP ([`remote`]).
 //!
 //! See DESIGN.md §11 for the wire format table, the admission state
 //! machine and the thread model.
@@ -17,6 +17,7 @@
 
 pub mod admission;
 pub mod client;
+pub mod poller;
 pub mod protocol;
 pub mod remote;
 pub mod replication;
@@ -25,14 +26,15 @@ pub mod server;
 
 pub use admission::{AdmissionConfig, AdmissionController, WriteAdmission};
 pub use client::{Client, ClientConfig};
+pub use poller::{Interest, Poller, WakeFd};
 pub use protocol::{
     CloseReason, ErrKind, FrameDecoder, ReplRole, Request, Response, WireReplStats,
     WireScrubReport, WireShardStats, WireStats, MAX_FRAME,
 };
 pub use remote::RemoteKv;
 pub use replication::{
-    elect_and_promote, FlakyProxy, FlakyStream, NetFaultMode, ProxyControl, Replication,
-    ReplicationConfig,
+    elect_and_promote, FlakyProxy, FlakyStream, GateTicket, NetFaultMode, ProxyControl,
+    Replication, ReplicationConfig,
 };
 pub use router::ShardRouter;
 pub use server::{Server, ServerConfig};

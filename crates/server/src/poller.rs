@@ -1,0 +1,383 @@
+//! A thin epoll wrapper for the reactor front end (DESIGN.md §11).
+//!
+//! The workspace bans new dependencies, so this binds the three epoll
+//! syscalls plus `eventfd` directly with `extern "C"` declarations —
+//! the same "smallest possible binding" discipline as the in-tree shim
+//! crates. Everything is Linux-specific, which matches the only target
+//! the serving tier runs on (the engine itself stays portable; only
+//! `blsm-server` links this module).
+//!
+//! Two types:
+//!
+//! - [`Poller`]: an epoll instance. Register interest in a file
+//!   descriptor under a caller-chosen `u64` token, then [`Poller::wait`]
+//!   for readiness events. Level-triggered on purpose: the reactor
+//!   drains sockets until `WouldBlock` anyway, and level semantics make
+//!   a partially-drained socket self-correcting instead of silently
+//!   stuck.
+//! - [`WakeFd`]: an `eventfd` used as a cross-thread doorbell — the
+//!   accept thread and the group-commit thread ring it to pull a
+//!   reactor out of `epoll_wait` (new connection handed off, or a
+//!   commit group retired and held responses can be released).
+//!
+//! No buffers cross the boundary except the `epoll_event` array, which
+//! this module owns; fds are registered by raw value and the caller
+//! keeps ownership of the underlying sockets.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// `epoll_create1` flag: close-on-exec.
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+/// `epoll_ctl` ops.
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+/// Event bits (subset the reactor uses).
+const EPOLLIN: u32 = 0x1;
+const EPOLLOUT: u32 = 0x4;
+const EPOLLERR: u32 = 0x8;
+const EPOLLHUP: u32 = 0x10;
+const EPOLLRDHUP: u32 = 0x2000;
+/// `eventfd` flags: close-on-exec + nonblocking.
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel ABI packs it
+/// to 12 bytes (no padding between `events` and `data`); other
+/// architectures use the natural 16-byte layout.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+/// What a registered fd should be watched for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Watch for readability (incoming bytes, EOF, new connection).
+    pub readable: bool,
+    /// Watch for writability (the socket's send buffer has room).
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read + write interest — a connection with a backed-up out-buffer.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn bits(self) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if self.readable {
+            bits |= EPOLLIN;
+        }
+        if self.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Bytes (or EOF, or a new connection) are readable.
+    pub readable: bool,
+    /// The fd accepts writes again.
+    pub writable: bool,
+    /// Error or hangup: the connection should be torn down after one
+    /// final read drains whatever the peer managed to send.
+    pub closed: bool,
+}
+
+/// An epoll instance; see the module doc.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Creates an epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the OS error if the kernel refuses (fd exhaustion).
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: epoll_create1 takes no pointers; the flag is a valid
+        // constant. A negative return is an error, checked below.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+        let mut ev = event.unwrap_or(EpollEvent { events: 0, data: 0 });
+        // SAFETY: `ev` is a live, properly-laid-out epoll_event for the
+        // duration of the call (the kernel copies it before returning);
+        // EPOLL_CTL_DEL ignores the pointer on modern kernels but we
+        // still pass a valid one.
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the OS error (e.g. the fd is already registered).
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_ADD,
+            fd,
+            Some(EpollEvent {
+                events: interest.bits(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Changes the interest set of an already-registered fd.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the OS error (e.g. the fd was never registered).
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_MOD,
+            fd,
+            Some(EpollEvent {
+                events: interest.bits(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Deregisters `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the OS error (e.g. the fd was never registered).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Blocks until at least one registered fd is ready or `timeout`
+    /// passes (`None` = wait forever), appending events to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the OS error; `Interrupted` is already retried
+    /// internally.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms = match timeout {
+            // Round up so a 100µs deadline does not busy-spin at 0ms.
+            Some(t) => i32::try_from(t.as_millis().max(1).min(i32::MAX as u128)).unwrap_or(1),
+            None => -1,
+        };
+        let mut buf = [EpollEvent { events: 0, data: 0 }; 64];
+        loop {
+            // SAFETY: `buf` is a valid, writable array of 64 properly
+            // laid-out epoll_events; the kernel writes at most
+            // `maxevents` entries and returns how many.
+            let n = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), 64, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(e);
+            }
+            for ev in buf.iter().take(n.max(0) as usize) {
+                // A packed struct's fields must be copied out before use.
+                let bits = { ev.events };
+                let token = { ev.data };
+                out.push(Event {
+                    token,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    closed: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            return Ok(());
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: epfd is a valid fd owned exclusively by this Poller;
+        // it is closed exactly once, here.
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// A cross-thread doorbell over `eventfd`; see the module doc.
+#[derive(Debug)]
+pub struct WakeFd {
+    fd: RawFd,
+}
+
+impl WakeFd {
+    /// Creates a nonblocking eventfd.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the OS error if the kernel refuses (fd exhaustion).
+    pub fn new() -> io::Result<WakeFd> {
+        // SAFETY: eventfd takes no pointers; flags are valid constants.
+        // A negative return is an error, checked below.
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(WakeFd { fd })
+    }
+
+    /// The raw fd, for registering with a [`Poller`].
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Rings the doorbell: any thread blocked in [`Poller::wait`] with
+    /// this fd registered wakes up. Nonblocking and idempotent — the
+    /// eventfd counter saturates long before `u64::MAX`, and a full
+    /// counter means the sleeper is already guaranteed to wake.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes exactly 8 bytes from a live u64; an eventfd
+        // write either succeeds or fails with EAGAIN (counter full),
+        // both of which leave the sleeper wakeable.
+        let _ = unsafe { write(self.fd, std::ptr::addr_of!(one).cast::<u8>(), 8) };
+    }
+
+    /// Clears the doorbell so the next [`Poller::wait`] blocks again.
+    /// Call after waking, before re-checking work queues (the classic
+    /// "drain, then look" pattern — a wake that races in after the
+    /// drain just causes one spurious loop).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        // SAFETY: reads at most 8 bytes into a live 8-byte buffer; the
+        // eventfd is nonblocking, so this never hangs (EAGAIN when the
+        // counter is already zero).
+        let _ = unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+    }
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        // SAFETY: fd is a valid eventfd owned exclusively by this
+        // WakeFd; closed exactly once, here.
+        unsafe { close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn wake_fd_rouses_a_waiting_poller() {
+        let poller = Poller::new().unwrap();
+        let wake = WakeFd::new().unwrap();
+        poller.add(wake.raw_fd(), 7, Interest::READ).unwrap();
+
+        // Nothing pending: a short wait times out empty.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        wake.wake();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Drained, the doorbell goes quiet again.
+        wake.drain();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn socket_readability_and_interest_changes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 42, Interest::READ).unwrap();
+
+        client.write_all(b"hello").unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+
+        // Write interest reports immediately on an empty send buffer.
+        poller
+            .modify(server.as_raw_fd(), 42, Interest::READ_WRITE)
+            .unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.writable));
+
+        // Peer hangup surfaces as readable (EOF) and/or closed.
+        drop(client);
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 42));
+        let mut s = server;
+        let mut buf = [0u8; 16];
+        // Drain the "hello" then observe EOF.
+        let n = s.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello");
+        assert_eq!(s.read(&mut buf).unwrap(), 0);
+
+        poller.delete(s.as_raw_fd()).unwrap();
+    }
+}

@@ -16,7 +16,7 @@
 use blsm_storage::codec::{self, Reader};
 use blsm_storage::{Result, StorageError};
 
-use blsm::BackpressureLevel;
+use blsm::{BackpressureLevel, COMMIT_HIST_BUCKETS};
 
 /// Hard ceiling on a frame payload (4 MiB). Anything larger is treated
 /// as protocol corruption, not a request.
@@ -258,6 +258,19 @@ pub struct WireStats {
     /// Replication state, present only when the server runs in a
     /// replication group (appended field; absent on old servers).
     pub repl: Option<WireReplStats>,
+    /// Commit groups retired (one WAL flush + fsync each).
+    pub commit_groups: u64,
+    /// Writes retired across all commit groups — `/ commit_groups` is
+    /// the mean batching factor the group-commit layer achieved.
+    pub commit_group_writes: u64,
+    /// Total microseconds spent inside group fsyncs.
+    pub fsync_micros_total: u64,
+    /// Histogram of writes-per-group, power-of-two buckets (see
+    /// [`blsm::group_size_bucket`]).
+    pub group_size_hist: [u64; COMMIT_HIST_BUCKETS],
+    /// Histogram of group fsync latencies (see
+    /// [`blsm::fsync_micros_bucket`]).
+    pub fsync_micros_hist: [u64; COMMIT_HIST_BUCKETS],
 }
 
 /// Broad classification of a server-side failure, carried with every
@@ -360,6 +373,12 @@ pub struct WireScrubReport {
 }
 
 /// A server-to-client reply.
+// The STATS variant dominates the enum size (WireStats grew two
+// 8-bucket histograms with the group-commit counters), but a Response
+// is built once per request and immediately serialized — it is never
+// stored in bulk, so boxing would buy nothing but an allocation on the
+// stats path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
     /// Write (or ping/shutdown) acknowledged.
@@ -653,17 +672,32 @@ pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) -> Result<()
                 codec::put_u64(&mut payload, sh.rejected);
                 codec::put_u64(&mut payload, sh.wal_records_replayed);
             }
-            // Replication state is appended *after* everything the
-            // pre-replication wire format carried, and only when
-            // present, so old decoders (which stop here) and old
-            // encoders (whose payloads end here) both interoperate.
-            if let Some(repl) = &s.repl {
-                codec::put_u8(&mut payload, repl.role.to_u8());
-                codec::put_u64(&mut payload, repl.node_id);
-                codec::put_u64(&mut payload, repl.epoch);
-                codec::put_u64(&mut payload, repl.applied_seqno);
-                codec::put_u64(&mut payload, repl.acked_lsn);
-                codec::put_u64(&mut payload, repl.lag_bytes);
+            // Everything past the shard list is appended *after* what
+            // the original wire format carried, so decoders that stop
+            // at the shard list keep working and an exhausted payload
+            // decodes as "no replication, zero group-commit counters".
+            // First a replication presence byte + optional block, then
+            // the unconditional group-commit block.
+            match &s.repl {
+                Some(repl) => {
+                    codec::put_u8(&mut payload, 1);
+                    codec::put_u8(&mut payload, repl.role.to_u8());
+                    codec::put_u64(&mut payload, repl.node_id);
+                    codec::put_u64(&mut payload, repl.epoch);
+                    codec::put_u64(&mut payload, repl.applied_seqno);
+                    codec::put_u64(&mut payload, repl.acked_lsn);
+                    codec::put_u64(&mut payload, repl.lag_bytes);
+                }
+                None => codec::put_u8(&mut payload, 0),
+            }
+            codec::put_u64(&mut payload, s.commit_groups);
+            codec::put_u64(&mut payload, s.commit_group_writes);
+            codec::put_u64(&mut payload, s.fsync_micros_total);
+            for b in &s.group_size_hist {
+                codec::put_u64(&mut payload, *b);
+            }
+            for b in &s.fsync_micros_hist {
+                codec::put_u64(&mut payload, *b);
             }
         }
         Response::RetryLater { backoff_ms } => codec::put_u32(&mut payload, *backoff_ms),
@@ -740,6 +774,11 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response)> {
                 manifest_rolled_back: r.u8()? != 0,
                 shards: Vec::new(),
                 repl: None,
+                commit_groups: 0,
+                commit_group_writes: 0,
+                fsync_micros_total: 0,
+                group_size_hist: [0; COMMIT_HIST_BUCKETS],
+                fsync_micros_hist: [0; COMMIT_HIST_BUCKETS],
             };
             let n = r.varint()? as usize;
             stats.shards.reserve(n.min(1024));
@@ -757,17 +796,28 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response)> {
                     wal_records_replayed: r.u64()?,
                 });
             }
-            // Appended replication block: absent on pre-replication
-            // servers, so an exhausted payload simply means `None`.
+            // Appended blocks: absent on old servers, so an exhausted
+            // payload means "no replication, zero group-commit stats".
             if r.remaining() != 0 {
-                stats.repl = Some(WireReplStats {
-                    role: ReplRole::from_u8(r.u8()?)?,
-                    node_id: r.u64()?,
-                    epoch: r.u64()?,
-                    applied_seqno: r.u64()?,
-                    acked_lsn: r.u64()?,
-                    lag_bytes: r.u64()?,
-                });
+                if r.u8()? != 0 {
+                    stats.repl = Some(WireReplStats {
+                        role: ReplRole::from_u8(r.u8()?)?,
+                        node_id: r.u64()?,
+                        epoch: r.u64()?,
+                        applied_seqno: r.u64()?,
+                        acked_lsn: r.u64()?,
+                        lag_bytes: r.u64()?,
+                    });
+                }
+                stats.commit_groups = r.u64()?;
+                stats.commit_group_writes = r.u64()?;
+                stats.fsync_micros_total = r.u64()?;
+                for b in &mut stats.group_size_hist {
+                    *b = r.u64()?;
+                }
+                for b in &mut stats.fsync_micros_hist {
+                    *b = r.u64()?;
+                }
             }
             Response::Stats(stats)
         }
@@ -1086,6 +1136,11 @@ mod tests {
                     acked_lsn: 4096,
                     lag_bytes: 128,
                 }),
+                commit_groups: 13,
+                commit_group_writes: 170,
+                fsync_micros_total: 9000,
+                group_size_hist: [1, 2, 3, 4, 5, 6, 7, 8],
+                fsync_micros_hist: [8, 7, 6, 5, 4, 3, 2, 1],
             }),
             Response::RetryLater { backoff_ms: 250 },
             Response::Err {
@@ -1199,9 +1254,12 @@ mod tests {
     }
 
     #[test]
-    fn stats_without_repl_block_decode_as_none() {
-        // A pre-replication server's STATS payload simply ends after the
-        // shard list; the decoder must report `repl: None`, not error.
+    fn stats_without_appended_blocks_decode_as_defaults() {
+        // An old server's STATS payload simply ends after the shard
+        // list; the decoder must report `repl: None` and zeroed
+        // group-commit counters, not error. Simulate the old payload by
+        // stripping the appended blocks (1 presence byte + 3 u64
+        // counters + 2 histograms of COMMIT_HIST_BUCKETS u64s).
         let stats = WireStats {
             gets: 5,
             shards: vec![WireShardStats::default()],
@@ -1210,6 +1268,11 @@ mod tests {
         };
         let mut wire = Vec::new();
         encode_response(&mut wire, 1, &Response::Stats(stats.clone())).unwrap();
+        let appended = 1 + 8 * (3 + 2 * COMMIT_HIST_BUCKETS);
+        let (_, back) = decode_response(&wire[FRAME_HEADER..wire.len() - appended]).unwrap();
+        assert_eq!(back, Response::Stats(stats.clone()));
+
+        // And the full payload roundtrips unchanged.
         let (_, back) = decode_response(&wire[FRAME_HEADER..]).unwrap();
         assert_eq!(back, Response::Stats(stats));
     }

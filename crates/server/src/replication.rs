@@ -293,6 +293,20 @@ pub struct Replication {
     config: ReplicationConfig,
 }
 
+/// One open commit gate: the quorum a leader write's acknowledgement is
+/// waiting on. Produced by [`Replication::gate_open`], polled with
+/// [`Replication::gate_poll`] — pure data, so a reactor can park
+/// thousands of these without holding a thread each.
+#[derive(Debug, Clone, Copy)]
+pub struct GateTicket {
+    /// Peers must ack at least this LSN.
+    target: u64,
+    /// How many peer acks constitute a majority (leader included).
+    needed: usize,
+    /// Give up and report a quorum timeout past this instant.
+    deadline: Instant,
+}
+
 impl std::fmt::Debug for Replication {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Replication")
@@ -379,61 +393,88 @@ impl Replication {
     /// still replicate and become visible. The error means "not
     /// promised", never "undone" — see the module doc.
     pub fn commit_gate(&self) -> Response {
-        let needed = quorum_peers(self.config.peers.len());
-        if needed == 0 {
+        let Some(ticket) = self.gate_open(0) else {
             return Response::Ok;
-        }
-        let flushed = match self.source.wal_window() {
-            Ok((_, flushed)) => flushed,
-            Err(e) => {
-                return Response::Err {
-                    kind: ErrKind::classify(&e),
-                    message: e.to_string(),
-                }
-            }
         };
-        let deadline = Instant::now() + self.config.quorum_timeout;
         loop {
-            let acked = self
-                .state
-                .peer_acked
-                .iter()
-                // ordering: Acquire — pairs with the Release ack stores.
-                .filter(|a| a.load(Ordering::Acquire) >= flushed)
-                .count();
-            if acked >= needed {
-                return Response::Ok;
-            }
-            // `stop` counts as demotion: a server shutting down must not
-            // keep a writer spinning out the full quorum timeout.
-            // ordering: Acquire — pairs with the Release store in `stop`.
-            if self.state.role() != ReplRole::Leader || self.state.stop.load(Ordering::Acquire) {
-                // Fenced mid-write: the write stays in this node's WAL
-                // and C0 and may still commit via the new leader, but
-                // this node cannot promise that (see the module doc on
-                // commit-gate semantics).
-                return Response::Err {
-                    kind: ErrKind::Fenced {
-                        epoch: self.state.epoch(),
-                        // ordering: Relaxed — advisory hint.
-                        leader_id: self.state.leader_id.load(Ordering::Relaxed),
-                    },
-                    message: format!(
-                        "demoted while awaiting quorum (epoch {})",
-                        self.state.epoch()
-                    ),
-                };
-            }
-            if Instant::now() >= deadline {
-                return Response::Err {
-                    kind: ErrKind::Io,
-                    message: format!(
-                        "replication quorum timeout: {acked}/{needed} peers acked lsn {flushed}"
-                    ),
-                };
+            if let Some(resp) = self.gate_poll(&ticket) {
+                return resp;
             }
             std::thread::sleep(Duration::from_micros(200));
         }
+    }
+
+    /// Opens a non-blocking commit gate for one acknowledged write.
+    ///
+    /// Returns `None` when there is nothing to wait for (no peers →
+    /// trivially a majority of one). Otherwise the ticket's target LSN
+    /// is the larger of `local_target` (the write's group-commit target
+    /// from the nowait API; 0 under `Durability::Buffered`) and the WAL
+    /// flushed horizon sampled now — whichever covers the write — and
+    /// the caller polls [`Replication::gate_poll`] until it yields.
+    ///
+    /// The reactor front end uses this pair so a 5-second quorum wait
+    /// parks one *response*, never one reactor thread.
+    pub fn gate_open(&self, local_target: u64) -> Option<GateTicket> {
+        let needed = quorum_peers(self.config.peers.len());
+        if needed == 0 {
+            return None;
+        }
+        // A wal_window error degrades to gating on the write's own
+        // target; a zero target with no window means the write predates
+        // the sample and the flushed horizon already covers it, so the
+        // max() with 0 is still correct.
+        let flushed = self.source.wal_window().map_or(0, |(_, f)| f);
+        Some(GateTicket {
+            target: flushed.max(local_target),
+            needed,
+            deadline: Instant::now() + self.config.quorum_timeout,
+        })
+    }
+
+    /// Polls an open gate: `None` means keep waiting; `Some(resp)` is
+    /// the final verdict (`Ok`, `Fenced`, or a quorum-timeout `Io`).
+    pub fn gate_poll(&self, ticket: &GateTicket) -> Option<Response> {
+        let acked = self
+            .state
+            .peer_acked
+            .iter()
+            // ordering: Acquire — pairs with the Release ack stores.
+            .filter(|a| a.load(Ordering::Acquire) >= ticket.target)
+            .count();
+        if acked >= ticket.needed {
+            return Some(Response::Ok);
+        }
+        // `stop` counts as demotion: a server shutting down must not
+        // keep a response parked out the full quorum timeout.
+        // ordering: Acquire — pairs with the Release store in `stop`.
+        if self.state.role() != ReplRole::Leader || self.state.stop.load(Ordering::Acquire) {
+            // Fenced mid-write: the write stays in this node's WAL
+            // and C0 and may still commit via the new leader, but
+            // this node cannot promise that (see the module doc on
+            // commit-gate semantics).
+            return Some(Response::Err {
+                kind: ErrKind::Fenced {
+                    epoch: self.state.epoch(),
+                    // ordering: Relaxed — advisory hint.
+                    leader_id: self.state.leader_id.load(Ordering::Relaxed),
+                },
+                message: format!(
+                    "demoted while awaiting quorum (epoch {})",
+                    self.state.epoch()
+                ),
+            });
+        }
+        if Instant::now() >= ticket.deadline {
+            return Some(Response::Err {
+                kind: ErrKind::Io,
+                message: format!(
+                    "replication quorum timeout: {acked}/{} peers acked lsn {}",
+                    ticket.needed, ticket.target
+                ),
+            });
+        }
+        None
     }
 
     /// Handles `REPL_SUBSCRIBE` (a leader opening a shipping session).
@@ -467,19 +508,43 @@ impl Replication {
             // gap in the stream go unnoticed.
             return self.repl_ack();
         }
+        // Group commit across the batch: every record appends without
+        // syncing, then ONE commit_group fsyncs the whole batch — the
+        // follower pays one disk sync per REPLICATE frame instead of one
+        // per record. Heartbeats (empty or all-duplicate batches, where
+        // every nowait apply returns no durability target) skip the sync
+        // entirely, so an idle group does not fsync every ship interval.
+        let mut needs_sync = false;
         for payload in records {
-            if let Err(e) = db.apply_replicated(payload) {
-                // Partial batch: the cursor stays put, the leader
-                // resends, and the seqno check skips what did apply.
+            match db.apply_replicated_nowait(payload) {
+                Ok(applied) => {
+                    if matches!(applied, Some((_, target)) if target > 0) {
+                        needs_sync = true;
+                    }
+                }
+                Err(e) => {
+                    // Partial batch: the cursor stays put, the leader
+                    // resends, and the seqno check skips what did apply.
+                    return Response::Err {
+                        kind: ErrKind::classify(&e),
+                        message: format!("replicated apply failed: {e}"),
+                    };
+                }
+            }
+        }
+        if needs_sync {
+            if let Err(e) = db.commit_group() {
+                // Batch applied but not durable: keep the cursor so the
+                // leader resends; the seqno dedupe absorbs the replay.
                 return Response::Err {
                     kind: ErrKind::classify(&e),
-                    message: format!("replicated apply failed: {e}"),
+                    message: format!("replicated commit failed: {e}"),
                 };
             }
         }
         // ordering: Release — everything above is visible before any
         // reader of the advanced cursor (the ack we are about to send
-        // promises these records are applied).
+        // promises these records are applied and durable).
         self.state.cursor.store(next_lsn, Ordering::Release);
         self.repl_ack()
     }

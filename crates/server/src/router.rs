@@ -12,10 +12,12 @@
 //!
 //! The router itself is deliberately **lock-free**: its state is an
 //! immutable boundary list inside [`ShardedBLsm`] plus a fixed `Vec` of
-//! admission controllers (whose counters are atomics). The server
-//! crate's documented lock hierarchy stays empty — routing adds
-//! arithmetic, never a lock — which the `xtask` lock-order lint
-//! enforces.
+//! admission controllers (whose counters are lane-striped atomics; each
+//! reactor records on its own lane via
+//! [`ShardRouter::write_admission_on`]). Routing adds arithmetic, never
+//! a lock — the server crate's locks all live in `server.rs` (reactor
+//! inboxes and the committer signal; see the lock hierarchy there),
+//! which the `xtask` lock-order lint enforces.
 
 use blsm::{BLsmTree, BackpressureLevel, ShardedBLsm, ShardedReadView, TreeStatsSnapshot};
 use blsm_storage::Result;
@@ -32,11 +34,18 @@ pub struct ShardRouter {
 }
 
 impl ShardRouter {
-    /// Wraps a sharded store, giving every shard its own admission
-    /// controller with the same policy.
+    /// Wraps a sharded store, giving every shard its own single-lane
+    /// admission controller with the same policy.
     pub fn new(store: ShardedBLsm, admission: AdmissionConfig) -> ShardRouter {
+        ShardRouter::with_lanes(store, admission, 1)
+    }
+
+    /// [`ShardRouter::new`] with `lanes` counter lanes per shard — one
+    /// per reactor thread, so concurrent admissions never share a
+    /// counter cache line.
+    pub fn with_lanes(store: ShardedBLsm, admission: AdmissionConfig, lanes: usize) -> ShardRouter {
         let admissions = (0..store.shard_count())
-            .map(|_| AdmissionController::new(admission))
+            .map(|_| AdmissionController::with_lanes(admission, lanes))
             .collect();
         ShardRouter { store, admissions }
     }
@@ -70,12 +79,21 @@ impl ShardRouter {
     /// per-shard error, which tells the client more than RETRY_LATER
     /// would).
     pub fn write_admission(&self, key: &[u8]) -> (usize, WriteAdmission) {
+        self.write_admission_on(0, key)
+    }
+
+    /// [`ShardRouter::write_admission`], recording the decision on the
+    /// calling reactor's counter lane.
+    pub fn write_admission_on(&self, lane: usize, key: &[u8]) -> (usize, WriteAdmission) {
         let shard = self.shard_for(key);
         let level = self
             .store
             .backpressure(shard)
             .unwrap_or(BackpressureLevel::Idle);
-        (shard, self.admissions[shard].write_admission(level))
+        (
+            shard,
+            self.admissions[shard].write_admission_on(lane, level),
+        )
     }
 
     /// Aggregated admission counters across all shards.

@@ -1,49 +1,78 @@
-//! Multi-threaded TCP server over a shard-routed bLSM store.
+//! Event-driven TCP server over a shard-routed bLSM store.
 //!
 //! Thread model (documented in DESIGN.md §11): one nonblocking accept
-//! loop plus one thread per connection. Reads are served through a
-//! per-connection clone of the lock-free [`blsm::ShardedReadView`], so
-//! reader threads never take a lock — they race each shard's merge
-//! thread the same way in-process readers do. Writes apply *directly on
-//! the connection thread*: the engine's write path is `&self` and
-//! scales across threads (key-range-sharded `C0`, atomic seqnos), so N
-//! connections writing are N genuinely parallel writers — there is no
-//! batching queue and no tree-wide lock to funnel through.
+//! loop, **N reactor threads** multiplexing nonblocking sockets over
+//! epoll (`poller.rs`), and **one group-commit thread** per server.
+//! This replaces the earlier thread-per-connection model: durable write
+//! throughput now scales with *client count*, not thread count, because
+//! no thread ever blocks on an fsync that another client's fsync could
+//! have covered (bLSM §5.1 — group commit amortizes one log sync over
+//! every write that arrived while the previous sync was in flight).
 //!
-//! Every request passes the [`ShardRouter`] at the front door
-//! (DESIGN.md §16): point ops go to the one shard owning the key, SCAN
-//! scatter-gathers across the shards overlapping the range with a k-way
-//! merge back into one globally ordered stream. The classic single-tree
-//! deployment ([`Server::start`]) is simply the 1-shard case of the
-//! same router.
+//! The write path under `Durability::Sync`:
+//!
+//! 1. a reactor decodes a write frame and applies it with the engine's
+//!    *nowait* API — WAL append + C0 insert, no sync — which returns a
+//!    commit target LSN;
+//! 2. the response is parked in the connection's pending set, the
+//!    owning shard is marked dirty, and the committer is signalled;
+//! 3. the committer calls `commit_group(shard)` — one flush + one fsync
+//!    covering every write appended since the last group — and rings
+//!    every reactor's [`WakeFd`];
+//! 4. reactors release all responses whose target is now ≤ the shard's
+//!    `durable_lsn`, out of order by request id as groups retire.
+//!
+//! Under `Durability::Buffered` the nowait target is 0 and responses
+//! leave immediately in frame order, exactly as before. Reads are
+//! served inline on the reactor through the lock-free
+//! [`blsm::ShardedReadView`] — they never wait on any commit group.
 //!
 //! Admission control is scheduler-coupled **and per shard** (see
 //! `admission.rs`, `router.rs`): each write consults the backpressure
-//! level of the shard that owns its key, and is admitted, delayed
-//! (response held back proportionally), or rejected with RETRY_LATER —
-//! so a saturated shard paces only its own writers. Reads are never
-//! throttled.
+//! level of the shard that owns its key and is admitted, delayed, or
+//! rejected with RETRY_LATER. A pacing delay holds the *response* (the
+//! write applies immediately; the client just sees it acknowledged
+//! later), so a paced writer costs a timer entry, never a reactor
+//! thread — sibling connections and all reads proceed.
 //!
-//! Graceful shutdown: [`Server::shutdown`] stops the accept loop, lets
-//! every connection thread drain its buffered requests and exit (they
-//! poll the stop flag on a short read timeout), then shuts every shard
-//! down — completing pending merges, checkpointing and closing each WAL.
+//! A replicated leader parks gated writes the same way: the quorum wait
+//! becomes a [`GateTicket`] polled as acks arrive, so a slow peer
+//! stalls one response, not one thread. `REPLICATE` batches on a
+//! follower are the one deliberate exception — the handler group-syncs
+//! the whole batch inline (one fsync per frame), which is the follower
+//! durability contract and bounded by the leader's batch size.
+//!
+//! **Server lock hierarchy** (leaf locks only, never nested, never held
+//! across engine calls): each reactor's connection `inbox`, the
+//! committer's `commit-signal` wake flag, and each shard's `commit-err`
+//! last-error slot. The engine's own hierarchy (DESIGN.md §14) sits
+//! entirely below; no server lock is ever held while calling into it.
+//!
+//! Graceful shutdown: [`Server::shutdown`] stops the accept loop, wakes
+//! every reactor (each drops its connections) and the committer (which
+//! runs one final group per dirty shard), joins them all, then shuts
+//! every shard down — completing pending merges, checkpointing and
+//! closing each WAL.
 
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use blsm::{BLsmTree, ShardedBLsm, ShardedReadView, ThreadedBLsm};
 use blsm_storage::{Result, StorageError};
+use parking_lot::{Condvar, Mutex};
 
 use crate::admission::{AdmissionConfig, WriteAdmission};
+use crate::poller::{Interest, Poller, WakeFd};
 use crate::protocol::{
     decode_request, encode_response, CloseReason, ErrKind, FrameDecoder, Request, Response,
     WireScrubReport, WireShardStats, WireStats, MAX_FRAME,
 };
-use crate::replication::{Replication, ReplicationConfig};
+use crate::replication::{GateTicket, Replication, ReplicationConfig};
 use crate::router::ShardRouter;
 
 /// Server tuning knobs.
@@ -53,9 +82,12 @@ pub struct ServerConfig {
     pub max_frame: usize,
     /// Admission policy.
     pub admission: AdmissionConfig,
-    /// Read timeout on connection sockets; bounds how long a quiescent
-    /// connection takes to notice the stop flag.
+    /// Upper bound on a reactor's epoll sleep; bounds how long a fully
+    /// quiescent reactor takes to notice the stop flag without a wake.
     pub poll_interval: Duration,
+    /// Reactor thread count; 0 picks one per available core, clamped to
+    /// [2, 8].
+    pub reactors: usize,
 }
 
 impl Default for ServerConfig {
@@ -64,8 +96,50 @@ impl Default for ServerConfig {
             max_frame: MAX_FRAME,
             admission: AdmissionConfig::default(),
             poll_interval: Duration::from_millis(25),
+            reactors: 0,
         }
     }
+}
+
+fn effective_reactors(config: &ServerConfig) -> usize {
+    if config.reactors > 0 {
+        config.reactors
+    } else {
+        std::thread::available_parallelism()
+            .map_or(4, std::num::NonZeroUsize::get)
+            .clamp(2, 8)
+    }
+}
+
+/// Per-reactor handoff slot the accept thread fills.
+struct ReactorHandle {
+    /// Connections accepted but not yet registered with the reactor's
+    /// poller. Leaf lock `inbox` (see the module-doc hierarchy): held
+    /// only to push or swap the Vec, never across any other call.
+    inbox: Mutex<Vec<TcpStream>>,
+    /// Rung by the accept thread (new connection), the committer (a
+    /// group retired) and shutdown.
+    wake: WakeFd,
+}
+
+/// The committer's doorbell.
+struct CommitSignal {
+    /// Leaf lock `commit-signal`: guards only this wake flag.
+    pending: Mutex<bool>,
+    cond: Condvar,
+}
+
+/// One shard's commit failure epoch. Reactors snapshot `count` when
+/// parking a write and fail the response if it moved — the server-side
+/// mirror of the engine's failure epochs, needed because reactors poll
+/// `durable_lsn` instead of blocking in a durability wait.
+struct CommitFailure {
+    // ordering: SeqCst — bumped strictly after the error text below is
+    // stored, and read before it; SeqCst keeps this trivially ordered
+    // with the reactors' pending-write snapshots.
+    count: AtomicU64,
+    /// Leaf lock `commit-err`: the last commit error's rendered text.
+    last: Mutex<String>,
 }
 
 struct Inner {
@@ -74,18 +148,50 @@ struct Inner {
     /// Present when this server is part of a replication group; holds
     /// role/epoch state and the request handlers (`replication.rs`).
     repl: Option<Replication>,
-    /// Set by `shutdown()` or a SHUTDOWN request; accept loop and
-    /// connection threads poll it.
-    // ordering: SeqCst — shutdown flag; totally ordered with the
-    // wake-up connect so the accept loop cannot miss it.
+    /// Set by `shutdown()` or a SHUTDOWN request; accept loop, reactors
+    /// and the committer poll it.
+    // ordering: SeqCst — shutdown flag; totally ordered with the wakes
+    // so no thread can miss it.
     stop: AtomicBool,
-    /// Live connection threads (leak detector for tests).
-    // ordering: SeqCst — paired inc/dec observed by the shutdown
-    // drain loop; SeqCst keeps it totally ordered with `stop`.
+    /// Live client connections (leak detector for tests).
+    // ordering: SeqCst — paired inc/dec observed by test drain loops;
+    // SeqCst keeps it totally ordered with `stop`.
     active_connections: AtomicU64,
     /// Total requests answered.
     // ordering: SeqCst — statistic read by STATS replies.
     served: AtomicU64,
+    /// One handoff slot per reactor thread.
+    reactors: Vec<ReactorHandle>,
+    commit_signal: CommitSignal,
+    /// Per-shard "has unsynced writes" flags the committer swaps.
+    // ordering: SeqCst — set after the nowait apply, swapped by the
+    // committer before its commit_group; SeqCst pairs the handoff.
+    commit_dirty: Vec<AtomicBool>,
+    /// Per-shard commit failure epochs.
+    commit_failures: Vec<CommitFailure>,
+}
+
+impl Inner {
+    /// Flips the stop flag and rouses every sleeping thread.
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for r in &self.reactors {
+            r.wake.wake();
+        }
+        let mut pending = self.commit_signal.pending.lock();
+        *pending = true;
+        drop(pending);
+        self.commit_signal.cond.notify_one();
+    }
+
+    /// Marks `shard` dirty and rings the committer.
+    fn signal_commit(&self, shard: usize) {
+        self.commit_dirty[shard].store(true, Ordering::SeqCst);
+        let mut pending = self.commit_signal.pending.lock();
+        *pending = true;
+        drop(pending);
+        self.commit_signal.cond.notify_one();
+    }
 }
 
 /// A running blsm server.
@@ -117,7 +223,7 @@ impl Server {
     /// # Errors
     ///
     /// Fails with [`StorageError::Io`] if the address cannot be bound or
-    /// the accept thread cannot be spawned.
+    /// the server threads cannot be spawned.
     pub fn start(
         db: ThreadedBLsm,
         addr: impl ToSocketAddrs,
@@ -133,7 +239,7 @@ impl Server {
     /// # Errors
     ///
     /// Fails with [`StorageError::Io`] if the address cannot be bound or
-    /// the accept thread cannot be spawned.
+    /// the server threads cannot be spawned.
     pub fn start_sharded(
         store: ShardedBLsm,
         addr: impl ToSocketAddrs,
@@ -187,18 +293,54 @@ impl Server {
             }
             None => None,
         };
+        let n_reactors = effective_reactors(&config);
+        let mut reactors = Vec::with_capacity(n_reactors);
+        for _ in 0..n_reactors {
+            reactors.push(ReactorHandle {
+                inbox: Mutex::new(Vec::new()),
+                wake: WakeFd::new().map_err(StorageError::Io)?,
+            });
+        }
+        let shard_count = store.shard_count();
         let inner = Arc::new(Inner {
-            router: ShardRouter::new(store, config.admission),
+            router: ShardRouter::with_lanes(store, config.admission, n_reactors),
             config,
             repl,
             stop: AtomicBool::new(false),
             active_connections: AtomicU64::new(0),
             served: AtomicU64::new(0),
+            reactors,
+            commit_signal: CommitSignal {
+                pending: Mutex::new(false),
+                cond: Condvar::new(),
+            },
+            commit_dirty: (0..shard_count).map(|_| AtomicBool::new(false)).collect(),
+            commit_failures: (0..shard_count)
+                .map(|_| CommitFailure {
+                    count: AtomicU64::new(0),
+                    last: Mutex::new(String::new()),
+                })
+                .collect(),
         });
+        let mut workers = Vec::with_capacity(n_reactors + 1);
+        for idx in 0..n_reactors {
+            let reactor_inner = inner.clone();
+            let h = std::thread::Builder::new()
+                .name(format!("blsm-reactor-{idx}"))
+                .spawn(move || reactor_loop(&reactor_inner, idx))
+                .map_err(StorageError::Io)?;
+            workers.push(h);
+        }
+        let commit_inner = inner.clone();
+        let h = std::thread::Builder::new()
+            .name("blsm-committer".into())
+            .spawn(move || committer_loop(&commit_inner))
+            .map_err(StorageError::Io)?;
+        workers.push(h);
         let accept_inner = inner.clone();
         let accept_thread = std::thread::Builder::new()
             .name("blsm-accept".into())
-            .spawn(move || accept_loop(&accept_inner, &listener))
+            .spawn(move || accept_loop(&accept_inner, &listener, workers))
             .map_err(StorageError::Io)?;
         Ok(Server {
             inner: Some(inner),
@@ -226,7 +368,8 @@ impl Server {
         self.inner().stop.load(Ordering::SeqCst)
     }
 
-    /// Connection threads currently alive.
+    /// Client connections currently registered with a reactor (or in
+    /// flight to one).
     pub fn active_connections(&self) -> u64 {
         self.inner().active_connections.load(Ordering::SeqCst)
     }
@@ -236,10 +379,11 @@ impl Server {
         self.inner().served.load(Ordering::SeqCst)
     }
 
-    /// Stops accepting, drains every connection thread, then shuts every
-    /// shard down (pending merges completed, checkpoints written, WALs
-    /// closed, shard-manifest epoch bumped) and returns the settled
-    /// trees in shard order — one tree for a [`Server::start`] server.
+    /// Stops accepting, drains the reactors and the committer, then
+    /// shuts every shard down (pending merges completed, checkpoints
+    /// written, WALs closed, shard-manifest epoch bumped) and returns
+    /// the settled trees in shard order — one tree for a
+    /// [`Server::start`] server.
     ///
     /// # Errors
     ///
@@ -252,7 +396,7 @@ impl Server {
                 "shutdown on an already shut-down server",
             ));
         };
-        inner.stop.store(true, Ordering::SeqCst);
+        inner.request_stop();
         // Shipper threads hold only the replication state + engine seam
         // (never `inner`), so stopping them is a flag, not a join.
         if let Some(repl) = &inner.repl {
@@ -261,13 +405,13 @@ impl Server {
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
-        // The accept loop joins every connection thread before exiting,
-        // so this Arc is now the sole owner.
+        // The accept loop joins every reactor and the committer before
+        // exiting, so this Arc is now the sole owner.
         let inner = Arc::try_unwrap(inner).map_err(|_| {
             StorageError::corruption(
                 blsm_storage::ComponentId::Server,
                 None,
-                "connection thread leaked past accept-loop join",
+                "server thread leaked past accept-loop join",
             )
         })?;
         inner.router.shutdown()
@@ -277,7 +421,7 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
-            inner.stop.store(true, Ordering::SeqCst);
+            inner.request_stop();
             if let Some(repl) = &inner.repl {
                 repl.stop();
             }
@@ -289,27 +433,26 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
-    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+/// Accepts connections and deals them round-robin to the reactors. On
+/// stop it joins every reactor and the committer, so `shutdown` only
+/// has to join this one thread.
+fn accept_loop(
+    inner: &Arc<Inner>,
+    listener: &TcpListener,
+    workers: Vec<std::thread::JoinHandle<()>>,
+) {
+    let mut next = 0usize;
     while !inner.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let conn_inner = inner.clone();
-                inner.active_connections.fetch_add(1, Ordering::SeqCst);
-                let spawned =
-                    std::thread::Builder::new()
-                        .name("blsm-conn".into())
-                        .spawn(move || {
-                            serve_connection(&conn_inner, stream);
-                            conn_inner.active_connections.fetch_sub(1, Ordering::SeqCst);
-                        });
-                match spawned {
-                    Ok(h) => handles.push(h),
-                    Err(_) => {
-                        // Thread limit: drop the connection, undo the count.
-                        inner.active_connections.fetch_sub(1, Ordering::SeqCst);
-                    }
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    continue;
                 }
+                inner.active_connections.fetch_add(1, Ordering::SeqCst);
+                let r = &inner.reactors[next % inner.reactors.len()];
+                next = next.wrapping_add(1);
+                r.inbox.lock().push(stream);
+                r.wake.wake();
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -317,119 +460,542 @@ fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => break,
         }
-        // Reap finished connection threads so the handle list stays
-        // bounded on long-lived servers.
-        if handles.len() > 32 {
-            let (done, live): (Vec<_>, Vec<_>) = handles
-                .into_iter()
-                .partition(std::thread::JoinHandle::is_finished);
-            for h in done {
-                let _ = h.join();
-            }
-            handles = live;
-        }
     }
-    for h in handles {
+    // Belt and braces: the loop can exit on an accept error without the
+    // stop flag set; the workers must still be told to wind down.
+    inner.request_stop();
+    for h in workers {
         let _ = h.join();
     }
 }
 
-/// Per-connection loop: read → decode → serve → respond, until the peer
-/// disconnects, the stream turns to garbage, or the server stops.
-///
-/// Every exit is classified (`CloseReason`): a clean EOF stays silent,
-/// but a torn frame or an unframable stream is logged with its typed
-/// reason — after a failover these are the fingerprints of a fenced
-/// old-epoch leader being cut off mid-frame, and they must not be
-/// indistinguishable from a polite hangup.
-fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
-    if stream
-        .set_read_timeout(Some(inner.config.poll_interval))
-        .is_err()
-        || stream.set_nodelay(true).is_err()
-    {
+/// One response parked on a connection, waiting for its release
+/// condition: a pacing timer, the shard's durable horizon reaching the
+/// write's commit target, and/or a replication quorum.
+struct PendingWrite {
+    id: u64,
+    shard: usize,
+    /// Durable once the shard's `durable_lsn` reaches this; 0 = no
+    /// durability wait (Buffered, or already satisfied).
+    target: u64,
+    /// The shard's commit failure epoch when this write was parked.
+    failures_at: u64,
+    /// Open replication quorum gate, if any.
+    gate: Option<GateTicket>,
+    /// Admission pacing: do not release before this instant.
+    not_before: Option<Instant>,
+    resp: Response,
+}
+
+/// One registered client connection.
+struct Conn {
+    stream: TcpStream,
+    fd: RawFd,
+    peer: String,
+    decoder: FrameDecoder,
+    /// Encoded responses not yet accepted by the socket.
+    out: Vec<u8>,
+    out_pos: usize,
+    pending: Vec<PendingWrite>,
+    /// Whether the poller registration currently includes EPOLLOUT.
+    wants_write: bool,
+    /// Set when the connection must close (EOF, unframable stream,
+    /// socket error); torn down at the end of the reactor tick.
+    dead: Option<CloseReason>,
+}
+
+impl Conn {
+    fn flushed(&self) -> bool {
+        self.out_pos >= self.out.len()
+    }
+}
+
+/// One reactor: multiplexes its share of the connections over epoll.
+/// Index `idx` doubles as the admission counter lane.
+fn reactor_loop(inner: &Arc<Inner>, idx: usize) {
+    let Ok(poller) = Poller::new() else {
+        // No epoll instance: this reactor can serve nothing. The others
+        // keep the server alive; connections dealt here would hang, so
+        // close them as they arrive (drained in the loop below is moot —
+        // without a poller there is no loop, so just bail after marking).
+        eprintln!("blsm-server: reactor {idx} failed to create a poller");
+        drain_inbox_closed(inner, idx);
+        return;
+    };
+    let handle = &inner.reactors[idx];
+    if poller.add(handle.wake.raw_fd(), 0, Interest::READ).is_err() {
+        eprintln!("blsm-server: reactor {idx} failed to register its wake fd");
+        drain_inbox_closed(inner, idx);
         return;
     }
-    let peer = stream
-        .peer_addr()
-        .map_or_else(|_| "<unknown>".to_string(), |a| a.to_string());
     let view = inner.router.read_view();
-    let mut decoder = FrameDecoder::with_max(inner.config.max_frame);
-    let mut buf = vec![0u8; 16 << 10];
-    loop {
-        // Checked every iteration, not just on idle timeouts: a peer
-        // that streams continuously (a leader's shipper heartbeats
-        // every ship_interval) keeps every read returning data, so a
-        // timeout-only stop check would never fire and shutdown would
-        // block on this connection until the peer went away.
-        if inner.stop.load(Ordering::SeqCst) {
-            return;
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 1;
+    let mut events = Vec::new();
+    let mut buf = vec![0u8; 64 << 10];
+    while !inner.stop.load(Ordering::SeqCst) {
+        // Sleep until woken (socket activity, new connection, a commit
+        // group retiring) — but poll on a short tick while responses are
+        // parked, as the safety net for pacing timers and gate deadlines.
+        let timeout = if conns.values().any(|c| !c.pending.is_empty()) {
+            Duration::from_millis(3)
+        } else {
+            inner.config.poll_interval.max(Duration::from_millis(1))
+        };
+        events.clear();
+        if poller.wait(&mut events, Some(timeout)).is_err() {
+            break;
         }
-        match stream.read(&mut buf) {
-            Ok(0) => {
-                // EOF: let the decoder say whether the peer stopped on
-                // a frame boundary or vanished mid-frame.
-                log_close(&peer, &decoder.close_reason_at_eof());
-                return;
+        let mut woken = false;
+        for ev in &events {
+            if ev.token == 0 {
+                woken = true;
             }
-            Ok(n) => {
-                decoder.feed(&buf[..n]);
-                let mut frames = Vec::new();
-                loop {
-                    match decoder.next_frame() {
-                        Ok(Some(payload)) => frames.push(payload),
-                        Ok(None) => break,
-                        // Unframable stream: nothing sane to answer.
-                        Err(e) => {
-                            log_close(
-                                &peer,
-                                &CloseReason::Corrupt {
-                                    detail: e.to_string(),
-                                },
-                            );
-                            return;
-                        }
-                    }
-                }
-                if frames.is_empty() {
+        }
+        if woken {
+            handle.wake.drain();
+            // Adopt connections the accept thread dealt us.
+            let incoming = std::mem::take(&mut *handle.inbox.lock());
+            for stream in incoming {
+                let fd = stream.as_raw_fd();
+                let token = next_token;
+                next_token += 1;
+                let peer = stream
+                    .peer_addr()
+                    .map_or_else(|_| "<unknown>".to_string(), |a| a.to_string());
+                if poller.add(fd, token, Interest::READ).is_err() {
+                    inner.active_connections.fetch_sub(1, Ordering::SeqCst);
                     continue;
                 }
-                match serve_batch(inner, &view, &frames) {
-                    Ok((out, shutdown)) => {
-                        inner
-                            .served
-                            .fetch_add(frames.len() as u64, Ordering::SeqCst);
-                        if stream.write_all(&out).is_err() || stream.flush().is_err() {
-                            return;
-                        }
-                        if shutdown {
-                            inner.stop.store(true, Ordering::SeqCst);
-                            return;
-                        }
-                    }
-                    // Undecodable request payload: drop the connection
-                    // (ids can no longer be trusted).
-                    Err(e) => {
-                        log_close(
-                            &peer,
-                            &CloseReason::Corrupt {
-                                detail: e.to_string(),
-                            },
-                        );
-                        return;
-                    }
+                conns.insert(
+                    token,
+                    Conn {
+                        stream,
+                        fd,
+                        peer,
+                        decoder: FrameDecoder::with_max(inner.config.max_frame),
+                        out: Vec::new(),
+                        out_pos: 0,
+                        pending: Vec::new(),
+                        wants_write: false,
+                        dead: None,
+                    },
+                );
+            }
+        }
+        // Socket readiness: drain readable sockets and process frames.
+        for ev in &events {
+            if ev.token == 0 {
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.token) else {
+                continue;
+            };
+            if ev.readable || ev.closed {
+                service_readable(inner, &view, idx, conn, &mut buf);
+            }
+        }
+        // Release parked responses whose conditions are met.
+        for conn in conns.values_mut() {
+            settle_pending(inner, conn);
+        }
+        // Push out-buffers, drop dead connections, fix write interest.
+        conns.retain(|&token, conn| {
+            if flush_out(conn).is_err() && conn.dead.is_none() {
+                conn.dead = Some(CloseReason::CleanEof);
+            }
+            if let Some(reason) = &conn.dead {
+                // Whatever flushed above, flushed; unflushed responses
+                // die with the connection (the thread-per-connection
+                // model dropped them the same way at EOF).
+                log_close(&conn.peer, reason);
+                let _ = poller.delete(conn.fd);
+                inner.active_connections.fetch_sub(1, Ordering::SeqCst);
+                return false;
+            }
+            let wants = !conn.flushed();
+            if wants != conn.wants_write {
+                let interest = if wants {
+                    Interest::READ_WRITE
+                } else {
+                    Interest::READ
+                };
+                if poller.modify(conn.fd, token, interest).is_ok() {
+                    conn.wants_write = wants;
                 }
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if inner.stop.load(Ordering::SeqCst) {
+            true
+        });
+    }
+    // Wind-down: drop every connection (clients see EOF; unanswered
+    // in-flight requests are dropped, as in the thread-per-connection
+    // model) and adopt-and-close anything still parked in the inbox.
+    for conn in conns.values() {
+        let _ = poller.delete(conn.fd);
+        inner.active_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+    drain_inbox_closed(inner, idx);
+}
+
+/// Closes (and un-counts) connections still sitting in reactor `idx`'s
+/// inbox — used on reactor wind-down and startup failure.
+fn drain_inbox_closed(inner: &Arc<Inner>, idx: usize) {
+    let incoming = std::mem::take(&mut *inner.reactors[idx].inbox.lock());
+    for stream in incoming {
+        drop(stream);
+        inner.active_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Drains a readable socket, feeds the frame decoder, and serves every
+/// complete frame. Marks the connection dead on EOF, error, or an
+/// unframable stream.
+fn service_readable(
+    inner: &Arc<Inner>,
+    view: &ShardedReadView,
+    lane: usize,
+    conn: &mut Conn,
+    buf: &mut [u8],
+) {
+    if conn.dead.is_some() {
+        return;
+    }
+    let mut eof = false;
+    // Bounded drain: a peer streaming faster than we read must not pin
+    // this reactor — level-triggered epoll re-reports the leftovers on
+    // the next tick, letting sibling connections interleave.
+    for _ in 0..16 {
+        match conn.stream.read(buf) {
+            Ok(0) => {
+                eof = true;
+                break;
+            }
+            Ok(n) => conn.decoder.feed(&buf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                eof = true;
+                break;
+            }
+        }
+    }
+    loop {
+        match conn.decoder.next_frame() {
+            Ok(Some(payload)) => {
+                if let Err(e) = serve_frame(inner, view, lane, conn, &payload) {
+                    // Undecodable request payload: drop the connection
+                    // (ids can no longer be trusted).
+                    conn.dead = Some(CloseReason::Corrupt {
+                        detail: e.to_string(),
+                    });
                     return;
                 }
             }
+            Ok(None) => break,
+            // Unframable stream: nothing sane to answer.
+            Err(e) => {
+                conn.dead = Some(CloseReason::Corrupt {
+                    detail: e.to_string(),
+                });
+                return;
+            }
+        }
+    }
+    if eof {
+        // EOF: let the decoder say whether the peer stopped on a frame
+        // boundary or vanished mid-frame.
+        conn.dead = Some(conn.decoder.close_reason_at_eof());
+    }
+}
+
+/// Serves one decoded frame: writes apply immediately through the
+/// engine's nowait path with the response parked until durable (and
+/// quorum-acked on a replicated leader); reads, stats and control
+/// answer inline.
+///
+/// # Errors
+///
+/// An undecodable request payload (the caller drops the connection).
+fn serve_frame(
+    inner: &Arc<Inner>,
+    view: &ShardedReadView,
+    lane: usize,
+    conn: &mut Conn,
+    payload: &[u8],
+) -> Result<()> {
+    let (id, req) = decode_request(payload)?;
+    if let Some(key) = req.write_key() {
+        // Followers never take client writes: replicated state must
+        // flow through the leader's WAL, not around it.
+        if let Some(repl) = inner.repl.as_ref().filter(|r| r.refuses_writes()) {
+            respond(inner, conn, id, &repl.not_leader_response())?;
+            return Ok(());
+        }
+        let (_shard, verdict) = inner.router.write_admission_on(lane, key);
+        let not_before = match verdict {
+            WriteAdmission::Admit => None,
+            // Proportional pacing: the write applies now, but its
+            // acknowledgement is held back — this writer's feedback
+            // loop slows without costing a thread or stalling sibling
+            // connections.
+            WriteAdmission::Delay(d) => Some(Instant::now() + d),
+            WriteAdmission::RetryLater { backoff_ms } => {
+                respond(inner, conn, id, &Response::RetryLater { backoff_ms })?;
+                return Ok(());
+            }
+        };
+        let (shard, target, resp) = apply_write_nowait(inner, req);
+        // Leader commit gate: the ack leaves only once a majority of
+        // the group holds the write (DESIGN.md §17). Opened here,
+        // polled as peer acks arrive.
+        let gate = match (&resp, &inner.repl) {
+            (Response::Ok | Response::Inserted(true), Some(repl)) => repl.gate_open(target),
+            _ => None,
+        };
+        if target == 0 && gate.is_none() && not_before.is_none() {
+            respond(inner, conn, id, &resp)?;
+            return Ok(());
+        }
+        let failures_at = inner.commit_failures[shard].count.load(Ordering::SeqCst);
+        if target > 0 {
+            inner.signal_commit(shard);
+        }
+        conn.pending.push(PendingWrite {
+            id,
+            shard,
+            target,
+            failures_at,
+            gate,
+            not_before,
+            resp,
+        });
+        return Ok(());
+    }
+    if let Some(repl) = &inner.repl {
+        if let Some(resp) = serve_replication(inner, repl, &req) {
+            respond(inner, conn, id, &resp)?;
+            return Ok(());
+        }
+    }
+    // Reads (and control commands) see every write applied so far on
+    // this connection: nowait applies above completed before this point
+    // (durability lags, visibility does not).
+    let resp = match &req {
+        Request::Ping => Response::Ok,
+        Request::Get { key } => match view.get(key) {
+            Ok(v) => Response::Value(v.map(|b| b.to_vec())),
+            Err(e) => err_response(&e),
+        },
+        Request::Scan { from, to, limit } => {
+            let limit = *limit as usize;
+            let scanned = match to {
+                Some(to) => view.scan_range(from, to, limit),
+                None => view.scan(from, limit),
+            };
+            match scanned {
+                Ok(rows) => Response::Rows(
+                    rows.into_iter()
+                        .map(|r| (r.key.to_vec(), r.value.to_vec()))
+                        .collect(),
+                ),
+                Err(e) => err_response(&e),
+            }
+        }
+        Request::Stats => Response::Stats(wire_stats(inner, view)),
+        Request::Scrub => {
+            let r = view.scrub();
+            Response::ScrubReport(WireScrubReport {
+                components: r.components_checked,
+                pages: r.pages_checked,
+                entries: r.entries_checked,
+                errors: r.errors,
+            })
+        }
+        Request::Shutdown => {
+            respond(inner, conn, id, &Response::Ok)?;
+            // The requester deserves its ack: push the out-buffer with a
+            // bounded blocking flush before the stop flag tears the
+            // connection down.
+            force_flush(conn, Duration::from_secs(2));
+            inner.request_stop();
+            return Ok(());
+        }
+        // Replication frames on a replication-less server.
+        Request::ReplSubscribe { .. } | Request::Replicate { .. } | Request::Promote { .. } => {
+            Response::Err {
+                kind: ErrKind::Invalid,
+                message: "replication not configured on this server".into(),
+            }
+        }
+        // Writes were handled above.
+        _ => Response::Err {
+            kind: ErrKind::Invalid,
+            message: "unhandled request".into(),
+        },
+    };
+    respond(inner, conn, id, &resp)
+}
+
+/// Releases every parked response whose conditions are now met: pacing
+/// timer expired, shard durable horizon past the commit target (or the
+/// commit failed — the failure epoch moved), replication gate resolved.
+/// Responses leave out of order by request id; the wire protocol's id
+/// matching makes that safe.
+fn settle_pending(inner: &Arc<Inner>, conn: &mut Conn) {
+    if conn.pending.is_empty() {
+        return;
+    }
+    let now = Instant::now();
+    let mut pending = std::mem::take(&mut conn.pending);
+    pending.retain_mut(|p| {
+        if let Some(t) = p.not_before {
+            if now < t {
+                return true;
+            }
+            p.not_before = None;
+        }
+        if p.target > 0 {
+            let fails = inner.commit_failures[p.shard].count.load(Ordering::SeqCst);
+            if fails != p.failures_at {
+                // The group covering this write failed to sync: the
+                // write is applied but not durable. Surface that as an
+                // I/O error rather than acknowledging a promise the
+                // log cannot keep.
+                let detail = inner.commit_failures[p.shard].last.lock().clone();
+                p.resp = Response::Err {
+                    kind: ErrKind::Io,
+                    message: format!("commit group failed: {detail}"),
+                };
+                let _ = push_response(&mut conn.out, p.id, &p.resp);
+                inner.served.fetch_add(1, Ordering::SeqCst);
+                return false;
+            }
+            match inner.router.store().durable_lsn(p.shard) {
+                Ok(durable) if durable >= p.target => p.target = 0,
+                Ok(_) => return true,
+                Err(e) => {
+                    p.resp = err_response(&e);
+                    let _ = push_response(&mut conn.out, p.id, &p.resp);
+                    inner.served.fetch_add(1, Ordering::SeqCst);
+                    return false;
+                }
+            }
+        }
+        if let (Some(gate), Some(repl)) = (&p.gate, &inner.repl) {
+            match repl.gate_poll(gate) {
+                None => return true,
+                Some(Response::Ok) => {}
+                Some(err) => p.resp = err,
+            }
+        }
+        let _ = push_response(&mut conn.out, p.id, &p.resp);
+        inner.served.fetch_add(1, Ordering::SeqCst);
+        false
+    });
+    conn.pending = pending;
+}
+
+/// Encodes an immediate response into the connection's out-buffer.
+fn respond(inner: &Arc<Inner>, conn: &mut Conn, id: u64, resp: &Response) -> Result<()> {
+    push_response(&mut conn.out, id, resp)?;
+    inner.served.fetch_add(1, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Writes as much of the out-buffer as the socket accepts right now.
+///
+/// # Errors
+///
+/// A fatal socket error (the caller tears the connection down).
+fn flush_out(conn: &mut Conn) -> std::io::Result<()> {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return,
+            Err(e) => return Err(e),
+        }
+    }
+    if conn.flushed() {
+        conn.out.clear();
+        conn.out_pos = 0;
+    }
+    Ok(())
+}
+
+/// Bounded blocking flush for the SHUTDOWN acknowledgement: spins on
+/// `WouldBlock` (1ms naps) until the buffer drains or the deadline
+/// passes.
+fn force_flush(conn: &mut Conn, limit: Duration) {
+    let deadline = Instant::now() + limit;
+    while !conn.flushed() && Instant::now() < deadline {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => break,
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    if conn.flushed() {
+        conn.out.clear();
+        conn.out_pos = 0;
+        let _ = conn.stream.flush();
+    }
+}
+
+/// The group-commit thread: the sole caller of `commit_group` for
+/// client writes. Sleeps on the commit signal, syncs every dirty shard
+/// (one flush + fsync per shard covering everything appended since the
+/// last group), then wakes every reactor to release parked responses.
+///
+/// Batching comes from overlap, not waiting: while this thread is
+/// inside one fsync, reactors keep appending — the next `commit_group`
+/// scoops up everything that accumulated. The engine-side deadline
+/// (`commit_deadline`) only matters when independent writers call the
+/// blocking API; here a lone committer syncs immediately.
+fn committer_loop(inner: &Arc<Inner>) {
+    loop {
+        let stopping = inner.stop.load(Ordering::SeqCst);
+        {
+            let mut pending = inner.commit_signal.pending.lock();
+            if !*pending && !stopping {
+                // The timeout is a safety net: every signal_commit
+                // notifies, so this normally wakes on the condvar.
+                let _ = inner
+                    .commit_signal
+                    .cond
+                    .wait_for(&mut pending, Duration::from_millis(50));
+            }
+            *pending = false;
+        }
+        let mut synced_any = false;
+        for shard in 0..inner.commit_dirty.len() {
+            if inner.commit_dirty[shard].swap(false, Ordering::SeqCst) {
+                match inner.router.store().commit_group(shard) {
+                    Ok(_) => synced_any = true,
+                    Err(e) => {
+                        // Record first (text, then epoch): a reactor that
+                        // sees the bumped count must find the message.
+                        *inner.commit_failures[shard].last.lock() = e.to_string();
+                        inner.commit_failures[shard]
+                            .count
+                            .fetch_add(1, Ordering::SeqCst);
+                        synced_any = true;
+                    }
+                }
+            }
+        }
+        if synced_any {
+            for r in &inner.reactors {
+                r.wake.wake();
+            }
+        }
+        if stopping {
+            break;
         }
     }
 }
@@ -452,120 +1018,13 @@ fn err_response(e: &StorageError) -> Response {
     }
 }
 
-/// Serves one decoded batch in request order. Writes apply immediately
-/// on this connection thread — the engine write path is `&self` and
-/// parallel across connections — with the admission verdict enforced
-/// per write against the *owning shard's* backpressure (a pacing delay
-/// sleeps only this writer; a saturated shard rejects only writes
-/// addressed to it). Returns the encoded responses and whether a
-/// SHUTDOWN was requested.
-fn serve_batch(
-    inner: &Inner,
-    view: &ShardedReadView,
-    frames: &[Vec<u8>],
-) -> Result<(Vec<u8>, bool)> {
-    let mut out = Vec::new();
-    let mut shutdown = false;
-    for payload in frames {
-        let (id, req) = decode_request(payload)?;
-        if let Some(key) = req.write_key() {
-            // Followers never take client writes: replicated state must
-            // flow through the leader's WAL, not around it.
-            if let Some(repl) = inner.repl.as_ref().filter(|r| r.refuses_writes()) {
-                push_response(&mut out, id, &repl.not_leader_response())?;
-                continue;
-            }
-            let (_shard, verdict) = inner.router.write_admission(key);
-            match verdict {
-                WriteAdmission::Admit => {}
-                WriteAdmission::Delay(d) => {
-                    // Proportional pacing: stall only this writer before
-                    // its write applies. Sibling connections (and all
-                    // readers) proceed — per-writer admission delay, not
-                    // a server-wide brake.
-                    std::thread::sleep(d);
-                }
-                WriteAdmission::RetryLater { backoff_ms } => {
-                    push_response(&mut out, id, &Response::RetryLater { backoff_ms })?;
-                    continue;
-                }
-            }
-            let mut resp = apply_write(inner, req);
-            // Leader commit gate: the ack leaves only once a majority
-            // of the group holds the write (DESIGN.md §17).
-            if matches!(resp, Response::Ok | Response::Inserted(true)) {
-                if let Some(repl) = &inner.repl {
-                    let gate = repl.commit_gate();
-                    if gate != Response::Ok {
-                        resp = gate;
-                    }
-                }
-            }
-            push_response(&mut out, id, &resp)?;
-            continue;
-        }
-        if let Some(repl) = &inner.repl {
-            if let Some(resp) = serve_replication(inner, repl, &req) {
-                push_response(&mut out, id, &resp)?;
-                continue;
-            }
-        }
-        // Reads (and control commands) see every write applied so far on
-        // this connection: writes above completed before this point.
-        let resp = match &req {
-            Request::Ping => Response::Ok,
-            Request::Get { key } => match view.get(key) {
-                Ok(v) => Response::Value(v.map(|b| b.to_vec())),
-                Err(e) => err_response(&e),
-            },
-            Request::Scan { from, to, limit } => {
-                let limit = *limit as usize;
-                let scanned = match to {
-                    Some(to) => view.scan_range(from, to, limit),
-                    None => view.scan(from, limit),
-                };
-                match scanned {
-                    Ok(rows) => Response::Rows(
-                        rows.into_iter()
-                            .map(|r| (r.key.to_vec(), r.value.to_vec()))
-                            .collect(),
-                    ),
-                    Err(e) => err_response(&e),
-                }
-            }
-            Request::Stats => Response::Stats(wire_stats(inner, view)),
-            Request::Scrub => {
-                let r = view.scrub();
-                Response::ScrubReport(WireScrubReport {
-                    components: r.components_checked,
-                    pages: r.pages_checked,
-                    entries: r.entries_checked,
-                    errors: r.errors,
-                })
-            }
-            Request::Shutdown => {
-                shutdown = true;
-                Response::Ok
-            }
-            // Replication frames on a replication-less server.
-            Request::ReplSubscribe { .. } | Request::Replicate { .. } | Request::Promote { .. } => {
-                Response::Err {
-                    kind: ErrKind::Invalid,
-                    message: "replication not configured on this server".into(),
-                }
-            }
-            // Writes were handled above.
-            _ => Response::Err {
-                kind: ErrKind::Invalid,
-                message: "unhandled request".into(),
-            },
-        };
-        push_response(&mut out, id, &resp)?;
-    }
-    Ok((out, shutdown))
-}
-
 /// Dispatches the three replication opcodes; `None` for anything else.
+///
+/// `REPLICATE` is the one handler that does blocking I/O on a reactor:
+/// it group-syncs the whole batch inline (one fsync per frame — the
+/// follower's durability contract). Follower reactors carry replication
+/// traffic from exactly one leader, so the stall is bounded and cannot
+/// starve client reads behind more than one batch.
 fn serve_replication(inner: &Inner, repl: &Replication, req: &Request) -> Option<Response> {
     match req {
         Request::ReplSubscribe { leader_id, epoch } => {
@@ -592,35 +1051,41 @@ fn serve_replication(inner: &Inner, repl: &Replication, req: &Request) -> Option
     }
 }
 
-/// Applies one admitted write directly on the calling connection
-/// thread, routed by key to its owning shard. The engine write path is
-/// `&self`, so concurrent connections apply writes in parallel
-/// (serialized only at the WAL append + C0 shard they touch, within one
-/// routing shard) — no server-side write queue exists.
-fn apply_write(inner: &Inner, req: Request) -> Response {
+/// Applies one admitted write through the engine's nowait path (WAL
+/// append + C0 insert, no sync), routed by key to its owning shard.
+/// Returns `(shard, commit_target, provisional_response)` — a zero
+/// target means no durability wait is owed (Buffered durability, a
+/// no-op insert, or an error response).
+fn apply_write_nowait(inner: &Inner, req: Request) -> (usize, u64, Response) {
     let store = inner.router.store();
     match req {
-        Request::Put { key, value } => match store.put(key, value) {
-            Ok(()) => Response::Ok,
-            Err(e) => err_response(&e),
+        Request::Put { key, value } => match store.put_nowait(key, value) {
+            Ok((shard, target)) => (shard, target, Response::Ok),
+            Err(e) => (0, 0, err_response(&e)),
         },
-        Request::Delete { key } => match store.delete(key) {
-            Ok(()) => Response::Ok,
-            Err(e) => err_response(&e),
+        Request::Delete { key } => match store.delete_nowait(key) {
+            Ok((shard, target)) => (shard, target, Response::Ok),
+            Err(e) => (0, 0, err_response(&e)),
         },
-        Request::InsertIfNotExists { key, value } => match store.insert_if_not_exists(key, value) {
-            Ok(inserted) => Response::Inserted(inserted),
-            Err(e) => err_response(&e),
-        },
-        Request::ApplyDelta { key, delta } => match store.apply_delta(key, delta) {
-            Ok(()) => Response::Ok,
-            Err(e) => err_response(&e),
+        Request::InsertIfNotExists { key, value } => {
+            match store.insert_if_not_exists_nowait(key, value) {
+                Ok((inserted, shard, target)) => (shard, target, Response::Inserted(inserted)),
+                Err(e) => (0, 0, err_response(&e)),
+            }
+        }
+        Request::ApplyDelta { key, delta } => match store.apply_delta_nowait(key, delta) {
+            Ok((shard, target)) => (shard, target, Response::Ok),
+            Err(e) => (0, 0, err_response(&e)),
         },
         // `write_key` admits only the four arms above.
-        _ => Response::Err {
-            kind: ErrKind::Invalid,
-            message: "non-write in write path".into(),
-        },
+        _ => (
+            0,
+            0,
+            Response::Err {
+                kind: ErrKind::Invalid,
+                message: "non-write in write path".into(),
+            },
+        ),
     }
 }
 
@@ -693,5 +1158,10 @@ fn wire_stats(inner: &Inner, view: &ShardedReadView) -> WireStats {
         manifest_rolled_back: engine.recovery.manifest_rolled_back,
         shards,
         repl: inner.repl.as_ref().map(Replication::wire_stats),
+        commit_groups: engine.commit_groups,
+        commit_group_writes: engine.commit_group_writes,
+        fsync_micros_total: engine.fsync_micros_total,
+        group_size_hist: engine.group_size_hist,
+        fsync_micros_hist: engine.fsync_micros_hist,
     }
 }

@@ -92,6 +92,11 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                 wal_records_replayed: a | b,
                 wal_torn_tail_bytes: u64::from(p),
                 manifest_rolled_back: p & 1 == 1,
+                commit_groups: a % 997,
+                commit_group_writes: b % 9973,
+                fsync_micros_total: a.wrapping_add(u64::from(p)),
+                group_size_hist: core::array::from_fn(|i| a.rotate_left(i as u32)),
+                fsync_micros_hist: core::array::from_fn(|i| b.rotate_right(i as u32)),
                 shards: (0..(p % 5) as u32)
                     .map(|i| blsm_server::WireShardStats {
                         shard: i,

@@ -173,6 +173,30 @@ impl Wal {
         Ok(())
     }
 
+    /// A clone of the log's device handle, for a group committer that
+    /// forces the device *outside* the WAL lock: the committer flushes
+    /// under the lock, captures [`flushed_lsn`](Self::flushed_lsn) and
+    /// this handle, releases the lock, calls `device.sync()`, then
+    /// retakes the lock and records the barrier with
+    /// [`mark_synced`](Self::mark_synced). Appends that land during the
+    /// unlocked sync only buffer into `pending` — they touch no device
+    /// state — so the sync covers exactly the flushed prefix.
+    pub fn device(&self) -> SharedDevice {
+        self.device.clone()
+    }
+
+    /// Records that the device has been forced through `lsn` (a value of
+    /// [`flushed_lsn`](Self::flushed_lsn) captured before the sync).
+    /// Monotone: a late-arriving older barrier never regresses `synced`.
+    pub fn mark_synced(&mut self, lsn: Lsn) {
+        assert!(
+            lsn <= self.flushed,
+            "mark_synced({lsn}) past flushed tail {}",
+            self.flushed
+        );
+        self.synced = self.synced.max(lsn);
+    }
+
     /// LSN below which every record is flushed to the device.
     pub fn flushed_lsn(&self) -> Lsn {
         self.flushed
@@ -211,21 +235,35 @@ impl Wal {
     ///   flushed LSN must be intact, so an invalid frame there is real
     ///   damage, not a clean end.
     pub fn records_from(&self, start_lsn: Lsn) -> Result<Vec<WalRecord>> {
+        self.records_up_to(start_lsn, self.flushed)
+    }
+
+    /// Like [`records_from`](Self::records_from), but stops at
+    /// `min(horizon, flushed)` — the seam the replication tier uses
+    /// under group commit, where the shippable window ends at the last
+    /// synced group boundary rather than the flushed tail.
+    ///
+    /// # Errors
+    ///
+    /// As [`records_from`](Self::records_from); `start_lsn` past the
+    /// (clamped) horizon is the same reader error as asking past the
+    /// flushed tail.
+    pub fn records_up_to(&self, start_lsn: Lsn, horizon: Lsn) -> Result<Vec<WalRecord>> {
+        let horizon = horizon.min(self.flushed);
         if start_lsn < self.head {
             return Err(StorageError::SnapshotNeeded {
                 requested_lsn: start_lsn,
                 head_lsn: self.head,
             });
         }
-        if start_lsn > self.flushed {
+        if start_lsn > horizon {
             return Err(StorageError::InvalidFormat(format!(
-                "wal catch-up from lsn {start_lsn} past flushed tail {}",
-                self.flushed
+                "wal catch-up from lsn {start_lsn} past readable horizon {horizon}"
             )));
         }
         let mut records = Vec::new();
         let mut lsn = start_lsn;
-        while lsn < self.flushed {
+        while lsn < horizon {
             match read_frame(&self.device, self.capacity, lsn) {
                 FrameOutcome::Record(rec) => {
                     lsn += FRAME_HEADER_LEN as u64 + rec.payload.len() as u64;

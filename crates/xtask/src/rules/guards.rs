@@ -106,13 +106,17 @@ pub fn check(rel: &str, fns: &[FnSummary]) -> Vec<Finding> {
                 });
                 continue;
             }
-            // Log I/O on the WAL while holding only the WAL's own mutex
-            // is the work that lock exists to serialize (group commit:
-            // contending writers are waiting for exactly this durability
-            // point), not cost that could move outside the section.
+            // Buffered log I/O on the WAL while holding only the WAL's
+            // own mutex is the work that lock exists to serialize —
+            // appends and flushes order the log. Durable syncs are NOT
+            // exempt: group commit (DESIGN.md §18) requires the leader
+            // to drop the `wal` lock before forcing the device, so an
+            // fsync under the lock is a throughput regression this rule
+            // must catch.
             let wal_self_io = call.is_method
                 && call.recv_last.as_deref() == Some("wal")
-                && call.held.iter().all(|h| h.lock == "wal");
+                && call.held.iter().all(|h| h.lock == "wal")
+                && !FSYNC_METHODS.contains(&call.name.as_str());
             if wal_self_io {
                 continue;
             }
@@ -193,5 +197,47 @@ fn call_display(call: &CallRec) -> String {
         format!("{}::{}(", p, call.name)
     } else {
         format!("{}(", call.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::check;
+    use crate::rules::collect_fns;
+    use crate::syntax::SourceFile;
+
+    fn findings_for(src: &str) -> Vec<super::Finding> {
+        let sf = SourceFile::parse(src);
+        let fns = collect_fns(&sf, false, &|s| s.to_string());
+        check("crates/core/src/commit.rs", &fns)
+    }
+
+    /// Buffered log I/O on the WAL under the WAL's own mutex is the
+    /// work that lock serializes — the carve-out keeps it quiet.
+    #[test]
+    fn buffered_wal_io_under_wal_lock_is_exempt() {
+        let src = "fn lead(&self) { let guard = self.shared.wal.lock(); \
+                   let wal = guard.as_ref().unwrap(); wal.write_all(&buf); }";
+        assert!(findings_for(src).is_empty());
+    }
+
+    /// The group-commit leader must drop the `wal` lock before forcing
+    /// the device (DESIGN.md §18); a sync that sneaks back under the
+    /// lock is exactly the committer-shaped regression to catch — the
+    /// carve-out must NOT extend to durable-write calls.
+    #[test]
+    fn fsync_under_wal_lock_is_flagged_even_on_the_wal_itself() {
+        let src = "fn lead(&self) { let guard = self.shared.wal.lock(); \
+                   let wal = guard.as_ref().unwrap(); wal.sync_data(); }";
+        let findings = findings_for(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "critical-section-cost");
+        assert!(
+            findings[0].message.contains("durable-write"),
+            "{}",
+            findings[0].message
+        );
     }
 }

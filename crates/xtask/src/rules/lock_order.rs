@@ -25,7 +25,13 @@ use super::{Finding, FnSummary};
 /// `a → b` is legal iff `a` appears strictly before `b`.
 fn hierarchy(krate: &str) -> &'static [&'static str] {
     match krate {
-        // DESIGN.md §14: merge → wal → catalog → recovery → work_pending.
+        // DESIGN.md §14: merge → commit → wal → catalog → recovery →
+        // work_pending. (`commit` is the group-commit election state,
+        // DESIGN.md §18: a tiny bookkeeping mutex the leader drops
+        // before any I/O or `wal` acquisition. Its slot between `merge`
+        // and `wal` makes the leader-side direction the legal one if an
+        // edge ever forms; taking `commit` while holding `wal` would
+        // deadlock the election and is an inversion.)
         // (`tree` and `c0` left the hierarchy in the concurrent-C0
         // refactor: the tree-wide mutex became the merge-plane `merge`
         // lock and C0 became internally synchronized — its `pass` /
@@ -37,13 +43,27 @@ fn hierarchy(krate: &str) -> &'static [&'static str] {
         // shutdown), so cross-shard lock edges cannot exist by
         // construction. A lock appearing in `sharded.rs` or `route.rs`
         // must be argued into §14/§16 and this table together.
-        "core" => &["merge", "wal", "catalog", "recovery", "work_pending"],
+        "core" => &[
+            "merge",
+            "commit",
+            "wal",
+            "catalog",
+            "recovery",
+            "work_pending",
+        ],
         // DESIGN.md §15: the pass lock wraps per-shard table locks; no
         // C0 code path may take `pass` while holding any shard's
         // `tables` lock.
         "memtable" => &["pass", "tables"],
         // The server serves from pinned ReadViews and applies writes
-        // through `&self` engine calls; it owns no locks of its own.
+        // through `&self` engine calls; its own locks are three leaf
+        // mutexes that are never held while acquiring anything else —
+        // which is why the hierarchy below stays empty (the rule fires
+        // on hold-while-acquiring edges, and these must never grow
+        // one): per-reactor `inbox` (accept thread hands off sockets),
+        // the committer's `pending` signal (paired with its condvar),
+        // and the per-shard commit-failure `last` message (DESIGN.md
+        // §11, §18).
         // The shard router keeps it that way: immutable boundaries plus
         // per-shard `AdmissionController`s (atomic counters only), so
         // routing a request acquires no lock on any path (DESIGN.md

@@ -40,7 +40,7 @@ fn lock_order_inversion_is_rejected_naming_both_sites() {
         violation.message
     );
     assert!(
-        violation.message.contains("merge → wal → catalog"),
+        violation.message.contains("merge → commit → wal → catalog"),
         "must cite the documented hierarchy: {}",
         violation.message
     );

@@ -78,9 +78,12 @@ struct Oracle {
     /// Last acknowledged state per key (`None` = tombstone). Every entry
     /// here was synced — losing one is a durability bug.
     guaranteed: BTreeMap<Bytes, Option<Bytes>>,
-    /// The write the power cut interrupted, if it was a user write: it
-    /// may legally surface or not.
-    inflight: Option<(Bytes, Option<Bytes>)>,
+    /// Writes appended but never covered by a successful sync when the
+    /// power died: each may legally surface or not. Per-write sync has
+    /// at most one (the interrupted write); the group-commit workload
+    /// crashes with a whole unsynced group in flight, any prefix of
+    /// which may have reached the device.
+    unacked: BTreeMap<Bytes, Vec<Option<Bytes>>>,
     /// Every value ever handed to `put` per key — the no-phantom set.
     history: BTreeSet<(Bytes, Bytes)>,
     /// True when the script ran to completion (counting pass).
@@ -107,7 +110,7 @@ fn run_workload(data: &SharedDevice, wal: &SharedDevice) -> Oracle {
                     oracle.guaranteed.insert(victim, None);
                 }
                 Err(_) => {
-                    oracle.inflight = Some((victim, None));
+                    oracle.unacked.entry(victim).or_default().push(None);
                     return oracle;
                 }
             }
@@ -123,7 +126,7 @@ fn run_workload(data: &SharedDevice, wal: &SharedDevice) -> Oracle {
                 oracle.guaranteed.insert(k, Some(v));
             }
             Err(_) => {
-                oracle.inflight = Some((k, Some(v)));
+                oracle.unacked.entry(k).or_default().push(Some(v));
                 return oracle;
             }
         }
@@ -138,6 +141,73 @@ fn run_workload(data: &SharedDevice, wal: &SharedDevice) -> Oracle {
     oracle
 }
 
+/// The group-commit variant of the script: writers append with the
+/// nowait API and a batch boundary retires them with one
+/// [`BLsmTree::commit_group`] — the serving tier's write path. Crash
+/// points therefore land *between a group's flush and its sync*, with a
+/// whole multi-write group in flight; the oracle credits a write as
+/// guaranteed only when a `commit_group` covering it returned `Ok`,
+/// i.e. only writes at or below the last synced group boundary.
+fn run_group_workload(data: &SharedDevice, wal: &SharedDevice) -> Oracle {
+    const GROUP: usize = 7;
+    let mut oracle = Oracle::default();
+    let Ok(tree) = open(data, wal) else {
+        return oracle;
+    };
+    // Writes appended since the last successful group, in script order.
+    let mut batch: Vec<(Bytes, Option<Bytes>)> = Vec::new();
+    for i in 0..360u64 {
+        let k = key(i);
+        if i % 9 == 3 && oracle.guaranteed.contains_key(&key(i - 3)) {
+            let victim = key(i - 3);
+            oracle.unacked.entry(victim.clone()).or_default().push(None);
+            match tree.delete_nowait(victim.clone()) {
+                Ok(_target) => batch.push((victim, None)),
+                Err(_) => return oracle,
+            }
+        } else {
+            let v = Bytes::from(format!(
+                "value-{i:04}-{}",
+                "x".repeat(180 + (i % 60) as usize)
+            ));
+            oracle.history.insert((k.clone(), v.clone()));
+            oracle
+                .unacked
+                .entry(k.clone())
+                .or_default()
+                .push(Some(v.clone()));
+            match tree.put_nowait(k.clone(), v.clone()) {
+                Ok(_target) => batch.push((k, Some(v))),
+                Err(_) => return oracle,
+            }
+        }
+        if batch.len() >= GROUP {
+            match tree.commit_group() {
+                Ok(_synced) => {
+                    // The sync covers the WAL tail: every append so far
+                    // is durable, in script order.
+                    for (k, v) in batch.drain(..) {
+                        oracle.guaranteed.insert(k, v);
+                    }
+                    oracle.unacked.clear();
+                }
+                // Power died inside the group's flush or sync: nothing
+                // in the batch was acked; any prefix may have survived
+                // (all still recorded in `unacked`).
+                Err(_) => return oracle,
+            }
+        }
+        if i == 130 && tree.checkpoint().is_err() {
+            return oracle;
+        }
+    }
+    if tree.commit_group().is_err() || tree.checkpoint().is_err() {
+        return oracle;
+    }
+    oracle.completed = true;
+    oracle
+}
+
 /// Reopens from the durable (post-crash) devices and checks the oracle.
 fn check_survivors(data: &SharedDevice, wal: &SharedDevice, oracle: &Oracle, point: u64) {
     #[cfg_attr(not(feature = "strict-invariants"), allow(unused_mut))]
@@ -146,19 +216,20 @@ fn check_survivors(data: &SharedDevice, wal: &SharedDevice, oracle: &Oracle, poi
         Err(e) => panic!("crash point {point}: reopen failed: {e}"),
     };
 
-    // Acknowledged writes read back their last value. The interrupted
-    // write may override its own key — it was mid-flight, both outcomes
-    // are legal.
-    let inflight = oracle.inflight.as_ref();
+    // Acknowledged writes read back their last value. An unacked write
+    // to the same key may override it — it was mid-flight (or part of
+    // the unsynced commit group), both outcomes are legal.
     for (k, expected) in &oracle.guaranteed {
         let got = tree
             .get(k)
             .unwrap_or_else(|e| panic!("crash point {point}: get {k:?}: {e}"));
-        let inflight_ok =
-            matches!(inflight, Some((ik, iv)) if ik == k && got.as_deref() == iv.as_deref());
+        let unacked_ok = oracle
+            .unacked
+            .get(k)
+            .is_some_and(|vs| vs.iter().any(|iv| got.as_deref() == iv.as_deref()));
         let expected_ok = got.as_deref() == expected.as_deref();
         assert!(
-            expected_ok || inflight_ok,
+            expected_ok || unacked_ok,
             "crash point {point}: key {k:?}: acknowledged {expected:?}, read back {got:?}"
         );
     }
@@ -191,14 +262,17 @@ fn check_survivors(data: &SharedDevice, wal: &SharedDevice, oracle: &Oracle, poi
         .unwrap_or_else(|e| panic!("crash point {point}: invariants: {e}"));
 }
 
+/// A scripted workload the harness can crash at any device op.
+type Workload = fn(&SharedDevice, &SharedDevice) -> Oracle;
+
 /// One full crash-and-recover cycle at `crash_at`.
-fn crash_cycle(crash_at: u64) {
+fn crash_cycle(workload: Workload, crash_at: u64) {
     let durable_data: SharedDevice = Arc::new(MemDevice::new());
     let durable_wal: SharedDevice = Arc::new(MemDevice::new());
     let plan = CrashPlan::new(crash_at, SEED ^ crash_at);
     let data: SharedDevice = Arc::new(CrashDevice::new(durable_data.clone(), &plan));
     let wal: SharedDevice = Arc::new(CrashDevice::new(durable_wal.clone(), &plan));
-    let oracle = run_workload(&data, &wal);
+    let oracle = workload(&data, &wal);
     assert!(
         plan.crashed(),
         "crash point {crash_at}: the workload outran the plan"
@@ -207,24 +281,30 @@ fn crash_cycle(crash_at: u64) {
     check_survivors(&durable_data, &durable_wal, &oracle, crash_at);
 }
 
-/// Counting pass: how many mutating device ops the full workload issues.
-fn count_ops() -> u64 {
+/// Counting pass: how many mutating device ops the full workload
+/// issues. `min_ops` is a sanity floor — the group-commit workload
+/// legitimately issues ~5x fewer device ops than per-write sync for the
+/// same script (that amortization is the feature under test).
+fn count_ops(workload: Workload, min_ops: u64) -> u64 {
     let plan = CrashPlan::new(u64::MAX, SEED);
     let data: SharedDevice = Arc::new(CrashDevice::new(Arc::new(MemDevice::new()), &plan));
     let wal: SharedDevice = Arc::new(CrashDevice::new(Arc::new(MemDevice::new()), &plan));
-    let oracle = run_workload(&data, &wal);
+    let oracle = workload(&data, &wal);
     assert!(oracle.completed, "counting pass must not fail");
     let ops = plan.ops_issued();
-    assert!(ops > 500, "workload too small to be interesting: {ops} ops");
+    assert!(
+        ops > min_ops,
+        "workload too small to be interesting: {ops} ops"
+    );
     ops
 }
 
-fn sweep(stride: u64) {
-    let total = count_ops();
+fn sweep(workload: Workload, min_ops: u64, stride: u64) {
+    let total = count_ops(workload, min_ops);
     let mut checked = 0u64;
     let mut point = 0u64;
     while point < total {
-        crash_cycle(point);
+        crash_cycle(workload, point);
         checked += 1;
         point += stride;
     }
@@ -239,8 +319,21 @@ fn crash_point_subset_sweep() {
         .ok()
         .and_then(|s| s.parse::<u64>().ok())
         .filter(|&s| s > 0)
-        .unwrap_or_else(|| count_ops().div_ceil(64).max(1));
-    sweep(stride);
+        .unwrap_or_else(|| count_ops(run_workload, 500).div_ceil(64).max(1));
+    sweep(run_workload, 500, stride);
+}
+
+/// The same sweep through the group-commit write path: nowait appends
+/// retired in batches by `commit_group`, so the power cut lands between
+/// a group's flush and its sync with several unsynced writes in flight.
+#[test]
+fn group_commit_crash_point_subset_sweep() {
+    let stride = std::env::var("CRASH_POINTS_STRIDE")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or_else(|| count_ops(run_group_workload, 100).div_ceil(64).max(1));
+    sweep(run_group_workload, 100, stride);
 }
 
 /// Exhaustive sweep — every single operation index. Minutes, not
@@ -248,23 +341,36 @@ fn crash_point_subset_sweep() {
 #[test]
 #[ignore = "exhaustive sweep is for nightly CI; covered by the strided subset on PRs"]
 fn crash_point_exhaustive_sweep() {
-    sweep(1);
+    sweep(run_workload, 500, 1);
+}
+
+/// Exhaustive nightly sweep of the group-commit path.
+#[test]
+#[ignore = "exhaustive sweep is for nightly CI; covered by the strided subset on PRs"]
+fn group_commit_crash_point_exhaustive_sweep() {
+    sweep(run_group_workload, 100, 1);
 }
 
 /// The same crash point with different seeds draws different torn/kept
-/// subsets; durability must hold for all of them.
+/// subsets; durability must hold for all of them — through both the
+/// per-write-sync and the group-commit write paths.
 #[test]
 fn crash_point_survives_many_subset_draws() {
-    let total = count_ops();
-    for variant in 0..8u64 {
-        let crash_at = total / 2 + variant;
-        let durable_data: SharedDevice = Arc::new(MemDevice::new());
-        let durable_wal: SharedDevice = Arc::new(MemDevice::new());
-        let plan = CrashPlan::new(crash_at, variant.wrapping_mul(0x9E37_79B9));
-        let data: SharedDevice = Arc::new(CrashDevice::new(durable_data.clone(), &plan));
-        let wal: SharedDevice = Arc::new(CrashDevice::new(durable_wal.clone(), &plan));
-        let oracle = run_workload(&data, &wal);
-        assert!(plan.crashed());
-        check_survivors(&durable_data, &durable_wal, &oracle, crash_at);
+    for (workload, min_ops) in [
+        (run_workload as Workload, 500),
+        (run_group_workload as Workload, 100),
+    ] {
+        let total = count_ops(workload, min_ops);
+        for variant in 0..8u64 {
+            let crash_at = total / 2 + variant;
+            let durable_data: SharedDevice = Arc::new(MemDevice::new());
+            let durable_wal: SharedDevice = Arc::new(MemDevice::new());
+            let plan = CrashPlan::new(crash_at, variant.wrapping_mul(0x9E37_79B9));
+            let data: SharedDevice = Arc::new(CrashDevice::new(durable_data.clone(), &plan));
+            let wal: SharedDevice = Arc::new(CrashDevice::new(durable_wal.clone(), &plan));
+            let oracle = workload(&data, &wal);
+            assert!(plan.crashed());
+            check_survivors(&durable_data, &durable_wal, &oracle, crash_at);
+        }
     }
 }
